@@ -1,0 +1,156 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 8) on the synthetic SPEC2000 workloads,
+   and measures real wall-clock instrumentation overhead with Bechamel.
+
+   Usage:
+     main.exe                      all tables and figures, then timing
+     main.exe table1|table2|fig9|fig10|fig11|fig12|fig13|sec8.1
+     main.exe timing               Bechamel wall-clock overheads
+     main.exe --scale N ...        larger inputs (default 1)
+     main.exe --bench a,b,c ...    restrict to some benchmarks *)
+
+module H = Ppp_harness.Pipeline
+module R = Ppp_harness.Report
+module Config = Ppp_core.Config
+module Interp = Ppp_interp.Interp
+module Instrument = Ppp_core.Instrument
+
+let fmt = Format.std_formatter
+
+(* {2 Wall-clock timing with Bechamel} *)
+
+let time_quota = 0.5 (* seconds per test *)
+
+let run_silently ?instrumentation p =
+  (* For timing we disable profiling bookkeeping that the paper's
+     methodology does not charge (edge collection, ground-truth traces). *)
+  let config =
+    {
+      Interp.default_config with
+      collect_edges = false;
+      trace_paths = false;
+      instrumentation;
+    }
+  in
+  ignore (Interp.run ~config p)
+
+let bechamel_tests (benches : R.prepared_bench list) =
+  let open Bechamel in
+  List.concat_map
+    (fun (pb : R.prepared_bench) ->
+      let name = pb.R.spec.Ppp_workloads.Spec.bench_name in
+      let p = pb.R.prep.H.optimized in
+      let ep = Option.get pb.R.prep.H.base_outcome.Interp.edge_profile in
+      let instr config = (Instrument.instrument p ep config).Instrument.rt in
+      let pp_rt = instr Config.pp in
+      let tpp_rt = instr Config.tpp in
+      let ppp_rt = instr Config.ppp in
+      [
+        Test.make ~name:(name ^ "/base") (Staged.stage (fun () -> run_silently p));
+        Test.make ~name:(name ^ "/pp")
+          (Staged.stage (fun () -> run_silently ~instrumentation:pp_rt p));
+        Test.make ~name:(name ^ "/tpp")
+          (Staged.stage (fun () -> run_silently ~instrumentation:tpp_rt p));
+        Test.make ~name:(name ^ "/ppp")
+          (Staged.stage (fun () -> run_silently ~instrumentation:ppp_rt p));
+      ])
+    benches
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second time_quota) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimates = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Hashtbl.replace estimates name est
+      | _ -> ())
+    results;
+  estimates
+
+let timing benches =
+  Format.fprintf fmt
+    "@[<v>Wall-clock interpreter timing (Bechamel, monotonic clock)@,";
+  Format.fprintf fmt
+    "Overhead = instrumented time / base time - 1; compare with Figure 12's cost-model overheads.@,@,";
+  let estimates =
+    run_bechamel
+      (Bechamel.Test.make_grouped ~name:"overhead" ~fmt:"%s/%s"
+         (bechamel_tests benches))
+  in
+  let get name = Hashtbl.find_opt estimates ("overhead/" ^ name) in
+  Format.fprintf fmt "%-9s | %12s | %7s %7s %7s@," "bench" "base ns" "PP" "TPP"
+    "PPP";
+  List.iter
+    (fun (pb : R.prepared_bench) ->
+      let name = pb.R.spec.Ppp_workloads.Spec.bench_name in
+      match
+        ( get (name ^ "/base"),
+          get (name ^ "/pp"),
+          get (name ^ "/tpp"),
+          get (name ^ "/ppp") )
+      with
+      | Some base, Some pp, Some tpp, Some ppp when base > 0.0 ->
+          let ov x = 100.0 *. ((x /. base) -. 1.0) in
+          Format.fprintf fmt "%-9s | %12.0f | %6.1f%% %6.1f%% %6.1f%%@," name base
+            (ov pp) (ov tpp) (ov ppp)
+      | _ -> Format.fprintf fmt "%-9s | (no estimate)@," name)
+    benches;
+  Format.fprintf fmt "@]@."
+
+(* {2 Argument handling} *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1 in
+  let names = ref None in
+  let actions = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+        scale := int_of_string n;
+        parse rest
+    | "--bench" :: bs :: rest ->
+        names := Some (String.split_on_char ',' bs);
+        parse rest
+    | a :: rest ->
+        actions := a :: !actions;
+        parse rest
+  in
+  parse args;
+  let actions = List.rev !actions in
+  let benches = R.prepare_all ~scale:!scale ?names:!names () in
+  let all_reports () =
+    R.table1 fmt benches;
+    R.table2 fmt benches;
+    R.fig9_10_11 fmt benches;
+    R.fig12 fmt benches;
+    R.fig13 fmt benches;
+    R.section8_1 fmt benches
+  in
+  match actions with
+  | [] ->
+      all_reports ();
+      timing benches
+  | acts ->
+      List.iter
+        (function
+          | "table1" -> R.table1 fmt benches
+          | "table2" -> R.table2 fmt benches
+          | "fig9" | "fig10" | "fig11" -> R.fig9_10_11 fmt benches
+          | "fig12" -> R.fig12 fmt benches
+          | "fig13" -> R.fig13 fmt benches
+          | "sec8.1" -> R.section8_1 fmt benches
+          | "tables" -> all_reports ()
+          | "timing" -> timing benches
+          | other -> Format.fprintf fmt "unknown action %s@." other)
+        acts

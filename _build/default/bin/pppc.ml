@@ -1,0 +1,245 @@
+(* pppc: the command-line driver.
+
+   Programs are given either as a [.pir] file (see Ppp_ir.Parse for the
+   grammar) or as [bench:NAME] to use one of the built-in SPEC-shaped
+   workloads, e.g. [bench:bzip2]. *)
+
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Config = Ppp_core.Config
+module H = Ppp_harness.Pipeline
+
+open Cmdliner
+
+let load_program spec ~scale =
+  match String.index_opt spec ':' with
+  | Some i when String.sub spec 0 i = "bench" ->
+      let name = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (Ppp_workloads.Spec.find name).Ppp_workloads.Spec.build ~scale
+  | _ -> Ppp_ir.Parse.program_of_file spec
+
+let program_arg =
+  let doc = "Input program: a .pir file, or bench:NAME for a built-in workload." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let scale_arg =
+  let doc = "Iteration scale for built-in workloads." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let handle_errors f =
+  try f () with
+  | Interp.Runtime_error msg ->
+      Format.eprintf "runtime error: %s@." msg;
+      exit 2
+  | Ppp_ir.Parse.Error msg | Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+  | Not_found ->
+      Format.eprintf "error: unknown benchmark@.";
+      exit 1
+  | Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+
+(* {2 run} *)
+
+let run_cmd =
+  let action spec scale =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let o = Interp.run p in
+        List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
+        Format.printf "return: %s@."
+          (match o.Interp.return_value with
+          | Some v -> string_of_int v
+          | None -> "(none)");
+        Format.printf "instructions: %d  cost: %d  paths: %d@." o.Interp.dyn_instrs
+          o.Interp.base_cost o.Interp.dyn_paths)
+  in
+  let doc = "Execute a program and print its output and statistics." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg $ scale_arg)
+
+(* {2 profile} *)
+
+let method_arg =
+  let methods =
+    [ ("pp", Config.pp); ("tpp", Config.tpp); ("tpp-check", Config.tpp_original);
+      ("ppp", Config.ppp) ]
+  in
+  let doc = "Profiling method: pp, tpp, tpp-check, or ppp." in
+  Arg.(value & opt (enum methods) Config.ppp & info [ "method"; "m" ] ~doc)
+
+let top_arg =
+  let doc = "How many hot paths to print." in
+  Arg.(value & opt int 10 & info [ "top" ] ~doc)
+
+let profile_cmd =
+  let action spec scale config top =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let prep = H.prepare_unoptimized ~name:spec p in
+        let ev = H.evaluate prep config in
+        Format.printf "method: %s@." ev.H.config_name;
+        Format.printf "overhead: %.1f%%  accuracy: %.1f%%  coverage: %.1f%%@."
+          (100. *. ev.H.overhead) (100. *. ev.H.accuracy) (100. *. ev.H.coverage);
+        Format.printf "dynamic paths instrumented: %.1f%% (%.1f%% hashed)@."
+          (100. *. ev.H.frac_paths_instrumented)
+          (100. *. ev.H.frac_paths_hashed);
+        Format.printf "routines instrumented: %d / %d  (static actions: %d)@."
+          ev.H.routines_instrumented ev.H.routines_total ev.H.static_actions;
+        let hot =
+          Ppp_flow.Score.hot_actual ~actual:(H.actual_profile prep)
+            ~views:(H.views prep) ~metric:Ppp_profile.Metric.Branch_flow
+            ~threshold:0.00125
+        in
+        Format.printf "@.hot paths (ground truth, branch flow):@.";
+        List.iteri
+          (fun i (rname, path, flow) ->
+            if i < top then
+              Format.printf "  %8d  %s %a@." flow rname
+                (Ppp_profile.Path.pp (H.views prep rname))
+                path)
+          hot)
+  in
+  let doc =
+    "Instrument a program with a path profiler, run it, and report \
+     overhead, accuracy and coverage plus the hot paths."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ method_arg $ top_arg)
+
+(* {2 instrument} *)
+
+let instrument_cmd =
+  let action spec scale config =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let o = Interp.run p in
+        let ep = Option.get o.Interp.edge_profile in
+        let inst = Ppp_core.Instrument.instrument p ep config in
+        List.iter
+          (fun (r : Ir.routine) ->
+            let plan = Hashtbl.find inst.Ppp_core.Instrument.plans r.Ir.name in
+            Format.printf "%a@.@." Ppp_core.Instrument.pp_plan plan)
+          p.Ir.routines)
+  in
+  let doc =
+    "Show the instrumentation a profiling method would place: per-edge      actions in the paper's notation, table kinds, elided obvious paths."
+  in
+  Cmd.v
+    (Cmd.info "instrument" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ method_arg)
+
+(* {2 collect} *)
+
+let collect_cmd =
+  let output_arg =
+    let doc = "Write the profile here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let action spec scale output =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let o = Interp.run p in
+        let write ppf =
+          Ppp_profile.Profile_io.save_edges ppf p (Option.get o.Interp.edge_profile);
+          Ppp_profile.Profile_io.save_paths ppf p (Option.get o.Interp.path_profile)
+        in
+        match output with
+        | None -> write Format.std_formatter
+        | Some path ->
+            let oc = open_out path in
+            let ppf = Format.formatter_of_out_channel oc in
+            write ppf;
+            Format.pp_print_flush ppf ();
+            close_out oc)
+  in
+  let doc = "Run a program and dump its edge and path profiles as text." in
+  Cmd.v (Cmd.info "collect" ~doc) Term.(const action $ program_arg $ scale_arg $ output_arg)
+
+(* {2 opt} *)
+
+let opt_cmd =
+  let output_arg =
+    let doc = "Write the optimized program here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let action spec scale output =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let prep = H.prepare ~name:spec p in
+        let text = Ppp_ir.Pp_ir.to_string prep.H.optimized in
+        (match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc
+        | None -> print_string text);
+        Format.eprintf
+          "inlined %d sites (%.0f%% of dynamic calls); unrolled %d loops (avg \
+           factor %.2f); speedup %.3f@."
+          prep.H.inline_stats.Ppp_opt.Inline.sites_inlined
+          (100. *. Ppp_opt.Inline.pct_dynamic_inlined prep.H.inline_stats)
+          prep.H.unroll_stats.Ppp_opt.Unroll.loops_unrolled
+          prep.H.unroll_stats.Ppp_opt.Unroll.avg_dynamic_factor
+          (float_of_int prep.H.orig_outcome.Interp.base_cost
+          /. float_of_int prep.H.base_outcome.Interp.base_cost))
+  in
+  let doc = "Apply profile-guided inlining and unrolling; print the result." in
+  Cmd.v (Cmd.info "opt" ~doc) Term.(const action $ program_arg $ scale_arg $ output_arg)
+
+(* {2 dot} *)
+
+let dot_cmd =
+  let routine_arg =
+    let doc = "Routine to dump (default: the main routine)." in
+    Arg.(value & opt (some string) None & info [ "routine"; "r" ] ~doc)
+  in
+  let action spec scale routine =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        let rname = Option.value routine ~default:p.Ir.main in
+        let r = Ir.routine p rname in
+        let view = Ppp_ir.Cfg_view.of_routine r in
+        let g = Ppp_ir.Cfg_view.graph view in
+        let label v =
+          match Ppp_ir.Cfg_view.block_of_node view v with
+          | Some b -> r.Ir.blocks.(b).Ir.label
+          | None -> "EXIT"
+        in
+        Ppp_cfg.Dot.pp ~node_label:label ~name:rname Format.std_formatter g)
+  in
+  let doc = "Print a routine's control-flow graph in Graphviz format." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const action $ program_arg $ scale_arg $ routine_arg)
+
+(* {2 emit (built-in workloads as .pir)} *)
+
+let emit_cmd =
+  let action spec scale =
+    handle_errors (fun () ->
+        let p = load_program spec ~scale in
+        print_string (Ppp_ir.Pp_ir.to_string p))
+  in
+  let doc = "Print a program (e.g. a built-in workload) as .pir text." in
+  Cmd.v (Cmd.info "emit" ~doc) Term.(const action $ program_arg $ scale_arg)
+
+(* {2 benches} *)
+
+let benches_cmd =
+  let action () =
+    List.iter
+      (fun (b : Ppp_workloads.Spec.bench) ->
+        Format.printf "%-10s (%s)@." b.Ppp_workloads.Spec.bench_name
+          (match b.Ppp_workloads.Spec.kind with
+          | Ppp_workloads.Spec.Int -> "integer"
+          | Ppp_workloads.Spec.Fp -> "floating-point"))
+      Ppp_workloads.Spec.all
+  in
+  let doc = "List the built-in SPEC2000-shaped workloads." in
+  Cmd.v (Cmd.info "benches" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "practical path profiling for dynamic optimizers" in
+  let info = Cmd.info "pppc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; profile_cmd; instrument_cmd; collect_cmd; opt_cmd; dot_cmd; emit_cmd; benches_cmd ]))

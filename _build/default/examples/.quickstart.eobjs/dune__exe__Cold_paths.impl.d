@@ -1,0 +1,1 @@
+examples/cold_paths.ml: Format Hashtbl Option Ppp_core Ppp_interp Ppp_ir Ppp_profile

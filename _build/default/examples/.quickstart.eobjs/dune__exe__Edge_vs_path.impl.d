@@ -1,0 +1,1 @@
+examples/edge_vs_path.ml: Array Format List Option Ppp_cfg Ppp_flow Ppp_interp Ppp_ir Ppp_opt Ppp_profile

@@ -1,0 +1,1 @@
+examples/edge_vs_path.mli:

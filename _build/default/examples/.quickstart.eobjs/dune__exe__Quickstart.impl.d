@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hashtbl List Option Ppp_cfg Ppp_core Ppp_flow Ppp_interp Ppp_ir Ppp_profile String

@@ -1,0 +1,1 @@
+examples/staged_optimizer.ml: Array Format Hashtbl List Option Ppp_core Ppp_harness Ppp_interp Ppp_ir Ppp_opt Ppp_workloads Sys

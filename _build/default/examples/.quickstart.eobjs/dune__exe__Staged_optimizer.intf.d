@@ -1,0 +1,1 @@
+examples/staged_optimizer.mli:

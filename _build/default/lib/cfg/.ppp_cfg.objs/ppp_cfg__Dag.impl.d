@@ -1,0 +1,1 @@
+lib/cfg/dag.ml: Array Graph Hashtbl List Order

@@ -1,0 +1,1 @@
+lib/cfg/dag.mli: Graph

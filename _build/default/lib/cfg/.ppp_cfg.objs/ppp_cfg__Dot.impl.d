@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Format Graph Option

@@ -1,0 +1,1 @@
+lib/cfg/order.ml: Array Graph List Option Queue

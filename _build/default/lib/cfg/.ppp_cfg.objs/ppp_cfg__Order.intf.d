@@ -1,0 +1,1 @@
+lib/cfg/order.mli: Graph

@@ -1,0 +1,151 @@
+type provenance =
+  | Original of Graph.edge
+  | Dummy_entry of Graph.node
+  | Dummy_exit of Graph.edge
+
+type t = {
+  dag : Graph.t;
+  entry : Graph.node;
+  exit : Graph.node;
+  provenance : provenance array;
+  original_to_dag : int array; (* CFG edge -> DAG edge, -1 if broken *)
+  entry_dummies : (Graph.node * Graph.edge) list; (* header -> shared dummy *)
+  exit_dummies : (Graph.edge * Graph.edge) list; (* broken edge -> dummy *)
+  header_backs : (Graph.node * Graph.edge list) list; (* back edges per header *)
+  broken : Graph.edge list;
+  topo : Graph.node list;
+}
+
+let convert g ~entry ~exit ~break =
+  let broken_set = Hashtbl.create 7 in
+  List.iter (fun e -> Hashtbl.replace broken_set e ()) break;
+  let dag = Graph.create () in
+  Graph.add_nodes dag (Graph.num_nodes g);
+  let provenance = ref [] in
+  let original_to_dag = Array.make (max 1 (Graph.num_edges g)) (-1) in
+  Graph.iter_edges g (fun e ->
+      if not (Hashtbl.mem broken_set e) then begin
+        let de = Graph.add_edge dag (Graph.src g e) (Graph.dst g e) in
+        original_to_dag.(e) <- de;
+        provenance := Original e :: !provenance
+      end);
+  let headers =
+    List.sort_uniq compare (List.map (fun b -> Graph.dst g b) break)
+  in
+  let entry_dummies =
+    List.filter_map
+      (fun h ->
+        if h = entry then None
+        else begin
+          let d = Graph.add_edge dag entry h in
+          provenance := Dummy_entry h :: !provenance;
+          Some (h, d)
+        end)
+      headers
+  in
+  let exit_dummies =
+    List.map
+      (fun b ->
+        let d = Graph.add_edge dag (Graph.src g b) exit in
+        provenance := Dummy_exit b :: !provenance;
+        (b, d))
+      break
+  in
+  let header_backs =
+    List.map (fun h -> (h, List.filter (fun b -> Graph.dst g b = h) break)) headers
+  in
+  let provenance = Array.of_list (List.rev !provenance) in
+  let topo =
+    match Order.topological dag with
+    | Some order -> order
+    | None -> invalid_arg "Dag.convert: breaking the given edges leaves a cycle"
+  in
+  {
+    dag;
+    entry;
+    exit;
+    provenance;
+    original_to_dag;
+    entry_dummies;
+    exit_dummies;
+    header_backs;
+    broken = break;
+    topo;
+  }
+
+let dag t = t.dag
+let entry t = t.entry
+let exit t = t.exit
+let provenance t e = t.provenance.(e)
+
+let of_original t e =
+  if e >= Array.length t.original_to_dag || t.original_to_dag.(e) < 0 then None
+  else Some t.original_to_dag.(e)
+
+let entry_dummy t h = List.assoc_opt h t.entry_dummies
+
+let exit_dummy t b = List.assoc_opt b t.exit_dummies
+
+let header_of_broken t b =
+  List.find_map
+    (fun (h, backs) -> if List.mem b backs then Some h else None)
+    t.header_backs
+
+let backs_of_header t h =
+  match List.assoc_opt h t.header_backs with Some backs -> backs | None -> []
+
+let broken t = t.broken
+
+let edge_freq t ~cfg_freq e =
+  match t.provenance.(e) with
+  | Original o -> cfg_freq o
+  | Dummy_exit b -> cfg_freq b
+  | Dummy_entry h ->
+      let backs = try List.assoc h t.header_backs with Not_found -> [] in
+      List.fold_left (fun acc b -> acc + cfg_freq b) 0 backs
+
+let dag_path_of_cfg_path t cfg_path =
+  match cfg_path with
+  | [] -> invalid_arg "Dag.dag_path_of_cfg_path: empty path"
+  | first :: _ ->
+      let rec translate = function
+        | [] -> []
+        | [ last ] -> (
+            match of_original t last with
+            | Some de -> [ de ]
+            | None -> (
+                match List.assoc_opt last t.exit_dummies with
+                | Some d -> [ d ]
+                | None -> invalid_arg "Dag.dag_path_of_cfg_path: unknown final edge"))
+        | e :: rest -> (
+            match of_original t e with
+            | Some de -> de :: translate rest
+            | None ->
+                invalid_arg
+                  "Dag.dag_path_of_cfg_path: broken edge in path interior")
+      in
+      let body = translate cfg_path in
+      (* A path starting anywhere but the entry starts at a loop header. *)
+      let start =
+        match of_original t first with
+        | Some de -> Graph.src t.dag de
+        | None -> Graph.src t.dag (List.assoc first t.exit_dummies)
+      in
+      if start = t.entry then body
+      else begin
+        match entry_dummy t start with
+        | Some d -> d :: body
+        | None ->
+            invalid_arg "Dag.dag_path_of_cfg_path: path starts at a non-header"
+      end
+
+let cfg_path_of_dag_path t dag_path =
+  List.filter_map
+    (fun e ->
+      match t.provenance.(e) with
+      | Original o -> Some o
+      | Dummy_exit b -> Some b
+      | Dummy_entry _ -> None)
+    dag_path
+
+let topological t = t.topo

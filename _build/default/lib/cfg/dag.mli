@@ -1,0 +1,72 @@
+(** CFG → DAG conversion for path profiling (Ball–Larus, Figure 1(a–b)).
+
+    Each breakable edge [tail -> header] is removed; a dummy edge
+    [tail -> exit] is added for it, and a dummy edge [entry -> header] is
+    added {e once per distinct header}. The entry dummy is shared because
+    a path beginning at a loop header is the same path no matter which
+    back edge restarted it, whereas a path ending in a back edge is
+    identified by that back edge. With this convention DAG paths
+    (entry to exit) correspond one-to-one with the acyclic CFG paths the
+    interpreter traces. Node identifiers are shared with the source
+    graph. *)
+
+type provenance =
+  | Original of Graph.edge  (** the same edge of the source CFG *)
+  | Dummy_entry of Graph.node
+      (** [entry -> header] dummy, shared by all back edges into [header] *)
+  | Dummy_exit of Graph.edge
+      (** [tail -> exit] dummy for the given broken edge *)
+
+type t
+
+val convert :
+  Graph.t -> entry:Graph.node -> exit:Graph.node -> break:Graph.edge list -> t
+(** [convert g ~entry ~exit ~break] builds the DAG. [break] must contain
+    every edge on a cycle (typically {!Loop.breakable_edges}).
+
+    @raise Invalid_argument if breaking the given edges leaves a cycle. *)
+
+val dag : t -> Graph.t
+val entry : t -> Graph.node
+val exit : t -> Graph.node
+
+val provenance : t -> Graph.edge -> provenance
+(** Provenance of a DAG edge. *)
+
+val of_original : t -> Graph.edge -> Graph.edge option
+(** The DAG edge corresponding to a CFG edge; [None] if it was broken. *)
+
+val exit_dummy : t -> Graph.edge -> Graph.edge option
+(** The [tail -> exit] dummy of a broken edge. *)
+
+val entry_dummy : t -> Graph.node -> Graph.edge option
+(** The shared [entry -> header] dummy of a header. [None] when the
+    header {e is} the entry: a path restarting at the entry block is the
+    same path as one started by an invocation, so no dummy is needed (and
+    one would be a self-loop). *)
+
+val header_of_broken : t -> Graph.edge -> Graph.node option
+(** The header (destination in the original CFG) of a broken edge. *)
+
+val backs_of_header : t -> Graph.node -> Graph.edge list
+(** The broken edges whose header is the given node. *)
+
+val broken : t -> Graph.edge list
+(** The edges that were broken, in the order given to {!convert}. *)
+
+val edge_freq : t -> cfg_freq:(Graph.edge -> int) -> Graph.edge -> int
+(** Lift a CFG edge profile onto DAG edges: an original edge keeps its
+    frequency, an exit dummy inherits its broken edge's frequency, and an
+    entry dummy gets the sum over the back edges into its header. *)
+
+val dag_path_of_cfg_path : t -> Graph.edge list -> Graph.edge list
+(** Translate an acyclic CFG path (as traced by the interpreter: ends
+    with a return edge or a back edge) into the corresponding
+    entry-to-exit DAG path. *)
+
+val cfg_path_of_dag_path : t -> Graph.edge list -> Graph.edge list
+(** Inverse of {!dag_path_of_cfg_path}: entry dummies disappear, an exit
+    dummy becomes its back edge. *)
+
+val topological : t -> Graph.node list
+(** A topological order of the DAG's nodes. *)

@@ -1,0 +1,62 @@
+type t = {
+  root : Graph.node;
+  idom : int array; (* node -> immediate dominator, -1 if none/unreachable *)
+  rpo_index : int array; (* node -> position in reverse postorder, -1 if unreachable *)
+}
+
+let compute g ~root =
+  let n = Graph.num_nodes g in
+  let rpo = Order.reverse_postorder g root in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i v -> rpo_index.(v) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let intersect u v =
+    (* Walk both fingers up the (partial) dominator tree until they meet;
+       comparisons are on reverse-postorder positions. *)
+    let u = ref u and v = ref v in
+    while !u <> !v do
+      while rpo_index.(!u) > rpo_index.(!v) do
+        u := idom.(!u)
+      done;
+      while rpo_index.(!v) > rpo_index.(!u) do
+        v := idom.(!v)
+      done
+    done;
+    !u
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> root then begin
+          let processed_preds =
+            List.filter
+              (fun p -> rpo_index.(p) >= 0 && idom.(p) >= 0)
+              (Graph.preds g v)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { root; idom; rpo_index }
+
+let reachable t v = t.rpo_index.(v) >= 0
+
+let idom t v =
+  if v = t.root || t.idom.(v) < 0 then None else Some t.idom.(v)
+
+let dominates t u v =
+  if not (reachable t u && reachable t v) then false
+  else begin
+    let rec walk w = if w = u then true else if w = t.root then false else walk t.idom.(w) in
+    walk v
+  end

@@ -1,0 +1,15 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t
+
+val compute : Graph.t -> root:Graph.node -> t
+(** Immediate dominators of all nodes reachable from [root]. *)
+
+val idom : t -> Graph.node -> Graph.node option
+(** Immediate dominator; [None] for the root and unreachable nodes. *)
+
+val dominates : t -> Graph.node -> Graph.node -> bool
+(** [dominates t u v] iff [u] dominates [v] (reflexive). Nodes unreachable
+    from the root dominate nothing and are dominated by nothing. *)
+
+val reachable : t -> Graph.node -> bool

@@ -1,0 +1,14 @@
+let pp ?node_label ?edge_label ?(name = "cfg") ppf g =
+  let node_label = Option.value node_label ~default:string_of_int in
+  let edge_label = Option.value edge_label ~default:(fun _ -> "") in
+  Format.fprintf ppf "@[<v 2>digraph %s {@," name;
+  Graph.iter_nodes g (fun v ->
+      Format.fprintf ppf "n%d [label=%S];@," v (node_label v));
+  Graph.iter_edges g (fun e ->
+      let label = edge_label e in
+      if label = "" then
+        Format.fprintf ppf "n%d -> n%d;@," (Graph.src g e) (Graph.dst g e)
+      else
+        Format.fprintf ppf "n%d -> n%d [label=%S];@," (Graph.src g e)
+          (Graph.dst g e) label);
+  Format.fprintf ppf "@]@,}@."

@@ -1,0 +1,11 @@
+(** Graphviz output for debugging and the [pppc dot] command. *)
+
+val pp :
+  ?node_label:(Graph.node -> string) ->
+  ?edge_label:(Graph.edge -> string) ->
+  ?name:string ->
+  Format.formatter ->
+  Graph.t ->
+  unit
+(** Print a [digraph]. Default node labels are the node numbers; default
+    edge labels are empty. *)

@@ -1,0 +1,102 @@
+type node = int
+type edge = int
+
+type t = {
+  mutable n_nodes : int;
+  mutable srcs : int array; (* edge id -> source node *)
+  mutable dsts : int array; (* edge id -> destination node *)
+  mutable n_edges : int;
+  mutable out_adj : edge list array; (* node -> out edges, reversed *)
+  mutable in_adj : edge list array; (* node -> in edges, reversed *)
+}
+
+let initial_capacity = 8
+
+let create () =
+  {
+    n_nodes = 0;
+    srcs = Array.make initial_capacity (-1);
+    dsts = Array.make initial_capacity (-1);
+    n_edges = 0;
+    out_adj = Array.make initial_capacity [];
+    in_adj = Array.make initial_capacity [];
+  }
+
+let grow arr used default =
+  if used < Array.length arr then arr
+  else begin
+    let bigger = Array.make (2 * Array.length arr) default in
+    Array.blit arr 0 bigger 0 used;
+    bigger
+  end
+
+let add_node g =
+  g.out_adj <- grow g.out_adj g.n_nodes [];
+  g.in_adj <- grow g.in_adj g.n_nodes [];
+  let id = g.n_nodes in
+  g.out_adj.(id) <- [];
+  g.in_adj.(id) <- [];
+  g.n_nodes <- id + 1;
+  id
+
+let add_nodes g n =
+  for _ = 1 to n do
+    ignore (add_node g)
+  done
+
+let add_edge g u v =
+  if u < 0 || u >= g.n_nodes || v < 0 || v >= g.n_nodes then
+    invalid_arg "Graph.add_edge: node out of range";
+  g.srcs <- grow g.srcs g.n_edges (-1);
+  g.dsts <- grow g.dsts g.n_edges (-1);
+  let id = g.n_edges in
+  g.srcs.(id) <- u;
+  g.dsts.(id) <- v;
+  g.n_edges <- id + 1;
+  g.out_adj.(u) <- id :: g.out_adj.(u);
+  g.in_adj.(v) <- id :: g.in_adj.(v);
+  id
+
+let num_nodes g = g.n_nodes
+let num_edges g = g.n_edges
+let src g e = g.srcs.(e)
+let dst g e = g.dsts.(e)
+let out_edges g v = List.rev g.out_adj.(v)
+let in_edges g v = List.rev g.in_adj.(v)
+let out_degree g v = List.length g.out_adj.(v)
+let in_degree g v = List.length g.in_adj.(v)
+let succs g v = List.map (fun e -> g.dsts.(e)) (out_edges g v)
+let preds g v = List.map (fun e -> g.srcs.(e)) (in_edges g v)
+
+let iter_edges g f =
+  for e = 0 to g.n_edges - 1 do
+    f e
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun e -> acc := f !acc e);
+  !acc
+
+let iter_nodes g f =
+  for v = 0 to g.n_nodes - 1 do
+    f v
+  done
+
+let find_edge g u v = List.find_opt (fun e -> dst g e = v) (out_edges g u)
+
+let copy g =
+  {
+    n_nodes = g.n_nodes;
+    srcs = Array.copy g.srcs;
+    dsts = Array.copy g.dsts;
+    n_edges = g.n_edges;
+    out_adj = Array.copy g.out_adj;
+    in_adj = Array.copy g.in_adj;
+  }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.n_nodes g.n_edges;
+  iter_edges g (fun e ->
+      Format.fprintf ppf "@,  e%d: %d -> %d" e g.srcs.(e) g.dsts.(e));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,98 @@
+let reachable g root =
+  let seen = Array.make (Graph.num_nodes g) false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (Graph.succs g v)
+    end
+  in
+  go root;
+  seen
+
+let co_reachable g sink =
+  let seen = Array.make (Graph.num_nodes g) false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (Graph.preds g v)
+    end
+  in
+  go sink;
+  seen
+
+(* Iterative DFS that records postorder; the work stack holds the node and
+   its remaining successor list so deep graphs cannot overflow the OCaml
+   stack. *)
+let postorder g root =
+  let n = Graph.num_nodes g in
+  if n = 0 then []
+  else begin
+    let seen = Array.make n false in
+    let order = ref [] in
+    let stack = ref [ (root, Graph.succs g root) ] in
+    seen.(root) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+          match succs with
+          | [] ->
+              order := v :: !order;
+              stack := rest
+          | w :: ws ->
+              stack := (v, ws) :: rest;
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := (w, Graph.succs g w) :: !stack
+              end)
+    done;
+    List.rev !order
+  end
+
+let reverse_postorder g root = List.rev (postorder g root)
+
+let topological g =
+  let n = Graph.num_nodes g in
+  let indeg = Array.make n 0 in
+  Graph.iter_edges g (fun e -> indeg.(Graph.dst g e) <- indeg.(Graph.dst g e) + 1);
+  let queue = Queue.create () in
+  Graph.iter_nodes g (fun v -> if indeg.(v) = 0 then Queue.add v queue);
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Graph.succs g v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let is_dag g = Option.is_some (topological g)
+
+type color = White | Grey | Black
+
+let retreating_edges g root =
+  let n = Graph.num_nodes g in
+  if n = 0 then []
+  else begin
+    let color = Array.make n White in
+    let result = ref [] in
+    let rec go v =
+      color.(v) <- Grey;
+      List.iter
+        (fun e ->
+          let w = Graph.dst g e in
+          match color.(w) with
+          | Grey -> result := e :: !result
+          | White -> go w
+          | Black -> ())
+        (Graph.out_edges g v);
+      color.(v) <- Black
+    in
+    go root;
+    List.rev !result
+  end

@@ -1,0 +1,26 @@
+(** Traversal orders and reachability over {!Graph.t}. *)
+
+val reachable : Graph.t -> Graph.node -> bool array
+(** [reachable g root] marks nodes reachable from [root] along edges. *)
+
+val co_reachable : Graph.t -> Graph.node -> bool array
+(** [co_reachable g sink] marks nodes from which [sink] is reachable. *)
+
+val postorder : Graph.t -> Graph.node -> Graph.node list
+(** DFS postorder of the nodes reachable from the root. Successors are
+    visited in [out_edges] order. *)
+
+val reverse_postorder : Graph.t -> Graph.node -> Graph.node list
+(** Reverse DFS postorder; for a DAG this is a topological order. *)
+
+val topological : Graph.t -> Graph.node list option
+(** Kahn topological sort over the whole graph. [None] if the graph has a
+    cycle. Unreachable nodes are included. *)
+
+val is_dag : Graph.t -> bool
+
+val retreating_edges : Graph.t -> Graph.node -> Graph.edge list
+(** Edges [u -> v] such that [v] is an ancestor of [u] in (or equal to a
+    node on the stack of) the DFS from the root: removing them leaves the
+    reachable subgraph acyclic. For reducible graphs these are exactly the
+    natural back edges. *)

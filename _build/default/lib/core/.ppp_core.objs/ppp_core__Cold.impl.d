@@ -1,0 +1,1 @@
+lib/core/cold.ml: Array Hashtbl List Ppp_cfg Ppp_flow Ppp_ir

@@ -1,0 +1,1 @@
+lib/core/cold.mli: Ppp_cfg Ppp_flow

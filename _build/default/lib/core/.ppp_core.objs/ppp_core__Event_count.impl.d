@@ -1,0 +1,1 @@
+lib/core/event_count.ml: Array List Numbering Ppp_cfg Ppp_flow

@@ -1,0 +1,1 @@
+lib/core/event_count.mli: Numbering Ppp_cfg Ppp_flow

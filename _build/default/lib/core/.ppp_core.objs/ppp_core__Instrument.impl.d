@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Cold Config Event_count Format Hashtbl List Numbering Option Place Ppp_cfg Ppp_flow Ppp_interp Ppp_ir Ppp_profile Printf String

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Config Format Hashtbl Numbering Place Ppp_flow Ppp_interp Ppp_ir Ppp_profile

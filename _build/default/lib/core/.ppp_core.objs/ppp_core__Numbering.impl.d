@@ -1,0 +1,1 @@
+lib/core/numbering.ml: Array List Ppp_cfg Ppp_flow Printf

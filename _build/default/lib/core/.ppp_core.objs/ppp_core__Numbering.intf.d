@@ -1,0 +1,1 @@
+lib/core/numbering.mli: Ppp_cfg Ppp_flow

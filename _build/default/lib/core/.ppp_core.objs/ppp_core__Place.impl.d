@@ -1,0 +1,1 @@
+lib/core/place.ml: Array Config Event_count List Numbering Ppp_cfg Ppp_flow Ppp_interp Ppp_ir

@@ -1,0 +1,1 @@
+lib/core/place.mli: Config Event_count Numbering Ppp_cfg Ppp_flow Ppp_interp

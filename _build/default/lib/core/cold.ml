@@ -1,0 +1,184 @@
+module Graph = Ppp_cfg.Graph
+module Dag = Ppp_cfg.Dag
+module Loop = Ppp_cfg.Loop
+module Routine_ctx = Ppp_flow.Routine_ctx
+
+let all_hot ctx =
+  Array.make (max 1 (Graph.num_edges (Routine_ctx.graph ctx))) true
+
+(* Reachability from the entry / co-reachability to the exit restricted to
+   hot edges. *)
+let close_hot ctx hot =
+  let g = Routine_ctx.graph ctx in
+  let n = Graph.num_nodes g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let fwd = Array.make n false in
+    let rec down v =
+      if not fwd.(v) then begin
+        fwd.(v) <- true;
+        List.iter
+          (fun e -> if hot.(e) then down (Graph.dst g e))
+          (Graph.out_edges g v)
+      end
+    in
+    down (Routine_ctx.entry ctx);
+    let bwd = Array.make n false in
+    let rec up v =
+      if not bwd.(v) then begin
+        bwd.(v) <- true;
+        List.iter (fun e -> if hot.(e) then up (Graph.src g e)) (Graph.in_edges g v)
+      end
+    in
+    up (Routine_ctx.exit ctx);
+    Graph.iter_edges g (fun e ->
+        if hot.(e) && not (fwd.(Graph.src g e) && bwd.(Graph.dst g e)) then begin
+          hot.(e) <- false;
+          changed := true
+        end)
+  done
+
+let mark ctx ~local_ratio ~global_cutoff ~extra_cold =
+  let g = Routine_ctx.graph ctx in
+  let hot = Array.make (max 1 (Graph.num_edges g)) true in
+  let freq_criteria_active = local_ratio <> None || global_cutoff <> None in
+  Graph.iter_edges g (fun e ->
+      let f = Routine_ctx.freq ctx e in
+      let src_flow = Routine_ctx.node_flow ctx (Graph.src g e) in
+      let local_cold =
+        match local_ratio with
+        | Some ratio -> float_of_int f < ratio *. float_of_int src_flow
+        | None -> false
+      in
+      let global_cold =
+        match global_cutoff with Some cut -> f < cut | None -> false
+      in
+      if local_cold || global_cold || (freq_criteria_active && f = 0) then
+        hot.(e) <- false);
+  List.iter (fun e -> hot.(e) <- false) extra_cold;
+  close_hot ctx hot;
+  hot
+
+(* A loop body is "all obvious" when every iteration path (header to a
+   back edge) contains a defining edge: an edge on exactly one iteration
+   path. Paths here are counted inside the body sub-DAG, with each back
+   edge acting as a terminal edge to a virtual sink. *)
+let body_all_obvious ctx (l : Loop.loop) =
+  let g_cfg = Ppp_ir.Cfg_view.graph (Routine_ctx.view ctx) in
+  let in_body = Hashtbl.create 17 in
+  List.iter (fun v -> Hashtbl.replace in_body v ()) l.Loop.body;
+  let is_back e = List.mem e l.Loop.back_edges in
+  let body_edges v =
+    List.filter
+      (fun e -> (not (is_back e)) && Hashtbl.mem in_body (Graph.dst g_cfg e))
+      (Graph.out_edges g_cfg v)
+  in
+  (* The body minus back edges is acyclic only if the loop has no inner
+     loop; with inner loops this traversal would diverge, so detect
+     cycles and bail out (such loops are not "obvious"). *)
+  let suff = Hashtbl.create 17 in
+  let on_stack = Hashtbl.create 17 in
+  let exception Cyclic in
+  let rec suffixes v =
+    match Hashtbl.find_opt suff v with
+    | Some s -> s
+    | None ->
+        if Hashtbl.mem on_stack v then raise Cyclic;
+        Hashtbl.replace on_stack v ();
+        let from_backs =
+          List.length (List.filter is_back (Graph.out_edges g_cfg v))
+        in
+        let s =
+          List.fold_left
+            (fun acc e -> acc + suffixes (Graph.dst g_cfg e))
+            from_backs (body_edges v)
+        in
+        Hashtbl.remove on_stack v;
+        Hashtbl.replace suff v s;
+        s
+  in
+  let pref = Hashtbl.create 17 in
+  let rec prefixes v =
+    match Hashtbl.find_opt pref v with
+    | Some p -> p
+    | None ->
+        let p =
+          if v = l.Loop.header then 1
+          else
+            List.fold_left
+              (fun acc e ->
+                if
+                  (not (is_back e))
+                  && Hashtbl.mem in_body (Graph.src g_cfg e)
+                  && Hashtbl.mem in_body v
+                then acc + prefixes (Graph.src g_cfg e)
+                else acc)
+              0 (Graph.in_edges g_cfg v)
+        in
+        Hashtbl.replace pref v p;
+        p
+  in
+  try
+    let total = suffixes l.Loop.header in
+    if total = 0 then false
+    else begin
+      let defining e =
+        if is_back e then prefixes (Graph.src g_cfg e) = 1
+        else prefixes (Graph.src g_cfg e) * suffixes (Graph.dst g_cfg e) = 1
+      in
+      (* Count iteration paths that avoid every defining edge. *)
+      let avoid = Hashtbl.create 17 in
+      let rec avoiding v =
+        match Hashtbl.find_opt avoid v with
+        | Some a -> a
+        | None ->
+            let from_backs =
+              List.length
+                (List.filter
+                   (fun e -> is_back e && not (defining e))
+                   (Graph.out_edges g_cfg v))
+            in
+            let a =
+              List.fold_left
+                (fun acc e ->
+                  if defining e then acc else acc + avoiding (Graph.dst g_cfg e))
+                from_backs (body_edges v)
+            in
+            Hashtbl.replace avoid v a;
+            a
+      in
+      avoiding l.Loop.header = 0
+    end
+  with Cyclic -> false
+
+let obvious_loop_cold_edges ctx ~trip_threshold =
+  let g_cfg = Ppp_ir.Cfg_view.graph (Routine_ctx.view ctx) in
+  let dag = Routine_ctx.dag ctx in
+  let loops = Routine_ctx.loops ctx in
+  let cold = ref [] in
+  let add e = cold := e :: !cold in
+  List.iter
+    (fun (l : Loop.loop) ->
+      let trips =
+        Loop.avg_trip_count loops l ~freq:(fun e -> Routine_ctx.cfg_freq ctx e)
+      in
+      if trips >= trip_threshold && body_all_obvious ctx l then begin
+        let in_body = Hashtbl.create 17 in
+        List.iter (fun v -> Hashtbl.replace in_body v ()) l.Loop.body;
+        (* Dummies of the loop's back edges and header. *)
+        (match Dag.entry_dummy dag l.Loop.header with Some d -> add d | None -> ());
+        List.iter
+          (fun b -> match Dag.exit_dummy dag b with Some d -> add d | None -> ())
+          l.Loop.back_edges;
+        (* Loop-entry edges (into the header from outside) and loop-exit
+           edges (from the body to the outside), as DAG edges. *)
+        Graph.iter_edges g_cfg (fun e ->
+            let u = Graph.src g_cfg e and v = Graph.dst g_cfg e in
+            let enters = v = l.Loop.header && not (Hashtbl.mem in_body u) in
+            let exits = Hashtbl.mem in_body u && not (Hashtbl.mem in_body v) in
+            if enters || exits then
+              match Dag.of_original dag e with Some de -> add de | None -> ())
+      end)
+    (Loop.loops loops);
+  List.sort_uniq compare !cold

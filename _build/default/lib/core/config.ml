@@ -1,0 +1,101 @@
+type cold_strategy = No_cold_removal | If_escapes_hash | Always
+type poisoning = Free | Check
+
+type t = {
+  name : string;
+  cold : cold_strategy;
+  local_ratio : float;
+  global_fraction : float option;
+  self_adjust : bool;
+  sa_multiplier : float;
+  obvious_loops : bool;
+  obvious_trip : float;
+  low_coverage_skip : float option;
+  push_past_cold : bool;
+  smart_numbering : bool;
+  poisoning : poisoning;
+  elide_obvious : bool;
+  hash_threshold : int;
+  sa_max_iters : int;
+}
+
+let pp =
+  {
+    name = "pp";
+    cold = No_cold_removal;
+    local_ratio = 0.05;
+    global_fraction = None;
+    self_adjust = false;
+    sa_multiplier = 1.5;
+    obvious_loops = false;
+    obvious_trip = 10.0;
+    low_coverage_skip = None;
+    push_past_cold = false;
+    smart_numbering = false;
+    poisoning = Free;
+    elide_obvious = false;
+    hash_threshold = 4000;
+    sa_max_iters = 20;
+  }
+
+let tpp =
+  {
+    pp with
+    name = "tpp";
+    cold = If_escapes_hash;
+    obvious_loops = true;
+    elide_obvious = true;
+    poisoning = Free;
+  }
+
+let tpp_original = { tpp with name = "tpp-original"; poisoning = Check }
+
+let ppp =
+  {
+    tpp with
+    name = "ppp";
+    cold = Always;
+    global_fraction = Some 0.001;
+    self_adjust = true;
+    low_coverage_skip = Some 0.75;
+    push_past_cold = true;
+    smart_numbering = true;
+    poisoning = Free;
+  }
+
+type technique = SAC | FP | Push | SPN | LC
+
+let ppp_without = function
+  | SAC ->
+      { ppp with name = "ppp-sac"; global_fraction = None; self_adjust = false }
+  | FP -> { ppp with name = "ppp-fp"; poisoning = Check }
+  | Push -> { ppp with name = "ppp-push"; push_past_cold = false }
+  | SPN -> { ppp with name = "ppp-spn"; smart_numbering = false }
+  | LC -> { ppp with name = "ppp-lc"; low_coverage_skip = None }
+
+let tpp_plus technique =
+  (* TPP plus exactly one of PPP's techniques. Those that only matter
+     with aggressive cold removal (SAC, FP) bring it along, as the paper
+     couples them. *)
+  match technique with
+  | SAC ->
+      {
+        tpp with
+        name = "tpp+sac";
+        cold = Always;
+        global_fraction = ppp.global_fraction;
+        self_adjust = true;
+      }
+  | FP -> { tpp_original with name = "tpp+fp"; poisoning = Free }
+  | Push -> { tpp with name = "tpp+push"; push_past_cold = true }
+  | SPN -> { tpp with name = "tpp+spn"; smart_numbering = true }
+  | LC -> { tpp with name = "tpp+lc"; low_coverage_skip = ppp.low_coverage_skip }
+
+let technique_name = function
+  | SAC -> "SAC"
+  | FP -> "FP"
+  | Push -> "Push"
+  | SPN -> "SPN"
+  | LC -> "LC"
+
+let all_techniques = [ SAC; FP; Push; SPN; LC ]

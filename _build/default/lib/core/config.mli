@@ -1,0 +1,75 @@
+(** Instrumenter configuration: one record of knobs covers PP, TPP, PPP
+    and every Figure-13 leave-one-out ablation. The named constants use
+    the parameter values of Section 7.4. *)
+
+type cold_strategy =
+  | No_cold_removal  (** PP: instrument every path *)
+  | If_escapes_hash
+      (** TPP: remove cold paths only when that lets the routine use an
+          array instead of a hash table (Section 3.2) *)
+  | Always  (** PPP: free poisoning makes cold removal always pay
+                (Section 4.6) *)
+
+type poisoning =
+  | Free  (** map cold paths into [N, 3N-1]; no runtime check
+              (Section 4.6) *)
+  | Check  (** original TPP: negative poison value plus a test at every
+               path end *)
+
+type t = {
+  name : string;
+  cold : cold_strategy;
+  local_ratio : float;
+      (** edge cold if [freq < ratio * freq(source block)]; 0.05 *)
+  global_fraction : float option;
+      (** PPP: edge cold if below this fraction of total program unit
+          flow; 0.001 (Section 4.2) *)
+  self_adjust : bool;  (** Section 4.3 *)
+  sa_multiplier : float;  (** 1.5: grow the global criterion by 50% *)
+  obvious_loops : bool;
+      (** disconnect obvious-bodied high-trip-count loops (Section 3.2) *)
+  obvious_trip : float;  (** 10.0 *)
+  low_coverage_skip : float option;
+      (** PPP: skip routines whose edge-profile coverage is at least this;
+          0.75 (Section 4.1) *)
+  push_past_cold : bool;  (** PPP: ignore cold edges when pushing
+                              (Section 4.4) *)
+  smart_numbering : bool;  (** PPP: Figure 6 numbering + profile-weighted
+                               spanning tree (Section 4.5) *)
+  poisoning : poisoning;
+  elide_obvious : bool;
+      (** remove [count\[k\]++] from defining edges of obvious paths *)
+  hash_threshold : int;  (** 4000 possible paths (Section 7.4) *)
+  sa_max_iters : int;
+      (** give up self-adjusting after this many iterations (the paper
+          observed at most four were ever needed) *)
+}
+
+val pp : t
+(** Ball–Larus path profiling (Section 3.1). *)
+
+val tpp : t
+(** Targeted path profiling as this paper evaluates it (Section 7.4:
+    with free poisoning substituted for the original's check). *)
+
+val tpp_original : t
+(** TPP with its original check-based poisoning. *)
+
+val ppp : t
+(** Practical path profiling with all six techniques. *)
+
+type technique = SAC | FP | Push | SPN | LC
+(** The Figure 13 ablation axes: self-adjusting global cold-edge
+    criterion (with the global criterion itself, as the paper couples
+    them), free poisoning, aggressive pushing, smart path numbering, and
+    low-coverage-only instrumentation. *)
+
+val ppp_without : technique -> t
+(** Leave-one-out: PPP with one technique disabled (Figure 13). *)
+
+val tpp_plus : technique -> t
+(** One-at-a-time: TPP with a single PPP technique enabled (the
+    methodology of Section 8.3's closing paragraph). *)
+
+val technique_name : technique -> string
+val all_techniques : technique list

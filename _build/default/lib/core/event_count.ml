@@ -1,0 +1,87 @@
+module Graph = Ppp_cfg.Graph
+module Routine_ctx = Ppp_flow.Routine_ctx
+
+type t = {
+  init : int;
+  incs : int array; (* DAG edge -> increment *)
+  chord : bool array;
+}
+
+(* Union-find for Kruskal. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let compute ctx ~hot ~numbering ~weight =
+  let g = Routine_ctx.graph ctx in
+  let n = Graph.num_nodes g in
+  let nedges = Graph.num_edges g in
+  let hot_edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc e -> if hot.(e) then e :: acc else acc)
+  in
+  let sorted = List.stable_sort (fun a b -> compare (weight b) (weight a)) hot_edges in
+  let parent = Array.init n (fun i -> i) in
+  let in_tree = Array.make (max 1 nedges) false in
+  List.iter
+    (fun e ->
+      let u = find parent (Graph.src g e) and v = find parent (Graph.dst g e) in
+      if u <> v then begin
+        parent.(u) <- v;
+        in_tree.(e) <- true
+      end)
+    sorted;
+  (* Node potentials over the (undirected) spanning forest: crossing a
+     tree edge u -> v in its own direction adds Val. *)
+  let phi = Array.make n 0 in
+  let visited = Array.make n false in
+  let tree_adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      if in_tree.(e) then begin
+        let u = Graph.src g e and v = Graph.dst g e in
+        tree_adj.(u) <- (e, v, true) :: tree_adj.(u);
+        tree_adj.(v) <- (e, u, false) :: tree_adj.(v)
+      end)
+    hot_edges;
+  let rec dfs v =
+    visited.(v) <- true;
+    List.iter
+      (fun (e, w, forward) ->
+        if not visited.(w) then begin
+          let dv = Numbering.value numbering e in
+          phi.(w) <- (if forward then phi.(v) + dv else phi.(v) - dv);
+          dfs w
+        end)
+      tree_adj.(v)
+  in
+  (* Root the potential at the entry so phi(entry) = 0; other components
+     (cold islands) get their own zero-based potentials. *)
+  dfs (Routine_ctx.entry ctx);
+  for v = 0 to n - 1 do
+    if not visited.(v) then dfs v
+  done;
+  let incs = Array.make (max 1 nedges) 0 in
+  let chord = Array.make (max 1 nedges) false in
+  List.iter
+    (fun e ->
+      if not in_tree.(e) then begin
+        chord.(e) <- true;
+        let u = Graph.src g e and v = Graph.dst g e in
+        incs.(e) <- Numbering.value numbering e + phi.(u) - phi.(v)
+      end)
+    hot_edges;
+  { init = phi.(Routine_ctx.exit ctx); incs; chord }
+
+let init t = t.init
+let inc t e = t.incs.(e)
+let is_chord t e = t.chord.(e)
+let sum_along t path = List.fold_left (fun acc e -> acc + t.incs.(e)) t.init path

@@ -1,0 +1,39 @@
+(** Ball's event-counting reassignment of edge values (Section 3.1).
+
+    Picks a maximum-weight spanning tree of the (undirected view of the)
+    hot sub-DAG and moves all increments onto the chords, so predicted
+    high-frequency edges carry no instrumentation. With node potentials
+    [phi] computed over the tree (crossing a tree edge [u -> v] adds
+    [Val]), each chord gets [inc = Val + phi(src) - phi(dst)], and every
+    entry-to-exit path satisfies
+
+    {v Σ Val(e) = phi(exit) + Σ inc(e) v}
+
+    so initializing the path register to [phi(exit)] instead of 0 keeps
+    every path number unchanged. The conceptual [exit -> entry] dummy of
+    the original algorithm is exactly this initialization and is never
+    materialized.
+
+    PP and TPP weight the tree with the static heuristic profile; PPP's
+    smart numbering (Section 4.5) uses the measured edge profile. *)
+
+type t
+
+val compute :
+  Ppp_flow.Routine_ctx.t ->
+  hot:bool array ->
+  numbering:Numbering.t ->
+  weight:(Ppp_cfg.Graph.edge -> float) ->
+  t
+
+val init : t -> int
+(** [phi(exit)]: the value the path register starts from. *)
+
+val inc : t -> Ppp_cfg.Graph.edge -> int
+(** Increment of a hot DAG edge; 0 on spanning-tree edges. *)
+
+val is_chord : t -> Ppp_cfg.Graph.edge -> bool
+
+val sum_along : t -> Ppp_cfg.Graph.edge list -> int
+(** [init t + Σ inc]: must equal the Figure-2 path number (property
+    tested). *)

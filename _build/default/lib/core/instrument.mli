@@ -1,0 +1,63 @@
+(** The PP / TPP / PPP instrumenter front end (Sections 3 and 4).
+
+    Given a program, a prior edge profile (the "self advice" of
+    Section 7.2) and a {!Config.t}, decides per routine whether and how to
+    instrument, and produces both the runtime instrumentation for
+    {!Ppp_interp.Interp} and the bookkeeping needed to decode measured
+    counts and to classify paths as instrumented or not. *)
+
+type reason =
+  | Never_executed  (** the prior profile shows no executions *)
+  | Low_coverage of float
+      (** PPP Section 4.1: edge-profile coverage met the threshold *)
+  | No_hot_paths  (** every edge went cold *)
+  | All_obvious  (** placement eliminated every action *)
+
+type decision =
+  | Uninstrumented of reason
+  | Instrumented of {
+      hot : bool array;  (** DAG edge -> hot *)
+      numbering : Numbering.t;
+      place : Place.result;
+      sa_iters : int;  (** self-adjusting iterations taken (Section 4.3) *)
+      uses_hash : bool;
+    }
+
+type routine_plan = {
+  routine_name : string;
+  ctx : Ppp_flow.Routine_ctx.t;
+  decision : decision;
+}
+
+type t = {
+  config : Config.t;
+  plans : (string, routine_plan) Hashtbl.t;
+  rt : Ppp_interp.Instr_rt.t;  (** feed this to the interpreter *)
+}
+
+val instrument :
+  Ppp_ir.Ir.program -> Ppp_profile.Edge_profile.program -> Config.t -> t
+
+val has_any_instrumentation : t -> bool
+(** False when no routine received any action (the paper's swim/mgrid
+    case, Section 6.1). *)
+
+(** {2 Path bookkeeping} *)
+
+val decoded_path : routine_plan -> int -> Ppp_profile.Path.t option
+(** The CFG path measured under a given path number; [None] for cold
+    (out-of-range) numbers, elided obvious paths, or uninstrumented
+    routines. *)
+
+val path_status :
+  routine_plan -> Ppp_profile.Path.t -> [ `Instrumented of int | `Uninstrumented ]
+(** Whether an acyclic CFG path is in [P_instr] (and under which number)
+    or in [P_uninstr] (Section 5). *)
+
+val static_instr_count : t -> int
+(** Total number of placed instrumentation actions, for reporting. *)
+
+val pp_plan : Format.formatter -> routine_plan -> unit
+(** Human-readable dump of one routine's instrumentation: the decision,
+    table kind, path count, elided obvious paths, and every edge's
+    actions in the paper's notation (Figure 1(g) style). *)

@@ -1,0 +1,40 @@
+(** Path numbering (Figure 2, and Figure 6's smart variant).
+
+    On the hot sub-DAG, assigns [Val] to each hot edge so that the edge
+    values along each entry-to-exit path sum to a unique number in
+    [\[0, N-1\]], where [N] is the number of hot paths. Ball–Larus order
+    numbers a block's outgoing edges by increasing [NumPaths] of the
+    target; smart numbering (PPP, Section 4.5) numbers them by decreasing
+    execution frequency, so the hottest outgoing edge gets value 0. *)
+
+type order =
+  | Ball_larus
+  | Freq_decreasing of (Ppp_cfg.Graph.edge -> float)
+
+type t
+
+val compute : Ppp_flow.Routine_ctx.t -> hot:bool array -> order:order -> t
+(** [hot] is indexed by DAG edge. Nodes with no hot path to the exit must
+    have had their edges pruned (see {!Cold.close_hot}); their [NumPaths]
+    is 0. *)
+
+val num_paths : t -> int
+(** [N]: NumPaths at the entry node. *)
+
+val num_paths_at : t -> Ppp_cfg.Graph.node -> int
+val value : t -> Ppp_cfg.Graph.edge -> int
+(** [Val] of a hot DAG edge (0 for cold edges). *)
+
+val prefix_count : t -> Ppp_cfg.Graph.node -> int
+(** Number of hot entry-to-node path prefixes; [paths_through e =
+    prefix_count (src e) * num_paths_at (dst e)], and an edge with
+    exactly one path through it is a defining edge (Section 3.2). *)
+
+val paths_through : t -> Ppp_cfg.Graph.edge -> int
+
+val decode : t -> int -> Ppp_cfg.Graph.edge list
+(** The DAG path with the given number.
+    @raise Invalid_argument if out of [\[0, N-1\]]. *)
+
+val number_of_path : t -> Ppp_cfg.Graph.edge list -> int
+(** Sum of [Val] along a hot DAG path (the path's number). *)

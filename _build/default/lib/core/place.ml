@@ -1,0 +1,277 @@
+module Graph = Ppp_cfg.Graph
+module Dag = Ppp_cfg.Dag
+module Cfg_view = Ppp_ir.Cfg_view
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Instr_rt = Ppp_interp.Instr_rt
+
+type input = {
+  ctx : Routine_ctx.t;
+  hot : bool array;
+  numbering : Numbering.t;
+  ev : Event_count.t;
+  push_past_cold : bool;
+  elide_obvious : bool;
+  poisoning : Config.poisoning;
+  use_hash : bool;
+}
+
+type result = {
+  rt : Instr_rt.routine_instr;
+  elided : (int * Graph.edge) list;
+  table_size : int;
+  num_actions : int;
+}
+
+type regop = RSet of int | RAdd of int
+
+type cntop =
+  | CntR  (** count[r]++, still pushable *)
+  | CntRk of int  (** count[r+k]++: combined with an increment; final *)
+  | CntK of int  (** count[k]++: fully combined; final *)
+
+type site = { mutable reg : regop option; mutable cnt : cntop option }
+
+(* Fold a site's register op into its count when the count reads the path
+   register; afterwards an edge never carries both a register op and an
+   r-reading count. Correctness argument for dropping the register op: a
+   count on an edge means every hot path through it ends its counting
+   there, with no instrumentation beyond, so r is dead after the fold. *)
+let normalize s =
+  match (s.reg, s.cnt) with
+  | Some (RSet c), Some CntR ->
+      s.reg <- None;
+      s.cnt <- Some (CntK c)
+  | Some (RSet c), Some (CntRk k) ->
+      s.reg <- None;
+      s.cnt <- Some (CntK (c + k))
+  | Some (RAdd d), Some CntR ->
+      s.reg <- None;
+      s.cnt <- Some (CntRk d)
+  | Some (RAdd d), Some (CntRk k) ->
+      s.reg <- None;
+      s.cnt <- Some (CntRk (d + k))
+  | _ -> ()
+
+let place inp =
+  let ctx = inp.ctx in
+  let g = Routine_ctx.graph ctx in
+  let entry = Routine_ctx.entry ctx in
+  let exit = Routine_ctx.exit ctx in
+  let nedges = Graph.num_edges g in
+  let hot = inp.hot in
+  let n_paths = Numbering.num_paths inp.numbering in
+  let sites = Array.init (max 1 nedges) (fun _ -> { reg = None; cnt = None }) in
+  (* Naive placement: initialization on the entry's hot out-edges (folded
+     with their own increments), increments on chords, counts on hot exit
+     in-edges. *)
+  let init = Event_count.init inp.ev in
+  List.iter
+    (fun e ->
+      if hot.(e) then sites.(e).reg <- Some (RSet (init + Event_count.inc inp.ev e)))
+    (Graph.out_edges g entry);
+  Graph.iter_edges g (fun e ->
+      if hot.(e) && Graph.src g e <> entry then begin
+        let i = Event_count.inc inp.ev e in
+        if i <> 0 then sites.(e).reg <- Some (RAdd i)
+      end);
+  List.iter
+    (fun e ->
+      if hot.(e) then begin
+        sites.(e).cnt <- Some CntR;
+        normalize sites.(e)
+      end)
+    (Graph.in_edges g exit);
+  (* An edge is ignorable at a merge test when it is cold and we are
+     allowed to push past cold edges (Section 4.4). *)
+  let relevant e = hot.(e) || not inp.push_past_cold in
+  let relevant_in v = List.filter relevant (Graph.in_edges g v) in
+  let relevant_out v = List.filter relevant (Graph.out_edges g v) in
+  let hot_out v = List.filter (fun e -> hot.(e)) (Graph.out_edges g v) in
+  let hot_in v = List.filter (fun e -> hot.(e)) (Graph.in_edges g v) in
+  (* Phase 1: push initializations down (Figure 1(f), left part). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Graph.iter_edges g (fun e ->
+        match sites.(e).reg with
+        | Some (RSet c) when sites.(e).cnt = None && hot.(e) ->
+            let v = Graph.dst g e in
+            if v <> exit && relevant_in v = [ e ] then begin
+              sites.(e).reg <- None;
+              List.iter
+                (fun o ->
+                  let so = sites.(o) in
+                  (match so.reg with
+                  | None -> so.reg <- Some (RSet c)
+                  | Some (RAdd d) -> so.reg <- Some (RSet (c + d))
+                  | Some (RSet _) ->
+                      invalid_arg "Place: two initializations on one edge");
+                  normalize so)
+                (hot_out v);
+              changed := true
+            end
+        | _ -> ())
+  done;
+  (* Phase 2: push counts up. Only the uncombined count[r]++ moves; a
+     combined count[r+k]++ has met its increment and stops (Section 3.1). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Graph.iter_edges g (fun e ->
+        match sites.(e).cnt with
+        | Some CntR when sites.(e).reg = None && hot.(e) ->
+            let u = Graph.src g e in
+            if u <> entry && relevant_out u = [ e ] then begin
+              sites.(e).cnt <- None;
+              List.iter
+                (fun i ->
+                  let si = sites.(i) in
+                  if si.cnt <> None then
+                    invalid_arg "Place: two counts on one edge";
+                  si.cnt <- Some CntR;
+                  normalize si)
+                (hot_in u);
+              changed := true
+            end
+        | _ -> ())
+  done;
+  (* Obvious-path elision: a fully combined count[k]++ sits on the unique
+     (defining) edge of path k; the edge profile already measures it. *)
+  let elided = ref [] in
+  if inp.elide_obvious then
+    Graph.iter_edges g (fun e ->
+        match sites.(e).cnt with
+        | Some (CntK k) ->
+            assert (Numbering.paths_through inp.numbering e <= 1);
+            sites.(e).cnt <- None;
+            elided := (k, e) :: !elided
+        | _ -> ());
+  (* Poisoning (Section 4.6). For free poisoning we need, per node, the
+     range of additive contributions a poisoned register accumulates on
+     hot continuations before being counted; paths that re-initialize the
+     register (an RSet) or count a constant do not observe the poison. *)
+  let range = Array.make (Graph.num_nodes g) None in
+  let combine a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (lo1, hi1), Some (lo2, hi2) -> Some (min lo1 lo2, max hi1 hi2)
+  in
+  let edge_range e =
+    let s = sites.(e) in
+    match s.reg with
+    | Some (RSet _) -> None
+    | _ -> (
+        let base = match s.reg with Some (RAdd d) -> d | _ -> 0 in
+        match s.cnt with
+        | Some CntR -> Some (base, base)
+        | Some (CntRk k) -> Some (base + k, base + k)
+        | Some (CntK _) -> None
+        | None -> (
+            match range.(Graph.dst g e) with
+            | Some (lo, hi) -> Some (lo + base, hi + base)
+            | None -> None))
+  in
+  List.iter
+    (fun v ->
+      if v <> exit then
+        range.(v) <-
+          List.fold_left (fun acc e -> combine acc (edge_range e)) None (hot_out v))
+    (List.rev (Dag.topological (Routine_ctx.dag ctx)));
+  let cold_high = ref 0 in
+  Graph.iter_edges g (fun e ->
+      if not hot.(e) then begin
+        match inp.poisoning with
+        | Config.Check -> sites.(e).reg <- Some (RSet (-(1 lsl 50)))
+        | Config.Free -> (
+            match range.(Graph.dst g e) with
+            | None -> () (* nothing downstream reads the register *)
+            | Some (lo, hi) ->
+                sites.(e).reg <- Some (RSet (n_paths - lo));
+                cold_high := max !cold_high (n_paths + hi - lo))
+      end);
+  (* Dead-instrumentation elimination: drop register ops whose value no
+     downstream count reads (also removes poison that free-rode past the
+     last count, and everything in routines where all paths were obvious). *)
+  let live = Array.make (Graph.num_nodes g) false in
+  List.iter
+    (fun v ->
+      if v <> exit then
+        live.(v) <-
+          List.exists
+            (fun e ->
+              match sites.(e).cnt with
+              | Some (CntR | CntRk _) -> true
+              | Some (CntK _) | None -> (
+                  match sites.(e).reg with
+                  | Some (RSet _) -> false
+                  | Some (RAdd _) | None -> live.(Graph.dst g e)))
+            (Graph.out_edges g v))
+    (List.rev (Dag.topological (Routine_ctx.dag ctx)));
+  Graph.iter_edges g (fun e ->
+      match sites.(e).reg with
+      | Some _ when not live.(Graph.dst g e) -> sites.(e).reg <- None
+      | _ -> ());
+  (* Convert sites to runtime actions and restore dummy-edge actions onto
+     their back edges (Figure 1(g)). Poison tests are only emitted when a
+     poison actually survived: a routine without live cold edges pays no
+     checks even under check-mode poisoning. *)
+  let any_poison =
+    Graph.fold_edges g ~init:false ~f:(fun acc e ->
+        acc || ((not hot.(e)) && sites.(e).reg <> None))
+  in
+  let checked = inp.poisoning = Config.Check && any_poison in
+  let actions_of_site s =
+    let reg =
+      match s.reg with
+      | Some (RSet c) -> [ Instr_rt.Set_r c ]
+      | Some (RAdd d) -> [ Instr_rt.Add_r d ]
+      | None -> []
+    in
+    let cnt =
+      match s.cnt with
+      | Some CntR -> [ (if checked then Instr_rt.Count_checked else Instr_rt.Count_r) ]
+      | Some (CntRk k) ->
+          [ (if checked then Instr_rt.Count_checked_plus k else Instr_rt.Count_r_plus k) ]
+      | Some (CntK k) -> [ Instr_rt.Count_const k ]
+      | None -> []
+    in
+    reg @ cnt
+  in
+  let view = Routine_ctx.view ctx in
+  let cfg = Cfg_view.graph view in
+  let dag = Routine_ctx.dag ctx in
+  let edge_actions = Array.make (max 1 (Graph.num_edges cfg)) [] in
+  Graph.iter_edges cfg (fun e ->
+      match Dag.of_original dag e with
+      | Some de -> edge_actions.(e) <- actions_of_site sites.(de)
+      | None ->
+          (* A back edge: first the actions ending the old path (its exit
+             dummy), then the ones starting the new path (its header's
+             entry dummy, absent when the header is the entry block). *)
+          let ending =
+            match Dag.exit_dummy dag e with
+            | Some d -> actions_of_site sites.(d)
+            | None -> []
+          in
+          let starting =
+            match Dag.header_of_broken dag e with
+            | Some h -> (
+                match Dag.entry_dummy dag h with
+                | Some d -> actions_of_site sites.(d)
+                | None -> [])
+            | None -> []
+          in
+          edge_actions.(e) <- ending @ starting);
+  let table_size = max n_paths (!cold_high + 1) in
+  let table =
+    if inp.use_hash then Instr_rt.Hash_table else Instr_rt.Array_table table_size
+  in
+  let num_actions =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 edge_actions
+  in
+  {
+    rt = { Instr_rt.edge_actions; table; num_paths = n_paths };
+    elided = List.rev !elided;
+    table_size;
+    num_actions;
+  }

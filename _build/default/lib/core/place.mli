@@ -1,0 +1,38 @@
+(** Instrumentation placement, pushing, combining, poisoning, cleanup and
+    DAG-to-CFG restoration (Sections 3.1, 4.4, 4.6; Figure 1(e–g)).
+
+    The instrumentation of a routine lives on DAG edges as at most one
+    path-register operation ([r=c] / [r+=c]) and at most one counting
+    operation ([count\[r\]++] / [count\[r+k\]++] / [count\[k\]++]) per
+    edge. Placement starts from the naive scheme — initialization on the
+    entry's out-edges, an increment on every chord, a count on every hot
+    exit in-edge — then pushes initializations down and counts up,
+    combining as the paper describes. PPP ignores cold edges at the merge
+    tests ({!input}[.push_past_cold]), which is what lets it strip
+    instrumentation from more paths at the cost of occasionally counting
+    a cold path as hot (the Section 6.2 overcount). *)
+
+type input = {
+  ctx : Ppp_flow.Routine_ctx.t;
+  hot : bool array;
+  numbering : Numbering.t;
+  ev : Event_count.t;
+  push_past_cold : bool;
+  elide_obvious : bool;
+  poisoning : Config.poisoning;
+  use_hash : bool;
+}
+
+type result = {
+  rt : Ppp_interp.Instr_rt.routine_instr;
+      (** edge actions on the {e CFG} (dummy-edge actions restored onto
+          back edges) plus the frequency-table kind *)
+  elided : (int * Ppp_cfg.Graph.edge) list;
+      (** obvious paths whose [count\[k\]++] was removed:
+          (path number, defining DAG edge) *)
+  table_size : int;
+      (** array size: [N] plus the free-poisoning cold range *)
+  num_actions : int;  (** static count of placed actions, for reporting *)
+}
+
+val place : input -> result

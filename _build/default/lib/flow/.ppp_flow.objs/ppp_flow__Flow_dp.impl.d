@@ -1,0 +1,1 @@
+lib/flow/flow_dp.ml: Array Flowval Hashtbl List Ppp_cfg Routine_ctx

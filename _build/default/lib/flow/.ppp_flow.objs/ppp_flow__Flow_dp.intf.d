@@ -1,0 +1,1 @@
+lib/flow/flow_dp.mli: Flowval Ppp_cfg Ppp_profile Routine_ctx

@@ -1,0 +1,1 @@
+lib/flow/flowval.ml: Format List Map Ppp_profile

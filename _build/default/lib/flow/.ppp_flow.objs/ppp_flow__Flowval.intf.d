@@ -1,0 +1,1 @@
+lib/flow/flowval.mli: Format Ppp_profile

@@ -1,0 +1,1 @@
+lib/flow/routine_ctx.mli: Ppp_cfg Ppp_ir Ppp_profile

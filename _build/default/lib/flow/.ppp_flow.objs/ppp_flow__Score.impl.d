@@ -1,0 +1,1 @@
+lib/flow/score.ml: Hashtbl List Ppp_profile

@@ -1,0 +1,1 @@
+lib/flow/score.mli: Ppp_ir Ppp_profile

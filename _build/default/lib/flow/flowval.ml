@@ -1,0 +1,54 @@
+module M = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add t ~f ~b ~delta =
+  if delta = 0 then t
+  else
+    M.update (f, b)
+      (function None -> Some delta | Some d -> Some (d + delta))
+      t
+
+let singleton ~f ~b ~delta = add empty ~f ~b ~delta
+let union a b = M.union (fun _ d1 d2 -> Some (d1 + d2)) a b
+
+let shift_branch t =
+  M.fold (fun (f, b) delta acc -> add acc ~f ~b:(b + 1) ~delta) t empty
+
+let map_f t ~f =
+  M.fold
+    (fun (freq, b) delta acc ->
+      match f freq b with
+      | Some freq' -> add acc ~f:freq' ~b ~delta
+      | None -> acc)
+    t empty
+
+let iter t g = M.iter (fun (f, b) delta -> g ~f ~b ~delta) t
+let fold t ~init ~f:g = M.fold (fun (f, b) delta acc -> g acc ~f ~b ~delta) t init
+let find t ~f ~b = match M.find_opt (f, b) t with Some d -> d | None -> 0
+
+let entries_decreasing_flow t =
+  M.fold (fun (f, b) delta acc -> (f, b, delta) :: acc) t []
+  |> List.sort (fun (f1, b1, _) (f2, b2, _) ->
+         match compare (f2 * b2) (f1 * b1) with
+         | 0 -> compare (f2, b2) (f1, b1)
+         | c -> c)
+
+let total_flow t ~metric =
+  M.fold
+    (fun (f, b) delta acc ->
+      acc + (Ppp_profile.Metric.flow metric ~freq:f ~branches:b * delta))
+    t 0
+
+let cardinal = M.cardinal
+
+let pp ppf t =
+  Format.fprintf ppf "@[{";
+  M.iter (fun (f, b) d -> Format.fprintf ppf "(%d,%d)->%d;@ " f b d) t;
+  Format.fprintf ppf "}@]"

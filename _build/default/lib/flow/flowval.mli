@@ -1,0 +1,33 @@
+(** Flow values: the multisets [(f, b) ↦ Δ] of the appendix algorithms,
+    where [f] is a frequency, [b] a branch count, and [Δ] the number of
+    paths sharing that pair. The [⊎] operator adds multiplicities. *)
+
+type t
+
+val empty : t
+val singleton : f:int -> b:int -> delta:int -> t
+val add : t -> f:int -> b:int -> delta:int -> t
+val union : t -> t -> t
+(** The appendix's [⊎]. *)
+
+val shift_branch : t -> t
+(** [(f, b) ↦ Δ] becomes [(f, b+1) ↦ Δ]: crossing a branch edge. *)
+
+val map_f : t -> f:(int -> int -> int option) -> t
+(** [map_f t ~f] rewrites each entry's frequency with [f freq branches];
+    [None] drops the entry (the appendix's conditional comprehensions). *)
+
+val iter : t -> (f:int -> b:int -> delta:int -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> f:int -> b:int -> delta:int -> 'a) -> 'a
+val find : t -> f:int -> b:int -> int
+(** The multiplicity of [(f, b)], 0 when absent. *)
+
+val entries_decreasing_flow : t -> (int * int * int) list
+(** All [(f, b, Δ)] sorted by decreasing [f*b] (the order Figure 16's
+    main loop wants). *)
+
+val total_flow : t -> metric:Ppp_profile.Metric.t -> int
+(** [Σ F(f,b)·Δ] under the metric ([f·Δ] or [f·b·Δ]). *)
+
+val cardinal : t -> int
+val pp : Format.formatter -> t -> unit

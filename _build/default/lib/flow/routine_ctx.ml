@@ -1,0 +1,63 @@
+module Graph = Ppp_cfg.Graph
+module Loop = Ppp_cfg.Loop
+module Dag = Ppp_cfg.Dag
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+
+type t = {
+  view : Cfg_view.t;
+  loops : Loop.t;
+  dag : Dag.t;
+  freqs : int array; (* DAG edge -> frequency *)
+  branch : bool array; (* DAG edge -> is branch *)
+  node_flow : int array;
+}
+
+let make view profile =
+  let g = Cfg_view.graph view in
+  let entry = Cfg_view.entry view in
+  let exit = Cfg_view.exit view in
+  let loops = Loop.compute g ~root:entry in
+  let dag = Dag.convert g ~entry ~exit ~break:(Loop.breakable_edges loops) in
+  let dg = Dag.dag dag in
+  let freqs =
+    Array.init (Graph.num_edges dg) (fun e ->
+        Dag.edge_freq dag ~cfg_freq:(Edge_profile.freq profile) e)
+  in
+  let branch =
+    Array.init (Graph.num_edges dg) (fun e ->
+        match Dag.provenance dag e with
+        | Dag.Original o -> Cfg_view.is_branch_edge view o
+        | Dag.Dummy_exit b -> Cfg_view.is_branch_edge view b
+        | Dag.Dummy_entry _ -> false)
+  in
+  let node_flow =
+    Array.init (Graph.num_nodes dg) (fun v ->
+        let edges = if v = exit then Graph.in_edges dg v else Graph.out_edges dg v in
+        List.fold_left (fun acc e -> acc + freqs.(e)) 0 edges)
+  in
+  { view; loops; dag; freqs; branch; node_flow }
+
+let view t = t.view
+let loops t = t.loops
+let dag t = t.dag
+let graph t = Dag.dag t.dag
+let entry t = Dag.entry t.dag
+let exit t = Dag.exit t.dag
+let freq t e = t.freqs.(e)
+
+let cfg_freq t e =
+  match Dag.of_original t.dag e with
+  | Some de -> t.freqs.(de)
+  | None -> (
+      (* A broken edge: its exit dummy carries its frequency. *)
+      match Dag.exit_dummy t.dag e with
+      | Some d_exit -> t.freqs.(d_exit)
+      | None -> invalid_arg "Routine_ctx.cfg_freq: unknown edge")
+
+let is_branch t e = t.branch.(e)
+let node_flow t v = t.node_flow.(v)
+let total_freq t = t.node_flow.(exit t)
+
+let cfg_path_of_dag_path t p = Dag.cfg_path_of_dag_path t.dag p
+let dag_path_of_cfg_path t p = Dag.dag_path_of_cfg_path t.dag p

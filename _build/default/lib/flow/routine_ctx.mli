@@ -1,0 +1,46 @@
+(** A routine prepared for flow analysis and instrumentation: its CFG
+    view, loop structure, the Ball–Larus DAG, and the edge profile lifted
+    onto DAG edges.
+
+    The branch predicate follows Section 5.1 on the {e original} CFG: a
+    DAG edge counts as a branch iff the real edge it stands for leaves a
+    block with out-degree at least two. An [entry -> header] dummy stands
+    for no real edge and is never a branch; a [tail -> exit] dummy stands
+    for the back edge itself. *)
+
+type t
+
+val make : Ppp_ir.Cfg_view.t -> Ppp_profile.Edge_profile.t -> t
+
+val view : t -> Ppp_ir.Cfg_view.t
+val loops : t -> Ppp_cfg.Loop.t
+val dag : t -> Ppp_cfg.Dag.t
+val graph : t -> Ppp_cfg.Graph.t
+(** The DAG's graph. *)
+
+val entry : t -> Ppp_cfg.Graph.node
+val exit : t -> Ppp_cfg.Graph.node
+
+val freq : t -> Ppp_cfg.Graph.edge -> int
+(** Frequency of a DAG edge under the lifted profile. *)
+
+val cfg_freq : t -> Ppp_cfg.Graph.edge -> int
+(** Frequency of a CFG edge. *)
+
+val is_branch : t -> Ppp_cfg.Graph.edge -> bool
+(** Whether a DAG edge is a branch (see above). *)
+
+val node_flow : t -> Ppp_cfg.Graph.node -> int
+(** Total flow through a DAG node: the sum of its outgoing DAG edge
+    frequencies (incoming, for the exit). *)
+
+val total_freq : t -> int
+(** [F]: flow into the exit — the number of acyclic path executions. *)
+
+val cfg_path_of_dag_path : t -> Ppp_cfg.Graph.edge list -> Ppp_profile.Path.t
+(** Translate a DAG path (edge list from entry to exit) to the CFG path
+    the interpreter would trace: dummy entry edges disappear and a dummy
+    exit edge becomes its back edge. *)
+
+val dag_path_of_cfg_path : t -> Ppp_profile.Path.t -> Ppp_cfg.Graph.edge list
+(** Inverse of {!cfg_path_of_dag_path}. *)

@@ -1,0 +1,43 @@
+module Path_profile = Ppp_profile.Path_profile
+module Path = Ppp_profile.Path
+module Metric = Ppp_profile.Metric
+
+type est = { routine : string; path : Path.t; flow : int }
+
+let hot_actual ~actual ~views ~metric ~threshold =
+  Path_profile.hot_paths actual ~views ~metric ~threshold
+
+let accuracy ~actual ~views ~metric ~threshold ~estimated =
+  let hot = hot_actual ~actual ~views ~metric ~threshold in
+  match hot with
+  | [] -> 1.0
+  | _ ->
+      let k = List.length hot in
+      let top_estimated =
+        List.stable_sort
+          (fun a b ->
+            match compare b.flow a.flow with
+            | 0 -> compare (a.routine, a.path) (b.routine, b.path)
+            | c -> c)
+          estimated
+        |> List.filteri (fun i _ -> i < k)
+      in
+      let est_set = Hashtbl.create (2 * k) in
+      List.iter (fun e -> Hashtbl.replace est_set (e.routine, e.path) ()) top_estimated;
+      let hot_flow, matched_flow =
+        List.fold_left
+          (fun (total, matched) (name, p, flow) ->
+            let matched =
+              if Hashtbl.mem est_set (name, p) then matched + flow else matched
+            in
+            (total + flow, matched))
+          (0, 0) hot
+      in
+      if hot_flow = 0 then 1.0
+      else float_of_int matched_flow /. float_of_int hot_flow
+
+let coverage ~total_actual_flow ~measured_actual_flow ~definite_uninstr ~overcount =
+  if total_actual_flow = 0 then 1.0
+  else
+    let n = measured_actual_flow + definite_uninstr - overcount in
+    float_of_int (max 0 n) /. float_of_int total_actual_flow

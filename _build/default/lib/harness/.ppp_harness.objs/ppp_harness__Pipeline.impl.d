@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Array Hashtbl List Option Ppp_cfg Ppp_core Ppp_flow Ppp_interp Ppp_ir Ppp_opt Ppp_profile

@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Ppp_core Ppp_interp Ppp_ir Ppp_opt Ppp_profile

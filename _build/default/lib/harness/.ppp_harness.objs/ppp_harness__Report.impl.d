@@ -1,0 +1,1 @@
+lib/harness/report.ml: Format Hashtbl List Pipeline Ppp_core Ppp_interp Ppp_opt Ppp_workloads String

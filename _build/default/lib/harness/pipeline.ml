@@ -1,0 +1,346 @@
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Path = Ppp_profile.Path
+module Metric = Ppp_profile.Metric
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Flow_dp = Ppp_flow.Flow_dp
+module Score = Ppp_flow.Score
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+module Numbering = Ppp_core.Numbering
+
+let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
+let metric = Metric.Branch_flow
+let reconstruct_cap = 20_000 (* per routine, for estimated-profile paths *)
+
+type prepared = {
+  bench_name : string;
+  original : Ir.program;
+  optimized : Ir.program;
+  orig_outcome : Interp.outcome;
+  base_outcome : Interp.outcome;
+  inline_stats : Ppp_opt.Inline.stats;
+  unroll_stats : Ppp_opt.Unroll.stats;
+}
+
+let view_cache : (Ir.routine, Cfg_view.t) Hashtbl.t = Hashtbl.create 64
+
+let view_of r =
+  match Hashtbl.find_opt view_cache r with
+  | Some v -> v
+  | None ->
+      let v = Cfg_view.of_routine r in
+      Hashtbl.replace view_cache r v;
+      v
+
+let views prepared name = view_of (Ir.routine prepared.optimized name)
+
+let block_freq_fn p ep =
+  let cache = Hashtbl.create 17 in
+  fun ~routine ~block ->
+    let freqs =
+      match Hashtbl.find_opt cache routine with
+      | Some f -> f
+      | None ->
+          let r = Ir.routine p routine in
+          let view = view_of r in
+          let g = Cfg_view.graph view in
+          let prof = Edge_profile.routine ep routine in
+          let f =
+            Array.init (Array.length r.Ir.blocks) (fun b ->
+                let inflow =
+                  List.fold_left
+                    (fun a e -> a + Edge_profile.freq prof e)
+                    0 (Graph.in_edges g b)
+                in
+                if b = 0 then inflow + Edge_profile.entry_count ep p routine
+                else inflow)
+          in
+          Hashtbl.replace cache routine f;
+          f
+    in
+    freqs.(block)
+
+let prepare ~name p =
+  let orig_outcome = Interp.run p in
+  let ep0 = Option.get orig_outcome.Interp.edge_profile in
+  let inlined, inline_stats = Ppp_opt.Inline.run p ~block_freq:(block_freq_fn p ep0) in
+  let o1 = Interp.run inlined in
+  let ep1 = Option.get o1.Interp.edge_profile in
+  let optimized, unroll_stats = Ppp_opt.Unroll.run inlined ~edge_profile:ep1 in
+  let base_outcome = Interp.run optimized in
+  {
+    bench_name = name;
+    original = p;
+    optimized;
+    orig_outcome;
+    base_outcome;
+    inline_stats;
+    unroll_stats;
+  }
+
+let prepare_unoptimized ~name p =
+  let orig_outcome = Interp.run p in
+  {
+    bench_name = name;
+    original = p;
+    optimized = p;
+    orig_outcome;
+    base_outcome = orig_outcome;
+    inline_stats =
+      {
+        Ppp_opt.Inline.sites_inlined = 0;
+        dynamic_calls_inlined = 0;
+        dynamic_calls_total = 0;
+        size_before = Ir.program_size p;
+        size_after = Ir.program_size p;
+      };
+    unroll_stats =
+      { Ppp_opt.Unroll.loops_unrolled = 0; loops_seen = 0; avg_dynamic_factor = 1.0 };
+  }
+
+let actual_profile prepared = Option.get prepared.base_outcome.Interp.path_profile
+
+let total_flow prepared m =
+  Path_profile.program_flow (actual_profile prepared)
+    ~views:(views prepared) m
+
+type path_stats = { dyn_paths : int; avg_branches : float; avg_instrs : float }
+
+let path_stats_of_outcome p (o : Interp.outcome) =
+  let profile = Option.get o.Interp.path_profile in
+  let views name = view_of (Ir.routine p name) in
+  let unit_total = Path_profile.program_flow profile ~views Metric.Unit_flow in
+  let branch_total = Path_profile.program_flow profile ~views Metric.Branch_flow in
+  {
+    dyn_paths = o.Interp.dyn_paths;
+    avg_branches =
+      (if unit_total = 0 then 0.0
+       else float_of_int branch_total /. float_of_int unit_total);
+    avg_instrs =
+      (if o.Interp.dyn_paths = 0 then 0.0
+       else float_of_int o.Interp.dyn_instrs /. float_of_int o.Interp.dyn_paths);
+  }
+
+type hot_stats = { distinct_paths : int; hot_count : int; hot_flow_pct : float }
+
+let hot_stats prepared ~threshold =
+  let actual = actual_profile prepared in
+  let total = total_flow prepared metric in
+  let hot =
+    Score.hot_actual ~actual ~views:(views prepared) ~metric ~threshold
+  in
+  let hot_flow = List.fold_left (fun a (_, _, f) -> a + f) 0 hot in
+  {
+    distinct_paths = Path_profile.program_distinct actual;
+    hot_count = List.length hot;
+    hot_flow_pct =
+      (if total = 0 then 0.0 else 100.0 *. float_of_int hot_flow /. float_of_int total);
+  }
+
+type evaluation = {
+  config_name : string;
+  overhead : float;
+  accuracy : float;
+  coverage : float;
+  frac_paths_instrumented : float;
+  frac_paths_hashed : float;
+  static_actions : int;
+  routines_instrumented : int;
+  routines_total : int;
+}
+
+(* Potential-flow estimated profile for a set of routines (used for edge
+   profiling, and for TPP/PPP when they instrument nothing at all). *)
+let potential_estimates prepared routine_names =
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  List.concat_map
+    (fun name ->
+      let ctx = Routine_ctx.make (views prepared name) (Edge_profile.routine ep name) in
+      Flow_dp.potential_hot_paths ctx ~max_paths:reconstruct_cap
+      |> List.map (fun (dag_path, f, b) ->
+             {
+               Score.routine = name;
+               path = Routine_ctx.cfg_path_of_dag_path ctx dag_path;
+               flow = Metric.flow metric ~freq:f ~branches:b;
+             }))
+    routine_names
+
+let routine_names p = List.map (fun (r : Ir.routine) -> r.Ir.name) p.Ir.routines
+
+let definite_total prepared name =
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  let ctx = Routine_ctx.make (views prepared name) (Edge_profile.routine ep name) in
+  let dp = Flow_dp.compute ctx Flow_dp.Definite in
+  Flow_dp.total dp ~metric
+
+let evaluate_edge_profile prepared =
+  let actual = actual_profile prepared in
+  let estimated = potential_estimates prepared (routine_names prepared.optimized) in
+  let accuracy =
+    Score.accuracy ~actual ~views:(views prepared) ~metric ~threshold:hot_threshold
+      ~estimated
+  in
+  let df_total =
+    List.fold_left
+      (fun acc name -> acc + definite_total prepared name)
+      0
+      (routine_names prepared.optimized)
+  in
+  let total = total_flow prepared metric in
+  {
+    config_name = "edge";
+    overhead = 0.0 (* Section 2: negligible with sampling or hardware *);
+    accuracy;
+    coverage =
+      Score.coverage ~total_actual_flow:total ~measured_actual_flow:0
+        ~definite_uninstr:df_total ~overcount:0;
+    frac_paths_instrumented = 0.0;
+    frac_paths_hashed = 0.0;
+    static_actions = 0;
+    routines_instrumented = 0;
+    routines_total = List.length prepared.optimized.Ir.routines;
+  }
+
+let evaluate prepared (config : Config.t) =
+  let p = prepared.optimized in
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  let inst = Instrument.instrument p ep config in
+  let instr_outcome =
+    Interp.run
+      ~config:{ Interp.default_config with instrumentation = Some inst.Instrument.rt }
+      p
+  in
+  let overhead = Interp.overhead instr_outcome in
+  let actual = actual_profile prepared in
+  let tables = Option.get instr_outcome.Interp.instr_state in
+  let ctx_of name =
+    (Hashtbl.find inst.Instrument.plans name).Instrument.ctx
+  in
+  (* Estimated profile (Section 5): measured flow for instrumented paths
+     plus definite flow for the rest; if nothing at all was instrumented,
+     fall back to the potential-flow profile (Section 6.1). *)
+  let estimated =
+    if not (Instrument.has_any_instrumentation inst) then
+      potential_estimates prepared (routine_names p)
+    else
+      List.concat_map
+        (fun name ->
+          let plan = Hashtbl.find inst.Instrument.plans name in
+          let measured =
+            match Hashtbl.find_opt tables name with
+            | None -> []
+            | Some table ->
+                let acc = ref [] in
+                Instr_rt.Table.iter_nonzero table (fun k c ->
+                    match Instrument.decoded_path plan k with
+                    | Some path ->
+                        let b = Path.branches (views prepared name) path in
+                        acc :=
+                          {
+                            Score.routine = name;
+                            path;
+                            flow = Metric.flow metric ~freq:c ~branches:b;
+                          }
+                          :: !acc
+                    | None -> ());
+                !acc
+          in
+          let uninstrumented =
+            let ctx = ctx_of name in
+            let dp = Flow_dp.compute ctx Flow_dp.Definite in
+            Flow_dp.reconstruct dp ~cutoff:(-1) ~max_paths:reconstruct_cap
+            |> List.filter_map (fun (dag_path, f, b) ->
+                   let path = Routine_ctx.cfg_path_of_dag_path ctx dag_path in
+                   match Instrument.path_status plan path with
+                   | `Instrumented _ -> None (* measured above *)
+                   | `Uninstrumented ->
+                       Some
+                         {
+                           Score.routine = name;
+                           path;
+                           flow = Metric.flow metric ~freq:f ~branches:b;
+                         })
+          in
+          measured @ uninstrumented)
+        (routine_names p)
+  in
+  let accuracy =
+    Score.accuracy ~actual ~views:(views prepared) ~metric ~threshold:hot_threshold
+      ~estimated
+  in
+  (* Coverage (Section 6.2). *)
+  let total = total_flow prepared metric in
+  let f_instr = ref 0 in
+  let df_uninstr = ref 0 in
+  let unit_instr = ref 0 in
+  let unit_hashed = ref 0 in
+  let unit_total = ref 0 in
+  Path_profile.iter_routines actual (fun name t ->
+      let plan = Hashtbl.find inst.Instrument.plans name in
+      let uses_hash =
+        match plan.Instrument.decision with
+        | Instrument.Instrumented { uses_hash; _ } -> uses_hash
+        | Instrument.Uninstrumented _ -> false
+      in
+      let view = views prepared name in
+      let ctx = ctx_of name in
+      Path_profile.iter t (fun path n ->
+          let b = Path.branches view path in
+          unit_total := !unit_total + n;
+          match Instrument.path_status plan path with
+          | `Instrumented _ ->
+              f_instr := !f_instr + Metric.flow metric ~freq:n ~branches:b;
+              unit_instr := !unit_instr + n;
+              if uses_hash then unit_hashed := !unit_hashed + n
+          | `Uninstrumented ->
+              let df =
+                Flow_dp.definite_of_path ctx (Routine_ctx.dag_path_of_cfg_path ctx path)
+              in
+              (* Definite flow never exceeds the actual frequency. *)
+              df_uninstr := !df_uninstr + Metric.flow metric ~freq:df ~branches:b));
+  (* Measured flow (for the overcount penalty): decoded counter totals. *)
+  let mf = ref 0 in
+  Hashtbl.iter
+    (fun name table ->
+      let plan = Hashtbl.find inst.Instrument.plans name in
+      Instr_rt.Table.iter_nonzero table (fun k c ->
+          match Instrument.decoded_path plan k with
+          | Some path ->
+              let b = Path.branches (views prepared name) path in
+              mf := !mf + Metric.flow metric ~freq:c ~branches:b
+          | None -> ()))
+    tables;
+  let overcount = max 0 (!mf - !f_instr) in
+  let coverage =
+    Score.coverage ~total_actual_flow:total ~measured_actual_flow:!f_instr
+      ~definite_uninstr:!df_uninstr ~overcount
+  in
+  let routines_instrumented =
+    Hashtbl.fold
+      (fun _ plan acc ->
+        match plan.Instrument.decision with
+        | Instrument.Instrumented _ -> acc + 1
+        | Instrument.Uninstrumented _ -> acc)
+      inst.Instrument.plans 0
+  in
+  {
+    config_name = config.Config.name;
+    overhead;
+    accuracy;
+    coverage;
+    frac_paths_instrumented =
+      (if !unit_total = 0 then 0.0
+       else float_of_int !unit_instr /. float_of_int !unit_total);
+    frac_paths_hashed =
+      (if !unit_total = 0 then 0.0
+       else float_of_int !unit_hashed /. float_of_int !unit_total);
+    static_actions = Instrument.static_instr_count inst;
+    routines_instrumented;
+    routines_total = List.length p.Ir.routines;
+  }

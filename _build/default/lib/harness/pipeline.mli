@@ -1,0 +1,69 @@
+(** The end-to-end experiment pipeline of Section 7: run the original
+    program, apply edge-profile-guided inlining and unrolling (re-profiling
+    in between, as a staged optimizer would), then instrument the
+    optimized program with PP / TPP / PPP, run it, and score the result.
+
+    All profiles use "self" advice (Section 7.2): the edge profile given
+    to the instrumenter comes from the same input the overhead run uses. *)
+
+type prepared = {
+  bench_name : string;
+  original : Ppp_ir.Ir.program;
+  optimized : Ppp_ir.Ir.program;
+  orig_outcome : Ppp_interp.Interp.outcome;
+  base_outcome : Ppp_interp.Interp.outcome;  (** run of [optimized] *)
+  inline_stats : Ppp_opt.Inline.stats;
+  unroll_stats : Ppp_opt.Unroll.stats;
+}
+
+val prepare : name:string -> Ppp_ir.Ir.program -> prepared
+(** @raise Ppp_interp.Interp.Runtime_error if the program faults. *)
+
+val prepare_unoptimized : name:string -> Ppp_ir.Ir.program -> prepared
+(** Skip inlining and unrolling (for comparisons on original code). *)
+
+val views : prepared -> string -> Ppp_ir.Cfg_view.t
+(** Cached CFG views of the optimized program's routines. *)
+
+val actual_profile : prepared -> Ppp_profile.Path_profile.program
+val total_flow : prepared -> Ppp_profile.Metric.t -> int
+
+(** {2 Path-characteristics rows (Tables 1 and 2)} *)
+
+type path_stats = {
+  dyn_paths : int;
+  avg_branches : float;
+  avg_instrs : float;
+}
+
+val path_stats_of_outcome :
+  Ppp_ir.Ir.program -> Ppp_interp.Interp.outcome -> path_stats
+
+type hot_stats = {
+  distinct_paths : int;
+  hot_count : int;
+  hot_flow_pct : float;
+}
+
+val hot_stats : prepared -> threshold:float -> hot_stats
+
+(** {2 Evaluating one profiling method (Figures 9-13)} *)
+
+type evaluation = {
+  config_name : string;
+  overhead : float;  (** instrumentation cost / base cost (Figure 12) *)
+  accuracy : float;  (** Figure 9 *)
+  coverage : float;  (** Figure 10 *)
+  frac_paths_instrumented : float;  (** Figure 11 *)
+  frac_paths_hashed : float;  (** Figure 11, striped portion *)
+  static_actions : int;
+  routines_instrumented : int;
+  routines_total : int;
+}
+
+val evaluate : prepared -> Ppp_core.Config.t -> evaluation
+(** Instrument with the given configuration, rerun, decode, and score. *)
+
+val evaluate_edge_profile : prepared -> evaluation
+(** Edge profiling as the estimator: potential-flow hot paths
+    (Section 6.1), definite-flow coverage, zero overhead (Section 2). *)

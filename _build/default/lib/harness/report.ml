@@ -1,0 +1,236 @@
+module Spec = Ppp_workloads.Spec
+module Interp = Ppp_interp.Interp
+module Config = Ppp_core.Config
+
+type prepared_bench = { spec : Spec.bench; prep : Pipeline.prepared }
+
+let prepare_all ?(scale = 1) ?names () =
+  let selected =
+    match names with
+    | None -> Spec.all
+    | Some ns -> List.map Spec.find ns
+  in
+  List.map
+    (fun (spec : Spec.bench) ->
+      { spec; prep = Pipeline.prepare ~name:spec.Spec.bench_name (spec.Spec.build ~scale) })
+    selected
+
+let is_int b = b.spec.Spec.kind = Spec.Int
+
+let averages benches value =
+  let avg l =
+    match l with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let ints = List.filter is_int benches |> List.map value in
+  let fps = List.filter (fun b -> not (is_int b)) benches |> List.map value in
+  (avg ints, avg fps, avg (ints @ fps))
+
+let hr ppf width = Format.fprintf ppf "%s@," (String.make width '-')
+
+let table1 ppf benches =
+  Format.fprintf ppf "@[<v>Table 1: dynamic path characteristics (original vs inlined+unrolled)@,";
+  hr ppf 108;
+  Format.fprintf ppf
+    "%-9s | %12s %8s %8s | %12s %8s %8s | %7s %7s %8s@,"
+    "bench" "dyn paths" "branches" "instrs" "dyn paths" "branches" "instrs"
+    "inlined" "unroll" "speedup";
+  hr ppf 108;
+  let speedup pb =
+    float_of_int pb.prep.Pipeline.orig_outcome.Interp.base_cost
+    /. float_of_int pb.prep.Pipeline.base_outcome.Interp.base_cost
+  in
+  let row pb =
+    let o =
+      Pipeline.path_stats_of_outcome pb.prep.Pipeline.original
+        pb.prep.Pipeline.orig_outcome
+    in
+    let n =
+      Pipeline.path_stats_of_outcome pb.prep.Pipeline.optimized
+        pb.prep.Pipeline.base_outcome
+    in
+    Format.fprintf ppf
+      "%-9s | %12d %8.2f %8.2f | %12d %8.2f %8.2f | %6.0f%% %7.2f %8.3f@,"
+      pb.spec.Spec.bench_name o.Pipeline.dyn_paths o.Pipeline.avg_branches
+      o.Pipeline.avg_instrs n.Pipeline.dyn_paths n.Pipeline.avg_branches
+      n.Pipeline.avg_instrs
+      (100.0 *. Ppp_opt.Inline.pct_dynamic_inlined pb.prep.Pipeline.inline_stats)
+      pb.prep.Pipeline.unroll_stats.Ppp_opt.Unroll.avg_dynamic_factor
+      (speedup pb)
+  in
+  List.iter row benches;
+  hr ppf 108;
+  let i, f, a = averages benches speedup in
+  Format.fprintf ppf "averages: speedup INT %.3f  FP %.3f  overall %.3f@,@]@." i f a
+
+let table2 ppf benches =
+  Format.fprintf ppf "@[<v>Table 2: hot paths (thresholds 0.125%% and 1%% of program flow)@,";
+  hr ppf 78;
+  Format.fprintf ppf "%-9s | %9s | %6s %10s | %6s %10s@," "bench" "distinct"
+    "hot" ">=0.125%" "hot" ">=1%";
+  hr ppf 78;
+  List.iter
+    (fun pb ->
+      let h1 = Pipeline.hot_stats pb.prep ~threshold:0.00125 in
+      let h2 = Pipeline.hot_stats pb.prep ~threshold:0.01 in
+      Format.fprintf ppf "%-9s | %9d | %6d %9.1f%% | %6d %9.1f%%@,"
+        pb.spec.Spec.bench_name h1.Pipeline.distinct_paths h1.Pipeline.hot_count
+        h1.Pipeline.hot_flow_pct h2.Pipeline.hot_count h2.Pipeline.hot_flow_pct)
+    benches;
+  hr ppf 78;
+  let _, _, a1 = averages benches (fun pb -> (Pipeline.hot_stats pb.prep ~threshold:0.00125).Pipeline.hot_flow_pct) in
+  let _, _, a2 = averages benches (fun pb -> (Pipeline.hot_stats pb.prep ~threshold:0.01).Pipeline.hot_flow_pct) in
+  Format.fprintf ppf "average hot flow: %.1f%% (0.125%%)  %.1f%% (1%%)@,@]@." a1 a2
+
+(* One evaluation pass shared by Figures 9, 10, 11 and 12. *)
+type evals = {
+  edge : Pipeline.evaluation;
+  pp : Pipeline.evaluation;
+  tpp : Pipeline.evaluation;
+  ppp : Pipeline.evaluation;
+}
+
+let eval_cache : (string, evals) Hashtbl.t = Hashtbl.create 17
+
+let evals_of pb =
+  let key = pb.spec.Spec.bench_name in
+  match Hashtbl.find_opt eval_cache key with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          edge = Pipeline.evaluate_edge_profile pb.prep;
+          pp = Pipeline.evaluate pb.prep Config.pp;
+          tpp = Pipeline.evaluate pb.prep Config.tpp;
+          ppp = Pipeline.evaluate pb.prep Config.ppp;
+        }
+      in
+      Hashtbl.replace eval_cache key e;
+      e
+
+let fig9_10_11 ppf benches =
+  Format.fprintf ppf
+    "@[<v>Figures 9-11: accuracy / coverage / fraction of dynamic paths instrumented@,";
+  hr ppf 100;
+  Format.fprintf ppf
+    "%-9s | %6s %6s %6s | %6s %6s %6s | %10s %10s %10s@," "bench" "edge"
+    "TPP" "PPP" "edge" "TPP" "PPP" "PP(hash)" "TPP(hash)" "PPP(hash)";
+  hr ppf 100;
+  List.iter
+    (fun pb ->
+      let e = evals_of pb in
+      let cell ev =
+        Format.asprintf "%3.0f(%2.0f)%%"
+          (100. *. ev.Pipeline.frac_paths_instrumented)
+          (100. *. ev.Pipeline.frac_paths_hashed)
+      in
+      Format.fprintf ppf
+        "%-9s | %5.0f%% %5.0f%% %5.0f%% | %5.0f%% %5.0f%% %5.0f%% | %10s %10s %10s@,"
+        pb.spec.Spec.bench_name
+        (100. *. e.edge.Pipeline.accuracy)
+        (100. *. e.tpp.Pipeline.accuracy)
+        (100. *. e.ppp.Pipeline.accuracy)
+        (100. *. e.edge.Pipeline.coverage)
+        (100. *. e.tpp.Pipeline.coverage)
+        (100. *. e.ppp.Pipeline.coverage)
+        (cell e.pp) (cell e.tpp) (cell e.ppp))
+    benches;
+  hr ppf 100;
+  let acc sel = averages benches (fun pb -> (sel (evals_of pb)).Pipeline.accuracy) in
+  let cov sel = averages benches (fun pb -> (sel (evals_of pb)).Pipeline.coverage) in
+  let _, _, ae = acc (fun e -> e.edge) in
+  let _, _, at = acc (fun e -> e.tpp) in
+  let _, _, ap = acc (fun e -> e.ppp) in
+  let _, _, ce = cov (fun e -> e.edge) in
+  let _, _, ct = cov (fun e -> e.tpp) in
+  let _, _, cp = cov (fun e -> e.ppp) in
+  Format.fprintf ppf
+    "average accuracy: edge %.0f%%  TPP %.0f%%  PPP %.0f%%   coverage: edge %.0f%%  TPP %.0f%%  PPP %.0f%%@,@]@."
+    (100. *. ae) (100. *. at) (100. *. ap) (100. *. ce) (100. *. ct) (100. *. cp)
+
+let fig12 ppf benches =
+  Format.fprintf ppf "@[<v>Figure 12: runtime overhead of path profiling@,";
+  hr ppf 50;
+  Format.fprintf ppf "%-9s | %7s %7s %7s@," "bench" "PP" "TPP" "PPP";
+  hr ppf 50;
+  List.iter
+    (fun pb ->
+      let e = evals_of pb in
+      Format.fprintf ppf "%-9s | %6.1f%% %6.1f%% %6.1f%%@," pb.spec.Spec.bench_name
+        (100. *. e.pp.Pipeline.overhead)
+        (100. *. e.tpp.Pipeline.overhead)
+        (100. *. e.ppp.Pipeline.overhead))
+    benches;
+  hr ppf 50;
+  let ov sel = averages benches (fun pb -> (sel (evals_of pb)).Pipeline.overhead) in
+  let ppi, ppf_, ppa = ov (fun e -> e.pp) in
+  let ti, tf, ta = ov (fun e -> e.tpp) in
+  let pi, pf, pa = ov (fun e -> e.ppp) in
+  Format.fprintf ppf "INT avg: PP %.1f%% TPP %.1f%% PPP %.1f%%@," (100. *. ppi)
+    (100. *. ti) (100. *. pi);
+  Format.fprintf ppf "FP  avg: PP %.1f%% TPP %.1f%% PPP %.1f%%@," (100. *. ppf_)
+    (100. *. tf) (100. *. pf);
+  Format.fprintf ppf "all avg: PP %.1f%% TPP %.1f%% PPP %.1f%%@,@]@." (100. *. ppa)
+    (100. *. ta) (100. *. pa)
+
+let fig13 ppf benches =
+  Format.fprintf ppf
+    "@[<v>Figure 13: leave-one-out ablation, overhead normalized to TPP@,";
+  (* The paper selects benchmarks where PPP improves on TPP by more than
+     5% (of TPP's overhead). *)
+  let selected =
+    List.filter
+      (fun pb ->
+        let e = evals_of pb in
+        e.tpp.Pipeline.overhead > 0.0
+        && e.ppp.Pipeline.overhead < 0.95 *. e.tpp.Pipeline.overhead)
+      benches
+  in
+  hr ppf 88;
+  Format.fprintf ppf "%-9s | %6s | %6s %6s %6s %6s %6s %6s@," "bench" "PPP"
+    "-SAC" "-FP" "-Push" "-SPN" "-LC" "(TPP=1)";
+  hr ppf 88;
+  let row pb variant =
+    let e = evals_of pb in
+    let base = e.tpp.Pipeline.overhead in
+    let norm cfg =
+      let ev = Pipeline.evaluate pb.prep cfg in
+      if base = 0.0 then 1.0 else ev.Pipeline.overhead /. base
+    in
+    Format.fprintf ppf "%-9s | %6.2f | %6.2f %6.2f %6.2f %6.2f %6.2f@,"
+      pb.spec.Spec.bench_name
+      (if base = 0.0 then 1.0 else e.ppp.Pipeline.overhead /. base)
+      (norm (variant Config.SAC))
+      (norm (variant Config.FP))
+      (norm (variant Config.Push))
+      (norm (variant Config.SPN))
+      (norm (variant Config.LC))
+  in
+  List.iter (fun pb -> row pb Config.ppp_without) selected;
+  hr ppf 88;
+  Format.fprintf ppf
+    "(values < 1 beat TPP; larger deltas vs the PPP column mean the technique matters)@,@,";
+  Format.fprintf ppf
+    "one-at-a-time (Section 8.3's closing paragraph): TPP plus a single technique@,";
+  hr ppf 88;
+  Format.fprintf ppf "%-9s | %6s | %6s %6s %6s %6s %6s@," "bench" "PPP"
+    "+SAC" "+FP" "+Push" "+SPN" "+LC";
+  hr ppf 88;
+  List.iter (fun pb -> row pb Config.tpp_plus) selected;
+  hr ppf 88;
+  Format.fprintf ppf "@]@."
+
+let section8_1 ppf benches =
+  let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in
+  let lowest =
+    List.fold_left
+      (fun m pb -> min m (evals_of pb).edge.Pipeline.accuracy)
+      1.0 benches
+  in
+  let _, _, cov = averages benches (fun pb -> (evals_of pb).edge.Pipeline.coverage) in
+  Format.fprintf ppf
+    "@[<v>Section 8.1 prose numbers:@,\
+     edge-profile accuracy at predicting hot paths: %.0f%% on average, as low as %.0f%%@,\
+     paths attributable from an edge profile (definite-flow coverage): %.0f%%@,@]@."
+    (100. *. acc) (100. *. lowest) (100. *. cov)

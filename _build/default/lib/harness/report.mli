@@ -1,0 +1,41 @@
+(** Text rendering of the paper's tables and figures.
+
+    Each function prints one table or figure's data in rows matching the
+    paper's layout, with INT / FP / overall averages where the paper has
+    them. All take the prepared benchmarks (see {!Pipeline.prepare}), so
+    one expensive preparation can feed every report. *)
+
+type prepared_bench = {
+  spec : Ppp_workloads.Spec.bench;
+  prep : Pipeline.prepared;
+}
+
+val prepare_all : ?scale:int -> ?names:string list -> unit -> prepared_bench list
+(** Build and prepare the (selected) benchmarks; default scale 1 and all
+    benchmarks. *)
+
+val table1 : Format.formatter -> prepared_bench list -> unit
+(** Dynamic path characteristics with and without inlining and
+    unrolling. *)
+
+val table2 : Format.formatter -> prepared_bench list -> unit
+(** Distinct paths; hot paths and their flow at the 0.125% and 1%
+    thresholds. *)
+
+val fig9_10_11 : Format.formatter -> prepared_bench list -> unit
+(** Accuracy (Figure 9), coverage (Figure 10) and fraction of dynamic
+    paths instrumented with the hashed portion (Figure 11) for edge
+    profiling, PP, TPP and PPP — they share one evaluation pass, so they
+    are printed together. *)
+
+val fig12 : Format.formatter -> prepared_bench list -> unit
+(** Runtime overheads of PP, TPP and PPP. *)
+
+val fig13 : Format.formatter -> prepared_bench list -> unit
+(** Leave-one-out ablation of PPP's techniques, normalized to TPP, on
+    the benchmarks where PPP improves on TPP by more than 5% of TPP's
+    overhead (the paper's selection rule). *)
+
+val section8_1 : Format.formatter -> prepared_bench list -> unit
+(** The prose numbers of Section 8.1: average edge-profile accuracy and
+    attribution (coverage). *)

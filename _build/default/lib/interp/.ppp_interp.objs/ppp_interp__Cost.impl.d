@@ -1,0 +1,1 @@
+lib/interp/cost.ml: Instr_rt Ppp_ir

@@ -1,0 +1,1 @@
+lib/interp/cost.mli: Instr_rt Ppp_ir

@@ -1,0 +1,1 @@
+lib/interp/instr_rt.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/interp/instr_rt.mli: Format Hashtbl

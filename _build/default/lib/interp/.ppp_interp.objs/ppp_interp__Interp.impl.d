@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Cost Format Hashtbl Instr_rt List Option Ppp_cfg Ppp_ir Ppp_profile

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Instr_rt Ppp_ir Ppp_profile

@@ -1,0 +1,32 @@
+let instr = function
+  | Ppp_ir.Ir.Mov _ -> 1
+  | Binop _ -> 1
+  | Load _ -> 2
+  | Store _ -> 2
+  | Call _ -> 2
+  | Out _ -> 1
+
+let terminator = function
+  | Ppp_ir.Ir.Jump _ -> 1
+  | Branch _ -> 2
+  | Return _ -> 2
+
+let call_overhead = 6
+
+let array_count = 4
+let hash_count = array_count * 5 (* Section 3.2: hashing ~ 5x an array *)
+let check = 2 (* compare-and-branch of TPP's poison test *)
+
+let count_base ~table =
+  match table with
+  | Instr_rt.Array_table _ -> array_count
+  | Instr_rt.Hash_table -> hash_count
+
+let action ~table = function
+  | Instr_rt.Set_r _ | Instr_rt.Add_r _ -> 1
+  | Instr_rt.Count_r | Instr_rt.Count_r_plus _ -> count_base ~table
+  | Instr_rt.Count_const _ ->
+      (* No address arithmetic against the path register. *)
+      count_base ~table - 1
+  | Instr_rt.Count_checked | Instr_rt.Count_checked_plus _ ->
+      count_base ~table + check

@@ -1,0 +1,18 @@
+(** Deterministic cost model.
+
+    Stands in for the Alpha hardware: every IR instruction and every
+    instrumentation action is charged a fixed number of abstract cycles,
+    and profiling overhead is [instrumentation cost / base cost]. The
+    constants encode the relative costs the paper relies on — in
+    particular a hash-table count is five times an array count (Joshi et
+    al.'s estimate, Section 3.2) and TPP's poison check adds a
+    compare-and-branch to every count. *)
+
+val instr : Ppp_ir.Ir.instr -> int
+val terminator : Ppp_ir.Ir.terminator -> int
+val call_overhead : int
+(** Extra cycles charged per dynamic call (frame setup), on top of the
+    [Call] instruction itself. Inlining removes this, which is what gives
+    Table 1's modest speedups. *)
+
+val action : table:Instr_rt.table_kind -> Instr_rt.action -> int

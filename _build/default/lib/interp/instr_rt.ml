@@ -1,0 +1,115 @@
+type action =
+  | Set_r of int
+  | Add_r of int
+  | Count_r
+  | Count_r_plus of int
+  | Count_const of int
+  | Count_checked
+  | Count_checked_plus of int
+
+type table_kind = Array_table of int | Hash_table
+
+type routine_instr = {
+  edge_actions : action list array;
+  table : table_kind;
+  num_paths : int;
+}
+
+type t = (string, routine_instr) Hashtbl.t
+
+let no_instrumentation () : t = Hashtbl.create 1
+
+module Table = struct
+  (* The hash table follows Section 7.4: 701 slots and three tries of
+     secondary (double) hashing; a path that misses all three tries bumps
+     the lost counter. 701 and 699 are the paper's primary modulus and a
+     coprime secondary step base. *)
+  let slots = 701
+  let secondary = 699
+
+  type t = {
+    kind : table_kind;
+    arr : int array; (* Array_table: counts; Hash_table: counts per slot *)
+    keys : int array; (* Hash_table only: path number per slot, -1 = empty *)
+    mutable cold : int;
+    mutable lost : int;
+  }
+
+  let create kind =
+    match kind with
+    | Array_table n -> { kind; arr = Array.make (max 1 n) 0; keys = [||]; cold = 0; lost = 0 }
+    | Hash_table ->
+        { kind; arr = Array.make slots 0; keys = Array.make slots (-1); cold = 0; lost = 0 }
+
+  let bump_cold t = t.cold <- t.cold + 1
+
+  let bump t k =
+    if k < 0 then bump_cold t
+    else
+      match t.kind with
+      | Array_table _ ->
+          if k < Array.length t.arr then t.arr.(k) <- t.arr.(k) + 1
+          else t.lost <- t.lost + 1
+      | Hash_table ->
+          let step = 1 + (k mod secondary) in
+          let rec try_slot i =
+            if i >= 3 then t.lost <- t.lost + 1
+            else begin
+              let s = (k + (i * step)) mod slots in
+              if t.keys.(s) = k then t.arr.(s) <- t.arr.(s) + 1
+              else if t.keys.(s) = -1 then begin
+                t.keys.(s) <- k;
+                t.arr.(s) <- 1
+              end
+              else try_slot (i + 1)
+            end
+          in
+          try_slot 0
+
+  let get t k =
+    match t.kind with
+    | Array_table _ -> if k >= 0 && k < Array.length t.arr then t.arr.(k) else 0
+    | Hash_table ->
+        let step = 1 + (k mod secondary) in
+        let rec try_slot i =
+          if i >= 3 then 0
+          else
+            let s = (k + (i * step)) mod slots in
+            if t.keys.(s) = k then t.arr.(s) else try_slot (i + 1)
+        in
+        if k < 0 then 0 else try_slot 0
+
+  let cold t = t.cold
+  let lost t = t.lost
+
+  let iter_nonzero t f =
+    match t.kind with
+    | Array_table _ ->
+        Array.iteri (fun k c -> if c > 0 then f k c) t.arr
+    | Hash_table ->
+        Array.iteri (fun s c -> if c > 0 && t.keys.(s) >= 0 then f t.keys.(s) c) t.arr
+
+  let dynamic_total t =
+    Array.fold_left ( + ) (t.cold + t.lost) t.arr
+end
+
+type state = (string, Table.t) Hashtbl.t
+
+let init_state (t : t) : state =
+  let st = Hashtbl.create 17 in
+  Hashtbl.iter (fun name ri -> Hashtbl.replace st name (Table.create ri.table)) t;
+  st
+
+let pp_action ppf = function
+  | Set_r v -> Format.fprintf ppf "r=%d" v
+  | Add_r v -> Format.fprintf ppf "r+=%d" v
+  | Count_r -> Format.fprintf ppf "count[r]++"
+  | Count_r_plus v -> Format.fprintf ppf "count[r+%d]++" v
+  | Count_const v -> Format.fprintf ppf "count[%d]++" v
+  | Count_checked -> Format.fprintf ppf "if r<0 cold++ else count[r]++"
+  | Count_checked_plus v ->
+      Format.fprintf ppf "if r+%d<0 cold++ else count[r+%d]++" v v
+
+let pp_table_kind ppf = function
+  | Array_table n -> Format.fprintf ppf "array[%d]" n
+  | Hash_table -> Format.fprintf ppf "hash(%d slots, 3 tries)" Table.slots

@@ -1,0 +1,69 @@
+(** Runtime representation of path-profiling instrumentation.
+
+    The instrumenters in [ppp_core] compile a routine down to this form:
+    a list of actions attached to each CFG edge, executed by the
+    interpreter as the edge is traversed, operating on a per-activation
+    path register [r] and a per-routine frequency table. This module only
+    defines the representation and the tables; placement lives in
+    [ppp_core], execution in {!Interp}. *)
+
+type action =
+  | Set_r of int  (** [r = v]: path-register initialization or poison *)
+  | Add_r of int  (** [r += v] *)
+  | Count_r  (** [count\[r\]++] *)
+  | Count_r_plus of int  (** [count\[r+v\]++] (a combined [r+=v; count\[r\]++]) *)
+  | Count_const of int  (** [count\[v\]++] (fully combined; cheapest) *)
+  | Count_checked  (** TPP poison test: [if r < 0 then cold++ else count\[r\]++] *)
+  | Count_checked_plus of int
+      (** [if r+v < 0 then cold++ else count\[r+v\]++] *)
+
+type table_kind =
+  | Array_table of int  (** direct-indexed array of the given size *)
+  | Hash_table  (** 701 slots, 3 tries of double hashing (Section 7.4) *)
+
+type routine_instr = {
+  edge_actions : action list array;  (** indexed by CFG edge id *)
+  table : table_kind;
+  num_paths : int;  (** [N], the number of numbered (hot) paths *)
+}
+
+type t = (string, routine_instr) Hashtbl.t
+(** Instrumentation per routine name; routines absent from the table are
+    uninstrumented. *)
+
+val no_instrumentation : unit -> t
+
+(** {2 Frequency tables} *)
+
+module Table : sig
+  type t
+
+  val create : table_kind -> t
+  val bump : t -> int -> unit
+  (** Count one execution of the given path number. Negative numbers
+      (TPP-style poison reaching an unchecked count) are recorded in the
+      cold counter. *)
+
+  val bump_cold : t -> unit
+  val get : t -> int -> int
+  val cold : t -> int
+  val lost : t -> int
+  (** Paths dropped because all hash tries collided (Section 7.4). *)
+
+  val iter_nonzero : t -> (int -> int -> unit) -> unit
+  (** [iter_nonzero t f] calls [f path_number count] for every recorded
+      nonzero entry. *)
+
+  val dynamic_total : t -> int
+  (** Sum of all counts including cold and lost. *)
+end
+
+type state = (string, Table.t) Hashtbl.t
+
+val init_state : t -> state
+
+val pp_action : Format.formatter -> action -> unit
+(** Render an action in the paper's notation, e.g. ["r=3"], ["r+=2"],
+    ["count[r+1]++"], ["if r<0 cold++ else count[r]++"]. *)
+
+val pp_table_kind : Format.formatter -> table_kind -> unit

@@ -1,0 +1,40 @@
+(** The interpreter: executes IR programs, optionally collecting an edge
+    profile, the ground-truth path profile, and/or executing path-profiling
+    instrumentation.
+
+    Path semantics follow Section 3.1: a back edge ends the current path
+    and starts a new one at the loop header; a call starts a fresh path in
+    the callee while the caller's path is deferred across the call; a
+    return ends the callee's current path. *)
+
+exception Runtime_error of string
+(** Division by zero, array index out of bounds, or fuel exhaustion. *)
+
+type config = {
+  fuel : int;  (** maximum dynamic instructions before aborting *)
+  collect_edges : bool;
+  trace_paths : bool;
+  instrumentation : Instr_rt.t option;
+}
+
+val default_config : config
+(** [fuel = 2_000_000_000], edge collection and path tracing on, no
+    instrumentation. *)
+
+type outcome = {
+  return_value : int option;  (** of [main] *)
+  output : int list;  (** values emitted by [Out], in order *)
+  base_cost : int;  (** cycles of the program proper *)
+  instr_cost : int;  (** cycles of instrumentation actions *)
+  dyn_instrs : int;
+  dyn_paths : int;  (** ground-truth path executions (0 unless traced) *)
+  edge_profile : Ppp_profile.Edge_profile.program option;
+  path_profile : Ppp_profile.Path_profile.program option;
+  instr_state : Instr_rt.state option;
+}
+
+val overhead : outcome -> float
+(** [instr_cost / base_cost]. *)
+
+val run : ?config:config -> Ppp_ir.Ir.program -> outcome
+(** @raise Runtime_error on any dynamic error. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Check Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/cfg_view.ml: Array Ir List Ppp_cfg

@@ -1,0 +1,1 @@
+lib/ir/cfg_view.mli: Ir Ppp_cfg

@@ -1,0 +1,1 @@
+lib/ir/check.ml: Array Cfg_view Format Hashtbl Ir List Option Ppp_cfg Printf String

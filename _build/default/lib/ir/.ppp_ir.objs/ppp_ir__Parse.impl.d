@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Check Either Format Fun Hashtbl Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/pp_ir.ml: Array Format Ir List

@@ -1,0 +1,1 @@
+lib/ir/pp_ir.mli: Format Ir

@@ -1,0 +1,191 @@
+type blk = {
+  id : int;
+  label : string;
+  mutable rev_instrs : Ir.instr list;
+  mutable term : Ir.terminator option;
+}
+
+type t = {
+  name : string;
+  nparams : int;
+  mutable nregs : int;
+  mutable rev_blocks : blk list;
+  mutable current : blk option;
+  mutable next_label : int;
+}
+
+let create ~name ~nparams =
+  let entry = { id = 0; label = "entry"; rev_instrs = []; term = None } in
+  {
+    name;
+    nparams;
+    nregs = nparams;
+    rev_blocks = [ entry ];
+    current = Some entry;
+    next_label = 0;
+  }
+
+let reg b =
+  let r = b.nregs in
+  b.nregs <- r + 1;
+  r
+
+let param b i =
+  if i < 0 || i >= b.nparams then invalid_arg "Builder.param: out of range";
+  Ir.Reg i
+
+let new_block b prefix =
+  let id = List.length b.rev_blocks in
+  b.next_label <- b.next_label + 1;
+  let label = Printf.sprintf "%s%d" prefix b.next_label in
+  let blk = { id; label; rev_instrs = []; term = None } in
+  b.rev_blocks <- blk :: b.rev_blocks;
+  blk
+
+let emit b ins =
+  match b.current with
+  | Some blk -> blk.rev_instrs <- ins :: blk.rev_instrs
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Builder(%s): instruction emitted after a terminator (early \
+            return inside a for_ body?)"
+           b.name)
+
+let seal b term =
+  match b.current with
+  | Some blk ->
+      blk.term <- Some term;
+      b.current <- None
+  | None -> invalid_arg (Printf.sprintf "Builder(%s): no open block to seal" b.name)
+
+let open_block b blk = b.current <- Some blk
+
+let mov b d v = emit b (Ir.Mov (d, v))
+let bin b d op x y = emit b (Ir.Binop (d, op, x, y))
+
+let bin_ b op x y =
+  let d = reg b in
+  bin b d op x y;
+  Ir.Reg d
+
+let load b d arr idx = emit b (Ir.Load (d, arr, idx))
+
+let load_ b arr idx =
+  let d = reg b in
+  load b d arr idx;
+  Ir.Reg d
+
+let store b arr idx v = emit b (Ir.Store (arr, idx, v))
+let call b dst callee args = emit b (Ir.Call (dst, callee, args))
+
+let call_ b callee args =
+  let d = reg b in
+  call b (Some d) callee args;
+  Ir.Reg d
+
+let out b v = emit b (Ir.Out v)
+
+let if_ b cond ~then_ ~else_ =
+  let bt = new_block b "then" in
+  let be = new_block b "else" in
+  let bj = new_block b "join" in
+  seal b (Ir.Branch (cond, bt.id, be.id));
+  open_block b bt;
+  then_ ();
+  if Option.is_some b.current then seal b (Ir.Jump bj.id);
+  open_block b be;
+  else_ ();
+  if Option.is_some b.current then seal b (Ir.Jump bj.id);
+  open_block b bj
+
+let when_ b cond body = if_ b cond ~then_:body ~else_:(fun () -> ())
+
+let while_ b ~cond ~body =
+  let bh = new_block b "head" in
+  seal b (Ir.Jump bh.id);
+  open_block b bh;
+  let c = cond () in
+  let bb = new_block b "body" in
+  let bx = new_block b "break" in
+  seal b (Ir.Branch (c, bb.id, bx.id));
+  open_block b bb;
+  body ();
+  if Option.is_some b.current then seal b (Ir.Jump bh.id);
+  open_block b bx
+
+let for_ b r ~from ~below body =
+  mov b r from;
+  let step () =
+    body ();
+    bin b r Ir.Add (Ir.Reg r) (Ir.Imm 1)
+  in
+  while_ b ~cond:(fun () -> bin_ b Ir.Lt (Ir.Reg r) below) ~body:step
+
+let ret b v = seal b (Ir.Return v)
+
+let finish b =
+  if Option.is_some b.current then seal b (Ir.Return None);
+  let blocks = Array.of_list (List.rev b.rev_blocks) in
+  Array.iter
+    (fun blk ->
+      if Option.is_none blk.term then
+        invalid_arg
+          (Printf.sprintf "Builder(%s): block %s has no terminator" b.name
+             blk.label))
+    blocks;
+  (* Prune blocks unreachable from the entry (dead code after returns in
+     both arms of a conditional) and remap targets densely. *)
+  let n = Array.length blocks in
+  let reached = Array.make n false in
+  let targets blk =
+    match Option.get blk.term with
+    | Ir.Jump l -> [ l ]
+    | Ir.Branch (_, l1, l2) -> [ l1; l2 ]
+    | Ir.Return _ -> []
+  in
+  let rec visit i =
+    if not reached.(i) then begin
+      reached.(i) <- true;
+      List.iter visit (targets blocks.(i))
+    end
+  in
+  visit 0;
+  let remap = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun i blk ->
+      if reached.(i) then begin
+        remap.(i) <- !count;
+        incr count;
+        kept := blk :: !kept
+      end)
+    blocks;
+  let kept = Array.of_list (List.rev !kept) in
+  let remap_term = function
+    | Ir.Jump l -> Ir.Jump remap.(l)
+    | Ir.Branch (c, l1, l2) -> Ir.Branch (c, remap.(l1), remap.(l2))
+    | Ir.Return v -> Ir.Return v
+  in
+  let ir_blocks =
+    Array.map
+      (fun blk ->
+        {
+          Ir.label = blk.label;
+          instrs = Array.of_list (List.rev blk.rev_instrs);
+          term = remap_term (Option.get blk.term);
+        })
+      kept
+  in
+  {
+    Ir.name = b.name;
+    nparams = b.nparams;
+    nregs = max b.nregs 1;
+    blocks = ir_blocks;
+  }
+
+let program ?(arrays = []) ~main routines =
+  let p = { Ir.arrays; routines; main } in
+  Check.program_exn p;
+  p

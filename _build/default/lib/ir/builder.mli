@@ -1,0 +1,65 @@
+(** Structured construction of routines and programs.
+
+    The builder keeps a current block open for instruction emission and
+    provides structured control flow ([if_], [while_], [for_]) that
+    always produces reducible, well-formed CFGs. Unreachable blocks left
+    behind by early returns are pruned by {!finish}. *)
+
+type t
+
+val create : name:string -> nparams:int -> t
+(** Start a routine; parameters occupy registers [0..nparams-1] and the
+    entry block is open for emission. *)
+
+val reg : t -> Ir.reg
+(** A fresh register. *)
+
+val param : t -> int -> Ir.operand
+(** [param b i] is parameter [i] as an operand. *)
+
+(* {2 Instructions} *)
+
+val mov : t -> Ir.reg -> Ir.operand -> unit
+val bin : t -> Ir.reg -> Ir.binop -> Ir.operand -> Ir.operand -> unit
+
+val bin_ : t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.operand
+(** Like {!bin} but allocates and returns a fresh destination. *)
+
+val load : t -> Ir.reg -> string -> Ir.operand -> unit
+val load_ : t -> string -> Ir.operand -> Ir.operand
+val store : t -> string -> Ir.operand -> Ir.operand -> unit
+val call : t -> Ir.reg option -> string -> Ir.operand list -> unit
+val call_ : t -> string -> Ir.operand list -> Ir.operand
+val out : t -> Ir.operand -> unit
+
+(* {2 Control flow} *)
+
+val if_ : t -> Ir.operand -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit
+(** Two-armed conditional; either arm may return early. *)
+
+val when_ : t -> Ir.operand -> (unit -> unit) -> unit
+(** One-armed conditional. *)
+
+val while_ : t -> cond:(unit -> Ir.operand) -> body:(unit -> unit) -> unit
+(** Top-tested loop; [cond] may emit instructions into the loop header. *)
+
+val for_ : t -> Ir.reg -> from:Ir.operand -> below:Ir.operand -> (unit -> unit) -> unit
+(** Counted loop [for r = from; r < below; r++]. The index register must
+    not be written by the body. *)
+
+val ret : t -> Ir.operand option -> unit
+(** Terminate the current block with a return. Further emission is only
+    legal after control flow rejoins (e.g. in the other arm of [if_]). *)
+
+val finish : t -> Ir.routine
+(** Seal the routine. An open current block is terminated with
+    [Return None].
+
+    @raise Invalid_argument if some structured construct is unclosed. *)
+
+(* {2 Programs} *)
+
+val program :
+  ?arrays:(string * int) list -> main:string -> Ir.routine list -> Ir.program
+(** Assemble and well-formedness-check a program.
+    @raise Invalid_argument on check failure. *)

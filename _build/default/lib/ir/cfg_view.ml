@@ -1,0 +1,41 @@
+module Graph = Ppp_cfg.Graph
+
+type t = {
+  routine : Ir.routine;
+  graph : Graph.t;
+  exit : Graph.node;
+  term_edges : Graph.edge array array;
+}
+
+let of_routine (r : Ir.routine) =
+  let g = Graph.create () in
+  let nblocks = Array.length r.blocks in
+  Graph.add_nodes g (nblocks + 1);
+  let exit = nblocks in
+  let term_edges =
+    Array.mapi
+      (fun i (b : Ir.block) ->
+        match b.term with
+        | Ir.Jump l -> [| Graph.add_edge g i l |]
+        | Ir.Branch (_, l1, l2) ->
+            let e1 = Graph.add_edge g i l1 in
+            let e2 = Graph.add_edge g i l2 in
+            [| e1; e2 |]
+        | Ir.Return _ -> [| Graph.add_edge g i exit |])
+      r.blocks
+  in
+  { routine = r; graph = g; exit; term_edges }
+
+let routine t = t.routine
+let graph t = t.graph
+let entry (_ : t) = 0
+let exit t = t.exit
+let jump_edge t b = t.term_edges.(b).(0)
+let branch_edge t b ~taken = t.term_edges.(b).(if taken then 0 else 1)
+let return_edge t b = t.term_edges.(b).(0)
+let block_of_node t v = if v = t.exit then None else Some v
+
+let is_branch_edge t e = Graph.out_degree t.graph (Graph.src t.graph e) >= 2
+
+let num_branch_edges_on t edges =
+  List.fold_left (fun acc e -> if is_branch_edge t e then acc + 1 else acc) 0 edges

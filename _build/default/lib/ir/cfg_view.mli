@@ -1,0 +1,37 @@
+(** The control-flow graph of a routine.
+
+    Nodes are block indices; one extra virtual exit node collects all
+    [Return] terminators, giving every routine the single-entry /
+    single-exit shape path profiling requires. Edge identifiers are shared
+    between the instrumenter (which attaches actions to them) and the
+    interpreter (which looks up the edge taken by each control transfer). *)
+
+type t
+
+val of_routine : Ir.routine -> t
+
+val routine : t -> Ir.routine
+val graph : t -> Ppp_cfg.Graph.t
+val entry : t -> Ppp_cfg.Graph.node
+val exit : t -> Ppp_cfg.Graph.node
+(** The virtual exit node (equal to the number of blocks). *)
+
+val jump_edge : t -> int -> Ppp_cfg.Graph.edge
+(** Edge taken by the [Jump] terminator of the given block. *)
+
+val branch_edge : t -> int -> taken:bool -> Ppp_cfg.Graph.edge
+(** Edge taken by the [Branch] of the given block ([taken] = condition
+    was nonzero). *)
+
+val return_edge : t -> int -> Ppp_cfg.Graph.edge
+(** Edge from the given block's [Return] to the virtual exit. *)
+
+val block_of_node : t -> Ppp_cfg.Graph.node -> int option
+(** [None] for the virtual exit node. *)
+
+val is_branch_edge : t -> Ppp_cfg.Graph.edge -> bool
+(** True when the edge's source block has at least one other outgoing
+    edge — the paper's definition of a branch (Section 5.1). *)
+
+val num_branch_edges_on : t -> Ppp_cfg.Graph.edge list -> int
+(** The [b_p] of a path given as its edge list. *)

@@ -1,0 +1,118 @@
+module Graph = Ppp_cfg.Graph
+module Order = Ppp_cfg.Order
+
+let check_routine (p : Ir.program) (r : Ir.routine) errors =
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let nblocks = Array.length r.blocks in
+  if nblocks = 0 then err "routine %s: no blocks" r.name
+  else begin
+    let errors_at_start = List.length !errors in
+    if r.nparams > r.nregs then
+      err "routine %s: %d params but only %d registers" r.name r.nparams r.nregs;
+    let labels = Hashtbl.create 7 in
+    Array.iter
+      (fun (b : Ir.block) ->
+        if Hashtbl.mem labels b.label then
+          err "routine %s: duplicate label %s" r.name b.label
+        else Hashtbl.replace labels b.label ())
+      r.blocks;
+    let check_reg reg where =
+      if reg < 0 || reg >= r.nregs then
+        err "routine %s, %s: register r%d out of range (nregs=%d)" r.name where
+          reg r.nregs
+    in
+    let check_operand op where =
+      match op with Ir.Reg reg -> check_reg reg where | Ir.Imm _ -> ()
+    in
+    let check_target l where =
+      if l < 0 || l >= nblocks then
+        err "routine %s, %s: block target %d out of range" r.name where l
+    in
+    let check_array a where =
+      if not (List.mem_assoc a p.arrays) then
+        err "routine %s, %s: undeclared array %s" r.name where a
+    in
+    Array.iteri
+      (fun i (b : Ir.block) ->
+        let where = Printf.sprintf "block %s(%d)" b.label i in
+        Array.iter
+          (fun (ins : Ir.instr) ->
+            match ins with
+            | Ir.Mov (d, v) ->
+                check_reg d where;
+                check_operand v where
+            | Ir.Binop (d, _, a, bop) ->
+                check_reg d where;
+                check_operand a where;
+                check_operand bop where
+            | Ir.Load (d, arr, idx) ->
+                check_reg d where;
+                check_array arr where;
+                check_operand idx where
+            | Ir.Store (arr, idx, v) ->
+                check_array arr where;
+                check_operand idx where;
+                check_operand v where
+            | Ir.Call (dst, callee, args) -> (
+                Option.iter (fun d -> check_reg d where) dst;
+                List.iter (fun a -> check_operand a where) args;
+                match Ir.find_routine p callee with
+                | None -> err "routine %s, %s: unknown callee %s" r.name where callee
+                | Some c ->
+                    if List.length args <> c.nparams then
+                      err "routine %s, %s: %s expects %d args, got %d" r.name
+                        where callee c.nparams (List.length args))
+            | Ir.Out v -> check_operand v where)
+          b.instrs;
+        match b.term with
+        | Ir.Jump l -> check_target l where
+        | Ir.Branch (c, l1, l2) ->
+            check_operand c where;
+            check_target l1 where;
+            check_target l2 where;
+            if l1 = l2 then
+              err "routine %s, %s: branch targets must be distinct" r.name where
+        | Ir.Return v -> Option.iter (fun op -> check_operand op where) v)
+      r.blocks;
+    (* Structural checks only make sense once targets are in range. *)
+    if List.length !errors = errors_at_start then begin
+      let view = Cfg_view.of_routine r in
+      let g = Cfg_view.graph view in
+      let from_entry = Order.reachable g (Cfg_view.entry view) in
+      let to_exit = Order.co_reachable g (Cfg_view.exit view) in
+      Array.iteri
+        (fun i (b : Ir.block) ->
+          if not from_entry.(i) then
+            err "routine %s: block %s unreachable from entry" r.name b.label
+          else if not to_exit.(i) then
+            err "routine %s: block %s cannot reach a return" r.name b.label)
+        r.blocks
+    end
+  end
+
+let program (p : Ir.program) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let seen_arrays = Hashtbl.create 7 in
+  List.iter
+    (fun (name, size) ->
+      if Hashtbl.mem seen_arrays name then err "duplicate array %s" name
+      else Hashtbl.replace seen_arrays name ();
+      if size <= 0 then err "array %s: size must be positive" name)
+    p.arrays;
+  let seen_routines = Hashtbl.create 7 in
+  List.iter
+    (fun (r : Ir.routine) ->
+      if Hashtbl.mem seen_routines r.name then err "duplicate routine %s" r.name
+      else Hashtbl.replace seen_routines r.name ())
+    p.routines;
+  (match Ir.find_routine p p.main with
+  | None -> err "main routine %s not found" p.main
+  | Some m -> if m.nparams <> 0 then err "main routine %s must take no parameters" p.main);
+  List.iter (fun r -> check_routine p r errors) p.routines;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let program_exn p =
+  match program p with
+  | Ok () -> ()
+  | Error es -> invalid_arg (String.concat "\n" es)

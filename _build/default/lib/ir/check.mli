@@ -1,0 +1,13 @@
+(** Well-formedness checking.
+
+    The instrumenter and interpreter both assume these invariants, the
+    most important being: every block of a routine is reachable from its
+    entry and can reach a [Return] (so the virtual exit is co-reachable,
+    which path numbering requires), and [Branch] targets are distinct (so
+    a routine's CFG has no parallel edges). *)
+
+val program : Ir.program -> (unit, string list) result
+(** All violations found, not just the first. *)
+
+val program_exn : Ir.program -> unit
+(** @raise Invalid_argument with all violations joined by newlines. *)

@@ -1,0 +1,317 @@
+exception Error of string
+
+type token =
+  | Tident of string
+  | Treg of int
+  | Tint of int
+  | Top of string (* binary operator symbol *)
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tlbrace
+  | Trbrace
+  | Tequal
+  | Tcomma
+  | Tcolon
+  | Tminus
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* {2 Lexer} *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      (* rN is a register; any other identifier (even r_foo) is a name. *)
+      if
+        String.length word >= 2
+        && word.[0] = 'r'
+        && String.for_all is_digit (String.sub word 1 (String.length word - 1))
+      then push (Treg (int_of_string (String.sub word 1 (String.length word - 1))))
+      else push (Tident word)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<<" | ">>" | "<=" | ">=" | "==" | "!=") as op) ->
+          push (Top op);
+          i := !i + 2
+      | _ ->
+          (match c with
+          | '(' -> push Tlparen
+          | ')' -> push Trparen
+          | '[' -> push Tlbracket
+          | ']' -> push Trbracket
+          | '{' -> push Tlbrace
+          | '}' -> push Trbrace
+          | '=' -> push Tequal
+          | ',' -> push Tcomma
+          | ':' -> push Tcolon
+          | '-' -> push Tminus
+          | '+' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' ->
+              push (Top (String.make 1 c))
+          | _ -> fail !line "unexpected character %C" c);
+          incr i
+    end
+  done;
+  List.rev !tokens
+
+(* {2 Parser} *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+let cur_line st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+
+let next st =
+  match st.toks with
+  | [] -> fail 0 "unexpected end of input"
+  | (t, l) :: rest ->
+      st.toks <- rest;
+      (t, l)
+
+let expect st tok what =
+  let t, l = next st in
+  if t <> tok then fail l "expected %s" what
+
+let expect_ident st what =
+  match next st with
+  | Tident s, _ -> s
+  | _, l -> fail l "expected %s" what
+
+let expect_int st what =
+  match next st with
+  | Tint i, _ -> i
+  | _, l -> fail l "expected %s" what
+
+let parse_operand st =
+  match next st with
+  | Treg r, _ -> Ir.Reg r
+  | Tint i, _ -> Ir.Imm i
+  | Tminus, l -> (
+      match next st with
+      | Tint i, _ -> Ir.Imm (-i)
+      | _ -> fail l "expected integer after '-'")
+  | _, l -> fail l "expected operand"
+
+let starts_operand = function
+  | Some (Treg _ | Tint _ | Tminus) -> true
+  | _ -> false
+
+let parse_args st =
+  expect st Tlparen "'('";
+  if peek st = Some Trparen then begin
+    ignore (next st);
+    []
+  end
+  else begin
+    let args = ref [ parse_operand st ] in
+    while peek st = Some Tcomma do
+      ignore (next st);
+      args := parse_operand st :: !args
+    done;
+    expect st Trparen "')'";
+    List.rev !args
+  end
+
+(* A binary operator position: either a Top token or a bare Tminus. *)
+let peek_binop st =
+  match peek st with
+  | Some (Top op) -> Some op
+  | Some Tminus -> Some "-"
+  | _ -> None
+
+type raw_term =
+  | Rjump of string
+  | Rbr of Ir.operand * string * string
+  | Rret of Ir.operand option
+
+type raw_block = {
+  rlabel : string;
+  rinstrs : Ir.instr list;
+  rterm : raw_term;
+  rline : int;
+}
+
+let parse_stmt_or_term st =
+  (* Returns [Either an instr or a terminator]. *)
+  match next st with
+  | Tident "jump", _ -> Either.Right (Rjump (expect_ident st "jump target"))
+  | Tident "br", _ ->
+      let c = parse_operand st in
+      expect st Tcomma "','";
+      let l1 = expect_ident st "branch target" in
+      expect st Tcomma "','";
+      let l2 = expect_ident st "branch target" in
+      Either.Right (Rbr (c, l1, l2))
+  | Tident "ret", _ ->
+      if starts_operand (peek st) then Either.Right (Rret (Some (parse_operand st)))
+      else Either.Right (Rret None)
+  | Tident "out", _ -> Either.Left (Ir.Out (parse_operand st))
+  | Tident "call", _ ->
+      let callee = expect_ident st "callee name" in
+      let args = parse_args st in
+      Either.Left (Ir.Call (None, callee, args))
+  | Tident arr, l ->
+      (* store: arr[idx] = v *)
+      if peek st <> Some Tlbracket then fail l "expected '[' after array name";
+      ignore (next st);
+      let idx = parse_operand st in
+      expect st Trbracket "']'";
+      expect st Tequal "'='";
+      let v = parse_operand st in
+      Either.Left (Ir.Store (arr, idx, v))
+  | Treg d, l -> (
+      expect st Tequal "'='";
+      match peek st with
+      | Some (Tident "call") ->
+          ignore (next st);
+          let callee = expect_ident st "callee name" in
+          let args = parse_args st in
+          Either.Left (Ir.Call (Some d, callee, args))
+      | Some (Tident arr) ->
+          ignore (next st);
+          expect st Tlbracket "'['";
+          let idx = parse_operand st in
+          expect st Trbracket "']'";
+          Either.Left (Ir.Load (d, arr, idx))
+      | _ -> (
+          let a = parse_operand st in
+          match peek_binop st with
+          | None -> Either.Left (Ir.Mov (d, a))
+          | Some opname -> (
+              ignore (next st);
+              let b = parse_operand st in
+              match Ir.binop_of_name opname with
+              | Some op -> Either.Left (Ir.Binop (d, op, a, b))
+              | None -> fail l "unknown operator %s" opname)))
+  | _, l -> fail l "expected statement"
+
+let parse_block st =
+  let rline = cur_line st in
+  let rlabel = expect_ident st "block label" in
+  expect st Tcolon "':'";
+  let instrs = ref [] in
+  let rec loop () =
+    match parse_stmt_or_term st with
+    | Either.Left i ->
+        instrs := i :: !instrs;
+        loop ()
+    | Either.Right t -> t
+  in
+  let rterm = loop () in
+  { rlabel; rinstrs = List.rev !instrs; rterm; rline }
+
+let parse_routine st =
+  let name = expect_ident st "routine name" in
+  expect st Tlparen "'('";
+  let nparams = expect_int st "parameter count" in
+  expect st Trparen "')'";
+  (match next st with
+  | Tident "regs", _ -> ()
+  | _, l -> fail l "expected 'regs'");
+  let nregs = expect_int st "register count" in
+  expect st Tlbrace "'{'";
+  let blocks = ref [] in
+  while peek st <> Some Trbrace do
+    blocks := parse_block st :: !blocks
+  done;
+  ignore (next st);
+  let blocks = Array.of_list (List.rev !blocks) in
+  let index = Hashtbl.create 7 in
+  Array.iteri
+    (fun i b ->
+      if Hashtbl.mem index b.rlabel then
+        fail b.rline "duplicate label %s in routine %s" b.rlabel name;
+      Hashtbl.replace index b.rlabel i)
+    blocks;
+  let resolve line lbl =
+    match Hashtbl.find_opt index lbl with
+    | Some i -> i
+    | None -> fail line "unknown label %s in routine %s" lbl name
+  in
+  let ir_blocks =
+    Array.map
+      (fun b ->
+        let term =
+          match b.rterm with
+          | Rjump l -> Ir.Jump (resolve b.rline l)
+          | Rbr (c, l1, l2) -> Ir.Branch (c, resolve b.rline l1, resolve b.rline l2)
+          | Rret v -> Ir.Return v
+        in
+        { Ir.label = b.rlabel; instrs = Array.of_list b.rinstrs; term })
+      blocks
+  in
+  { Ir.name; nparams; nregs; blocks = ir_blocks }
+
+let program_of_string src =
+  let st = { toks = tokenize src } in
+  let arrays = ref [] in
+  let routines = ref [] in
+  let main = ref None in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some _ ->
+        (match next st with
+        | Tident "array", _ ->
+            let name = expect_ident st "array name" in
+            let size = expect_int st "array size" in
+            arrays := (name, size) :: !arrays
+        | Tident "main", _ -> main := Some (expect_ident st "main routine name")
+        | Tident "routine", _ -> routines := parse_routine st :: !routines
+        | _, l -> fail l "expected 'array', 'main' or 'routine'");
+        loop ()
+  in
+  loop ();
+  let p =
+    {
+      Ir.arrays = List.rev !arrays;
+      routines = List.rev !routines;
+      main = Option.value !main ~default:"main";
+    }
+  in
+  Check.program_exn p;
+  p
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> program_of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,34 @@
+(** Parser for the textual [.pir] format produced by {!Pp_ir}.
+
+    Grammar (comments run from [#] to end of line):
+    {v
+      program  := decl*
+      decl     := "array" IDENT INT
+                | "main" IDENT
+                | "routine" IDENT "(" INT ")" "regs" INT "{" block+ "}"
+      block    := IDENT ":" stmt* term
+      stmt     := REG "=" "call" IDENT "(" operands ")"
+                | REG "=" IDENT "[" operand "]"
+                | REG "=" operand (BINOP operand)?
+                | IDENT "[" operand "]" "=" operand
+                | "call" IDENT "(" operands ")"
+                | "out" operand
+      term     := "jump" IDENT
+                | "br" operand "," IDENT "," IDENT
+                | "ret" operand?
+      operand  := REG | INT | "-" INT
+    v}
+    Integer literals must have magnitude at most [max_int] (so [min_int]
+    itself is not expressible).
+    Registers are written [rN]. The default entry routine is [main]
+    unless a [main NAME] declaration overrides it. *)
+
+exception Error of string
+(** Raised with a message including the offending line number. *)
+
+val program_of_string : string -> Ir.program
+(** Parse and well-formedness-check a program.
+    @raise Error on syntax errors.
+    @raise Invalid_argument on well-formedness errors. *)
+
+val program_of_file : string -> Ir.program

@@ -1,0 +1,50 @@
+let pp_operand ppf = function
+  | Ir.Reg r -> Format.fprintf ppf "r%d" r
+  | Ir.Imm i -> Format.fprintf ppf "%d" i
+
+let pp_instr ppf = function
+  | Ir.Mov (d, v) -> Format.fprintf ppf "r%d = %a" d pp_operand v
+  | Ir.Binop (d, op, a, b) ->
+      Format.fprintf ppf "r%d = %a %s %a" d pp_operand a (Ir.binop_name op)
+        pp_operand b
+  | Ir.Load (d, arr, idx) ->
+      Format.fprintf ppf "r%d = %s[%a]" d arr pp_operand idx
+  | Ir.Store (arr, idx, v) ->
+      Format.fprintf ppf "%s[%a] = %a" arr pp_operand idx pp_operand v
+  | Ir.Call (dst, callee, args) ->
+      let pp_args ppf args =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+          pp_operand ppf args
+      in
+      (match dst with
+      | Some d -> Format.fprintf ppf "r%d = call %s(%a)" d callee pp_args args
+      | None -> Format.fprintf ppf "call %s(%a)" callee pp_args args)
+  | Ir.Out v -> Format.fprintf ppf "out %a" pp_operand v
+
+let pp_term blocks ppf = function
+  | Ir.Jump l -> Format.fprintf ppf "jump %s" blocks.(l).Ir.label
+  | Ir.Branch (c, l1, l2) ->
+      Format.fprintf ppf "br %a, %s, %s" pp_operand c blocks.(l1).Ir.label
+        blocks.(l2).Ir.label
+  | Ir.Return None -> Format.fprintf ppf "ret"
+  | Ir.Return (Some v) -> Format.fprintf ppf "ret %a" pp_operand v
+
+let pp_routine ppf (r : Ir.routine) =
+  Format.fprintf ppf "@[<v>routine %s(%d) regs %d {" r.name r.nparams r.nregs;
+  Array.iter
+    (fun (b : Ir.block) ->
+      Format.fprintf ppf "@,%s:" b.label;
+      Array.iter (fun i -> Format.fprintf ppf "@,  %a" pp_instr i) b.instrs;
+      Format.fprintf ppf "@,  %a" (pp_term r.blocks) b.term)
+    r.blocks;
+  Format.fprintf ppf "@,}@]"
+
+let pp_program ppf (p : Ir.program) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, size) -> Format.fprintf ppf "array %s %d@,@," name size) p.arrays;
+  Format.fprintf ppf "main %s@," p.main;
+  List.iter (fun r -> Format.fprintf ppf "@,%a@," pp_routine r) p.routines;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a@." pp_program p

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Hashtbl List Option Ppp_ir Printf

@@ -1,0 +1,1 @@
+lib/opt/superblock.ml: Array List Ppp_ir Ppp_profile Printf

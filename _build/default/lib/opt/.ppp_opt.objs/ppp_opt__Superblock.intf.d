@@ -1,0 +1,1 @@
+lib/opt/superblock.mli: Ppp_ir Ppp_profile

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Array List Ppp_cfg Ppp_ir Ppp_profile Printf

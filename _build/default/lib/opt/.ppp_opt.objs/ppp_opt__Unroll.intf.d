@@ -1,0 +1,1 @@
+lib/opt/unroll.mli: Ppp_ir Ppp_profile

@@ -1,0 +1,243 @@
+module Ir = Ppp_ir.Ir
+
+type stats = {
+  sites_inlined : int;
+  dynamic_calls_inlined : int;
+  dynamic_calls_total : int;
+  size_before : int;
+  size_after : int;
+}
+
+let pct_dynamic_inlined s =
+  if s.dynamic_calls_total = 0 then 0.0
+  else float_of_int s.dynamic_calls_inlined /. float_of_int s.dynamic_calls_total
+
+(* Working copy of a routine with per-block frequency annotations that
+   survive splicing. *)
+type work = { mutable routine : Ir.routine; mutable freqs : int array }
+
+type site = {
+  caller : string;
+  block : int;
+  instr : int;
+  callee : string;
+  freq : int;
+  priority : float;
+}
+
+let call_sites works =
+  Hashtbl.fold
+    (fun caller w acc ->
+      let acc = ref acc in
+      Array.iteri
+        (fun bi (b : Ir.block) ->
+          Array.iteri
+            (fun ii ins ->
+              match ins with
+              | Ir.Call (_, callee, _) ->
+                  acc :=
+                    {
+                      caller;
+                      block = bi;
+                      instr = ii;
+                      callee;
+                      freq = w.freqs.(bi);
+                      priority = 0.0;
+                    }
+                    :: !acc
+              | _ -> ())
+            b.Ir.instrs)
+        w.routine.Ir.blocks;
+      !acc)
+    works []
+
+(* Callees on a call-graph cycle through the caller must not be inlined.
+   [reaches works a b] is true when routine [a] (transitively) calls [b]. *)
+let reaches works a b =
+  let seen = Hashtbl.create 7 in
+  let rec go name =
+    name = b
+    || (not (Hashtbl.mem seen name))
+       && begin
+            Hashtbl.replace seen name ();
+            match Hashtbl.find_opt works name with
+            | None -> false
+            | Some w ->
+                Array.exists
+                  (fun (blk : Ir.block) ->
+                    Array.exists
+                      (function Ir.Call (_, c, _) -> go c | _ -> false)
+                      blk.Ir.instrs)
+                  w.routine.Ir.blocks
+          end
+  in
+  go a
+
+(* Splice [callee] into [caller] at the given call site. Caller block
+   indices are preserved; the callee body and the continuation block are
+   appended. *)
+let splice w (callee : Ir.routine) callee_freqs ~block ~instr ~uid =
+  let caller = w.routine in
+  let nb = Array.length caller.Ir.blocks in
+  let ncallee = Array.length callee.Ir.blocks in
+  let site_block = caller.Ir.blocks.(block) in
+  let dst, args =
+    match site_block.Ir.instrs.(instr) with
+    | Ir.Call (dst, _, args) -> (dst, args)
+    | _ -> invalid_arg "Inline.splice: not a call site"
+  in
+  let shift = caller.Ir.nregs in
+  let shift_operand = function
+    | Ir.Reg r -> Ir.Reg (r + shift)
+    | Ir.Imm i -> Ir.Imm i
+  in
+  let shift_instr = function
+    | Ir.Mov (d, v) -> Ir.Mov (d + shift, shift_operand v)
+    | Ir.Binop (d, op, a, b) ->
+        Ir.Binop (d + shift, op, shift_operand a, shift_operand b)
+    | Ir.Load (d, arr, i) -> Ir.Load (d + shift, arr, shift_operand i)
+    | Ir.Store (arr, i, v) -> Ir.Store (arr, shift_operand i, shift_operand v)
+    | Ir.Call (d, f, xs) ->
+        Ir.Call (Option.map (fun r -> r + shift) d, f, List.map shift_operand xs)
+    | Ir.Out v -> Ir.Out (shift_operand v)
+  in
+  let post_index = nb + ncallee in
+  (* The call block keeps its instructions up to the call, then assigns
+     the arguments to the callee's (shifted) parameter registers and jumps
+     to the callee entry. *)
+  let arg_movs =
+    List.mapi (fun i a -> Ir.Mov (i + shift, a)) args |> Array.of_list
+  in
+  let pre =
+    {
+      Ir.label = site_block.Ir.label;
+      instrs = Array.append (Array.sub site_block.Ir.instrs 0 instr) arg_movs;
+      term = Ir.Jump nb;
+    }
+  in
+  let post =
+    {
+      Ir.label = Printf.sprintf "inl%d_cont" uid;
+      instrs =
+        Array.sub site_block.Ir.instrs (instr + 1)
+          (Array.length site_block.Ir.instrs - instr - 1);
+      term = site_block.Ir.term;
+    }
+  in
+  let callee_blocks =
+    Array.mapi
+      (fun i (b : Ir.block) ->
+        let term =
+          match b.Ir.term with
+          | Ir.Jump l -> Ir.Jump (nb + l)
+          | Ir.Branch (c, l1, l2) -> Ir.Branch (shift_operand c, nb + l1, nb + l2)
+          | Ir.Return v -> (
+              (* The return becomes an assignment to the caller's result
+                 register (if any) and a jump to the continuation. *)
+              ignore v;
+              Ir.Jump post_index)
+        in
+        let extra =
+          match (b.Ir.term, dst) with
+          | Ir.Return (Some v), Some d -> [| Ir.Mov (d, shift_operand v) |]
+          | Ir.Return None, Some d -> [| Ir.Mov (d, Ir.Imm 0) |]
+          | _ -> [||]
+        in
+        ignore i;
+        {
+          Ir.label = Printf.sprintf "inl%d_%s" uid b.Ir.label;
+          instrs = Array.append (Array.map shift_instr b.Ir.instrs) extra;
+          term;
+        })
+      callee.Ir.blocks
+  in
+  let blocks = Array.make (nb + ncallee + 1) pre in
+  Array.blit caller.Ir.blocks 0 blocks 0 nb;
+  blocks.(block) <- pre;
+  Array.blit callee_blocks 0 blocks nb ncallee;
+  blocks.(post_index) <- post;
+  (* Frequency annotations: the callee body is scaled to this call site's
+     share of the callee's total invocations. *)
+  let site_freq = w.freqs.(block) in
+  let callee_entry = max 1 callee_freqs.(0) in
+  let scaled =
+    Array.map (fun f -> f * site_freq / callee_entry) callee_freqs
+  in
+  let freqs = Array.make (nb + ncallee + 1) 0 in
+  Array.blit w.freqs 0 freqs 0 nb;
+  Array.blit scaled 0 freqs nb ncallee;
+  freqs.(post_index) <- site_freq;
+  w.routine <- { caller with Ir.blocks; nregs = caller.Ir.nregs + callee.Ir.nregs };
+  w.freqs <- freqs
+
+let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
+    (p : Ir.program) ~block_freq =
+  let size_before = Ir.program_size p in
+  let budget = size_before + int_of_float (ceil (code_bloat *. float_of_int size_before)) in
+  let works = Hashtbl.create 17 in
+  List.iter
+    (fun (r : Ir.routine) ->
+      let freqs =
+        Array.init (Array.length r.Ir.blocks) (fun bi ->
+            block_freq ~routine:r.Ir.name ~block:bi)
+      in
+      Hashtbl.replace works r.Ir.name { routine = r; freqs })
+    p.routines;
+  let dynamic_calls_total =
+    List.fold_left
+      (fun acc s -> acc + s.freq)
+      0 (call_sites works)
+  in
+  let sites_inlined = ref 0 in
+  let dynamic_inlined = ref 0 in
+  let uid = ref 0 in
+  let current_size () =
+    Hashtbl.fold (fun _ w acc -> acc + Ir.num_instrs w.routine) works 0
+  in
+  let continue = ref true in
+  while !continue do
+    let candidates =
+      List.filter_map
+        (fun s ->
+          if s.freq < min_site_freq then None
+          else
+            match Hashtbl.find_opt works s.callee with
+            | None -> None
+            | Some cw ->
+                let csize = Ir.num_instrs cw.routine in
+                if csize > max_callee_size then None
+                else if current_size () + csize > budget then None
+                else if reaches works s.callee s.caller then None
+                else Some { s with priority = float_of_int s.freq /. float_of_int csize })
+        (call_sites works)
+    in
+    match
+      List.sort
+        (fun a b ->
+          match compare b.priority a.priority with
+          | 0 -> compare (a.caller, a.block, a.instr) (b.caller, b.block, b.instr)
+          | c -> c)
+        candidates
+    with
+    | [] -> continue := false
+    | best :: _ ->
+        let w = Hashtbl.find works best.caller in
+        let cw = Hashtbl.find works best.callee in
+        incr uid;
+        splice w cw.routine cw.freqs ~block:best.block ~instr:best.instr ~uid:!uid;
+        incr sites_inlined;
+        dynamic_inlined := !dynamic_inlined + best.freq
+  done;
+  let routines =
+    List.map (fun (r : Ir.routine) -> (Hashtbl.find works r.Ir.name).routine) p.routines
+  in
+  let p' = { p with Ir.routines } in
+  Ppp_ir.Check.program_exn p';
+  ( p',
+    {
+      sites_inlined = !sites_inlined;
+      dynamic_calls_inlined = !dynamic_inlined;
+      dynamic_calls_total;
+      size_before;
+      size_after = Ir.program_size p';
+    } )

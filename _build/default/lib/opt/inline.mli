@@ -1,0 +1,35 @@
+(** Profile-guided inlining (Section 7.3).
+
+    Follows the Arnold et al. cost/benefit scheme the paper uses: each
+    call site gets a priority of [callee hotness / callee size]; call
+    sites are inlined in decreasing priority until total program size has
+    grown by the code-bloat budget. Callees larger than [max_callee_size]
+    IR statements and (mutually) recursive call chains are never inlined.
+    Inlining is iterative, so a hot call inside an inlined body can be
+    inlined in a later round, up to the bloat budget. *)
+
+type stats = {
+  sites_inlined : int;
+  dynamic_calls_inlined : int;  (** calls removed, weighted by frequency *)
+  dynamic_calls_total : int;
+  size_before : int;
+  size_after : int;
+}
+
+val pct_dynamic_inlined : stats -> float
+(** The "% calls inlined" column of Table 1. *)
+
+val run :
+  ?code_bloat:float ->
+  ?max_callee_size:int ->
+  ?min_site_freq:int ->
+  Ppp_ir.Ir.program ->
+  block_freq:(routine:string -> block:int -> int) ->
+  Ppp_ir.Ir.program * stats
+(** [run p ~block_freq] inlines call sites of [p]. [block_freq] gives the
+    execution count of a basic block (a call site executes as often as
+    its block), derivable from an edge profile. Call sites executing
+    fewer than [min_site_freq] times are not candidates (Arnold et al.'s
+    hotness criterion — cold sites have no expected benefit). Defaults:
+    [code_bloat = 0.05] (5%), [max_callee_size = 200] (Section 7.3),
+    [min_site_freq = 16]. *)

@@ -1,0 +1,160 @@
+module Ir = Ppp_ir.Ir
+module Path = Ppp_profile.Path
+module Cfg_view = Ppp_ir.Cfg_view
+
+type stats = {
+  routines_optimized : int;
+  blocks_duplicated : int;
+  jumps_merged : int;
+}
+
+let targets (term : Ir.terminator) =
+  match term with
+  | Ir.Jump l -> [ l ]
+  | Ir.Branch (_, l1, l2) -> [ l1; l2 ]
+  | Ir.Return _ -> []
+
+let retarget term ~from ~to_ =
+  match term with
+  | Ir.Jump l -> Ir.Jump (if l = from then to_ else l)
+  | Ir.Branch (c, l1, l2) ->
+      Ir.Branch (c, (if l1 = from then to_ else l1), if l2 = from then to_ else l2)
+  | Ir.Return v -> Ir.Return v
+
+(* Number of predecessors of each block. *)
+let pred_counts blocks =
+  let n = Array.length blocks in
+  let preds = Array.make n 0 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun t -> preds.(t) <- preds.(t) + 1) (targets b.Ir.term))
+    blocks;
+  preds
+
+(* Drop unreachable blocks and renumber. *)
+let prune blocks =
+  let n = Array.length blocks in
+  let reached = Array.make n false in
+  let rec visit i =
+    if not reached.(i) then begin
+      reached.(i) <- true;
+      List.iter visit (targets blocks.(i).Ir.term)
+    end
+  in
+  visit 0;
+  let remap = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if reached.(i) then begin
+        remap.(i) <- !count;
+        incr count;
+        kept := b :: !kept
+      end)
+    blocks;
+  let remap_term = function
+    | Ir.Jump l -> Ir.Jump remap.(l)
+    | Ir.Branch (c, l1, l2) -> Ir.Branch (c, remap.(l1), remap.(l2))
+    | Ir.Return v -> Ir.Return v
+  in
+  Array.of_list (List.rev !kept)
+  |> Array.map (fun (b : Ir.block) -> { b with Ir.term = remap_term b.Ir.term })
+
+let optimize_routine (r : Ir.routine) trace ~max_trace ~dup_count ~merge_count =
+  let blocks = ref (Array.to_list r.Ir.blocks |> Array.of_list) in
+  let append b =
+    let arr = Array.make (Array.length !blocks + 1) b in
+    Array.blit !blocks 0 arr 0 (Array.length !blocks);
+    blocks := arr;
+    Array.length !blocks - 1
+  in
+  (* Phase 1: tail-duplicate side entrances along the trace. *)
+  let uid = ref 0 in
+  let cur = ref (List.hd trace) in
+  let visited = ref [ List.hd trace ] in
+  List.iteri
+    (fun i v ->
+      if i > 0 && i < max_trace then begin
+        let u = !cur in
+        let bu = !blocks.(u) in
+        (* Only continue if the trace edge still exists from the current
+           (possibly duplicated) block. *)
+        if List.mem v (targets bu.Ir.term) then
+          let preds = pred_counts !blocks in
+          if v <> 0 && preds.(v) > 1 && not (List.mem v !visited) then begin
+            incr uid;
+            incr dup_count;
+            let copy =
+              {
+                !blocks.(v) with
+                Ir.label = Printf.sprintf "%s_sb%d" !blocks.(v).Ir.label !uid;
+              }
+            in
+            let v' = append copy in
+            !blocks.(u) <-
+              { bu with Ir.term = retarget bu.Ir.term ~from:v ~to_:v' };
+            cur := v';
+            visited := v' :: !visited
+          end
+          else begin
+            cur := v;
+            visited := v :: !visited
+          end
+      end)
+    trace;
+  (* Phase 2: merge jump-linked single-predecessor chains. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let preds = pred_counts !blocks in
+    Array.iteri
+      (fun i (b : Ir.block) ->
+        match b.Ir.term with
+        | Ir.Jump v when v <> 0 && v <> i && preds.(v) = 1 ->
+            let bv = !blocks.(v) in
+            !blocks.(i) <-
+              {
+                b with
+                Ir.instrs = Array.append b.Ir.instrs bv.Ir.instrs;
+                term = bv.Ir.term;
+              };
+            (* Make the absorbed block self-looping garbage so it cannot
+               be merged again this round; pruning removes it. *)
+            !blocks.(v) <- { bv with Ir.instrs = [||]; term = Ir.Jump v };
+            incr merge_count;
+            changed := true
+        | _ -> ())
+      !blocks
+  done;
+  { r with Ir.blocks = prune !blocks }
+
+
+
+let form ?(max_trace = 32) (p : Ir.program) ~hot_paths =
+  let dup_count = ref 0 in
+  let merge_count = ref 0 in
+  let optimized = ref 0 in
+  let routines =
+    List.map
+      (fun (r : Ir.routine) ->
+        match List.assoc_opt r.Ir.name hot_paths with
+        | None -> r
+        | Some path ->
+            let view = Cfg_view.of_routine r in
+            let trace = Path.blocks view path in
+            if List.length trace < 2 then r
+            else begin
+              incr optimized;
+              optimize_routine r trace ~max_trace ~dup_count ~merge_count
+            end)
+      p.Ir.routines
+  in
+  let p' = { p with Ir.routines } in
+  Ppp_ir.Check.program_exn p';
+  ( p',
+    {
+      routines_optimized = !optimized;
+      blocks_duplicated = !dup_count;
+      jumps_merged = !merge_count;
+    } )

@@ -1,0 +1,24 @@
+(** Superblock formation from hot paths — the consumer the paper's
+    introduction motivates: a dynamic optimizer that uses the path
+    profile to straighten the hottest traces.
+
+    Along a hot path, every side entrance is removed by tail duplication
+    (a join block reached from off the path gets a private copy for the
+    path), and jump-linked blocks are merged, eliminating the jump. The
+    transformation is semantics-preserving for any input; the hot path
+    simply executes fewer control transfers. *)
+
+type stats = {
+  routines_optimized : int;
+  blocks_duplicated : int;
+  jumps_merged : int;
+}
+
+val form :
+  ?max_trace:int ->
+  Ppp_ir.Ir.program ->
+  hot_paths:(string * Ppp_profile.Path.t) list ->
+  Ppp_ir.Ir.program * stats
+(** [form p ~hot_paths] straightens the first (hottest) listed path of
+    each routine. [max_trace] bounds the blocks considered per trace
+    (default 32). *)

@@ -1,0 +1,142 @@
+module Graph = Ppp_cfg.Graph
+module Loop = Ppp_cfg.Loop
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+
+type stats = {
+  loops_unrolled : int;
+  loops_seen : int;
+  avg_dynamic_factor : float;
+}
+
+(* Unroll one loop of [r] by [factor]: append factor-1 copies of the body;
+   back edges of copy i jump to copy i+1's header, the last copy's back
+   edges return to the original header. *)
+let unroll_loop (r : Ir.routine) (l : Loop.loop) ~factor ~uid =
+  let nb = Array.length r.Ir.blocks in
+  let body = Array.of_list l.Loop.body in
+  let nbody = Array.length body in
+  let in_body = Array.make nb false in
+  Array.iter (fun v -> in_body.(v) <- true) body;
+  let pos = Array.make nb (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) body;
+  (* Copy c of body slot i lives at index nb + (c-1)*nbody + i. *)
+  let copy_index c i = nb + ((c - 1) * nbody) + i in
+  let is_back u v = v = l.Loop.header && in_body.(u) in
+  (* Remap a terminator target as seen from copy [c] (c = 0 is the
+     original). A back edge goes to the next copy's header (or wraps to
+     the original); an internal edge stays within the copy; an exit edge
+     leaves to the original outside block. *)
+  let remap c u tgt =
+    if is_back u tgt then
+      if c = factor - 1 then l.Loop.header else copy_index (c + 1) (pos.(l.Loop.header))
+    else if in_body.(tgt) && c > 0 then copy_index c pos.(tgt)
+    else tgt
+  in
+  let retarget c u term =
+    match term with
+    | Ir.Jump t -> Ir.Jump (remap c u t)
+    | Ir.Branch (op, t1, t2) -> Ir.Branch (op, remap c u t1, remap c u t2)
+    | Ir.Return v -> Ir.Return v
+  in
+  let blocks = Array.make (nb + ((factor - 1) * nbody)) r.Ir.blocks.(0) in
+  Array.iteri
+    (fun v (b : Ir.block) ->
+      blocks.(v) <- (if in_body.(v) then { b with Ir.term = retarget 0 v b.Ir.term } else b))
+    r.Ir.blocks;
+  for c = 1 to factor - 1 do
+    Array.iteri
+      (fun i v ->
+        let b = r.Ir.blocks.(v) in
+        blocks.(copy_index c i) <-
+          {
+            b with
+            Ir.label = Printf.sprintf "%s_u%d_%d" b.Ir.label uid c;
+            term = retarget c v b.Ir.term;
+          })
+      body
+  done;
+  { r with Ir.blocks }
+
+(* Innermost loops only: no other loop's header lies strictly inside. *)
+let is_innermost loops (l : Loop.loop) =
+  List.for_all
+    (fun (l' : Loop.loop) ->
+      l'.Loop.header = l.Loop.header || not (List.mem l'.Loop.header l.Loop.body))
+    (Loop.loops loops)
+
+let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
+    ~edge_profile =
+  let loops_unrolled = ref 0 in
+  let loops_seen = ref 0 in
+  let weighted_factor = ref 0.0 in
+  let weight_total = ref 0.0 in
+  let uid = ref 0 in
+  let routines =
+    List.map
+      (fun (r : Ir.routine) ->
+        let view = Cfg_view.of_routine r in
+        let g = Cfg_view.graph view in
+        let prof = Edge_profile.routine edge_profile r.Ir.name in
+        let loops = Loop.compute g ~root:(Cfg_view.entry view) in
+        let freq e = Edge_profile.freq prof e in
+        (* Pick unrollable loops on the original routine; bodies are
+           disjoint for innermost loops of distinct headers, so they can
+           be unrolled one after another as long as block indices are
+           refreshed. We conservatively unroll at most one loop per pass
+           and iterate. *)
+        let candidates =
+          List.filter_map
+            (fun (l : Loop.loop) ->
+              incr loops_seen;
+              let back_freq =
+                List.fold_left (fun a e -> a + freq e) 0 l.Loop.back_edges
+              in
+              if back_freq = 0 then None
+              else begin
+                let trips = Loop.avg_trip_count loops l ~freq in
+                let body_size =
+                  List.fold_left
+                    (fun a v ->
+                      a + Array.length r.Ir.blocks.(v).Ir.instrs + 1)
+                    0 l.Loop.body
+                in
+                let rec fit f =
+                  if f <= 1 then None
+                  else if body_size * f <= max_size then Some f
+                  else fit (f / 2)
+                in
+                match fit factor with
+                | Some f when trips >= min_trip && is_innermost loops l ->
+                    Some (l, f, back_freq)
+                | _ ->
+                    weighted_factor := !weighted_factor +. float_of_int back_freq;
+                    weight_total := !weight_total +. float_of_int back_freq;
+                    None
+              end)
+            (Loop.loops loops)
+        in
+        (* Unroll candidates one at a time; after each unrolling the block
+           indices of later candidates are still valid because copies are
+           appended and original indices are preserved. *)
+        List.fold_left
+          (fun r (l, f, back_freq) ->
+            incr uid;
+            incr loops_unrolled;
+            weighted_factor :=
+              !weighted_factor +. (float_of_int f *. float_of_int back_freq);
+            weight_total := !weight_total +. float_of_int back_freq;
+            unroll_loop r l ~factor:f ~uid:!uid)
+          r candidates)
+      p.Ir.routines
+  in
+  let p' = { p with Ir.routines } in
+  Ppp_ir.Check.program_exn p';
+  ( p',
+    {
+      loops_unrolled = !loops_unrolled;
+      loops_seen = !loops_seen;
+      avg_dynamic_factor =
+        (if !weight_total = 0.0 then 1.0 else !weighted_factor /. !weight_total);
+    } )

@@ -1,0 +1,28 @@
+(** Profile-guided loop unrolling (Section 7.3).
+
+    Innermost loops with an average trip count of at least [min_trip]
+    (default 8) are unrolled by [factor] (default 4, halved until the
+    body fits in [max_size] = 256 IR statements, like Scale). Unrolling
+    replicates the whole body: the back edges of copy [i] become forward
+    edges into copy [i+1]'s header and only the last copy branches back,
+    so correctness needs no trip-count guarantee, every copy keeps its
+    loop exits, and acyclic paths now span up to [factor] iterations —
+    the longer, harder-to-predict paths of Table 1. *)
+
+type stats = {
+  loops_unrolled : int;
+  loops_seen : int;
+  avg_dynamic_factor : float;
+      (** unroll factor averaged over dynamic loop iterations (the
+          "Avg unroll factor" column of Table 1) *)
+}
+
+val run :
+  ?factor:int ->
+  ?min_trip:float ->
+  ?max_size:int ->
+  Ppp_ir.Ir.program ->
+  edge_profile:Ppp_profile.Edge_profile.program ->
+  Ppp_ir.Ir.program * stats
+(** The edge profile must be for [p] itself (the staged optimizer
+    re-profiles after inlining). *)

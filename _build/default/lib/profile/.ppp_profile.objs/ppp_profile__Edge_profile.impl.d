@@ -1,0 +1,1 @@
+lib/profile/edge_profile.ml: Array Hashtbl List Ppp_cfg Ppp_ir

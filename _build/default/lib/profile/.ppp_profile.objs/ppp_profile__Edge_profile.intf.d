@@ -1,0 +1,1 @@
+lib/profile/edge_profile.mli: Ppp_cfg Ppp_ir

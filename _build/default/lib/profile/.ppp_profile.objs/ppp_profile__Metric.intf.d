@@ -1,0 +1,1 @@
+lib/profile/metric.mli:

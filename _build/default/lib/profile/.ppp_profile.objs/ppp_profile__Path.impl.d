@@ -1,0 +1,1 @@
+lib/profile/path.ml: Array Format List Ppp_cfg Ppp_ir Stdlib String

@@ -1,0 +1,1 @@
+lib/profile/path.mli: Format Ppp_cfg Ppp_ir

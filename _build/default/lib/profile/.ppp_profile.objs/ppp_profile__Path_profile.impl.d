@@ -1,0 +1,1 @@
+lib/profile/path_profile.ml: Hashtbl List Metric Path Ppp_ir

@@ -1,0 +1,1 @@
+lib/profile/path_profile.mli: Metric Path Ppp_ir

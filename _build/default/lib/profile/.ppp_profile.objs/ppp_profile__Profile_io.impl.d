@@ -1,0 +1,1 @@
+lib/profile/profile_io.ml: Edge_profile Format List Path_profile Ppp_cfg Ppp_ir Printf String

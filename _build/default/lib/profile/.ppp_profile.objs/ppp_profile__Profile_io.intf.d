@@ -1,0 +1,1 @@
+lib/profile/profile_io.mli: Edge_profile Format Path_profile Ppp_ir

@@ -1,0 +1,1 @@
+lib/profile/static_est.ml: Array Hashtbl List Ppp_cfg Ppp_ir

@@ -1,0 +1,1 @@
+lib/profile/static_est.mli: Ppp_ir

@@ -1,0 +1,6 @@
+type t = Unit_flow | Branch_flow
+
+let flow t ~freq ~branches =
+  match t with Unit_flow -> freq | Branch_flow -> freq * branches
+
+let name = function Unit_flow -> "unit-flow" | Branch_flow -> "branch-flow"

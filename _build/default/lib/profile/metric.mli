@@ -1,0 +1,13 @@
+(** Flow metrics (Section 5.1).
+
+    Unit flow weights every path equally: [F(p) = freq(p)]. Branch flow —
+    the paper's contribution — weights a path by its branch count:
+    [F(p) = freq(p) * b_p], which makes flow invariant under inlining
+    (Figure 7) and rewards predicting long paths. *)
+
+type t = Unit_flow | Branch_flow
+
+val flow : t -> freq:int -> branches:int -> int
+(** Flow of one path. *)
+
+val name : t -> string

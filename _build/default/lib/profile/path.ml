@@ -1,0 +1,18 @@
+module Graph = Ppp_cfg.Graph
+module Cfg_view = Ppp_ir.Cfg_view
+
+type t = Graph.edge list
+
+let compare = Stdlib.compare
+
+let blocks view p =
+  List.map (fun e -> Graph.src (Cfg_view.graph view) e) p
+
+let branches view p = Cfg_view.num_branch_edges_on view p
+
+let pp view ppf p =
+  let r = Cfg_view.routine view in
+  let labels =
+    List.map (fun b -> r.Ppp_ir.Ir.blocks.(b).Ppp_ir.Ir.label) (blocks view p)
+  in
+  Format.pp_print_string ppf (String.concat ">" labels)

@@ -1,0 +1,60 @@
+module Cfg_view = Ppp_ir.Cfg_view
+module Ir = Ppp_ir.Ir
+
+type t = (Path.t, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let add t p n =
+  match Hashtbl.find_opt t p with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t p (ref n)
+
+let record t p = add t p 1
+let freq t p = match Hashtbl.find_opt t p with Some r -> !r | None -> 0
+let num_distinct t = Hashtbl.length t
+let iter t f = Hashtbl.iter (fun p r -> f p !r) t
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun p r acc -> f acc p !r) t init
+
+let total_flow t view metric =
+  fold t ~init:0 ~f:(fun acc p n ->
+      acc + Metric.flow metric ~freq:n ~branches:(Path.branches view p))
+
+type program = (string, t) Hashtbl.t
+
+let create_program (p : Ir.program) =
+  let tbl = Hashtbl.create 17 in
+  List.iter (fun (r : Ir.routine) -> Hashtbl.replace tbl r.name (create ())) p.routines;
+  tbl
+
+let routine prog name = Hashtbl.find prog name
+let iter_routines prog f = Hashtbl.iter f prog
+
+let program_flow prog ~views metric =
+  Hashtbl.fold (fun name t acc -> acc + total_flow t (views name) metric) prog 0
+
+let program_distinct prog = Hashtbl.fold (fun _ t acc -> acc + num_distinct t) prog 0
+
+let hot_paths prog ~views ~metric ~threshold =
+  let total = program_flow prog ~views metric in
+  let cutoff = threshold *. float_of_int total in
+  let all = ref [] in
+  iter_routines prog (fun name t ->
+      let view = views name in
+      iter t (fun p n ->
+          let flow = Metric.flow metric ~freq:n ~branches:(Path.branches view p) in
+          if float_of_int flow >= cutoff && flow > 0 then
+            all := (name, p, flow) :: !all));
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) !all
+
+let flow_of_set prog ~views ~metric paths =
+  List.fold_left
+    (fun acc (name, p) ->
+      match Hashtbl.find_opt prog name with
+      | None -> acc
+      | Some t ->
+          let n = freq t p in
+          acc + Metric.flow metric ~freq:n ~branches:(Path.branches (views name) p))
+    0 paths

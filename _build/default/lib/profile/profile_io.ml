@@ -1,0 +1,82 @@
+module Ir = Ppp_ir.Ir
+module Graph = Ppp_cfg.Graph
+module Cfg_view = Ppp_ir.Cfg_view
+
+let save_edges ppf (p : Ir.program) prog =
+  Format.fprintf ppf "edge-profile@.";
+  List.iter
+    (fun (r : Ir.routine) ->
+      let t = Edge_profile.routine prog r.Ir.name in
+      if Edge_profile.total t > 0 then begin
+        Format.fprintf ppf "routine %s@." r.Ir.name;
+        let view = Cfg_view.of_routine r in
+        Graph.iter_edges (Cfg_view.graph view) (fun e ->
+            let c = Edge_profile.freq t e in
+            if c > 0 then Format.fprintf ppf "e%d %d@." e c)
+      end)
+    p.routines
+
+let save_paths ppf (p : Ir.program) prog =
+  Format.fprintf ppf "path-profile@.";
+  List.iter
+    (fun (r : Ir.routine) ->
+      let t = Path_profile.routine prog r.Ir.name in
+      if Path_profile.num_distinct t > 0 then begin
+        Format.fprintf ppf "routine %s@." r.Ir.name;
+        Path_profile.iter t (fun path n ->
+            Format.fprintf ppf "%d :%s@." n
+              (String.concat "" (List.map (fun e -> " " ^ string_of_int e) path)))
+      end)
+    p.routines
+
+type section = Edges | Paths
+
+let load (p : Ir.program) text =
+  let edges = Edge_profile.create_program p in
+  let paths = Path_profile.create_program p in
+  let section = ref Edges in
+  let routine = ref None in
+  let fail line msg = failwith (Printf.sprintf "profile line %d: %s" line msg) in
+  let current line =
+    match !routine with
+    | Some r -> r
+    | None -> fail line "counter before any 'routine' header"
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else if line = "edge-profile" then section := Edges
+      else if line = "path-profile" then section := Paths
+      else
+        match String.split_on_char ' ' line with
+        | [ "routine"; name ] ->
+            if Ir.find_routine p name = None then
+              fail lineno ("unknown routine " ^ name);
+            routine := Some name
+        | tokens -> (
+            match !section with
+            | Edges -> (
+                match tokens with
+                | [ e; c ] when String.length e > 1 && e.[0] = 'e' -> (
+                    try
+                      Edge_profile.add
+                        (Edge_profile.routine edges (current lineno))
+                        (int_of_string (String.sub e 1 (String.length e - 1)))
+                        (int_of_string c)
+                    with Failure _ | Invalid_argument _ ->
+                      fail lineno "malformed edge counter")
+                | _ -> fail lineno "expected 'e<ID> <count>'")
+            | Paths -> (
+                match tokens with
+                | count :: ":" :: rest -> (
+                    try
+                      Path_profile.add
+                        (Path_profile.routine paths (current lineno))
+                        (List.map int_of_string rest)
+                        (int_of_string count)
+                    with Failure _ -> fail lineno "malformed path counter")
+                | _ -> fail lineno "expected '<count> : <edges>'")))
+    (String.split_on_char '\n' text);
+  (edges, paths)

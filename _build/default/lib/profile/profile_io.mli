@@ -1,0 +1,31 @@
+(** Textual serialization of profiles, so a profile collected in one run
+    can drive instrumentation (or inlining) in a later one — the offline
+    half of a staged optimizer.
+
+    Format (one file can hold both sections; [#] comments allowed):
+    {v
+      edge-profile
+      routine NAME
+      e<ID> <count>
+      ...
+      path-profile
+      routine NAME
+      <count> : <edge id> <edge id> ...
+    v}
+    Edge ids are the {!Ppp_ir.Cfg_view} edge identifiers of the routine
+    they belong to, so a profile is only meaningful for the exact program
+    it was collected from. *)
+
+val save_edges :
+  Format.formatter -> Ppp_ir.Ir.program -> Edge_profile.program -> unit
+
+val save_paths :
+  Format.formatter -> Ppp_ir.Ir.program -> Path_profile.program -> unit
+
+val load :
+  Ppp_ir.Ir.program ->
+  string ->
+  Edge_profile.program * Path_profile.program
+(** Parse a profile dump (either or both sections). Routines absent from
+    the text have empty profiles.
+    @raise Failure on malformed input or unknown routine names. *)

@@ -1,0 +1,50 @@
+module Graph = Ppp_cfg.Graph
+module Loop = Ppp_cfg.Loop
+module Dag = Ppp_cfg.Dag
+module Cfg_view = Ppp_ir.Cfg_view
+
+let loop_trip = 10.0
+
+let edge_freqs view =
+  let g = Cfg_view.graph view in
+  let entry = Cfg_view.entry view in
+  let loops = Loop.compute g ~root:entry in
+  let break = Loop.breakable_edges loops in
+  let is_broken = Array.make (max 1 (Graph.num_edges g)) false in
+  List.iter (fun e -> is_broken.(e) <- true) break;
+  let headers = Hashtbl.create 7 in
+  List.iter
+    (fun (l : Loop.loop) -> Hashtbl.replace headers l.header ())
+    (Loop.loops loops);
+  (* Propagate in a topological order of the graph minus broken edges. *)
+  let dagged = Graph.create () in
+  Graph.add_nodes dagged (Graph.num_nodes g);
+  let dag_of_cfg = Array.make (max 1 (Graph.num_edges g)) (-1) in
+  Graph.iter_edges g (fun e ->
+      if not is_broken.(e) then
+        dag_of_cfg.(e) <- Graph.add_edge dagged (Graph.src g e) (Graph.dst g e));
+  let order =
+    match Ppp_cfg.Order.topological dagged with
+    | Some o -> o
+    | None -> invalid_arg "Static_est: removing retreating edges left a cycle"
+  in
+  let node_freq = Array.make (Graph.num_nodes g) 0.0 in
+  let edge_freq = Array.make (max 1 (Graph.num_edges g)) 0.0 in
+  node_freq.(entry) <- 1.0;
+  List.iter
+    (fun v ->
+      let incoming =
+        List.fold_left
+          (fun acc e -> if is_broken.(e) then acc else acc +. edge_freq.(e))
+          0.0 (Graph.in_edges g v)
+      in
+      let f = node_freq.(v) +. incoming in
+      let f = if Hashtbl.mem headers v then f *. loop_trip else f in
+      node_freq.(v) <- f;
+      let outs = Graph.out_edges g v in
+      let share =
+        match List.length outs with 0 -> 0.0 | k -> f /. float_of_int k
+      in
+      List.iter (fun e -> edge_freq.(e) <- share) outs)
+    order;
+  edge_freq

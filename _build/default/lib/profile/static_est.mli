@@ -1,0 +1,11 @@
+(** Static edge-frequency heuristics (Section 3.1).
+
+    PP's event-counting step selects its spanning tree from frequencies
+    predicted by "simple static heuristics (e.g., loops execute 10 times
+    and branch directions are 50/50)". This module implements exactly
+    that: flow 1 enters the routine, every block splits its flow evenly
+    over its outgoing edges, and each loop header multiplies the flow
+    entering it by 10 per nesting level. *)
+
+val edge_freqs : Ppp_ir.Cfg_view.t -> float array
+(** Predicted frequency for every CFG edge. *)

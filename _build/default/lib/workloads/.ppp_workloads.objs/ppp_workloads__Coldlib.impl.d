@@ -1,0 +1,1 @@
+lib/workloads/coldlib.ml: Array List Ppp_ir

@@ -1,0 +1,1 @@
+lib/workloads/coldlib.mli: Ppp_ir

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: List Ppp_ir Printf

@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Ppp_ir

@@ -1,0 +1,1 @@
+lib/workloads/kernel.mli: Ppp_ir

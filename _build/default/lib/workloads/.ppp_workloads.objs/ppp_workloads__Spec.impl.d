@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: List Ppp_ir Spec_fp Spec_int

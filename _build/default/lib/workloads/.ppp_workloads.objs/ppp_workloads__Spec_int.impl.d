@@ -1,0 +1,1 @@
+lib/workloads/spec_int.ml: Coldlib Kernel Ppp_ir

@@ -1,0 +1,301 @@
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+
+let checksum ~array_name ~size =
+  let b = B.create ~name:"checksum" ~nparams:0 in
+  let acc = B.reg b in
+  B.mov b acc (Ir.Imm 0);
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm size) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg i) in
+      let rot = B.bin_ b Ir.Shl (Ir.Reg acc) (Ir.Imm 1) in
+      let hi = B.bin_ b Ir.Shr (Ir.Reg acc) (Ir.Imm 29) in
+      B.bin b acc Ir.Or rot hi;
+      B.bin b acc Ir.Xor (Ir.Reg acc) v;
+      B.bin b acc Ir.And (Ir.Reg acc) (Ir.Imm 0x3fffffff));
+  B.ret b (Some (Ir.Reg acc));
+  B.finish b
+
+let histogram ~array_name ~size =
+  let b = B.create ~name:"histogram" ~nparams:1 in
+  let buckets = B.reg b in
+  B.mov b buckets (B.param b 0);
+  let bad = B.bin_ b Ir.Le (Ir.Reg buckets) (Ir.Imm 0) in
+  B.when_ b bad (fun () -> B.mov b buckets (Ir.Imm 1));
+  let counts = Array.init 4 (fun _ -> B.reg b) in
+  Array.iter (fun c -> B.mov b c (Ir.Imm 0)) counts;
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm size) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg i) in
+      let k = B.bin_ b Ir.Rem v (Ir.Reg buckets) in
+      let k = B.bin_ b Ir.And k (Ir.Imm 3) in
+      let is0 = B.bin_ b Ir.Eq k (Ir.Imm 0) in
+      B.if_ b is0
+        ~then_:(fun () -> B.bin b counts.(0) Ir.Add (Ir.Reg counts.(0)) (Ir.Imm 1))
+        ~else_:(fun () ->
+          let is1 = B.bin_ b Ir.Eq k (Ir.Imm 1) in
+          B.if_ b is1
+            ~then_:(fun () ->
+              B.bin b counts.(1) Ir.Add (Ir.Reg counts.(1)) (Ir.Imm 1))
+            ~else_:(fun () ->
+              let is2 = B.bin_ b Ir.Eq k (Ir.Imm 2) in
+              B.if_ b is2
+                ~then_:(fun () ->
+                  B.bin b counts.(2) Ir.Add (Ir.Reg counts.(2)) (Ir.Imm 1))
+                ~else_:(fun () ->
+                  B.bin b counts.(3) Ir.Add (Ir.Reg counts.(3)) (Ir.Imm 1)))));
+  let r = B.reg b in
+  B.mov b r (Ir.Reg counts.(0));
+  B.bin b r Ir.Add (Ir.Reg r) (Ir.Reg counts.(2));
+  B.ret b (Some (Ir.Reg r));
+  B.finish b
+
+let minmax ~array_name ~size =
+  let b = B.create ~name:"minmax" ~nparams:0 in
+  let lo = B.reg b in
+  let hi = B.reg b in
+  (* Sentinels stay clear of min_int/max_int so the textual form of the
+     program round-trips (a literal's magnitude must fit in an int). *)
+  B.mov b lo (Ir.Imm (1 lsl 60));
+  B.mov b hi (Ir.Imm (-(1 lsl 60)));
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm size) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg i) in
+      let smaller = B.bin_ b Ir.Lt v (Ir.Reg lo) in
+      B.when_ b smaller (fun () -> B.mov b lo v);
+      let bigger = B.bin_ b Ir.Gt v (Ir.Reg hi) in
+      B.when_ b bigger (fun () -> B.mov b hi v));
+  let d = B.bin_ b Ir.Sub (Ir.Reg hi) (Ir.Reg lo) in
+  B.ret b (Some d);
+  B.finish b
+
+let insertion_sort ~array_name ~size =
+  let b = B.create ~name:"insertion_sort" ~nparams:1 in
+  let n = B.reg b in
+  B.mov b n (B.param b 0);
+  let too_big = B.bin_ b Ir.Gt (Ir.Reg n) (Ir.Imm size) in
+  B.when_ b too_big (fun () -> B.mov b n (Ir.Imm size));
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Reg n) (fun () ->
+      let key = B.load_ b array_name (Ir.Reg i) in
+      let j = B.reg b in
+      B.mov b j (Ir.Reg i);
+      B.while_ b
+        ~cond:(fun () ->
+          let pos = B.bin_ b Ir.Gt (Ir.Reg j) (Ir.Imm 0) in
+          let cmp = B.reg b in
+          B.mov b cmp (Ir.Imm 0);
+          B.when_ b pos (fun () ->
+              let prev =
+                B.load_ b array_name (B.bin_ b Ir.Sub (Ir.Reg j) (Ir.Imm 1))
+              in
+              let gt = B.bin_ b Ir.Gt prev key in
+              B.mov b cmp gt);
+          Ir.Reg cmp)
+        ~body:(fun () ->
+          let prev = B.load_ b array_name (B.bin_ b Ir.Sub (Ir.Reg j) (Ir.Imm 1)) in
+          B.store b array_name (Ir.Reg j) prev;
+          B.bin b j Ir.Sub (Ir.Reg j) (Ir.Imm 1));
+      B.store b array_name (Ir.Reg j) key);
+  B.ret b None;
+  B.finish b
+
+let crc ~array_name ~size =
+  let b = B.create ~name:"crc" ~nparams:0 in
+  let acc = B.reg b in
+  B.mov b acc (Ir.Imm 0x1d0f);
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm size) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg i) in
+      B.bin b acc Ir.Xor (Ir.Reg acc) v;
+      let bit = B.reg b in
+      B.for_ b bit ~from:(Ir.Imm 0) ~below:(Ir.Imm 4) (fun () ->
+          let low = B.bin_ b Ir.And (Ir.Reg acc) (Ir.Imm 1) in
+          let set = B.bin_ b Ir.Eq low (Ir.Imm 1) in
+          B.if_ b set
+            ~then_:(fun () ->
+              B.bin b acc Ir.Shr (Ir.Reg acc) (Ir.Imm 1);
+              B.bin b acc Ir.Xor (Ir.Reg acc) (Ir.Imm 0xa001))
+            ~else_:(fun () -> B.bin b acc Ir.Shr (Ir.Reg acc) (Ir.Imm 1))));
+  B.ret b (Some (Ir.Reg acc));
+  B.finish b
+
+let report ~array_name ~size =
+  let b = B.create ~name:"report" ~nparams:1 in
+  let level = B.param b 0 in
+  let quiet = B.bin_ b Ir.Le level (Ir.Imm 0) in
+  B.if_ b quiet
+    ~then_:(fun () -> B.ret b None)
+    ~else_:(fun () ->
+      let v0 = B.load_ b array_name (Ir.Imm 0) in
+      B.out b v0;
+      let verbose = B.bin_ b Ir.Ge level (Ir.Imm 2) in
+      B.when_ b verbose (fun () ->
+          let i = B.reg b in
+          B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm (min 8 size)) (fun () ->
+              B.out b (B.load_ b array_name (Ir.Reg i))));
+      B.ret b None);
+  B.finish b
+
+(* quicksort(lo, hi): recursive — the inliner must refuse it. *)
+let quicksort ~array_name ~size =
+  let b = B.create ~name:"quicksort" ~nparams:2 in
+  let lo = B.reg b in
+  let hi = B.reg b in
+  B.mov b lo (B.param b 0);
+  B.mov b hi (B.param b 1);
+  let clamp r =
+    let neg = B.bin_ b Ir.Lt (Ir.Reg r) (Ir.Imm 0) in
+    B.when_ b neg (fun () -> B.mov b r (Ir.Imm 0));
+    let big = B.bin_ b Ir.Ge (Ir.Reg r) (Ir.Imm size) in
+    B.when_ b big (fun () -> B.mov b r (Ir.Imm (size - 1)))
+  in
+  clamp lo;
+  clamp hi;
+  let small = B.bin_ b Ir.Ge (Ir.Reg lo) (Ir.Reg hi) in
+  B.when_ b small (fun () -> B.ret b None);
+  let pivot = B.load_ b array_name (Ir.Reg hi) in
+  let store_i = B.reg b in
+  B.mov b store_i (Ir.Reg lo);
+  let j = B.reg b in
+  B.for_ b j ~from:(Ir.Reg lo) ~below:(Ir.Reg hi) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg j) in
+      let lt = B.bin_ b Ir.Lt v pivot in
+      B.when_ b lt (fun () ->
+          let w = B.load_ b array_name (Ir.Reg store_i) in
+          B.store b array_name (Ir.Reg store_i) v;
+          B.store b array_name (Ir.Reg j) w;
+          B.bin b store_i Ir.Add (Ir.Reg store_i) (Ir.Imm 1)));
+  let w = B.load_ b array_name (Ir.Reg store_i) in
+  B.store b array_name (Ir.Reg store_i) pivot;
+  B.store b array_name (Ir.Reg hi) w;
+  B.call b None "quicksort" [ Ir.Reg lo; B.bin_ b Ir.Sub (Ir.Reg store_i) (Ir.Imm 1) ];
+  B.call b None "quicksort" [ B.bin_ b Ir.Add (Ir.Reg store_i) (Ir.Imm 1); Ir.Reg hi ];
+  B.ret b None;
+  B.finish b
+
+(* format_digits(v): decompose into decimal digits and emit them. *)
+let format_digits ~array_name ~size =
+  ignore (array_name, size);
+  let b = B.create ~name:"format_digits" ~nparams:1 in
+  let v = B.reg b in
+  B.mov b v (B.param b 0);
+  let neg = B.bin_ b Ir.Lt (Ir.Reg v) (Ir.Imm 0) in
+  B.when_ b neg (fun () ->
+      B.out b (Ir.Imm (-1));
+      B.bin b v Ir.Sub (Ir.Imm 0) (Ir.Reg v));
+  let ndigits = B.reg b in
+  B.mov b ndigits (Ir.Imm 0);
+  B.while_ b
+    ~cond:(fun () -> B.bin_ b Ir.Gt (Ir.Reg v) (Ir.Imm 0))
+    ~body:(fun () ->
+      let d = B.bin_ b Ir.Rem (Ir.Reg v) (Ir.Imm 10) in
+      B.out b d;
+      B.bin b v Ir.Div (Ir.Reg v) (Ir.Imm 10);
+      B.bin b ndigits Ir.Add (Ir.Reg ndigits) (Ir.Imm 1));
+  let none = B.bin_ b Ir.Eq (Ir.Reg ndigits) (Ir.Imm 0) in
+  B.when_ b none (fun () -> B.out b (Ir.Imm 0));
+  B.ret b (Some (Ir.Reg ndigits));
+  B.finish b
+
+(* parse_flags(word): an option-parsing chain — pure cold control flow. *)
+let parse_flags ~array_name ~size =
+  ignore (array_name, size);
+  let b = B.create ~name:"parse_flags" ~nparams:1 in
+  let w = B.param b 0 in
+  let flags = B.reg b in
+  B.mov b flags (Ir.Imm 0);
+  List.iteri
+    (fun i (mask, value) ->
+      ignore i;
+      let bit = B.bin_ b Ir.And w (Ir.Imm mask) in
+      let set = B.bin_ b Ir.Eq bit (Ir.Imm mask) in
+      B.if_ b set
+        ~then_:(fun () -> B.bin b flags Ir.Or (Ir.Reg flags) (Ir.Imm value))
+        ~else_:(fun () ->
+          let partial = B.bin_ b Ir.Ne bit (Ir.Imm 0) in
+          B.when_ b partial (fun () ->
+              B.bin b flags Ir.Xor (Ir.Reg flags) (Ir.Imm (value * 2)))))
+    [ (1, 1); (2, 4); (4, 16); (8, 64); (16, 256); (32, 1024) ];
+  B.ret b (Some (Ir.Reg flags));
+  B.finish b
+
+(* table_rebuild(seed): reinitialize the array from a seed — a cold
+   setup path with a nested loop. *)
+let table_rebuild ~array_name ~size =
+  let b = B.create ~name:"table_rebuild" ~nparams:1 in
+  let s = B.reg b in
+  B.mov b s (B.param b 0);
+  let zero = B.bin_ b Ir.Le (Ir.Reg s) (Ir.Imm 0) in
+  B.when_ b zero (fun () -> B.mov b s (Ir.Imm 1));
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm size) (fun () ->
+      B.bin b s Ir.Mul (Ir.Reg s) (Ir.Imm 75);
+      B.bin b s Ir.Rem (Ir.Reg s) (Ir.Imm 65537);
+      let k = B.reg b in
+      B.for_ b k ~from:(Ir.Imm 0) ~below:(Ir.Imm 2) (fun () ->
+          let mixed = B.bin_ b Ir.Xor (Ir.Reg s) (Ir.Reg k) in
+          let prev = B.load_ b array_name (Ir.Reg i) in
+          B.store b array_name (Ir.Reg i) (B.bin_ b Ir.Add prev mixed)));
+  B.ret b (Some (Ir.Reg s));
+  B.finish b
+
+(* dump_window(from): bounded hex-ish dump, another cold output path. *)
+let dump_window ~array_name ~size =
+  let b = B.create ~name:"dump_window" ~nparams:1 in
+  let from = B.reg b in
+  B.mov b from (B.param b 0);
+  let bad = B.bin_ b Ir.Lt (Ir.Reg from) (Ir.Imm 0) in
+  B.when_ b bad (fun () -> B.mov b from (Ir.Imm 0));
+  let stop = B.reg b in
+  B.bin b stop Ir.Add (Ir.Reg from) (Ir.Imm 4);
+  let over = B.bin_ b Ir.Gt (Ir.Reg stop) (Ir.Imm size) in
+  B.when_ b over (fun () -> B.mov b stop (Ir.Imm size));
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Reg from) ~below:(Ir.Reg stop) (fun () ->
+      let v = B.load_ b array_name (Ir.Reg i) in
+      let hi = B.bin_ b Ir.Shr v (Ir.Imm 4) in
+      let lo = B.bin_ b Ir.And v (Ir.Imm 15) in
+      B.out b hi;
+      B.out b lo);
+  B.ret b None;
+  B.finish b
+
+let rename prefix (r : Ir.routine) =
+  let rename_instr = function
+    | Ir.Call (d, callee, args) when callee = "quicksort" ->
+        Ir.Call (d, prefix ^ callee, args)
+    | i -> i
+  in
+  {
+    r with
+    Ir.name = prefix ^ r.Ir.name;
+    blocks =
+      Array.map
+        (fun (blk : Ir.block) ->
+          { blk with Ir.instrs = Array.map rename_instr blk.Ir.instrs })
+        r.Ir.blocks;
+  }
+
+let standard ~array_name ~size ~prefix =
+  List.map (rename prefix)
+    [
+      checksum ~array_name ~size;
+      histogram ~array_name ~size;
+      minmax ~array_name ~size;
+      insertion_sort ~array_name ~size;
+      crc ~array_name ~size;
+      report ~array_name ~size;
+      quicksort ~array_name ~size;
+      format_digits ~array_name ~size;
+      parse_flags ~array_name ~size;
+      table_rebuild ~array_name ~size;
+      dump_window ~array_name ~size;
+    ]
+
+let validate b ~prefix =
+  let c = B.call_ b (prefix ^ "checksum") [] in
+  B.out b c;
+  let d = B.call_ b (prefix ^ "minmax") [] in
+  B.out b d;
+  B.call b None (prefix ^ "report") [ Ir.Imm 1 ]

@@ -1,0 +1,55 @@
+(** Cold library code shared by the workloads.
+
+    Real SPEC benchmarks are dominated by code that rarely or never runs:
+    option parsing, error paths, statistics, output formatting. These
+    routines reproduce that structure — each workload links several and
+    calls a few once (a validation pass at the end of [main]). Their
+    static size also gives the inliner's 5%-of-program code-bloat budget
+    (Section 7.3) a realistic base, exactly as it has on real programs.
+
+    All routines operate on the array whose name is passed at
+    construction time, so any workload can link them. *)
+
+val checksum : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [checksum()] — a rotating XOR/add over the array. *)
+
+val histogram : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [histogram(buckets)] — bucket counts with a division per element. *)
+
+val minmax : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [minmax()] — returns max - min. *)
+
+val insertion_sort : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [insertion_sort(n)] — sorts a prefix in place. *)
+
+val crc : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [crc()] — a bitwise CRC-like mix, heavy on shifts. *)
+
+val report : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [report(level)] — emits a few values via [Out]; branches on the
+    verbosity level (an error-path stand-in that mostly does nothing). *)
+
+val quicksort : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [quicksort(lo, hi)] — recursive; exercises the inliner's recursion
+    refusal. *)
+
+val format_digits : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [format_digits(v)] — decimal decomposition, emitted via [Out]. *)
+
+val parse_flags : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [parse_flags(word)] — an option-parsing decision chain. *)
+
+val table_rebuild : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [table_rebuild(seed)] — cold setup path with a nested loop. *)
+
+val dump_window : array_name:string -> size:int -> Ppp_ir.Ir.routine
+(** [dump_window(from)] — bounded debug dump. *)
+
+val standard :
+  array_name:string -> size:int -> prefix:string -> Ppp_ir.Ir.routine list
+(** All of the above with their names prefixed (so two workload arrays
+    can each have a library), e.g. [prefix = "lib_"]. *)
+
+val validate : Ppp_ir.Builder.t -> prefix:string -> unit
+(** Emit the once-per-run validation sequence: calls checksum, minmax and
+    report. *)

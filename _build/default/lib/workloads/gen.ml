@@ -1,0 +1,154 @@
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+
+(* A self-contained splitmix-style PRNG so generation does not depend on
+   the global Random state. *)
+type rng = { mutable s : int }
+
+let next rng =
+  rng.s <- (rng.s + 0x1e3779b97f4a7c15) land max_int;
+  let z = rng.s in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+  z lxor (z lsr 31)
+
+let below rng n = if n <= 0 then 0 else next rng mod n
+
+let array_name = "mem"
+let array_size = 256
+
+(* Emit an expression over existing registers; returns an operand. The
+   [lcg] register carries pseudo-random program state that conditions can
+   consume, making branches data-dependent. *)
+let step_lcg b lcg =
+  B.bin b lcg Ir.Mul (Ir.Reg lcg) (Ir.Imm 1103515245);
+  B.bin b lcg Ir.Add (Ir.Reg lcg) (Ir.Imm 12345);
+  B.bin b lcg Ir.And (Ir.Reg lcg) (Ir.Imm 0x3fffffff)
+
+(* [regs] are writable work registers; [ro] are additionally readable
+   (loop indices), never written. *)
+let rand_operand rng regs ro =
+  let readable = ro @ regs in
+  if below rng 3 = 0 || readable = [] then Ir.Imm (below rng 64)
+  else Ir.Reg (List.nth readable (below rng (List.length readable)))
+
+let safe_binop rng =
+  match below rng 10 with
+  | 0 -> Ir.Add
+  | 1 -> Ir.Sub
+  | 2 -> Ir.Mul
+  | 3 -> Ir.And
+  | 4 -> Ir.Or
+  | 5 -> Ir.Xor
+  | 6 -> Ir.Lt
+  | 7 -> Ir.Ge
+  | 8 -> Ir.Eq
+  | _ -> Ir.Add
+
+let condition b rng lcg regs ro =
+  match below rng 3 with
+  | 0 ->
+      step_lcg b lcg;
+      let bit = 1 + below rng 3 in
+      let shifted = B.bin_ b Ir.Shr (Ir.Reg lcg) (Ir.Imm bit) in
+      B.bin_ b Ir.And shifted (Ir.Imm 1)
+  | 1 -> B.bin_ b Ir.Lt (rand_operand rng regs ro) (rand_operand rng regs ro)
+  | _ -> B.bin_ b Ir.Ne (rand_operand rng regs ro) (Ir.Imm (below rng 8))
+
+let rec statements b rng lcg regs ro ~depth ~budget ~callees =
+  for _ = 1 to budget do
+    statement b rng lcg regs ro ~depth ~callees
+  done
+
+and statement b rng lcg regs ro ~depth ~callees =
+  let choice = below rng (if depth > 0 then 10 else 6) in
+  match choice with
+  | 0 | 1 ->
+      let d = List.nth regs (below rng (List.length regs)) in
+      B.bin b d (safe_binop rng) (rand_operand rng regs ro) (rand_operand rng regs ro)
+  | 2 ->
+      let idx = B.bin_ b Ir.And (rand_operand rng regs ro) (Ir.Imm (array_size - 1)) in
+      let d = List.nth regs (below rng (List.length regs)) in
+      B.load b d array_name idx
+  | 3 ->
+      let idx = B.bin_ b Ir.And (rand_operand rng regs ro) (Ir.Imm (array_size - 1)) in
+      B.store b array_name idx (rand_operand rng regs ro)
+  | 4 -> B.out b (rand_operand rng regs ro)
+  | 5 -> (
+      match callees with
+      | [] ->
+          let d = List.nth regs (below rng (List.length regs)) in
+          B.mov b d (rand_operand rng regs ro)
+      | _ ->
+          let callee, nparams =
+            List.nth callees (below rng (List.length callees))
+          in
+          let args = List.init nparams (fun _ -> rand_operand rng regs ro) in
+          let d = List.nth regs (below rng (List.length regs)) in
+          B.call b (Some d) callee args)
+  | 6 | 7 ->
+      let c = condition b rng lcg regs ro in
+      let sub_budget = 1 + below rng 3 in
+      B.if_ b c
+        ~then_:(fun () ->
+          statements b rng lcg regs ro ~depth:(depth - 1) ~budget:sub_budget
+            ~callees)
+        ~else_:(fun () ->
+          if below rng 3 = 0 then ()
+          else
+            statements b rng lcg regs ro ~depth:(depth - 1)
+              ~budget:(1 + below rng 2) ~callees)
+  | 8 ->
+      let i = B.reg b in
+      let trip = 1 + below rng 6 in
+      let sub_budget = 1 + below rng 3 in
+      B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm trip) (fun () ->
+          statements b rng lcg regs (i :: ro) ~depth:(depth - 1)
+            ~budget:sub_budget ~callees)
+  | _ ->
+      (* A while loop over a strictly decreasing counter. *)
+      let cnt = B.reg b in
+      B.mov b cnt (Ir.Imm (1 + below rng 5));
+      let sub_budget = 1 + below rng 2 in
+      B.while_ b
+        ~cond:(fun () -> B.bin_ b Ir.Gt (Ir.Reg cnt) (Ir.Imm 0))
+        ~body:(fun () ->
+          B.bin b cnt Ir.Sub (Ir.Reg cnt) (Ir.Imm 1);
+          statements b rng lcg regs ro ~depth:(depth - 1) ~budget:sub_budget
+            ~callees)
+
+let build_routine rng ~name ~nparams ~callees =
+  let b = B.create ~name ~nparams in
+  let lcg = B.reg b in
+  B.mov b lcg (Ir.Imm (1 + below rng 1000));
+  (match nparams with
+  | 0 -> ()
+  | n -> B.bin b lcg Ir.Add (Ir.Reg lcg) (B.param b (below rng n)));
+  let work = List.init (2 + below rng 2) (fun _ -> B.reg b) in
+  List.iteri (fun i r -> B.mov b r (Ir.Imm (i * 3))) work;
+  statements b rng lcg work [] ~depth:(1 + below rng 3) ~budget:(2 + below rng 5)
+    ~callees;
+  B.ret b (Some (Ir.Reg (List.hd work)));
+  B.finish b
+
+let routine ~seed ~name =
+  let rng = { s = (seed * 2654435761) lor 1 } in
+  build_routine rng ~name ~nparams:0 ~callees:[]
+
+let program ~seed =
+  let rng = { s = (seed * 2654435761) lor 1 } in
+  let n_helpers = below rng 3 in
+  let helpers = ref [] in
+  let callees = ref [] in
+  for i = 1 to n_helpers do
+    let name = Printf.sprintf "helper%d" i in
+    let nparams = below rng 3 in
+    let r = build_routine rng ~name ~nparams ~callees:!callees in
+    helpers := r :: !helpers;
+    callees := (name, nparams) :: !callees
+  done;
+  let main = build_routine rng ~name:"main" ~nparams:0 ~callees:!callees in
+  B.program
+    ~arrays:[ (array_name, array_size) ]
+    ~main:"main"
+    (List.rev (main :: !helpers))

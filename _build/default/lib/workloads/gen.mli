@@ -1,0 +1,16 @@
+(** Deterministic random program generation for property-based tests.
+
+    Programs are built with {!Ppp_ir.Builder}'s structured combinators,
+    so they are always well formed and reducible, and every loop is
+    bounded, so they always terminate. Control flow is driven by a linear
+    congruential generator computed {e inside} the program, which makes
+    branch outcomes data-dependent and correlated — the regime where edge
+    profiles mispredict paths. *)
+
+val program : seed:int -> Ppp_ir.Ir.program
+(** A random program with a handful of routines (possibly calling each
+    other acyclically), loops, branches and array traffic. The same seed
+    always yields the same program. *)
+
+val routine : seed:int -> name:string -> Ppp_ir.Ir.routine
+(** A single random routine with no calls. *)

@@ -1,0 +1,32 @@
+type kind = Int | Fp
+
+type bench = {
+  bench_name : string;
+  kind : kind;
+  build : scale:int -> Ppp_ir.Ir.program;
+}
+
+let all =
+  [
+    { bench_name = "vpr"; kind = Int; build = Spec_int.vpr };
+    { bench_name = "mcf"; kind = Int; build = Spec_int.mcf };
+    { bench_name = "crafty"; kind = Int; build = Spec_int.crafty };
+    { bench_name = "parser"; kind = Int; build = Spec_int.parser };
+    { bench_name = "perlbmk"; kind = Int; build = Spec_int.perlbmk };
+    { bench_name = "gap"; kind = Int; build = Spec_int.gap };
+    { bench_name = "bzip2"; kind = Int; build = Spec_int.bzip2 };
+    { bench_name = "twolf"; kind = Int; build = Spec_int.twolf };
+    { bench_name = "wupwise"; kind = Fp; build = Spec_fp.wupwise };
+    { bench_name = "swim"; kind = Fp; build = Spec_fp.swim };
+    { bench_name = "mgrid"; kind = Fp; build = Spec_fp.mgrid };
+    { bench_name = "applu"; kind = Fp; build = Spec_fp.applu };
+    { bench_name = "mesa"; kind = Fp; build = Spec_fp.mesa };
+    { bench_name = "art"; kind = Fp; build = Spec_fp.art };
+    { bench_name = "equake"; kind = Fp; build = Spec_fp.equake };
+    { bench_name = "ammp"; kind = Fp; build = Spec_fp.ammp };
+    { bench_name = "sixtrack"; kind = Fp; build = Spec_fp.sixtrack };
+    { bench_name = "apsi"; kind = Fp; build = Spec_fp.apsi };
+  ]
+
+let find name = List.find (fun b -> b.bench_name = name) all
+let names () = List.map (fun b -> b.bench_name) all

@@ -1,0 +1,24 @@
+(** The benchmark registry: the 18 SPEC2000-shaped workloads used to
+    regenerate the paper's tables and figures (the paper itself omits
+    gzip, vortex and gcc — Section 7.2 — and so do we; the remaining
+    suite matches its benchmark list).
+
+    [scale] multiplies the main iteration counts; 1 is enough for tests,
+    the benchmark harness uses larger values. *)
+
+type kind = Int | Fp
+
+type bench = {
+  bench_name : string;
+  kind : kind;
+  build : scale:int -> Ppp_ir.Ir.program;
+}
+
+val all : bench list
+(** In the paper's Table 1 order: the integer benchmarks, then the
+    floating-point ones. *)
+
+val find : string -> bench
+(** @raise Not_found for unknown names. *)
+
+val names : unit -> string list

@@ -1,0 +1,666 @@
+(* Synthetic stand-ins for the SPEC2000 floating-point benchmarks.
+
+   Integer arithmetic stands in for FP (the cost model charges the same),
+   but the *control* shape matches the originals: long counted loops with
+   straight-line or lightly-branched bodies, high trip counts that invite
+   x4 unrolling, and few distinct paths. swim and mgrid in particular are
+   built so that after unrolling every path is obvious and PPP adds no
+   instrumentation at all (the paper's Section 6.1 special case). *)
+
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+module K = Kernel
+
+let dim = 32 (* grids are dim x dim, flattened *)
+let grid = dim * dim
+
+(* swim: shallow-water stencils. Three sweeps per time step, all
+   straight-line bodies — the least path-diverse benchmark. *)
+let swim ~scale =
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:41 in
+    K.fill_random b lcg ~array_name:"u" ~size:grid;
+    K.fill_random b lcg ~array_name:"v" ~size:grid;
+    let t = B.reg b in
+    B.for_ b t ~from:(Ir.Imm 0) ~below:(Ir.Imm (6 * scale)) (fun () ->
+        let i = B.reg b in
+        (* Interior sweep: p = avg of u,v neighbours. *)
+        B.for_ b i ~from:(Ir.Imm dim) ~below:(Ir.Imm (grid - dim)) (fun () ->
+            let up = B.load_ b "u" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm dim)) in
+            let down = B.load_ b "u" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm dim)) in
+            let here = B.load_ b "v" (Ir.Reg i) in
+            let s = B.bin_ b Ir.Add up down in
+            let s = B.bin_ b Ir.Add s here in
+            let s = B.bin_ b Ir.Shr s (Ir.Imm 2) in
+            B.store b "p" (Ir.Reg i) s);
+        (* Velocity update sweep. *)
+        B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Imm (grid - 1)) (fun () ->
+            let l = B.load_ b "p" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm 1)) in
+            let r = B.load_ b "p" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm 1)) in
+            let d = B.bin_ b Ir.Sub r l in
+            let u0 = B.load_ b "u" (Ir.Reg i) in
+            B.store b "u" (Ir.Reg i) (B.bin_ b Ir.Add u0 (B.bin_ b Ir.Shr d (Ir.Imm 3))));
+        (* Smoothing sweep. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm grid) (fun () ->
+            let u0 = B.load_ b "u" (Ir.Reg i) in
+            let damped = B.bin_ b Ir.Sub u0 (B.bin_ b Ir.Shr u0 (Ir.Imm 4)) in
+            B.store b "v" (Ir.Reg i) damped));
+    let check = B.load_ b "u" (Ir.Imm (grid / 2)) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("u", grid); ("v", grid); ("p", grid) ]
+    ~main:"main"
+    (main :: Coldlib.standard ~array_name:"u" ~size:grid ~prefix:"lib_")
+
+(* mgrid: multigrid V-cycle — restriction to a coarse grid, smoothing,
+   prolongation back. Loop bounds carry all the structure; bodies are
+   straight lines. The smoother stays out of line (too big for the bloat
+   budget); only the rare corner helper inlines, giving the small inline
+   fraction of Table 1 (10%). *)
+let mgrid ~scale =
+  let coarse = dim * dim / 4 in
+  let smooth_point =
+    (* Red-black weighted smoother — big enough to stay out of line. *)
+    let b = B.create ~name:"smooth_point" ~nparams:1 in
+    let i = B.param b 0 in
+    let im = B.bin_ b Ir.Sub i (Ir.Imm 1) in
+    let im = K.masked b im ~size:coarse in
+    let ip = B.bin_ b Ir.Add i (Ir.Imm 1) in
+    let ip = K.masked b ip ~size:coarse in
+    let l = B.load_ b "coarse" im in
+    let r = B.load_ b "coarse" ip in
+    let here = K.masked b i ~size:coarse in
+    let m = B.load_ b "coarse" here in
+    let parity = B.bin_ b Ir.And i (Ir.Imm 1) in
+    let red = B.bin_ b Ir.Eq parity (Ir.Imm 0) in
+    let s = B.reg b in
+    B.if_ b red
+      ~then_:(fun () ->
+        let v =
+          B.bin_ b Ir.Add (B.bin_ b Ir.Add l r) (B.bin_ b Ir.Shl m (Ir.Imm 1))
+        in
+        B.mov b s (B.bin_ b Ir.Shr v (Ir.Imm 2)))
+      ~else_:(fun () ->
+        let v =
+          B.bin_ b Ir.Add
+            (B.bin_ b Ir.Add (B.bin_ b Ir.Mul l (Ir.Imm 3)) (B.bin_ b Ir.Mul r (Ir.Imm 3)))
+            (B.bin_ b Ir.Shl m (Ir.Imm 1))
+        in
+        B.mov b s (B.bin_ b Ir.Shr v (Ir.Imm 3)));
+    (* Residual damping on large excursions. *)
+    let d = B.bin_ b Ir.Sub (Ir.Reg s) m in
+    let big = B.bin_ b Ir.Gt d (Ir.Imm (1 lsl 20)) in
+    B.when_ b big (fun () ->
+        B.mov b s (B.bin_ b Ir.Add m (Ir.Imm (1 lsl 20))));
+    let small = B.bin_ b Ir.Lt d (Ir.Imm (-(1 lsl 20))) in
+    B.when_ b small (fun () ->
+        B.mov b s (B.bin_ b Ir.Sub m (Ir.Imm (1 lsl 20))));
+    B.store b "coarse" here (Ir.Reg s);
+    B.ret b (Some (Ir.Reg s));
+    B.finish b
+  in
+  let corner_avg =
+    let b = B.create ~name:"corner_avg" ~nparams:2 in
+    let s = B.bin_ b Ir.Add (B.param b 0) (B.param b 1) in
+    let s = B.bin_ b Ir.Shr s (Ir.Imm 1) in
+    B.ret b (Some s);
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:43 in
+    K.fill_random b lcg ~array_name:"fine" ~size:grid;
+    let cycle = B.reg b in
+    B.for_ b cycle ~from:(Ir.Imm 0) ~below:(Ir.Imm (8 * scale)) (fun () ->
+        let i = B.reg b in
+        (* Restrict: coarse[i] = (fine[2i] + fine[2i+1]) / 2. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm coarse) (fun () ->
+            let a = B.load_ b "fine" (B.bin_ b Ir.Shl (Ir.Reg i) (Ir.Imm 1)) in
+            let c =
+              B.load_ b "fine"
+                (B.bin_ b Ir.Add (B.bin_ b Ir.Shl (Ir.Reg i) (Ir.Imm 1)) (Ir.Imm 1))
+            in
+            B.store b "coarse" (Ir.Reg i) (B.bin_ b Ir.Shr (B.bin_ b Ir.Add a c) (Ir.Imm 1)));
+        (* Smooth the coarse grid (two sweeps). *)
+        let sweep = B.reg b in
+        B.for_ b sweep ~from:(Ir.Imm 0) ~below:(Ir.Imm 2) (fun () ->
+            B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Imm (coarse - 1)) (fun () ->
+                B.call b None "smooth_point" [ Ir.Reg i ]));
+        (* Boundary correction: a short loop with a tiny helper. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm 32) (fun () ->
+            let a = B.load_ b "coarse" (Ir.Reg i) in
+            let c = B.load_ b "coarse" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm 32)) in
+            let v = B.call_ b "corner_avg" [ a; c ] in
+            B.store b "coarse" (Ir.Reg i) v);
+        (* Prolongate. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm coarse) (fun () ->
+            let c = B.load_ b "coarse" (Ir.Reg i) in
+            let f = B.load_ b "fine" (B.bin_ b Ir.Shl (Ir.Reg i) (Ir.Imm 1)) in
+            B.store b "fine"
+              (B.bin_ b Ir.Shl (Ir.Reg i) (Ir.Imm 1))
+              (B.bin_ b Ir.Shr (B.bin_ b Ir.Add c f) (Ir.Imm 1))));
+    let check = B.load_ b "fine" (Ir.Imm 7) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("fine", grid); ("coarse", coarse) ]
+    ~main:"main"
+    (main :: smooth_point :: corner_avg
+    :: Coldlib.standard ~array_name:"fine" ~size:grid ~prefix:"lib_")
+
+(* wupwise: lattice gauge stand-in - a 3x3 "matrix" times 3-vector at
+   every site, written straight-line as real lattice kernels are, with a
+   perfectly predictable parity sign and a rare renormalization. *)
+let wupwise ~scale =
+  let sites = 256 in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:47 in
+    K.fill_random b lcg ~array_name:"m" ~size:(9 * 4);
+    K.fill_random b lcg ~array_name:"vec" ~size:(sites * 3);
+    let sweep = B.reg b in
+    B.for_ b sweep ~from:(Ir.Imm 0) ~below:(Ir.Imm (5 * scale)) (fun () ->
+        let s = B.reg b in
+        B.for_ b s ~from:(Ir.Imm 0) ~below:(Ir.Imm sites) (fun () ->
+            let mbase = B.bin_ b Ir.And (Ir.Reg s) (Ir.Imm 3) in
+            let mbase = B.bin_ b Ir.Mul mbase (Ir.Imm 9) in
+            let vbase = B.bin_ b Ir.Mul (Ir.Reg s) (Ir.Imm 3) in
+            (* Load the 3-vector. *)
+            let v0 = B.load_ b "vec" vbase in
+            let v1 = B.load_ b "vec" (B.bin_ b Ir.Add vbase (Ir.Imm 1)) in
+            let v2 = B.load_ b "vec" (B.bin_ b Ir.Add vbase (Ir.Imm 2)) in
+            let clip x = B.bin_ b Ir.And x (Ir.Imm 255) in
+            let row r =
+              let m0 = B.load_ b "m" (B.bin_ b Ir.Add mbase (Ir.Imm (3 * r))) in
+              let m1 = B.load_ b "m" (B.bin_ b Ir.Add mbase (Ir.Imm ((3 * r) + 1))) in
+              let m2 = B.load_ b "m" (B.bin_ b Ir.Add mbase (Ir.Imm ((3 * r) + 2))) in
+              let p0 = B.bin_ b Ir.Mul (clip m0) (clip v0) in
+              let p1 = B.bin_ b Ir.Mul (clip m1) (clip v1) in
+              let p2 = B.bin_ b Ir.Mul (clip m2) (clip v2) in
+              B.bin_ b Ir.Add p0 (B.bin_ b Ir.Add p1 p2)
+            in
+            let r0 = row 0 in
+            let r1 = row 1 in
+            let r2 = row 2 in
+            let acc = B.reg b in
+            B.bin b acc Ir.Add r0 (B.bin_ b Ir.Add r1 r2);
+            (* Rare renormalization, as when a gauge link drifts off the
+               group manifold. *)
+            let drift = B.bin_ b Ir.Gt (Ir.Reg acc) (Ir.Imm 580_000) in
+            B.when_ b drift (fun () ->
+                B.bin b acc Ir.Shr (Ir.Reg acc) (Ir.Imm 1));
+            (* Predictable parity sign. *)
+            let parity = B.bin_ b Ir.And (Ir.Reg s) (Ir.Imm 1) in
+            let odd = B.bin_ b Ir.Eq parity (Ir.Imm 1) in
+            let shift = B.reg b in
+            B.if_ b odd
+              ~then_:(fun () -> B.mov b shift (Ir.Imm 11))
+              ~else_:(fun () -> B.mov b shift (Ir.Imm 10));
+            let out0 = B.bin_ b Ir.Shr r0 (Ir.Reg shift) in
+            let out1 = B.bin_ b Ir.Shr r1 (Ir.Reg shift) in
+            let out2 = B.bin_ b Ir.Shr (Ir.Reg acc) (Ir.Reg shift) in
+            B.store b "vec" vbase out0;
+            B.store b "vec" (B.bin_ b Ir.Add vbase (Ir.Imm 1)) out1;
+            B.store b "vec" (B.bin_ b Ir.Add vbase (Ir.Imm 2)) out2));
+    let check = B.load_ b "vec" (Ir.Imm 5) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("m", 36); ("vec", sites * 3) ]
+    ~main:"main"
+    (main :: Coldlib.standard ~array_name:"m" ~size:36 ~prefix:"lib_")
+
+(* applu: SSOR sweeps with a biased convergence branch and a norm loop. *)
+let applu ~scale =
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:53 in
+    K.fill_random b lcg ~array_name:"rsd" ~size:grid;
+    let iter = B.reg b in
+    B.for_ b iter ~from:(Ir.Imm 0) ~below:(Ir.Imm (10 * scale)) (fun () ->
+        let i = B.reg b in
+        (* Lower sweep. *)
+        B.for_ b i ~from:(Ir.Imm dim) ~below:(Ir.Imm grid) (fun () ->
+            let prev = B.load_ b "rsd" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm dim)) in
+            let cur = B.load_ b "rsd" (Ir.Reg i) in
+            let nxt = B.bin_ b Ir.Sub cur (B.bin_ b Ir.Shr prev (Ir.Imm 2)) in
+            B.store b "rsd" (Ir.Reg i) nxt);
+        (* Upper sweep with clamping (biased: clamping is rare). *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm (grid - dim)) (fun () ->
+            let nxt = B.load_ b "rsd" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm dim)) in
+            let cur = B.load_ b "rsd" (Ir.Reg i) in
+            let v = B.bin_ b Ir.Add cur (B.bin_ b Ir.Shr nxt (Ir.Imm 3)) in
+            let huge = B.bin_ b Ir.Gt v (Ir.Imm 100_000_000) in
+            B.if_ b huge
+              ~then_:(fun () -> B.store b "rsd" (Ir.Reg i) (Ir.Imm 100_000_000))
+              ~else_:(fun () -> B.store b "rsd" (Ir.Reg i) v));
+        (* Norm. *)
+        let norm = B.reg b in
+        B.mov b norm (Ir.Imm 0);
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm grid) (fun () ->
+            let v = B.load_ b "rsd" (Ir.Reg i) in
+            let neg = B.bin_ b Ir.Lt v (Ir.Imm 0) in
+            B.if_ b neg
+              ~then_:(fun () -> B.bin b norm Ir.Sub (Ir.Reg norm) v)
+              ~else_:(fun () -> B.bin b norm Ir.Add (Ir.Reg norm) v));
+        B.out b (Ir.Reg norm));
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b None;
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("rsd", grid) ]
+    ~main:"main"
+    (main :: Coldlib.standard ~array_name:"rsd" ~size:grid ~prefix:"lib_")
+
+(* mesa: vertex transform + clipping + span rasterization, plus a
+   many-path shading routine with skewed branches: the routine whose
+   path count forces PPP's self-adjusting criterion (Section 4.3). *)
+let mesa ~scale =
+  let verts = 256 in
+  let shade =
+    let b = B.create ~name:"shade" ~nparams:2 in
+    let c = B.reg b in
+    B.mov b c (B.param b 0) |> ignore;
+    B.mov b c (B.param b 0);
+    let acc = B.reg b in
+    B.mov b acc (Ir.Imm 0);
+    (* Twelve skewed feature tests: each bit of the control word is
+       mostly zero, so most paths are warm-to-cold and the global
+       criterion can prune them after a few self-adjusting rounds. *)
+    for bit = 0 to 11 do
+      let v = B.bin_ b Ir.Shr (Ir.Reg c) (Ir.Imm bit) in
+      let masked = B.bin_ b Ir.And v (Ir.Imm 7) in
+      let on = B.bin_ b Ir.Eq masked (Ir.Imm 7) in
+      B.if_ b on
+        ~then_:(fun () -> B.bin b acc Ir.Add (Ir.Reg acc) (Ir.Imm (bit + 1)))
+        ~else_:(fun () -> B.bin b acc Ir.Xor (Ir.Reg acc) (Ir.Imm bit))
+    done;
+    B.ret b (Some (Ir.Reg acc));
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:59 in
+    K.fill_random b lcg ~array_name:"vx" ~size:verts;
+    K.fill_random b lcg ~array_name:"vy" ~size:verts;
+    let frames = B.reg b in
+    B.for_ b frames ~from:(Ir.Imm 0) ~below:(Ir.Imm (4 * scale)) (fun () ->
+        let v = B.reg b in
+        B.for_ b v ~from:(Ir.Imm 0) ~below:(Ir.Imm verts) (fun () ->
+            (* Transform. *)
+            let x = B.load_ b "vx" (Ir.Reg v) in
+            let y = B.load_ b "vy" (Ir.Reg v) in
+            let tx = B.bin_ b Ir.Add (B.bin_ b Ir.And x (Ir.Imm 1023)) (B.bin_ b Ir.Shr y (Ir.Imm 20)) in
+            let ty = B.bin_ b Ir.Add (B.bin_ b Ir.And y (Ir.Imm 1023)) (B.bin_ b Ir.Shr x (Ir.Imm 20)) in
+            (* Clip: mostly inside. *)
+            let outside = B.bin_ b Ir.Gt tx (Ir.Imm 1000) in
+            B.if_ b outside
+              ~then_:(fun () -> B.store b "vx" (Ir.Reg v) (Ir.Imm 1000))
+              ~else_:(fun () ->
+                (* Rasterize a short span. *)
+                let len = B.bin_ b Ir.And ty (Ir.Imm 7) in
+                let s = B.reg b in
+                B.for_ b s ~from:(Ir.Imm 0) ~below:len (fun () ->
+                    let px = B.bin_ b Ir.Add tx (Ir.Reg s) in
+                    let px = K.masked b px ~size:1024 in
+                    let shaded = B.call_ b "shade" [ px; Ir.Reg s ] in
+                    B.store b "fb" px shaded))));
+    let check = B.load_ b "fb" (Ir.Imm 123) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("vx", verts); ("vy", verts); ("fb", 1024) ]
+    ~main:"main"
+    (main :: shade :: Coldlib.standard ~array_name:"fb" ~size:1024 ~prefix:"lib_")
+
+(* art: adaptive resonance — dot-product layer, winner-take-all search,
+   weight adaptation. The small helpers are 100% inlined, as in the
+   paper's Table 1. *)
+let art ~scale =
+  let neurons = 64 in
+  let inputs = 16 in
+  let dot =
+    let b = B.create ~name:"dot" ~nparams:1 in
+    let acc = B.reg b in
+    B.mov b acc (Ir.Imm 0);
+    let i = B.reg b in
+    B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm inputs) (fun () ->
+        let wi = B.bin_ b Ir.Add (B.bin_ b Ir.Mul (B.param b 0) (Ir.Imm inputs)) (Ir.Reg i) in
+        let w = B.load_ b "w" wi in
+        let x = B.load_ b "inp" (Ir.Reg i) in
+        let prod = B.bin_ b Ir.Mul (B.bin_ b Ir.And w (Ir.Imm 255)) (B.bin_ b Ir.And x (Ir.Imm 255)) in
+        B.bin b acc Ir.Add (Ir.Reg acc) prod);
+    B.ret b (Some (Ir.Reg acc));
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:61 in
+    K.fill_random b lcg ~array_name:"w" ~size:(neurons * inputs);
+    K.fill_random b lcg ~array_name:"inp" ~size:inputs;
+    let epoch = B.reg b in
+    B.for_ b epoch ~from:(Ir.Imm 0) ~below:(Ir.Imm (30 * scale)) (fun () ->
+        (* Perturb the input. *)
+        let i = B.reg b in
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm inputs) (fun () ->
+            B.store b "inp" (Ir.Reg i) (K.lcg_bits b lcg ~lo:4 ~width:8));
+        (* Activations. *)
+        let j = B.reg b in
+        B.for_ b j ~from:(Ir.Imm 0) ~below:(Ir.Imm neurons) (fun () ->
+            let a = B.call_ b "dot" [ Ir.Reg j ] in
+            B.store b "act" (Ir.Reg j) a);
+        (* Winner-take-all. *)
+        let best = B.reg b in
+        let best_j = B.reg b in
+        B.mov b best (Ir.Imm (-1));
+        B.mov b best_j (Ir.Imm 0);
+        B.for_ b j ~from:(Ir.Imm 0) ~below:(Ir.Imm neurons) (fun () ->
+            let a = B.load_ b "act" (Ir.Reg j) in
+            let better = B.bin_ b Ir.Gt a (Ir.Reg best) in
+            B.if_ b better
+              ~then_:(fun () ->
+                B.mov b best a;
+                B.mov b best_j (Ir.Reg j))
+              ~else_:(fun () -> ()));
+        (* Adapt the winner's weights. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm inputs) (fun () ->
+            let wi = B.bin_ b Ir.Add (B.bin_ b Ir.Mul (Ir.Reg best_j) (Ir.Imm inputs)) (Ir.Reg i) in
+            let w = B.load_ b "w" wi in
+            let x = B.load_ b "inp" (Ir.Reg i) in
+            let nw = B.bin_ b Ir.Add w (B.bin_ b Ir.Shr (B.bin_ b Ir.Sub x w) (Ir.Imm 2)) in
+            B.store b "w" wi nw);
+        B.out b (Ir.Reg best_j));
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b None;
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("w", neurons * inputs); ("inp", inputs); ("act", neurons) ]
+    ~main:"main"
+    (main :: dot
+    :: Coldlib.standard ~array_name:"act" ~size:neurons ~prefix:"lib_")
+
+(* equake: sparse matrix-vector products over a random CSR structure,
+   plus a straight time-integration loop. The one hot helper is tiny, so
+   like the paper's equake all dynamic calls inline (Table 1: 100%). *)
+let equake ~scale =
+  let rows = 128 in
+  let nnz = 2048 in
+  let vmul =
+    let b = B.create ~name:"vmul" ~nparams:2 in
+    let a = B.bin_ b Ir.And (B.param b 0) (Ir.Imm 63) in
+    let x = B.bin_ b Ir.And (B.param b 1) (Ir.Imm 63) in
+    let p = B.bin_ b Ir.Mul a x in
+    B.ret b (Some p);
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:67 in
+    (* Row pointers: rows of 0..7 entries. *)
+    let i = B.reg b in
+    let acc = B.reg b in
+    B.mov b acc (Ir.Imm 0);
+    B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm rows) (fun () ->
+        B.store b "rowp" (Ir.Reg i) (Ir.Reg acc);
+        (* Rows carry 10..17 nonzeros, like the real equake's element
+           matrices — deep enough for obvious-loop disconnection. *)
+        let len = K.lcg_bits b lcg ~lo:5 ~width:3 in
+        let len = B.bin_ b Ir.Add len (Ir.Imm 10) in
+        B.bin b acc Ir.Add (Ir.Reg acc) len;
+        let over = B.bin_ b Ir.Gt (Ir.Reg acc) (Ir.Imm (nnz - 1)) in
+        B.when_ b over (fun () -> B.mov b acc (Ir.Imm (nnz - 1))));
+    B.store b "rowp" (Ir.Imm rows) (Ir.Reg acc);
+    K.fill_random b lcg ~array_name:"col" ~size:nnz;
+    K.fill_random b lcg ~array_name:"aval" ~size:nnz;
+    K.fill_random b lcg ~array_name:"x" ~size:rows;
+    let step = B.reg b in
+    B.for_ b step ~from:(Ir.Imm 0) ~below:(Ir.Imm (12 * scale)) (fun () ->
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm rows) (fun () ->
+            let start = B.load_ b "rowp" (Ir.Reg i) in
+            let stop = B.load_ b "rowp" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm 1)) in
+            let sum = B.reg b in
+            B.mov b sum (Ir.Imm 0);
+            let k = B.reg b in
+            B.mov b k start;
+            B.while_ b
+              ~cond:(fun () -> B.bin_ b Ir.Lt (Ir.Reg k) stop)
+              ~body:(fun () ->
+                let c = B.load_ b "col" (Ir.Reg k) in
+                let c = K.masked b c ~size:rows in
+                let a = B.load_ b "aval" (Ir.Reg k) in
+                let xv = B.load_ b "x" c in
+                let prod = B.call_ b "vmul" [ a; xv ] in
+                B.bin b sum Ir.Add (Ir.Reg sum) prod;
+                B.bin b k Ir.Add (Ir.Reg k) (Ir.Imm 1));
+            (* Rare absorbing-boundary correction. *)
+            let damp = B.bin_ b Ir.Gt (Ir.Reg sum) (Ir.Imm 200_000) in
+            B.when_ b damp (fun () ->
+                B.bin b sum Ir.Shr (Ir.Reg sum) (Ir.Imm 2));
+            B.store b "y" (Ir.Reg i) (Ir.Reg sum));
+        (* Time integration: straight line. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm rows) (fun () ->
+            let y = B.load_ b "y" (Ir.Reg i) in
+            let x = B.load_ b "x" (Ir.Reg i) in
+            B.store b "x" (Ir.Reg i)
+              (B.bin_ b Ir.Add x (B.bin_ b Ir.Shr (B.bin_ b Ir.Sub y x) (Ir.Imm 4)))));
+    let check = B.load_ b "x" (Ir.Imm 11) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:
+      [ ("rowp", rows + 1); ("col", nnz); ("aval", nnz); ("x", rows); ("y", rows) ]
+    ~main:"main"
+    (main :: vmul :: Coldlib.standard ~array_name:"x" ~size:rows ~prefix:"lib_")
+
+(* ammp: molecular dynamics — pairwise forces with a (biased) cutoff
+   test and a short Newton iteration for the distance. The tiny
+   squared-distance helper inlines everywhere (Table 1: 98%). *)
+let ammp ~scale =
+  let atoms = 48 in
+  let dist2 =
+    let b = B.create ~name:"dist2" ~nparams:2 in
+    let xi = B.load_ b "px" (B.param b 0) in
+    let xj = B.load_ b "px" (B.param b 1) in
+    let yi = B.load_ b "py" (B.param b 0) in
+    let yj = B.load_ b "py" (B.param b 1) in
+    let dx = B.bin_ b Ir.Sub (B.bin_ b Ir.And xi (Ir.Imm 1023)) (B.bin_ b Ir.And xj (Ir.Imm 1023)) in
+    let dy = B.bin_ b Ir.Sub (B.bin_ b Ir.And yi (Ir.Imm 1023)) (B.bin_ b Ir.And yj (Ir.Imm 1023)) in
+    let d2 = B.bin_ b Ir.Add (B.bin_ b Ir.Mul dx dx) (B.bin_ b Ir.Mul dy dy) in
+    B.ret b (Some d2);
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:71 in
+    K.fill_random b lcg ~array_name:"px" ~size:atoms;
+    K.fill_random b lcg ~array_name:"py" ~size:atoms;
+    let step = B.reg b in
+    B.for_ b step ~from:(Ir.Imm 0) ~below:(Ir.Imm (4 * scale)) (fun () ->
+        let i = B.reg b in
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm atoms) (fun () ->
+            let j = B.reg b in
+            B.for_ b j ~from:(Ir.Imm 0) ~below:(Ir.Imm atoms) (fun () ->
+                let d2 = B.call_ b "dist2" [ Ir.Reg i; Ir.Reg j ] in
+                (* Cutoff: most pairs are too far apart. *)
+                let close = B.bin_ b Ir.Lt d2 (Ir.Imm 40_000) in
+                B.if_ b close
+                  ~then_:(fun () ->
+                    let xi = B.load_ b "px" (Ir.Reg i) in
+                    let d = K.isqrt_newton b d2 in
+                    let f = B.bin_ b Ir.Div (Ir.Imm 100_000) (B.bin_ b Ir.Add d (Ir.Imm 1)) in
+                    let xi' = B.bin_ b Ir.Add xi (B.bin_ b Ir.Shr f (Ir.Imm 6)) in
+                    B.store b "px" (Ir.Reg i) xi')
+                  ~else_:(fun () -> ()))));
+    let check = B.load_ b "px" (Ir.Imm 3) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("px", atoms); ("py", atoms) ]
+    ~main:"main"
+    (main :: dist2 :: Coldlib.standard ~array_name:"px" ~size:atoms ~prefix:"lib_")
+
+(* sixtrack: particle tracking — a linear map per turn with a rare
+   aperture-loss path (textbook cold path). The rotation helper is tiny
+   and inlines; the sextupole kick is above the budget, so about half of
+   the dynamic calls inline (Table 1: 57%). *)
+let sixtrack ~scale =
+  let particles = 128 in
+  let rotate =
+    (* One fixed-point rotation component: (v*62 - w*8) >> 6. *)
+    let b = B.create ~name:"rotate" ~nparams:2 in
+    let r =
+      B.bin_ b Ir.Sub
+        (B.bin_ b Ir.Shr (B.bin_ b Ir.Mul (B.param b 0) (Ir.Imm 62)) (Ir.Imm 6))
+        (B.bin_ b Ir.Shr (B.bin_ b Ir.Mul (B.param b 1) (Ir.Imm 8)) (Ir.Imm 6))
+    in
+    B.ret b (Some r);
+    B.finish b
+  in
+  let sext_kick =
+    (* Nonlinear kick with clamping — stays out of line. *)
+    let b = B.create ~name:"sext_kick" ~nparams:1 in
+    let x = B.param b 0 in
+    let k = B.bin_ b Ir.Shr (B.bin_ b Ir.Mul x x) (Ir.Imm 11) in
+    let kk = B.reg b in
+    B.mov b kk k;
+    let big = B.bin_ b Ir.Gt (Ir.Reg kk) (Ir.Imm 512) in
+    B.when_ b big (fun () -> B.mov b kk (Ir.Imm 512));
+    let neg = B.bin_ b Ir.Lt (Ir.Reg kk) (Ir.Imm (-512)) in
+    B.when_ b neg (fun () -> B.mov b kk (Ir.Imm (-512)));
+    let octupole = B.bin_ b Ir.Shr (B.bin_ b Ir.Mul (Ir.Reg kk) x) (Ir.Imm 14) in
+    B.bin b kk Ir.Add (Ir.Reg kk) octupole;
+    B.ret b (Some (Ir.Reg kk));
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:73 in
+    K.fill_random b lcg ~array_name:"sx" ~size:particles;
+    K.fill_random b lcg ~array_name:"spx" ~size:particles;
+    let lost = B.reg b in
+    B.mov b lost (Ir.Imm 0);
+    let turn = B.reg b in
+    B.for_ b turn ~from:(Ir.Imm 0) ~below:(Ir.Imm (25 * scale)) (fun () ->
+        let p = B.reg b in
+        B.for_ b p ~from:(Ir.Imm 0) ~below:(Ir.Imm particles) (fun () ->
+            let alive = B.load_ b "sx" (Ir.Reg p) in
+            let dead = B.bin_ b Ir.Eq alive (Ir.Imm (-1)) in
+            B.if_ b dead
+              ~then_:(fun () -> ())
+              ~else_:(fun () ->
+                let x = B.bin_ b Ir.And alive (Ir.Imm 4095) in
+                let px = B.load_ b "spx" (Ir.Reg p) in
+                let px = B.bin_ b Ir.And px (Ir.Imm 4095) in
+                (* Rotation-ish linear map in fixed point. *)
+                let x' = B.call_ b "rotate" [ x; px ] in
+                let px' =
+                  B.bin_ b Ir.Add
+                    (B.bin_ b Ir.Shr (B.bin_ b Ir.Mul x (Ir.Imm 8)) (Ir.Imm 6))
+                    (B.bin_ b Ir.Shr (B.bin_ b Ir.Mul px (Ir.Imm 62)) (Ir.Imm 6))
+                in
+                (* Sextupole kick: small nonlinearity. *)
+                let kick = B.call_ b "sext_kick" [ x' ] in
+                let px' = B.bin_ b Ir.Add px' kick in
+                (* Aperture: rare loss. *)
+                let out = B.bin_ b Ir.Gt px' (Ir.Imm 8000) in
+                B.if_ b out
+                  ~then_:(fun () ->
+                    B.bin b lost Ir.Add (Ir.Reg lost) (Ir.Imm 1);
+                    B.store b "sx" (Ir.Reg p) (Ir.Imm (-1)))
+                  ~else_:(fun () ->
+                    B.store b "sx" (Ir.Reg p) x';
+                    B.store b "spx" (Ir.Reg p) px'))));
+    B.out b (Ir.Reg lost);
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some (Ir.Reg lost));
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("sx", particles); ("spx", particles) ]
+    ~main:"main"
+    (main :: rotate :: sext_kick
+    :: Coldlib.standard ~array_name:"sx" ~size:particles ~prefix:"lib_")
+
+(* apsi: pollutant transport — several distinct stencil phases plus a
+   tridiagonal solve, i.e. many separate unrollable loops (the paper's
+   apsi shows the biggest path-length jump after unrolling). *)
+let apsi ~scale =
+  let flux3 =
+    let b = B.create ~name:"flux3" ~nparams:3 in
+    let w = B.bin_ b Ir.And (B.param b 0) (Ir.Imm 15) in
+    let d = B.bin_ b Ir.Sub (B.param b 1) (B.param b 2) in
+    let f = B.bin_ b Ir.Shr (B.bin_ b Ir.Mul w d) (Ir.Imm 5) in
+    B.ret b (Some f);
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let lcg = K.lcg_init b ~seed:79 in
+    K.fill_random b lcg ~array_name:"c" ~size:grid;
+    K.fill_random b lcg ~array_name:"wind" ~size:grid;
+    let t = B.reg b in
+    B.for_ b t ~from:(Ir.Imm 0) ~below:(Ir.Imm (6 * scale)) (fun () ->
+        let i = B.reg b in
+        (* Advection. *)
+        B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Imm grid) (fun () ->
+            let w = B.load_ b "wind" (Ir.Reg i) in
+            let up = B.load_ b "c" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm 1)) in
+            let here = B.load_ b "c" (Ir.Reg i) in
+            let flux = B.call_ b "flux3" [ w; up; here ] in
+            B.store b "c" (Ir.Reg i) (B.bin_ b Ir.Add here flux));
+        (* Diffusion. *)
+        B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Imm (grid - 1)) (fun () ->
+            let l = B.load_ b "c" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm 1)) in
+            let r = B.load_ b "c" (B.bin_ b Ir.Add (Ir.Reg i) (Ir.Imm 1)) in
+            let m = B.load_ b "c" (Ir.Reg i) in
+            let lap = B.bin_ b Ir.Sub (B.bin_ b Ir.Add l r) (B.bin_ b Ir.Shl m (Ir.Imm 1)) in
+            B.store b "c" (Ir.Reg i) (B.bin_ b Ir.Add m (B.bin_ b Ir.Shr lap (Ir.Imm 3))));
+        (* Deposition: per-cell decay. *)
+        B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm grid) (fun () ->
+            let m = B.load_ b "c" (Ir.Reg i) in
+            B.store b "c" (Ir.Reg i) (B.bin_ b Ir.Sub m (B.bin_ b Ir.Shr m (Ir.Imm 6))));
+        (* Forward sweep of a tridiagonal solve. *)
+        B.for_ b i ~from:(Ir.Imm 1) ~below:(Ir.Imm dim) (fun () ->
+            let prev = B.load_ b "tmp" (B.bin_ b Ir.Sub (Ir.Reg i) (Ir.Imm 1)) in
+            let src = B.load_ b "c" (Ir.Reg i) in
+            B.store b "tmp" (Ir.Reg i)
+              (B.bin_ b Ir.Add src (B.bin_ b Ir.Shr prev (Ir.Imm 1))));
+        (* Backward substitution. *)
+        let j = B.reg b in
+        B.for_ b j ~from:(Ir.Imm 1) ~below:(Ir.Imm dim) (fun () ->
+            let i' = B.bin_ b Ir.Sub (Ir.Imm (dim - 1)) (Ir.Reg j) in
+            let nxt = B.load_ b "tmp" (B.bin_ b Ir.Add i' (Ir.Imm 1)) in
+            let cur = B.load_ b "tmp" i' in
+            B.store b "tmp" i' (B.bin_ b Ir.Sub cur (B.bin_ b Ir.Shr nxt (Ir.Imm 2)))));
+    let check = B.load_ b "c" (Ir.Imm 99) in
+    B.out b check;
+    Coldlib.validate b ~prefix:"lib_";
+    B.ret b (Some check);
+    B.finish b
+  in
+  B.program
+    ~arrays:[ ("c", grid); ("wind", grid); ("tmp", dim) ]
+    ~main:"main"
+    (main :: flux3 :: Coldlib.standard ~array_name:"c" ~size:grid ~prefix:"lib_")

@@ -1,0 +1,37 @@
+(** The ten SPEC2000 floating-point workloads (integer arithmetic stands
+    in for FP; control shape matches the originals — long counted loops,
+    straight bodies, high trip counts). See the registry in {!Spec}. *)
+
+val wupwise : scale:int -> Ppp_ir.Ir.program
+(** Straight-line 3x3 matrix-vector products per lattice site. *)
+
+val swim : scale:int -> Ppp_ir.Ir.program
+(** Shallow-water stencils; the least path-diverse benchmark — PPP adds
+    no instrumentation at all (Section 6.1's special case). *)
+
+val mgrid : scale:int -> Ppp_ir.Ir.program
+(** Multigrid V-cycle: restrict, smooth (out-of-line), prolongate. *)
+
+val applu : scale:int -> Ppp_ir.Ir.program
+(** SSOR sweeps with a biased clamping branch and a norm loop. *)
+
+val mesa : scale:int -> Ppp_ir.Ir.program
+(** Vertex transform, clipping and span rasterization; the shading
+    routine's skewed 12-way feature chain exercises the self-adjusting
+    criterion (Section 4.3). *)
+
+val art : scale:int -> Ppp_ir.Ir.program
+(** Neural-network layer: dot products, winner-take-all, adaptation. *)
+
+val equake : scale:int -> Ppp_ir.Ir.program
+(** Sparse matrix-vector products over a random CSR structure. *)
+
+val ammp : scale:int -> Ppp_ir.Ir.program
+(** Pairwise forces with a biased cutoff and a Newton square root. *)
+
+val sixtrack : scale:int -> Ppp_ir.Ir.program
+(** Particle tracking with a rare aperture-loss path. *)
+
+val apsi : scale:int -> Ppp_ir.Ir.program
+(** Pollutant transport: several stencil phases and a tridiagonal
+    solve — many separately unrollable loops. *)

@@ -1,0 +1,30 @@
+(** The eight SPEC2000 integer workloads (see the registry in {!Spec} and
+    the shaping notes at the top of the implementation). Each builds a
+    complete, well-formed program; [scale] multiplies the main iteration
+    counts. *)
+
+val vpr : scale:int -> Ppp_ir.Ir.program
+(** Simulated-annealing placement (swap moves with a cost helper). *)
+
+val mcf : scale:int -> Ppp_ir.Ir.program
+(** Bellman-Ford relaxation over a random arc list. *)
+
+val crafty : scale:int -> Ppp_ir.Ir.program
+(** Board evaluation with a 13-deep decision chain per square: the
+    hash-threshold stress test (2^13 static paths per loop body). *)
+
+val parser : scale:int -> Ppp_ir.Ir.program
+(** Tokenizer + dictionary over pseudo-random text; strongly correlated
+    in-word/out-of-word branching. *)
+
+val perlbmk : scale:int -> Ppp_ir.Ir.program
+(** A bytecode interpreter with a Markov-biased opcode stream. *)
+
+val gap : scale:int -> Ppp_ir.Ir.program
+(** Bignum addition with carry chains plus Euclid's gcd. *)
+
+val bzip2 : scale:int -> Ppp_ir.Ir.program
+(** Move-to-front coding with run-length detection. *)
+
+val twolf : scale:int -> Ppp_ir.Ir.program
+(** Standard-cell placement refinement with a net-cost inner loop. *)

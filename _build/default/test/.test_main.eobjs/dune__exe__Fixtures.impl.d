@@ -1,0 +1,1 @@
+test/fixtures.ml: Array List Ppp_cfg Ppp_ir Ppp_profile

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Fixtures Fun List Option Ppp_cfg Ppp_ir

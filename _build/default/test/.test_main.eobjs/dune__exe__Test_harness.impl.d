@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format List Ppp_core Ppp_harness Ppp_interp Ppp_ir Ppp_opt Ppp_workloads Printf String

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Hashtbl List Option Ppp_core Ppp_harness Ppp_interp Ppp_ir Ppp_workloads String

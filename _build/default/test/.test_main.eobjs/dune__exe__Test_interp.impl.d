@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Hashtbl List Option Ppp_cfg Ppp_interp Ppp_ir Ppp_profile Ppp_workloads QCheck QCheck_alcotest

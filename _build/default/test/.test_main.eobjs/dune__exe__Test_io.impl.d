@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Buffer Format Hashtbl List Option Ppp_cfg Ppp_core Ppp_interp Ppp_ir Ppp_profile Ppp_workloads QCheck QCheck_alcotest String

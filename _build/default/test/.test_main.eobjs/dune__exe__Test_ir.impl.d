@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ppp_interp Ppp_ir Ppp_workloads QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Float Format List Ppp_cfg Ppp_interp Ppp_ir Ppp_profile Ppp_workloads Printf String

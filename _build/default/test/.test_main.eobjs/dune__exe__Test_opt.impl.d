@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest List Option Ppp_cfg Ppp_interp Ppp_ir Ppp_opt Ppp_profile Ppp_workloads QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Fixtures Hashtbl List Option Ppp_cfg Ppp_core Ppp_flow Ppp_interp Ppp_ir Ppp_profile Printf

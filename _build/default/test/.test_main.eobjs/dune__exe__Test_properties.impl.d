@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Fun List Option Ppp_cfg Ppp_core Ppp_flow Ppp_interp Ppp_ir Ppp_profile Ppp_workloads QCheck QCheck_alcotest

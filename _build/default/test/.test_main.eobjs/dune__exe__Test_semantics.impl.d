@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Hashtbl List Option Ppp_core Ppp_interp Ppp_ir Ppp_profile Ppp_workloads QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_superblock.ml: Alcotest Hashtbl Option Ppp_core Ppp_harness Ppp_interp Ppp_ir Ppp_opt Ppp_profile Ppp_workloads QCheck QCheck_alcotest

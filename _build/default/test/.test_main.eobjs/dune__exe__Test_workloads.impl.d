@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Ppp_core Ppp_harness Ppp_interp Ppp_ir Ppp_workloads

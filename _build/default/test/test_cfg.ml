@@ -1,0 +1,182 @@
+module Graph = Ppp_cfg.Graph
+module Order = Ppp_cfg.Order
+module Dom = Ppp_cfg.Dom
+module Loop = Ppp_cfg.Loop
+module Dag = Ppp_cfg.Dag
+module Cfg_view = Ppp_ir.Cfg_view
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A diamond with a loop: 0 -> 1 -> 2 -> 1 (back), 2 -> 3. *)
+let loopy () =
+  let g = Graph.create () in
+  Graph.add_nodes g 4;
+  let e01 = Graph.add_edge g 0 1 in
+  let e12 = Graph.add_edge g 1 2 in
+  let e21 = Graph.add_edge g 2 1 in
+  let e23 = Graph.add_edge g 2 3 in
+  (g, e01, e12, e21, e23)
+
+let test_graph_basics () =
+  let g, e01, _, _, _ = loopy () in
+  check "nodes" 4 (Graph.num_nodes g);
+  check "edges" 4 (Graph.num_edges g);
+  check "src" 0 (Graph.src g e01);
+  check "dst" 1 (Graph.dst g e01);
+  check "out_degree 2" 2 (Graph.out_degree g 2);
+  check "in_degree 1" 2 (Graph.in_degree g 1);
+  check_bool "find_edge" true (Graph.find_edge g 0 1 = Some e01);
+  check_bool "find_edge none" true (Graph.find_edge g 3 0 = None)
+
+let test_graph_parallel_edges () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  let a = Graph.add_edge g 0 1 in
+  let b = Graph.add_edge g 0 1 in
+  check_bool "distinct ids" true (a <> b);
+  check "out edges" 2 (List.length (Graph.out_edges g 0))
+
+let test_reachability () =
+  let g, _, _, _, _ = loopy () in
+  let r = Order.reachable g 0 in
+  check_bool "all reachable" true (Array.for_all Fun.id r);
+  let co = Order.co_reachable g 3 in
+  check_bool "3 co-reach" true (Array.for_all Fun.id co);
+  let r1 = Order.reachable g 1 in
+  check_bool "0 not reachable from 1" false r1.(0)
+
+let test_topological () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  (match Order.topological g with
+  | Some [ 0; 1; 2 ] -> ()
+  | Some _ -> Alcotest.fail "wrong topo order"
+  | None -> Alcotest.fail "should be a DAG");
+  let gc, _, _, _, _ = loopy () in
+  check_bool "cyclic" true (Order.topological gc = None)
+
+let test_retreating () =
+  let g, _, _, e21, _ = loopy () in
+  (match Order.retreating_edges g 0 with
+  | [ e ] -> check "back edge" e21 e
+  | _ -> Alcotest.fail "expected exactly one retreating edge");
+  check_bool "is dag after removal" true
+    (let d = Graph.create () in
+     Graph.add_nodes d 4;
+     ignore (Graph.add_edge d 0 1);
+     ignore (Graph.add_edge d 1 2);
+     ignore (Graph.add_edge d 2 3);
+     Order.is_dag d)
+
+let test_dominators () =
+  let g, _, _, _, _ = loopy () in
+  let dom = Dom.compute g ~root:0 in
+  check_bool "0 dom all" true (Dom.dominates dom 0 3);
+  check_bool "1 dom 2" true (Dom.dominates dom 1 2);
+  check_bool "2 dom 3" true (Dom.dominates dom 2 3);
+  check_bool "2 not dom 1" false (Dom.dominates dom 2 1);
+  check_bool "reflexive" true (Dom.dominates dom 1 1);
+  Alcotest.(check (option int)) "idom 3" (Some 2) (Dom.idom dom 3);
+  Alcotest.(check (option int)) "idom root" None (Dom.idom dom 0)
+
+let test_loops () =
+  let g, _, _, e21, _ = loopy () in
+  let loops = Loop.compute g ~root:0 in
+  (match Loop.loops loops with
+  | [ l ] ->
+      check "header" 1 l.Loop.header;
+      Alcotest.(check (list int)) "body" [ 1; 2 ] l.Loop.body;
+      Alcotest.(check (list int)) "back edges" [ e21 ] l.Loop.back_edges
+  | _ -> Alcotest.fail "expected one loop");
+  check_bool "is_back_edge" true (Loop.is_back_edge loops e21);
+  check "depth 2" 1 (Loop.depth loops 2);
+  check "depth 0" 0 (Loop.depth loops 0);
+  Alcotest.(check (list int)) "irreducible" [] (Loop.irreducible_edges loops)
+
+let test_trip_count () =
+  let g, e01, _, e21, _ = loopy () in
+  let loops = Loop.compute g ~root:0 in
+  let l = List.hd (Loop.loops loops) in
+  let freq e = if e = e21 then 90 else if e = e01 then 10 else 0 in
+  Alcotest.(check (float 0.001)) "10 trips" 10.0 (Loop.avg_trip_count loops l ~freq)
+
+let test_dag_loopy () =
+  let g, e01, e12, e21, e23 = loopy () in
+  let loops = Loop.compute g ~root:0 in
+  let dag = Dag.convert g ~entry:0 ~exit:3 ~break:(Loop.breakable_edges loops) in
+  check_bool "acyclic" true (Ppp_cfg.Order.is_dag (Dag.dag dag));
+  check_bool "broken" true (Dag.of_original dag e21 = None);
+  check_bool "e01 kept" true (Dag.of_original dag e01 <> None);
+  (* One entry dummy for header 1, one exit dummy for the back edge. *)
+  let d_entry = Option.get (Dag.entry_dummy dag 1) in
+  let d_exit = Option.get (Dag.exit_dummy dag e21) in
+  check "entry dummy src" 0 (Graph.src (Dag.dag dag) d_entry);
+  check "entry dummy dst" 1 (Graph.dst (Dag.dag dag) d_entry);
+  check "exit dummy src" 2 (Graph.src (Dag.dag dag) d_exit);
+  check "exit dummy dst" 3 (Graph.dst (Dag.dag dag) d_exit);
+  (* Frequencies lift. *)
+  let cfg_freq e = if e = e21 then 7 else if e = e12 then 9 else 1 in
+  check "dummy freq" 7 (Dag.edge_freq dag ~cfg_freq d_exit);
+  check "entry dummy freq" 7 (Dag.edge_freq dag ~cfg_freq d_entry);
+  check "orig freq" 9 (Dag.edge_freq dag ~cfg_freq (Option.get (Dag.of_original dag e12)));
+  ignore e23
+
+let test_dag_path_roundtrip () =
+  let g, e01, e12, e21, e23 = loopy () in
+  let loops = Loop.compute g ~root:0 in
+  let dag = Dag.convert g ~entry:0 ~exit:3 ~break:(Loop.breakable_edges loops) in
+  (* An iteration path 1 -> 2 -> (back to 1): CFG edges [e12; e21]. *)
+  let rt = Dag.cfg_path_of_dag_path dag (Dag.dag_path_of_cfg_path dag [ e12; e21 ]) in
+  Alcotest.(check (list int)) "loop path roundtrip" [ e12; e21 ] rt;
+  (* The invocation path 0 -> 1 -> 2 -> 3. *)
+  let p = [ e01; e12; e23 ] in
+  Alcotest.(check (list int)) "straight path roundtrip" p
+    (Dag.cfg_path_of_dag_path dag (Dag.dag_path_of_cfg_path dag p))
+
+let test_dag_header_is_entry () =
+  (* Self-loop on the entry: 0 -> 0 (back), 0 -> 1. No entry dummy. *)
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  let e00 = Graph.add_edge g 0 0 in
+  let e01 = Graph.add_edge g 0 1 in
+  let loops = Loop.compute g ~root:0 in
+  let dag = Dag.convert g ~entry:0 ~exit:1 ~break:(Loop.breakable_edges loops) in
+  check_bool "acyclic" true (Ppp_cfg.Order.is_dag (Dag.dag dag));
+  check_bool "no entry dummy" true (Dag.entry_dummy dag 0 = None);
+  check_bool "exit dummy exists" true (Dag.exit_dummy dag e00 <> None);
+  (* The iteration path [e00] round-trips without an entry dummy. *)
+  Alcotest.(check (list int)) "self-loop path" [ e00 ]
+    (Dag.cfg_path_of_dag_path dag (Dag.dag_path_of_cfg_path dag [ e00 ]));
+  ignore e01
+
+let test_fig1_dag () =
+  let view = Fixtures.view Fixtures.fig1_routine in
+  let g = Cfg_view.graph view in
+  let loops = Loop.compute g ~root:0 in
+  (match Loop.loops loops with
+  | [ l ] -> check "fig1 header is entry" 0 l.Loop.header
+  | _ -> Alcotest.fail "fig1 should have one loop");
+  let dag =
+    Dag.convert g ~entry:0 ~exit:(Cfg_view.exit view)
+      ~break:(Loop.breakable_edges loops)
+  in
+  check_bool "fig1 dag acyclic" true (Ppp_cfg.Order.is_dag (Dag.dag dag))
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "parallel edges" `Quick test_graph_parallel_edges;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "topological" `Quick test_topological;
+    Alcotest.test_case "retreating edges" `Quick test_retreating;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "natural loops" `Quick test_loops;
+    Alcotest.test_case "trip count" `Quick test_trip_count;
+    Alcotest.test_case "dag conversion" `Quick test_dag_loopy;
+    Alcotest.test_case "dag path roundtrip" `Quick test_dag_path_roundtrip;
+    Alcotest.test_case "header = entry" `Quick test_dag_header_is_entry;
+    Alcotest.test_case "figure 1 dag" `Quick test_fig1_dag;
+  ]

@@ -1,0 +1,325 @@
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Config = Ppp_core.Config
+module Numbering = Ppp_core.Numbering
+module Event_count = Ppp_core.Event_count
+module Cold = Ppp_core.Cold
+module Instrument = Ppp_core.Instrument
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+
+let ctx_of routine profile = Routine_ctx.make (Fixtures.view routine) profile
+
+(* Enumerate every entry-to-exit path of a (small) DAG restricted to hot
+   edges. *)
+let all_hot_paths ctx hot =
+  let g = Routine_ctx.graph ctx in
+  let exit = Routine_ctx.exit ctx in
+  let rec walk v =
+    if v = exit then [ [] ]
+    else
+      List.concat_map
+        (fun e ->
+          if hot.(e) then List.map (fun p -> e :: p) (walk (Graph.dst g e)) else [])
+        (Graph.out_edges g v)
+  in
+  walk (Routine_ctx.entry ctx)
+
+let test_fig1_numbering () =
+  let view = Fixtures.view Fixtures.fig1_routine in
+  let profile = Fixtures.uniform_profile view 10 in
+  let ctx = Routine_ctx.make view profile in
+  let hot = Cold.all_hot ctx in
+  let nb = Numbering.compute ctx ~hot ~order:Numbering.Ball_larus in
+  (* Figure 1(c): the example has 8 paths. *)
+  Alcotest.(check int) "N = 8" 8 (Numbering.num_paths nb);
+  (* Numbers form a bijection onto [0,8). *)
+  let paths = all_hot_paths ctx hot in
+  Alcotest.(check int) "8 paths" 8 (List.length paths);
+  let nums = List.map (Numbering.number_of_path nb) paths in
+  let sorted = List.sort compare nums in
+  Alcotest.(check (list int)) "bijection" [ 0; 1; 2; 3; 4; 5; 6; 7 ] sorted;
+  (* Decode inverts. *)
+  List.iter
+    (fun p ->
+      let n = Numbering.number_of_path nb p in
+      Alcotest.(check (list int)) "decode inverts" p (Numbering.decode nb n))
+    paths
+
+let test_event_count_preserves_fig1 () =
+  let view = Fixtures.view Fixtures.fig1_routine in
+  let profile = Fixtures.uniform_profile view 10 in
+  let ctx = Routine_ctx.make view profile in
+  let hot = Cold.all_hot ctx in
+  let nb = Numbering.compute ctx ~hot ~order:Numbering.Ball_larus in
+  let ev =
+    Event_count.compute ctx ~hot ~numbering:nb
+      ~weight:(fun e -> float_of_int (Routine_ctx.freq ctx e))
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "sum preserved" (Numbering.number_of_path nb p)
+        (Event_count.sum_along ev p))
+    (all_hot_paths ctx hot);
+  (* Spanning-tree edges carry no increment; with E hot edges and V
+     connected nodes there are E - (V - 1) chords. *)
+  let g = Routine_ctx.graph ctx in
+  let chords =
+    Graph.fold_edges g ~init:0 ~f:(fun acc e ->
+        if Event_count.is_chord ev e then acc + 1 else acc)
+  in
+  Alcotest.(check int) "chord count" (Graph.num_edges g - (Graph.num_nodes g - 1)) chords
+
+let test_smart_numbering_hottest_zero () =
+  (* Figure 6: with smart numbering the hottest outgoing edge of each
+     block gets value 0. *)
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Fixtures.fig8_profile () in
+  let ctx = Routine_ctx.make view profile in
+  let hot = Cold.all_hot ctx in
+  let nb =
+    Numbering.compute ctx ~hot
+      ~order:(Numbering.Freq_decreasing (fun e -> float_of_int (Routine_ctx.freq ctx e)))
+  in
+  (* Edge AB (id 0, freq 50) beats AC (30); DE (60) beats DF (20). *)
+  Alcotest.(check int) "Val(AB)=0" 0 (Numbering.value nb 0);
+  Alcotest.(check int) "Val(DE)=0" 0 (Numbering.value nb 4);
+  Alcotest.(check bool) "Val(AC)>0" true (Numbering.value nb 1 > 0);
+  (* Still a bijection. *)
+  let nums =
+    List.sort compare (List.map (Numbering.number_of_path nb) (all_hot_paths ctx hot))
+  in
+  Alcotest.(check (list int)) "bijection" [ 0; 1; 2; 3 ] nums
+
+let test_cold_marking_closure () =
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Fixtures.fig8_profile () in
+  let ctx = Routine_ctx.make view profile in
+  (* With a 30% local threshold, AC (30/80) and DF (20/80) go cold; the
+     closure must then also kill CD (only feeds from AC? no: CD is fed by
+     AC only) and FG. *)
+  let hot =
+    Cold.mark ctx ~local_ratio:(Some 0.45) ~global_cutoff:None ~extra_cold:[]
+  in
+  Alcotest.(check bool) "AB hot" true hot.(0);
+  Alcotest.(check bool) "AC cold" false hot.(1);
+  Alcotest.(check bool) "CD cold by closure" false hot.(3);
+  Alcotest.(check bool) "DF cold" false hot.(5);
+  Alcotest.(check bool) "FG cold by closure" false hot.(7);
+  let nb = Numbering.compute ctx ~hot ~order:Numbering.Ball_larus in
+  Alcotest.(check int) "one hot path" 1 (Numbering.num_paths nb)
+
+(* End-to-end: instrument, run, decode, compare with ground truth. *)
+let run_with config p =
+  let base = Interp.run p in
+  let ep = Option.get base.Interp.edge_profile in
+  let inst = Instrument.instrument p ep config in
+  let o =
+    Interp.run
+      ~config:{ Interp.default_config with instrumentation = Some inst.Instrument.rt }
+      p
+  in
+  (base, inst, o)
+
+let measured_counts _inst o name =
+  let st = Option.get o.Interp.instr_state in
+  match Hashtbl.find_opt st name with
+  | None -> []
+  | Some table ->
+      let acc = ref [] in
+      Instr_rt.Table.iter_nonzero table (fun k c -> acc := (k, c) :: !acc);
+      !acc
+
+(* PP measures the exact path profile: every traced path's frequency must
+   equal the decoded counter, and vice versa. *)
+let check_pp_exact p =
+  let base, inst, o = run_with Config.pp p in
+  let actual = Option.get base.Interp.path_profile in
+  List.for_all
+    (fun (r : Ir.routine) ->
+      let plan = Hashtbl.find inst.Instrument.plans r.Ir.name in
+      let t = Path_profile.routine actual r.Ir.name in
+      match plan.Instrument.decision with
+      | Instrument.Uninstrumented Instrument.Never_executed ->
+          Path_profile.num_distinct t = 0
+      | Instrument.Uninstrumented _ -> false (* PP instruments everything *)
+      | Instrument.Instrumented { uses_hash; _ } ->
+          let st = Option.get o.Interp.instr_state in
+          let table = Hashtbl.find st r.Ir.name in
+          if uses_hash && Instr_rt.Table.lost table > 0 then true (* skip *)
+          else begin
+            let ok = ref true in
+            (* Every traced path is measured exactly. *)
+            Path_profile.iter t (fun path n ->
+                match Instrument.path_status plan path with
+                | `Instrumented k ->
+                    if Instr_rt.Table.get table k <> n then ok := false
+                | `Uninstrumented -> ok := false);
+            (* No spurious counts. *)
+            List.iter
+              (fun (k, c) ->
+                match Instrument.decoded_path plan k with
+                | Some path -> if Path_profile.freq t path <> c then ok := false
+                | None -> ok := false)
+              (measured_counts inst o r.Ir.name);
+            !ok
+          end)
+    p.Ir.routines
+
+let prop_pp_exact =
+  QCheck.Test.make ~name:"PP measures the exact path profile" ~count:60
+    QCheck.(small_int)
+    (fun seed -> check_pp_exact (Ppp_workloads.Gen.program ~seed))
+
+(* TPP (no pushing past cold edges) never overcounts: decoded hot counts
+   equal the actual frequencies, and cold paths never alias hot numbers. *)
+let check_no_overcount config p =
+  let base, inst, o = run_with config p in
+  let actual = Option.get base.Interp.path_profile in
+  List.for_all
+    (fun (r : Ir.routine) ->
+      let plan = Hashtbl.find inst.Instrument.plans r.Ir.name in
+      match plan.Instrument.decision with
+      | Instrument.Uninstrumented _ -> true
+      | Instrument.Instrumented { uses_hash; _ } ->
+          let st = Option.get o.Interp.instr_state in
+          let table = Hashtbl.find st r.Ir.name in
+          if uses_hash && Instr_rt.Table.lost table > 0 then true
+          else begin
+            let t = Path_profile.routine actual r.Ir.name in
+            List.for_all
+              (fun (k, c) ->
+                match Instrument.decoded_path plan k with
+                | Some path -> Path_profile.freq t path = c
+                | None -> true (* cold-region slot *))
+              (measured_counts inst o r.Ir.name)
+          end)
+    p.Ir.routines
+
+let prop_tpp_exact_on_hot =
+  QCheck.Test.make ~name:"TPP never overcounts a hot path" ~count:60
+    QCheck.(small_int)
+    (fun seed -> check_no_overcount Config.tpp (Ppp_workloads.Gen.program ~seed))
+
+let prop_tpp_check_poisoning_exact =
+  QCheck.Test.make ~name:"TPP with check poisoning never overcounts" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      check_no_overcount Config.tpp_original (Ppp_workloads.Gen.program ~seed))
+
+(* PPP may overcount hot paths on cold executions, but never undercounts,
+   and never invents paths that cannot be decoded. *)
+let check_ppp_bounds p =
+  let base, inst, o = run_with Config.ppp p in
+  let actual = Option.get base.Interp.path_profile in
+  List.for_all
+    (fun (r : Ir.routine) ->
+      let plan = Hashtbl.find inst.Instrument.plans r.Ir.name in
+      match plan.Instrument.decision with
+      | Instrument.Uninstrumented _ -> true
+      | Instrument.Instrumented { uses_hash; _ } ->
+          let st = Option.get o.Interp.instr_state in
+          let table = Hashtbl.find st r.Ir.name in
+          if uses_hash && Instr_rt.Table.lost table > 0 then true
+          else begin
+            let t = Path_profile.routine actual r.Ir.name in
+            List.for_all
+              (fun (k, c) ->
+                match Instrument.decoded_path plan k with
+                | Some path -> c >= Path_profile.freq t path
+                | None -> true)
+              (measured_counts inst o r.Ir.name)
+            (* And instrumented actual paths are never undercounted. *)
+            && Path_profile.fold t ~init:true ~f:(fun ok path n ->
+                   ok
+                   &&
+                   match Instrument.path_status plan path with
+                   | `Instrumented k -> Instr_rt.Table.get table k >= n
+                   | `Uninstrumented -> true)
+          end)
+    p.Ir.routines
+
+let prop_ppp_overcounts_only =
+  QCheck.Test.make ~name:"PPP only ever overcounts" ~count:60
+    QCheck.(small_int)
+    (fun seed -> check_ppp_bounds (Ppp_workloads.Gen.program ~seed))
+
+(* Free poisoning confines cold executions: every nonzero array slot at
+   or beyond N is cold, and no hot number collides with them. *)
+let prop_free_poison_range =
+  QCheck.Test.make ~name:"free poisoning keeps cold numbers out of [0,N)"
+    ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let base, inst, o = run_with Config.ppp p in
+      let actual = Option.get base.Interp.path_profile in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let plan = Hashtbl.find inst.Instrument.plans r.Ir.name in
+          match plan.Instrument.decision with
+          | Instrument.Uninstrumented _ -> true
+          | Instrument.Instrumented { numbering; uses_hash; _ } ->
+              let n = Numbering.num_paths numbering in
+              let st = Option.get o.Interp.instr_state in
+              let table = Hashtbl.find st r.Ir.name in
+              ignore uses_hash;
+              (* Counts within [0,N) must decode (measured hot paths or
+                 overcounts); anything >= N is cold. No negative keys can
+                 exist with free poisoning, so the cold counter is 0. *)
+              Instr_rt.Table.cold table = 0
+              &&
+              let t = Path_profile.routine actual r.Ir.name in
+              ignore t;
+              List.for_all
+                (fun (k, _) -> k < n || Instrument.decoded_path plan k = None)
+                (measured_counts inst o r.Ir.name))
+        p.Ir.routines)
+
+let test_ppp_instrument_smoke () =
+  (* Deterministic smoke test on one seed: PPP produces strictly less
+     instrumentation than PP. *)
+  let p = Ppp_workloads.Gen.program ~seed:42 in
+  let base = Interp.run p in
+  let ep = Option.get base.Interp.edge_profile in
+  let pp = Instrument.instrument p ep Config.pp in
+  let ppp = Instrument.instrument p ep Config.ppp in
+  let c_pp = Instrument.static_instr_count pp in
+  let c_ppp = Instrument.static_instr_count ppp in
+  Alcotest.(check bool) "ppp <= pp static actions" true (c_ppp <= c_pp)
+
+let test_ppp_overhead_lower () =
+  (* Overhead ordering PP >= TPP >= PPP should hold on most programs; we
+     assert it on an aggregate of several seeds to avoid flakiness. *)
+  let total = List.fold_left (fun (a, b, c) seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let _, _, o_pp = run_with Config.pp p in
+      let _, _, o_tpp = run_with Config.tpp p in
+      let _, _, o_ppp = run_with Config.ppp p in
+      (a + o_pp.Interp.instr_cost, b + o_tpp.Interp.instr_cost,
+       c + o_ppp.Interp.instr_cost))
+      (0, 0, 0)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let pp_c, tpp_c, ppp_c = total in
+  Alcotest.(check bool) "tpp <= pp" true (tpp_c <= pp_c);
+  Alcotest.(check bool) "ppp <= tpp" true (ppp_c <= tpp_c)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 numbering" `Quick test_fig1_numbering;
+    Alcotest.test_case "fig1 event counting" `Quick test_event_count_preserves_fig1;
+    Alcotest.test_case "smart numbering" `Quick test_smart_numbering_hottest_zero;
+    Alcotest.test_case "cold marking closure" `Quick test_cold_marking_closure;
+    Alcotest.test_case "ppp static actions" `Quick test_ppp_instrument_smoke;
+    Alcotest.test_case "overhead ordering" `Quick test_ppp_overhead_lower;
+    QCheck_alcotest.to_alcotest prop_pp_exact;
+    QCheck_alcotest.to_alcotest prop_tpp_exact_on_hot;
+    QCheck_alcotest.to_alcotest prop_tpp_check_poisoning_exact;
+    QCheck_alcotest.to_alcotest prop_ppp_overcounts_only;
+    QCheck_alcotest.to_alcotest prop_free_poison_range;
+  ]

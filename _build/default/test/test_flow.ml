@@ -1,0 +1,254 @@
+module Graph = Ppp_cfg.Graph
+module Cfg_view = Ppp_ir.Cfg_view
+module Metric = Ppp_profile.Metric
+module Path_profile = Ppp_profile.Path_profile
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Flow_dp = Ppp_flow.Flow_dp
+module Flowval = Ppp_flow.Flowval
+module Score = Ppp_flow.Score
+module Interp = Ppp_interp.Interp
+
+let fig8_ctx () =
+  let view = Fixtures.view Fixtures.fig8_routine in
+  Routine_ctx.make view (Fixtures.fig8_profile ())
+
+(* Edge ids (Cfg_view creation order): e0 AB, e1 AC, e2 BD, e3 CD, e4 DE,
+   e5 DF, e6 EG, e7 FG, e8 G->exit. *)
+let path_abdeg = [ 0; 2; 4; 6; 8 ]
+let path_acdeg = [ 1; 3; 4; 6; 8 ]
+let path_abdfg = [ 0; 2; 5; 7; 8 ]
+let path_acdfg = [ 1; 3; 5; 7; 8 ]
+
+let test_fig8_total_flow () =
+  let ctx = fig8_ctx () in
+  Alcotest.(check int) "F = 80" 80 (Routine_ctx.total_freq ctx);
+  (* Total branch flow = sum of branch edge frequencies = 160 (S 5.2). *)
+  let g = Routine_ctx.graph ctx in
+  let branch_flow =
+    Graph.fold_edges g ~init:0 ~f:(fun acc e ->
+        if Routine_ctx.is_branch ctx e then acc + Routine_ctx.freq ctx e else acc)
+  in
+  Alcotest.(check int) "total branch flow 160" 160 branch_flow
+
+let test_fig8_definite_per_path () =
+  let ctx = fig8_ctx () in
+  let df p = Flow_dp.definite_of_path ctx (Routine_ctx.dag_path_of_cfg_path ctx p) in
+  (* Section 5.2: unit definite flows 30, 10, 0, 0 -> branch flows 60, 20, 0, 0. *)
+  Alcotest.(check int) "DF(ABDEG)" 30 (df path_abdeg);
+  Alcotest.(check int) "DF(ACDEG)" 10 (df path_acdeg);
+  Alcotest.(check int) "DF(ABDFG)" 0 (df path_abdfg);
+  Alcotest.(check int) "DF(ACDFG)" 0 (df path_acdfg)
+
+let test_fig8_definite_dp_total () =
+  let ctx = fig8_ctx () in
+  let dp = Flow_dp.compute ctx Flow_dp.Definite in
+  (* DF(P) = 60 + 20 = 80 under branch flow; coverage 80/160 = 50%. *)
+  Alcotest.(check int) "DF branch total" 80
+    (Flow_dp.total dp ~metric:Metric.Branch_flow);
+  Alcotest.(check int) "DF unit total" 40
+    (Flow_dp.total dp ~metric:Metric.Unit_flow)
+
+let test_fig8_definite_reconstruct () =
+  let ctx = fig8_ctx () in
+  let dp = Flow_dp.compute ctx Flow_dp.Definite in
+  let paths = Flow_dp.reconstruct dp ~cutoff:(-1) ~max_paths:100 in
+  let as_cfg =
+    List.map (fun (p, f, b) -> (Routine_ctx.cfg_path_of_dag_path ctx p, f, b)) paths
+  in
+  Alcotest.(check int) "two definite paths" 2 (List.length as_cfg);
+  (* Decreasing f*b order: ABDEG (30,2) then ACDEG (10,2). *)
+  (match as_cfg with
+  | [ (p1, 30, 2); (p2, 10, 2) ] ->
+      Alcotest.(check (list int)) "hottest" path_abdeg p1;
+      Alcotest.(check (list int)) "second" path_acdeg p2
+  | _ -> Alcotest.fail "unexpected reconstruction result")
+
+let test_fig8_potential () =
+  let ctx = fig8_ctx () in
+  let pf p =
+    Flow_dp.potential_of_path ctx (Routine_ctx.dag_path_of_cfg_path ctx p)
+  in
+  Alcotest.(check int) "PF(ABDEG)" 50 (pf path_abdeg);
+  Alcotest.(check int) "PF(ACDEG)" 30 (pf path_acdeg);
+  Alcotest.(check int) "PF(ABDFG)" 20 (pf path_abdfg);
+  Alcotest.(check int) "PF(ACDFG)" 20 (pf path_acdfg);
+  let dp = Flow_dp.compute ctx Flow_dp.Potential in
+  let paths = Flow_dp.reconstruct dp ~cutoff:(-1) ~max_paths:100 in
+  (* Every path is reachable in the potential profile; dedup keeps 4. *)
+  let dedup = Hashtbl.create 8 in
+  List.iter
+    (fun (p, f, b) ->
+      let cfg = Routine_ctx.cfg_path_of_dag_path ctx p in
+      if not (Hashtbl.mem dedup cfg) then Hashtbl.replace dedup cfg (f * b))
+    paths;
+  Alcotest.(check int) "four potential paths" 4 (Hashtbl.length dedup)
+
+let test_branch_flow_invariance_fig7 () =
+  (* Figure 7: branch flow is invariant under inlining; unit flow is not.
+     x calls y; under branch flow total = 30 both before and after. *)
+  let src_outlined =
+    {|routine main(0) regs 2 {
+entry:
+  r0 = 1
+  br r0, c, d
+c:
+  r1 = call y()
+  jump e
+d:
+  r1 = 0
+  jump e
+e:
+  ret r1
+}
+routine y(0) regs 1 {
+entry:
+  br r0, j, k
+j:
+  ret 1
+k:
+  ret 0
+}|}
+  in
+  let p = Ppp_ir.Parse.program_of_string src_outlined in
+  let o = Interp.run p in
+  let pp = Option.get o.Interp.path_profile in
+  let views = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Ppp_ir.Ir.routine) ->
+      Hashtbl.replace views r.Ppp_ir.Ir.name (Cfg_view.of_routine r))
+    p.Ppp_ir.Ir.routines;
+  let v name = Hashtbl.find views name in
+  let branch_total = Path_profile.program_flow pp ~views:v Metric.Branch_flow in
+  let unit_total = Path_profile.program_flow pp ~views:v Metric.Unit_flow in
+  (* One run: main takes one branch, y takes one branch: branch flow 2,
+     unit flow 2 (two paths). *)
+  Alcotest.(check int) "branch flow" 2 branch_total;
+  Alcotest.(check int) "unit flow" 2 unit_total
+
+let test_accuracy_perfect_and_zero () =
+  let p = Ppp_workloads.Gen.program ~seed:5 in
+  let o = Interp.run p in
+  let actual = Option.get o.Interp.path_profile in
+  let views = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Ppp_ir.Ir.routine) ->
+      Hashtbl.replace views r.Ppp_ir.Ir.name (Cfg_view.of_routine r))
+    p.Ppp_ir.Ir.routines;
+  let v name = Hashtbl.find views name in
+  (* Estimating with the actual profile itself gives accuracy 1. *)
+  let estimated =
+    let acc = ref [] in
+    Path_profile.iter_routines actual (fun name t ->
+        Path_profile.iter t (fun path n ->
+            let flow =
+              Metric.flow Metric.Branch_flow ~freq:n
+                ~branches:(Ppp_profile.Path.branches (v name) path)
+            in
+            acc := { Score.routine = name; path; flow } :: !acc));
+    !acc
+  in
+  let a =
+    Score.accuracy ~actual ~views:v ~metric:Metric.Branch_flow ~threshold:0.00125
+      ~estimated
+  in
+  Alcotest.(check (float 1e-9)) "self accuracy" 1.0 a;
+  let a0 =
+    Score.accuracy ~actual ~views:v ~metric:Metric.Branch_flow ~threshold:0.00125
+      ~estimated:[]
+  in
+  Alcotest.(check (float 1e-9)) "empty estimate" 0.0 a0
+
+let test_coverage_formula () =
+  Alcotest.(check (float 1e-9)) "edge coverage form" 0.5
+    (Score.coverage ~total_actual_flow:160 ~measured_actual_flow:0
+       ~definite_uninstr:80 ~overcount:0);
+  Alcotest.(check (float 1e-9)) "overcount penalty" 0.75
+    (Score.coverage ~total_actual_flow:100 ~measured_actual_flow:70
+       ~definite_uninstr:10 ~overcount:5);
+  Alcotest.(check (float 1e-9)) "empty" 1.0
+    (Score.coverage ~total_actual_flow:0 ~measured_actual_flow:0
+       ~definite_uninstr:0 ~overcount:0)
+
+let test_flowval_ops () =
+  let a = Flowval.singleton ~f:3 ~b:2 ~delta:1 in
+  let b = Flowval.add a ~f:3 ~b:2 ~delta:2 in
+  Alcotest.(check int) "add merges" 3 (Flowval.find b ~f:3 ~b:2);
+  let c = Flowval.union b (Flowval.singleton ~f:1 ~b:1 ~delta:1) in
+  Alcotest.(check int) "union card" 2 (Flowval.cardinal c);
+  let s = Flowval.shift_branch c in
+  Alcotest.(check int) "shifted" 3 (Flowval.find s ~f:3 ~b:3);
+  Alcotest.(check int) "branch total" (Flowval.total_flow s ~metric:Metric.Branch_flow)
+    ((3 * 3 * 3) + (1 * 2 * 1))
+
+(* Property: for every executed path, DF <= actual freq <= PF; and the DP
+   totals agree with per-path closed forms. *)
+let prop_df_le_actual_le_pf =
+  QCheck.Test.make ~name:"definite <= actual <= potential per path" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let actual = Option.get o.Interp.path_profile in
+      let ep = Option.get o.Interp.edge_profile in
+      List.for_all
+        (fun (r : Ppp_ir.Ir.routine) ->
+          let view = Cfg_view.of_routine r in
+          let ctx =
+            Routine_ctx.make view (Ppp_profile.Edge_profile.routine ep r.Ppp_ir.Ir.name)
+          in
+          let t = Path_profile.routine actual r.Ppp_ir.Ir.name in
+          Path_profile.fold t ~init:true ~f:(fun ok path n ->
+              ok
+              &&
+              let dag_path = Routine_ctx.dag_path_of_cfg_path ctx path in
+              let df = Flow_dp.definite_of_path ctx dag_path in
+              let pf = Flow_dp.potential_of_path ctx dag_path in
+              df <= n && n <= pf))
+        p.Ppp_ir.Ir.routines)
+
+let prop_dp_total_matches_enumeration =
+  QCheck.Test.make
+    ~name:"definite DP total equals sum over reconstructed paths" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let ep = Option.get o.Interp.edge_profile in
+      List.for_all
+        (fun (r : Ppp_ir.Ir.routine) ->
+          let view = Cfg_view.of_routine r in
+          let ctx =
+            Routine_ctx.make view (Ppp_profile.Edge_profile.routine ep r.Ppp_ir.Ir.name)
+          in
+          let dp = Flow_dp.compute ctx Flow_dp.Definite in
+          let paths = Flow_dp.reconstruct dp ~cutoff:(-1) ~max_paths:50_000 in
+          if List.length paths >= 50_000 then true (* capped; skip *)
+          else begin
+            let total_enum =
+              List.fold_left (fun acc (_, f, b) -> acc + (f * b)) 0 paths
+            in
+            let closed =
+              List.fold_left
+                (fun acc (path, _, b) ->
+                  acc + (Flow_dp.definite_of_path ctx path * b))
+                0 paths
+            in
+            total_enum = Flow_dp.total dp ~metric:Metric.Branch_flow
+            && closed = total_enum
+          end)
+        p.Ppp_ir.Ir.routines)
+
+let suite =
+  [
+    Alcotest.test_case "fig8 totals" `Quick test_fig8_total_flow;
+    Alcotest.test_case "fig8 definite per path" `Quick test_fig8_definite_per_path;
+    Alcotest.test_case "fig8 definite DP total" `Quick test_fig8_definite_dp_total;
+    Alcotest.test_case "fig8 reconstruction" `Quick test_fig8_definite_reconstruct;
+    Alcotest.test_case "fig8 potential" `Quick test_fig8_potential;
+    Alcotest.test_case "fig7 branch flow" `Quick test_branch_flow_invariance_fig7;
+    Alcotest.test_case "accuracy extremes" `Quick test_accuracy_perfect_and_zero;
+    Alcotest.test_case "coverage formula" `Quick test_coverage_formula;
+    Alcotest.test_case "flowval ops" `Quick test_flowval_ops;
+    QCheck_alcotest.to_alcotest prop_df_le_actual_le_pf;
+    QCheck_alcotest.to_alcotest prop_dp_total_matches_enumeration;
+  ]

@@ -1,0 +1,118 @@
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Config = Ppp_core.Config
+module H = Ppp_harness.Pipeline
+module R = Ppp_harness.Report
+module Spec = Ppp_workloads.Spec
+
+let check_bool = Alcotest.(check bool)
+
+let small_prep () =
+  H.prepare ~name:"gap" ((Spec.find "gap").Spec.build ~scale:1)
+
+let test_evaluation_bounds () =
+  let prep = small_prep () in
+  List.iter
+    (fun config ->
+      let ev = H.evaluate prep config in
+      check_bool "accuracy in [0,1]" true (ev.H.accuracy >= 0.0 && ev.H.accuracy <= 1.0);
+      check_bool "coverage in [0,1]" true (ev.H.coverage >= 0.0 && ev.H.coverage <= 1.0);
+      check_bool "overhead >= 0" true (ev.H.overhead >= 0.0);
+      check_bool "fractions sane" true
+        (ev.H.frac_paths_hashed <= ev.H.frac_paths_instrumented +. 1e-9))
+    [ Config.pp; Config.tpp; Config.tpp_original; Config.ppp ]
+
+let test_pp_perfect_when_array () =
+  (* When PP needs no hash table anywhere, it measures the exact profile,
+     so its estimated profile gives accuracy 1 and coverage 1. *)
+  let prep = small_prep () in
+  let ev = H.evaluate prep Config.pp in
+  check_bool "pp accuracy = 1" true (ev.H.accuracy > 0.999);
+  check_bool "pp coverage = 1" true (ev.H.coverage > 0.999)
+
+let test_edge_profile_eval () =
+  let prep = small_prep () in
+  let ev = H.evaluate_edge_profile prep in
+  check_bool "edge overhead is zero" true (ev.H.overhead = 0.0);
+  check_bool "edge instruments nothing" true (ev.H.frac_paths_instrumented = 0.0);
+  check_bool "edge coverage below 1 on branchy code" true (ev.H.coverage < 1.0)
+
+let test_overhead_ordering () =
+  let prep = small_prep () in
+  let pp = (H.evaluate prep Config.pp).H.overhead in
+  let tpp = (H.evaluate prep Config.tpp).H.overhead in
+  let ppp = (H.evaluate prep Config.ppp).H.overhead in
+  check_bool "tpp <= pp" true (tpp <= pp +. 1e-9);
+  check_bool "ppp <= tpp" true (ppp <= tpp +. 1e-9)
+
+let test_leave_one_out_configs () =
+  (* Every ablation config must evaluate without error and stay at or
+     below PP's overhead. *)
+  let prep = small_prep () in
+  let pp = (H.evaluate prep Config.pp).H.overhead in
+  List.iter
+    (fun t ->
+      let ev = H.evaluate prep (Config.ppp_without t) in
+      check_bool
+        (Printf.sprintf "ppp - %s <= pp" (Config.technique_name t))
+        true
+        (ev.H.overhead <= pp +. 1e-9);
+      let ev2 = H.evaluate prep (Config.tpp_plus t) in
+      check_bool
+        (Printf.sprintf "tpp + %s <= pp" (Config.technique_name t))
+        true
+        (ev2.H.overhead <= pp +. 1e-9))
+    Config.all_techniques
+
+let test_hot_stats_monotone () =
+  let prep = small_prep () in
+  let h1 = H.hot_stats prep ~threshold:0.00125 in
+  let h2 = H.hot_stats prep ~threshold:0.01 in
+  check_bool "higher threshold, fewer paths" true
+    (h2.H.hot_count <= h1.H.hot_count);
+  check_bool "higher threshold, less flow" true
+    (h2.H.hot_flow_pct <= h1.H.hot_flow_pct +. 1e-9);
+  check_bool "hot count positive" true (h1.H.hot_count > 0)
+
+let test_reports_render () =
+  (* The report functions must produce non-empty output without raising;
+     rendered into a buffer on two small benchmarks. *)
+  let benches = R.prepare_all ~scale:1 ~names:[ "gap"; "swim" ] () in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  R.table1 ppf benches;
+  R.table2 ppf benches;
+  R.fig9_10_11 ppf benches;
+  R.fig12 ppf benches;
+  R.fig13 ppf benches;
+  R.section8_1 ppf benches;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "substantial output" true (String.length s > 500);
+  check_bool "mentions gap" true (contains "gap");
+  check_bool "mentions swim" true (contains "swim")
+
+let test_prepare_unoptimized () =
+  let p = (Spec.find "gap").Spec.build ~scale:1 in
+  let prep = H.prepare_unoptimized ~name:"gap" p in
+  check_bool "no inlining" true (prep.H.inline_stats.Ppp_opt.Inline.sites_inlined = 0);
+  check_bool "same program" true (prep.H.optimized == prep.H.original);
+  let ev = H.evaluate prep Config.ppp in
+  check_bool "still evaluates" true (ev.H.accuracy >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "evaluation bounds" `Slow test_evaluation_bounds;
+    Alcotest.test_case "pp perfect with arrays" `Slow test_pp_perfect_when_array;
+    Alcotest.test_case "edge profile eval" `Slow test_edge_profile_eval;
+    Alcotest.test_case "overhead ordering" `Slow test_overhead_ordering;
+    Alcotest.test_case "ablation configs" `Slow test_leave_one_out_configs;
+    Alcotest.test_case "hot stats monotone" `Slow test_hot_stats_monotone;
+    Alcotest.test_case "reports render" `Slow test_reports_render;
+    Alcotest.test_case "prepare unoptimized" `Slow test_prepare_unoptimized;
+  ]

@@ -1,0 +1,141 @@
+(* Decision-level tests of the instrumenter front end: hash/array
+   choices, the TPP escape rule, SAC, LC, obvious-loop disconnection and
+   the never-executed case — on the workloads engineered to trigger
+   each. *)
+
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+module Numbering = Ppp_core.Numbering
+module Spec = Ppp_workloads.Spec
+module H = Ppp_harness.Pipeline
+
+let check_bool = Alcotest.(check bool)
+
+(* (uses_hash, sa_iters, num_paths) of the main routine's plan. *)
+let instrumented_main inst =
+  match (Hashtbl.find inst.Instrument.plans "main").Instrument.decision with
+  | Instrument.Instrumented { uses_hash; sa_iters; numbering; _ } ->
+      (uses_hash, sa_iters, Numbering.num_paths numbering)
+  | Instrument.Uninstrumented _ -> Alcotest.fail "main not instrumented"
+
+let prep_of name = H.prepare ~name ((Spec.find name).Spec.build ~scale:1)
+
+let inst_of prep config =
+  let ep = Option.get prep.H.base_outcome.Interp.edge_profile in
+  Instrument.instrument prep.H.optimized ep config
+
+let test_crafty_hash_story () =
+  (* The paper's crafty: PP and TPP stay hashed; PPP's self-adjusting
+     global criterion escapes to an array (Sections 4.2-4.3). *)
+  let prep = prep_of "crafty" in
+  let ph, _, _ = instrumented_main (inst_of prep Config.pp) in
+  let th, _, _ = instrumented_main (inst_of prep Config.tpp) in
+  let fh, sa_iters, n = instrumented_main (inst_of prep Config.ppp) in
+  check_bool "pp hashes" true ph;
+  check_bool "tpp still hashes" true th;
+  check_bool "ppp escapes to an array" false fh;
+  check_bool "ppp needed self-adjusting iterations" true (sa_iters > 0);
+  check_bool "ppp path count under the threshold" true
+    (n <= Config.ppp.Config.hash_threshold)
+
+let test_swim_uninstrumented () =
+  (* swim: all loops obvious with high trip counts; TPP and PPP leave the
+     hot code untouched (the paper's Section 6.1 special case). *)
+  let prep = prep_of "swim" in
+  let inst = inst_of prep Config.ppp in
+  let plan = Hashtbl.find inst.Instrument.plans "main" in
+  (match plan.Instrument.decision with
+  | Instrument.Uninstrumented _ -> ()
+  | Instrument.Instrumented { place; _ } ->
+      Alcotest.(check int) "at most trivial actions" 0 place.Ppp_core.Place.num_actions);
+  let ev = H.evaluate prep Config.ppp in
+  check_bool "ppp overhead ~0 on swim" true (ev.H.overhead < 0.005);
+  check_bool "accuracy still high via potential flow" true (ev.H.accuracy > 0.9)
+
+let test_lc_skip_mcf () =
+  (* mcf's edge coverage is above 75%: PPP skips instrumentation
+     (Section 4.1), TPP does not. *)
+  let prep = prep_of "mcf" in
+  let inst = inst_of prep Config.ppp in
+  (match (Hashtbl.find inst.Instrument.plans "main").Instrument.decision with
+  | Instrument.Uninstrumented (Instrument.Low_coverage c) ->
+      check_bool "coverage above threshold" true (c >= 0.75)
+  | _ -> Alcotest.fail "expected a low-coverage skip on mcf main");
+  let without_lc = inst_of prep (Config.ppp_without Config.LC) in
+  match (Hashtbl.find without_lc.Instrument.plans "main").Instrument.decision with
+  | Instrument.Instrumented _ -> ()
+  | Instrument.Uninstrumented _ -> Alcotest.fail "LC-off must instrument mcf"
+
+let test_never_executed_routines () =
+  (* Coldlib routines that are linked but never called must be skipped as
+     never-executed, for every method. *)
+  let prep = prep_of "gap" in
+  List.iter
+    (fun config ->
+      let inst = inst_of prep config in
+      match (Hashtbl.find inst.Instrument.plans "lib_crc").Instrument.decision with
+      | Instrument.Uninstrumented Instrument.Never_executed -> ()
+      | _ -> Alcotest.fail "lib_crc should be Never_executed")
+    [ Config.pp; Config.tpp; Config.ppp ]
+
+let test_sa_iterations_bounded () =
+  (* Across all workloads, the self-adjusting loop terminates within its
+     cap and only fires where hashing loomed. *)
+  List.iter
+    (fun (b : Spec.bench) ->
+      let prep = prep_of b.Spec.bench_name in
+      let inst = inst_of prep Config.ppp in
+      Hashtbl.iter
+        (fun _ (plan : Instrument.routine_plan) ->
+          match plan.Instrument.decision with
+          | Instrument.Instrumented { sa_iters; _ } ->
+              check_bool "sa iterations within cap" true
+                (sa_iters <= Config.ppp.Config.sa_max_iters)
+          | Instrument.Uninstrumented _ -> ())
+        inst.Instrument.plans)
+    [ Spec.find "crafty"; Spec.find "mesa"; Spec.find "vpr" ]
+
+let test_decode_roundtrip_all_numbers () =
+  (* decoded_path inverts path numbering for every live number. *)
+  let prep = prep_of "vpr" in
+  let inst = inst_of prep Config.ppp in
+  Hashtbl.iter
+    (fun _ (plan : Instrument.routine_plan) ->
+      match plan.Instrument.decision with
+      | Instrument.Uninstrumented _ -> ()
+      | Instrument.Instrumented { numbering; _ } ->
+          let n = Numbering.num_paths numbering in
+          for k = 0 to min (n - 1) 200 do
+            match Instrument.decoded_path plan k with
+            | None -> () (* elided obvious path *)
+            | Some path -> (
+                match Instrument.path_status plan path with
+                | `Instrumented k' -> Alcotest.(check int) "roundtrip" k k'
+                | `Uninstrumented -> Alcotest.fail "decoded path not instrumented")
+          done)
+    inst.Instrument.plans
+
+let test_tpp_plus_configs_distinct () =
+  List.iter
+    (fun t ->
+      let c = Config.tpp_plus t in
+      check_bool "named" true (String.length c.Config.name > 3))
+    Config.all_techniques;
+  check_bool "tpp+push enables pushing" true
+    (Config.tpp_plus Config.Push).Config.push_past_cold;
+  check_bool "tpp does not push past cold" false Config.tpp.Config.push_past_cold;
+  check_bool "ppp-spn disables smart numbering" false
+    (Config.ppp_without Config.SPN).Config.smart_numbering
+
+let suite =
+  [
+    Alcotest.test_case "crafty hash story" `Slow test_crafty_hash_story;
+    Alcotest.test_case "swim uninstrumented" `Slow test_swim_uninstrumented;
+    Alcotest.test_case "mcf low-coverage skip" `Slow test_lc_skip_mcf;
+    Alcotest.test_case "never-executed routines" `Slow test_never_executed_routines;
+    Alcotest.test_case "sa iterations bounded" `Slow test_sa_iterations_bounded;
+    Alcotest.test_case "decode roundtrip" `Slow test_decode_roundtrip_all_numbers;
+    Alcotest.test_case "config axes" `Quick test_tpp_plus_configs_distinct;
+  ]

@@ -1,0 +1,242 @@
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Path_profile = Ppp_profile.Path_profile
+module Edge_profile = Ppp_profile.Edge_profile
+
+let run_src src = Interp.run (Ppp_ir.Parse.program_of_string src)
+
+let test_arith () =
+  let o =
+    run_src
+      {|routine main(0) regs 4 {
+entry:
+  r0 = 7
+  r1 = r0 * 3
+  r2 = r1 % 4
+  r3 = r1 / 4
+  out r1
+  out r2
+  out r3
+  r1 = 0 - 9
+  r2 = r1 >> 1
+  out r2
+  r2 = r1 & 6
+  out r2
+  ret
+}|}
+  in
+  Alcotest.(check (list int)) "arith" [ 21; 1; 5; -5; 6 ] o.Interp.output
+
+let test_comparisons () =
+  let o =
+    run_src
+      {|routine main(0) regs 2 {
+entry:
+  r0 = 3 < 4
+  out r0
+  r0 = 4 <= 3
+  out r0
+  r0 = 5 == 5
+  out r0
+  r0 = 5 != 5
+  out r0
+  ret
+}|}
+  in
+  Alcotest.(check (list int)) "cmp" [ 1; 0; 1; 0 ] o.Interp.output
+
+let test_calls_and_arrays () =
+  let o =
+    run_src
+      {|array a 8
+routine main(0) regs 3 {
+entry:
+  a[0] = 5
+  r0 = a[0]
+  r1 = call twice(r0)
+  out r1
+  ret r1
+}
+routine twice(1) regs 2 {
+entry:
+  r1 = r0 * 2
+  ret r1
+}|}
+  in
+  Alcotest.(check (list int)) "call result" [ 10 ] o.Interp.output;
+  Alcotest.(check (option int)) "return" (Some 10) o.Interp.return_value
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero" (Interp.Runtime_error "division by zero")
+    (fun () ->
+      ignore (run_src "routine main(0) regs 2 { entry: r0 = 0 \n r1 = 4 / r0 \n ret }"))
+
+let test_bounds () =
+  match
+    run_src "array a 4\nroutine main(0) regs 1 { entry: r0 = a[9] \n ret }"
+  with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected bounds error"
+
+let test_fuel () =
+  let p =
+    Ppp_ir.Parse.program_of_string
+      {|routine main(0) regs 2 {
+entry:
+  r0 = 0
+  jump head
+head:
+  r1 = r0 < 1000000
+  br r1, body, done
+body:
+  r0 = r0 + 1
+  jump head
+done:
+  ret
+}|}
+  in
+  match Interp.run ~config:{ Interp.default_config with fuel = 1000 } p with
+  | exception Interp.Runtime_error "out of fuel" -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* Path semantics (Section 3.1): a 3-iteration counted loop produces one
+   entry path, iteration paths, and one exit path. *)
+let loop_program iters =
+  let b = B.create ~name:"main" ~nparams:0 in
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm iters) (fun () -> B.out b (Ir.Reg i));
+  B.ret b None;
+  B.program ~main:"main" [ B.finish b ]
+
+let test_path_counts () =
+  let o = Interp.run (loop_program 3) in
+  (* Paths: entry->head->body (ends at back edge), 2 x head->body->back,
+     1 x head->exit. Total 4 path executions... the first path is
+     entry..body..back. Iterations 2 and 3 start at the header. *)
+  Alcotest.(check int) "dyn paths" 4 o.Interp.dyn_paths;
+  let pp = Option.get o.Interp.path_profile in
+  let t = Path_profile.routine pp "main" in
+  Alcotest.(check int) "distinct" 3 (Path_profile.num_distinct t)
+
+let test_call_defers_path () =
+  (* A call inside a block must not split the caller's path. *)
+  let o =
+    run_src
+      {|routine main(0) regs 2 {
+entry:
+  r0 = call f()
+  r1 = call f()
+  out r0
+  ret
+}
+routine f(0) regs 1 { entry: ret r0 }|}
+  in
+  Alcotest.(check int) "three paths: two callees + one caller" 3 o.Interp.dyn_paths
+
+let test_edge_profile_collected () =
+  let o = Interp.run (loop_program 5) in
+  let ep = Option.get o.Interp.edge_profile in
+  let total = Edge_profile.total (Edge_profile.routine ep "main") in
+  Alcotest.(check bool) "edges counted" true (total > 0);
+  Alcotest.(check int) "one invocation" 1
+    (Edge_profile.entry_count ep (loop_program 5) "main")
+
+let test_instrumentation_actions_cost () =
+  (* Attach a Set_r and a Count_const to the return edge by hand and check
+     cost accounting and table contents. *)
+  let p = Ppp_ir.Parse.program_of_string "routine main(0) regs 1 { entry: ret }" in
+  let view = Ppp_ir.Cfg_view.of_routine (Ir.routine p "main") in
+  let ret_edge = Ppp_ir.Cfg_view.return_edge view 0 in
+  let edge_actions = Array.make 1 [] in
+  edge_actions.(ret_edge) <- [ Instr_rt.Set_r 0; Instr_rt.Count_r ];
+  let rt = Instr_rt.no_instrumentation () in
+  Hashtbl.replace rt "main"
+    { Instr_rt.edge_actions; table = Instr_rt.Array_table 1; num_paths = 1 };
+  let o =
+    Interp.run ~config:{ Interp.default_config with instrumentation = Some rt } p
+  in
+  Alcotest.(check bool) "instr cost > 0" true (o.Interp.instr_cost > 0);
+  let st = Option.get o.Interp.instr_state in
+  let table = Hashtbl.find st "main" in
+  Alcotest.(check int) "count[0] = 1" 1 (Instr_rt.Table.get table 0)
+
+let test_hash_table () =
+  let t = Instr_rt.Table.create Instr_rt.Hash_table in
+  Instr_rt.Table.bump t 12345;
+  Instr_rt.Table.bump t 12345;
+  Instr_rt.Table.bump t 99;
+  Alcotest.(check int) "hash get" 2 (Instr_rt.Table.get t 12345);
+  Alcotest.(check int) "hash get 2" 1 (Instr_rt.Table.get t 99);
+  Alcotest.(check int) "miss" 0 (Instr_rt.Table.get t 7);
+  (* Negative keys go to the cold counter. *)
+  Instr_rt.Table.bump t (-5);
+  Alcotest.(check int) "cold" 1 (Instr_rt.Table.cold t)
+
+let test_hash_collisions_lost () =
+  let t = Instr_rt.Table.create Instr_rt.Hash_table in
+  (* Insert many distinct keys; with 701 slots and 3 tries some must be
+     lost, and none may be silently miscounted. *)
+  for k = 0 to 4999 do
+    Instr_rt.Table.bump t k
+  done;
+  let recorded = ref 0 in
+  Instr_rt.Table.iter_nonzero t (fun _ c -> recorded := !recorded + c);
+  Alcotest.(check int) "recorded + lost = total" 5000
+    (!recorded + Instr_rt.Table.lost t);
+  Alcotest.(check bool) "some lost" true (Instr_rt.Table.lost t > 0)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"interpreter is deterministic" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o1 = Interp.run p and o2 = Interp.run p in
+      o1.Interp.output = o2.Interp.output
+      && o1.Interp.base_cost = o2.Interp.base_cost
+      && o1.Interp.dyn_paths = o2.Interp.dyn_paths)
+
+let prop_flow_conservation =
+  QCheck.Test.make
+    ~name:"edge profile conserves flow at every block (in = out)" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let ep = Option.get o.Interp.edge_profile in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let view = Ppp_ir.Cfg_view.of_routine r in
+          let g = Ppp_ir.Cfg_view.graph view in
+          let prof = Edge_profile.routine ep r.Ir.name in
+          let sum es = List.fold_left (fun a e -> a + Edge_profile.freq prof e) 0 es in
+          let ok = ref true in
+          for v = 0 to Array.length r.Ir.blocks - 1 do
+            let inflow =
+              sum (Ppp_cfg.Graph.in_edges g v)
+              + if v = 0 then Edge_profile.entry_count ep p r.Ir.name else 0
+            in
+            let outflow = sum (Ppp_cfg.Graph.out_edges g v) in
+            if inflow <> outflow then ok := false
+          done;
+          !ok)
+        p.Ir.routines)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "calls and arrays" `Quick test_calls_and_arrays;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "path counts" `Quick test_path_counts;
+    Alcotest.test_case "calls defer paths" `Quick test_call_defers_path;
+    Alcotest.test_case "edge profile" `Quick test_edge_profile_collected;
+    Alcotest.test_case "instrumentation runtime" `Quick test_instrumentation_actions_cost;
+    Alcotest.test_case "hash table" `Quick test_hash_table;
+    Alcotest.test_case "hash collisions" `Quick test_hash_collisions_lost;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_flow_conservation;
+  ]

@@ -1,0 +1,101 @@
+(* Profile serialization and instrumentation pretty-printing. *)
+
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Profile_io = Ppp_profile.Profile_io
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+
+let check_bool = Alcotest.(check bool)
+
+let dump p (o : Interp.outcome) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Profile_io.save_edges ppf p (Option.get o.Interp.edge_profile);
+  Profile_io.save_paths ppf p (Option.get o.Interp.path_profile);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let profiles_equal p (ep1, pp1) (ep2, pp2) =
+  List.for_all
+    (fun (r : Ir.routine) ->
+      let view = Ppp_ir.Cfg_view.of_routine r in
+      let g = Ppp_ir.Cfg_view.graph view in
+      let t1 = Edge_profile.routine ep1 r.Ir.name in
+      let t2 = Edge_profile.routine ep2 r.Ir.name in
+      let edges_ok = ref true in
+      Ppp_cfg.Graph.iter_edges g (fun e ->
+          if Edge_profile.freq t1 e <> Edge_profile.freq t2 e then edges_ok := false);
+      let q1 = Path_profile.routine pp1 r.Ir.name in
+      let q2 = Path_profile.routine pp2 r.Ir.name in
+      let paths_ok = ref (Path_profile.num_distinct q1 = Path_profile.num_distinct q2) in
+      Path_profile.iter q1 (fun path n ->
+          if Path_profile.freq q2 path <> n then paths_ok := false);
+      !edges_ok && !paths_ok)
+    p.Ir.routines
+
+let prop_profile_roundtrip =
+  QCheck.Test.make ~name:"profile save/load roundtrip" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let text = dump p o in
+      let loaded = Profile_io.load p text in
+      profiles_equal p
+        (Option.get o.Interp.edge_profile, Option.get o.Interp.path_profile)
+        loaded)
+
+let test_load_rejects_garbage () =
+  let p = Ppp_workloads.Gen.program ~seed:1 in
+  let expect_fail text =
+    match Profile_io.load p text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected a Failure"
+  in
+  expect_fail "edge-profile\ne0 5"; (* counter before routine header *)
+  expect_fail "edge-profile\nroutine nonexistent\ne0 5";
+  expect_fail "edge-profile\nroutine main\nbogus line here";
+  expect_fail "path-profile\nroutine main\nnot-a-number : 0 1"
+
+let test_load_tolerates_comments_and_blanks () =
+  let p = Ppp_workloads.Gen.program ~seed:1 in
+  let o = Interp.run p in
+  let text = "# a comment\n\n" ^ dump p o ^ "\n# trailing\n" in
+  ignore (Profile_io.load p text)
+
+let test_pp_plan_renders () =
+  let p = (Ppp_workloads.Spec.find "gap").Ppp_workloads.Spec.build ~scale:1 in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let render config =
+    let inst = Instrument.instrument p ep config in
+    let buf = Buffer.create 1024 in
+    let ppf = Format.formatter_of_buffer buf in
+    Hashtbl.iter
+      (fun _ plan -> Format.fprintf ppf "%a@." Instrument.pp_plan plan)
+      inst.Instrument.plans;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let s = render Config.pp in
+  check_bool "pp plan mentions counts" true
+    (String.length s > 100
+    &&
+    let has sub =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    has "count[" && has "numbered paths");
+  ignore (render Config.ppp)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_profile_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "load tolerates comments" `Quick test_load_tolerates_comments_and_blanks;
+    Alcotest.test_case "pp_plan renders" `Quick test_pp_plan_renders;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "ppp"
+    [
+      ("cfg", Test_cfg.suite);
+      ("ir", Test_ir.suite);
+      ("interp", Test_interp.suite);
+      ("flow", Test_flow.suite);
+      ("core", Test_core.suite);
+      ("opt", Test_opt.suite);
+      ("place", Test_place.suite);
+      ("superblock", Test_superblock.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+      ("semantics", Test_semantics.suite);
+      ("instrument", Test_instrument.suite);
+      ("properties", Test_properties.suite);
+      ("io", Test_io.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,158 @@
+(* Remaining surfaces: Graphviz output, static frequency estimation, the
+   cost model's invariants, builder misuse diagnostics, parser error
+   locations, and generator determinism. *)
+
+module Graph = Ppp_cfg.Graph
+module Dot = Ppp_cfg.Dot
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+module Cfg_view = Ppp_ir.Cfg_view
+module Static_est = Ppp_profile.Static_est
+module Cost = Ppp_interp.Cost
+module Instr_rt = Ppp_interp.Instr_rt
+
+let check_bool = Alcotest.(check bool)
+
+let test_dot_output () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  let s =
+    Format.asprintf "%a"
+      (Dot.pp ~name:"t" ~node_label:(Printf.sprintf "n%d")
+         ~edge_label:(Printf.sprintf "e%d"))
+      g
+  in
+  let has sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "digraph" true (has "digraph t");
+  check_bool "edge" true (has "n0 -> n1");
+  check_bool "label" true (has "\"e1\"")
+
+let loop_routine () =
+  let b = B.create ~name:"f" ~nparams:0 in
+  let i = B.reg b in
+  B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm 100) (fun () ->
+      let c = B.bin_ b Ir.And (Ir.Reg i) (Ir.Imm 1) in
+      B.if_ b c ~then_:(fun () -> ()) ~else_:(fun () -> ()));
+  B.ret b None;
+  B.finish b
+
+let test_static_est_heuristics () =
+  (* Inside the loop, predicted frequencies are ~10x the entry's; the
+     two branch sides split evenly. *)
+  let r = loop_routine () in
+  let view = Cfg_view.of_routine r in
+  let est = Static_est.edge_freqs view in
+  let g = Cfg_view.graph view in
+  (* Find the branch block: out-degree 2 and not the loop header. *)
+  let loops = Ppp_cfg.Loop.compute g ~root:0 in
+  let header = (List.hd (Ppp_cfg.Loop.loops loops)).Ppp_cfg.Loop.header in
+  Graph.iter_nodes g (fun v ->
+      if v <> header && Graph.out_degree g v = 2 then begin
+        match Graph.out_edges g v with
+        | [ a; b ] ->
+            Alcotest.(check (float 1e-6)) "50/50 split" est.(a) est.(b);
+            check_bool "hotter than entry" true (est.(a) > 1.0)
+        | _ -> ()
+      end)
+
+let test_static_est_no_profile_needed () =
+  (* Static estimation works on never-executed code, by construction. *)
+  let r = loop_routine () in
+  let est = Static_est.edge_freqs (Cfg_view.of_routine r) in
+  check_bool "all finite and nonnegative" true
+    (Array.for_all (fun f -> Float.is_finite f && f >= 0.0) est)
+
+let test_cost_invariants () =
+  (* The relative-cost facts the paper relies on. *)
+  let arr = Instr_rt.Array_table 16 in
+  let hash = Instr_rt.Hash_table in
+  let c t a = Cost.action ~table:t a in
+  check_bool "hash = 5x array (Section 3.2)" true
+    (c hash Instr_rt.Count_r = 5 * c arr Instr_rt.Count_r);
+  check_bool "check costs extra" true
+    (c arr Instr_rt.Count_checked > c arr Instr_rt.Count_r);
+  check_bool "combined const count is cheapest" true
+    (c arr (Instr_rt.Count_const 0) < c arr Instr_rt.Count_r);
+  check_bool "register ops are cheap" true
+    (c arr (Instr_rt.Set_r 0) <= 1 && c arr (Instr_rt.Add_r 1) <= 1);
+  check_bool "calls cost more than moves" true
+    (Cost.instr (Ir.Call (None, "f", [])) + Cost.call_overhead
+    > Cost.instr (Ir.Mov (0, Ir.Imm 0)))
+
+let test_builder_misuse () =
+  (* Emission after a terminator raises with a helpful message. *)
+  let b = B.create ~name:"f" ~nparams:0 in
+  B.ret b None;
+  (match B.out b (Ir.Imm 1) with
+  | exception Invalid_argument msg ->
+      check_bool "mentions the routine" true
+        (String.length msg > 0
+        &&
+        let has sub =
+          let n = String.length sub and m = String.length msg in
+          let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+          go 0
+        in
+        has "f")
+  | () -> Alcotest.fail "expected Invalid_argument");
+  (* Out-of-range parameter access. *)
+  let b2 = B.create ~name:"g" ~nparams:1 in
+  match B.param b2 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_parse_error_line_numbers () =
+  let src = "routine main(0) regs 1 {\nentry:\n  r0 = 1\n  r0 = @\n  ret\n}" in
+  match Ppp_ir.Parse.program_of_string src with
+  | exception Ppp_ir.Parse.Error msg ->
+      check_bool "points at line 4" true
+        (let has sub =
+           let n = String.length sub and m = String.length msg in
+           let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "line 4")
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_gen_deterministic () =
+  let a = Ppp_workloads.Gen.program ~seed:7 in
+  let b = Ppp_workloads.Gen.program ~seed:7 in
+  let c = Ppp_workloads.Gen.program ~seed:8 in
+  check_bool "same seed, same program" true (a = b);
+  check_bool "different seed, different program" true (a <> c)
+
+let test_graph_copy_independent () =
+  let g = Graph.create () in
+  Graph.add_nodes g 2;
+  ignore (Graph.add_edge g 0 1);
+  let g2 = Graph.copy g in
+  ignore (Graph.add_edge g 1 0);
+  Alcotest.(check int) "copy unchanged" 1 (Graph.num_edges g2);
+  Alcotest.(check int) "original grew" 2 (Graph.num_edges g)
+
+let test_metric_names () =
+  Alcotest.(check string) "unit" "unit-flow"
+    (Ppp_profile.Metric.name Ppp_profile.Metric.Unit_flow);
+  Alcotest.(check string) "branch" "branch-flow"
+    (Ppp_profile.Metric.name Ppp_profile.Metric.Branch_flow);
+  Alcotest.(check int) "branch flow formula" 42
+    (Ppp_profile.Metric.flow Ppp_profile.Metric.Branch_flow ~freq:14 ~branches:3)
+
+let suite =
+  [
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "static estimation heuristics" `Quick test_static_est_heuristics;
+    Alcotest.test_case "static estimation cold code" `Quick test_static_est_no_profile_needed;
+    Alcotest.test_case "cost invariants" `Quick test_cost_invariants;
+    Alcotest.test_case "builder misuse" `Quick test_builder_misuse;
+    Alcotest.test_case "parse error lines" `Quick test_parse_error_line_numbers;
+    Alcotest.test_case "generator determinism" `Quick test_gen_deterministic;
+    Alcotest.test_case "graph copy" `Quick test_graph_copy_independent;
+    Alcotest.test_case "metric basics" `Quick test_metric_names;
+  ]

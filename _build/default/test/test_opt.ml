@@ -1,0 +1,181 @@
+module Ir = Ppp_ir.Ir
+module B = Ppp_ir.Builder
+module Interp = Ppp_interp.Interp
+module Edge_profile = Ppp_profile.Edge_profile
+module Cfg_view = Ppp_ir.Cfg_view
+module Inline = Ppp_opt.Inline
+module Unroll = Ppp_opt.Unroll
+
+(* Block frequencies from an edge profile: inflow plus invocations for
+   the entry block. *)
+let block_freq_of_profile p ep ~routine ~block =
+  let r = Ir.routine p routine in
+  let view = Cfg_view.of_routine r in
+  let g = Cfg_view.graph view in
+  let prof = Edge_profile.routine ep routine in
+  let inflow =
+    List.fold_left
+      (fun a e -> a + Edge_profile.freq prof e)
+      0
+      (Ppp_cfg.Graph.in_edges g block)
+  in
+  if block = 0 then inflow + Edge_profile.entry_count ep p routine else inflow
+
+let run_inline ?code_bloat p =
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let p', stats =
+    Inline.run ?code_bloat p ~block_freq:(fun ~routine ~block ->
+        block_freq_of_profile p ep ~routine ~block)
+  in
+  (o, p', stats)
+
+let hot_call_program () =
+  (* main calls f in a hot loop; f is tiny and must be inlined. *)
+  let f =
+    let b = B.create ~name:"f" ~nparams:1 in
+    let r = B.reg b in
+    B.bin b r Ir.Mul (B.param b 0) (Ir.Imm 3);
+    B.ret b (Some (Ir.Reg r));
+    B.finish b
+  in
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let i = B.reg b in
+    let acc = B.reg b in
+    B.mov b acc (Ir.Imm 0);
+    B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm 50) (fun () ->
+        let v = B.call_ b "f" [ Ir.Reg i ] in
+        B.bin b acc Ir.Add (Ir.Reg acc) v);
+    B.out b (Ir.Reg acc);
+    B.ret b (Some (Ir.Reg acc));
+    B.finish b
+  in
+  B.program ~main:"main" [ main; f ]
+
+let test_inline_hot_call () =
+  let p = hot_call_program () in
+  let o, p', stats = run_inline ~code_bloat:0.5 p in
+  Alcotest.(check bool) "inlined something" true (stats.Inline.sites_inlined >= 1);
+  Alcotest.(check bool) "pct dynamic" true (Inline.pct_dynamic_inlined stats > 0.9);
+  (* Semantics preserved. *)
+  let o' = Interp.run p' in
+  Alcotest.(check (list int)) "same output" o.Interp.output o'.Interp.output;
+  (* Calls got cheaper: base cost drops. *)
+  Alcotest.(check bool) "faster" true (o'.Interp.base_cost < o.Interp.base_cost)
+
+let test_inline_respects_bloat () =
+  let p = hot_call_program () in
+  (* Zero budget: nothing can be inlined. *)
+  let _, _, stats = run_inline ~code_bloat:0.0 p in
+  Alcotest.(check int) "no inlining" 0 stats.Inline.sites_inlined
+
+let test_inline_skips_recursion () =
+  let src =
+    {|routine main(0) regs 2 {
+entry:
+  r0 = call fact(6)
+  out r0
+  ret r0
+}
+routine fact(1) regs 3 {
+entry:
+  r1 = r0 <= 1
+  br r1, base, rec
+base:
+  ret 1
+rec:
+  r2 = r0 - 1
+  r2 = call fact(r2)
+  r2 = r2 * r0
+  ret r2
+}|}
+  in
+  let p = Ppp_ir.Parse.program_of_string src in
+  let o, p', stats = run_inline ~code_bloat:1.0 p in
+  (* fact -> fact must not be inlined; main -> fact may be. *)
+  let o' = Interp.run p' in
+  Alcotest.(check (list int)) "factorial preserved" [ 720 ] o'.Interp.output;
+  Alcotest.(check (list int)) "was 720" [ 720 ] o.Interp.output;
+  ignore stats
+
+let loopy_program trips =
+  let main =
+    let b = B.create ~name:"main" ~nparams:0 in
+    let i = B.reg b in
+    let acc = B.reg b in
+    B.mov b acc (Ir.Imm 0);
+    B.for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm trips) (fun () ->
+        B.bin b acc Ir.Add (Ir.Reg acc) (Ir.Reg i);
+        let idx = B.bin_ b Ir.And (Ir.Reg i) (Ir.Imm 63) in
+        B.store b "a" idx (Ir.Reg acc));
+    B.out b (Ir.Reg acc);
+    B.ret b None;
+    B.finish b
+  in
+  B.program ~arrays:[ ("a", 64) ] ~main:"main" [ main ]
+
+let test_unroll_preserves_semantics () =
+  let p = loopy_program 100 in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let p', stats = Unroll.run p ~edge_profile:ep in
+  Alcotest.(check bool) "unrolled one loop" true (stats.Unroll.loops_unrolled = 1);
+  Alcotest.(check bool) "factor 4" true (stats.Unroll.avg_dynamic_factor > 3.9);
+  let o' = Interp.run p' in
+  Alcotest.(check (list int)) "same output" o.Interp.output o'.Interp.output;
+  (* Paths got longer: fewer dynamic paths for the same work. *)
+  Alcotest.(check bool) "fewer, longer paths" true
+    (o'.Interp.dyn_paths < o.Interp.dyn_paths)
+
+let test_unroll_skips_low_trip () =
+  let p = loopy_program 5 in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let _, stats = Unroll.run p ~edge_profile:ep in
+  Alcotest.(check int) "not unrolled" 0 stats.Unroll.loops_unrolled
+
+let prop_inline_preserves_output =
+  QCheck.Test.make ~name:"inlining preserves observable output" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o, p', _ = run_inline ~code_bloat:0.3 p in
+      let o' = Interp.run p' in
+      o.Interp.output = o'.Interp.output
+      && o.Interp.return_value = o'.Interp.return_value)
+
+let prop_unroll_preserves_output =
+  QCheck.Test.make ~name:"unrolling preserves observable output" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let ep = Option.get o.Interp.edge_profile in
+      let p', _ = Unroll.run p ~edge_profile:ep ~min_trip:2.0 in
+      let o' = Interp.run p' in
+      o.Interp.output = o'.Interp.output)
+
+let prop_inline_then_unroll =
+  QCheck.Test.make ~name:"inline+unroll pipeline preserves output" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o, p1, _ = run_inline p in
+      let o1 = Interp.run p1 in
+      let ep1 = Option.get o1.Interp.edge_profile in
+      let p2, _ = Unroll.run p1 ~edge_profile:ep1 ~min_trip:2.0 in
+      let o2 = Interp.run p2 in
+      o.Interp.output = o2.Interp.output)
+
+let suite =
+  [
+    Alcotest.test_case "inline hot call" `Quick test_inline_hot_call;
+    Alcotest.test_case "inline bloat budget" `Quick test_inline_respects_bloat;
+    Alcotest.test_case "inline recursion" `Quick test_inline_skips_recursion;
+    Alcotest.test_case "unroll semantics" `Quick test_unroll_preserves_semantics;
+    Alcotest.test_case "unroll low trip" `Quick test_unroll_skips_low_trip;
+    QCheck_alcotest.to_alcotest prop_inline_preserves_output;
+    QCheck_alcotest.to_alcotest prop_unroll_preserves_output;
+    QCheck_alcotest.to_alcotest prop_inline_then_unroll;
+  ]

@@ -1,0 +1,206 @@
+(* Unit tests of instrumentation placement: pushing, combining, obvious
+   elision, dead-instrumentation elimination, poisoning modes, and the
+   DAG-to-CFG restoration. Figure 4 (all paths obvious) and Figure 5
+   (pushing past a cold edge) are encoded directly. *)
+
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Config = Ppp_core.Config
+module Numbering = Ppp_core.Numbering
+module Event_count = Ppp_core.Event_count
+module Cold = Ppp_core.Cold
+module Place = Ppp_core.Place
+module Instrument = Ppp_core.Instrument
+module Instr_rt = Ppp_interp.Instr_rt
+module Interp = Ppp_interp.Interp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let place_with ctx hot ~config =
+  let nb =
+    Numbering.compute ctx ~hot
+      ~order:
+        (if config.Config.smart_numbering then
+           Numbering.Freq_decreasing (fun e -> float_of_int (Routine_ctx.freq ctx e))
+         else Numbering.Ball_larus)
+  in
+  let ev =
+    Event_count.compute ctx ~hot ~numbering:nb
+      ~weight:(fun e -> float_of_int (Routine_ctx.freq ctx e))
+  in
+  ( nb,
+    Place.place
+      {
+        Place.ctx;
+        hot;
+        numbering = nb;
+        ev;
+        push_past_cold = config.Config.push_past_cold;
+        elide_obvious = config.Config.elide_obvious;
+        poisoning = config.Config.poisoning;
+        use_hash = false;
+      } )
+
+(* Figure 4: a chain of diamonds where one side of each is never taken,
+   so after cold removal every path is obvious and, with elision and
+   dead-instrumentation removal, no action survives. *)
+let fig4_like () =
+  let view = Fixtures.view Fixtures.fig8_routine in
+  (* AB hot (80), AC never; DE hot, DF never: a single hot path. *)
+  let profile = Edge_profile.create ~nedges:9 in
+  List.iteri (fun e f -> Edge_profile.add profile e f) [ 80; 0; 80; 0; 80; 0; 80; 0; 80 ];
+  let ctx = Routine_ctx.make view profile in
+  let hot =
+    Cold.mark ctx ~local_ratio:(Some 0.05) ~global_cutoff:None ~extra_cold:[]
+  in
+  let _, result = place_with ctx hot ~config:Config.ppp in
+  check_int "single hot path elided, nothing remains" 0 result.Place.num_actions;
+  check_int "one elided path" 1 (List.length result.Place.elided)
+
+let test_pp_keeps_counts () =
+  (* PP has no edge profile knowledge: it must keep a count for every
+     path, even the obvious single hot one. *)
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Fixtures.fig8_profile () in
+  let ctx = Routine_ctx.make view profile in
+  let hot = Cold.all_hot ctx in
+  let _, result = place_with ctx hot ~config:Config.pp in
+  check_bool "pp places actions" true (result.Place.num_actions > 0);
+  check_int "pp elides nothing" 0 (List.length result.Place.elided)
+
+let test_free_poison_table_size () =
+  (* With a cold edge under free poisoning, the table must extend past N
+     to hold the poisoned numbers (Section 4.6: at most [N, 3N-1]). *)
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Edge_profile.create ~nedges:9 in
+  (* AC cold but occasionally executed. *)
+  List.iteri (fun e f -> Edge_profile.add profile e f) [ 79; 1; 79; 1; 40; 40; 40; 40; 80 ];
+  let ctx = Routine_ctx.make view profile in
+  let hot =
+    Cold.mark ctx ~local_ratio:(Some 0.05) ~global_cutoff:None ~extra_cold:[]
+  in
+  let nb, result = place_with ctx hot ~config:{ Config.ppp with elide_obvious = false } in
+  let n = Numbering.num_paths nb in
+  check_int "two hot paths" 2 n;
+  check_bool "table extends for poison" true (result.Place.table_size >= n);
+  check_bool "table bounded by 3N" true (result.Place.table_size <= 3 * n)
+
+let test_check_poison_only_with_cold () =
+  (* Without any cold edge, check-mode poisoning must not emit checked
+     counts (no poison test to pay for). *)
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Fixtures.fig8_profile () in
+  let ctx = Routine_ctx.make view profile in
+  let hot = Cold.all_hot ctx in
+  let _, result =
+    place_with ctx hot ~config:{ Config.tpp_original with elide_obvious = false }
+  in
+  let has_checked =
+    Array.exists
+      (List.exists (function
+        | Instr_rt.Count_checked | Instr_rt.Count_checked_plus _ -> true
+        | _ -> false))
+      result.Place.rt.Instr_rt.edge_actions
+  in
+  check_bool "no checks without cold edges" false has_checked
+
+let test_check_poison_with_cold () =
+  let view = Fixtures.view Fixtures.fig8_routine in
+  let profile = Edge_profile.create ~nedges:9 in
+  List.iteri (fun e f -> Edge_profile.add profile e f) [ 79; 1; 79; 1; 40; 40; 40; 40; 80 ];
+  let ctx = Routine_ctx.make view profile in
+  let hot =
+    Cold.mark ctx ~local_ratio:(Some 0.05) ~global_cutoff:None ~extra_cold:[]
+  in
+  let _, result =
+    place_with ctx hot
+      ~config:{ Config.tpp_original with elide_obvious = false; push_past_cold = false }
+  in
+  let has_checked =
+    Array.exists
+      (List.exists (function
+        | Instr_rt.Count_checked | Instr_rt.Count_checked_plus _ -> true
+        | _ -> false))
+      result.Place.rt.Instr_rt.edge_actions
+  in
+  check_bool "checks appear with cold edges" true has_checked
+
+(* Figure 5's shape: a hot straight-line region with a cold side exit in
+   the middle. TPP must keep more instrumentation than PPP, because PPP
+   pushes past the cold edge. *)
+let fig5_like_program () =
+  let open Ppp_ir.Builder in
+  let b = create ~name:"main" ~nparams:0 in
+  let i = reg b in
+  let acc = reg b in
+  mov b acc (Ir.Imm 0);
+  for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm 512) (fun () ->
+      let even = bin_ b Ir.And (Ir.Reg i) (Ir.Imm 1) in
+      let is_even = bin_ b Ir.Eq even (Ir.Imm 0) in
+      if_ b is_even
+        ~then_:(fun () -> bin b acc Ir.Add (Ir.Reg acc) (Ir.Imm 1))
+        ~else_:(fun () -> bin b acc Ir.Add (Ir.Reg acc) (Ir.Imm 2));
+      (* cold side exit *)
+      let rare = bin_ b Ir.Eq (Ir.Reg i) (Ir.Imm 100) in
+      when_ b rare (fun () -> bin b acc Ir.Mul (Ir.Reg acc) (Ir.Imm 3));
+      bin b acc Ir.Add (Ir.Reg acc) (Ir.Reg i));
+  out b (Ir.Reg acc);
+  ret b (Some (Ir.Reg acc));
+  program ~main:"main" [ finish b ]
+
+let test_push_past_cold_reduces_actions () =
+  let p = fig5_like_program () in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let count config =
+    Instrument.static_instr_count (Instrument.instrument p ep config)
+  in
+  let no_push = count { Config.ppp with push_past_cold = false; low_coverage_skip = None } in
+  let push = count { Config.ppp with low_coverage_skip = None } in
+  check_bool
+    (Printf.sprintf "pushing past cold strictly helps (%d < %d)" push no_push)
+    true (push < no_push)
+
+let test_restore_back_edges () =
+  (* Instrumentation on dummy edges must land on the back edge: running
+     the instrumented loop counts header-to-header paths. *)
+  let p = fig5_like_program () in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  let inst = Instrument.instrument p ep Config.pp in
+  let o2 =
+    Interp.run
+      ~config:{ Interp.default_config with instrumentation = Some inst.Instrument.rt }
+      p
+  in
+  let table = Hashtbl.find (Option.get o2.Interp.instr_state) "main" in
+  check_int "all 513 path executions counted" 513 (Instr_rt.Table.dynamic_total table)
+
+let test_interp_rejects_missing_routine_gracefully () =
+  (* An instrumentation table naming an absent routine is simply ignored
+     (routines absent from the table are uninstrumented, and vice
+     versa). *)
+  let p = fig5_like_program () in
+  let rt = Instr_rt.no_instrumentation () in
+  Hashtbl.replace rt "ghost"
+    { Instr_rt.edge_actions = [||]; table = Instr_rt.Array_table 1; num_paths = 1 };
+  let o =
+    Interp.run ~config:{ Interp.default_config with instrumentation = Some rt } p
+  in
+  check_int "no instrumentation cost" 0 o.Interp.instr_cost
+
+let suite =
+  [
+    Alcotest.test_case "figure 4: all obvious" `Quick fig4_like;
+    Alcotest.test_case "pp keeps counts" `Quick test_pp_keeps_counts;
+    Alcotest.test_case "free poison table size" `Quick test_free_poison_table_size;
+    Alcotest.test_case "no checks without cold" `Quick test_check_poison_only_with_cold;
+    Alcotest.test_case "checks with cold" `Quick test_check_poison_with_cold;
+    Alcotest.test_case "figure 5: push past cold" `Quick test_push_past_cold_reduces_actions;
+    Alcotest.test_case "back edge restoration" `Quick test_restore_back_edges;
+    Alcotest.test_case "ghost routine ignored" `Quick test_interp_rejects_missing_routine_gracefully;
+  ]

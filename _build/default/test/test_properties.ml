@@ -1,0 +1,270 @@
+(* Cross-cutting property tests against brute force on randomly
+   generated programs: dominators, potential-flow enumeration, flow-value
+   algebra, and numbering/event-counting invariants checked directly on
+   DAGs rather than through the interpreter. *)
+
+module Graph = Ppp_cfg.Graph
+module Order = Ppp_cfg.Order
+module Dom = Ppp_cfg.Dom
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Metric = Ppp_profile.Metric
+module Routine_ctx = Ppp_flow.Routine_ctx
+module Flow_dp = Ppp_flow.Flow_dp
+module Flowval = Ppp_flow.Flowval
+module Numbering = Ppp_core.Numbering
+module Event_count = Ppp_core.Event_count
+module Cold = Ppp_core.Cold
+module Interp = Ppp_interp.Interp
+
+(* Contexts (with real edge profiles) for every routine of a generated,
+   executed program. *)
+let contexts_of_seed seed =
+  let p = Ppp_workloads.Gen.program ~seed in
+  let o = Interp.run p in
+  let ep = Option.get o.Interp.edge_profile in
+  List.map
+    (fun (r : Ir.routine) ->
+      let view = Cfg_view.of_routine r in
+      Routine_ctx.make view (Edge_profile.routine ep r.Ir.name))
+    p.Ir.routines
+
+(* Brute-force dominators: u dominates v iff removing u makes v
+   unreachable from the root. *)
+let prop_dominators_brute_force =
+  QCheck.Test.make ~name:"dominators match path-cut brute force" ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let view = Cfg_view.of_routine r in
+          let g = Cfg_view.graph view in
+          let n = Graph.num_nodes g in
+          if n > 40 then true (* keep the O(n^3) check affordable *)
+          else begin
+            let dom = Dom.compute g ~root:0 in
+            let reachable_avoiding cut target =
+              let seen = Array.make n false in
+              let rec go v =
+                if (not seen.(v)) && v <> cut then begin
+                  seen.(v) <- true;
+                  List.iter go (Graph.succs g v)
+                end
+              in
+              go 0;
+              seen.(target)
+            in
+            let ok = ref true in
+            for u = 0 to n - 1 do
+              for v = 0 to n - 1 do
+                if u <> v && v <> 0 then begin
+                  let brute = not (reachable_avoiding u v) in
+                  let fast = Dom.dominates dom u v in
+                  if Order.(reachable g 0).(v) && brute <> fast then ok := false
+                end
+              done
+            done;
+            !ok
+          end)
+        p.Ir.routines)
+
+(* potential_hot_paths agrees with the closed form: every returned path's
+   potential equals min edge frequency (capped at F), its branch count is
+   right, and the set contains every path above its implied threshold. *)
+let prop_potential_hot_paths_sound =
+  QCheck.Test.make ~name:"potential_hot_paths values are exact" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      List.for_all
+        (fun ctx ->
+          let paths = Flow_dp.potential_hot_paths ctx ~max_paths:2000 in
+          List.for_all
+            (fun (path, pf, b) ->
+              pf = Flow_dp.potential_of_path ctx path
+              && b
+                 = List.fold_left
+                     (fun acc e ->
+                       if Routine_ctx.is_branch ctx e then acc + 1 else acc)
+                     0 path)
+            paths
+          (* and the list has no duplicates *)
+          && List.length paths
+             = List.length (List.sort_uniq compare (List.map (fun (p, _, _) -> p) paths)))
+        (contexts_of_seed seed))
+
+let prop_potential_contains_executed_hot =
+  QCheck.Test.make
+    ~name:"potential_hot_paths includes every sufficiently hot executed path"
+    ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let ep = Option.get o.Interp.edge_profile in
+      let actual = Option.get o.Interp.path_profile in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let view = Cfg_view.of_routine r in
+          let ctx = Routine_ctx.make view (Edge_profile.routine ep r.Ir.name) in
+          let listed = Flow_dp.potential_hot_paths ctx ~max_paths:2000 in
+          let min_pf =
+            List.fold_left (fun m (_, pf, _) -> min m pf) max_int listed
+          in
+          if List.length listed >= 2000 then true
+          else
+            Ppp_profile.Path_profile.fold
+              (Ppp_profile.Path_profile.routine actual r.Ir.name)
+              ~init:true
+              ~f:(fun ok path n ->
+                ok
+                &&
+                (* Any executed path with frequency above the listing's
+                   bottleneck floor must be present (its potential >= its
+                   actual frequency > floor). *)
+                if n <= min_pf then true
+                else
+                  List.exists
+                    (fun (dag, _, _) ->
+                      Routine_ctx.cfg_path_of_dag_path ctx dag = path)
+                    listed))
+        p.Ir.routines)
+
+(* Numbering + event counting invariants, checked on the DAG directly. *)
+let all_paths ctx hot ~cap =
+  let g = Routine_ctx.graph ctx in
+  let exit = Routine_ctx.exit ctx in
+  let count = ref 0 in
+  let acc = ref [] in
+  let exception Enough in
+  let rec walk v path =
+    if !count > cap then raise Enough;
+    if v = exit then begin
+      incr count;
+      acc := List.rev path :: !acc
+    end
+    else
+      List.iter
+        (fun e -> if hot.(e) then walk (Graph.dst g e) (e :: path))
+        (Graph.out_edges g v)
+  in
+  (try walk (Routine_ctx.entry ctx) [] with Enough -> ());
+  if !count > cap then None else Some !acc
+
+let prop_numbering_bijection_random =
+  QCheck.Test.make ~name:"numbering is a bijection on random DAGs" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      List.for_all
+        (fun ctx ->
+          let hot = Cold.all_hot ctx in
+          let nb = Numbering.compute ctx ~hot ~order:Numbering.Ball_larus in
+          match all_paths ctx hot ~cap:3000 with
+          | None -> true (* too many to enumerate *)
+          | Some paths ->
+              let nums = List.map (Numbering.number_of_path nb) paths in
+              List.length paths = Numbering.num_paths nb
+              && List.sort_uniq compare nums
+                 = List.init (Numbering.num_paths nb) Fun.id)
+        (contexts_of_seed seed))
+
+let prop_event_counting_preserves_random =
+  QCheck.Test.make ~name:"event counting preserves path sums on random DAGs"
+    ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      List.for_all
+        (fun ctx ->
+          let hot = Cold.all_hot ctx in
+          let nb = Numbering.compute ctx ~hot ~order:Numbering.Ball_larus in
+          let ev =
+            Event_count.compute ctx ~hot ~numbering:nb
+              ~weight:(fun e -> float_of_int (Routine_ctx.freq ctx e))
+          in
+          match all_paths ctx hot ~cap:2000 with
+          | None -> true
+          | Some paths ->
+              List.for_all
+                (fun path ->
+                  Event_count.sum_along ev path = Numbering.number_of_path nb path)
+                paths)
+        (contexts_of_seed seed))
+
+let prop_smart_numbering_bijection =
+  QCheck.Test.make ~name:"smart numbering is also a bijection" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      List.for_all
+        (fun ctx ->
+          let hot = Cold.all_hot ctx in
+          let nb =
+            Numbering.compute ctx ~hot
+              ~order:
+                (Numbering.Freq_decreasing
+                   (fun e -> float_of_int (Routine_ctx.freq ctx e)))
+          in
+          match all_paths ctx hot ~cap:2000 with
+          | None -> true
+          | Some paths ->
+              List.sort_uniq compare (List.map (Numbering.number_of_path nb) paths)
+              = List.init (Numbering.num_paths nb) Fun.id)
+        (contexts_of_seed seed))
+
+(* Flow-value algebra. *)
+let flowval_gen =
+  QCheck.Gen.(
+    map
+      (fun entries ->
+        List.fold_left
+          (fun acc (f, b, d) ->
+            Flowval.add acc ~f:(1 + abs f) ~b:(abs b mod 5) ~delta:(1 + (abs d mod 3)))
+          Flowval.empty entries)
+      (small_list (triple small_int small_int small_int)))
+
+let flowval_arb = QCheck.make flowval_gen
+
+let prop_flowval_union_comm =
+  QCheck.Test.make ~name:"flowval union is commutative" ~count:100
+    (QCheck.pair flowval_arb flowval_arb)
+    (fun (a, b) ->
+      Flowval.entries_decreasing_flow (Flowval.union a b)
+      = Flowval.entries_decreasing_flow (Flowval.union b a))
+
+let prop_flowval_union_assoc =
+  QCheck.Test.make ~name:"flowval union is associative" ~count:100
+    (QCheck.triple flowval_arb flowval_arb flowval_arb)
+    (fun (a, b, c) ->
+      Flowval.entries_decreasing_flow (Flowval.union (Flowval.union a b) c)
+      = Flowval.entries_decreasing_flow (Flowval.union a (Flowval.union b c)))
+
+let prop_flowval_total_additive =
+  QCheck.Test.make ~name:"flowval total is additive under union" ~count:100
+    (QCheck.pair flowval_arb flowval_arb)
+    (fun (a, b) ->
+      Flowval.total_flow (Flowval.union a b) ~metric:Metric.Branch_flow
+      = Flowval.total_flow a ~metric:Metric.Branch_flow
+        + Flowval.total_flow b ~metric:Metric.Branch_flow)
+
+let prop_flowval_shift =
+  QCheck.Test.make ~name:"shift_branch preserves cardinal and unit flow" ~count:100
+    flowval_arb
+    (fun a ->
+      let s = Flowval.shift_branch a in
+      Flowval.total_flow s ~metric:Metric.Unit_flow
+      = Flowval.total_flow a ~metric:Metric.Unit_flow
+      && Flowval.cardinal s = Flowval.cardinal a)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dominators_brute_force;
+    QCheck_alcotest.to_alcotest prop_potential_hot_paths_sound;
+    QCheck_alcotest.to_alcotest prop_potential_contains_executed_hot;
+    QCheck_alcotest.to_alcotest prop_numbering_bijection_random;
+    QCheck_alcotest.to_alcotest prop_event_counting_preserves_random;
+    QCheck_alcotest.to_alcotest prop_smart_numbering_bijection;
+    QCheck_alcotest.to_alcotest prop_flowval_union_comm;
+    QCheck_alcotest.to_alcotest prop_flowval_union_assoc;
+    QCheck_alcotest.to_alcotest prop_flowval_total_additive;
+    QCheck_alcotest.to_alcotest prop_flowval_shift;
+  ]

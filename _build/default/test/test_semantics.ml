@@ -1,0 +1,265 @@
+(* Edge-case semantics of the interpreter and the per-activation path
+   register, including recursion under instrumentation. *)
+
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+module Path_profile = Ppp_profile.Path_profile
+
+let run_src src = Interp.run (Ppp_ir.Parse.program_of_string src)
+let check_out name expected o = Alcotest.(check (list int)) name expected o.Interp.output
+
+let test_shift_extremes () =
+  let o =
+    run_src
+      {|routine main(0) regs 3 {
+entry:
+  r0 = 1
+  r1 = r0 << 62
+  out r1
+  r1 = r0 << 63
+  out r1
+  r1 = r0 << 100
+  out r1
+  r2 = 0 - 8
+  r1 = r2 >> 100
+  out r1
+  r1 = r2 >> 2
+  out r1
+  ret
+}|}
+  in
+  (* << 63 and << 100 (masked to 36) are clamped/wrapped deterministically:
+     count 63 -> 0 by the >62 rule; 100 land 63 = 36 -> 1 lsl 36. *)
+  check_out "shifts" [ 1 lsl 62; 0; 1 lsl 36; -1; -2 ] o
+
+let test_negative_div_rem () =
+  let o =
+    run_src
+      {|routine main(0) regs 2 {
+entry:
+  r0 = 0 - 7
+  r1 = r0 / 2
+  out r1
+  r1 = r0 % 2
+  out r1
+  r1 = 7 / -2
+  out r1
+  ret
+}|}
+  in
+  (* OCaml semantics: truncation toward zero. *)
+  check_out "neg div/rem" [ -3; -1; -3 ] o
+
+let test_overflow_wraps () =
+  let o =
+    run_src
+      {|routine main(0) regs 2 {
+entry:
+  r0 = 4611686018427387903
+  r1 = r0 + 1
+  out r1
+  ret
+}|}
+  in
+  check_out "wraparound" [ min_int ] o
+
+(* A recursive routine under PP instrumentation: each activation has its
+   own path register, so counts must be exact despite interleaved
+   activations (the "call defers the current path" rule of Section 3.1). *)
+let test_recursion_instrumented () =
+  let src =
+    {|routine main(0) regs 2 {
+entry:
+  r0 = call fib(12)
+  out r0
+  ret r0
+}
+routine fib(1) regs 4 {
+entry:
+  r1 = r0 <= 1
+  br r1, base, rec
+base:
+  ret r0
+rec:
+  r2 = r0 - 1
+  r2 = call fib(r2)
+  r3 = r0 - 2
+  r3 = call fib(r3)
+  r2 = r2 + r3
+  ret r2
+}|}
+  in
+  let p = Ppp_ir.Parse.program_of_string src in
+  let base = Interp.run p in
+  check_out "fib(12)" [ 144 ] base;
+  let ep = Option.get base.Interp.edge_profile in
+  let inst = Instrument.instrument p ep Config.pp in
+  let o =
+    Interp.run
+      ~config:{ Interp.default_config with instrumentation = Some inst.Instrument.rt }
+      p
+  in
+  check_out "fib instrumented unchanged" [ 144 ] o;
+  let table = Hashtbl.find (Option.get o.Interp.instr_state) "fib" in
+  let plan = Hashtbl.find inst.Instrument.plans "fib" in
+  let actual = Path_profile.routine (Option.get base.Interp.path_profile) "fib" in
+  Path_profile.iter actual (fun path n ->
+      match Instrument.path_status plan path with
+      | `Instrumented k ->
+          Alcotest.(check int) "recursive activation counts exact" n
+            (Instr_rt.Table.get table k)
+      | `Uninstrumented -> Alcotest.fail "PP left a path uninstrumented")
+
+let test_out_ordering_across_calls () =
+  let o =
+    run_src
+      {|routine main(0) regs 1 {
+entry:
+  out 1
+  call f()
+  out 3
+  ret
+}
+routine f(0) regs 1 { entry: out 2
+  ret }|}
+  in
+  check_out "interleaved output" [ 1; 2; 3 ] o
+
+let test_mutual_recursion () =
+  let o =
+    run_src
+      {|routine main(0) regs 1 {
+entry:
+  r0 = call even(10)
+  out r0
+  ret
+}
+routine even(1) regs 3 {
+entry:
+  r1 = r0 == 0
+  br r1, yes, no
+yes:
+  ret 1
+no:
+  r2 = r0 - 1
+  r2 = call odd(r2)
+  ret r2
+}
+routine odd(1) regs 3 {
+entry:
+  r1 = r0 == 0
+  br r1, yes, no
+yes:
+  ret 0
+no:
+  r2 = r0 - 1
+  r2 = call even(r2)
+  ret r2
+}|}
+  in
+  check_out "mutual recursion" [ 1 ] o
+
+let test_zero_iteration_loop_path () =
+  (* A loop that never runs still produces a well-formed path through the
+     header's exit side. *)
+  let o =
+    run_src
+      {|routine main(0) regs 2 {
+entry:
+  r0 = 0
+  jump head
+head:
+  r1 = r0 < 0
+  br r1, body, done
+body:
+  r0 = r0 + 1
+  jump head
+done:
+  out r0
+  ret
+}|}
+  in
+  check_out "zero-trip loop" [ 0 ] o;
+  Alcotest.(check int) "exactly one path" 1 o.Interp.dyn_paths
+
+let test_deep_recursion_stack () =
+  (* The interpreter's frame stack is heap-allocated; a deep recursion
+     must not overflow the OCaml stack. *)
+  let o =
+    run_src
+      {|routine main(0) regs 1 {
+entry:
+  r0 = call down(30000)
+  out r0
+  ret
+}
+routine down(1) regs 2 {
+entry:
+  r1 = r0 <= 0
+  br r1, base, rec
+base:
+  ret 0
+rec:
+  r1 = r0 - 1
+  r1 = call down(r1)
+  ret r1
+}|}
+  in
+  check_out "deep recursion" [ 0 ] o
+
+let prop_instrumentation_never_changes_semantics =
+  QCheck.Test.make
+    ~name:"instrumented runs preserve output and return value (all configs)"
+    ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let base = Interp.run p in
+      let ep = Option.get base.Interp.edge_profile in
+      List.for_all
+        (fun config ->
+          let inst = Instrument.instrument p ep config in
+          let o =
+            Interp.run
+              ~config:
+                { Interp.default_config with instrumentation = Some inst.Instrument.rt }
+              p
+          in
+          o.Interp.output = base.Interp.output
+          && o.Interp.return_value = base.Interp.return_value
+          && o.Interp.base_cost = base.Interp.base_cost)
+        [ Config.pp; Config.tpp; Config.tpp_original; Config.ppp ])
+
+let prop_instr_cost_additive =
+  QCheck.Test.make ~name:"base cost is independent of instrumentation" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let base = Interp.run p in
+      let ep = Option.get base.Interp.edge_profile in
+      let inst = Instrument.instrument p ep Config.ppp in
+      let o =
+        Interp.run
+          ~config:
+            { Interp.default_config with instrumentation = Some inst.Instrument.rt }
+          p
+      in
+      o.Interp.base_cost = base.Interp.base_cost
+      && o.Interp.instr_cost >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "shift extremes" `Quick test_shift_extremes;
+    Alcotest.test_case "negative div/rem" `Quick test_negative_div_rem;
+    Alcotest.test_case "overflow wraps" `Quick test_overflow_wraps;
+    Alcotest.test_case "recursion instrumented" `Quick test_recursion_instrumented;
+    Alcotest.test_case "output ordering" `Quick test_out_ordering_across_calls;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "zero-trip loop" `Quick test_zero_iteration_loop_path;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion_stack;
+    QCheck_alcotest.to_alcotest prop_instrumentation_never_changes_semantics;
+    QCheck_alcotest.to_alcotest prop_instr_cost_additive;
+  ]

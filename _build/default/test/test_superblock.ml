@@ -1,0 +1,102 @@
+module Ir = Ppp_ir.Ir
+module Interp = Ppp_interp.Interp
+module Superblock = Ppp_opt.Superblock
+module Path_profile = Ppp_profile.Path_profile
+module H = Ppp_harness.Pipeline
+
+let check_bool = Alcotest.(check bool)
+
+(* The hottest traced path of each routine of a program. *)
+let hottest_paths p =
+  let o = Interp.run p in
+  let profile = Option.get o.Interp.path_profile in
+  let acc = ref [] in
+  Path_profile.iter_routines profile (fun name t ->
+      let best = ref None in
+      Path_profile.iter t (fun path n ->
+          match !best with
+          | Some (_, n') when n' >= n -> ()
+          | _ -> best := Some (path, n));
+      match !best with Some (path, _) -> acc := (name, path) :: !acc | None -> ());
+  (o, !acc)
+
+let test_superblock_preserves_and_speeds () =
+  let p = (Ppp_workloads.Spec.find "mcf").Ppp_workloads.Spec.build ~scale:1 in
+  let o, hot = hottest_paths p in
+  let p', stats = Superblock.form p ~hot_paths:hot in
+  check_bool "did something" true
+    (stats.Superblock.jumps_merged > 0 || stats.Superblock.blocks_duplicated > 0);
+  let o' = Interp.run p' in
+  check_bool "output preserved" true (o.Interp.output = o'.Interp.output);
+  check_bool "not slower" true (o'.Interp.base_cost <= o.Interp.base_cost)
+
+let test_superblock_empty_paths () =
+  let p = (Ppp_workloads.Spec.find "gap").Ppp_workloads.Spec.build ~scale:1 in
+  let p', stats = Superblock.form p ~hot_paths:[] in
+  check_bool "no-op without paths" true (stats.Superblock.routines_optimized = 0);
+  check_bool "program unchanged" true (p' = p)
+
+let prop_superblock_preserves_output =
+  QCheck.Test.make ~name:"superblock formation preserves output" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o, hot = hottest_paths p in
+      let p', _ = Superblock.form p ~hot_paths:hot in
+      let o' = Interp.run p' in
+      o.Interp.output = o'.Interp.output
+      && o.Interp.return_value = o'.Interp.return_value)
+
+let prop_superblock_never_slower =
+  QCheck.Test.make ~name:"superblock formation never increases cost" ~count:40
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o, hot = hottest_paths p in
+      let p', _ = Superblock.form p ~hot_paths:hot in
+      (Interp.run p').Interp.base_cost <= o.Interp.base_cost)
+
+(* Full dynamic-optimizer integration: PPP-measured hot paths drive the
+   superblock pass (the staged_optimizer example as a test). *)
+let test_staged_loop () =
+  let p = (Ppp_workloads.Spec.find "bzip2").Ppp_workloads.Spec.build ~scale:1 in
+  let prep = H.prepare ~name:"bzip2" p in
+  let p1 = prep.H.optimized in
+  let ep = Option.get prep.H.base_outcome.Interp.edge_profile in
+  let inst = Ppp_core.Instrument.instrument p1 ep Ppp_core.Config.ppp in
+  let o2 =
+    Interp.run
+      ~config:
+        { Interp.default_config with instrumentation = Some inst.Ppp_core.Instrument.rt }
+      p1
+  in
+  let tables = Option.get o2.Interp.instr_state in
+  let hot = ref [] in
+  Hashtbl.iter
+    (fun name table ->
+      let plan = Hashtbl.find inst.Ppp_core.Instrument.plans name in
+      let best = ref None in
+      Ppp_interp.Instr_rt.Table.iter_nonzero table (fun k c ->
+          match !best with
+          | Some (_, c') when c' >= c -> ()
+          | _ -> (
+              match Ppp_core.Instrument.decoded_path plan k with
+              | Some path -> best := Some (path, c)
+              | None -> ()));
+      match !best with Some (path, _) -> hot := (name, path) :: !hot | None -> ())
+    tables;
+  let p3, _ = Superblock.form p1 ~hot_paths:!hot in
+  let o3 = Interp.run p3 in
+  check_bool "staged loop output preserved" true
+    (o3.Interp.output = prep.H.base_outcome.Interp.output);
+  check_bool "staged loop speeds up" true
+    (o3.Interp.base_cost < prep.H.base_outcome.Interp.base_cost)
+
+let suite =
+  [
+    Alcotest.test_case "preserves and speeds" `Slow test_superblock_preserves_and_speeds;
+    Alcotest.test_case "empty hot paths" `Quick test_superblock_empty_paths;
+    Alcotest.test_case "staged optimizer loop" `Slow test_staged_loop;
+    QCheck_alcotest.to_alcotest prop_superblock_preserves_output;
+    QCheck_alcotest.to_alcotest prop_superblock_never_slower;
+  ]

