@@ -7,7 +7,9 @@
      main.exe table1|table2|fig9|fig10|fig11|fig12|fig13|sec8.1
      main.exe timing               Bechamel wall-clock overheads
      main.exe --scale N ...        larger inputs (default 1)
-     main.exe --bench a,b,c ...    restrict to some benchmarks *)
+     main.exe --bench a,b,c ...    restrict to some benchmarks
+     main.exe --json FILE ...      machine-readable results (default
+                                   BENCH_results.json; --no-json to skip) *)
 
 module H = Ppp_harness.Pipeline
 module R = Ppp_harness.Report
@@ -77,6 +79,8 @@ let run_bechamel tests =
     results;
   estimates
 
+(* Runs the Bechamel suite, prints the overhead table, and returns the
+   raw per-test nanosecond estimates for the JSON output. *)
 let timing benches =
   Format.fprintf fmt
     "@[<v>Wall-clock interpreter timing (Bechamel, monotonic clock)@,";
@@ -105,7 +109,39 @@ let timing benches =
             (ov pp) (ov tpp) (ov ppp)
       | _ -> Format.fprintf fmt "%-9s | (no estimate)@," name)
     benches;
-  Format.fprintf fmt "@]@."
+  Format.fprintf fmt "@]@.";
+  get
+
+(* {2 Machine-readable results: BENCH_*.json} *)
+
+module J = Ppp_obs.Jsonx
+
+let timing_json get name =
+  match
+    ( get (name ^ "/base"),
+      get (name ^ "/pp"),
+      get (name ^ "/tpp"),
+      get (name ^ "/ppp") )
+  with
+  | Some base, Some pp, Some tpp, Some ppp ->
+      Some
+        (J.Obj
+           [
+             ("base_ns", J.Float base);
+             ("pp_ns", J.Float pp);
+             ("tpp_ns", J.Float tpp);
+             ("ppp_ns", J.Float ppp);
+           ])
+  | _ -> None
+
+let write_bench_json ~path ~scale ~timing_get benches =
+  let timing =
+    match timing_get with
+    | None -> fun _ -> None
+    | Some get -> timing_json get
+  in
+  Ppp_obs.Sink.write_json ~path (R.bench_json ~scale ~timing benches);
+  Format.fprintf fmt "wrote %s@." path
 
 (* {2 Argument handling} *)
 
@@ -114,6 +150,7 @@ let () =
   let scale = ref 1 in
   let names = ref None in
   let actions = ref [] in
+  let json_path = ref (Some "BENCH_results.json") in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -122,6 +159,12 @@ let () =
     | "--bench" :: bs :: rest ->
         names := Some (String.split_on_char ',' bs);
         parse rest
+    | "--json" :: f :: rest ->
+        json_path := Some f;
+        parse rest
+    | "--no-json" :: rest ->
+        json_path := None;
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
@@ -129,6 +172,8 @@ let () =
   parse args;
   let actions = List.rev !actions in
   let benches = R.prepare_all ~scale:!scale ?names:!names () in
+  let timing_get = ref None in
+  let run_timing () = timing_get := Some (timing benches) in
   let all_reports () =
     R.table1 fmt benches;
     R.table2 fmt benches;
@@ -137,10 +182,10 @@ let () =
     R.fig13 fmt benches;
     R.section8_1 fmt benches
   in
-  match actions with
+  (match actions with
   | [] ->
       all_reports ();
-      timing benches
+      run_timing ()
   | acts ->
       List.iter
         (function
@@ -151,6 +196,10 @@ let () =
           | "fig13" -> R.fig13 fmt benches
           | "sec8.1" -> R.section8_1 fmt benches
           | "tables" -> all_reports ()
-          | "timing" -> timing benches
+          | "timing" -> run_timing ()
           | other -> Format.fprintf fmt "unknown action %s@." other)
-        acts
+        acts);
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      write_bench_json ~path ~scale:!scale ~timing_get:!timing_get benches

@@ -8,15 +8,32 @@ module Ir = Ppp_ir.Ir
 module Interp = Ppp_interp.Interp
 module Config = Ppp_core.Config
 module H = Ppp_harness.Pipeline
+module Metrics = Ppp_obs.Metrics
+module Trace = Ppp_obs.Trace
+module Sink = Ppp_obs.Sink
 
 open Cmdliner
 
+exception Cli_error of string
+
+let cli_error fmt = Format.kasprintf (fun s -> raise (Cli_error s)) fmt
+
 let load_program spec ~scale =
+  Trace.with_span ~args:[ ("program", spec) ] "parse" @@ fun () ->
   match String.index_opt spec ':' with
   | Some i when String.sub spec 0 i = "bench" ->
       let name = String.sub spec (i + 1) (String.length spec - i - 1) in
-      (Ppp_workloads.Spec.find name).Ppp_workloads.Spec.build ~scale
-  | _ -> Ppp_ir.Parse.program_of_file spec
+      (match Ppp_workloads.Spec.find_opt name with
+      | Some b -> b.Ppp_workloads.Spec.build ~scale
+      | None ->
+          cli_error "unknown benchmark %S (run `pppc benches` to list them)"
+            name)
+  | _ -> (
+      (* Well-formedness checking of a user-supplied program raises
+         Invalid_argument from inside the parser; that is bad input, not
+         a bug, so report it like a parse error. *)
+      try Ppp_ir.Parse.program_of_file spec
+      with Invalid_argument msg -> cli_error "ill-formed program: %s" msg)
 
 let program_arg =
   let doc = "Input program: a .pir file, or bench:NAME for a built-in workload." in
@@ -26,38 +43,88 @@ let scale_arg =
   let doc = "Iteration scale for built-in workloads." in
   Arg.(value & opt int 1 & info [ "scale" ] ~doc)
 
+(* Only errors with a user-actionable message are caught here; anything
+   else is a bug and propagates with a backtrace (catching [Not_found]
+   or [Invalid_argument] globally would mask failures anywhere in the
+   pipeline). *)
 let handle_errors f =
   try f () with
   | Interp.Runtime_error msg ->
       Format.eprintf "runtime error: %s@." msg;
       exit 2
-  | Ppp_ir.Parse.Error msg | Invalid_argument msg ->
+  | Ppp_ir.Parse.Error msg
+  | Cli_error msg
+  | Sys_error msg
+  (* an unwritable --metrics-out/--trace-out surfaces from with_obs's
+     cleanup wrapped by Fun.protect *)
+  | Fun.Finally_raised (Sys_error msg) ->
       Format.eprintf "error: %s@." msg;
       exit 1
-  | Not_found ->
-      Format.eprintf "error: unknown benchmark@.";
-      exit 1
-  | Sys_error msg ->
-      Format.eprintf "error: %s@." msg;
-      exit 1
+
+(* {2 Observability options, shared by run / profile / stats} *)
+
+let obs_args =
+  let metrics_out =
+    let doc =
+      "Enable metrics collection and write a snapshot of every counter, \
+       gauge and histogram to $(docv) after the run (JSON; a .csv \
+       extension selects CSV)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Record per-phase spans and write a Chrome trace-event file to \
+       $(docv); open it in chrome://tracing or https://ui.perfetto.dev."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  Term.(const (fun m t -> (m, t)) $ metrics_out $ trace_out)
+
+(* Run [f] under the requested observability, writing the sinks even if
+   [f] fails partway (a truncated run is exactly when a trace helps). *)
+let with_obs ?(force_metrics = false) (metrics_out, trace_out) f =
+  if Option.is_some trace_out then Trace.start ();
+  if force_metrics || Option.is_some metrics_out then begin
+    Metrics.set_enabled true;
+    Metrics.reset ()
+  end;
+  let finish () =
+    Trace.stop ();
+    (match metrics_out with
+    | Some path ->
+        let snap = Metrics.snapshot () in
+        if Filename.check_suffix path ".csv" then
+          Sink.write_metrics_csv ~path snap
+        else Sink.write_metrics_json ~path snap
+    | None -> ());
+    match trace_out with Some path -> Trace.write_file path | None -> ()
+  in
+  Fun.protect ~finally:finish f
 
 (* {2 run} *)
 
 let run_cmd =
-  let action spec scale =
+  let action spec scale obs =
     handle_errors (fun () ->
-        let p = load_program spec ~scale in
-        let o = Interp.run p in
-        List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
-        Format.printf "return: %s@."
-          (match o.Interp.return_value with
-          | Some v -> string_of_int v
-          | None -> "(none)");
-        Format.printf "instructions: %d  cost: %d  paths: %d@." o.Interp.dyn_instrs
-          o.Interp.base_cost o.Interp.dyn_paths)
+        with_obs obs (fun () ->
+            let p = load_program spec ~scale in
+            let o = Trace.with_span "run" (fun () -> Interp.run p) in
+            List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
+            Format.printf "return: %s@."
+              (match o.Interp.return_value with
+              | Some v -> string_of_int v
+              | None -> "(none)");
+            Format.printf "instructions: %d  cost: %d  paths: %d@."
+              o.Interp.dyn_instrs o.Interp.base_cost o.Interp.dyn_paths))
   in
   let doc = "Execute a program and print its output and statistics." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg $ scale_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ obs_args)
 
 (* {2 profile} *)
 
@@ -74,8 +141,9 @@ let top_arg =
   Arg.(value & opt int 10 & info [ "top" ] ~doc)
 
 let profile_cmd =
-  let action spec scale config top =
+  let action spec scale config top obs =
     handle_errors (fun () ->
+        with_obs obs @@ fun () ->
         let p = load_program spec ~scale in
         let prep = H.prepare_unoptimized ~name:spec p in
         let ev = H.evaluate prep config in
@@ -107,7 +175,50 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc)
-    Term.(const action $ program_arg $ scale_arg $ method_arg $ top_arg)
+    Term.(
+      const action $ program_arg $ scale_arg $ method_arg $ top_arg $ obs_args)
+
+(* {2 stats} *)
+
+let stats_cmd =
+  let format_arg =
+    let doc = "Output format for the metrics snapshot: table, json or csv." in
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]) `Table
+      & info [ "format"; "f" ] ~doc)
+  in
+  let action spec scale config fmt obs =
+    handle_errors (fun () ->
+        with_obs ~force_metrics:true obs @@ fun () ->
+        let p = load_program spec ~scale in
+        let prep = H.prepare_unoptimized ~name:spec p in
+        let ev = H.evaluate prep config in
+        Format.eprintf
+          "%s: method %s  overhead %.1f%%  accuracy %.1f%%  coverage %.1f%%@."
+          spec ev.H.config_name (100. *. ev.H.overhead) (100. *. ev.H.accuracy)
+          (100. *. ev.H.coverage);
+        let snap = Metrics.snapshot () in
+        match fmt with
+        | `Table -> Format.printf "%a@." Metrics.pp_snapshot snap
+        | `Json ->
+            Format.printf "%s@."
+              (Ppp_obs.Jsonx.to_string (Sink.metrics_json snap))
+        | `Csv -> Sink.pp_metrics_csv Format.std_formatter snap)
+  in
+  let doc =
+    "Profile a program and dump the full metrics snapshot: interpreter \
+     counters (dynamic instructions, paths, fuel, per-kind edge-action \
+     executions), hash-table statistics (probes, collisions per try, cold \
+     and lost counts) and placement counters (static actions, paths \
+     numbered vs. hashed). The evaluation summary goes to stderr, the \
+     snapshot to stdout."
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(
+      const action $ program_arg $ scale_arg $ method_arg $ format_arg
+      $ obs_args)
 
 (* {2 instrument} *)
 
@@ -196,11 +307,24 @@ let dot_cmd =
     let doc = "Routine to dump (default: the main routine)." in
     Arg.(value & opt (some string) None & info [ "routine"; "r" ] ~doc)
   in
-  let action spec scale routine =
+  let heat_arg =
+    let doc =
+      "Run the program first and color edges by edge-profile frequency: \
+       red for hot (at least 0.125% of total program flow, the paper's \
+       hot-path threshold), blue for executed-but-cold, dashed gray for \
+       never executed."
+    in
+    Arg.(value & flag & info [ "heat" ] ~doc)
+  in
+  let action spec scale routine heat =
     handle_errors (fun () ->
         let p = load_program spec ~scale in
         let rname = Option.value routine ~default:p.Ir.main in
-        let r = Ir.routine p rname in
+        let r =
+          match Ir.find_routine p rname with
+          | Some r -> r
+          | None -> cli_error "unknown routine %S" rname
+        in
         let view = Ppp_ir.Cfg_view.of_routine r in
         let g = Ppp_ir.Cfg_view.graph view in
         let label v =
@@ -208,10 +332,29 @@ let dot_cmd =
           | Some b -> r.Ir.blocks.(b).Ir.label
           | None -> "EXIT"
         in
-        Ppp_cfg.Dot.pp ~node_label:label ~name:rname Format.std_formatter g)
+        if heat then begin
+          let module Edge_profile = Ppp_profile.Edge_profile in
+          let o = Interp.run p in
+          let ep = Option.get o.Interp.edge_profile in
+          let total =
+            List.fold_left
+              (fun acc (r : Ir.routine) ->
+                acc + Edge_profile.total (Edge_profile.routine ep r.Ir.name))
+              0 p.Ir.routines
+          in
+          Ppp_cfg.Dot.pp_heat ~node_label:label ~name:rname
+            ~freq:(Edge_profile.freq (Edge_profile.routine ep rname))
+            ~total Format.std_formatter g
+        end
+        else
+          Ppp_cfg.Dot.pp ~node_label:label ~name:rname Format.std_formatter g)
   in
-  let doc = "Print a routine's control-flow graph in Graphviz format." in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const action $ program_arg $ scale_arg $ routine_arg)
+  let doc =
+    "Print a routine's control-flow graph in Graphviz format, optionally \
+     heat-annotated from an edge profile ($(b,--heat))."
+  in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ routine_arg $ heat_arg)
 
 (* {2 emit (built-in workloads as .pir)} *)
 
@@ -240,6 +383,20 @@ let benches_cmd =
   Cmd.v (Cmd.info "benches" ~doc) Term.(const action $ const ())
 
 let () =
+  Printexc.record_backtrace true;
   let doc = "practical path profiling for dynamic optimizers" in
   let info = Cmd.info "pppc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; profile_cmd; instrument_cmd; collect_cmd; opt_cmd; dot_cmd; emit_cmd; benches_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            profile_cmd;
+            stats_cmd;
+            instrument_cmd;
+            collect_cmd;
+            opt_cmd;
+            dot_cmd;
+            emit_cmd;
+            benches_cmd;
+          ]))

@@ -1,14 +1,54 @@
-let pp ?node_label ?edge_label ?(name = "cfg") ppf g =
+let pp_attrs ppf attrs =
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Format.fprintf ppf "%s=%S" k v)
+    attrs
+
+let pp ?node_label ?edge_label ?(edge_attrs = fun _ -> []) ?(name = "cfg") ppf g =
   let node_label = Option.value node_label ~default:string_of_int in
   let edge_label = Option.value edge_label ~default:(fun _ -> "") in
   Format.fprintf ppf "@[<v 2>digraph %s {@," name;
   Graph.iter_nodes g (fun v ->
       Format.fprintf ppf "n%d [label=%S];@," v (node_label v));
   Graph.iter_edges g (fun e ->
-      let label = edge_label e in
-      if label = "" then
+      let attrs =
+        (match edge_label e with "" -> [] | l -> [ ("label", l) ])
+        @ edge_attrs e
+      in
+      if attrs = [] then
         Format.fprintf ppf "n%d -> n%d;@," (Graph.src g e) (Graph.dst g e)
       else
-        Format.fprintf ppf "n%d -> n%d [label=%S];@," (Graph.src g e)
-          (Graph.dst g e) label);
+        Format.fprintf ppf "n%d -> n%d [%a];@," (Graph.src g e)
+          (Graph.dst g e) pp_attrs attrs);
   Format.fprintf ppf "@]@,}@."
+
+let pp_heat ?node_label ?(name = "cfg") ?(threshold = 0.00125) ~freq ~total ppf g
+    =
+  let max_freq = ref 0 in
+  Graph.iter_edges g (fun e -> max_freq := max !max_freq (freq e));
+  let heat_attrs e =
+    let f = freq e in
+    if f = 0 then [ ("color", "gray80"); ("style", "dashed") ]
+    else begin
+      let hot =
+        total > 0 && float_of_int f >= threshold *. float_of_int total
+      in
+      (* Pen width grows with log frequency so heavy edges dominate the
+         picture the way they dominate the run. *)
+      let w =
+        if !max_freq <= 1 then 1.0
+        else
+          1.0
+          +. 3.0
+             *. (log (1.0 +. float_of_int f) /. log (1.0 +. float_of_int !max_freq))
+      in
+      [
+        ("color", if hot then "red" else "steelblue");
+        ("fontcolor", if hot then "red" else "steelblue");
+        ("penwidth", Printf.sprintf "%.2f" w);
+      ]
+    end
+  in
+  pp ?node_label ~edge_label:(fun e -> string_of_int (freq e)) ~edge_attrs:heat_attrs
+    ~name ppf g

@@ -3,9 +3,29 @@
 val pp :
   ?node_label:(Graph.node -> string) ->
   ?edge_label:(Graph.edge -> string) ->
+  ?edge_attrs:(Graph.edge -> (string * string) list) ->
   ?name:string ->
   Format.formatter ->
   Graph.t ->
   unit
 (** Print a [digraph]. Default node labels are the node numbers; default
-    edge labels are empty. *)
+    edge labels are empty; [edge_attrs] adds arbitrary extra attributes
+    (values are quoted) to each edge. *)
+
+val pp_heat :
+  ?node_label:(Graph.node -> string) ->
+  ?name:string ->
+  ?threshold:float ->
+  freq:(Graph.edge -> int) ->
+  total:int ->
+  Format.formatter ->
+  Graph.t ->
+  unit
+(** Heat-annotated digraph: every edge is labelled with its frequency
+    and colored by it — red for hot edges (frequency at least
+    [threshold] of [total] flow; default 0.125%, the paper's hot-path
+    cutoff), blue for executed-but-cold, dashed gray for never executed.
+    Pen width scales with log frequency. [freq] supplies per-edge counts
+    (an edge profile, kept abstract so this module stays profile-
+    agnostic); [total] is the program-wide flow the threshold is
+    relative to. *)

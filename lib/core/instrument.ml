@@ -7,6 +7,18 @@ module Metric = Ppp_profile.Metric
 module Routine_ctx = Ppp_flow.Routine_ctx
 module Flow_dp = Ppp_flow.Flow_dp
 module Instr_rt = Ppp_interp.Instr_rt
+module Obs = Ppp_obs.Metrics
+
+let m_routines_instrumented = Obs.counter "place.routines_instrumented"
+let m_routines_skipped = Obs.counter "place.routines_skipped"
+let m_static_actions = Obs.counter "place.static_actions"
+let m_paths_elided = Obs.counter "place.paths_elided"
+let m_paths_numbered = Obs.counter "place.paths_numbered"
+let m_paths_hashed = Obs.counter "place.paths_hashed"
+let m_self_adjust_iters = Obs.counter "place.self_adjust_iters"
+let m_hash_tables = Obs.counter "place.hash_tables"
+
+let h_paths_per_routine = Obs.histogram "place.paths_per_routine"
 
 type reason =
   | Never_executed
@@ -178,8 +190,17 @@ let instrument (p : Ir.program) profile_prog config =
       let plan = plan_routine config total_unit_flow profile_prog r in
       Hashtbl.replace plans r.name plan;
       match plan.decision with
-      | Instrumented { place; _ } -> Hashtbl.replace rt r.name place.Place.rt
-      | Uninstrumented _ -> ())
+      | Instrumented { numbering; place; sa_iters; uses_hash; _ } ->
+          Hashtbl.replace rt r.name place.Place.rt;
+          Obs.incr m_routines_instrumented;
+          Obs.add m_static_actions place.Place.num_actions;
+          Obs.add m_paths_elided (List.length place.Place.elided);
+          let n = Numbering.num_paths numbering in
+          Obs.add (if uses_hash then m_paths_hashed else m_paths_numbered) n;
+          if uses_hash then Obs.incr m_hash_tables;
+          Obs.add m_self_adjust_iters sa_iters;
+          Obs.observe h_paths_per_routine (float_of_int n)
+      | Uninstrumented _ -> Obs.incr m_routines_skipped)
     p.routines;
   { config; plans; rt }
 

@@ -13,6 +13,7 @@ module Score = Ppp_flow.Score
 module Config = Ppp_core.Config
 module Instrument = Ppp_core.Instrument
 module Numbering = Ppp_core.Numbering
+module Trace = Ppp_obs.Trace
 
 let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
 let metric = Metric.Branch_flow
@@ -67,13 +68,20 @@ let block_freq_fn p ep =
     freqs.(block)
 
 let prepare ~name p =
-  let orig_outcome = Interp.run p in
+  Trace.with_span ~args:[ ("bench", name) ] "prepare" @@ fun () ->
+  let orig_outcome = Trace.with_span "edge-profile" (fun () -> Interp.run p) in
   let ep0 = Option.get orig_outcome.Interp.edge_profile in
-  let inlined, inline_stats = Ppp_opt.Inline.run p ~block_freq:(block_freq_fn p ep0) in
-  let o1 = Interp.run inlined in
+  let inlined, inline_stats =
+    Trace.with_span "inline" (fun () ->
+        Ppp_opt.Inline.run p ~block_freq:(block_freq_fn p ep0))
+  in
+  let o1 = Trace.with_span "re-profile" (fun () -> Interp.run inlined) in
   let ep1 = Option.get o1.Interp.edge_profile in
-  let optimized, unroll_stats = Ppp_opt.Unroll.run inlined ~edge_profile:ep1 in
-  let base_outcome = Interp.run optimized in
+  let optimized, unroll_stats =
+    Trace.with_span "unroll" (fun () ->
+        Ppp_opt.Unroll.run inlined ~edge_profile:ep1)
+  in
+  let base_outcome = Trace.with_span "base-run" (fun () -> Interp.run optimized) in
   {
     bench_name = name;
     original = p;
@@ -85,7 +93,8 @@ let prepare ~name p =
   }
 
 let prepare_unoptimized ~name p =
-  let orig_outcome = Interp.run p in
+  Trace.with_span ~args:[ ("bench", name) ] "prepare" @@ fun () ->
+  let orig_outcome = Trace.with_span "edge-profile" (fun () -> Interp.run p) in
   {
     bench_name = name;
     original = p;
@@ -180,11 +189,16 @@ let definite_total prepared name =
   Flow_dp.total dp ~metric
 
 let evaluate_edge_profile prepared =
+  Trace.with_span ~args:[ ("config", "edge") ] "evaluate" @@ fun () ->
   let actual = actual_profile prepared in
-  let estimated = potential_estimates prepared (routine_names prepared.optimized) in
+  let estimated =
+    Trace.with_span "estimate" (fun () ->
+        potential_estimates prepared (routine_names prepared.optimized))
+  in
   let accuracy =
-    Score.accuracy ~actual ~views:(views prepared) ~metric ~threshold:hot_threshold
-      ~estimated
+    Trace.with_span "score" (fun () ->
+        Score.accuracy ~actual ~views:(views prepared) ~metric
+          ~threshold:hot_threshold ~estimated)
   in
   let df_total =
     List.fold_left
@@ -208,13 +222,18 @@ let evaluate_edge_profile prepared =
   }
 
 let evaluate prepared (config : Config.t) =
+  Trace.with_span ~args:[ ("config", config.Config.name) ] "evaluate" @@ fun () ->
   let p = prepared.optimized in
   let ep = Option.get prepared.base_outcome.Interp.edge_profile in
-  let inst = Instrument.instrument p ep config in
+  let inst =
+    Trace.with_span "instrument" (fun () -> Instrument.instrument p ep config)
+  in
   let instr_outcome =
-    Interp.run
-      ~config:{ Interp.default_config with instrumentation = Some inst.Instrument.rt }
-      p
+    Trace.with_span "overhead-run" (fun () ->
+        Interp.run
+          ~config:
+            { Interp.default_config with instrumentation = Some inst.Instrument.rt }
+          p)
   in
   let overhead = Interp.overhead instr_outcome in
   let actual = actual_profile prepared in
@@ -222,10 +241,12 @@ let evaluate prepared (config : Config.t) =
   let ctx_of name =
     (Hashtbl.find inst.Instrument.plans name).Instrument.ctx
   in
+  Trace.with_span "score" @@ fun () ->
   (* Estimated profile (Section 5): measured flow for instrumented paths
      plus definite flow for the rest; if nothing at all was instrumented,
      fall back to the potential-flow profile (Section 6.1). *)
   let estimated =
+    Trace.with_span "estimate" @@ fun () ->
     if not (Instrument.has_any_instrumentation inst) then
       potential_estimates prepared (routine_names p)
     else

@@ -221,6 +221,58 @@ let fig13 ppf benches =
   hr ppf 88;
   Format.fprintf ppf "@]@."
 
+(* {2 Machine-readable output: BENCH_*.json} *)
+
+module J = Ppp_obs.Jsonx
+
+let eval_json (ev : Pipeline.evaluation) =
+  J.Obj
+    [
+      ("overhead", J.Float ev.Pipeline.overhead);
+      ("accuracy", J.Float ev.Pipeline.accuracy);
+      ("coverage", J.Float ev.Pipeline.coverage);
+      ("frac_paths_instrumented", J.Float ev.Pipeline.frac_paths_instrumented);
+      ("frac_paths_hashed", J.Float ev.Pipeline.frac_paths_hashed);
+      ("static_actions", J.Int ev.Pipeline.static_actions);
+      ("routines_instrumented", J.Int ev.Pipeline.routines_instrumented);
+      ("routines_total", J.Int ev.Pipeline.routines_total);
+    ]
+
+let bench_json ?(scale = 1) ?(timing = fun _ -> None) benches =
+  let bench pb =
+    let e = evals_of pb in
+    let prep = pb.prep in
+    let timing_fields =
+      match timing pb.spec.Spec.bench_name with
+      | None -> []
+      | Some t -> [ ("timing", t) ]
+    in
+    J.Obj
+      ([
+         ("name", J.Str pb.spec.Spec.bench_name);
+         ( "kind",
+           J.Str (match pb.spec.Spec.kind with Spec.Int -> "int" | Spec.Fp -> "fp")
+         );
+         ("dyn_instrs", J.Int prep.Pipeline.base_outcome.Interp.dyn_instrs);
+         ("dyn_paths", J.Int prep.Pipeline.base_outcome.Interp.dyn_paths);
+         ( "methods",
+           J.Obj
+             [
+               ("edge", eval_json e.edge);
+               ("pp", eval_json e.pp);
+               ("tpp", eval_json e.tpp);
+               ("ppp", eval_json e.ppp);
+             ] );
+       ]
+      @ timing_fields)
+  in
+  J.Obj
+    [
+      ("schema", J.Str "ppp-bench/1");
+      ("scale", J.Int scale);
+      ("benchmarks", J.Arr (List.map bench benches));
+    ]
+
 let section8_1 ppf benches =
   let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in
   let lowest =

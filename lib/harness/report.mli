@@ -14,6 +14,29 @@ val prepare_all : ?scale:int -> ?names:string list -> unit -> prepared_bench lis
 (** Build and prepare the (selected) benchmarks; default scale 1 and all
     benchmarks. *)
 
+type evals = {
+  edge : Pipeline.evaluation;
+  pp : Pipeline.evaluation;
+  tpp : Pipeline.evaluation;
+  ppp : Pipeline.evaluation;
+}
+(** One full evaluation pass (edge profiling plus the three path
+    profilers) for a benchmark. *)
+
+val evals_of : prepared_bench -> evals
+(** Evaluate a benchmark under every method, memoized per benchmark
+    name; Figures 9–13 and the JSON output all share this pass. *)
+
+val bench_json :
+  ?scale:int ->
+  ?timing:(string -> Ppp_obs.Jsonx.t option) ->
+  prepared_bench list ->
+  Ppp_obs.Jsonx.t
+(** The machine-readable benchmark record written to [BENCH_*.json]:
+    per-benchmark overhead / accuracy / coverage (and the secondary
+    statistics) for every method, plus whatever [timing] returns for the
+    benchmark (wall-clock results, when the timing action ran). *)
+
 val table1 : Format.formatter -> prepared_bench list -> unit
 (** Dynamic path characteristics with and without inlining and
     unrolling. *)

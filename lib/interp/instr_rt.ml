@@ -1,3 +1,5 @@
+module Obs = Ppp_obs.Metrics
+
 type action =
   | Set_r of int
   | Add_r of int
@@ -6,6 +8,27 @@ type action =
   | Count_const of int
   | Count_checked
   | Count_checked_plus of int
+
+let num_action_kinds = 7
+
+let action_index = function
+  | Set_r _ -> 0
+  | Add_r _ -> 1
+  | Count_r -> 2
+  | Count_r_plus _ -> 3
+  | Count_const _ -> 4
+  | Count_checked -> 5
+  | Count_checked_plus _ -> 6
+
+let action_kind_name = function
+  | 0 -> "set_r"
+  | 1 -> "add_r"
+  | 2 -> "count_r"
+  | 3 -> "count_r_plus"
+  | 4 -> "count_const"
+  | 5 -> "count_checked"
+  | 6 -> "count_checked_plus"
+  | _ -> invalid_arg "action_kind_name"
 
 type table_kind = Array_table of int | Hash_table
 
@@ -27,6 +50,22 @@ module Table = struct
   let slots = 701
   let secondary = 699
 
+  (* Registered at module init so they appear (zeroed) in every metrics
+     snapshot; updates are self-gated on the global metrics flag. *)
+  let m_cold = Obs.counter "rt.table.cold"
+  let m_lost = Obs.counter "rt.table.lost"
+  let m_array_bumps = Obs.counter "rt.array.bumps"
+  let m_hash_bumps = Obs.counter "rt.hash.bumps"
+  let m_hash_probes = Obs.counter "rt.hash.probes"
+  let m_hash_inserts = Obs.counter "rt.hash.inserts"
+
+  let m_hash_collisions =
+    [|
+      Obs.counter "rt.hash.collisions.try1";
+      Obs.counter "rt.hash.collisions.try2";
+      Obs.counter "rt.hash.collisions.try3";
+    |]
+
   type t = {
     kind : table_kind;
     arr : int array; (* Array_table: counts; Hash_table: counts per slot *)
@@ -41,27 +80,42 @@ module Table = struct
     | Hash_table ->
         { kind; arr = Array.make slots 0; keys = Array.make slots (-1); cold = 0; lost = 0 }
 
-  let bump_cold t = t.cold <- t.cold + 1
+  let bump_cold t =
+    t.cold <- t.cold + 1;
+    Obs.incr m_cold
 
   let bump t k =
     if k < 0 then bump_cold t
     else
       match t.kind with
       | Array_table _ ->
+          Obs.incr m_array_bumps;
           if k < Array.length t.arr then t.arr.(k) <- t.arr.(k) + 1
-          else t.lost <- t.lost + 1
+          else begin
+            t.lost <- t.lost + 1;
+            Obs.incr m_lost
+          end
       | Hash_table ->
+          Obs.incr m_hash_bumps;
           let step = 1 + (k mod secondary) in
           let rec try_slot i =
-            if i >= 3 then t.lost <- t.lost + 1
+            if i >= 3 then begin
+              t.lost <- t.lost + 1;
+              Obs.incr m_lost
+            end
             else begin
               let s = (k + (i * step)) mod slots in
+              Obs.incr m_hash_probes;
               if t.keys.(s) = k then t.arr.(s) <- t.arr.(s) + 1
               else if t.keys.(s) = -1 then begin
                 t.keys.(s) <- k;
-                t.arr.(s) <- 1
+                t.arr.(s) <- 1;
+                Obs.incr m_hash_inserts
               end
-              else try_slot (i + 1)
+              else begin
+                Obs.incr m_hash_collisions.(i);
+                try_slot (i + 1)
+              end
             end
           in
           try_slot 0

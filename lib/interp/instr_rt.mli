@@ -33,7 +33,23 @@ type t = (string, routine_instr) Hashtbl.t
 
 val no_instrumentation : unit -> t
 
-(** {2 Frequency tables} *)
+val num_action_kinds : int
+
+val action_index : action -> int
+(** Dense index of the action's constructor, in [0, num_action_kinds);
+    used to aggregate per-kind execution counts cheaply. *)
+
+val action_kind_name : int -> string
+(** Metric-friendly name for an {!action_index}, e.g. ["count_r_plus"].
+    @raise Invalid_argument outside [0, num_action_kinds). *)
+
+(** {2 Frequency tables}
+
+    When [Ppp_obs.Metrics] is enabled, {!Table.bump} also feeds the
+    global [rt.*] counters: [rt.table.cold], [rt.table.lost],
+    [rt.array.bumps], [rt.hash.bumps], [rt.hash.probes] (slot
+    inspections), [rt.hash.inserts] and [rt.hash.collisions.try1..3]
+    (occupied-by-another-path slots at each double-hashing try). *)
 
 module Table : sig
   type t

@@ -9,6 +9,20 @@ exception Runtime_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
+module Obs = Ppp_obs.Metrics
+
+let m_runs = Obs.counter "interp.runs"
+let m_dyn_instrs = Obs.counter "interp.dyn_instrs"
+let m_dyn_paths = Obs.counter "interp.dyn_paths"
+let m_calls = Obs.counter "interp.calls"
+let m_fuel_consumed = Obs.counter "interp.fuel_consumed"
+let m_base_cost = Obs.counter "interp.base_cost"
+let m_instr_cost = Obs.counter "interp.instr_cost"
+
+let m_actions =
+  Array.init Instr_rt.num_action_kinds (fun i ->
+      Obs.counter ("interp.action." ^ Instr_rt.action_kind_name i))
+
 type config = {
   fuel : int;
   collect_edges : bool;
@@ -68,6 +82,9 @@ type state = {
   mutable dyn_paths : int;
   mutable out_rev : int list;
   trace_on : bool;
+  obs_on : bool; (* metrics flag, latched at run start *)
+  mutable obs_calls : int;
+  obs_actions : int array; (* executions per Instr_rt.action kind *)
 }
 
 let make_plan config instr_tables (r : Ir.routine) =
@@ -150,6 +167,10 @@ let traverse st frame e ~ends_path =
     let costs = plan.action_costs.(e) in
     for i = 0 to Array.length acts - 1 do
       st.instr_cost <- st.instr_cost + costs.(i);
+      if st.obs_on then begin
+        let k = Instr_rt.action_index acts.(i) in
+        st.obs_actions.(k) <- st.obs_actions.(k) + 1
+      end;
       match acts.(i) with
       | Instr_rt.Set_r v -> frame.path_reg <- v
       | Instr_rt.Add_r v -> frame.path_reg <- frame.path_reg + v
@@ -196,6 +217,9 @@ let run ?(config = default_config) (p : Ir.program) =
       dyn_paths = 0;
       out_rev = [];
       trace_on = config.trace_paths;
+      obs_on = Obs.enabled ();
+      obs_calls = 0;
+      obs_actions = Array.make Instr_rt.num_action_kinds 0;
     }
   in
   let new_frame name ret_to =
@@ -253,6 +277,7 @@ let run ?(config = default_config) (p : Ir.program) =
       | Ir.Out v -> st.out_rev <- eval frame.regs v :: st.out_rev
       | Ir.Call (dst, callee, args) ->
           st.base_cost <- st.base_cost + Cost.call_overhead;
+          if st.obs_on then st.obs_calls <- st.obs_calls + 1;
           let callee_frame = new_frame callee dst in
           List.iteri (fun i a -> callee_frame.regs.(i) <- eval frame.regs a) args;
           st.stack <- callee_frame :: st.stack
@@ -320,6 +345,16 @@ let run ?(config = default_config) (p : Ir.program) =
     end
     else None
   in
+  if st.obs_on then begin
+    Obs.incr m_runs;
+    Obs.add m_dyn_instrs st.dyn_instrs;
+    Obs.add m_dyn_paths st.dyn_paths;
+    Obs.add m_calls st.obs_calls;
+    Obs.add m_fuel_consumed (config.fuel - st.fuel);
+    Obs.add m_base_cost st.base_cost;
+    Obs.add m_instr_cost st.instr_cost;
+    Array.iteri (fun k n -> if n > 0 then Obs.add m_actions.(k) n) st.obs_actions
+  end;
   {
     return_value = !return_value;
     output = List.rev st.out_rev;

@@ -1,0 +1,229 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* {2 Printing} *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_float ppf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Format.fprintf ppf "%.1f" f
+  else if Float.is_finite f then Format.fprintf ppf "%.12g" f
+  else Format.pp_print_string ppf "null"
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> pp_float ppf f
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | Arr [] -> Format.pp_print_string ppf "[]"
+  | Arr l ->
+      Format.pp_print_char ppf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Format.pp_print_char ppf ',';
+          pp ppf v)
+        l;
+      Format.pp_print_char ppf ']'
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+      Format.pp_print_char ppf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.pp_print_char ppf ',';
+          Format.fprintf ppf "\"%s\":" (escape k);
+          pp ppf v)
+        fields;
+      Format.pp_print_char ppf '}'
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* {2 Parsing} *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st "bad \\u escape"
+                in
+                st.pos <- st.pos + 4;
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_char b '?'
+            | _ -> fail st "unknown escape");
+            loop ())
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail st "malformed number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (key, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields_loop ()
+          | Some '}' -> advance st
+          | _ -> fail st "expected ',' or '}'"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items_loop ()
+          | Some ']' -> advance st
+          | _ -> fail st "expected ',' or ']'"
+        in
+        items_loop ();
+        Arr (List.rev !items)
+      end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member v key =
+  match v with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_list = function Arr l -> l | _ -> []

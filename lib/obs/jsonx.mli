@@ -1,0 +1,35 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The observability sinks (metrics snapshots, Chrome trace events,
+    [BENCH_*.json]) need structured output, and the tests need to check
+    that what we wrote is well-formed; neither warrants an external
+    dependency, so this is the whole of JSON that we use: no streaming,
+    no numbers beyond OCaml [int]/[float], object fields kept in
+    insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering with no insignificant whitespace. Non-finite
+    floats render as [null], so output is always standard JSON. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : t -> string -> t option
+(** [member (Obj _) key] looks up a field; [None] for other
+    constructors or missing keys. *)
+
+val to_list : t -> t list
+(** [to_list (Arr l)] is [l]; [[]] otherwise. *)

@@ -1,0 +1,138 @@
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable gvalue : float }
+
+type histogram = {
+  hname : string;
+  bounds : float array;
+  buckets : int array;
+  mutable sum : float;
+  mutable observations : int;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = if !on then c.count <- c.count + 1
+let add c n = if !on then c.count <- c.count + n
+let value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { gname = name; gvalue = 0.0 } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set g v = if !on then g.gvalue <- v
+let gauge_value g = g.gvalue
+
+let default_bounds =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1e3; 1e4; 1e5; 1e6 |]
+
+let histogram ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          hname = name;
+          bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          sum = 0.0;
+          observations = 0;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h x =
+  if !on then begin
+    let n = Array.length h.bounds in
+    let rec bucket i = if i >= n || x <= h.bounds.(i) then i else bucket (i + 1) in
+    let b = bucket 0 in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.sum <- h.sum +. x;
+    h.observations <- h.observations + 1
+  end
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      buckets : int array;
+      sum : float;
+      observations : int;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  let acc = ref [] in
+  Hashtbl.iter (fun name c -> acc := (name, Counter c.count) :: !acc) counters;
+  Hashtbl.iter (fun name g -> acc := (name, Gauge g.gvalue) :: !acc) gauges;
+  Hashtbl.iter
+    (fun name h ->
+      acc :=
+        ( name,
+          Histogram
+            {
+              bounds = Array.copy h.bounds;
+              buckets = Array.copy h.buckets;
+              sum = h.sum;
+              observations = h.observations;
+            } )
+        :: !acc)
+    histograms;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.gvalue <- 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.sum <- 0.0;
+      h.observations <- 0)
+    histograms
+
+let counter_value snap name =
+  match List.assoc_opt name snap with Some (Counter n) -> Some n | _ -> None
+
+let pp_snapshot ppf snap =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "%-40s %d@," name n
+      | Gauge x -> Format.fprintf ppf "%-40s %g@," name x
+      | Histogram { bounds; buckets; sum; observations } ->
+          Format.fprintf ppf "%-40s n=%d sum=%g" name observations sum;
+          if observations > 0 then begin
+            Format.fprintf ppf "  [";
+            Array.iteri
+              (fun i c ->
+                if c > 0 then
+                  if i < Array.length bounds then
+                    Format.fprintf ppf " <=%g:%d" bounds.(i) c
+                  else Format.fprintf ppf " inf:%d" c)
+              buckets;
+            Format.fprintf ppf " ]"
+          end;
+          Format.pp_print_cut ppf ())
+    snap;
+  Format.pp_close_box ppf ()

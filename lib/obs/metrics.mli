@@ -1,0 +1,65 @@
+(** A cheap, allocation-light registry of named counters, gauges and
+    histograms.
+
+    Instruments are created once at module-initialization time (so a
+    snapshot always lists every metric the binary knows about, zeroed or
+    not) and updated from hot paths. Every update is gated on a single
+    global flag: with metrics disabled — the default — an update is one
+    load and one predictable branch, so instrumented code paths cost
+    nothing measurable. Enable with {!set_enabled} before the code under
+    observation runs, then read everything back with {!snapshot}.
+
+    Names are dotted paths by convention ([interp.dyn_instrs],
+    [rt.hash.collisions.try2]); creating the same name twice returns the
+    same instrument. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Find or create. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] are inclusive upper bounds of the buckets, in increasing
+    order; one overflow bucket is appended. The default is a coarse
+    1–2–5 decade ladder up to 10⁶. Bounds are fixed at first creation. *)
+
+val observe : histogram -> float -> unit
+
+(** {2 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      buckets : int array;  (** length [Array.length bounds + 1] *)
+      sum : float;
+      observations : int;
+    }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (registration survives). *)
+
+val counter_value : snapshot -> string -> int option
+(** Lookup helper for tests and CLIs. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable table, one metric per line. *)

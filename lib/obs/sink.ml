@@ -1,0 +1,68 @@
+let value_json (v : Metrics.value) =
+  match v with
+  | Metrics.Counter n -> Jsonx.Obj [ ("type", Jsonx.Str "counter"); ("value", Jsonx.Int n) ]
+  | Metrics.Gauge x -> Jsonx.Obj [ ("type", Jsonx.Str "gauge"); ("value", Jsonx.Float x) ]
+  | Metrics.Histogram { bounds; buckets; sum; observations } ->
+      Jsonx.Obj
+        [
+          ("type", Jsonx.Str "histogram");
+          ("observations", Jsonx.Int observations);
+          ("sum", Jsonx.Float sum);
+          ("bounds", Jsonx.Arr (Array.to_list bounds |> List.map (fun b -> Jsonx.Float b)));
+          ("buckets", Jsonx.Arr (Array.to_list buckets |> List.map (fun c -> Jsonx.Int c)));
+        ]
+
+let metrics_json snap =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "ppp-metrics/1");
+      ("metrics", Jsonx.Obj (List.map (fun (name, v) -> (name, value_json v)) snap));
+    ]
+
+let write_json ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string json);
+      output_char oc '\n')
+
+let write_metrics_json ~path snap = write_json ~path (metrics_json snap)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let pp_metrics_csv ppf snap =
+  Format.fprintf ppf "name,kind,value,detail@.";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter n -> Format.fprintf ppf "%s,counter,%d,@." (csv_escape name) n
+      | Metrics.Gauge x -> Format.fprintf ppf "%s,gauge,%g,@." (csv_escape name) x
+      | Metrics.Histogram { bounds; buckets; sum; observations } ->
+          let detail =
+            String.concat ";"
+              (List.filter_map Fun.id
+                 (Array.to_list
+                    (Array.mapi
+                       (fun i c ->
+                         if c = 0 then None
+                         else if i < Array.length bounds then
+                           Some (Printf.sprintf "le%g:%d" bounds.(i) c)
+                         else Some (Printf.sprintf "inf:%d" c))
+                       buckets)))
+          in
+          Format.fprintf ppf "%s,histogram,%d,%s@." (csv_escape name) observations
+            (csv_escape (Printf.sprintf "sum=%g;%s" sum detail)))
+    snap
+
+let write_metrics_csv ~path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp_metrics_csv ppf snap;
+      Format.pp_print_flush ppf ())

@@ -1,0 +1,16 @@
+(** File and formatter sinks for metrics snapshots.
+
+    JSON snapshots are one object per metric under a ["metrics"] key so
+    they stay greppable and diffable across runs; CSV is one row per
+    metric with histogram buckets folded into a [detail] column. *)
+
+val metrics_json : Metrics.snapshot -> Jsonx.t
+
+val write_metrics_json : path:string -> Metrics.snapshot -> unit
+
+val pp_metrics_csv : Format.formatter -> Metrics.snapshot -> unit
+
+val write_metrics_csv : path:string -> Metrics.snapshot -> unit
+
+val write_json : path:string -> Jsonx.t -> unit
+(** Generic helper: write any JSON document (used for [BENCH_*.json]). *)

@@ -1,0 +1,82 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `Complete | `Instant ];
+  ts_us : float;
+  dur_us : float;
+  args : (string * string) list;
+}
+
+let on = ref false
+let events_rev : event list ref = ref []
+let epoch = ref 0.0
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let start () =
+  events_rev := [];
+  epoch := Unix.gettimeofday ();
+  on := true
+
+let stop () = on := false
+let enabled () = !on
+
+let push ev = events_rev := ev :: !events_rev
+
+let with_span ?(cat = "pipeline") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    let record () =
+      push { name; cat; ph = `Complete; ts_us = t0; dur_us = now_us () -. t0; args }
+    in
+    match f () with
+    | v ->
+        record ();
+        v
+    | exception e ->
+        record ();
+        raise e
+  end
+
+let instant ?(cat = "mark") ?(args = []) name =
+  if !on then
+    push { name; cat; ph = `Instant; ts_us = now_us (); dur_us = 0.0; args }
+
+let events () = List.rev !events_rev
+
+let event_json ev =
+  let base =
+    [
+      ("name", Jsonx.Str ev.name);
+      ("cat", Jsonx.Str ev.cat);
+      ("ph", Jsonx.Str (match ev.ph with `Complete -> "X" | `Instant -> "i"));
+      ("ts", Jsonx.Float ev.ts_us);
+      ("pid", Jsonx.Int 1);
+      ("tid", Jsonx.Int 1);
+    ]
+  in
+  let dur =
+    match ev.ph with
+    | `Complete -> [ ("dur", Jsonx.Float ev.dur_us) ]
+    | `Instant -> [ ("s", Jsonx.Str "t") ]
+  in
+  let args =
+    match ev.args with
+    | [] -> []
+    | l -> [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) l)) ]
+  in
+  Jsonx.Obj (base @ dur @ args)
+
+let to_json () =
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.Arr (List.map event_json (events ())));
+      ("displayTimeUnit", Jsonx.Str "ms");
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonx.to_string (to_json ())))

@@ -1,0 +1,48 @@
+(** Span-based phase tracing, exported as Chrome trace-event JSON.
+
+    Wrap each pipeline phase in {!with_span}; after the run,
+    {!write_file} produces a file that loads directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. Spans
+    are recorded as complete ("ph":"X") events with microsecond
+    timestamps relative to {!start}, so nesting falls out of duration
+    containment and no begin/end pairing is needed.
+
+    Tracing is off by default; {!with_span} then costs one load and one
+    branch around the wrapped function. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `Complete | `Instant ];
+  ts_us : float;  (** start, microseconds since {!start} *)
+  dur_us : float;  (** 0 for instants *)
+  args : (string * string) list;
+}
+
+val start : unit -> unit
+(** Enable tracing, drop previously recorded events, and reset the
+    clock origin. *)
+
+val stop : unit -> unit
+(** Disable tracing; recorded events are kept for export. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] and, if tracing is enabled, records
+    a complete event covering its duration (also when [f] raises). *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a zero-duration marker. *)
+
+val events : unit -> event list
+(** Recorded events in completion order. *)
+
+val to_json : unit -> Jsonx.t
+(** The Chrome trace-event envelope:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val write_file : string -> unit
+(** Write {!to_json} to a file (a valid, possibly empty, trace even if
+    tracing never started). *)

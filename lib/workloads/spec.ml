@@ -28,5 +28,9 @@ let all =
     { bench_name = "apsi"; kind = Fp; build = Spec_fp.apsi };
   ]
 
-let find name = List.find (fun b -> b.bench_name = name) all
+let find_opt name = List.find_opt (fun b -> b.bench_name = name) all
+
+let find name =
+  match find_opt name with Some b -> b | None -> raise Not_found
+
 let names () = List.map (fun b -> b.bench_name) all

@@ -18,7 +18,10 @@ val all : bench list
 (** In the paper's Table 1 order: the integer benchmarks, then the
     floating-point ones. *)
 
+val find_opt : string -> bench option
+
 val find : string -> bench
-(** @raise Not_found for unknown names. *)
+(** @raise Not_found for unknown names; CLIs should prefer {!find_opt}
+    and report the name themselves. *)
 
 val names : unit -> string list

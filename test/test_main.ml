@@ -16,4 +16,6 @@ let () =
       ("properties", Test_properties.suite);
       ("io", Test_io.suite);
       ("misc", Test_misc.suite);
+      ("obs", Test_obs.suite);
+      ("table_stats", Test_table_stats.suite);
     ]

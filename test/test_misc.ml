@@ -20,8 +20,9 @@ let test_dot_output () =
   ignore (Graph.add_edge g 1 2);
   let s =
     Format.asprintf "%a"
-      (Dot.pp ~name:"t" ~node_label:(Printf.sprintf "n%d")
-         ~edge_label:(Printf.sprintf "e%d"))
+      (fun ppf ->
+        Dot.pp ~name:"t" ~node_label:(Printf.sprintf "n%d")
+          ~edge_label:(Printf.sprintf "e%d") ppf)
       g
   in
   let has sub =

@@ -1,0 +1,271 @@
+(* Tests for the Ppp_obs observability layer: metrics registry
+   semantics, JSON round-tripping, Chrome trace export, file sinks, the
+   interpreter/pipeline integration hooks, and the heat-map DOT
+   export. *)
+
+module Metrics = Ppp_obs.Metrics
+module Trace = Ppp_obs.Trace
+module Jsonx = Ppp_obs.Jsonx
+module Sink = Ppp_obs.Sink
+module Interp = Ppp_interp.Interp
+module Instrument = Ppp_core.Instrument
+module Config = Ppp_core.Config
+module H = Ppp_harness.Pipeline
+module Graph = Ppp_cfg.Graph
+module Dot = Ppp_cfg.Dot
+
+let with_metrics f =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let program () =
+  Ppp_ir.Parse.program_of_string
+    {|routine main(0) regs 3 {
+entry:
+  r0 = 0
+  jump head
+head:
+  r1 = r0 < 25
+  br r1, body, done
+body:
+  r2 = r0 & 1
+  br r2, odd, even
+odd:
+  r0 = r0 + 1
+  jump head
+even:
+  r0 = r0 + 1
+  jump head
+done:
+  ret r0
+}|}
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_disabled_is_noop () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let c = Metrics.counter "test.gate.counter" in
+  let g = Metrics.gauge "test.gate.gauge" in
+  let h = Metrics.histogram "test.gate.histogram" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.set g 3.5;
+  Metrics.observe h 7.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "counter untouched" (Some 0)
+    (Metrics.counter_value snap "test.gate.counter");
+  Alcotest.(check int) "value accessor" 0 (Metrics.value c)
+
+let test_instruments_record () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test.rec.counter" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 5;
+  Alcotest.(check int) "counter" 7 (Metrics.value c);
+  (* Creating the same name again returns the same instrument. *)
+  Metrics.incr (Metrics.counter "test.rec.counter");
+  Alcotest.(check int) "interned" 8 (Metrics.value c);
+  let g = Metrics.gauge "test.rec.gauge" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram ~bounds:[| 1.0; 10.0 |] "test.rec.histogram" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  Metrics.observe h 1e9;
+  (match List.assoc "test.rec.histogram" (Metrics.snapshot ()) with
+  | Metrics.Histogram { buckets; observations; sum; _ } ->
+      Alcotest.(check int) "observations" 3 observations;
+      Alcotest.(check (float 1.0)) "sum" (1e9 +. 5.5) sum;
+      Alcotest.(check (array int)) "buckets" [| 1; 1; 1 |] buckets
+  | _ -> Alcotest.fail "expected histogram");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.value c)
+
+let test_json_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.Str "quote\" back\\slash\nnewline\ttab");
+        ("i", Jsonx.Int (-42));
+        ("f", Jsonx.Float 1.5);
+        ("big", Jsonx.Float 2.5e10);
+        ("t", Jsonx.Bool true);
+        ("n", Jsonx.Null);
+        ("empty_arr", Jsonx.Arr []);
+        ("empty_obj", Jsonx.Obj []);
+        ("nested", Jsonx.Arr [ Jsonx.Int 1; Jsonx.Obj [ ("k", Jsonx.Str "v") ] ]);
+      ]
+  in
+  let s = Jsonx.to_string v in
+  let v' = Jsonx.of_string s in
+  Alcotest.(check bool) "roundtrip" true (v = v');
+  (* Non-finite floats degrade to null rather than emitting invalid JSON. *)
+  let s2 = Jsonx.to_string (Jsonx.Arr [ Jsonx.Float Float.infinity ]) in
+  Alcotest.(check bool) "inf -> null" true (Jsonx.of_string s2 = Jsonx.Arr [ Jsonx.Null ]);
+  match Jsonx.of_string "{broken" with
+  | exception Jsonx.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_interp_counters_match_outcome () =
+  with_metrics @@ fun () ->
+  let o = Interp.run (program ()) in
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "dyn_instrs" (Some o.Interp.dyn_instrs)
+    (Metrics.counter_value snap "interp.dyn_instrs");
+  Alcotest.(check (option int))
+    "dyn_paths" (Some o.Interp.dyn_paths)
+    (Metrics.counter_value snap "interp.dyn_paths");
+  Alcotest.(check (option int))
+    "base_cost" (Some o.Interp.base_cost)
+    (Metrics.counter_value snap "interp.base_cost");
+  Alcotest.(check (option int))
+    "fuel" (Some o.Interp.dyn_instrs)
+    (Metrics.counter_value snap "interp.fuel_consumed");
+  Alcotest.(check (option int))
+    "runs" (Some 1)
+    (Metrics.counter_value snap "interp.runs")
+
+let test_instrumented_run_counters () =
+  let p = program () in
+  let ep = Option.get (Interp.run p).Interp.edge_profile in
+  let inst = Instrument.instrument p ep Config.pp in
+  with_metrics @@ fun () ->
+  let o =
+    Interp.run
+      ~config:
+        { Interp.default_config with instrumentation = Some inst.Instrument.rt }
+      p
+  in
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "instr_cost matches" (Some o.Interp.instr_cost)
+    (Metrics.counter_value snap "interp.instr_cost");
+  let counter name = Option.get (Metrics.counter_value snap name) in
+  let action_total =
+    List.init Ppp_interp.Instr_rt.num_action_kinds (fun i ->
+        counter ("interp.action." ^ Ppp_interp.Instr_rt.action_kind_name i))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool) "actions executed" true (action_total > 0);
+  Alcotest.(check bool) "table bumped" true
+    (counter "rt.array.bumps" + counter "rt.hash.bumps" > 0)
+
+let test_trace_spans_pipeline () =
+  Trace.start ();
+  let prep = H.prepare_unoptimized ~name:"obs-test" (program ()) in
+  let _ev = H.evaluate prep Config.ppp in
+  Trace.stop ();
+  let events = Trace.events () in
+  let names = List.map (fun (e : Trace.event) -> e.Trace.name) events in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s present" expected)
+        true (List.mem expected names))
+    [ "prepare"; "edge-profile"; "evaluate"; "instrument"; "overhead-run"; "score" ];
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool) "non-negative duration" true (e.Trace.dur_us >= 0.0))
+    events;
+  (* The export is valid JSON in Chrome trace-event shape: an object with
+     a traceEvents array of complete ("X") or instant ("i") events. *)
+  let json = Jsonx.of_string (Jsonx.to_string (Trace.to_json ())) in
+  let trace_events = Jsonx.to_list (Option.get (Jsonx.member json "traceEvents")) in
+  Alcotest.(check int) "all events exported" (List.length events)
+    (List.length trace_events);
+  List.iter
+    (fun ev ->
+      (match Jsonx.member ev "ph" with
+      | Some (Jsonx.Str ("X" | "i")) -> ()
+      | _ -> Alcotest.fail "event is not complete/instant");
+      (match Jsonx.member ev "ts" with
+      | Some (Jsonx.Float _ | Jsonx.Int _) -> ()
+      | _ -> Alcotest.fail "event lacks a timestamp");
+      match Jsonx.member ev "name" with
+      | Some (Jsonx.Str _) -> ()
+      | _ -> Alcotest.fail "event lacks a name")
+    trace_events
+
+let test_metrics_sink_files () =
+  with_metrics @@ fun () ->
+  let o = Interp.run (program ()) in
+  let snap = Metrics.snapshot () in
+  let json_path = Filename.temp_file "ppp_metrics" ".json" in
+  let csv_path = Filename.temp_file "ppp_metrics" ".csv" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove json_path;
+      Sys.remove csv_path)
+    (fun () ->
+      Sink.write_metrics_json ~path:json_path snap;
+      Sink.write_metrics_csv ~path:csv_path snap;
+      let json = Jsonx.of_string (read_file json_path) in
+      let metrics = Option.get (Jsonx.member json "metrics") in
+      (match Jsonx.member (Option.get (Jsonx.member metrics "interp.dyn_instrs")) "value" with
+      | Some (Jsonx.Int n) ->
+          Alcotest.(check int) "snapshot value in file" o.Interp.dyn_instrs n
+      | _ -> Alcotest.fail "interp.dyn_instrs missing from JSON sink");
+      let csv = read_file csv_path in
+      Alcotest.(check bool) "csv header" true
+        (String.length csv > 22 && String.sub csv 0 22 = "name,kind,value,detail"))
+
+let test_empty_trace_file_is_valid () =
+  Trace.start ();
+  Trace.stop ();
+  let path = Filename.temp_file "ppp_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.write_file path;
+      let json = Jsonx.of_string (read_file path) in
+      Alcotest.(check int) "no events" 0
+        (List.length (Jsonx.to_list (Option.get (Jsonx.member json "traceEvents")))))
+
+let test_heat_dot () =
+  let g = Graph.create () in
+  Graph.add_nodes g 3;
+  let e0 = Graph.add_edge g 0 1 in
+  let e1 = Graph.add_edge g 1 2 in
+  let e2 = Graph.add_edge g 0 2 in
+  let freq e = if e = e0 then 100 else if e = e1 then 1 else 0 in
+  ignore e2;
+  let s =
+    Format.asprintf "%a"
+      (fun ppf -> Dot.pp_heat ~name:"heat" ~freq ~total:10_000 ppf)
+      g
+  in
+  let has sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* 100/10000 = 1% >= 0.125%: hot; 1/10000: cold; 0: never executed. *)
+  Alcotest.(check bool) "hot edge red" true (has "color=\"red\"");
+  Alcotest.(check bool) "cold edge blue" true (has "color=\"steelblue\"");
+  Alcotest.(check bool) "unexecuted dashed" true (has "style=\"dashed\"");
+  Alcotest.(check bool) "frequency label" true (has "label=\"100\"")
+
+let suite =
+  [
+    Alcotest.test_case "disabled metrics are no-ops" `Quick test_disabled_is_noop;
+    Alcotest.test_case "instruments record" `Quick test_instruments_record;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "interp counters match outcome" `Quick
+      test_interp_counters_match_outcome;
+    Alcotest.test_case "instrumented run counters" `Quick
+      test_instrumented_run_counters;
+    Alcotest.test_case "pipeline trace spans" `Quick test_trace_spans_pipeline;
+    Alcotest.test_case "metrics sink files" `Quick test_metrics_sink_files;
+    Alcotest.test_case "empty trace file valid" `Quick
+      test_empty_trace_file_is_valid;
+    Alcotest.test_case "heat dot" `Quick test_heat_dot;
+  ]

@@ -1,0 +1,135 @@
+(* Statistics of the runtime frequency tables (Section 7.4): the
+   701-slot / 3-try double-hashing behavior, cold and lost accounting
+   under pressure, and the global rt.* metrics the tables feed. The key
+   arithmetic below uses slot = (k + i*step) mod 701 with
+   step = 1 + (k mod 699). *)
+
+module Instr_rt = Ppp_interp.Instr_rt
+module Table = Instr_rt.Table
+module Metrics = Ppp_obs.Metrics
+
+let with_metrics f =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let counter name =
+  match Metrics.counter_value (Metrics.snapshot ()) name with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s not registered" name
+
+let check_int = Alcotest.(check int)
+
+let test_array_table () =
+  with_metrics @@ fun () ->
+  let t = Table.create (Instr_rt.Array_table 4) in
+  Table.bump t (-5);
+  Table.bump t 0;
+  Table.bump t 2;
+  Table.bump t 2;
+  Table.bump t 9;
+  check_int "get 2" 2 (Table.get t 2);
+  check_int "get 0" 1 (Table.get t 0);
+  check_int "out of range reads as 0" 0 (Table.get t 9);
+  check_int "negative reads as 0" 0 (Table.get t (-1));
+  check_int "cold" 1 (Table.cold t);
+  check_int "lost" 1 (Table.lost t);
+  check_int "dynamic total" 5 (Table.dynamic_total t);
+  let entries = ref [] in
+  Table.iter_nonzero t (fun k c -> entries := (k, c) :: !entries);
+  Alcotest.(check (list (pair int int)))
+    "nonzero entries" [ (0, 1); (2, 2) ]
+    (List.sort compare !entries);
+  check_int "rt.array.bumps" 4 (counter "rt.array.bumps");
+  check_int "rt.table.cold" 1 (counter "rt.table.cold");
+  check_int "rt.table.lost" 1 (counter "rt.table.lost")
+
+let test_hash_repeat_key () =
+  with_metrics @@ fun () ->
+  let t = Table.create Instr_rt.Hash_table in
+  Table.bump t 12345;
+  Table.bump t 12345;
+  Table.bump t 12345;
+  check_int "get" 3 (Table.get t 12345);
+  let entries = ref [] in
+  Table.iter_nonzero t (fun k c -> entries := (k, c) :: !entries);
+  Alcotest.(check (list (pair int int))) "one entry" [ (12345, 3) ] !entries;
+  check_int "rt.hash.bumps" 3 (counter "rt.hash.bumps");
+  check_int "one probe per bump" 3 (counter "rt.hash.probes");
+  check_int "one insert" 1 (counter "rt.hash.inserts");
+  check_int "no collisions" 0
+    (counter "rt.hash.collisions.try1"
+    + counter "rt.hash.collisions.try2"
+    + counter "rt.hash.collisions.try3")
+
+let test_hash_collisions_across_tries () =
+  with_metrics @@ fun () ->
+  let t = Table.create Instr_rt.Hash_table in
+  (* Key 0 occupies slot 0; key 3 occupies slot 3. Key 701 hashes to
+     slot 0 with step 1 + (701 mod 699) = 3, so it collides at try 1
+     (slot 0), again at try 2 (slot 3), and inserts at try 3 (slot 6). *)
+  Table.bump t 0;
+  Table.bump t 3;
+  Table.bump t 701;
+  check_int "get 0" 1 (Table.get t 0);
+  check_int "get 3" 1 (Table.get t 3);
+  check_int "get 701 after rehash" 1 (Table.get t 701);
+  check_int "collisions at try 1" 1 (counter "rt.hash.collisions.try1");
+  check_int "collisions at try 2" 1 (counter "rt.hash.collisions.try2");
+  check_int "collisions at try 3" 0 (counter "rt.hash.collisions.try3");
+  check_int "probes" 5 (counter "rt.hash.probes");
+  check_int "inserts" 3 (counter "rt.hash.inserts");
+  check_int "nothing lost" 0 (Table.lost t);
+  (* Re-bumping an existing key probes but does not insert. *)
+  Table.bump t 0;
+  check_int "get 0 again" 2 (Table.get t 0);
+  check_int "probes after re-bump" 6 (counter "rt.hash.probes");
+  check_int "inserts unchanged" 3 (counter "rt.hash.inserts")
+
+let test_hash_lost_under_pressure () =
+  with_metrics @@ fun () ->
+  let t = Table.create Instr_rt.Hash_table in
+  (* Keys 0..700 fill every slot first-try (key k lands in slot k when
+     inserted in ascending order), so any further new key exhausts all
+     three tries and is lost. *)
+  for k = 0 to 700 do
+    Table.bump t k
+  done;
+  check_int "no collisions while filling" 0
+    (counter "rt.hash.collisions.try1");
+  Table.bump t 10_000;
+  check_int "lost" 1 (Table.lost t);
+  check_int "rt.table.lost" 1 (counter "rt.table.lost");
+  check_int "lost key reads as 0" 0 (Table.get t 10_000);
+  check_int "all three tries collided" 3
+    (counter "rt.hash.collisions.try1"
+    + counter "rt.hash.collisions.try2"
+    + counter "rt.hash.collisions.try3");
+  check_int "probes" (701 + 3) (counter "rt.hash.probes");
+  check_int "inserts" 701 (counter "rt.hash.inserts");
+  Table.bump_cold t;
+  check_int "dynamic total includes cold and lost" 703 (Table.dynamic_total t)
+
+let test_metrics_gated_off () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let t = Table.create Instr_rt.Hash_table in
+  Table.bump t 42;
+  Table.bump t 42;
+  Table.bump t (-1);
+  check_int "table still counts" 2 (Table.get t 42);
+  check_int "cold still counts" 1 (Table.cold t);
+  check_int "rt.hash.bumps stays 0" 0 (counter "rt.hash.bumps");
+  check_int "rt.hash.probes stays 0" 0 (counter "rt.hash.probes");
+  check_int "rt.table.cold stays 0" 0 (counter "rt.table.cold")
+
+let suite =
+  [
+    Alcotest.test_case "array table stats" `Quick test_array_table;
+    Alcotest.test_case "hash repeat key" `Quick test_hash_repeat_key;
+    Alcotest.test_case "hash collisions across tries" `Quick
+      test_hash_collisions_across_tries;
+    Alcotest.test_case "hash lost under pressure" `Quick
+      test_hash_lost_under_pressure;
+    Alcotest.test_case "metrics gated off" `Quick test_metrics_gated_off;
+  ]
