@@ -9,6 +9,10 @@ module Interp = Ppp_interp.Interp
 module Config = Ppp_core.Config
 module H = Ppp_harness.Pipeline
 module Metrics = Ppp_obs.Metrics
+module Diagnostic = Ppp_resilience.Diagnostic
+module Faults = Ppp_resilience.Faults
+module Profile_io = Ppp_profile.Profile_io
+module Jsonx = Ppp_obs.Jsonx
 module Trace = Ppp_obs.Trace
 module Sink = Ppp_obs.Sink
 
@@ -52,7 +56,14 @@ let handle_errors f =
   | Interp.Runtime_error msg ->
       Format.eprintf "runtime error: %s@." msg;
       exit 2
-  | Ppp_ir.Parse.Error msg
+  | Ppp_ir.Parse.Error e ->
+      (* Surface parse problems like any other located diagnostic. *)
+      let d =
+        Diagnostic.make ~line:e.Ppp_ir.Parse.line ?token:e.Ppp_ir.Parse.token
+          Diagnostic.Corrupt e.Ppp_ir.Parse.message
+      in
+      Format.eprintf "%a@." Diagnostic.pp d;
+      exit 1
   | Cli_error msg
   | Sys_error msg
   (* an unwritable --metrics-out/--trace-out surfaces from with_obs's
@@ -249,13 +260,27 @@ let collect_cmd =
     let doc = "Write the profile here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
-  let action spec scale output =
+  let v1_arg =
+    let doc =
+      "Write the legacy headerless v1 format (no CFG fingerprints, no \
+       checksums) instead of v2."
+    in
+    Arg.(value & flag & info [ "v1" ] ~doc)
+  in
+  let action spec scale output v1 =
     handle_errors (fun () ->
         let p = load_program spec ~scale in
         let o = Interp.run p in
         let write ppf =
-          Ppp_profile.Profile_io.save_edges ppf p (Option.get o.Interp.edge_profile);
-          Ppp_profile.Profile_io.save_paths ppf p (Option.get o.Interp.path_profile)
+          if v1 then begin
+            Ppp_profile.Profile_io.save_edges ppf p
+              (Option.get o.Interp.edge_profile);
+            Ppp_profile.Profile_io.save_paths ppf p
+              (Option.get o.Interp.path_profile)
+          end
+          else
+            Ppp_profile.Profile_io.save ?edges:o.Interp.edge_profile
+              ?paths:o.Interp.path_profile ppf p
         in
         match output with
         | None -> write Format.std_formatter
@@ -266,8 +291,12 @@ let collect_cmd =
             Format.pp_print_flush ppf ();
             close_out oc)
   in
-  let doc = "Run a program and dump its edge and path profiles as text." in
-  Cmd.v (Cmd.info "collect" ~doc) Term.(const action $ program_arg $ scale_arg $ output_arg)
+  let doc =
+    "Run a program and dump its edge and path profiles as text (validated \
+     v2 format: versioned header, CFG fingerprints, per-section CRC)."
+  in
+  Cmd.v (Cmd.info "collect" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ output_arg $ v1_arg)
 
 (* {2 opt} *)
 
@@ -276,10 +305,45 @@ let opt_cmd =
     let doc = "Write the optimized program here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
-  let action spec scale output =
+  let profile_arg =
+    let doc =
+      "Drive inlining from this saved profile (v1 or v2, possibly stale) \
+       instead of a fresh profiling run. Problems are reported as \
+       diagnostics and the salvageable part of the profile is used, with \
+       optimization aggressiveness degraded to the matched fraction."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let action spec scale output profile =
     handle_errors (fun () ->
         let p = load_program spec ~scale in
-        let prep = H.prepare ~name:spec p in
+        let prep =
+          match profile with
+          | None -> H.prepare ~name:spec p
+          | Some path -> (
+              let text =
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              match Profile_io.load p text with
+              | Error ds ->
+                  Format.eprintf "%a@." Diagnostic.pp_list ds;
+                  cli_error "profile %S could not be salvaged" path
+              | Ok loaded ->
+                  if loaded.Profile_io.diagnostics <> [] then
+                    Format.eprintf "%a@." Diagnostic.pp_list
+                      loaded.Profile_io.diagnostics;
+                  Format.eprintf
+                    "profile: %.1f%% of recorded counts matched (%d stale \
+                     routines salvaged, %d counts dropped)@."
+                    (100. *. loaded.Profile_io.matched_fraction)
+                    loaded.Profile_io.stale_routines
+                    loaded.Profile_io.dropped_counts;
+                  H.prepare_with_profile ~name:spec ~loaded p)
+        in
         let text = Ppp_ir.Pp_ir.to_string prep.H.optimized in
         (match output with
         | Some path ->
@@ -298,7 +362,8 @@ let opt_cmd =
           /. float_of_int prep.H.base_outcome.Interp.base_cost))
   in
   let doc = "Apply profile-guided inlining and unrolling; print the result." in
-  Cmd.v (Cmd.info "opt" ~doc) Term.(const action $ program_arg $ scale_arg $ output_arg)
+  Cmd.v (Cmd.info "opt" ~doc)
+    Term.(const action $ program_arg $ scale_arg $ output_arg $ profile_arg)
 
 (* {2 dot} *)
 
@@ -367,6 +432,125 @@ let emit_cmd =
   let doc = "Print a program (e.g. a built-in workload) as .pir text." in
   Cmd.v (Cmd.info "emit" ~doc) Term.(const action $ program_arg $ scale_arg)
 
+(* {2 fuzz-profile} *)
+
+(* The fault-injection harness: for every built-in workload, collect a
+   pristine v2 profile, perturb it with every fault kind, and require the
+   loader to (a) never raise and (b) classify every injected fault as at
+   least one diagnostic. Also starves the interpreter of fuel to check
+   that exhaustion degrades instead of raising. *)
+let fuzz_profile_cmd =
+  let seed_arg =
+    let doc = "PRNG seed; the same seed reproduces every perturbation." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write a JSON report of every case and its diagnostics." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let action seed out =
+    handle_errors @@ fun () ->
+    let r = Faults.rng ~seed in
+    let failures = ref 0 in
+    let cases = ref [] in
+    let record bench fault status diags =
+      cases :=
+        Jsonx.Obj
+          [
+            ("bench", Jsonx.Str bench);
+            ("fault", Jsonx.Str fault);
+            ("status", Jsonx.Str status);
+            ("diagnostics", Diagnostic.list_to_json diags);
+          ]
+        :: !cases
+    in
+    let fail_case bench fault why =
+      incr failures;
+      Format.eprintf "FAIL %-10s %-22s %s@." bench fault why
+    in
+    List.iter
+      (fun (b : Ppp_workloads.Spec.bench) ->
+        let bench = b.Ppp_workloads.Spec.bench_name in
+        let p = b.Ppp_workloads.Spec.build ~scale:1 in
+        let o = Interp.run p in
+        let pristine =
+          Format.asprintf "%t" (fun ppf ->
+              Profile_io.save ?edges:o.Interp.edge_profile
+                ?paths:o.Interp.path_profile ppf p)
+        in
+        (* The unperturbed dump must load cleanly... *)
+        (match Profile_io.load p pristine with
+        | Ok l when l.Profile_io.diagnostics = [] ->
+            record bench "none" "clean" []
+        | Ok l ->
+            fail_case bench "none" "diagnostics on a pristine profile";
+            record bench "none" "dirty" l.Profile_io.diagnostics
+        | Error ds ->
+            fail_case bench "none" "pristine profile rejected";
+            record bench "none" "rejected" ds
+        | exception e ->
+            fail_case bench "none" (Printexc.to_string e);
+            record bench "none" "raised" []);
+        (* ...and every perturbation must be classified, never thrown. *)
+        List.iter
+          (fun fault ->
+            let fname = Faults.name fault in
+            let mutated = Faults.apply r fault pristine in
+            match Profile_io.load p mutated with
+            | Ok l ->
+                if l.Profile_io.diagnostics = [] then
+                  fail_case bench fname "fault loaded without a diagnostic";
+                record bench fname "salvaged" l.Profile_io.diagnostics
+            | Error ds ->
+                if ds = [] then fail_case bench fname "rejected silently";
+                record bench fname "rejected" ds
+            | exception e ->
+                fail_case bench fname (Printexc.to_string e);
+                record bench fname "raised" [])
+          Faults.all;
+        (* Fuel starvation: a partial run is an outcome, not an error. *)
+        match
+          Interp.run ~config:{ Interp.default_config with fuel = 100 } p
+        with
+        | o2 ->
+            let status =
+              match o2.Interp.termination with
+              | Interp.Out_of_fuel _ -> "out-of-fuel"
+              | Interp.Finished -> "finished"
+            in
+            record bench "starve-fuel" status []
+        | exception e ->
+            fail_case bench "starve-fuel" (Printexc.to_string e);
+            record bench "starve-fuel" "raised" [])
+      Ppp_workloads.Spec.all;
+    let report =
+      Jsonx.Obj
+        [
+          ("seed", Jsonx.Int seed);
+          ("failures", Jsonx.Int !failures);
+          ("cases", Jsonx.Arr (List.rev !cases));
+        ]
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Jsonx.to_string report);
+        output_string oc "\n";
+        close_out oc
+    | None -> ());
+    Format.printf "fuzz-profile: seed %d, %d cases, %d failures@." seed
+      (List.length !cases) !failures;
+    if !failures > 0 then exit 1
+  in
+  let doc =
+    "Inject faults (truncation, bit flips, section reordering, renames, \
+     dropped/duplicated registrations, garbage) into profiles of every \
+     built-in workload and verify the loader classifies each one as a \
+     diagnostic without ever raising; also checks fuel starvation \
+     degrades gracefully."
+  in
+  Cmd.v (Cmd.info "fuzz-profile" ~doc) Term.(const action $ seed_arg $ out_arg)
+
 (* {2 benches} *)
 
 let benches_cmd =
@@ -399,4 +583,5 @@ let () =
             dot_cmd;
             emit_cmd;
             benches_cmd;
+            fuzz_profile_cmd;
           ]))

@@ -76,14 +76,21 @@ let () =
     in
     Format.printf "--- %s: instrumentation cost %d cycles (%.1f%% overhead)@."
       config.Config.name o.Interp.instr_cost (100.0 *. Interp.overhead o);
-    let table = Hashtbl.find (Option.get o.Interp.instr_state) "main" in
-    let plan = Hashtbl.find inst.Instrument.plans "main" in
-    Instr_rt.Table.iter_nonzero table (fun k count ->
-        match Instrument.decoded_path plan k with
-        | Some path ->
-            Format.printf "    count[%d] = %3d   %a@." k count
-              (Ppp_profile.Path.pp view) path
-        | None -> Format.printf "    count[%d] = %3d   (cold region)@." k count)
+    (* PPP may decide main is already covered well enough by the edge
+       profile (low-coverage skip) and place nothing at all. *)
+    match Hashtbl.find_opt (Option.get o.Interp.instr_state) "main" with
+    | None ->
+        Format.printf
+          "    (main left uninstrumented: edge-profile coverage was enough)@."
+    | Some table ->
+        let plan = Hashtbl.find inst.Instrument.plans "main" in
+        Instr_rt.Table.iter_nonzero table (fun k count ->
+            match Instrument.decoded_path plan k with
+            | Some path ->
+                Format.printf "    count[%d] = %3d   %a@." k count
+                  (Ppp_profile.Path.pp view) path
+            | None ->
+                Format.printf "    count[%d] = %3d   (cold region)@." k count)
   in
   Format.printf "=== 4. Instrument, run, decode ===@.";
   show Config.pp;

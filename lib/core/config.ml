@@ -63,6 +63,22 @@ let ppp =
     poisoning = Free;
   }
 
+let degrade ~confidence t =
+  let c = Float.max 0.0 (Float.min 1.0 confidence) in
+  if c >= 0.999 then t
+  else
+    {
+      t with
+      name = t.name ^ "+degraded";
+      (* Trust the profile's frequencies proportionally less: shrink the
+         cold-edge criteria (fewer paths dismissed as cold on shaky
+         evidence) and skip fewer routines as "already covered". *)
+      local_ratio = t.local_ratio *. c;
+      global_fraction = Option.map (fun f -> f *. c) t.global_fraction;
+      low_coverage_skip =
+        Option.map (fun s -> s +. ((1.0 -. s) *. (1.0 -. c))) t.low_coverage_skip;
+    }
+
 type technique = SAC | FP | Push | SPN | LC
 
 let ppp_without = function

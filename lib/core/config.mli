@@ -58,6 +58,16 @@ val tpp_original : t
 val ppp : t
 (** Practical path profiling with all six techniques. *)
 
+val degrade : confidence:float -> t -> t
+(** Weaken a configuration's reliance on the guiding edge profile when
+    that profile is only partially trustworthy (e.g. salvaged from a
+    stale dump). [confidence] in [0,1] scales [local_ratio] and
+    [global_fraction] (so fewer edges are declared cold on weak
+    evidence) and raises [low_coverage_skip] toward 1.0 (so fewer
+    routines are skipped as already-covered). [confidence >= 0.999]
+    returns the configuration unchanged; otherwise ["+degraded"] is
+    appended to its name. *)
+
 type technique = SAC | FP | Push | SPN | LC
 (** The Figure 13 ablation axes: self-adjusting global cold-edge
     criterion (with the global criterion itself, as the paper couples

@@ -14,6 +14,8 @@ module Config = Ppp_core.Config
 module Instrument = Ppp_core.Instrument
 module Numbering = Ppp_core.Numbering
 module Trace = Ppp_obs.Trace
+module Diagnostic = Ppp_resilience.Diagnostic
+module Profile_io = Ppp_profile.Profile_io
 
 let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
 let metric = Metric.Branch_flow
@@ -27,7 +29,23 @@ type prepared = {
   base_outcome : Interp.outcome;
   inline_stats : Ppp_opt.Inline.stats;
   unroll_stats : Ppp_opt.Unroll.stats;
+  confidence : float;
+  diagnostics : Diagnostic.t list;
 }
+
+(* A run that exhausts its fuel is not fatal: the profile gathered so far
+   is still a (truncated) sample. Record the fact and carry on. *)
+let fuel_diags phase (o : Interp.outcome) =
+  match o.Interp.termination with
+  | Interp.Finished -> []
+  | Interp.Out_of_fuel { stack_depth } ->
+      [
+        Diagnostic.make ~severity:Diagnostic.Warning Diagnostic.Exhausted
+          (Printf.sprintf
+             "%s run exhausted its fuel with %d live activations; continuing \
+              with the partial profile"
+             phase stack_depth);
+      ]
 
 let view_cache : (Ir.routine, Cfg_view.t) Hashtbl.t = Hashtbl.create 64
 
@@ -90,6 +108,46 @@ let prepare ~name p =
     base_outcome;
     inline_stats;
     unroll_stats;
+    confidence = 1.0;
+    diagnostics =
+      fuel_diags "edge-profile" orig_outcome
+      @ fuel_diags "re-profile" o1
+      @ fuel_diags "base" base_outcome;
+  }
+
+let prepare_with_profile ~name ~(loaded : Profile_io.loaded) p =
+  Trace.with_span ~args:[ ("bench", name) ] "prepare-with-profile" @@ fun () ->
+  let confidence = loaded.Profile_io.matched_fraction in
+  let ep0 = loaded.Profile_io.edges in
+  (* Confidence-weighted hotness: salvaged counts must clear a higher bar
+     before they justify inlining a call site. *)
+  let min_site_freq =
+    int_of_float (Float.ceil (16.0 /. Float.max 0.05 confidence))
+  in
+  let inlined, inline_stats =
+    Trace.with_span "inline" (fun () ->
+        Ppp_opt.Inline.run ~min_site_freq p ~block_freq:(block_freq_fn p ep0))
+  in
+  let o1 = Trace.with_span "re-profile" (fun () -> Interp.run inlined) in
+  let ep1 = Option.get o1.Interp.edge_profile in
+  let optimized, unroll_stats =
+    Trace.with_span "unroll" (fun () ->
+        Ppp_opt.Unroll.run inlined ~edge_profile:ep1)
+  in
+  let base_outcome = Trace.with_span "base-run" (fun () -> Interp.run optimized) in
+  {
+    bench_name = name;
+    original = p;
+    optimized;
+    orig_outcome = o1;
+    base_outcome;
+    inline_stats;
+    unroll_stats;
+    confidence;
+    diagnostics =
+      loaded.Profile_io.diagnostics
+      @ fuel_diags "re-profile" o1
+      @ fuel_diags "base" base_outcome;
   }
 
 let prepare_unoptimized ~name p =
@@ -111,6 +169,8 @@ let prepare_unoptimized ~name p =
       };
     unroll_stats =
       { Ppp_opt.Unroll.loops_unrolled = 0; loops_seen = 0; avg_dynamic_factor = 1.0 };
+    confidence = 1.0;
+    diagnostics = fuel_diags "edge-profile" orig_outcome;
   }
 
 let actual_profile prepared = Option.get prepared.base_outcome.Interp.path_profile
@@ -221,7 +281,11 @@ let evaluate_edge_profile prepared =
     routines_total = List.length prepared.optimized.Ir.routines;
   }
 
-let evaluate prepared (config : Config.t) =
+let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
+    (config : Config.t) =
+  (* A partially-trusted profile (stale salvage) degrades the placement
+     thresholds instead of being consumed at face value. *)
+  let config = Config.degrade ~confidence:prepared.confidence config in
   Trace.with_span ~args:[ ("config", config.Config.name) ] "evaluate" @@ fun () ->
   let p = prepared.optimized in
   let ep = Option.get prepared.base_outcome.Interp.edge_profile in
@@ -232,7 +296,11 @@ let evaluate prepared (config : Config.t) =
     Trace.with_span "overhead-run" (fun () ->
         Interp.run
           ~config:
-            { Interp.default_config with instrumentation = Some inst.Instrument.rt }
+            {
+              Interp.default_config with
+              instrumentation = Some inst.Instrument.rt;
+              overflow_policy;
+            }
           p)
   in
   let overhead = Interp.overhead instr_outcome in

@@ -14,13 +14,34 @@ type prepared = {
   base_outcome : Ppp_interp.Interp.outcome;  (** run of [optimized] *)
   inline_stats : Ppp_opt.Inline.stats;
   unroll_stats : Ppp_opt.Unroll.stats;
+  confidence : float;
+      (** trust in the guiding profile: 1.0 for freshly collected, the
+          matched fraction for one salvaged from a stale dump *)
+  diagnostics : Ppp_resilience.Diagnostic.t list;
+      (** problems absorbed while preparing (fuel exhaustion, profile
+          salvage); the pipeline degrades gracefully rather than raising *)
 }
 
 val prepare : name:string -> Ppp_ir.Ir.program -> prepared
-(** @raise Ppp_interp.Interp.Runtime_error if the program faults. *)
+(** @raise Ppp_interp.Interp.Runtime_error if the program faults.
+    Fuel exhaustion does not raise: the phase keeps its partial profile
+    and records an [Exhausted] diagnostic. *)
 
 val prepare_unoptimized : name:string -> Ppp_ir.Ir.program -> prepared
 (** Skip inlining and unrolling (for comparisons on original code). *)
+
+val prepare_with_profile :
+  name:string ->
+  loaded:Ppp_profile.Profile_io.loaded ->
+  Ppp_ir.Ir.program ->
+  prepared
+(** Drive inlining from a previously saved (possibly stale, possibly
+    partially salvaged) profile instead of a fresh profiling run — the
+    offline-advice half of a staged optimizer. The inliner's hotness bar
+    is raised in proportion to distrust ([1 / matched_fraction]), the
+    loaded profile's diagnostics are carried into
+    [prepared.diagnostics], and [prepared.confidence] is set to the
+    matched fraction so {!evaluate} degrades its placement thresholds. *)
 
 val views : prepared -> string -> Ppp_ir.Cfg_view.t
 (** Cached CFG views of the optimized program's routines. *)
@@ -61,8 +82,17 @@ type evaluation = {
   routines_total : int;
 }
 
-val evaluate : prepared -> Ppp_core.Config.t -> evaluation
-(** Instrument with the given configuration, rerun, decode, and score. *)
+val evaluate :
+  ?overflow_policy:Ppp_interp.Instr_rt.Table.overflow_policy ->
+  prepared ->
+  Ppp_core.Config.t ->
+  evaluation
+(** Instrument with the given configuration, rerun, decode, and score.
+    When [prepared.confidence < 1] the configuration is first passed
+    through {!Ppp_core.Config.degrade}, weakening profile-driven
+    placement decisions in proportion to distrust. [overflow_policy]
+    (default [Drop]) selects how frequency tables absorb unattributable
+    path executions during the overhead run. *)
 
 val evaluate_edge_profile : prepared -> evaluation
 (** Edge profiling as the estimator: potential-flow hot paths

@@ -50,10 +50,17 @@ module Table = struct
   let slots = 701
   let secondary = 699
 
+  type overflow_policy = Drop | Overflow_bin of { cap : int }
+
+  let default_overflow_cap = 1 lsl 20
+
   (* Registered at module init so they appear (zeroed) in every metrics
      snapshot; updates are self-gated on the global metrics flag. *)
   let m_cold = Obs.counter "rt.table.cold"
   let m_lost = Obs.counter "rt.table.lost"
+  let m_lost_paths = Obs.counter "rt.lost_paths"
+  let m_overflow = Obs.counter "rt.table.overflow"
+  let m_saturations = Obs.counter "rt.table.saturations"
   let m_array_bumps = Obs.counter "rt.array.bumps"
   let m_hash_bumps = Obs.counter "rt.hash.bumps"
   let m_hash_probes = Obs.counter "rt.hash.probes"
@@ -68,21 +75,63 @@ module Table = struct
 
   type t = {
     kind : table_kind;
+    policy : overflow_policy;
     arr : int array; (* Array_table: counts; Hash_table: counts per slot *)
     keys : int array; (* Hash_table only: path number per slot, -1 = empty *)
     mutable cold : int;
     mutable lost : int;
+    mutable overflow : int;
+    mutable saturated : bool;
   }
 
-  let create kind =
+  let create ?(policy = Drop) kind =
+    let base =
+      {
+        kind;
+        policy;
+        arr = [||];
+        keys = [||];
+        cold = 0;
+        lost = 0;
+        overflow = 0;
+        saturated = false;
+      }
+    in
     match kind with
-    | Array_table n -> { kind; arr = Array.make (max 1 n) 0; keys = [||]; cold = 0; lost = 0 }
+    | Array_table n -> { base with arr = Array.make (max 1 n) 0 }
     | Hash_table ->
-        { kind; arr = Array.make slots 0; keys = Array.make slots (-1); cold = 0; lost = 0 }
+        { base with arr = Array.make slots 0; keys = Array.make slots (-1) }
 
   let bump_cold t =
     t.cold <- t.cold + 1;
     Obs.incr m_cold
+
+  (* Every path execution the table cannot attribute to its own counter
+     lands here — array index out of range, or all three hash tries
+     taken. [rt.lost_paths] counts every such drop regardless of policy;
+     under [Overflow_bin] the execution is preserved in the bounded
+     overflow bin (so dynamic totals stay exact) until the bin hits its
+     cap, after which the table is marked saturated and further drops are
+     genuinely lost. Never silent either way. *)
+  let drop t =
+    Obs.incr m_lost_paths;
+    match t.policy with
+    | Drop ->
+        t.lost <- t.lost + 1;
+        Obs.incr m_lost
+    | Overflow_bin { cap } ->
+        if t.overflow < cap then begin
+          t.overflow <- t.overflow + 1;
+          Obs.incr m_overflow;
+          if t.overflow = cap then begin
+            t.saturated <- true;
+            Obs.incr m_saturations
+          end
+        end
+        else begin
+          t.lost <- t.lost + 1;
+          Obs.incr m_lost
+        end
 
   let bump t k =
     if k < 0 then bump_cold t
@@ -91,18 +140,12 @@ module Table = struct
       | Array_table _ ->
           Obs.incr m_array_bumps;
           if k < Array.length t.arr then t.arr.(k) <- t.arr.(k) + 1
-          else begin
-            t.lost <- t.lost + 1;
-            Obs.incr m_lost
-          end
+          else drop t
       | Hash_table ->
           Obs.incr m_hash_bumps;
           let step = 1 + (k mod secondary) in
           let rec try_slot i =
-            if i >= 3 then begin
-              t.lost <- t.lost + 1;
-              Obs.incr m_lost
-            end
+            if i >= 3 then drop t
             else begin
               let s = (k + (i * step)) mod slots in
               Obs.incr m_hash_probes;
@@ -135,6 +178,9 @@ module Table = struct
 
   let cold t = t.cold
   let lost t = t.lost
+  let overflow t = t.overflow
+  let saturated t = t.saturated
+  let policy t = t.policy
 
   let iter_nonzero t f =
     match t.kind with
@@ -144,14 +190,16 @@ module Table = struct
         Array.iteri (fun s c -> if c > 0 && t.keys.(s) >= 0 then f t.keys.(s) c) t.arr
 
   let dynamic_total t =
-    Array.fold_left ( + ) (t.cold + t.lost) t.arr
+    Array.fold_left ( + ) (t.cold + t.lost + t.overflow) t.arr
 end
 
 type state = (string, Table.t) Hashtbl.t
 
-let init_state (t : t) : state =
+let init_state ?policy (t : t) : state =
   let st = Hashtbl.create 17 in
-  Hashtbl.iter (fun name ri -> Hashtbl.replace st name (Table.create ri.table)) t;
+  Hashtbl.iter
+    (fun name ri -> Hashtbl.replace st name (Table.create ?policy ri.table))
+    t;
   st
 
 let pp_action ppf = function

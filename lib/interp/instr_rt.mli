@@ -47,14 +47,32 @@ val action_kind_name : int -> string
 
     When [Ppp_obs.Metrics] is enabled, {!Table.bump} also feeds the
     global [rt.*] counters: [rt.table.cold], [rt.table.lost],
-    [rt.array.bumps], [rt.hash.bumps], [rt.hash.probes] (slot
-    inspections), [rt.hash.inserts] and [rt.hash.collisions.try1..3]
+    [rt.lost_paths] (every dropped path execution, under any policy),
+    [rt.table.overflow], [rt.table.saturations], [rt.array.bumps],
+    [rt.hash.bumps], [rt.hash.probes] (slot inspections),
+    [rt.hash.inserts] and [rt.hash.collisions.try1..3]
     (occupied-by-another-path slots at each double-hashing try). *)
 
 module Table : sig
   type t
 
-  val create : table_kind -> t
+  type overflow_policy =
+    | Drop
+        (** a path execution the table cannot attribute (array index out
+            of range, all three hash tries occupied) is dropped — but
+            still counted in {!lost} and [rt.lost_paths], never
+            silently *)
+    | Overflow_bin of { cap : int }
+        (** graceful degradation: unattributable executions accumulate in
+            a single bounded overflow bin (so {!dynamic_total} stays
+            exact); when the bin reaches [cap] the table is marked
+            {!saturated} and further drops fall back to {!lost} *)
+
+  val default_overflow_cap : int
+
+  val create : ?policy:overflow_policy -> table_kind -> t
+  (** Default policy is [Drop] (the paper's behavior). *)
+
   val bump : t -> int -> unit
   (** Count one execution of the given path number. Negative numbers
       (TPP-style poison reaching an unchecked count) are recorded in the
@@ -63,20 +81,31 @@ module Table : sig
   val bump_cold : t -> unit
   val get : t -> int -> int
   val cold : t -> int
+
   val lost : t -> int
-  (** Paths dropped because all hash tries collided (Section 7.4). *)
+  (** Paths dropped and not preserved anywhere (Section 7.4 hash
+      give-up, array overflow under [Drop], or overflow past the bin's
+      cap). *)
+
+  val overflow : t -> int
+  (** Executions preserved in the overflow bin ([Overflow_bin] only). *)
+
+  val saturated : t -> bool
+  (** True once the overflow bin has hit its cap. *)
+
+  val policy : t -> overflow_policy
 
   val iter_nonzero : t -> (int -> int -> unit) -> unit
   (** [iter_nonzero t f] calls [f path_number count] for every recorded
       nonzero entry. *)
 
   val dynamic_total : t -> int
-  (** Sum of all counts including cold and lost. *)
+  (** Sum of all counts including cold, lost and overflow. *)
 end
 
 type state = (string, Table.t) Hashtbl.t
 
-val init_state : t -> state
+val init_state : ?policy:Table.overflow_policy -> t -> state
 
 val pp_action : Format.formatter -> action -> unit
 (** Render an action in the paper's notation, e.g. ["r=3"], ["r+=2"],

@@ -6,12 +6,14 @@ module Edge_profile = Ppp_profile.Edge_profile
 module Path_profile = Ppp_profile.Path_profile
 
 exception Runtime_error of string
+exception Exhausted
 
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
 module Obs = Ppp_obs.Metrics
 
 let m_runs = Obs.counter "interp.runs"
+let m_fuel_exhausted = Obs.counter "interp.fuel_exhausted"
 let m_dyn_instrs = Obs.counter "interp.dyn_instrs"
 let m_dyn_paths = Obs.counter "interp.dyn_paths"
 let m_calls = Obs.counter "interp.calls"
@@ -28,10 +30,19 @@ type config = {
   collect_edges : bool;
   trace_paths : bool;
   instrumentation : Instr_rt.t option;
+  overflow_policy : Instr_rt.Table.overflow_policy;
 }
 
 let default_config =
-  { fuel = 2_000_000_000; collect_edges = true; trace_paths = true; instrumentation = None }
+  {
+    fuel = 2_000_000_000;
+    collect_edges = true;
+    trace_paths = true;
+    instrumentation = None;
+    overflow_policy = Instr_rt.Table.Drop;
+  }
+
+type termination = Finished | Out_of_fuel of { stack_depth : int }
 
 type outcome = {
   return_value : int option;
@@ -40,6 +51,7 @@ type outcome = {
   instr_cost : int;
   dyn_instrs : int;
   dyn_paths : int;
+  termination : termination;
   edge_profile : Edge_profile.program option;
   path_profile : Path_profile.program option;
   instr_state : Instr_rt.state option;
@@ -196,7 +208,7 @@ let traverse st frame e ~ends_path =
 let run ?(config = default_config) (p : Ir.program) =
   let instr_tables =
     match config.instrumentation with
-    | Some instr -> Instr_rt.init_state instr
+    | Some instr -> Instr_rt.init_state ~policy:config.overflow_policy instr
     | None -> Hashtbl.create 1
   in
   let plans = Hashtbl.create 17 in
@@ -245,7 +257,7 @@ let run ?(config = default_config) (p : Ir.program) =
     st.base_cost <- st.base_cost + c;
     st.dyn_instrs <- st.dyn_instrs + 1;
     st.fuel <- st.fuel - 1;
-    if st.fuel <= 0 then error "out of fuel"
+    if st.fuel <= 0 then raise Exhausted
   in
   let array_ref name idx =
     let arr =
@@ -311,9 +323,16 @@ let run ?(config = default_config) (p : Ir.program) =
           | [] -> return_value := value)
     end
   in
-  while st.stack <> [] do
-    exec_frame (List.hd st.stack)
-  done;
+  let termination =
+    (* Fuel exhaustion is an expected production condition, not a fault:
+       stop where we are and report everything collected so far. *)
+    try
+      while st.stack <> [] do
+        exec_frame (List.hd st.stack)
+      done;
+      Finished
+    with Exhausted -> Out_of_fuel { stack_depth = List.length st.stack }
+  in
   let edge_profile =
     if config.collect_edges then begin
       let prog = Edge_profile.create_program p in
@@ -347,6 +366,9 @@ let run ?(config = default_config) (p : Ir.program) =
   in
   if st.obs_on then begin
     Obs.incr m_runs;
+    (match termination with
+    | Out_of_fuel _ -> Obs.incr m_fuel_exhausted
+    | Finished -> ());
     Obs.add m_dyn_instrs st.dyn_instrs;
     Obs.add m_dyn_paths st.dyn_paths;
     Obs.add m_calls st.obs_calls;
@@ -362,6 +384,7 @@ let run ?(config = default_config) (p : Ir.program) =
     instr_cost = st.instr_cost;
     dyn_instrs = st.dyn_instrs;
     dyn_paths = st.dyn_paths;
+    termination;
     edge_profile;
     path_profile;
     instr_state = (if Option.is_some config.instrumentation then Some instr_tables else None);

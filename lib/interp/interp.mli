@@ -8,26 +8,37 @@
     return ends the callee's current path. *)
 
 exception Runtime_error of string
-(** Division by zero, array index out of bounds, or fuel exhaustion. *)
+(** Division by zero, array index out of bounds, or other genuine dynamic
+    faults. Fuel exhaustion is {e not} an error: it is reported through
+    {!type-termination} with a partial {!outcome}. *)
 
 type config = {
-  fuel : int;  (** maximum dynamic instructions before aborting *)
+  fuel : int;  (** maximum dynamic instructions before stopping *)
   collect_edges : bool;
   trace_paths : bool;
   instrumentation : Instr_rt.t option;
+  overflow_policy : Instr_rt.Table.overflow_policy;
+      (** how frequency tables handle unattributable path executions *)
 }
 
 val default_config : config
 (** [fuel = 2_000_000_000], edge collection and path tracing on, no
-    instrumentation. *)
+    instrumentation, [Drop] overflow policy. *)
+
+type termination =
+  | Finished  (** [main] returned normally *)
+  | Out_of_fuel of { stack_depth : int }
+      (** the fuel budget ran out with [stack_depth] activations still
+          live; the outcome holds everything collected up to that point *)
 
 type outcome = {
-  return_value : int option;  (** of [main] *)
+  return_value : int option;  (** of [main]; [None] if out of fuel *)
   output : int list;  (** values emitted by [Out], in order *)
   base_cost : int;  (** cycles of the program proper *)
   instr_cost : int;  (** cycles of instrumentation actions *)
   dyn_instrs : int;
   dyn_paths : int;  (** ground-truth path executions (0 unless traced) *)
+  termination : termination;
   edge_profile : Ppp_profile.Edge_profile.program option;
   path_profile : Ppp_profile.Path_profile.program option;
   instr_state : Instr_rt.state option;
@@ -37,4 +48,7 @@ val overhead : outcome -> float
 (** [instr_cost / base_cost]. *)
 
 val run : ?config:config -> Ppp_ir.Ir.program -> outcome
-(** @raise Runtime_error on any dynamic error. *)
+(** Runs to completion or fuel exhaustion — check [outcome.termination].
+    When fuel runs out the profiles collected so far are still returned
+    (a truncated but usable sample).
+    @raise Runtime_error on a genuine dynamic fault. *)

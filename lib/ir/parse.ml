@@ -1,4 +1,11 @@
-exception Error of string
+type located = { line : int; token : string option; message : string }
+
+exception Error of located
+
+let located_message { line; token; message } =
+  match token with
+  | Some t -> Printf.sprintf "line %d: %s (at %S)" line message t
+  | None -> Printf.sprintf "line %d: %s" line message
 
 type token =
   | Tident of string
@@ -16,8 +23,24 @@ type token =
   | Tcolon
   | Tminus
 
-let fail line fmt =
-  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+let fail ?token line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; token; message })) fmt
+
+let token_text = function
+  | Tident s -> s
+  | Treg r -> "r" ^ string_of_int r
+  | Tint i -> string_of_int i
+  | Top op -> op
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tequal -> "="
+  | Tcomma -> ","
+  | Tcolon -> ":"
+  | Tminus -> "-"
 
 (* {2 Lexer} *)
 
@@ -86,7 +109,7 @@ let tokenize src =
           | '-' -> push Tminus
           | '+' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' ->
               push (Top (String.make 1 c))
-          | _ -> fail !line "unexpected character %C" c);
+          | _ -> fail ~token:(String.make 1 c) !line "unexpected character %C" c);
           incr i
     end
   done;
@@ -108,17 +131,17 @@ let next st =
 
 let expect st tok what =
   let t, l = next st in
-  if t <> tok then fail l "expected %s" what
+  if t <> tok then fail ~token:(token_text t) l "expected %s" what
 
 let expect_ident st what =
   match next st with
   | Tident s, _ -> s
-  | _, l -> fail l "expected %s" what
+  | t, l -> fail ~token:(token_text t) l "expected %s" what
 
 let expect_int st what =
   match next st with
   | Tint i, _ -> i
-  | _, l -> fail l "expected %s" what
+  | t, l -> fail ~token:(token_text t) l "expected %s" what
 
 let parse_operand st =
   match next st with
@@ -127,8 +150,8 @@ let parse_operand st =
   | Tminus, l -> (
       match next st with
       | Tint i, _ -> Ir.Imm (-i)
-      | _ -> fail l "expected integer after '-'")
-  | _, l -> fail l "expected operand"
+      | t, _ -> fail ~token:(token_text t) l "expected integer after '-'")
+  | t, l -> fail ~token:(token_text t) l "expected operand"
 
 let starts_operand = function
   | Some (Treg _ | Tint _ | Tminus) -> true
@@ -190,7 +213,8 @@ let parse_stmt_or_term st =
       Either.Left (Ir.Call (None, callee, args))
   | Tident arr, l ->
       (* store: arr[idx] = v *)
-      if peek st <> Some Tlbracket then fail l "expected '[' after array name";
+      if peek st <> Some Tlbracket then
+        fail ~token:arr l "expected '[' after array name";
       ignore (next st);
       let idx = parse_operand st in
       expect st Trbracket "']'";
@@ -220,8 +244,8 @@ let parse_stmt_or_term st =
               let b = parse_operand st in
               match Ir.binop_of_name opname with
               | Some op -> Either.Left (Ir.Binop (d, op, a, b))
-              | None -> fail l "unknown operator %s" opname)))
-  | _, l -> fail l "expected statement"
+              | None -> fail ~token:opname l "unknown operator %s" opname)))
+  | t, l -> fail ~token:(token_text t) l "expected statement"
 
 let parse_block st =
   let rline = cur_line st in
@@ -258,13 +282,14 @@ let parse_routine st =
   Array.iteri
     (fun i b ->
       if Hashtbl.mem index b.rlabel then
-        fail b.rline "duplicate label %s in routine %s" b.rlabel name;
+        fail ~token:b.rlabel b.rline "duplicate label %s in routine %s" b.rlabel
+          name;
       Hashtbl.replace index b.rlabel i)
     blocks;
   let resolve line lbl =
     match Hashtbl.find_opt index lbl with
     | Some i -> i
-    | None -> fail line "unknown label %s in routine %s" lbl name
+    | None -> fail ~token:lbl line "unknown label %s in routine %s" lbl name
   in
   let ir_blocks =
     Array.map

@@ -23,8 +23,16 @@
     Registers are written [rN]. The default entry routine is [main]
     unless a [main NAME] declaration overrides it. *)
 
-exception Error of string
-(** Raised with a message including the offending line number. *)
+type located = {
+  line : int;  (** 1-based source line of the offending token *)
+  token : string option;  (** the offending token's text, when known *)
+  message : string;
+}
+
+exception Error of located
+
+val located_message : located -> string
+(** Render as ["line N: message (at \"token\")"]. *)
 
 val program_of_string : string -> Ir.program
 (** Parse and well-formedness-check a program.

@@ -21,7 +21,10 @@ let escape s =
       | '\n' -> Buffer.add_string b "\\n"
       | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          (* Escaping the upper half keeps the output pure ASCII, hence
+             valid UTF-8 JSON even when a string carries raw bytes (e.g.
+             diagnostics quoting a corrupt profile's garbage token). *)
           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;

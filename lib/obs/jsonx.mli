@@ -20,7 +20,9 @@ exception Parse_error of string
 
 val pp : Format.formatter -> t -> unit
 (** Compact rendering with no insignificant whitespace. Non-finite
-    floats render as [null], so output is always standard JSON. *)
+    floats render as [null] and strings are escaped to pure ASCII
+    ([\u00XX] for bytes outside the printable range), so output is
+    always standard JSON whatever bytes the values carry. *)
 
 val to_string : t -> string
 

@@ -1,6 +1,18 @@
 module Ir = Ppp_ir.Ir
 module Graph = Ppp_cfg.Graph
 module Cfg_view = Ppp_ir.Cfg_view
+module Diagnostic = Ppp_resilience.Diagnostic
+module Stale_match = Ppp_resilience.Stale_match
+module Fingerprint = Ppp_resilience.Fingerprint
+module Crc = Ppp_resilience.Crc
+module Obs = Ppp_obs.Metrics
+
+let g_matched = Obs.gauge "resilience.matched_fraction"
+let m_salvaged = Obs.counter "resilience.counts.salvaged"
+let m_dropped = Obs.counter "resilience.counts.dropped"
+let m_stale = Obs.counter "resilience.stale_routines"
+
+(* {2 Writers} *)
 
 let save_edges ppf (p : Ir.program) prog =
   Format.fprintf ppf "edge-profile@.";
@@ -29,54 +41,514 @@ let save_paths ppf (p : Ir.program) prog =
       end)
     p.routines
 
-type section = Edges | Paths
-
-let load (p : Ir.program) text =
-  let edges = Edge_profile.create_program p in
-  let paths = Path_profile.create_program p in
-  let section = ref Edges in
-  let routine = ref None in
-  let fail line msg = failwith (Printf.sprintf "profile line %d: %s" line msg) in
-  let current line =
-    match !routine with
-    | Some r -> r
-    | None -> fail line "counter before any 'routine' header"
-  in
-  List.iteri
-    (fun i raw ->
-      let lineno = i + 1 in
-      let line = String.trim raw in
-      if line = "" || line.[0] = '#' then ()
-      else if line = "edge-profile" then section := Edges
-      else if line = "path-profile" then section := Paths
+let edge_lines (p : Ir.program) prog =
+  List.concat_map
+    (fun (r : Ir.routine) ->
+      let t = Edge_profile.routine prog r.Ir.name in
+      if Edge_profile.total t = 0 then []
       else
-        match String.split_on_char ' ' line with
-        | [ "routine"; name ] ->
-            if Ir.find_routine p name = None then
-              fail lineno ("unknown routine " ^ name);
-            routine := Some name
-        | tokens -> (
-            match !section with
-            | Edges -> (
+        let view = Cfg_view.of_routine r in
+        let counters = ref [] in
+        Graph.iter_edges (Cfg_view.graph view) (fun e ->
+            let c = Edge_profile.freq t e in
+            if c > 0 then counters := Printf.sprintf "e%d %d" e c :: !counters);
+        Printf.sprintf "routine %s" r.Ir.name :: List.rev !counters)
+    p.routines
+
+let path_lines (p : Ir.program) prog =
+  List.concat_map
+    (fun (r : Ir.routine) ->
+      let t = Path_profile.routine prog r.Ir.name in
+      if Path_profile.num_distinct t = 0 then []
+      else
+        let counters = ref [] in
+        Path_profile.iter t (fun path n ->
+            counters :=
+              Printf.sprintf "%d :%s" n
+                (String.concat "" (List.map (fun e -> " " ^ string_of_int e) path))
+              :: !counters);
+        Printf.sprintf "routine %s" r.Ir.name :: !counters)
+    p.routines
+
+let save ?edges ?paths ppf (p : Ir.program) =
+  Format.fprintf ppf "ppp-profile v2@.";
+  List.iter
+    (fun (r : Ir.routine) ->
+      let d = Stale_match.describe r in
+      Format.fprintf ppf "cfg routine=%s fp=%s blocks=%d edges=%d@." r.Ir.name
+        (Fingerprint.to_hex d.Stale_match.fingerprint)
+        (Array.length d.Stale_match.strict)
+        (Array.length d.Stale_match.edges);
+      Array.iteri
+        (fun i lbl ->
+          Format.fprintf ppf "b %s %s %s@." lbl
+            (Fingerprint.to_hex d.Stale_match.strict.(i))
+            (Fingerprint.to_hex d.Stale_match.loose.(i)))
+        d.Stale_match.labels;
+      Array.iteri
+        (fun i (s, dst) -> Format.fprintf ppf "e %d %d %d@." i s dst)
+        d.Stale_match.edges)
+    p.routines;
+  let section name lines =
+    let payload = String.concat "\n" lines in
+    Format.fprintf ppf "section %s crc=%s lines=%d@." name
+      (Crc.to_hex (Crc.string payload))
+      (List.length lines);
+    List.iter (fun l -> Format.fprintf ppf "%s@." l) lines
+  in
+  section "edges" (match edges with Some e -> edge_lines p e | None -> []);
+  section "paths" (match paths with Some q -> path_lines p q | None -> []);
+  Format.fprintf ppf "end@."
+
+(* {2 Loader} *)
+
+type loaded = {
+  edges : Edge_profile.program;
+  paths : Path_profile.program;
+  diagnostics : Diagnostic.t list;
+  matched_fraction : float;
+  stale_routines : int;
+  salvaged_counts : int;
+  dropped_counts : int;
+}
+
+(* How counts recorded for a routine relate to the program loading them. *)
+type status =
+  | Exact of Stale_match.cfg_desc  (** current description, for range checks *)
+  | Salvage of Stale_match.cfg_desc * Stale_match.result
+      (** stale: current description + old-id -> new-id match *)
+  | Unknown
+
+type loader = {
+  program : Ir.program;
+  l_edges : Edge_profile.program;
+  l_paths : Path_profile.program;
+  mutable diags_rev : Diagnostic.t list;
+  mutable section : [ `Edges | `Paths ];
+  mutable routine : (string * status) option;
+  mutable applied : int;
+  mutable dropped : int;
+  mutable stale : int;
+  descs : (string, Stale_match.cfg_desc) Hashtbl.t;  (* current program, memoized *)
+  old_descs : (string, Stale_match.cfg_desc) Hashtbl.t;  (* from v2 cfg headers *)
+  statuses : (string, status) Hashtbl.t;
+}
+
+let make_loader (p : Ir.program) =
+  {
+    program = p;
+    l_edges = Edge_profile.create_program p;
+    l_paths = Path_profile.create_program p;
+    diags_rev = [];
+    section = `Edges;
+    routine = None;
+    applied = 0;
+    dropped = 0;
+    stale = 0;
+    descs = Hashtbl.create 17;
+    old_descs = Hashtbl.create 17;
+    statuses = Hashtbl.create 17;
+  }
+
+let diag ld d = ld.diags_rev <- d :: ld.diags_rev
+
+let desc_of ld (r : Ir.routine) =
+  match Hashtbl.find_opt ld.descs r.Ir.name with
+  | Some d -> d
+  | None ->
+      let d = Stale_match.describe r in
+      Hashtbl.replace ld.descs r.Ir.name d;
+      d
+
+let first_token line =
+  match String.index_opt line ' ' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Resolve (and memoize) how to treat counts recorded for [name]; emits
+   the Unknown_routine / Stale diagnostic the first time. *)
+let resolve_status ld ~lineno name =
+  match Hashtbl.find_opt ld.statuses name with
+  | Some s -> s
+  | None ->
+      let s =
+        match Ir.find_routine ld.program name with
+        | None ->
+            diag ld
+              (Diagnostic.errorf ~line:lineno ~token:name ~routine:name
+                 Unknown_routine "no such routine in this program");
+            Unknown
+        | Some r -> (
+            let nd = desc_of ld r in
+            match Hashtbl.find_opt ld.old_descs name with
+            | Some od when od.Stale_match.fingerprint <> nd.Stale_match.fingerprint
+              ->
+                let m = Stale_match.match_cfgs ~old_desc:od ~new_desc:nd in
+                ld.stale <- ld.stale + 1;
+                diag ld
+                  (Diagnostic.errorf ~severity:Diagnostic.Warning ~routine:name
+                     Stale
+                     "CFG fingerprint mismatch; matched %d/%d blocks and %d/%d \
+                      edges by stable hashes"
+                     m.Stale_match.matched_blocks
+                     (Array.length od.Stale_match.strict)
+                     m.Stale_match.matched_edges
+                     (Array.length od.Stale_match.edges));
+                Salvage (nd, m)
+            | Some _ | None -> Exact nd)
+      in
+      Hashtbl.replace ld.statuses name s;
+      s
+
+let apply_edge ld ~lineno ~token status id count =
+  if count < 0 then begin
+    diag ld
+      (Diagnostic.errorf ~line:lineno ~token Corrupt "negative edge counter");
+    ld.dropped <- ld.dropped + 1
+  end
+  else
+    match status with
+    | Unknown -> ld.dropped <- ld.dropped + count
+    | Exact nd ->
+        if id >= 0 && id < Array.length nd.Stale_match.edges then begin
+          (match ld.routine with
+          | Some (name, _) ->
+              Edge_profile.add (Edge_profile.routine ld.l_edges name) id count
+          | None -> ());
+          ld.applied <- ld.applied + count
+        end
+        else begin
+          diag ld
+            (Diagnostic.errorf ~line:lineno ~token Corrupt
+               "edge id %d out of range (routine has %d edges)" id
+               (Array.length nd.Stale_match.edges));
+          ld.dropped <- ld.dropped + count
+        end
+    | Salvage (_, m) -> (
+        match Stale_match.map_edge m id with
+        | Some nid ->
+            (match ld.routine with
+            | Some (name, _) ->
+                Edge_profile.add (Edge_profile.routine ld.l_edges name) nid count
+            | None -> ());
+            ld.applied <- ld.applied + count
+        | None -> ld.dropped <- ld.dropped + count)
+
+(* A salvaged path must still be a path: consecutive mapped edges have to
+   chain head-to-tail in the new CFG, and only the last may reach exit. *)
+let path_is_connected (nd : Stale_match.cfg_desc) path =
+  let n = List.length path in
+  let ok = ref true in
+  List.iteri
+    (fun i e ->
+      if !ok then
+        let _, dst = nd.Stale_match.edges.(e) in
+        if i < n - 1 then begin
+          let src', _ = nd.Stale_match.edges.(List.nth path (i + 1)) in
+          if dst <> src' then ok := false
+        end)
+    path;
+  !ok
+
+let apply_path ld ~lineno ~token status path count =
+  if count < 0 || path = [] then begin
+    diag ld
+      (Diagnostic.errorf ~line:lineno ~token Corrupt "malformed path counter");
+    ld.dropped <- ld.dropped + max 0 count
+  end
+  else
+    match status with
+    | Unknown -> ld.dropped <- ld.dropped + count
+    | Exact nd ->
+        if
+          List.for_all
+            (fun e -> e >= 0 && e < Array.length nd.Stale_match.edges)
+            path
+        then begin
+          (match ld.routine with
+          | Some (name, _) ->
+              Path_profile.add (Path_profile.routine ld.l_paths name) path count
+          | None -> ());
+          ld.applied <- ld.applied + count
+        end
+        else begin
+          diag ld
+            (Diagnostic.errorf ~line:lineno ~token Corrupt
+               "path mentions an edge id out of range");
+          ld.dropped <- ld.dropped + count
+        end
+    | Salvage (nd, m) -> (
+        let mapped = List.map (Stale_match.map_edge m) path in
+        match
+          if List.for_all Option.is_some mapped then
+            Some (List.map Option.get mapped)
+          else None
+        with
+        | Some new_path when path_is_connected nd new_path ->
+            (match ld.routine with
+            | Some (name, _) ->
+                Path_profile.add (Path_profile.routine ld.l_paths name) new_path
+                  count
+            | None -> ());
+            ld.applied <- ld.applied + count
+        | _ -> ld.dropped <- ld.dropped + count)
+
+let split_tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* One payload line (shared by v1 bodies and v2 section payloads). *)
+let payload_line ld ~lineno raw =
+  let line = String.trim raw in
+  if line = "" || line.[0] = '#' then ()
+  else if line = "edge-profile" then ld.section <- `Edges
+  else if line = "path-profile" then ld.section <- `Paths
+  else
+    match split_tokens line with
+    | [ "routine"; name ] ->
+        ld.routine <- Some (name, resolve_status ld ~lineno name)
+    | tokens -> (
+        let status =
+          match ld.routine with
+          | Some (_, s) -> Some s
+          | None ->
+              diag ld
+                (Diagnostic.errorf ~line:lineno ~token:(first_token line) Corrupt
+                   "counter before any 'routine' header");
+              None
+        in
+        match status with
+        | None -> ()
+        | Some status -> (
+            match ld.section with
+            | `Edges -> (
                 match tokens with
                 | [ e; c ] when String.length e > 1 && e.[0] = 'e' -> (
-                    try
-                      Edge_profile.add
-                        (Edge_profile.routine edges (current lineno))
-                        (int_of_string (String.sub e 1 (String.length e - 1)))
-                        (int_of_string c)
-                    with Failure _ | Invalid_argument _ ->
-                      fail lineno "malformed edge counter")
-                | _ -> fail lineno "expected 'e<ID> <count>'")
-            | Paths -> (
+                    match
+                      ( int_of_string_opt
+                          (String.sub e 1 (String.length e - 1)),
+                        int_of_string_opt c )
+                    with
+                    | Some id, Some count ->
+                        apply_edge ld ~lineno ~token:e status id count
+                    | _ ->
+                        diag ld
+                          (Diagnostic.errorf ~line:lineno ~token:e Corrupt
+                             "malformed edge counter"))
+                | _ ->
+                    diag ld
+                      (Diagnostic.errorf ~line:lineno ~token:(first_token line)
+                         Corrupt "expected 'e<ID> <count>'"))
+            | `Paths -> (
                 match tokens with
                 | count :: ":" :: rest -> (
-                    try
-                      Path_profile.add
-                        (Path_profile.routine paths (current lineno))
-                        (List.map int_of_string rest)
-                        (int_of_string count)
-                    with Failure _ -> fail lineno "malformed path counter")
-                | _ -> fail lineno "expected '<count> : <edges>'")))
-    (String.split_on_char '\n' text);
-  (edges, paths)
+                    match
+                      ( int_of_string_opt count,
+                        List.map int_of_string_opt rest )
+                    with
+                    | Some c, ids when List.for_all Option.is_some ids ->
+                        apply_path ld ~lineno ~token:count status
+                          (List.map Option.get ids) c
+                    | _ ->
+                        diag ld
+                          (Diagnostic.errorf ~line:lineno ~token:count Corrupt
+                             "malformed path counter"))
+                | _ ->
+                    diag ld
+                      (Diagnostic.errorf ~line:lineno ~token:(first_token line)
+                         Corrupt "expected '<count> : <edges>'"))))
+
+(* {3 v2 structure} *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* "key=value" pairs of a cfg / section header line. *)
+let kv_args tokens =
+  List.filter_map
+    (fun t ->
+      match String.index_opt t '=' with
+      | Some i ->
+          Some (String.sub t 0 i, String.sub t (i + 1) (String.length t - i - 1))
+      | None -> None)
+    tokens
+
+let parse_cfg_header ld lines i lineno line =
+  let args = kv_args (split_tokens line) in
+  let get k = List.assoc_opt k args in
+  match (get "routine", Option.bind (get "fp") Fingerprint.of_hex,
+         Option.bind (get "blocks") int_of_string_opt,
+         Option.bind (get "edges") int_of_string_opt)
+  with
+  | Some name, Some fp, Some nblocks, Some nedges
+    when nblocks >= 0 && nblocks <= 1_000_000 && nedges >= 0
+         && nedges <= 1_000_000 ->
+      let labels = Array.make nblocks "" in
+      let strict = Array.make nblocks 0 in
+      let loose = Array.make nblocks 0 in
+      let edges = Array.make nedges (-2, -2) in
+      let n = Array.length lines in
+      let want_b = ref 0 and want_e = ref 0 in
+      let ok = ref true in
+      while !ok && (!want_b < nblocks || !want_e < nedges) && !i < n do
+        let raw = lines.(!i) in
+        let l = String.trim raw in
+        let ln = !i + 1 in
+        if l = "" || l.[0] = '#' then incr i
+        else if !want_b < nblocks && starts_with "b " l then begin
+          (match split_tokens l with
+          | [ "b"; lbl; sh; lh ] -> (
+              match (Fingerprint.of_hex sh, Fingerprint.of_hex lh) with
+              | Some s, Some w ->
+                  labels.(!want_b) <- lbl;
+                  strict.(!want_b) <- s;
+                  loose.(!want_b) <- w
+              | _ ->
+                  diag ld
+                    (Diagnostic.errorf ~line:ln ~token:lbl ~routine:name Corrupt
+                       "malformed block hash"))
+          | _ ->
+              diag ld
+                (Diagnostic.errorf ~line:ln ~routine:name Corrupt
+                   "malformed 'b' line in cfg header"));
+          incr want_b;
+          incr i
+        end
+        else if !want_b >= nblocks && starts_with "e " l then begin
+          (match split_tokens l with
+          | [ "e"; id; src; dst ] -> (
+              match
+                (int_of_string_opt id, int_of_string_opt src, int_of_string_opt dst)
+              with
+              | Some id, Some s, Some d when id >= 0 && id < nedges ->
+                  edges.(id) <- (s, d)
+              | _ ->
+                  diag ld
+                    (Diagnostic.errorf ~line:ln ~token:id ~routine:name Corrupt
+                       "malformed 'e' line in cfg header"))
+          | _ ->
+              diag ld
+                (Diagnostic.errorf ~line:ln ~routine:name Corrupt
+                   "malformed 'e' line in cfg header"));
+          incr want_e;
+          incr i
+        end
+        else begin
+          diag ld
+            (Diagnostic.errorf ~line:ln ~token:(first_token l) ~routine:name
+               Corrupt "cfg header for %s is incomplete" name);
+          ok := false
+        end
+      done;
+      if !ok && (!want_b < nblocks || !want_e < nedges) then
+        diag ld
+          (Diagnostic.errorf ~routine:name Truncated
+             "cfg header for %s ends before its declared %d blocks / %d edges"
+             name nblocks nedges);
+      Hashtbl.replace ld.old_descs name
+        { Stale_match.fingerprint = fp; labels; strict; loose; edges }
+  | _ ->
+      diag ld
+        (Diagnostic.errorf ~line:lineno ~token:(first_token line) Corrupt
+           "malformed cfg header")
+
+let parse_section ld lines i lineno line =
+  let tokens = split_tokens line in
+  let kind =
+    match tokens with
+    | _ :: k :: _ when k = "edges" -> Some `Edges
+    | _ :: k :: _ when k = "paths" -> Some `Paths
+    | _ -> None
+  in
+  let args = kv_args tokens in
+  match
+    (kind, Option.bind (List.assoc_opt "crc" args) Crc.of_hex,
+     Option.bind (List.assoc_opt "lines" args) int_of_string_opt)
+  with
+  | Some kind, Some crc, Some k when k >= 0 ->
+      ld.section <- kind;
+      ld.routine <- None;
+      let n = Array.length lines in
+      let available = min k (n - !i) in
+      if available < k then
+        diag ld
+          (Diagnostic.errorf ~line:lineno Truncated
+             "section declares %d payload lines but only %d remain" k
+             (max 0 available));
+      let payload = Array.sub lines !i (max 0 available) in
+      let start = !i in
+      i := !i + max 0 available;
+      let joined = String.concat "\n" (Array.to_list payload) in
+      if available = k && Crc.string joined <> crc then
+        diag ld
+          (Diagnostic.errorf ~line:lineno Corrupt
+             "checksum mismatch in %s section"
+             (match kind with `Edges -> "edges" | `Paths -> "paths"));
+      Array.iteri
+        (fun j raw -> payload_line ld ~lineno:(start + j + 1) raw)
+        payload
+  | _ ->
+      diag ld
+        (Diagnostic.errorf ~line:lineno ~token:(first_token line) Corrupt
+           "malformed section header")
+
+let parse_v2 ld lines =
+  let n = Array.length lines in
+  let i = ref 1 (* line 0 is the format header *) in
+  let seen_end = ref false in
+  let stop = ref false in
+  while (not !stop) && !i < n do
+    let raw = lines.(!i) in
+    let lineno = !i + 1 in
+    let line = String.trim raw in
+    incr i;
+    if line = "" || line.[0] = '#' then ()
+    else if !seen_end then begin
+      diag ld
+        (Diagnostic.errorf ~line:lineno ~token:(first_token line) Corrupt
+           "content after 'end' marker");
+      stop := true
+    end
+    else if starts_with "cfg " line then parse_cfg_header ld lines i lineno line
+    else if starts_with "section " line then parse_section ld lines i lineno line
+    else if line = "end" then seen_end := true
+    else
+      diag ld
+        (Diagnostic.errorf ~line:lineno ~token:(first_token line) Corrupt
+           "unexpected line")
+  done;
+  if not !seen_end then
+    diag ld (Diagnostic.errorf Truncated "dump ends without the 'end' marker")
+
+let parse_v1 ld lines =
+  Array.iteri (fun i raw -> payload_line ld ~lineno:(i + 1) raw) lines
+
+let load (p : Ir.program) text =
+  let ld = make_loader p in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let is_v2 =
+    Array.length lines > 0 && String.trim lines.(0) = "ppp-profile v2"
+  in
+  if is_v2 then parse_v2 ld lines else parse_v1 ld lines;
+  let total = ld.applied + ld.dropped in
+  let matched_fraction =
+    if total = 0 then 1.0 else float_of_int ld.applied /. float_of_int total
+  in
+  Obs.set g_matched matched_fraction;
+  Obs.add m_salvaged ld.applied;
+  Obs.add m_dropped ld.dropped;
+  Obs.add m_stale ld.stale;
+  let diagnostics = List.rev ld.diags_rev in
+  if ld.applied = 0 && Diagnostic.count_errors diagnostics > 0 then
+    Error diagnostics
+  else
+    Ok
+      {
+        edges = ld.l_edges;
+        paths = ld.l_paths;
+        diagnostics;
+        matched_fraction;
+        stale_routines = ld.stale;
+        salvaged_counts = ld.applied;
+        dropped_counts = ld.dropped;
+      }

@@ -2,30 +2,81 @@
     can drive instrumentation (or inlining) in a later one — the offline
     half of a staged optimizer.
 
-    Format (one file can hold both sections; [#] comments allowed):
+    {2 Format v2 (written by {!save})}
+
     {v
-      edge-profile
+      ppp-profile v2
+      cfg routine=NAME fp=HEX blocks=N edges=M
+      b LABEL STRICT LOOSE          (N lines: per-block hashes)
+      e ID SRC DST                  (M lines: edge structure; DST -1 = exit)
+      section edges crc=HEX8 lines=K
       routine NAME
       e<ID> <count>
-      ...
-      path-profile
+      section paths crc=HEX8 lines=K
       routine NAME
       <count> : <edge id> <edge id> ...
+      end
     v}
-    Edge ids are the {!Ppp_ir.Cfg_view} edge identifiers of the routine
-    they belong to, so a profile is only meaningful for the exact program
-    it was collected from. *)
 
-val save_edges :
-  Format.formatter -> Ppp_ir.Ir.program -> Edge_profile.program -> unit
+    The [cfg] header records each routine's {!Ppp_resilience.Fingerprint}
+    and per-block hashes, so {!load} can detect a profile collected from
+    an older version of the program and salvage it via
+    {!Ppp_resilience.Stale_match} instead of mis-attributing counts. Each
+    [section] carries a CRC-32 of its payload lines and their count, so
+    corruption and truncation are detected rather than silently absorbed.
 
-val save_paths :
-  Format.formatter -> Ppp_ir.Ir.program -> Path_profile.program -> unit
+    {2 Format v1 (written by {!save_edges} / {!save_paths})}
+
+    The headerless legacy format ([edge-profile] / [path-profile]
+    sections only); {!load} still reads it, with no staleness or checksum
+    protection. [#] comments and blank lines are allowed in both formats
+    (inside a v2 section they count toward [lines=K] and the CRC).
+
+    {2 Loading}
+
+    [load] never raises: every problem is classified as a
+    {!Ppp_resilience.Diagnostic.t} — [Corrupt] (bad syntax, bad CRC,
+    impossible ids), [Stale] (fingerprint mismatch), [Unknown_routine],
+    or [Truncated] — and as much of the dump as possible is salvaged. *)
+
+type loaded = {
+  edges : Edge_profile.program;
+  paths : Path_profile.program;
+  diagnostics : Ppp_resilience.Diagnostic.t list;  (** oldest first *)
+  matched_fraction : float;
+      (** fraction of the recorded count mass that was applied; 1.0 for a
+          pristine profile, less when counts were dropped as corrupt,
+          unknown, or unmatchable after a CFG change *)
+  stale_routines : int;  (** routines salvaged through stale matching *)
+  salvaged_counts : int;  (** count mass applied *)
+  dropped_counts : int;  (** count mass dropped *)
+}
 
 val load :
   Ppp_ir.Ir.program ->
   string ->
-  Edge_profile.program * Path_profile.program
-(** Parse a profile dump (either or both sections). Routines absent from
-    the text have empty profiles.
-    @raise Failure on malformed input or unknown routine names. *)
+  (loaded, Ppp_resilience.Diagnostic.t list) result
+(** Parse a v1 or v2 profile dump. [Ok] whenever anything was salvaged
+    (or the dump was validly empty), with all problems in
+    [loaded.diagnostics]; [Error] when there were errors and nothing
+    could be salvaged. Routines absent from the text have empty profiles.
+    When {!Ppp_obs.Metrics} is enabled, sets the
+    [resilience.matched_fraction] gauge and the [resilience.counts.*]
+    counters. *)
+
+val save :
+  ?edges:Edge_profile.program ->
+  ?paths:Path_profile.program ->
+  Format.formatter ->
+  Ppp_ir.Ir.program ->
+  unit
+(** Write a v2 dump (header, per-routine CFG metadata, checksummed
+    sections). Sections for omitted profiles are written empty. *)
+
+val save_edges :
+  Format.formatter -> Ppp_ir.Ir.program -> Edge_profile.program -> unit
+(** Legacy v1 writer (no header, no checksums). *)
+
+val save_paths :
+  Format.formatter -> Ppp_ir.Ir.program -> Path_profile.program -> unit
+(** Legacy v1 writer. *)

@@ -1,0 +1,34 @@
+(* Table-driven reflected CRC-32 with polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string s = update 0l s
+
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let of_hex s =
+  if String.length s <> 8 || not (String.for_all is_hex s) then None
+  else try Some (Int32.of_string ("0x" ^ s)) with Failure _ -> None

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over strings, for the
+    per-section checksums of the v2 profile format. Self-contained so the
+    profile reader needs no external dependency to validate a dump. *)
+
+val string : string -> int32
+(** CRC-32 of the whole string ([0l] for the empty string). *)
+
+val update : int32 -> string -> int32
+(** [update crc s] extends a finalized CRC with more bytes:
+    [update (string a) b = string (a ^ b)]. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex, 8 characters. *)
+
+val of_hex : string -> int32 option

@@ -1,0 +1,66 @@
+module Obs = Ppp_obs.Metrics
+module Jsonx = Ppp_obs.Jsonx
+
+type kind = Corrupt | Stale | Unknown_routine | Truncated | Exhausted | Saturated
+type severity = Warning | Error
+
+type t = {
+  kind : kind;
+  severity : severity;
+  line : int option;
+  token : string option;
+  routine : string option;
+  message : string;
+}
+
+let kind_name = function
+  | Corrupt -> "corrupt"
+  | Stale -> "stale"
+  | Unknown_routine -> "unknown-routine"
+  | Truncated -> "truncated"
+  | Exhausted -> "exhausted"
+  | Saturated -> "saturated"
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+let all_kinds = [ Corrupt; Stale; Unknown_routine; Truncated; Exhausted; Saturated ]
+
+(* Registered at module init so every snapshot lists them, zeroed or not
+   (the convention Ppp_obs establishes). *)
+let m_kind =
+  List.map (fun k -> (k, Obs.counter ("resilience.diag." ^ kind_name k))) all_kinds
+
+let make ?(severity = Error) ?line ?token ?routine kind message =
+  Obs.incr (List.assoc kind m_kind);
+  { kind; severity; line; token; routine; message }
+
+let errorf ?severity ?line ?token ?routine kind fmt =
+  Format.kasprintf (fun s -> make ?severity ?line ?token ?routine kind s) fmt
+
+let is_error d = d.severity = Error
+let count_errors ds = List.length (List.filter is_error ds)
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %s:" (severity_name d.severity) (kind_name d.kind);
+  (match d.line with Some l -> Format.fprintf ppf " line %d" l | None -> ());
+  (match d.token with Some t -> Format.fprintf ppf " (%S)" t | None -> ());
+  Format.fprintf ppf " %s" d.message;
+  match d.routine with
+  | Some r -> Format.fprintf ppf " (routine %s)" r
+  | None -> ()
+
+let pp_list ppf ds = List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds
+
+let to_json d =
+  let opt f = function Some v -> f v | None -> Jsonx.Null in
+  Jsonx.Obj
+    [
+      ("kind", Jsonx.Str (kind_name d.kind));
+      ("severity", Jsonx.Str (severity_name d.severity));
+      ("line", opt (fun l -> Jsonx.Int l) d.line);
+      ("token", opt (fun t -> Jsonx.Str t) d.token);
+      ("routine", opt (fun r -> Jsonx.Str r) d.routine);
+      ("message", Jsonx.Str d.message);
+    ]
+
+let list_to_json ds = Jsonx.Arr (List.map to_json ds)

@@ -1,0 +1,35 @@
+(** Seeded fault injection for profile dumps: the adversarial half of the
+    resilience story. Each fault deterministically perturbs a profile
+    text the way real production profiles go wrong — truncated uploads,
+    bit-flipped counters, sections shuffled by a concatenating collector,
+    routines renamed by a new build, registrations dropped or duplicated
+    by a lossy runtime — so the loader's classification and salvage paths
+    can be exercised exhaustively ([pppc fuzz-profile], [test_resilience]).
+
+    All randomness comes from an explicit {!rng} (SplitMix64), so a seed
+    fully determines every perturbation. *)
+
+type rng
+
+val rng : seed:int -> rng
+val int : rng -> int -> int
+(** [int r bound] is uniform in [[0, bound)]; [bound >= 1]. *)
+
+type fault =
+  | Truncate  (** cut the dump mid-payload *)
+  | Flip_count  (** corrupt the digits of one counter line *)
+  | Reorder_sections  (** move a section header somewhere else *)
+  | Rename_routine  (** rename one [routine] header to a fresh name *)
+  | Drop_registration  (** delete a handful of counter lines *)
+  | Duplicate_registration  (** repeat a handful of counter lines *)
+  | Garbage_line  (** splice in a line of binary garbage *)
+
+val all : fault list
+val name : fault -> string
+val of_name : string -> fault option
+
+val apply : rng -> fault -> string -> string
+(** [apply r fault text] is a perturbed copy of [text]. Guaranteed to
+    differ from [text] whenever [text] is non-empty (a fault that lands
+    on nothing falls back to appending garbage), so every application
+    really injects something. *)

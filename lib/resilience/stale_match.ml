@@ -1,0 +1,113 @@
+module Ir = Ppp_ir.Ir
+
+type cfg_desc = {
+  fingerprint : int;
+  labels : string array;
+  strict : int array;
+  loose : int array;
+  edges : (int * int) array;
+}
+
+let describe (r : Ir.routine) =
+  let edges = ref [] in
+  (* Mirrors Cfg_view.of_routine's edge allocation order exactly: blocks
+     in order, Branch allocating taken before not-taken. *)
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.Jump l -> edges := (i, l) :: !edges
+      | Ir.Branch (_, l1, l2) -> edges := (i, l2) :: (i, l1) :: !edges
+      | Ir.Return _ -> edges := (i, -1) :: !edges)
+    r.Ir.blocks;
+  {
+    fingerprint = Fingerprint.routine r;
+    labels = Array.map (fun (b : Ir.block) -> b.Ir.label) r.Ir.blocks;
+    strict = Array.map Fingerprint.block_strict r.Ir.blocks;
+    loose = Array.map Fingerprint.block_loose r.Ir.blocks;
+    edges = Array.of_list (List.rev !edges);
+  }
+
+type result = {
+  block_map : int array;
+  edge_map : int array;
+  matched_blocks : int;
+  matched_edges : int;
+}
+
+let match_cfgs ~old_desc ~new_desc =
+  let n_old = Array.length old_desc.strict in
+  let n_new = Array.length new_desc.strict in
+  let block_map = Array.make (max 1 n_old) (-1) in
+  let taken = Array.make (max 1 n_new) false in
+  let claim o n =
+    if n >= 0 && n < n_new && (not taken.(n)) && block_map.(o) = -1 then begin
+      block_map.(o) <- n;
+      taken.(n) <- true
+    end
+  in
+  (* Entry matches entry unconditionally: profiles are per-routine and
+     the entry block's identity is positional. *)
+  if n_old > 0 && n_new > 0 then claim 0 0;
+  (* Ladder of anchors, each pass greedy in block order. *)
+  let pass key_old key_new =
+    for o = 0 to n_old - 1 do
+      if block_map.(o) = -1 then begin
+        let n = ref 0 in
+        let found = ref false in
+        while (not !found) && !n < n_new do
+          if (not taken.(!n)) && key_old o = key_new !n then found := true
+          else incr n
+        done;
+        if !found then claim o !n
+      end
+    done
+  in
+  pass (fun o -> `S old_desc.strict.(o)) (fun n -> `S new_desc.strict.(n));
+  pass (fun o -> `L old_desc.labels.(o)) (fun n -> `L new_desc.labels.(n));
+  pass (fun o -> `W old_desc.loose.(o)) (fun n -> `W new_desc.loose.(n));
+  let matched_blocks =
+    if n_old = 0 then 0
+    else Array.fold_left (fun a m -> if m >= 0 then a + 1 else a) 0 block_map
+  in
+  (* Edge mapping: an old edge (s, d) maps to the first unclaimed new
+     edge (block_map s, block_map d); the exit pseudo-block -1 maps to
+     itself. Greedy in id order so parallel edges pair up stably. *)
+  let n_old_e = Array.length old_desc.edges in
+  let n_new_e = Array.length new_desc.edges in
+  let edge_map = Array.make (max 1 n_old_e) (-1) in
+  let e_taken = Array.make (max 1 n_new_e) false in
+  (* [None] = endpoint's block did not match (edge unsalvageable);
+     exit maps to exit. *)
+  let map_node b =
+    if b = -1 then Some (-1)
+    else if b >= 0 && b < n_old && block_map.(b) >= 0 then Some block_map.(b)
+    else None
+  in
+  Array.iteri
+    (fun e (s, d) ->
+      match (map_node s, map_node d) with
+      | Some ns, Some nd when ns >= 0 ->
+          let i = ref 0 in
+          let found = ref false in
+          while (not !found) && !i < n_new_e do
+            if (not e_taken.(!i)) && new_desc.edges.(!i) = (ns, nd) then
+              found := true
+            else incr i
+          done;
+          if !found then begin
+            edge_map.(e) <- !i;
+            e_taken.(!i) <- true
+          end
+      | _ -> ())
+    old_desc.edges;
+  let matched_edges =
+    if n_old_e = 0 then 0
+    else Array.fold_left (fun a m -> if m >= 0 then a + 1 else a) 0 edge_map
+  in
+  { block_map; edge_map; matched_blocks; matched_edges }
+
+let map_edge r e =
+  if e < 0 || e >= Array.length r.edge_map then None
+  else
+    let m = r.edge_map.(e) in
+    if m < 0 then None else Some m

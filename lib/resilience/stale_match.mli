@@ -1,0 +1,41 @@
+(** Stale-profile matching: re-map edge (and path) identifiers recorded
+    against an old version of a routine onto the current version, in the
+    spirit of BOLT's stale profile matching.
+
+    A {!cfg_desc} is the durable description of a routine's CFG that the
+    v2 profile format stores alongside the counts: per-block label,
+    strict hash and loose hash, plus the edge list. {!match_cfgs} aligns
+    old blocks to new blocks on a ladder of anchors — strict hash, then
+    label, then loose hash, each greedy in block order — and then maps
+    every old edge whose endpoints both matched onto a structurally
+    identical new edge. Counts on unmatched edges are unsalvageable and
+    reported as such by the caller. *)
+
+type cfg_desc = {
+  fingerprint : int;
+  labels : string array;  (** per block *)
+  strict : int array;
+  loose : int array;
+  edges : (int * int) array;
+      (** indexed by Cfg_view edge id: (src block, dst block);
+          dst = [-1] for the virtual exit *)
+}
+
+val describe : Ppp_ir.Ir.routine -> cfg_desc
+(** The description of a routine as compiled now (edge ids are the
+    {!Ppp_ir.Cfg_view} ids the interpreter and instrumenter use). *)
+
+type result = {
+  block_map : int array;  (** old block -> new block, [-1] = unmatched *)
+  edge_map : int array;  (** old edge id -> new edge id, [-1] = unmatched *)
+  matched_blocks : int;
+  matched_edges : int;
+}
+
+val match_cfgs : old_desc:cfg_desc -> new_desc:cfg_desc -> result
+(** Never fails; worst case every entry of the maps is [-1]. The entry
+    block always maps to the entry block. *)
+
+val map_edge : result -> int -> int option
+(** [map_edge r e] is the new id of old edge [e], if matched and in
+    range. *)

@@ -97,9 +97,17 @@ done:
   ret
 }|}
   in
-  match Interp.run ~config:{ Interp.default_config with fuel = 1000 } p with
-  | exception Interp.Runtime_error "out of fuel" -> ()
-  | _ -> Alcotest.fail "expected fuel exhaustion"
+  let o = Interp.run ~config:{ Interp.default_config with fuel = 1000 } p in
+  (match o.Interp.termination with
+  | Interp.Out_of_fuel { stack_depth } ->
+      Alcotest.(check int) "main was still live" 1 stack_depth
+  | Interp.Finished -> Alcotest.fail "expected fuel exhaustion");
+  (* The partial run still reports everything it collected. *)
+  Alcotest.(check bool) "no return value" true (o.Interp.return_value = None);
+  Alcotest.(check bool) "partial work is visible" true (o.Interp.dyn_instrs > 0);
+  Alcotest.(check bool)
+    "partial edge profile survives" true
+    (o.Interp.edge_profile <> None)
 
 (* Path semantics (Section 3.1): a 3-iteration counted loop produces one
    entry path, iteration paths, and one exit path. *)

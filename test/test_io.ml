@@ -36,35 +36,101 @@ let profiles_equal p (ep1, pp1) (ep2, pp2) =
       !edges_ok && !paths_ok)
     p.Ir.routines
 
+let dump_v2 p (o : Interp.outcome) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Profile_io.save ?edges:o.Interp.edge_profile ?paths:o.Interp.path_profile ppf
+    p;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let clean_roundtrip p (o : Interp.outcome) text =
+  match Profile_io.load p text with
+  | Error _ -> false
+  | Ok l ->
+      l.Profile_io.diagnostics = []
+      && l.Profile_io.matched_fraction = 1.0
+      && profiles_equal p
+           (Option.get o.Interp.edge_profile, Option.get o.Interp.path_profile)
+           (l.Profile_io.edges, l.Profile_io.paths)
+
 let prop_profile_roundtrip =
-  QCheck.Test.make ~name:"profile save/load roundtrip" ~count:40
+  QCheck.Test.make ~name:"profile save/load roundtrip (v1 and v2)" ~count:40
     QCheck.(small_int)
     (fun seed ->
       let p = Ppp_workloads.Gen.program ~seed in
       let o = Interp.run p in
-      let text = dump p o in
-      let loaded = Profile_io.load p text in
-      profiles_equal p
-        (Option.get o.Interp.edge_profile, Option.get o.Interp.path_profile)
-        loaded)
+      clean_roundtrip p o (dump p o) && clean_roundtrip p o (dump_v2 p o))
 
-let test_load_rejects_garbage () =
-  let p = Ppp_workloads.Gen.program ~seed:1 in
-  let expect_fail text =
-    match Profile_io.load p text with
-    | exception Failure _ -> ()
-    | _ -> Alcotest.fail "expected a Failure"
+(* Every built-in workload roundtrips bit-exactly through the validated
+   v2 format, plus the degenerate empty-profile and comment-heavy dumps. *)
+let test_v2_roundtrip_all_benches () =
+  List.iter
+    (fun (b : Ppp_workloads.Spec.bench) ->
+      let p = b.Ppp_workloads.Spec.build ~scale:1 in
+      let o = Interp.run p in
+      check_bool
+        ("v2 roundtrip " ^ b.Ppp_workloads.Spec.bench_name)
+        true
+        (clean_roundtrip p o (dump_v2 p o)))
+    Ppp_workloads.Spec.all
+
+let test_v2_empty_profile () =
+  let p = Ppp_workloads.Gen.program ~seed:3 in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Profile_io.save ppf p;
+  Format.pp_print_flush ppf ();
+  match Profile_io.load p (Buffer.contents buf) with
+  | Error _ -> Alcotest.fail "empty v2 profile rejected"
+  | Ok l ->
+      check_bool "no diagnostics" true (l.Profile_io.diagnostics = []);
+      check_bool "full confidence" true (l.Profile_io.matched_fraction = 1.0)
+
+let test_v2_comment_heavy () =
+  let p = Ppp_workloads.Gen.program ~seed:5 in
+  let o = Interp.run p in
+  (* Comments and blanks are legal between top-level v2 items (inside a
+     section they would be part of the checksummed payload). *)
+  let text =
+    dump_v2 p o
+    |> String.split_on_char '\n'
+    |> List.concat_map (fun line ->
+           if
+             line = "end"
+             || String.length line >= 4
+                && (String.sub line 0 4 = "cfg " || String.sub line 0 4 = "sect")
+           then [ "# comment"; ""; line ]
+           else [ line ])
+    |> String.concat "\n"
   in
-  expect_fail "edge-profile\ne0 5"; (* counter before routine header *)
-  expect_fail "edge-profile\nroutine nonexistent\ne0 5";
-  expect_fail "edge-profile\nroutine main\nbogus line here";
-  expect_fail "path-profile\nroutine main\nnot-a-number : 0 1"
+  check_bool "comment-heavy v2 roundtrips" true (clean_roundtrip p o text)
+
+let test_load_classifies_garbage () =
+  let p = Ppp_workloads.Gen.program ~seed:1 in
+  (* Bad input never raises: it comes back as classified diagnostics,
+     either alongside whatever was salvaged or as an outright Error. *)
+  let expect_diag text =
+    match Profile_io.load p text with
+    | Ok l ->
+        check_bool "garbage yields a diagnostic" true
+          (l.Profile_io.diagnostics <> [])
+    | Error ds -> check_bool "error carries diagnostics" true (ds <> [])
+    | exception e ->
+        Alcotest.failf "load raised %s" (Printexc.to_string e)
+  in
+  expect_diag "edge-profile\ne0 5"; (* counter before routine header *)
+  expect_diag "edge-profile\nroutine nonexistent\ne0 5";
+  expect_diag "edge-profile\nroutine main\nbogus line here";
+  expect_diag "path-profile\nroutine main\nnot-a-number : 0 1"
 
 let test_load_tolerates_comments_and_blanks () =
   let p = Ppp_workloads.Gen.program ~seed:1 in
   let o = Interp.run p in
   let text = "# a comment\n\n" ^ dump p o ^ "\n# trailing\n" in
-  ignore (Profile_io.load p text)
+  match Profile_io.load p text with
+  | Ok l -> check_bool "no diagnostics" true (l.Profile_io.diagnostics = [])
+  | Error _ -> Alcotest.fail "comments should be tolerated"
 
 let test_pp_plan_renders () =
   let p = (Ppp_workloads.Spec.find "gap").Ppp_workloads.Spec.build ~scale:1 in
@@ -95,7 +161,12 @@ let test_pp_plan_renders () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_profile_roundtrip;
-    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "v2 roundtrip on all benches" `Quick
+      test_v2_roundtrip_all_benches;
+    Alcotest.test_case "v2 empty profile" `Quick test_v2_empty_profile;
+    Alcotest.test_case "v2 comment-heavy" `Quick test_v2_comment_heavy;
+    Alcotest.test_case "load classifies garbage" `Quick
+      test_load_classifies_garbage;
     Alcotest.test_case "load tolerates comments" `Quick test_load_tolerates_comments_and_blanks;
     Alcotest.test_case "pp_plan renders" `Quick test_pp_plan_renders;
   ]

@@ -18,4 +18,5 @@ let () =
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
       ("table_stats", Test_table_stats.suite);
+      ("resilience", Test_resilience.suite);
     ]

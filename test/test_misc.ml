@@ -111,14 +111,15 @@ let test_builder_misuse () =
 let test_parse_error_line_numbers () =
   let src = "routine main(0) regs 1 {\nentry:\n  r0 = 1\n  r0 = @\n  ret\n}" in
   match Ppp_ir.Parse.program_of_string src with
-  | exception Ppp_ir.Parse.Error msg ->
-      check_bool "points at line 4" true
-        (let has sub =
-           let n = String.length sub and m = String.length msg in
-           let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
-           go 0
-         in
-         has "line 4")
+  | exception Ppp_ir.Parse.Error e ->
+      Alcotest.(check int) "points at line 4" 4 e.Ppp_ir.Parse.line;
+      check_bool "rendered message carries the line"
+        true
+        (let msg = Ppp_ir.Parse.located_message e in
+         let sub = "line 4" in
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0)
   | _ -> Alcotest.fail "expected a parse error"
 
 let test_gen_deterministic () =

@@ -19,6 +19,7 @@ let counter name =
   | None -> Alcotest.failf "metric %s not registered" name
 
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 let test_array_table () =
   with_metrics @@ fun () ->
@@ -110,6 +111,49 @@ let test_hash_lost_under_pressure () =
   Table.bump_cold t;
   check_int "dynamic total includes cold and lost" 703 (Table.dynamic_total t)
 
+(* Satellite regression: every dropped path execution — array overflow
+   and the Section 7.4 double-hashing give-up alike — increments the
+   unified rt.lost_paths metric, under either overflow policy. *)
+let test_lost_paths_on_saturating_workload () =
+  with_metrics @@ fun () ->
+  let t = Table.create Instr_rt.Hash_table in
+  for k = 0 to 700 do
+    Table.bump t k
+  done;
+  (* Table full: 40 fresh keys exhaust all three tries every time. *)
+  for k = 10_000 to 10_039 do
+    Table.bump t k
+  done;
+  check_int "rt.lost_paths counts every drop" 40 (counter "rt.lost_paths");
+  check_int "lost agrees" 40 (Table.lost t);
+  (* Array overflow drops feed the same metric. *)
+  let a = Table.create (Instr_rt.Array_table 2) in
+  Table.bump a 5;
+  Table.bump a 7;
+  check_int "rt.lost_paths includes array overflow" 42
+    (counter "rt.lost_paths");
+  check_int "dynamic total preserved" (701 + 40) (Table.dynamic_total t)
+
+let test_overflow_bin_policy () =
+  with_metrics @@ fun () ->
+  let t =
+    Table.create ~policy:(Table.Overflow_bin { cap = 3 }) Instr_rt.Hash_table
+  in
+  for k = 0 to 700 do
+    Table.bump t k
+  done;
+  for k = 20_000 to 20_004 do
+    Table.bump t k
+  done;
+  (* 5 drops: 3 preserved in the bin (then saturated), 2 genuinely lost. *)
+  check_int "overflow bin holds cap" 3 (Table.overflow t);
+  check_int "rest lost" 2 (Table.lost t);
+  check_bool "saturated" true (Table.saturated t);
+  check_int "rt.lost_paths counts all five" 5 (counter "rt.lost_paths");
+  check_int "rt.table.overflow" 3 (counter "rt.table.overflow");
+  check_int "rt.table.saturations" 1 (counter "rt.table.saturations");
+  check_int "dynamic total includes the bin" (701 + 5) (Table.dynamic_total t)
+
 let test_metrics_gated_off () =
   Metrics.set_enabled false;
   Metrics.reset ();
@@ -131,5 +175,8 @@ let suite =
       test_hash_collisions_across_tries;
     Alcotest.test_case "hash lost under pressure" `Quick
       test_hash_lost_under_pressure;
+    Alcotest.test_case "lost paths on saturating workload" `Quick
+      test_lost_paths_on_saturating_workload;
+    Alcotest.test_case "overflow bin policy" `Quick test_overflow_bin_policy;
     Alcotest.test_case "metrics gated off" `Quick test_metrics_gated_off;
   ]
