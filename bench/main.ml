@@ -9,7 +9,19 @@
      main.exe --scale N ...        larger inputs (default 1)
      main.exe --bench a,b,c ...    restrict to some benchmarks
      main.exe --json FILE ...      machine-readable results (default
-                                   BENCH_results.json; --no-json to skip) *)
+                                   BENCH_results.json; --no-json to skip)
+     main.exe -j N | --shards N    evaluate benchmarks across N worker
+                                   processes (machine-readable only: no
+                                   tables, no wall-clock timing; the JSON
+                                   is byte-identical at every -j)
+     main.exe --seed N             PRNG seed recorded in the JSON and fed
+                                   to shard workers (default 0)
+     main.exe --smoke              machine-readable only, without forking
+     main.exe --baseline F --gate P
+                                   compare against a previous BENCH_*.json
+                                   and exit 1 if any cost-model overhead
+                                   (or wall-clock ratio, when both sides
+                                   have timing) regressed by more than P% *)
 
 module H = Ppp_harness.Pipeline
 module R = Ppp_harness.Report
@@ -134,14 +146,67 @@ let timing_json get name =
            ])
   | _ -> None
 
-let write_bench_json ~path ~scale ~timing_get benches =
-  let timing =
-    match timing_get with
-    | None -> fun _ -> None
-    | Some get -> timing_json get
+(* The whole document is canonicalized (objects key-sorted) before
+   writing, so BENCH_*.json is byte-stable for a given tree: same rows
+   at every -j, no field-order drift. *)
+let write_doc ~path doc =
+  Ppp_obs.Sink.write_json ~path (J.canonical doc);
+  Format.eprintf "wrote %s@." path
+
+(* {2 Sharded evaluation}
+
+   Each worker prepares and evaluates one benchmark and sends its JSON
+   row back as a string; evaluation is deterministic (the cost model,
+   not the wall clock), so rows are identical whichever worker computes
+   them and the assembled document is byte-identical at every -j. *)
+
+module Shard = Ppp_harness.Shard
+module Gate = Ppp_harness.Gate
+
+let row_of_name ~scale name =
+  match R.prepare_all ~scale ~names:[ name ] () with
+  | [ pb ] -> J.to_string (R.bench_json_one pb)
+  | _ -> assert false
+
+let sharded_rows ~jobs ~seed ~scale names =
+  let results =
+    Shard.map ~jobs ~seed
+      ~f:(fun ~seed:_ name -> row_of_name ~scale name)
+      names
   in
-  Ppp_obs.Sink.write_json ~path (R.bench_json ~scale ~timing benches);
-  Format.fprintf fmt "wrote %s@." path
+  let lost = ref [] in
+  let rows =
+    List.filter_map
+      (function
+        | Ok row -> Some (J.of_string row)
+        | Error d ->
+            lost := d :: !lost;
+            None)
+      results
+  in
+  (rows, List.rev !lost)
+
+let read_json path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  J.of_string text
+
+(* Exit 1 on regression, so CI can gate on it. *)
+let run_gate ~baseline_path ~pct current =
+  let baseline = read_json baseline_path in
+  match Gate.check ~baseline ~current ~pct with
+  | [] ->
+      Format.eprintf "gate: no regressions beyond %g%% against %s@." pct
+        baseline_path
+  | fails ->
+      Format.eprintf "gate: %d regression(s) beyond %g%% against %s@."
+        (List.length fails) pct baseline_path;
+      Format.eprintf "%a" Gate.pp_failures fails;
+      exit 1
 
 (* {2 Argument handling} *)
 
@@ -151,6 +216,11 @@ let () =
   let names = ref None in
   let actions = ref [] in
   let json_path = ref (Some "BENCH_results.json") in
+  let jobs = ref 1 in
+  let seed = ref 0 in
+  let smoke = ref false in
+  let baseline = ref None in
+  let gate_pct = ref 10.0 in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -165,41 +235,102 @@ let () =
     | "--no-json" :: rest ->
         json_path := None;
         parse rest
+    | ("-j" | "--shards") :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse rest
+    | "--gate" :: p :: rest ->
+        gate_pct := float_of_string p;
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
   in
   parse args;
   let actions = List.rev !actions in
-  let benches = R.prepare_all ~scale:!scale ?names:!names () in
-  let timing_get = ref None in
-  let run_timing () = timing_get := Some (timing benches) in
-  let all_reports () =
-    R.table1 fmt benches;
-    R.table2 fmt benches;
-    R.fig9_10_11 fmt benches;
-    R.fig12 fmt benches;
-    R.fig13 fmt benches;
-    R.section8_1 fmt benches
-  in
-  (match actions with
-  | [] ->
-      all_reports ();
-      run_timing ()
-  | acts ->
-      List.iter
-        (function
-          | "table1" -> R.table1 fmt benches
-          | "table2" -> R.table2 fmt benches
-          | "fig9" | "fig10" | "fig11" -> R.fig9_10_11 fmt benches
-          | "fig12" -> R.fig12 fmt benches
-          | "fig13" -> R.fig13 fmt benches
-          | "sec8.1" -> R.section8_1 fmt benches
-          | "tables" -> all_reports ()
-          | "timing" -> run_timing ()
-          | other -> Format.fprintf fmt "unknown action %s@." other)
-        acts);
-  match !json_path with
-  | None -> ()
-  | Some path ->
-      write_bench_json ~path ~scale:!scale ~timing_get:!timing_get benches
+  if !jobs > 1 || !smoke then begin
+    (* Machine-readable only: tables and Bechamel timing are excluded so
+       the output carries no wall-clock noise and no fork-order
+       dependence. *)
+    if actions <> [] then
+      Format.eprintf "note: actions %s are ignored under -j/--smoke@."
+        (String.concat ", " actions);
+    let selected =
+      match !names with
+      | Some ns -> ns
+      | None -> Ppp_workloads.Spec.names ()
+    in
+    let rows, lost =
+      if !jobs > 1 then sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale selected
+      else
+        ( List.map
+            (fun pb -> R.bench_json_one pb)
+            (R.prepare_all ~scale:!scale ~names:selected ()),
+          [] )
+    in
+    List.iter
+      (fun d -> Format.eprintf "%a@." Ppp_resilience.Diagnostic.pp d)
+      lost;
+    let doc = J.canonical (R.bench_json_wrap ~scale:!scale ~seed:!seed rows) in
+    (match !json_path with
+    | None -> ()
+    | Some path -> write_doc ~path doc);
+    (match !baseline with
+    | None -> ()
+    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc);
+    if lost <> [] then exit 2
+  end
+  else begin
+    let benches = R.prepare_all ~scale:!scale ?names:!names () in
+    let timing_get = ref None in
+    let run_timing () = timing_get := Some (timing benches) in
+    let all_reports () =
+      R.table1 fmt benches;
+      R.table2 fmt benches;
+      R.fig9_10_11 fmt benches;
+      R.fig12 fmt benches;
+      R.fig13 fmt benches;
+      R.section8_1 fmt benches
+    in
+    (match actions with
+    | [] ->
+        all_reports ();
+        run_timing ()
+    | acts ->
+        List.iter
+          (function
+            | "table1" -> R.table1 fmt benches
+            | "table2" -> R.table2 fmt benches
+            | "fig9" | "fig10" | "fig11" -> R.fig9_10_11 fmt benches
+            | "fig12" -> R.fig12 fmt benches
+            | "fig13" -> R.fig13 fmt benches
+            | "sec8.1" -> R.section8_1 fmt benches
+            | "tables" -> all_reports ()
+            | "timing" -> run_timing ()
+            | other -> Format.fprintf fmt "unknown action %s@." other)
+          acts);
+    let timing =
+      match !timing_get with
+      | None -> fun _ -> None
+      | Some get -> timing_json get
+    in
+    let doc =
+      J.canonical
+        (R.bench_json_wrap ~scale:!scale ~seed:!seed
+           (List.map (R.bench_json_one ~timing) benches))
+    in
+    (match !json_path with
+    | None -> ()
+    | Some path -> write_doc ~path doc);
+    match !baseline with
+    | None -> ()
+    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc
+  end

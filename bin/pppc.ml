@@ -12,6 +12,7 @@ module Metrics = Ppp_obs.Metrics
 module Diagnostic = Ppp_resilience.Diagnostic
 module Faults = Ppp_resilience.Faults
 module Profile_io = Ppp_profile.Profile_io
+module Shard = Ppp_harness.Shard
 module Jsonx = Ppp_obs.Jsonx
 module Trace = Ppp_obs.Trace
 module Sink = Ppp_obs.Sink
@@ -255,6 +256,58 @@ let instrument_cmd =
 
 (* {2 collect} *)
 
+let jobs_arg =
+  let doc =
+    "Number of forked worker processes. Only multi-workload work \
+     ($(b,bench:all), fuzz-profile) shards; results are identical at \
+     every $(docv) (workers that die are reported and skipped)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Collect every built-in workload under the worker pool and merge the
+   shards; [pppc collect bench:all]. *)
+let collect_all ~scale ~jobs ~output ~shard_dir ~metrics_wanted =
+  let metrics = metrics_wanted || Option.is_some shard_dir in
+  let c =
+    Shard.collect_workloads ~jobs ~scale ~metrics Ppp_workloads.Spec.all
+  in
+  (match shard_dir with
+  | None -> ()
+  | Some dir ->
+      mkdir_p dir;
+      List.iter
+        (fun (name, dump) ->
+          write_file (Filename.concat dir (name ^ ".ppp")) dump)
+        c.Shard.shards;
+      List.iter
+        (fun (name, snap) ->
+          Sink.write_metrics_json
+            ~path:(Filename.concat dir (name ^ ".metrics.json"))
+            snap)
+        c.Shard.shard_metrics);
+  if metrics_wanted then Metrics.absorb c.Shard.metrics;
+  List.iter (fun d -> Format.eprintf "%a@." Diagnostic.pp d) c.Shard.lost;
+  (match Profile_io.Raw.diagnostics c.Shard.raw with
+  | [] -> ()
+  | ds -> Format.eprintf "%a@." Diagnostic.pp_list ds);
+  let text = Profile_io.Raw.to_string c.Shard.raw in
+  (match output with None -> print_string text | Some path -> write_file path text);
+  Format.eprintf "collected %d/%d workloads (-j %d): count mass %d, lost %d@."
+    (List.length c.Shard.shards)
+    (List.length Ppp_workloads.Spec.all)
+    jobs
+    (Profile_io.Raw.mass c.Shard.raw)
+    (Profile_io.Raw.lost c.Shard.raw);
+  if c.Shard.lost <> [] then exit 3
+
 let collect_cmd =
   let output_arg =
     let doc = "Write the profile here instead of stdout." in
@@ -267,36 +320,100 @@ let collect_cmd =
     in
     Arg.(value & flag & info [ "v1" ] ~doc)
   in
-  let action spec scale output v1 =
+  let shard_dir_arg =
+    let doc =
+      "With $(b,bench:all): also write every workload's own dump \
+       (NAME.ppp) and metrics snapshot (NAME.metrics.json) into $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "shard-dir" ] ~docv:"DIR" ~doc)
+  in
+  let action spec scale output v1 jobs shard_dir obs =
     handle_errors (fun () ->
-        let p = load_program spec ~scale in
-        let o = Interp.run p in
-        let write ppf =
-          if v1 then begin
-            Ppp_profile.Profile_io.save_edges ppf p
-              (Option.get o.Interp.edge_profile);
-            Ppp_profile.Profile_io.save_paths ppf p
-              (Option.get o.Interp.path_profile)
-          end
-          else
-            Ppp_profile.Profile_io.save ?edges:o.Interp.edge_profile
-              ?paths:o.Interp.path_profile ppf p
-        in
-        match output with
-        | None -> write Format.std_formatter
-        | Some path ->
-            let oc = open_out path in
-            let ppf = Format.formatter_of_out_channel oc in
-            write ppf;
-            Format.pp_print_flush ppf ();
-            close_out oc)
+        if spec = "bench:all" then begin
+          if v1 then
+            cli_error "--v1 is not supported with bench:all (shards merge in v2)";
+          with_obs obs (fun () ->
+              collect_all ~scale ~jobs ~output ~shard_dir
+                ~metrics_wanted:(Option.is_some (fst obs)))
+        end
+        else
+          with_obs obs (fun () ->
+              let p = load_program spec ~scale in
+              let o = Interp.run p in
+              let write ppf =
+                if v1 then begin
+                  Ppp_profile.Profile_io.save_edges ppf p
+                    (Option.get o.Interp.edge_profile);
+                  Ppp_profile.Profile_io.save_paths ppf p
+                    (Option.get o.Interp.path_profile)
+                end
+                else
+                  Ppp_profile.Profile_io.save ?edges:o.Interp.edge_profile
+                    ?paths:o.Interp.path_profile ppf p
+              in
+              match output with
+              | None -> write Format.std_formatter
+              | Some path ->
+                  let oc = open_out path in
+                  let ppf = Format.formatter_of_out_channel oc in
+                  write ppf;
+                  Format.pp_print_flush ppf ();
+                  close_out oc))
   in
   let doc =
     "Run a program and dump its edge and path profiles as text (validated \
-     v2 format: versioned header, CFG fingerprints, per-section CRC)."
+     v2 format: versioned header, CFG fingerprints, per-section CRC). \
+     $(b,bench:all) collects every built-in workload — sharded across \
+     $(b,-j) worker processes — and merges the shards into one dump whose \
+     bytes are identical at every $(b,-j)."
   in
   Cmd.v (Cmd.info "collect" ~doc)
-    Term.(const action $ program_arg $ scale_arg $ output_arg $ v1_arg)
+    Term.(
+      const action $ program_arg $ scale_arg $ output_arg $ v1_arg $ jobs_arg
+      $ shard_dir_arg $ obs_args)
+
+(* {2 merge} *)
+
+let merge_cmd =
+  let files_arg =
+    let doc = "Profile dumps (v1 or v2) to merge." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the merged profile here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let action files output =
+    handle_errors @@ fun () ->
+    let read path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let merged =
+      Profile_io.Raw.merge
+        (List.map (fun path -> Profile_io.Raw.parse (read path)) files)
+    in
+    (match Profile_io.Raw.diagnostics merged with
+    | [] -> ()
+    | ds -> Format.eprintf "%a@." Diagnostic.pp_list ds);
+    Format.eprintf "merged %d dumps: count mass %d, lost %d@."
+      (List.length files)
+      (Profile_io.Raw.mass merged)
+      (Profile_io.Raw.lost merged);
+    let text = Profile_io.Raw.to_string merged in
+    match output with None -> print_string text | Some path -> write_file path text
+  in
+  let doc =
+    "Merge profile dumps (e.g. per-shard dumps from $(b,collect \
+     --shard-dir), or profiles of the same program from different runs) \
+     into one canonical v2 dump: counts add (saturating), shards whose \
+     CFG metadata disagrees are salvaged through stale matching, and \
+     every problem is reported as a diagnostic on stderr. The merge is \
+     order-independent."
+  in
+  Cmd.v (Cmd.info "merge" ~doc) Term.(const action $ files_arg $ output_arg)
 
 (* {2 opt} *)
 
@@ -448,12 +565,15 @@ let fuzz_profile_cmd =
     let doc = "Write a JSON report of every case and its diagnostics." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let action seed out =
-    handle_errors @@ fun () ->
+  (* One workload's whole fault matrix; pure in [seed], so it runs the
+     same way in a shard worker as inline and the report is identical at
+     every -j. Returns the JSON cases plus human-readable failure lines
+     (printed by the parent — worker stdout/stderr must stay quiet). *)
+  let fuzz_bench ~seed (b : Ppp_workloads.Spec.bench) =
     let r = Faults.rng ~seed in
-    let failures = ref 0 in
-    let cases = ref [] in
-    let record bench fault status diags =
+    let bench = b.Ppp_workloads.Spec.bench_name in
+    let cases = ref [] and fail_lines = ref [] in
+    let record fault status diags =
       cases :=
         Jsonx.Obj
           [
@@ -464,65 +584,91 @@ let fuzz_profile_cmd =
           ]
         :: !cases
     in
-    let fail_case bench fault why =
-      incr failures;
-      Format.eprintf "FAIL %-10s %-22s %s@." bench fault why
+    let fail_case fault why =
+      fail_lines :=
+        Printf.sprintf "FAIL %-10s %-22s %s" bench fault why :: !fail_lines
     in
+    let p = b.Ppp_workloads.Spec.build ~scale:1 in
+    let o = Interp.run p in
+    let pristine =
+      Format.asprintf "%t" (fun ppf ->
+          Profile_io.save ?edges:o.Interp.edge_profile
+            ?paths:o.Interp.path_profile ppf p)
+    in
+    (* The unperturbed dump must load cleanly... *)
+    (match Profile_io.load p pristine with
+    | Ok l when l.Profile_io.diagnostics = [] -> record "none" "clean" []
+    | Ok l ->
+        fail_case "none" "diagnostics on a pristine profile";
+        record "none" "dirty" l.Profile_io.diagnostics
+    | Error ds ->
+        fail_case "none" "pristine profile rejected";
+        record "none" "rejected" ds
+    | exception e ->
+        fail_case "none" (Printexc.to_string e);
+        record "none" "raised" []);
+    (* ...and every perturbation must be classified, never thrown. *)
     List.iter
-      (fun (b : Ppp_workloads.Spec.bench) ->
-        let bench = b.Ppp_workloads.Spec.bench_name in
-        let p = b.Ppp_workloads.Spec.build ~scale:1 in
-        let o = Interp.run p in
-        let pristine =
-          Format.asprintf "%t" (fun ppf ->
-              Profile_io.save ?edges:o.Interp.edge_profile
-                ?paths:o.Interp.path_profile ppf p)
-        in
-        (* The unperturbed dump must load cleanly... *)
-        (match Profile_io.load p pristine with
-        | Ok l when l.Profile_io.diagnostics = [] ->
-            record bench "none" "clean" []
+      (fun fault ->
+        let fname = Faults.name fault in
+        let mutated = Faults.apply r fault pristine in
+        match Profile_io.load p mutated with
         | Ok l ->
-            fail_case bench "none" "diagnostics on a pristine profile";
-            record bench "none" "dirty" l.Profile_io.diagnostics
+            if l.Profile_io.diagnostics = [] then
+              fail_case fname "fault loaded without a diagnostic";
+            record fname "salvaged" l.Profile_io.diagnostics
         | Error ds ->
-            fail_case bench "none" "pristine profile rejected";
-            record bench "none" "rejected" ds
+            if ds = [] then fail_case fname "rejected silently";
+            record fname "rejected" ds
         | exception e ->
-            fail_case bench "none" (Printexc.to_string e);
-            record bench "none" "raised" []);
-        (* ...and every perturbation must be classified, never thrown. *)
-        List.iter
-          (fun fault ->
-            let fname = Faults.name fault in
-            let mutated = Faults.apply r fault pristine in
-            match Profile_io.load p mutated with
-            | Ok l ->
-                if l.Profile_io.diagnostics = [] then
-                  fail_case bench fname "fault loaded without a diagnostic";
-                record bench fname "salvaged" l.Profile_io.diagnostics
-            | Error ds ->
-                if ds = [] then fail_case bench fname "rejected silently";
-                record bench fname "rejected" ds
-            | exception e ->
-                fail_case bench fname (Printexc.to_string e);
-                record bench fname "raised" [])
-          Faults.all;
-        (* Fuel starvation: a partial run is an outcome, not an error. *)
-        match
-          Interp.run ~config:{ Interp.default_config with fuel = 100 } p
-        with
-        | o2 ->
-            let status =
-              match o2.Interp.termination with
-              | Interp.Out_of_fuel _ -> "out-of-fuel"
-              | Interp.Finished -> "finished"
-            in
-            record bench "starve-fuel" status []
-        | exception e ->
-            fail_case bench "starve-fuel" (Printexc.to_string e);
-            record bench "starve-fuel" "raised" [])
-      Ppp_workloads.Spec.all;
+            fail_case fname (Printexc.to_string e);
+            record fname "raised" [])
+      Faults.all;
+    (* Fuel starvation: a partial run is an outcome, not an error. *)
+    (match Interp.run ~config:{ Interp.default_config with fuel = 100 } p with
+    | o2 ->
+        let status =
+          match o2.Interp.termination with
+          | Interp.Out_of_fuel _ -> "out-of-fuel"
+          | Interp.Finished -> "finished"
+        in
+        record "starve-fuel" status []
+    | exception e ->
+        fail_case "starve-fuel" (Printexc.to_string e);
+        record "starve-fuel" "raised" []);
+    (List.rev !cases, List.rev !fail_lines)
+  in
+  let action seed out jobs =
+    handle_errors @@ fun () ->
+    let results =
+      Shard.map ~jobs ~seed ~f:fuzz_bench Ppp_workloads.Spec.all
+    in
+    let failures = ref 0 in
+    let cases = ref [] in
+    List.iter2
+      (fun (b : Ppp_workloads.Spec.bench) result ->
+        match result with
+        | Ok (bench_cases, fail_lines) ->
+            cases := List.rev_append bench_cases !cases;
+            List.iter
+              (fun line ->
+                incr failures;
+                Format.eprintf "%s@." line)
+              fail_lines
+        | Error d ->
+            incr failures;
+            Format.eprintf "FAIL %-10s %-22s %a@." b.Ppp_workloads.Spec.bench_name
+              "shard" Diagnostic.pp d;
+            cases :=
+              Jsonx.Obj
+                [
+                  ("bench", Jsonx.Str b.Ppp_workloads.Spec.bench_name);
+                  ("fault", Jsonx.Str "shard");
+                  ("status", Jsonx.Str "lost");
+                  ("diagnostics", Diagnostic.list_to_json [ d ]);
+                ]
+              :: !cases)
+      Ppp_workloads.Spec.all results;
     let report =
       Jsonx.Obj
         [
@@ -547,9 +693,13 @@ let fuzz_profile_cmd =
      dropped/duplicated registrations, garbage) into profiles of every \
      built-in workload and verify the loader classifies each one as a \
      diagnostic without ever raising; also checks fuel starvation \
-     degrades gracefully."
+     degrades gracefully. Workloads shard across $(b,-j) worker \
+     processes; every workload's perturbations derive from --seed and \
+     its own index, so the report is identical at every $(b,-j)."
   in
-  Cmd.v (Cmd.info "fuzz-profile" ~doc) Term.(const action $ seed_arg $ out_arg)
+  Cmd.v
+    (Cmd.info "fuzz-profile" ~doc)
+    Term.(const action $ seed_arg $ out_arg $ jobs_arg)
 
 (* {2 benches} *)
 
@@ -579,6 +729,7 @@ let () =
             stats_cmd;
             instrument_cmd;
             collect_cmd;
+            merge_cmd;
             opt_cmd;
             dot_cmd;
             emit_cmd;

@@ -1,0 +1,89 @@
+module J = Ppp_obs.Jsonx
+
+type failure = {
+  bench : string;
+  metric : string;
+  baseline : float;
+  current : float;
+}
+
+let fnum = function
+  | Some (J.Float x) -> Some x
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let benches_of json =
+  J.to_list (Option.value ~default:(J.Arr []) (J.member json "benchmarks"))
+  |> List.filter_map (fun b ->
+         match J.member b "name" with
+         | Some (J.Str n) -> Some (n, b)
+         | _ -> None)
+
+let exceeds ~pct ~baseline ~current =
+  current > baseline +. Float.max 1e-9 (pct /. 100. *. Float.abs baseline)
+
+let check ~baseline ~current ~pct =
+  let fails = ref [] in
+  let fail bench metric b c =
+    fails := { bench; metric; baseline = b; current = c } :: !fails
+  in
+  (match (J.member baseline "schema", J.member current "schema") with
+  | Some (J.Str a), Some (J.Str b) when a = b -> ()
+  | _ -> fail "(document)" "schema" Float.nan Float.nan);
+  let base_benches = benches_of baseline in
+  let cur_benches = benches_of current in
+  List.iter
+    (fun (name, bj) ->
+      match List.assoc_opt name cur_benches with
+      | None -> fail name "missing" 1.0 0.0
+      | Some cj ->
+          List.iter
+            (fun m ->
+              let overhead j =
+                Option.bind (J.member j "methods") (fun ms ->
+                    Option.bind (J.member ms m) (fun e ->
+                        fnum (J.member e "overhead")))
+              in
+              match (overhead bj, overhead cj) with
+              | Some b, Some c ->
+                  if exceeds ~pct ~baseline:b ~current:c then
+                    fail name (m ^ ".overhead") b c
+              | _ -> ())
+            [ "pp"; "tpp"; "ppp" ];
+          (* Wall-clock ratios, only when both sides measured them. *)
+          (match (J.member bj "timing", J.member cj "timing") with
+          | Some bt, Some ct ->
+              List.iter
+                (fun k ->
+                  let ratio t =
+                    match (fnum (J.member t "base_ns"), fnum (J.member t k)) with
+                    | Some base, Some v when base > 0.0 -> Some (v /. base)
+                    | _ -> None
+                  in
+                  match (ratio bt, ratio ct) with
+                  | Some b, Some c ->
+                      if exceeds ~pct ~baseline:b ~current:c then
+                        fail name ("timing." ^ k) b c
+                  | _ -> ())
+                [ "pp_ns"; "tpp_ns"; "ppp_ns" ]
+          | _ -> ()))
+    base_benches;
+  List.rev !fails
+
+let pp_failure ppf f =
+  if f.metric = "schema" then
+    Format.fprintf ppf "%s: schema mismatch between baseline and current"
+      f.bench
+  else if f.metric = "missing" then
+    Format.fprintf ppf "%s: present in baseline but missing from current run"
+      f.bench
+  else
+    Format.fprintf ppf "%s: %s regressed %g -> %g" f.bench f.metric f.baseline
+      f.current
+
+let pp_failures ppf = function
+  | [] -> ()
+  | fs ->
+      Format.pp_open_vbox ppf 0;
+      List.iter (fun f -> Format.fprintf ppf "%a@," pp_failure f) fs;
+      Format.pp_close_box ppf ()

@@ -1,0 +1,37 @@
+(** The performance-regression gate: compare two [BENCH_*.json]
+    documents (see {!Report.bench_json}) and report every benchmark ×
+    method whose cost grew by more than a tolerance.
+
+    Two kinds of numbers are gated:
+
+    - the deterministic cost-model [overhead] of each profiling method
+      (pp / tpp / ppp) — noise-free, so CI can gate on it with a tight
+      tolerance;
+    - wall-clock ratios ([pp_ns]/[base_ns], …), only when {e both}
+      documents carry a [timing] object for the benchmark, with
+      whatever looser tolerance the caller passes.
+
+    Benchmarks present in the baseline but missing from the current
+    document, and schema mismatches, are failures too — a gate that
+    silently compares nothing is worse than no gate. Benchmarks only in
+    the current document are ignored (adding a workload is not a
+    regression). *)
+
+type failure = {
+  bench : string;
+  metric : string;  (** e.g. ["ppp.overhead"], ["timing.tpp_ns"] *)
+  baseline : float;
+  current : float;
+}
+
+val check :
+  baseline:Ppp_obs.Jsonx.t ->
+  current:Ppp_obs.Jsonx.t ->
+  pct:float ->
+  failure list
+(** All regressions beyond [pct] percent (relative to the baseline
+    value, with a 1e-9 absolute floor so zero baselines don't trip on
+    rounding); [[]] means the gate passes. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_failures : Format.formatter -> failure list -> unit

@@ -238,40 +238,42 @@ let eval_json (ev : Pipeline.evaluation) =
       ("routines_total", J.Int ev.Pipeline.routines_total);
     ]
 
-let bench_json ?(scale = 1) ?(timing = fun _ -> None) benches =
-  let bench pb =
-    let e = evals_of pb in
-    let prep = pb.prep in
-    let timing_fields =
-      match timing pb.spec.Spec.bench_name with
-      | None -> []
-      | Some t -> [ ("timing", t) ]
-    in
-    J.Obj
-      ([
-         ("name", J.Str pb.spec.Spec.bench_name);
-         ( "kind",
-           J.Str (match pb.spec.Spec.kind with Spec.Int -> "int" | Spec.Fp -> "fp")
-         );
-         ("dyn_instrs", J.Int prep.Pipeline.base_outcome.Interp.dyn_instrs);
-         ("dyn_paths", J.Int prep.Pipeline.base_outcome.Interp.dyn_paths);
-         ( "methods",
-           J.Obj
-             [
-               ("edge", eval_json e.edge);
-               ("pp", eval_json e.pp);
-               ("tpp", eval_json e.tpp);
-               ("ppp", eval_json e.ppp);
-             ] );
-       ]
-      @ timing_fields)
+let bench_json_one ?(timing = fun _ -> None) pb =
+  let e = evals_of pb in
+  let prep = pb.prep in
+  let timing_fields =
+    match timing pb.spec.Spec.bench_name with
+    | None -> []
+    | Some t -> [ ("timing", t) ]
   in
   J.Obj
-    [
-      ("schema", J.Str "ppp-bench/1");
-      ("scale", J.Int scale);
-      ("benchmarks", J.Arr (List.map bench benches));
-    ]
+    ([
+       ("name", J.Str pb.spec.Spec.bench_name);
+       ( "kind",
+         J.Str (match pb.spec.Spec.kind with Spec.Int -> "int" | Spec.Fp -> "fp")
+       );
+       ("dyn_instrs", J.Int prep.Pipeline.base_outcome.Interp.dyn_instrs);
+       ("dyn_paths", J.Int prep.Pipeline.base_outcome.Interp.dyn_paths);
+       ( "methods",
+         J.Obj
+           [
+             ("edge", eval_json e.edge);
+             ("pp", eval_json e.pp);
+             ("tpp", eval_json e.tpp);
+             ("ppp", eval_json e.ppp);
+           ] );
+     ]
+    @ timing_fields)
+
+let bench_json_wrap ?(scale = 1) ?seed rows =
+  let seed_field = match seed with None -> [] | Some s -> [ ("seed", J.Int s) ] in
+  J.Obj
+    ([ ("schema", J.Str "ppp-bench/1"); ("scale", J.Int scale) ]
+    @ seed_field
+    @ [ ("benchmarks", J.Arr rows) ])
+
+let bench_json ?scale ?timing benches =
+  bench_json_wrap ?scale (List.map (bench_json_one ?timing) benches)
 
 let section8_1 ppf benches =
   let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in

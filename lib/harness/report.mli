@@ -37,6 +37,18 @@ val bench_json :
     statistics) for every method, plus whatever [timing] returns for the
     benchmark (wall-clock results, when the timing action ran). *)
 
+val bench_json_one :
+  ?timing:(string -> Ppp_obs.Jsonx.t option) ->
+  prepared_bench ->
+  Ppp_obs.Jsonx.t
+(** One benchmark's row of {!bench_json} — what a shard worker computes
+    and sends back when the harness runs under [-j]. *)
+
+val bench_json_wrap : ?scale:int -> ?seed:int -> Ppp_obs.Jsonx.t list -> Ppp_obs.Jsonx.t
+(** Assemble {!bench_json_one} rows (in benchmark order) into the full
+    document; [seed] records the PRNG seed a sharded run derived its
+    per-item seeds from. *)
+
 val table1 : Format.formatter -> prepared_bench list -> unit
 (** Dynamic path characteristics with and without inlining and
     unrolling. *)

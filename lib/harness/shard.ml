@@ -1,0 +1,169 @@
+module Diagnostic = Ppp_resilience.Diagnostic
+module Profile_io = Ppp_profile.Profile_io
+module Metrics = Ppp_obs.Metrics
+module Spec = Ppp_workloads.Spec
+module Interp = Ppp_interp.Interp
+
+(* SplitMix-style finalizer over the pool seed and the item index only:
+   the same item gets the same seed at every [-j] level. The constants
+   fit in 62 bits; multiplication overflow wraps, which is fine for
+   mixing. *)
+let derive_seed base i =
+  let z = (base lxor 0x2545F4914F6CDD1D) + ((i + 1) * 0x106689D45497239B) in
+  let z = (z lxor (z lsr 29)) * 0x16A3B36B4E1B3F9 in
+  let z = z lxor (z lsr 32) in
+  z land max_int
+
+(* Everything buffered in this process would otherwise be replayed by
+   each child's exit path; [Unix._exit] avoids the replay, and flushing
+   first keeps the parent's own output ordered around the fork. *)
+let flush_std () =
+  Format.pp_print_flush Format.std_formatter ();
+  Format.pp_print_flush Format.err_formatter ();
+  flush stdout;
+  flush stderr
+
+let silence_stdout () =
+  try
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  with Unix.Unix_error _ -> ()
+
+let lost_diag ~worker ~index ~total why =
+  Diagnostic.errorf ~line:index Diagnostic.Shard_lost
+    "worker %d %s before delivering item %d of %d" worker why index total
+
+let map (type b) ~jobs ?(seed = 0) ~(f : seed:int -> 'a -> b) items :
+    (b, Diagnostic.t) result list =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let jobs = max 1 (min jobs n) in
+    flush_std ();
+    let workers =
+      Array.init jobs (fun w ->
+          let rd, wr = Unix.pipe () in
+          match Unix.fork () with
+          | 0 ->
+              Unix.close rd;
+              silence_stdout ();
+              let oc = Unix.out_channel_of_descr wr in
+              let i = ref w in
+              while !i < n do
+                let idx = !i in
+                let r : (b, string) result =
+                  try Ok (f ~seed:(derive_seed seed idx) items.(idx))
+                  with e -> Error (Printexc.to_string e)
+                in
+                Marshal.to_channel oc (idx, r) [];
+                (* Flush per item, not per worker: results already
+                   computed must survive a crash on a later item. *)
+                flush oc;
+                i := !i + jobs
+              done;
+              Unix._exit 0
+          | pid ->
+              Unix.close wr;
+              (pid, rd))
+    in
+    let results : (b, Diagnostic.t) result option array = Array.make n None in
+    Array.iteri
+      (fun w (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        (* Drain this worker's stream; a truncated record means the
+           worker died mid-item, which the per-item sweep below turns
+           into diagnostics. Reading each pipe to EOF before waiting
+           cannot deadlock: the parent is the only reader and always
+           consumes. *)
+        (try
+           let streaming = ref true in
+           while !streaming do
+             match (Marshal.from_channel ic : int * (b, string) result) with
+             | idx, Ok v -> results.(idx) <- Some (Ok v)
+             | idx, Error msg ->
+                 results.(idx) <-
+                   Some
+                     (Error
+                        (Diagnostic.errorf ~line:idx Diagnostic.Shard_lost
+                           "shard job %d raised: %s" idx msg))
+             | exception End_of_file -> streaming := false
+             | exception Failure _ -> streaming := false
+           done
+         with Sys_error _ -> ());
+        close_in_noerr ic;
+        let why =
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> "died mid-stream"
+          | _, Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+          | _, Unix.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
+          | _, Unix.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
+          | exception Unix.Unix_error _ -> "could not be reaped"
+        in
+        let i = ref w in
+        while !i < n do
+          (match results.(!i) with
+          | Some _ -> ()
+          | None ->
+              results.(!i) <-
+                Some (Error (lost_diag ~worker:w ~index:!i ~total:n why)));
+          i := !i + jobs
+        done)
+      workers;
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* all swept above *))
+         results)
+  end
+
+type collected = {
+  raw : Profile_io.Raw.t;
+  shards : (string * string) list;
+  shard_metrics : (string * Metrics.snapshot) list;
+  metrics : Metrics.snapshot;
+  lost : Diagnostic.t list;
+}
+
+let collect_one ~scale ~metrics (b : Spec.bench) =
+  if metrics then begin
+    Metrics.set_enabled true;
+    Metrics.reset ()
+  end;
+  let p = b.Spec.build ~scale in
+  let o = Interp.run p in
+  let raw =
+    Profile_io.Raw.of_program ?edges:o.Interp.edge_profile
+      ?paths:o.Interp.path_profile p
+  in
+  let snap = if metrics then Metrics.snapshot () else [] in
+  (b.Spec.bench_name, Profile_io.Raw.to_string raw, snap)
+
+let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) benches =
+  let results =
+    map ~jobs ~f:(fun ~seed:_ b -> collect_one ~scale ~metrics b) benches
+  in
+  let shards = ref [] and shard_metrics = ref [] and lost = ref [] in
+  let inputs = ref [] in
+  List.iter
+    (function
+      | Ok (name, dump, snap) ->
+          shards := (name, dump) :: !shards;
+          if metrics then shard_metrics := (name, snap) :: !shard_metrics;
+          (* Prefix routine names with the workload so the 18 programs
+             merge into one namespace without collisions. *)
+          let raw =
+            Profile_io.Raw.rename
+              (fun r -> name ^ "/" ^ r)
+              (Profile_io.Raw.parse dump)
+          in
+          inputs := raw :: !inputs
+      | Error d -> lost := d :: !lost)
+    results;
+  {
+    raw = Profile_io.Raw.merge (List.rev !inputs);
+    shards = List.rev !shards;
+    shard_metrics = List.rev !shard_metrics;
+    metrics = Metrics.merge (List.rev_map snd !shard_metrics);
+    lost = List.rev !lost;
+  }

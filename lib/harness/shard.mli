@@ -1,0 +1,69 @@
+(** Process-parallel collection: a fork-based worker pool and the
+    sharded profile collector built on it.
+
+    OCaml 4.14 has no multicore runtime, so parallelism comes from
+    [Unix.fork]: [jobs] workers each take every [jobs]-th item and
+    stream back [Marshal]-ed results over a pipe. Determinism is the
+    whole point — results come back indexed, every item's PRNG seed is
+    derived from the pool seed and the item's {e index} (never from the
+    worker count or wall clock), and a worker that dies surfaces as a
+    located {!Ppp_resilience.Diagnostic} with kind [Shard_lost] rather
+    than poisoning the run — so the output of a [-j 8] run is the same
+    value a [-j 1] run produces, minus exactly the items whose worker
+    crashed. *)
+
+val derive_seed : int -> int -> int
+(** [derive_seed base index]: the per-item seed. A pure mix of [base]
+    and [index] only, so it is independent of the number of jobs and of
+    scheduling order. *)
+
+val map :
+  jobs:int ->
+  ?seed:int ->
+  f:(seed:int -> 'a -> 'b) ->
+  'a list ->
+  ('b, Ppp_resilience.Diagnostic.t) result list
+(** Apply [f] to every item across [max 1 (min jobs (length items))]
+    forked workers; the result list is in item order regardless of
+    completion order. An exception escaping [f], or a worker dying
+    outright (crash, signal, [exit]), yields [Error] with a [Shard_lost]
+    diagnostic locating the item (its index is reported in the
+    diagnostic's [line] field). Worker stdout is routed to [/dev/null]
+    so shard chatter cannot interleave with the parent's output; [f]
+    must not rely on mutating parent state (it runs in a child
+    process). *)
+
+(** {2 Sharded workload collection}
+
+    The machinery behind [pppc collect bench:all -j N]: one worker item
+    per workload, each producing a canonical v2 dump plus (optionally) a
+    metrics snapshot; the parent parses the dumps back, prefixes every
+    routine with ["BENCH/"] so the 18 programs coexist in one namespace,
+    and merges them with {!Ppp_profile.Profile_io.Raw.merge}. Because
+    collection is deterministic and the merge is order-independent, the
+    merged dump is byte-identical across [-j] levels. *)
+
+type collected = {
+  raw : Ppp_profile.Profile_io.Raw.t;
+      (** the merged profile; its diagnostics cover parse/merge issues *)
+  shards : (string * string) list;
+      (** delivered shards, in workload order: (bench name, canonical
+          v2 dump text) — what [--shard-dir] writes out *)
+  shard_metrics : (string * Ppp_obs.Metrics.snapshot) list;
+      (** per-shard metrics snapshots (empty when [metrics] is off) *)
+  metrics : Ppp_obs.Metrics.snapshot;
+      (** the {!Ppp_obs.Metrics.merge} of all delivered shards *)
+  lost : Ppp_resilience.Diagnostic.t list;
+      (** one [Shard_lost] diagnostic per workload whose worker died *)
+}
+
+val collect_workloads :
+  jobs:int ->
+  ?scale:int ->
+  ?metrics:bool ->
+  Ppp_workloads.Spec.bench list ->
+  collected
+(** Run every workload under the pool ([metrics] defaults to [false];
+    when on, each worker enables and resets {!Ppp_obs.Metrics} before
+    its run, so shard snapshots are disjoint and their merge is
+    [-j]-invariant). *)

@@ -230,3 +230,11 @@ let member v key =
   match v with Obj fields -> List.assoc_opt key fields | _ -> None
 
 let to_list = function Arr l -> l | _ -> []
+
+let rec canonical = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+  | Arr l -> Arr (List.map canonical l)
+  | Obj fields ->
+      Obj
+        (List.map (fun (k, v) -> (k, canonical v)) fields
+        |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b))

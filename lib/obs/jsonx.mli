@@ -35,3 +35,10 @@ val member : t -> string -> t option
 
 val to_list : t -> t list
 (** [to_list (Arr l)] is [l]; [[]] otherwise. *)
+
+val canonical : t -> t
+(** Recursively sort every object's fields by key (stably, so duplicate
+    keys keep their relative order). Two structurally equal documents
+    render byte-identically after canonicalization — what the sharded
+    benchmark harness relies on for [BENCH_*.json] stability across
+    [-j] levels. *)

@@ -113,6 +113,58 @@ let reset () =
 let counter_value snap name =
   match List.assoc_opt name snap with Some (Counter n) -> Some n | _ -> None
 
+(* Saturating addition of non-negative totals: shard merges must never
+   wrap around, they clamp at max_int. *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let merge_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (sat_add x y)
+  | Gauge x, Gauge y -> Gauge (Float.min x y)
+  | Histogram h1, Histogram h2 when h1.bounds = h2.bounds ->
+      Histogram
+        {
+          bounds = h1.bounds;
+          buckets = Array.map2 sat_add h1.buckets h2.buckets;
+          sum = h1.sum +. h2.sum;
+          observations = sat_add h1.observations h2.observations;
+        }
+  | v, _ -> v (* mismatched shapes: keep the first, deterministically *)
+
+let merge snaps =
+  let tbl : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt tbl name with
+          | None -> Hashtbl.replace tbl name v
+          | Some prev -> Hashtbl.replace tbl name (merge_value prev v))
+        snap)
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let absorb snap =
+  let was = !on in
+  on := true;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> add (counter name) n
+      | Gauge x -> (gauge name).gvalue <- x
+      | Histogram { bounds; buckets; sum; observations } ->
+          let h = histogram ~bounds name in
+          if h.bounds = bounds then begin
+            Array.iteri
+              (fun i c -> h.buckets.(i) <- sat_add h.buckets.(i) c)
+              buckets;
+            h.sum <- h.sum +. sum;
+            h.observations <- sat_add h.observations observations
+          end)
+    snap;
+  on := was
+
 let pp_snapshot ppf snap =
   Format.pp_open_vbox ppf 0;
   List.iter

@@ -61,5 +61,20 @@ val reset : unit -> unit
 val counter_value : snapshot -> string -> int option
 (** Lookup helper for tests and CLIs. *)
 
+val merge : snapshot list -> snapshot
+(** Combine per-shard snapshots into one: counters and histogram buckets
+    add (saturating at [max_int]), histogram sums add, and gauges take
+    the minimum — conservative for fraction-style gauges like
+    [resilience.matched_fraction], and commutative/associative so the
+    result is independent of shard arrival order. Histograms whose
+    bounds disagree keep the first (in name order) shape. The result is
+    sorted by name like {!snapshot}. *)
+
+val absorb : snapshot -> unit
+(** Fold a (typically merged, typically from a worker process) snapshot
+    into the live registry so a later {!snapshot} reflects it: counters
+    and histograms add, gauges are overwritten. Works even while metrics
+    are disabled — shard aggregation is not a hot path. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 (** Human-readable table, one metric per line. *)

@@ -71,7 +71,72 @@ val save :
   Ppp_ir.Ir.program ->
   unit
 (** Write a v2 dump (header, per-routine CFG metadata, checksummed
-    sections). Sections for omitted profiles are written empty. *)
+    sections) in canonical order: routines sorted by name, edge counters
+    by id, path counters lexicographically by edge list. Two dumps of
+    equal profiles are byte-identical. Sections for omitted profiles are
+    written empty. *)
+
+(** {2 Raw dumps and merging}
+
+    A {!Raw.t} is a dump held program-free: the CFG descriptions the
+    text carried plus the per-routine counter tables. It is what shard
+    merging operates on — any number of v2 (or v1) dumps combine into
+    one, without needing the program they were collected from:
+
+    - counts add, saturating at [max_int] (the clipped mass is reported
+      as {!Raw.lost}, never silently inflated);
+    - when shards disagree on a routine's CFG (a shard was collected
+      from an older build), one reference description is chosen
+      deterministically and the disagreeing shard's counts are re-mapped
+      through {!Ppp_resilience.Stale_match}, with the unsalvageable
+      remainder added to [lost] and a [Stale] diagnostic recorded;
+    - section CRCs are recomputed on {!Raw.save}.
+
+    {!Raw.merge} is commutative and associative up to the canonical
+    ordering of the saved text (for shards that agree on their CFGs —
+    the normal case — exactly; across disagreeing CFG generations the
+    reference choice is still order-independent), merging with
+    {!Raw.empty} is the identity, and the count mass plus [lost] of a
+    merge equals the sum over its inputs. *)
+
+module Raw : sig
+  type t
+
+  val empty : unit -> t
+
+  val parse : string -> t
+  (** Never raises; structural problems land in {!diagnostics} and the
+      affected count mass in {!lost}, exactly like {!load}. *)
+
+  val of_program :
+    ?edges:Edge_profile.program ->
+    ?paths:Path_profile.program ->
+    Ppp_ir.Ir.program ->
+    t
+  (** The raw form of a freshly collected profile ([lost = 0], no
+      diagnostics); [save] of the program and {!save} of this raw value
+      write identical bytes. *)
+
+  val merge : t list -> t
+  (** Inputs are not mutated. [merge [] = empty ()]. *)
+
+  val rename : (string -> string) -> t -> t
+  (** Rename routines (e.g. prefix them with a workload name so dumps of
+      different programs can share one merged file without colliding). *)
+
+  val save : Format.formatter -> t -> unit
+  (** Canonical v2 text, CRCs recomputed. *)
+
+  val to_string : t -> string
+
+  val mass : t -> int
+  (** Total count mass currently held (saturating sum). *)
+
+  val lost : t -> int
+  (** Count mass dropped by parsing, clipping, or failed salvage. *)
+
+  val diagnostics : t -> Ppp_resilience.Diagnostic.t list
+end
 
 val save_edges :
   Format.formatter -> Ppp_ir.Ir.program -> Edge_profile.program -> unit

@@ -1,7 +1,14 @@
 module Obs = Ppp_obs.Metrics
 module Jsonx = Ppp_obs.Jsonx
 
-type kind = Corrupt | Stale | Unknown_routine | Truncated | Exhausted | Saturated
+type kind =
+  | Corrupt
+  | Stale
+  | Unknown_routine
+  | Truncated
+  | Exhausted
+  | Saturated
+  | Shard_lost
 type severity = Warning | Error
 
 type t = {
@@ -20,10 +27,12 @@ let kind_name = function
   | Truncated -> "truncated"
   | Exhausted -> "exhausted"
   | Saturated -> "saturated"
+  | Shard_lost -> "shard-lost"
 
 let severity_name = function Warning -> "warning" | Error -> "error"
 
-let all_kinds = [ Corrupt; Stale; Unknown_routine; Truncated; Exhausted; Saturated ]
+let all_kinds =
+  [ Corrupt; Stale; Unknown_routine; Truncated; Exhausted; Saturated; Shard_lost ]
 
 (* Registered at module init so every snapshot lists them, zeroed or not
    (the convention Ppp_obs establishes). *)

@@ -15,6 +15,9 @@ type kind =
   | Truncated  (** the dump ends before its declared payload does *)
   | Exhausted  (** the interpreter ran out of fuel; results are partial *)
   | Saturated  (** a runtime frequency table hit its overflow bound *)
+  | Shard_lost
+      (** a parallel collection worker died before delivering its shard;
+          the merge proceeds without it *)
 
 type severity =
   | Warning  (** data was salvaged or degraded, the phase continued *)

@@ -19,4 +19,6 @@ let () =
       ("obs", Test_obs.suite);
       ("table_stats", Test_table_stats.suite);
       ("resilience", Test_resilience.suite);
+      ("merge_props", Test_merge_props.suite);
+      ("shard", Test_shard.suite);
     ]

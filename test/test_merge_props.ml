@@ -1,0 +1,125 @@
+(* Algebraic properties of Profile_io.Raw.merge, the shard combiner:
+   commutativity, associativity (on shards that agree on their CFGs),
+   identity, conservation of count mass, and never-raise / never-inflate
+   under fault injection.
+
+   Shards with honest provenance: the same program run with different
+   fuel budgets yields same-CFG dumps with different counts (a partial
+   run is a valid profile); different Gen seeds yield different programs
+   whose routine names can collide, exercising the stale-salvage path. *)
+
+module Interp = Ppp_interp.Interp
+module Profile_io = Ppp_profile.Profile_io
+module Raw = Ppp_profile.Profile_io.Raw
+module Faults = Ppp_resilience.Faults
+
+let raw_of_outcome p (o : Interp.outcome) =
+  Raw.of_program ?edges:o.Interp.edge_profile ?paths:o.Interp.path_profile p
+
+(* A shard of program [seed]: the profile of a run capped at [fuel]
+   instructions (None = run to completion). *)
+let shard ?fuel seed =
+  let p = Ppp_workloads.Gen.program ~seed in
+  let o =
+    match fuel with
+    | None -> Interp.run p
+    | Some fuel -> Interp.run ~config:{ Interp.default_config with fuel } p
+  in
+  raw_of_outcome p o
+
+let canon = Raw.to_string
+let conserved t = Raw.mass t + Raw.lost t
+
+(* Fuel levels small enough to differ per shard but large enough that
+   something executes. *)
+let fuel_of n = 50 + (n mod 977)
+
+let same_program_shards seed =
+  ( shard ~fuel:(fuel_of seed) seed,
+    shard ~fuel:(fuel_of (seed + 1)) seed,
+    shard seed )
+
+let prop_commutative_same_cfg =
+  QCheck.Test.make ~name:"merge is commutative (same-CFG shards)" ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let a, b, _ = same_program_shards seed in
+      canon (Raw.merge [ a; b ]) = canon (Raw.merge [ b; a ]))
+
+let prop_commutative_cross_program =
+  QCheck.Test.make
+    ~name:"merge is commutative (shards of different programs)" ~count:25
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a = shard s1 and b = shard (s1 + s2 + 1) in
+      canon (Raw.merge [ a; b ]) = canon (Raw.merge [ b; a ]))
+
+let prop_associative =
+  QCheck.Test.make ~name:"merge is associative (same-CFG shards)" ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let a, b, c = same_program_shards seed in
+      let left = canon (Raw.merge [ Raw.merge [ a; b ]; c ]) in
+      let right = canon (Raw.merge [ a; Raw.merge [ b; c ] ]) in
+      let flat = canon (Raw.merge [ a; b; c ]) in
+      left = flat && right = flat)
+
+let prop_identity =
+  QCheck.Test.make ~name:"merge with empty is the identity" ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let a = shard seed in
+      canon (Raw.merge [ a; Raw.empty () ]) = canon a
+      && canon (Raw.merge [ Raw.empty (); a ]) = canon a
+      && canon (Raw.merge [ a ]) = canon a
+      && canon (Raw.merge []) = canon (Raw.empty ()))
+
+(* Every unit of count mass an input holds (or had already lost) is in
+   the merge's tables or its lost tally — nothing vanishes, nothing is
+   invented. Cross-program inputs make some mass flow through stale
+   salvage into [lost]. *)
+let prop_mass_conserved =
+  QCheck.Test.make ~name:"merge conserves count mass (mass + lost)"
+    ~count:25
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a, b, c = same_program_shards s1 in
+      let d = shard (s1 + s2 + 1) in
+      let inputs = [ a; b; c; d ] in
+      let m = Raw.merge inputs in
+      conserved m = List.fold_left (fun acc t -> acc + conserved t) 0 inputs)
+
+(* Fault-injected shards: parsing and merging never raise, and the merge
+   never holds more mass than its (post-fault, as-parsed) inputs. *)
+let prop_faulted_merge_safe =
+  QCheck.Test.make ~name:"fault-injected merges never raise nor inflate"
+    ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (seed, fseed) ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let pristine = canon (raw_of_outcome p o) in
+      let r = Faults.rng ~seed:fseed in
+      List.for_all
+        (fun fault ->
+          let mutated = Faults.apply r fault pristine in
+          let a = Raw.parse mutated in
+          let b = Raw.parse pristine in
+          let m = Raw.merge [ a; b ] in
+          (* never inflate: the merge's live mass is bounded by its
+             inputs' live mass... *)
+          Raw.mass m <= Raw.mass a + Raw.mass b
+          (* ...and the conservation ledger still balances. *)
+          && conserved m = conserved a + conserved b)
+        Faults.all)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_commutative_same_cfg;
+      prop_commutative_cross_program;
+      prop_associative;
+      prop_identity;
+      prop_mass_conserved;
+      prop_faulted_merge_safe;
+    ]

@@ -1,0 +1,313 @@
+(* The parallel ≡ sequential contract: sharded collection produces the
+   same bytes, counts, hot-path sets and merged metrics at every -j,
+   crashes degrade to located diagnostics, and the perf gate tells a
+   changed benchmark document from an unchanged one. *)
+
+module Shard = Ppp_harness.Shard
+module Gate = Ppp_harness.Gate
+module R = Ppp_harness.Report
+module Interp = Ppp_interp.Interp
+module Profile_io = Ppp_profile.Profile_io
+module Raw = Ppp_profile.Profile_io.Raw
+module Metrics = Ppp_obs.Metrics
+module Diagnostic = Ppp_resilience.Diagnostic
+module Spec = Ppp_workloads.Spec
+module J = Ppp_obs.Jsonx
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* {2 Differential collection: -j 1 ≡ -j 2 ≡ -j 8 ≡ fork-free} *)
+
+(* What collect_workloads does, without any forking: the trusted
+   reference the pool is measured against. *)
+let sequential_reference () =
+  Raw.merge
+    (List.map
+       (fun (b : Spec.bench) ->
+         let p = b.Spec.build ~scale:1 in
+         let o = Interp.run p in
+         Raw.rename
+           (fun r -> b.Spec.bench_name ^ "/" ^ r)
+           (Raw.of_program ?edges:o.Interp.edge_profile
+              ?paths:o.Interp.path_profile p))
+       Spec.all)
+
+(* The per-routine set of hot path lines (count >= threshold) extracted
+   from a canonical dump's paths section. *)
+let hot_path_set ~threshold dump =
+  let hot = ref [] in
+  let routine = ref "" in
+  let in_paths = ref false in
+  String.split_on_char '\n' dump
+  |> List.iter (fun line ->
+         if String.length line >= 13 && String.sub line 0 13 = "section paths"
+         then in_paths := true
+         else if String.length line >= 8 && String.sub line 0 8 = "section " then
+           in_paths := false
+         else if !in_paths then
+           if String.length line >= 8 && String.sub line 0 8 = "routine " then
+             routine := String.sub line 8 (String.length line - 8)
+           else
+             match String.index_opt line ':' with
+             | Some _ -> (
+                 match int_of_string_opt (List.hd (String.split_on_char ' ' line)) with
+                 | Some count when count >= threshold ->
+                     hot := (!routine, line) :: !hot
+                 | _ -> ())
+             | None -> ());
+  List.sort_uniq compare !hot
+
+let test_collect_differential () =
+  let collect jobs = Shard.collect_workloads ~jobs ~metrics:true Spec.all in
+  let c1 = collect 1 and c2 = collect 2 and c8 = collect 8 in
+  List.iter
+    (fun (j, c) ->
+      check_int (Printf.sprintf "-j %d loses no shard" j) 0
+        (List.length c.Shard.lost))
+    [ (1, c1); (2, c2); (8, c8) ];
+  let d1 = Raw.to_string c1.Shard.raw in
+  let d2 = Raw.to_string c2.Shard.raw in
+  let d8 = Raw.to_string c8.Shard.raw in
+  check_string "-j 1 and -j 2 merged dumps are byte-identical" d1 d2;
+  check_string "-j 1 and -j 8 merged dumps are byte-identical" d1 d8;
+  check_string "fork-free reference matches the pool" d1
+    (Raw.to_string (sequential_reference ()));
+  (* Per-shard dumps, in workload order, are identical too. *)
+  check_bool "per-shard dumps identical across -j" true
+    (c1.Shard.shards = c2.Shard.shards && c1.Shard.shards = c8.Shard.shards);
+  check_int "one shard per workload" (List.length Spec.all)
+    (List.length c1.Shard.shards);
+  (* Merged rt.* / interp.* metrics aggregate to the same snapshot. *)
+  check_bool "merged metrics identical across -j" true
+    (c1.Shard.metrics = c2.Shard.metrics && c1.Shard.metrics = c8.Shard.metrics);
+  check_bool "merged metrics are non-trivial" true
+    (match Metrics.counter_value c1.Shard.metrics "interp.dyn_instrs" with
+    | Some n -> n > 0
+    | None -> false);
+  (* Hot-path sets (paths with count >= 50) agree across -j levels. *)
+  let h1 = hot_path_set ~threshold:50 d1 in
+  check_bool "hot-path sets identical across -j" true
+    (h1 = hot_path_set ~threshold:50 d2 && h1 = hot_path_set ~threshold:50 d8);
+  check_bool "hot-path set is non-empty" true (h1 <> []);
+  (* No salvage happened: every shard agreed on its (prefixed) CFGs. *)
+  check_int "no merge diagnostics" 0
+    (List.length (Raw.diagnostics c1.Shard.raw))
+
+(* {2 The pool itself} *)
+
+let test_map_order_and_results () =
+  let items = [ 10; 20; 30; 40; 50; 60; 70 ] in
+  let results = Shard.map ~jobs:3 ~f:(fun ~seed:_ x -> x + 1) items in
+  check_bool "results in item order" true
+    (results = List.map (fun x -> Ok (x + 1)) items)
+
+let test_seed_derivation_j_invariant () =
+  let items = [ 0; 1; 2; 3; 4; 5 ] in
+  let seeds jobs =
+    Shard.map ~jobs ~seed:99 ~f:(fun ~seed _ -> seed) items
+    |> List.map (function Ok s -> s | Error _ -> -1)
+  in
+  let s1 = seeds 1 in
+  check_bool "per-item seeds identical at -j 1 / -j 3 / -j 6" true
+    (s1 = seeds 3 && s1 = seeds 6);
+  check_bool "seeds match derive_seed directly" true
+    (s1 = List.map (Shard.derive_seed 99) items);
+  check_bool "seeds are distinct per item" true
+    (List.length (List.sort_uniq compare s1) = List.length items)
+
+let test_worker_crash () =
+  (* Worker 1 (of 2) owns items 1, 3, 5; it delivers 1, then dies hard
+     on 3 — so 3 and 5 must come back as located Shard_lost
+     diagnostics, and every other item must survive. *)
+  let results =
+    Shard.map ~jobs:2
+      ~f:(fun ~seed:_ i -> if i = 3 then Unix._exit 7 else i * 2)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          check_bool (Printf.sprintf "item %d survives" i) true
+            (i <> 3 && i <> 5);
+          check_int (Printf.sprintf "item %d value" i) (i * 2) v
+      | Error d ->
+          check_bool (Printf.sprintf "item %d is a loss" i) true
+            (i = 3 || i = 5);
+          check_bool "kind is shard-lost" true
+            (d.Diagnostic.kind = Diagnostic.Shard_lost);
+          check_bool "diagnostic locates the item" true
+            (d.Diagnostic.line = Some i);
+          check_bool "diagnostic names the exit code" true
+            (let msg = d.Diagnostic.message in
+             let needle = "exited with code 7" in
+             let n = String.length needle in
+             let rec find j =
+               j + n <= String.length msg
+               && (String.sub msg j n = needle || find (j + 1))
+             in
+             find 0))
+    results
+
+let test_worker_exception () =
+  (* An exception in [f] costs only that item; the worker keeps going. *)
+  let results =
+    Shard.map ~jobs:2
+      ~f:(fun ~seed:_ i -> if i = 1 then failwith "boom" else i)
+      [ 0; 1; 2; 3 ]
+  in
+  match results with
+  | [ Ok 0; Error d; Ok 2; Ok 3 ] ->
+      check_bool "kind is shard-lost" true
+        (d.Diagnostic.kind = Diagnostic.Shard_lost)
+  | _ -> Alcotest.fail "expected exactly item 1 to fail"
+
+(* {2 The perf gate} *)
+
+let doc ?(schema = "ppp-bench/1") ?timing ~name ~ppp_overhead () =
+  let timing_fields =
+    match timing with
+    | None -> []
+    | Some (base_ns, ppp_ns) ->
+        [
+          ( "timing",
+            J.Obj [ ("base_ns", J.Float base_ns); ("ppp_ns", J.Float ppp_ns) ]
+          );
+        ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("scale", J.Int 1);
+      ( "benchmarks",
+        J.Arr
+          [
+            J.Obj
+              ([
+                 ("name", J.Str name);
+                 ( "methods",
+                   J.Obj [ ("ppp", J.Obj [ ("overhead", J.Float ppp_overhead) ]) ]
+                 );
+               ]
+              @ timing_fields);
+          ] );
+    ]
+
+let test_gate_semantics () =
+  let base = doc ~name:"vpr" ~ppp_overhead:0.10 () in
+  check_int "identical docs pass" 0
+    (List.length (Gate.check ~baseline:base ~current:base ~pct:1.0));
+  check_int "improvement passes" 0
+    (List.length
+       (Gate.check ~baseline:base
+          ~current:(doc ~name:"vpr" ~ppp_overhead:0.05 ())
+          ~pct:1.0));
+  (match
+     Gate.check ~baseline:base
+       ~current:(doc ~name:"vpr" ~ppp_overhead:0.2 ())
+       ~pct:25.0
+   with
+  | [ f ] ->
+      check_string "regression metric" "ppp.overhead" f.Gate.metric;
+      check_string "regression bench" "vpr" f.Gate.bench
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failure, got %d" (List.length fs)));
+  check_bool "within tolerance passes" true
+    (Gate.check ~baseline:base
+       ~current:(doc ~name:"vpr" ~ppp_overhead:0.11 ())
+       ~pct:25.0
+    = []);
+  (match
+     Gate.check ~baseline:base
+       ~current:(doc ~name:"mcf" ~ppp_overhead:0.10 ())
+       ~pct:1.0
+   with
+  | [ f ] -> check_string "missing bench is a failure" "missing" f.Gate.metric
+  | _ -> Alcotest.fail "expected a missing-bench failure");
+  (match
+     Gate.check ~baseline:base
+       ~current:(doc ~schema:"ppp-bench/2" ~name:"vpr" ~ppp_overhead:0.10 ())
+       ~pct:1.0
+   with
+  | [ f ] -> check_string "schema mismatch is a failure" "schema" f.Gate.metric
+  | _ -> Alcotest.fail "expected a schema failure");
+  (* Wall-clock ratios gate only when both sides carry timing. *)
+  let base_t = doc ~name:"vpr" ~ppp_overhead:0.10 ~timing:(100., 110.) () in
+  check_int "timing ratio within tolerance passes" 0
+    (List.length
+       (Gate.check ~baseline:base_t
+          ~current:(doc ~name:"vpr" ~ppp_overhead:0.10 ~timing:(200., 222.) ())
+          ~pct:5.0));
+  (match
+     Gate.check ~baseline:base_t
+       ~current:(doc ~name:"vpr" ~ppp_overhead:0.10 ~timing:(100., 160.) ())
+       ~pct:20.0
+   with
+  | [ f ] -> check_string "timing regression caught" "timing.ppp_ns" f.Gate.metric
+  | _ -> Alcotest.fail "expected a timing failure");
+  check_int "timing ignored when current has none" 0
+    (List.length
+       (Gate.check ~baseline:base_t
+          ~current:(doc ~name:"vpr" ~ppp_overhead:0.10 ())
+          ~pct:1.0))
+
+(* The gate smoke path end-to-end on a cheap subset: two independently
+   computed documents of the same tree gate cleanly at a tight
+   tolerance, and the document round-trips through its own text. *)
+let test_gate_smoke_subset () =
+  let rows () =
+    List.map R.bench_json_one (R.prepare_all ~names:[ "vpr"; "mcf" ] ())
+  in
+  let doc_a = J.canonical (R.bench_json_wrap ~scale:1 ~seed:0 (rows ())) in
+  let doc_b = J.canonical (R.bench_json_wrap ~scale:1 ~seed:0 (rows ())) in
+  check_int "unchanged tree gates cleanly" 0
+    (List.length (Gate.check ~baseline:doc_a ~current:doc_b ~pct:0.01));
+  (* Schema round-trip: parsing the canonical text and re-rendering it
+     is byte-stable (floats may lose bits of precision on the first
+     print, but the printed form is a fixed point). *)
+  let text = J.to_string doc_a in
+  let reparsed = J.canonical (J.of_string text) in
+  check_string "JSON round-trips byte-identically" text (J.to_string reparsed);
+  check_bool "round-trip preserves structure" true
+    (J.member reparsed "schema" = J.member doc_a "schema"
+    && List.length (J.to_list (Option.get (J.member reparsed "benchmarks"))) = 2)
+
+(* The committed baseline: well-formed, canonical, covers every
+   workload, and gates cleanly against itself. The full
+   current-tree-vs-baseline gate runs in CI's shard job (it needs the
+   whole evaluation pass). *)
+let test_committed_baseline () =
+  let path = "../BENCH_baseline.json" in
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc = J.of_string text in
+  check_bool "schema" true (J.member doc "schema" = Some (J.Str "ppp-bench/1"));
+  check_int "all workloads present" (List.length Spec.all)
+    (List.length (J.to_list (Option.get (J.member doc "benchmarks"))));
+  check_bool "baseline text is canonical" true
+    (String.trim text = J.to_string (J.canonical doc));
+  check_int "baseline gates cleanly against itself" 0
+    (List.length (Gate.check ~baseline:doc ~current:doc ~pct:0.01))
+
+let suite =
+  [
+    Alcotest.test_case "collect differential -j1/-j2/-j8" `Slow
+      test_collect_differential;
+    Alcotest.test_case "map keeps item order" `Quick test_map_order_and_results;
+    Alcotest.test_case "seed derivation is -j invariant" `Quick
+      test_seed_derivation_j_invariant;
+    Alcotest.test_case "worker crash degrades to diagnostics" `Quick
+      test_worker_crash;
+    Alcotest.test_case "worker exception costs one item" `Quick
+      test_worker_exception;
+    Alcotest.test_case "gate semantics" `Quick test_gate_semantics;
+    Alcotest.test_case "gate smoke on a subset + JSON round-trip" `Slow
+      test_gate_smoke_subset;
+    Alcotest.test_case "committed baseline is sound" `Quick
+      test_committed_baseline;
+  ]
