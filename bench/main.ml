@@ -17,11 +17,19 @@
      main.exe --seed N             PRNG seed recorded in the JSON and fed
                                    to shard workers (default 0)
      main.exe --smoke              machine-readable only, without forking
+     main.exe --throughput         measure raw engine throughput (Minstr/s,
+                                   VM and reference) per benchmark and
+                                   record it in the JSON; ignored under -j
+     main.exe --min-vm-ratio R     exit 1 if any benchmark's VM/reference
+                                   throughput ratio is below R (requires
+                                   --throughput)
      main.exe --baseline F --gate P
                                    compare against a previous BENCH_*.json
                                    and exit 1 if any cost-model overhead
                                    (or wall-clock ratio, when both sides
-                                   have timing) regressed by more than P% *)
+                                   have timing; or throughput ratio floor,
+                                   when both sides have throughput)
+                                   regressed by more than P% *)
 
 module H = Ppp_harness.Pipeline
 module R = Ppp_harness.Report
@@ -124,9 +132,79 @@ let timing benches =
   Format.fprintf fmt "@]@.";
   get
 
+(* {2 Engine throughput: Minstr/s per engine}
+
+   Raw interpreted instructions per second, per engine, on the optimized
+   program with profiling bookkeeping off — the number the pre-lowered
+   VM exists to improve. Each engine gets a warm-up run (which also
+   yields the exact dyn_instrs of the workload), then repeated timed
+   runs until [min_time] seconds total; the best run is reported so a
+   single scheduler hiccup cannot poison the figure. *)
+
+let throughput_one ~min_time (pb : R.prepared_bench) =
+  let p = pb.R.prep.H.optimized in
+  let config =
+    { Interp.default_config with collect_edges = false; trace_paths = false }
+  in
+  let measure engine =
+    let warm = Interp.run ~engine ~config p in
+    let instrs = float_of_int warm.Interp.dyn_instrs in
+    let best = ref 0.0 in
+    let spent = ref 0.0 in
+    while !spent < min_time do
+      let t0 = Unix.gettimeofday () in
+      ignore (Interp.run ~engine ~config p);
+      let dt = Unix.gettimeofday () -. t0 in
+      spent := !spent +. dt;
+      if dt > 0.0 then best := Float.max !best (instrs /. dt)
+    done;
+    !best /. 1e6
+  in
+  let vm = measure Interp.Vm in
+  let reference = measure Interp.Reference in
+  (vm, reference, if reference > 0.0 then vm /. reference else 0.0)
+
+let throughput ~min_time benches =
+  Format.eprintf "engine throughput (best of >= %.2fs per engine):@." min_time;
+  List.map
+    (fun (pb : R.prepared_bench) ->
+      let name = pb.R.spec.Ppp_workloads.Spec.bench_name in
+      let vm, reference, ratio = throughput_one ~min_time pb in
+      Format.eprintf
+        "  %-9s | vm %8.2f Minstr/s | reference %8.2f Minstr/s | x%.2f@." name
+        vm reference ratio;
+      (name, (vm, reference, ratio)))
+    benches
+
 (* {2 Machine-readable results: BENCH_*.json} *)
 
 module J = Ppp_obs.Jsonx
+
+let throughput_json results name =
+  match List.assoc_opt name results with
+  | None -> None
+  | Some (vm, reference, ratio) ->
+      Some
+        (J.Obj
+           [
+             ("vm_minstr_s", J.Float vm);
+             ("reference_minstr_s", J.Float reference);
+             ("ratio", J.Float ratio);
+           ])
+
+(* Exit 1 when the VM fails to clear the requested speedup floor — the
+   absolute companion to the Gate's relative throughput check. *)
+let check_min_ratio ~floor results =
+  let bad = List.filter (fun (_, (_, _, ratio)) -> ratio < floor) results in
+  if bad <> [] then begin
+    List.iter
+      (fun (name, (_, _, ratio)) ->
+        Format.eprintf
+          "throughput: %s VM/reference ratio %.2f is below the floor %.2f@."
+          name ratio floor)
+      bad;
+    exit 1
+  end
 
 let timing_json get name =
   match
@@ -221,6 +299,8 @@ let () =
   let smoke = ref false in
   let baseline = ref None in
   let gate_pct = ref 10.0 in
+  let throughput_mode = ref false in
+  let min_vm_ratio = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -250,6 +330,12 @@ let () =
     | "--gate" :: p :: rest ->
         gate_pct := float_of_string p;
         parse rest
+    | "--throughput" :: rest ->
+        throughput_mode := true;
+        parse rest
+    | "--min-vm-ratio" :: r :: rest ->
+        min_vm_ratio := Some (float_of_string r);
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
@@ -268,13 +354,24 @@ let () =
       | Some ns -> ns
       | None -> Ppp_workloads.Spec.names ()
     in
+    if !throughput_mode && !jobs > 1 then
+      Format.eprintf
+        "note: --throughput is ignored under -j (wall-clock numbers from \
+         concurrent workers would be noise)@.";
+    let tp_results = ref [] in
     let rows, lost =
       if !jobs > 1 then sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale selected
-      else
-        ( List.map
-            (fun pb -> R.bench_json_one pb)
-            (R.prepare_all ~scale:!scale ~names:selected ()),
-          [] )
+      else begin
+        let benches = R.prepare_all ~scale:!scale ~names:selected () in
+        let throughput =
+          if !throughput_mode then begin
+            tp_results := throughput ~min_time:0.08 benches;
+            throughput_json !tp_results
+          end
+          else fun _ -> None
+        in
+        (List.map (fun pb -> R.bench_json_one ~throughput pb) benches, [])
+      end
     in
     List.iter
       (fun d -> Format.eprintf "%a@." Ppp_resilience.Diagnostic.pp d)
@@ -286,6 +383,10 @@ let () =
     (match !baseline with
     | None -> ()
     | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc);
+    (match !min_vm_ratio with
+    | Some floor when !tp_results <> [] ->
+        check_min_ratio ~floor !tp_results
+    | _ -> ());
     if lost <> [] then exit 2
   end
   else begin
@@ -322,15 +423,24 @@ let () =
       | None -> fun _ -> None
       | Some get -> timing_json get
     in
+    let tp_results =
+      if !throughput_mode then throughput ~min_time:0.25 benches else []
+    in
+    let throughput =
+      if tp_results = [] then fun _ -> None else throughput_json tp_results
+    in
     let doc =
       J.canonical
         (R.bench_json_wrap ~scale:!scale ~seed:!seed
-           (List.map (R.bench_json_one ~timing) benches))
+           (List.map (R.bench_json_one ~timing ~throughput) benches))
     in
     (match !json_path with
     | None -> ()
     | Some path -> write_doc ~path doc);
-    match !baseline with
+    (match !baseline with
     | None -> ()
-    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc
+    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc);
+    match !min_vm_ratio with
+    | Some floor when tp_results <> [] -> check_min_ratio ~floor tp_results
+    | _ -> ()
   end

@@ -48,6 +48,18 @@ let scale_arg =
   let doc = "Iteration scale for built-in workloads." in
   Arg.(value & opt int 1 & info [ "scale" ] ~doc)
 
+let engine_arg =
+  let doc =
+    "Execution engine: $(b,vm) (the pre-lowered flat VM, default) or \
+     $(b,reference) (the tree-walking reference interpreter). Both \
+     produce identical outcomes, profiles and costs; only wall-clock \
+     speed differs."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("vm", Interp.Vm); ("reference", Interp.Reference) ]) Interp.Vm
+    & info [ "engine" ] ~doc)
+
 (* Only errors with a user-actionable message are caught here; anything
    else is a bug and propagates with a backtrace (catching [Not_found]
    or [Invalid_argument] globally would mask failures anywhere in the
@@ -121,11 +133,11 @@ let with_obs ?(force_metrics = false) (metrics_out, trace_out) f =
 (* {2 run} *)
 
 let run_cmd =
-  let action spec scale obs =
+  let action spec scale engine obs =
     handle_errors (fun () ->
         with_obs obs (fun () ->
             let p = load_program spec ~scale in
-            let o = Trace.with_span "run" (fun () -> Interp.run p) in
+            let o = Trace.with_span "run" (fun () -> Interp.run ~engine p) in
             List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
             Format.printf "return: %s@."
               (match o.Interp.return_value with
@@ -136,7 +148,7 @@ let run_cmd =
   in
   let doc = "Execute a program and print its output and statistics." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ program_arg $ scale_arg $ obs_args)
+    Term.(const action $ program_arg $ scale_arg $ engine_arg $ obs_args)
 
 (* {2 profile} *)
 
@@ -327,7 +339,7 @@ let collect_cmd =
     in
     Arg.(value & opt (some string) None & info [ "shard-dir" ] ~docv:"DIR" ~doc)
   in
-  let action spec scale output v1 jobs shard_dir obs =
+  let action spec scale engine output v1 jobs shard_dir obs =
     handle_errors (fun () ->
         if spec = "bench:all" then begin
           if v1 then
@@ -339,7 +351,7 @@ let collect_cmd =
         else
           with_obs obs (fun () ->
               let p = load_program spec ~scale in
-              let o = Interp.run p in
+              let o = Interp.run ~engine p in
               let write ppf =
                 if v1 then begin
                   Ppp_profile.Profile_io.save_edges ppf p
@@ -369,8 +381,8 @@ let collect_cmd =
   in
   Cmd.v (Cmd.info "collect" ~doc)
     Term.(
-      const action $ program_arg $ scale_arg $ output_arg $ v1_arg $ jobs_arg
-      $ shard_dir_arg $ obs_args)
+      const action $ program_arg $ scale_arg $ engine_arg $ output_arg $ v1_arg
+      $ jobs_arg $ shard_dir_arg $ obs_args)
 
 (* {2 merge} *)
 

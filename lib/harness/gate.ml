@@ -66,6 +66,16 @@ let check ~baseline ~current ~pct =
                         fail name ("timing." ^ k) b c
                   | _ -> ())
                 [ "pp_ns"; "tpp_ns"; "ppp_ns" ]
+          | _ -> ());
+          (* VM-vs-reference throughput is gated the other way round: the
+             ratio is a floor, and dropping below it is the regression. *)
+          (match (J.member bj "throughput", J.member cj "throughput") with
+          | Some bt, Some ct -> (
+              match (fnum (J.member bt "ratio"), fnum (J.member ct "ratio")) with
+              | Some b, Some c ->
+                  if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b) then
+                    fail name "throughput.ratio" b c
+              | _ -> ())
           | _ -> ()))
     base_benches;
   List.rev !fails

@@ -9,7 +9,11 @@
       tolerance;
     - wall-clock ratios ([pp_ns]/[base_ns], …), only when {e both}
       documents carry a [timing] object for the benchmark, with
-      whatever looser tolerance the caller passes.
+      whatever looser tolerance the caller passes;
+    - the VM-vs-reference throughput [ratio], only when both documents
+      carry a [throughput] object for the benchmark. This one is a
+      floor, not a ceiling: the failure is the current ratio dropping
+      more than the tolerance {e below} the baseline's.
 
     Benchmarks present in the baseline but missing from the current
     document, and schema mismatches, are failures too — a gate that

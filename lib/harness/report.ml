@@ -238,13 +238,18 @@ let eval_json (ev : Pipeline.evaluation) =
       ("routines_total", J.Int ev.Pipeline.routines_total);
     ]
 
-let bench_json_one ?(timing = fun _ -> None) pb =
+let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None) pb =
   let e = evals_of pb in
   let prep = pb.prep in
   let timing_fields =
     match timing pb.spec.Spec.bench_name with
     | None -> []
     | Some t -> [ ("timing", t) ]
+  in
+  let throughput_fields =
+    match throughput pb.spec.Spec.bench_name with
+    | None -> []
+    | Some t -> [ ("throughput", t) ]
   in
   J.Obj
     ([
@@ -263,7 +268,7 @@ let bench_json_one ?(timing = fun _ -> None) pb =
              ("ppp", eval_json e.ppp);
            ] );
      ]
-    @ timing_fields)
+    @ timing_fields @ throughput_fields)
 
 let bench_json_wrap ?(scale = 1) ?seed rows =
   let seed_field = match seed with None -> [] | Some s -> [ ("seed", J.Int s) ] in
@@ -272,8 +277,8 @@ let bench_json_wrap ?(scale = 1) ?seed rows =
     @ seed_field
     @ [ ("benchmarks", J.Arr rows) ])
 
-let bench_json ?scale ?timing benches =
-  bench_json_wrap ?scale (List.map (bench_json_one ?timing) benches)
+let bench_json ?scale ?timing ?throughput benches =
+  bench_json_wrap ?scale (List.map (bench_json_one ?timing ?throughput) benches)
 
 let section8_1 ppf benches =
   let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in

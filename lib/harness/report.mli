@@ -30,15 +30,19 @@ val evals_of : prepared_bench -> evals
 val bench_json :
   ?scale:int ->
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
+  ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
   prepared_bench list ->
   Ppp_obs.Jsonx.t
 (** The machine-readable benchmark record written to [BENCH_*.json]:
     per-benchmark overhead / accuracy / coverage (and the secondary
     statistics) for every method, plus whatever [timing] returns for the
-    benchmark (wall-clock results, when the timing action ran). *)
+    benchmark (wall-clock results, when the timing action ran) and
+    whatever [throughput] returns (per-engine Minstr/s, when the
+    [--throughput] mode ran). *)
 
 val bench_json_one :
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
+  ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
   prepared_bench ->
   Ppp_obs.Jsonx.t
 (** One benchmark's row of {!bench_json} — what a shard worker computes

@@ -30,3 +30,6 @@ let action ~table = function
       count_base ~table - 1
   | Instr_rt.Count_checked | Instr_rt.Count_checked_plus _ ->
       count_base ~table + check
+
+let actions ~table acts =
+  List.fold_left (fun acc a -> acc + action ~table a) 0 acts

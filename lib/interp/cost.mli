@@ -16,3 +16,7 @@ val call_overhead : int
     Table 1's modest speedups. *)
 
 val action : table:Instr_rt.table_kind -> Instr_rt.action -> int
+
+val actions : table:Instr_rt.table_kind -> Instr_rt.action list -> int
+(** Total cost of an edge's action list; what the lowering pass
+    precomputes so the VM charges one number per traversal. *)

@@ -1,0 +1,130 @@
+(* Shared substrate of the two execution engines: the public configuration
+   and outcome types, the runtime exceptions, the binop semantics, the
+   observability counters, and the eager call-arity validation. Both the
+   reference tree-walker (Interp) and the flat VM (Vm) are defined in
+   terms of this module, so anything that must be byte-identical across
+   engines lives here exactly once. *)
+
+module Ir = Ppp_ir.Ir
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Obs = Ppp_obs.Metrics
+
+exception Runtime_error of string
+exception Exhausted
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let m_runs = Obs.counter "interp.runs"
+let m_fuel_exhausted = Obs.counter "interp.fuel_exhausted"
+let m_dyn_instrs = Obs.counter "interp.dyn_instrs"
+let m_dyn_paths = Obs.counter "interp.dyn_paths"
+let m_calls = Obs.counter "interp.calls"
+let m_fuel_consumed = Obs.counter "interp.fuel_consumed"
+let m_base_cost = Obs.counter "interp.base_cost"
+let m_instr_cost = Obs.counter "interp.instr_cost"
+
+let m_actions =
+  Array.init Instr_rt.num_action_kinds (fun i ->
+      Obs.counter ("interp.action." ^ Instr_rt.action_kind_name i))
+
+type config = {
+  fuel : int;
+  collect_edges : bool;
+  trace_paths : bool;
+  instrumentation : Instr_rt.t option;
+  overflow_policy : Instr_rt.Table.overflow_policy;
+}
+
+let default_config =
+  {
+    fuel = 2_000_000_000;
+    collect_edges = true;
+    trace_paths = true;
+    instrumentation = None;
+    overflow_policy = Instr_rt.Table.Drop;
+  }
+
+type termination = Finished | Out_of_fuel of { stack_depth : int }
+
+type outcome = {
+  return_value : int option;
+  output : int list;
+  base_cost : int;
+  instr_cost : int;
+  dyn_instrs : int;
+  dyn_paths : int;
+  termination : termination;
+  edge_profile : Edge_profile.program option;
+  path_profile : Path_profile.program option;
+  instr_state : Instr_rt.state option;
+}
+
+let overhead o =
+  if o.base_cost = 0 then 0.0
+  else float_of_int o.instr_cost /. float_of_int o.base_cost
+
+let exec_binop op a b =
+  match op with
+  | Ir.Add -> a + b
+  | Ir.Sub -> a - b
+  | Ir.Mul -> a * b
+  | Ir.Div -> if b = 0 then error "division by zero" else a / b
+  | Ir.Rem -> if b = 0 then error "remainder by zero" else a mod b
+  | Ir.And -> a land b
+  | Ir.Or -> a lor b
+  | Ir.Xor -> a lxor b
+  | Ir.Shl ->
+      let c = b land 63 in
+      if c > 62 then 0 else a lsl c
+  | Ir.Shr ->
+      let c = b land 63 in
+      a asr min c 62
+  | Ir.Lt -> if a < b then 1 else 0
+  | Ir.Le -> if a <= b then 1 else 0
+  | Ir.Gt -> if a > b then 1 else 0
+  | Ir.Ge -> if a >= b then 1 else 0
+  | Ir.Eq -> if a = b then 1 else 0
+  | Ir.Ne -> if a <> b then 1 else 0
+
+(* A call whose argument list is longer than the callee's register file
+   would fault mid-copy with a bare [Invalid_argument]; catch it up front,
+   once per run, with a located error instead. Calls to unknown routines
+   stay lazy — they only fault if actually executed. *)
+let validate_call_arities (p : Ir.program) =
+  let routines = Hashtbl.create 17 in
+  List.iter (fun (r : Ir.routine) -> Hashtbl.replace routines r.Ir.name r) p.routines;
+  List.iter
+    (fun (r : Ir.routine) ->
+      Array.iter
+        (fun (b : Ir.block) ->
+          Array.iter
+            (function
+              | Ir.Call (_, callee, args) -> (
+                  match Hashtbl.find_opt routines callee with
+                  | None -> ()
+                  | Some c ->
+                      let n = List.length args in
+                      if n > c.Ir.nregs then
+                        error
+                          "routine %s, block %s: call passes %d arguments but \
+                           %s has only %d registers"
+                          r.Ir.name b.Ir.label n callee c.Ir.nregs)
+              | _ -> ())
+            b.Ir.instrs)
+        r.Ir.blocks)
+    p.routines
+
+let flush_metrics ~fuel ~termination ~fuel_left ~base_cost ~instr_cost
+    ~dyn_instrs ~dyn_paths ~calls ~actions =
+  Obs.incr m_runs;
+  (match termination with
+  | Out_of_fuel _ -> Obs.incr m_fuel_exhausted
+  | Finished -> ());
+  Obs.add m_dyn_instrs dyn_instrs;
+  Obs.add m_dyn_paths dyn_paths;
+  Obs.add m_calls calls;
+  Obs.add m_fuel_consumed (fuel - fuel_left);
+  Obs.add m_base_cost base_cost;
+  Obs.add m_instr_cost instr_cost;
+  Array.iteri (fun k n -> if n > 0 then Obs.add m_actions.(k) n) actions

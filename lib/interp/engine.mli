@@ -1,0 +1,71 @@
+(** Substrate shared by the two execution engines ({!Interp}'s reference
+    tree-walker and the flat {!Vm}): runtime exceptions, the public
+    configuration/outcome types, binop semantics, the [interp.*] metrics,
+    and eager call-arity validation. Everything that must behave
+    byte-identically across engines is defined here once.
+
+    Users should go through {!Interp}, which re-exports the public
+    pieces; this module is the internal meeting point. *)
+
+exception Runtime_error of string
+exception Exhausted
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+module Obs = Ppp_obs.Metrics
+
+type config = {
+  fuel : int;
+  collect_edges : bool;
+  trace_paths : bool;
+  instrumentation : Instr_rt.t option;
+  overflow_policy : Instr_rt.Table.overflow_policy;
+}
+
+val default_config : config
+
+type termination = Finished | Out_of_fuel of { stack_depth : int }
+
+type outcome = {
+  return_value : int option;
+  output : int list;
+  base_cost : int;
+  instr_cost : int;
+  dyn_instrs : int;
+  dyn_paths : int;
+  termination : termination;
+  edge_profile : Ppp_profile.Edge_profile.program option;
+  path_profile : Ppp_profile.Path_profile.program option;
+  instr_state : Instr_rt.state option;
+}
+
+val overhead : outcome -> float
+
+val exec_binop : Ppp_ir.Ir.binop -> int -> int -> int
+(** The single definition of arithmetic both engines execute. Shifts
+    saturate: counts are masked to \[0, 63\] and clamped so the result is
+    the mathematical limit ([0] for [Shl] past the word, the sign for
+    [Shr]) rather than an undefined wrap.
+    @raise Runtime_error on division or remainder by zero. *)
+
+val validate_call_arities : Ppp_ir.Ir.program -> unit
+(** Reject, up front, any call whose argument count exceeds the callee's
+    register file — it would otherwise fault mid-copy with a bare
+    [Invalid_argument]. Calls to unknown routines are left to fault lazily
+    at execution time, as before.
+    @raise Runtime_error with a located message. *)
+
+val flush_metrics :
+  fuel:int ->
+  termination:termination ->
+  fuel_left:int ->
+  base_cost:int ->
+  instr_cost:int ->
+  dyn_instrs:int ->
+  dyn_paths:int ->
+  calls:int ->
+  actions:int array ->
+  unit
+(** Feed one run's totals into the [interp.*] counters. Callers gate on
+    [Obs.enabled] themselves (latched at run start). *)

@@ -5,27 +5,11 @@ module Cfg_view = Ppp_ir.Cfg_view
 module Edge_profile = Ppp_profile.Edge_profile
 module Path_profile = Ppp_profile.Path_profile
 
-exception Runtime_error of string
-exception Exhausted
+exception Runtime_error = Engine.Runtime_error
 
-let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+let error = Engine.error
 
-module Obs = Ppp_obs.Metrics
-
-let m_runs = Obs.counter "interp.runs"
-let m_fuel_exhausted = Obs.counter "interp.fuel_exhausted"
-let m_dyn_instrs = Obs.counter "interp.dyn_instrs"
-let m_dyn_paths = Obs.counter "interp.dyn_paths"
-let m_calls = Obs.counter "interp.calls"
-let m_fuel_consumed = Obs.counter "interp.fuel_consumed"
-let m_base_cost = Obs.counter "interp.base_cost"
-let m_instr_cost = Obs.counter "interp.instr_cost"
-
-let m_actions =
-  Array.init Instr_rt.num_action_kinds (fun i ->
-      Obs.counter ("interp.action." ^ Instr_rt.action_kind_name i))
-
-type config = {
+type config = Engine.config = {
   fuel : int;
   collect_edges : bool;
   trace_paths : bool;
@@ -33,18 +17,13 @@ type config = {
   overflow_policy : Instr_rt.Table.overflow_policy;
 }
 
-let default_config =
-  {
-    fuel = 2_000_000_000;
-    collect_edges = true;
-    trace_paths = true;
-    instrumentation = None;
-    overflow_policy = Instr_rt.Table.Drop;
-  }
+let default_config = Engine.default_config
 
-type termination = Finished | Out_of_fuel of { stack_depth : int }
+type termination = Engine.termination =
+  | Finished
+  | Out_of_fuel of { stack_depth : int }
 
-type outcome = {
+type outcome = Engine.outcome = {
   return_value : int option;
   output : int list;
   base_cost : int;
@@ -57,9 +36,14 @@ type outcome = {
   instr_state : Instr_rt.state option;
 }
 
-let overhead o =
-  if o.base_cost = 0 then 0.0
-  else float_of_int o.instr_cost /. float_of_int o.base_cost
+let overhead = Engine.overhead
+let exec_binop = Engine.exec_binop
+
+(* ------------------------------------------------------------------ *)
+(* The reference engine: a direct tree-walk over the IR. It is the
+   executable specification the flat VM is differentially tested
+   against, so it stays deliberately simple — one charge per
+   instruction, a frame list, a path-edge list per frame. *)
 
 (* Per-routine execution plan, precomputed once per run. *)
 type plan = {
@@ -99,7 +83,7 @@ type state = {
   obs_actions : int array; (* executions per Instr_rt.action kind *)
 }
 
-let make_plan config instr_tables (r : Ir.routine) =
+let make_plan (config : config) instr_tables (r : Ir.routine) =
   let view = Cfg_view.of_routine r in
   let g = Cfg_view.graph view in
   let nedges = Graph.num_edges g in
@@ -134,29 +118,6 @@ let make_plan config instr_tables (r : Ir.routine) =
   { routine = r; view; is_back; edge_counts; trace; actions; action_costs; table }
 
 let eval regs = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i
-
-let exec_binop op a b =
-  match op with
-  | Ir.Add -> a + b
-  | Ir.Sub -> a - b
-  | Ir.Mul -> a * b
-  | Ir.Div -> if b = 0 then error "division by zero" else a / b
-  | Ir.Rem -> if b = 0 then error "remainder by zero" else a mod b
-  | Ir.And -> a land b
-  | Ir.Or -> a lor b
-  | Ir.Xor -> a lxor b
-  | Ir.Shl ->
-      let c = b land 63 in
-      if c > 62 then 0 else a lsl c
-  | Ir.Shr ->
-      let c = b land 63 in
-      a asr min c 62
-  | Ir.Lt -> if a < b then 1 else 0
-  | Ir.Le -> if a <= b then 1 else 0
-  | Ir.Gt -> if a > b then 1 else 0
-  | Ir.Ge -> if a >= b then 1 else 0
-  | Ir.Eq -> if a = b then 1 else 0
-  | Ir.Ne -> if a <> b then 1 else 0
 
 (* Traverse a CFG edge: bookkeeping for edge profiles, ground-truth path
    tracing, and instrumentation. [ends_path] is true for back edges and
@@ -205,7 +166,8 @@ let traverse st frame e ~ends_path =
     done
   end
 
-let run ?(config = default_config) (p : Ir.program) =
+let run_reference ~(config : config) (p : Ir.program) =
+  Engine.validate_call_arities p;
   let instr_tables =
     match config.instrumentation with
     | Some instr -> Instr_rt.init_state ~policy:config.overflow_policy instr
@@ -229,7 +191,7 @@ let run ?(config = default_config) (p : Ir.program) =
       dyn_paths = 0;
       out_rev = [];
       trace_on = config.trace_paths;
-      obs_on = Obs.enabled ();
+      obs_on = Engine.Obs.enabled ();
       obs_calls = 0;
       obs_actions = Array.make Instr_rt.num_action_kinds 0;
     }
@@ -257,7 +219,7 @@ let run ?(config = default_config) (p : Ir.program) =
     st.base_cost <- st.base_cost + c;
     st.dyn_instrs <- st.dyn_instrs + 1;
     st.fuel <- st.fuel - 1;
-    if st.fuel <= 0 then raise Exhausted
+    if st.fuel <= 0 then raise Engine.Exhausted
   in
   let array_ref name idx =
     let arr =
@@ -331,7 +293,7 @@ let run ?(config = default_config) (p : Ir.program) =
         exec_frame (List.hd st.stack)
       done;
       Finished
-    with Exhausted -> Out_of_fuel { stack_depth = List.length st.stack }
+    with Engine.Exhausted -> Out_of_fuel { stack_depth = List.length st.stack }
   in
   let edge_profile =
     if config.collect_edges then begin
@@ -364,19 +326,11 @@ let run ?(config = default_config) (p : Ir.program) =
     end
     else None
   in
-  if st.obs_on then begin
-    Obs.incr m_runs;
-    (match termination with
-    | Out_of_fuel _ -> Obs.incr m_fuel_exhausted
-    | Finished -> ());
-    Obs.add m_dyn_instrs st.dyn_instrs;
-    Obs.add m_dyn_paths st.dyn_paths;
-    Obs.add m_calls st.obs_calls;
-    Obs.add m_fuel_consumed (config.fuel - st.fuel);
-    Obs.add m_base_cost st.base_cost;
-    Obs.add m_instr_cost st.instr_cost;
-    Array.iteri (fun k n -> if n > 0 then Obs.add m_actions.(k) n) st.obs_actions
-  end;
+  if st.obs_on then
+    Engine.flush_metrics ~fuel:config.fuel ~termination ~fuel_left:st.fuel
+      ~base_cost:st.base_cost ~instr_cost:st.instr_cost
+      ~dyn_instrs:st.dyn_instrs ~dyn_paths:st.dyn_paths ~calls:st.obs_calls
+      ~actions:st.obs_actions;
   {
     return_value = !return_value;
     output = List.rev st.out_rev;
@@ -389,3 +343,12 @@ let run ?(config = default_config) (p : Ir.program) =
     path_profile;
     instr_state = (if Option.is_some config.instrumentation then Some instr_tables else None);
   }
+
+(* ------------------------------------------------------------------ *)
+
+type engine = Vm | Reference
+
+let run ?(config = default_config) ?(engine = Vm) (p : Ir.program) =
+  match engine with
+  | Vm -> Vm.run ~config p
+  | Reference -> run_reference ~config p

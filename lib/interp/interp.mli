@@ -5,14 +5,22 @@
     Path semantics follow Section 3.1: a back edge ends the current path
     and starts a new one at the loop header; a call starts a fresh path in
     the callee while the caller's path is deferred across the call; a
-    return ends the callee's current path. *)
+    return ends the callee's current path.
+
+    Two execution engines share these semantics: the flat {!Vm} (the
+    default — routines are pre-lowered to contiguous opcode arrays, see
+    {!Lower}) and the reference tree-walker defined here, which serves as
+    the executable specification. The differential suite asserts the two
+    produce byte-identical outcomes; everything cost-model-derived
+    (overheads, profiles, table state) is engine-invariant, only
+    wall-clock throughput differs. *)
 
 exception Runtime_error of string
 (** Division by zero, array index out of bounds, or other genuine dynamic
     faults. Fuel exhaustion is {e not} an error: it is reported through
     {!type-termination} with a partial {!outcome}. *)
 
-type config = {
+type config = Engine.config = {
   fuel : int;  (** maximum dynamic instructions before stopping *)
   collect_edges : bool;
   trace_paths : bool;
@@ -25,13 +33,13 @@ val default_config : config
 (** [fuel = 2_000_000_000], edge collection and path tracing on, no
     instrumentation, [Drop] overflow policy. *)
 
-type termination =
+type termination = Engine.termination =
   | Finished  (** [main] returned normally *)
   | Out_of_fuel of { stack_depth : int }
       (** the fuel budget ran out with [stack_depth] activations still
           live; the outcome holds everything collected up to that point *)
 
-type outcome = {
+type outcome = Engine.outcome = {
   return_value : int option;  (** of [main]; [None] if out of fuel *)
   output : int list;  (** values emitted by [Out], in order *)
   base_cost : int;  (** cycles of the program proper *)
@@ -47,8 +55,20 @@ type outcome = {
 val overhead : outcome -> float
 (** [instr_cost / base_cost]. *)
 
-val run : ?config:config -> Ppp_ir.Ir.program -> outcome
+val exec_binop : Ppp_ir.Ir.binop -> int -> int -> int
+(** The shared arithmetic of both engines (re-exported from {!Engine});
+    shifts saturate rather than wrap. *)
+
+type engine =
+  | Vm  (** pre-lowered flat VM: the fast default *)
+  | Reference  (** the tree-walking executable specification *)
+
+val run : ?config:config -> ?engine:engine -> Ppp_ir.Ir.program -> outcome
 (** Runs to completion or fuel exhaustion — check [outcome.termination].
     When fuel runs out the profiles collected so far are still returned
-    (a truncated but usable sample).
-    @raise Runtime_error on a genuine dynamic fault. *)
+    (a truncated but usable sample). [engine] defaults to {!Vm}; both
+    engines produce identical outcomes on well-formed programs (programs
+    that fail [Ppp_ir.Check] may fault with different error messages).
+    @raise Runtime_error on a genuine dynamic fault, including — in
+    either engine, up front — a call whose argument count exceeds the
+    callee's register file. *)

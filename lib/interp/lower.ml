@@ -1,0 +1,403 @@
+(* The pre-lowering pass: compile each routine, once per run, into a
+   contiguous opcode array the VM can dispatch on without touching the
+   AST again. Lowering resolves everything resolvable ahead of time:
+
+   - operand shapes become distinct opcodes (register indices and
+     immediates inlined, no [Ir.operand] match at runtime);
+   - array names become direct [int array] references;
+   - per-instruction fuel/cost charges are batched: each straight-line
+     run of pure instructions is prefixed by a single [Fuel] opcode
+     carrying the run's instruction count and total cost (the parallel
+     [costs] array keeps the per-op charges so fuel exhaustion can bill
+     an exact remainder — see [Vm]);
+   - terminators are fused with their edge bookkeeping: the edge id,
+     whether it ends the current path, the specialized instrumentation
+     actions and their precomputed total cost all sit in the opcode;
+   - register indices are validated here, so the VM may use unchecked
+     register accesses; an out-of-range index lowers to a [Trap] that
+     faults only if executed, like the reference engine's lazy error.
+
+   Calls and unknown names stay lazy: a [Call] charges for itself (it can
+   push a frame, so it cannot sit inside a batched segment), and unknown
+   arrays/routines lower to raising opcodes with the reference engine's
+   exact messages. *)
+
+module Graph = Ppp_cfg.Graph
+module Loop = Ppp_cfg.Loop
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+
+type arr = { arr_name : string; data : int array }
+
+(* [Instr_rt.action] with the table resolved: the VM's traverse loop
+   matches on these without the per-action table-option match. *)
+type pre_action =
+  | Set_reg of int
+  | Add_reg of int
+  | Bump of Instr_rt.Table.t (* Count_r / Count_checked *)
+  | Bump_plus of Instr_rt.Table.t * int (* Count_r_plus / Count_checked_plus *)
+  | Bump_const of Instr_rt.Table.t * int (* Count_const *)
+  | Bump_none (* counting action on an uninstrumented routine *)
+
+type edge_ops = {
+  edge : int;
+  ends_path : bool;
+  acts : pre_action array;
+  acts_cost : int; (* total Cost.action of the list *)
+  act_kinds : int array; (* Instr_rt.action_index per action, for metrics *)
+}
+
+type op =
+  | Fuel of { count : int; cost : int }
+      (* charge for the next [count] ops at once; total cost [cost] *)
+  | Mov_i of { dst : int; imm : int }
+  | Mov_r of { dst : int; src : int }
+  | Bin_rr of { dst : int; op : Ir.binop; a : int; b : int }
+  | Bin_ri of { dst : int; op : Ir.binop; a : int; imm : int }
+  | Bin_ir of { dst : int; op : Ir.binop; imm : int; b : int }
+  | Bin_ii of { dst : int; op : Ir.binop; ia : int; ib : int }
+  | Load_r of { dst : int; data : int array; arr : arr; idx : int }
+  | Load_i of { dst : int; data : int array; arr : arr; idx : int }
+  | Store_rr of { data : int array; arr : arr; idx : int; src : int }
+  | Store_ri of { data : int array; arr : arr; idx : int; imm : int }
+  | Store_ir of { data : int array; arr : arr; iidx : int; src : int }
+  | Store_ii of { data : int array; arr : arr; iidx : int; imm : int }
+      (* data == arr.data, inlined so the hot path skips an indirection;
+         arr is only touched on a bounds error *)
+  | Out_r of { src : int }
+  | Out_i of { imm : int }
+  | Call of {
+      dst : int;
+      callee : int;
+      arg_regs : int array;
+      arg_vals : int array;
+    }
+      (* dst = -1 when the result is discarded; callee = plan index;
+         arg i reads register arg_regs.(i) when >= 0, else the
+         immediate arg_vals.(i) *)
+  | Unknown_array of { name : string }
+  | Unknown_routine of { name : string }
+  | Trap of { msg : string }
+      (* ill-formed instruction (register out of range); faults lazily *)
+  | Jump of { target : int; edge : edge_ops }
+  | Branch_r of {
+      cond : int;
+      then_ : int;
+      then_edge : edge_ops;
+      else_ : int;
+      else_edge : edge_ops;
+    }
+  | Branch_const of { target : int; edge : edge_ops }
+      (* Branch on an immediate condition: one arm, still branch-priced *)
+  | Return_r of { src : int; edge : edge_ops }
+  | Return_i of { imm : int; edge : edge_ops }
+  | Return_none of { edge : edge_ops }
+
+type plan = {
+  routine : Ir.routine;
+  view : Cfg_view.t;
+  code : op array;
+  costs : int array;
+      (* per-op charge, parallel to [code] (0 for Fuel); the exact
+         remainder bill when fuel runs out mid-segment *)
+  block_offset : int array; (* block index -> offset of its first op *)
+  nregs : int;
+  edge_counts : Edge_profile.t option;
+  intern : Path_profile.Intern.table option;
+}
+
+type program = {
+  plans : plan array;
+  index : (string, int) Hashtbl.t; (* routine name -> plan index *)
+  main : int;
+  arrays : (string, arr) Hashtbl.t;
+}
+
+let compile_action table act =
+  match (act, table) with
+  | Instr_rt.Set_r v, _ -> Set_reg v
+  | Instr_rt.Add_r v, _ -> Add_reg v
+  | (Instr_rt.Count_r | Instr_rt.Count_checked), Some t -> Bump t
+  | ( (Instr_rt.Count_r_plus v | Instr_rt.Count_checked_plus v),
+      Some t ) ->
+      Bump_plus (t, v)
+  | Instr_rt.Count_const v, Some t -> Bump_const (t, v)
+  | ( ( Instr_rt.Count_r | Instr_rt.Count_checked | Instr_rt.Count_r_plus _
+      | Instr_rt.Count_checked_plus _ | Instr_rt.Count_const _ ),
+      None ) ->
+      Bump_none
+
+let lower_routine ~collect_edges ~trace_paths ~instr ~instr_tables ~arrays
+    ~routine_index (r : Ir.routine) =
+  let view = Cfg_view.of_routine r in
+  let g = Cfg_view.graph view in
+  let nedges = Graph.num_edges g in
+  let loops = Loop.compute g ~root:(Cfg_view.entry view) in
+  let is_back = Array.make (max 1 nedges) false in
+  List.iter (fun e -> is_back.(e) <- true) (Loop.breakable_edges loops);
+  let edge_counts =
+    if collect_edges then Some (Edge_profile.create ~nedges) else None
+  in
+  let intern =
+    if trace_paths then Some (Path_profile.Intern.create ()) else None
+  in
+  let ri, table =
+    match instr with
+    | None -> (None, None)
+    | Some instr -> (
+        match Hashtbl.find_opt instr r.Ir.name with
+        | None -> (None, None)
+        | Some ri -> (Some ri, Hashtbl.find_opt instr_tables r.Ir.name))
+  in
+  let edge_ops ~ends_path e =
+    let src_acts =
+      match ri with None -> [] | Some ri -> ri.Instr_rt.edge_actions.(e)
+    in
+    let acts_cost =
+      match ri with
+      | None -> 0
+      | Some ri -> Cost.actions ~table:ri.Instr_rt.table src_acts
+    in
+    {
+      edge = e;
+      ends_path;
+      acts = Array.of_list (List.map (compile_action table) src_acts);
+      acts_cost;
+      act_kinds = Array.of_list (List.map Instr_rt.action_index src_acts);
+    }
+  in
+  (* Emission: [pending] accumulates the current straight-line run of
+     pure ops (with their individual charges); [flush] prefixes it with
+     one Fuel op covering the run plus, optionally, the terminator. *)
+  let ops_rev = ref [] in
+  let costs_rev = ref [] in
+  let n_ops = ref 0 in
+  let emit op cost =
+    ops_rev := op :: !ops_rev;
+    costs_rev := cost :: !costs_rev;
+    incr n_ops
+  in
+  let pending = ref [] in
+  let pend op cost = pending := (op, cost) :: !pending in
+  let flush ~term =
+    let items = List.rev !pending in
+    pending := [];
+    let items = match term with None -> items | Some oc -> items @ [ oc ] in
+    match items with
+    | [] -> ()
+    | _ ->
+        let count = List.length items in
+        let cost = List.fold_left (fun acc (_, c) -> acc + c) 0 items in
+        emit (Fuel { count; cost }) 0;
+        List.iter (fun (op, c) -> emit op c) items
+  in
+  let ok_reg x = x >= 0 && x < r.Ir.nregs in
+  let ok_operand = function Ir.Reg x -> ok_reg x | Ir.Imm _ -> true in
+  let ill_formed (ins : Ir.instr) =
+    (* The checks mirror Ppp_ir.Check's register-range rules; anything
+       that fails them may not be executed with unchecked accesses. *)
+    match ins with
+    | Ir.Mov (d, v) -> not (ok_reg d && ok_operand v)
+    | Ir.Binop (d, _, a, b) -> not (ok_reg d && ok_operand a && ok_operand b)
+    | Ir.Load (d, _, idx) -> not (ok_reg d && ok_operand idx)
+    | Ir.Store (_, idx, v) -> not (ok_operand idx && ok_operand v)
+    | Ir.Call (dst, _, args) ->
+        not
+          (Option.fold ~none:true ~some:ok_reg dst
+          && List.for_all ok_operand args)
+    | Ir.Out v -> not (ok_operand v)
+  in
+  let arr_of name = Hashtbl.find_opt arrays name in
+  let lower_instr (ins : Ir.instr) =
+    let c = Cost.instr ins in
+    if ill_formed ins then
+      pend
+        (Trap
+           {
+             msg =
+               Format.asprintf "routine %s: register out of range (nregs=%d)"
+                 r.Ir.name r.Ir.nregs;
+           })
+        c
+    else
+      match ins with
+      | Ir.Mov (d, Ir.Imm i) -> pend (Mov_i { dst = d; imm = i }) c
+      | Ir.Mov (d, Ir.Reg s) -> pend (Mov_r { dst = d; src = s }) c
+      | Ir.Binop (d, op, a, b) -> (
+          match (a, b) with
+          | Ir.Reg a, Ir.Reg b -> pend (Bin_rr { dst = d; op; a; b }) c
+          | Ir.Reg a, Ir.Imm b -> pend (Bin_ri { dst = d; op; a; imm = b }) c
+          | Ir.Imm a, Ir.Reg b -> pend (Bin_ir { dst = d; op; imm = a; b }) c
+          | Ir.Imm a, Ir.Imm b -> pend (Bin_ii { dst = d; op; ia = a; ib = b }) c)
+      | Ir.Load (d, name, idx) -> (
+          match arr_of name with
+          | None -> pend (Unknown_array { name }) c
+          | Some arr -> (
+              let data = arr.data in
+              match idx with
+              | Ir.Reg s -> pend (Load_r { dst = d; data; arr; idx = s }) c
+              | Ir.Imm i -> pend (Load_i { dst = d; data; arr; idx = i }) c))
+      | Ir.Store (name, idx, v) -> (
+          match arr_of name with
+          | None -> pend (Unknown_array { name }) c
+          | Some arr -> (
+              let data = arr.data in
+              match (idx, v) with
+              | Ir.Reg i, Ir.Reg s ->
+                  pend (Store_rr { data; arr; idx = i; src = s }) c
+              | Ir.Reg i, Ir.Imm m ->
+                  pend (Store_ri { data; arr; idx = i; imm = m }) c
+              | Ir.Imm i, Ir.Reg s ->
+                  pend (Store_ir { data; arr; iidx = i; src = s }) c
+              | Ir.Imm i, Ir.Imm m ->
+                  pend (Store_ii { data; arr; iidx = i; imm = m }) c)
+          )
+      | Ir.Out (Ir.Reg s) -> pend (Out_r { src = s }) c
+      | Ir.Out (Ir.Imm i) -> pend (Out_i { imm = i }) c
+      | Ir.Call (dst, callee, args) -> (
+          (* A call can push a frame, so it charges for itself: close the
+             current segment first. *)
+          flush ~term:None;
+          match Hashtbl.find_opt routine_index callee with
+          | None -> emit (Unknown_routine { name = callee }) c
+          | Some idx ->
+              emit
+                (Call
+                   {
+                     dst = (match dst with Some d -> d | None -> -1);
+                     callee = idx;
+                     arg_regs =
+                       Array.of_list
+                         (List.map
+                            (function Ir.Reg r -> r | Ir.Imm _ -> -1)
+                            args);
+                     arg_vals =
+                       Array.of_list
+                         (List.map
+                            (function Ir.Reg _ -> 0 | Ir.Imm v -> v)
+                            args);
+                   })
+                c)
+  in
+  let lower_term bi (b : Ir.block) =
+    let c = Cost.terminator b.Ir.term in
+    match b.Ir.term with
+    | Ir.Jump l ->
+        let e = Cfg_view.jump_edge view bi in
+        flush
+          ~term:(Some (Jump { target = l; edge = edge_ops ~ends_path:is_back.(e) e }, c))
+    | Ir.Branch (cond, l1, l2) -> (
+        let e1 = Cfg_view.branch_edge view bi ~taken:true in
+        let e2 = Cfg_view.branch_edge view bi ~taken:false in
+        let then_edge = edge_ops ~ends_path:is_back.(e1) e1 in
+        let else_edge = edge_ops ~ends_path:is_back.(e2) e2 in
+        match cond with
+        | Ir.Reg cr when ok_reg cr ->
+            flush
+              ~term:
+                (Some
+                   ( Branch_r
+                       { cond = cr; then_ = l1; then_edge; else_ = l2; else_edge },
+                     c ))
+        | Ir.Reg _ ->
+            flush
+              ~term:
+                (Some
+                   ( Trap
+                       {
+                         msg =
+                           Format.asprintf
+                             "routine %s: register out of range (nregs=%d)"
+                             r.Ir.name r.Ir.nregs;
+                       },
+                     c ))
+        | Ir.Imm v ->
+            let target, edge =
+              if v <> 0 then (l1, then_edge) else (l2, else_edge)
+            in
+            flush ~term:(Some (Branch_const { target; edge }, c)))
+    | Ir.Return v -> (
+        let e = Cfg_view.return_edge view bi in
+        let edge = edge_ops ~ends_path:true e in
+        match v with
+        | Some (Ir.Reg s) when ok_reg s ->
+            flush ~term:(Some (Return_r { src = s; edge }, c))
+        | Some (Ir.Reg _) ->
+            flush
+              ~term:
+                (Some
+                   ( Trap
+                       {
+                         msg =
+                           Format.asprintf
+                             "routine %s: register out of range (nregs=%d)"
+                             r.Ir.name r.Ir.nregs;
+                       },
+                     c ))
+        | Some (Ir.Imm i) -> flush ~term:(Some (Return_i { imm = i; edge }, c))
+        | None -> flush ~term:(Some (Return_none { edge }, c)))
+  in
+  let block_offset = Array.make (Array.length r.Ir.blocks) 0 in
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      block_offset.(bi) <- !n_ops;
+      Array.iter lower_instr b.Ir.instrs;
+      lower_term bi b)
+    r.Ir.blocks;
+  let code = Array.of_list (List.rev !ops_rev) in
+  let costs = Array.of_list (List.rev !costs_rev) in
+  (* Second pass: patch block-index targets to opcode offsets. *)
+  let code =
+    Array.map
+      (function
+        | Jump { target; edge } -> Jump { target = block_offset.(target); edge }
+        | Branch_const { target; edge } ->
+            Branch_const { target = block_offset.(target); edge }
+        | Branch_r { cond; then_; then_edge; else_; else_edge } ->
+            Branch_r
+              {
+                cond;
+                then_ = block_offset.(then_);
+                then_edge;
+                else_ = block_offset.(else_);
+                else_edge;
+              }
+        | op -> op)
+      code
+  in
+  {
+    routine = r;
+    view;
+    code;
+    costs;
+    block_offset;
+    nregs = r.Ir.nregs;
+    edge_counts;
+    intern;
+  }
+
+let program ~(config : Engine.config) ~instr_tables (p : Ir.program) =
+  let arrays = Hashtbl.create 7 in
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace arrays name { arr_name = name; data = Array.make size 0 })
+    p.Ir.arrays;
+  let index = Hashtbl.create 17 in
+  List.iteri (fun i (r : Ir.routine) -> Hashtbl.replace index r.Ir.name i) p.Ir.routines;
+  let plans =
+    Array.of_list
+      (List.map
+         (lower_routine ~collect_edges:config.Engine.collect_edges
+            ~trace_paths:config.Engine.trace_paths
+            ~instr:config.Engine.instrumentation ~instr_tables ~arrays
+            ~routine_index:index)
+         p.Ir.routines)
+  in
+  let main =
+    match Hashtbl.find_opt index p.Ir.main with
+    | Some i -> i
+    | None -> Engine.error "unknown routine %s" p.Ir.main
+  in
+  { plans; index; main; arrays }

@@ -1,0 +1,103 @@
+(** The pre-lowering pass: compiles each routine, once per run, into the
+    contiguous opcode array executed by {!Vm}.
+
+    Everything resolvable ahead of time is resolved at lower time:
+    operand shapes become distinct opcodes, array names become direct
+    [int array] references, per-instruction charges are batched into one
+    {!op.Fuel} opcode per straight-line segment (with a parallel per-op
+    cost table for the exact remainder bill on fuel exhaustion),
+    terminators are fused with their edge bookkeeping, and each edge's
+    instrumentation is specialized into {!pre_action}s with the frequency
+    table already in hand. Register indices are validated here so the VM
+    can use unchecked register accesses; an out-of-range index lowers to
+    a lazily-faulting {!op.Trap}, and unknown array/routine names lower
+    to opcodes raising the reference engine's exact errors. *)
+
+type arr = { arr_name : string; data : int array }
+
+type pre_action =
+  | Set_reg of int
+  | Add_reg of int
+  | Bump of Instr_rt.Table.t
+  | Bump_plus of Instr_rt.Table.t * int
+  | Bump_const of Instr_rt.Table.t * int
+  | Bump_none  (** counting action on an uninstrumented routine *)
+
+type edge_ops = {
+  edge : int;
+  ends_path : bool;
+  acts : pre_action array;
+  acts_cost : int;  (** precomputed total {!Cost.action} of the list *)
+  act_kinds : int array;  (** {!Instr_rt.action_index} per action *)
+}
+
+type op =
+  | Fuel of { count : int; cost : int }
+      (** charge the next [count] ops (total [cost]) in one update *)
+  | Mov_i of { dst : int; imm : int }
+  | Mov_r of { dst : int; src : int }
+  | Bin_rr of { dst : int; op : Ppp_ir.Ir.binop; a : int; b : int }
+  | Bin_ri of { dst : int; op : Ppp_ir.Ir.binop; a : int; imm : int }
+  | Bin_ir of { dst : int; op : Ppp_ir.Ir.binop; imm : int; b : int }
+  | Bin_ii of { dst : int; op : Ppp_ir.Ir.binop; ia : int; ib : int }
+  | Load_r of { dst : int; data : int array; arr : arr; idx : int }
+  | Load_i of { dst : int; data : int array; arr : arr; idx : int }
+  | Store_rr of { data : int array; arr : arr; idx : int; src : int }
+  | Store_ri of { data : int array; arr : arr; idx : int; imm : int }
+  | Store_ir of { data : int array; arr : arr; iidx : int; src : int }
+  | Store_ii of { data : int array; arr : arr; iidx : int; imm : int }
+      (** [data == arr.data]: the backing array is inlined in the opcode
+          so the hot path skips one indirection; [arr] carries the name
+          and is only touched on a bounds error *)
+  | Out_r of { src : int }
+  | Out_i of { imm : int }
+  | Call of {
+      dst : int;
+      callee : int;
+      arg_regs : int array;
+      arg_vals : int array;
+    }
+      (** [dst = -1] discards the result; [callee] is a plan index.
+          Argument [i] comes from register [arg_regs.(i)] when that is
+          [>= 0], else from the immediate [arg_vals.(i)]. *)
+  | Unknown_array of { name : string }
+  | Unknown_routine of { name : string }
+  | Trap of { msg : string }
+  | Jump of { target : int; edge : edge_ops }
+  | Branch_r of {
+      cond : int;
+      then_ : int;
+      then_edge : edge_ops;
+      else_ : int;
+      else_edge : edge_ops;
+    }
+  | Branch_const of { target : int; edge : edge_ops }
+  | Return_r of { src : int; edge : edge_ops }
+  | Return_i of { imm : int; edge : edge_ops }
+  | Return_none of { edge : edge_ops }
+
+type plan = {
+  routine : Ppp_ir.Ir.routine;
+  view : Ppp_ir.Cfg_view.t;
+  code : op array;
+  costs : int array;  (** per-op charge, parallel to [code] *)
+  block_offset : int array;
+  nregs : int;
+  edge_counts : Ppp_profile.Edge_profile.t option;
+  intern : Ppp_profile.Path_profile.Intern.table option;
+}
+
+type program = {
+  plans : plan array;
+  index : (string, int) Hashtbl.t;
+  main : int;
+  arrays : (string, arr) Hashtbl.t;
+}
+
+val program :
+  config:Engine.config ->
+  instr_tables:Instr_rt.state ->
+  Ppp_ir.Ir.program ->
+  program
+(** Lower every routine. Raises {!Engine.Runtime_error} if [main] is
+    unknown (matching the reference engine). *)

@@ -1,0 +1,480 @@
+(* The flat VM: executes the opcode arrays produced by [Lower] with a
+   growable, recycled frame array instead of a frame list, a reusable
+   int buffer per frame instead of a [path_rev] list, and one fuel/cost
+   update per straight-line segment instead of one per instruction.
+
+   The engine must be byte-identical to the reference tree-walker in
+   [Interp] — same outcomes, profiles, table state and metrics — which
+   pins down two delicate spots:
+
+   - Fuel. The reference charges each instruction *before* executing it
+     and raises [Exhausted] the moment fuel hits zero, so the last
+     charged instruction never runs. A [Fuel] opcode covering [count]
+     ops takes the fast path only when [fuel > count]; otherwise
+     [exhaust] bills the exact remainder from the per-op cost table,
+     executes the fully-paid prefix, and raises — reproducing the
+     reference's charged-but-not-executed final instruction.
+
+   - Register accesses are unchecked ([Lower] validated the indices, and
+     out-of-range instructions lower to [Trap]); array accesses keep
+     their semantic bounds check with the reference engine's message. *)
+
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module E = Engine
+module L = Lower
+
+type frame = {
+  mutable plan : L.plan;
+  mutable regs : int array;
+  mutable pc : int; (* saved resume point while a callee runs *)
+  mutable path_reg : int;
+  mutable pbuf : int array; (* current path's edges *)
+  mutable plen : int;
+  mutable ret_to : int; (* caller register for our result; -1 = none *)
+}
+
+type state = {
+  plans : L.plan array;
+  mutable frames : frame array; (* recycled; [0, depth) are live *)
+  mutable depth : int;
+  mutable fuel : int;
+  mutable base_cost : int;
+  mutable instr_cost : int;
+  mutable dyn_paths : int;
+  mutable out_rev : int list;
+  prof_on : bool; (* any edge counting, path tracing or instrumentation *)
+  trace_on : bool;
+  obs_on : bool; (* metrics flag, latched at run start *)
+  mutable obs_calls : int;
+  obs_actions : int array;
+  mutable ret_value : int option;
+}
+
+let fresh_frame plan =
+  {
+    plan;
+    regs = Array.make (max 1 plan.L.nregs) 0;
+    pc = 0;
+    path_reg = 0;
+    pbuf = Array.make 64 0;
+    plen = 0;
+    ret_to = -1;
+  }
+
+(* Push a zeroed frame for [plan], recycling the slot's arrays. The
+   first [nargs] registers are about to be overwritten by the caller's
+   argument copy, so only the rest needs zeroing. *)
+let enter st plan ~nargs ret_to =
+  if st.depth = Array.length st.frames then begin
+    let bigger = Array.make (2 * st.depth) st.frames.(0) in
+    Array.blit st.frames 0 bigger 0 st.depth;
+    for i = st.depth to Array.length bigger - 1 do
+      bigger.(i) <- fresh_frame plan
+    done;
+    st.frames <- bigger
+  end;
+  let f = st.frames.(st.depth) in
+  st.depth <- st.depth + 1;
+  f.plan <- plan;
+  let n = plan.L.nregs in
+  if Array.length f.regs < n then f.regs <- Array.make n 0
+  else if nargs < n then Array.fill f.regs nargs (n - nargs) 0;
+  f.pc <- 0;
+  f.path_reg <- 0;
+  f.plen <- 0;
+  f.ret_to <- ret_to;
+  f
+
+let bounds_error (a : L.arr) i =
+  E.error "array %s index %d out of bounds (size %d)" a.L.arr_name i
+    (Array.length a.L.data)
+
+let load d (a : L.arr) i =
+  if i < 0 || i >= Array.length d then bounds_error a i;
+  Array.unsafe_get d i
+
+let store d (a : L.arr) i v =
+  if i < 0 || i >= Array.length d then bounds_error a i;
+  Array.unsafe_set d i v
+
+(* With edge counting, path tracing and instrumentation all off,
+   [traverse] is a no-op; the dispatch loop skips the call entirely via
+   [st.prof_on], so an unprofiled run pays nothing per edge. *)
+let traverse st (frame : frame) (plan : L.plan) (eo : L.edge_ops) =
+  (match plan.L.edge_counts with
+  | Some c -> Edge_profile.incr c eo.L.edge
+  | None -> ());
+  if st.trace_on then begin
+    let len = frame.plen in
+    if len = Array.length frame.pbuf then begin
+      let bigger = Array.make (2 * len) 0 in
+      Array.blit frame.pbuf 0 bigger 0 len;
+      frame.pbuf <- bigger
+    end;
+    frame.pbuf.(len) <- eo.L.edge;
+    frame.plen <- len + 1;
+    if eo.L.ends_path then begin
+      (match plan.L.intern with
+      | Some t -> Path_profile.Intern.record t frame.pbuf ~len:frame.plen
+      | None -> ());
+      st.dyn_paths <- st.dyn_paths + 1;
+      frame.plen <- 0
+    end
+  end;
+  let acts = eo.L.acts in
+  let n = Array.length acts in
+  if n > 0 then begin
+    st.instr_cost <- st.instr_cost + eo.L.acts_cost;
+    if st.obs_on then begin
+      let kinds = eo.L.act_kinds in
+      for i = 0 to n - 1 do
+        let k = kinds.(i) in
+        st.obs_actions.(k) <- st.obs_actions.(k) + 1
+      done
+    end;
+    for i = 0 to n - 1 do
+      match Array.unsafe_get acts i with
+      | L.Set_reg v -> frame.path_reg <- v
+      | L.Add_reg v -> frame.path_reg <- frame.path_reg + v
+      | L.Bump t -> Instr_rt.Table.bump t frame.path_reg
+      | L.Bump_plus (t, v) -> Instr_rt.Table.bump t (frame.path_reg + v)
+      | L.Bump_const (t, v) -> Instr_rt.Table.bump t v
+      | L.Bump_none -> ()
+    done
+  end
+
+(* Execute a fully-paid pure op during the exhaustion remainder. Ops
+   that can transfer control (Call, terminators) never appear here:
+   calls close their segment, and a charged terminator is the op the
+   reference leaves unexecuted. *)
+let exec_pure st regs op =
+  match op with
+  | L.Mov_i { dst; imm } -> Array.unsafe_set regs dst imm
+  | L.Mov_r { dst; src } -> Array.unsafe_set regs dst (Array.unsafe_get regs src)
+  | L.Bin_rr { dst; op; a; b } ->
+      Array.unsafe_set regs dst
+        (E.exec_binop op (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+  | L.Bin_ri { dst; op; a; imm } ->
+      Array.unsafe_set regs dst (E.exec_binop op (Array.unsafe_get regs a) imm)
+  | L.Bin_ir { dst; op; imm; b } ->
+      Array.unsafe_set regs dst (E.exec_binop op imm (Array.unsafe_get regs b))
+  | L.Bin_ii { dst; op; ia; ib } ->
+      Array.unsafe_set regs dst (E.exec_binop op ia ib)
+  | L.Load_r { dst; data; arr; idx } ->
+      Array.unsafe_set regs dst (load data arr (Array.unsafe_get regs idx))
+  | L.Load_i { dst; data; arr; idx } ->
+      Array.unsafe_set regs dst (load data arr idx)
+  | L.Store_rr { data; arr; idx; src } ->
+      store data arr (Array.unsafe_get regs idx) (Array.unsafe_get regs src)
+  | L.Store_ri { data; arr; idx; imm } ->
+      store data arr (Array.unsafe_get regs idx) imm
+  | L.Store_ir { data; arr; iidx; src } ->
+      store data arr iidx (Array.unsafe_get regs src)
+  | L.Store_ii { data; arr; iidx; imm } -> store data arr iidx imm
+  | L.Out_r { src } -> st.out_rev <- Array.unsafe_get regs src :: st.out_rev
+  | L.Out_i { imm } -> st.out_rev <- imm :: st.out_rev
+  | L.Unknown_array { name } -> E.error "unknown array %s" name
+  | L.Trap { msg } -> raise (E.Runtime_error msg)
+  | L.Fuel _ | L.Call _ | L.Unknown_routine _ | L.Jump _ | L.Branch_r _
+  | L.Branch_const _ | L.Return_r _ | L.Return_i _ | L.Return_none _ ->
+      assert false
+
+(* Fuel ran out inside this segment: with [f] fuel left, the reference
+   charges [max 1 f] more instructions, executes all but the last, and
+   raises. [pc] is the segment's Fuel opcode. *)
+let exhaust st (plan : L.plan) regs pc =
+  let k = if st.fuel < 1 then 1 else st.fuel in
+  let costs = plan.L.costs in
+  let cost = ref 0 in
+  for i = pc + 1 to pc + k do
+    cost := !cost + Array.unsafe_get costs i
+  done;
+  st.base_cost <- st.base_cost + !cost;
+  st.fuel <- st.fuel - k;
+  let code = plan.L.code in
+  for i = pc + 1 to pc + k - 1 do
+    exec_pure st regs code.(i)
+  done;
+  raise E.Exhausted
+
+let do_return st (frame : frame) value =
+  st.depth <- st.depth - 1;
+  if st.depth = 0 then st.ret_value <- value
+  else if frame.ret_to >= 0 then
+    st.frames.(st.depth - 1).regs.(frame.ret_to) <-
+      (match value with Some x -> x | None -> 0)
+
+(* Execute [frame] from [start_pc] to program completion: straight-line
+   control stays inside the tail-recursive [go], and calls and returns
+   switch frames with a tail call back into [run_frames], so the whole
+   program runs as one loop with no per-transition driver overhead. *)
+let rec run_frames st (frame : frame) start_pc =
+  let plan = frame.plan in
+  let code = plan.L.code in
+  let costs = plan.L.costs in
+  let regs = frame.regs in
+  let rec go pc =
+    match Array.unsafe_get code pc with
+    | L.Fuel { count; cost } ->
+        if st.fuel > count then begin
+          st.fuel <- st.fuel - count;
+          st.base_cost <- st.base_cost + cost;
+          go (pc + 1)
+        end
+        else exhaust st plan regs pc
+    | L.Mov_i { dst; imm } ->
+        Array.unsafe_set regs dst imm;
+        go (pc + 1)
+    | L.Mov_r { dst; src } ->
+        Array.unsafe_set regs dst (Array.unsafe_get regs src);
+        go (pc + 1)
+    (* The two common binop shapes evaluate inline — same semantics as
+       [Engine.exec_binop], without the cross-module call per op. *)
+    | L.Bin_rr { dst; op; a; b } ->
+        let a = Array.unsafe_get regs a and b = Array.unsafe_get regs b in
+        let v =
+          match op with
+          | Ir.Add -> a + b
+          | Ir.Sub -> a - b
+          | Ir.Mul -> a * b
+          | Ir.Lt -> if a < b then 1 else 0
+          | Ir.Le -> if a <= b then 1 else 0
+          | Ir.Gt -> if a > b then 1 else 0
+          | Ir.Ge -> if a >= b then 1 else 0
+          | Ir.Eq -> if a = b then 1 else 0
+          | Ir.Ne -> if a <> b then 1 else 0
+          | Ir.Div -> if b = 0 then E.error "division by zero" else a / b
+          | Ir.Rem -> if b = 0 then E.error "remainder by zero" else a mod b
+          | Ir.And -> a land b
+          | Ir.Or -> a lor b
+          | Ir.Xor -> a lxor b
+          | Ir.Shl ->
+              let c = b land 63 in
+              if c > 62 then 0 else a lsl c
+          | Ir.Shr ->
+              let c = b land 63 in
+              a asr (if c > 62 then 62 else c)
+        in
+        Array.unsafe_set regs dst v;
+        go (pc + 1)
+    | L.Bin_ri { dst; op; a; imm } ->
+        let a = Array.unsafe_get regs a in
+        let v =
+          match op with
+          | Ir.Add -> a + imm
+          | Ir.Sub -> a - imm
+          | Ir.Mul -> a * imm
+          | Ir.Lt -> if a < imm then 1 else 0
+          | Ir.Le -> if a <= imm then 1 else 0
+          | Ir.Gt -> if a > imm then 1 else 0
+          | Ir.Ge -> if a >= imm then 1 else 0
+          | Ir.Eq -> if a = imm then 1 else 0
+          | Ir.Ne -> if a <> imm then 1 else 0
+          | Ir.Div -> if imm = 0 then E.error "division by zero" else a / imm
+          | Ir.Rem -> if imm = 0 then E.error "remainder by zero" else a mod imm
+          | Ir.And -> a land imm
+          | Ir.Or -> a lor imm
+          | Ir.Xor -> a lxor imm
+          | Ir.Shl ->
+              let c = imm land 63 in
+              if c > 62 then 0 else a lsl c
+          | Ir.Shr ->
+              let c = imm land 63 in
+              a asr (if c > 62 then 62 else c)
+        in
+        Array.unsafe_set regs dst v;
+        go (pc + 1)
+    | L.Bin_ir { dst; op; imm; b } ->
+        Array.unsafe_set regs dst
+          (E.exec_binop op imm (Array.unsafe_get regs b));
+        go (pc + 1)
+    | L.Bin_ii { dst; op; ia; ib } ->
+        Array.unsafe_set regs dst (E.exec_binop op ia ib);
+        go (pc + 1)
+    | L.Load_r { dst; data; arr; idx } ->
+        let i = Array.unsafe_get regs idx in
+        if i < 0 || i >= Array.length data then bounds_error arr i;
+        Array.unsafe_set regs dst (Array.unsafe_get data i);
+        go (pc + 1)
+    | L.Load_i { dst; data; arr; idx } ->
+        Array.unsafe_set regs dst (load data arr idx);
+        go (pc + 1)
+    | L.Store_rr { data; arr; idx; src } ->
+        let i = Array.unsafe_get regs idx in
+        if i < 0 || i >= Array.length data then bounds_error arr i;
+        Array.unsafe_set data i (Array.unsafe_get regs src);
+        go (pc + 1)
+    | L.Store_ri { data; arr; idx; imm } ->
+        let i = Array.unsafe_get regs idx in
+        if i < 0 || i >= Array.length data then bounds_error arr i;
+        Array.unsafe_set data i imm;
+        go (pc + 1)
+    | L.Store_ir { data; arr; iidx; src } ->
+        store data arr iidx (Array.unsafe_get regs src);
+        go (pc + 1)
+    | L.Store_ii { data; arr; iidx; imm } ->
+        store data arr iidx imm;
+        go (pc + 1)
+    | L.Out_r { src } ->
+        st.out_rev <- Array.unsafe_get regs src :: st.out_rev;
+        go (pc + 1)
+    | L.Out_i { imm } ->
+        st.out_rev <- imm :: st.out_rev;
+        go (pc + 1)
+    | L.Call { dst; callee; arg_regs; arg_vals } ->
+        (* Self-charging: the charge can raise before the frame push,
+           exactly like the reference's per-instruction charge. *)
+        st.base_cost <- st.base_cost + Array.unsafe_get costs pc;
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then raise E.Exhausted;
+        st.base_cost <- st.base_cost + Cost.call_overhead;
+        if st.obs_on then st.obs_calls <- st.obs_calls + 1;
+        frame.pc <- pc + 1;
+        let nargs = Array.length arg_regs in
+        let cf = enter st (Array.unsafe_get st.plans callee) ~nargs dst in
+        let cregs = cf.regs in
+        for i = 0 to nargs - 1 do
+          let r = Array.unsafe_get arg_regs i in
+          Array.unsafe_set cregs i
+            (if r >= 0 then Array.unsafe_get regs r
+             else Array.unsafe_get arg_vals i)
+        done;
+        run_frames st cf 0
+    | L.Unknown_routine { name } ->
+        st.base_cost <- st.base_cost + Array.unsafe_get costs pc;
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then raise E.Exhausted;
+        st.base_cost <- st.base_cost + Cost.call_overhead;
+        if st.obs_on then st.obs_calls <- st.obs_calls + 1;
+        E.error "unknown routine %s" name
+    | L.Unknown_array { name } -> E.error "unknown array %s" name
+    | L.Trap { msg } -> raise (E.Runtime_error msg)
+    | L.Jump { target; edge } ->
+        if st.prof_on then traverse st frame plan edge;
+        go target
+    | L.Branch_r { cond; then_; then_edge; else_; else_edge } ->
+        if Array.unsafe_get regs cond <> 0 then begin
+          if st.prof_on then traverse st frame plan then_edge;
+          go then_
+        end
+        else begin
+          if st.prof_on then traverse st frame plan else_edge;
+          go else_
+        end
+    | L.Branch_const { target; edge } ->
+        if st.prof_on then traverse st frame plan edge;
+        go target
+    | L.Return_r { src; edge } ->
+        if st.prof_on then traverse st frame plan edge;
+        ret (Some (Array.unsafe_get regs src))
+    | L.Return_i { imm; edge } ->
+        if st.prof_on then traverse st frame plan edge;
+        ret (Some imm)
+    | L.Return_none { edge } ->
+        if st.prof_on then traverse st frame plan edge;
+        ret None
+  and ret value =
+    do_return st frame value;
+    if st.depth > 0 then begin
+      let f = st.frames.(st.depth - 1) in
+      run_frames st f f.pc
+    end
+  in
+  go start_pc
+
+let run ~(config : E.config) (p : Ir.program) =
+  E.validate_call_arities p;
+  let instr_tables =
+    match config.E.instrumentation with
+    | Some instr -> Instr_rt.init_state ~policy:config.E.overflow_policy instr
+    | None -> Hashtbl.create 1
+  in
+  let prog = L.program ~config ~instr_tables p in
+  let main_plan = prog.L.plans.(prog.L.main) in
+  let st =
+    {
+      plans = prog.L.plans;
+      frames = Array.init 16 (fun _ -> fresh_frame main_plan);
+      depth = 0;
+      fuel = config.E.fuel;
+      base_cost = 0;
+      instr_cost = 0;
+      dyn_paths = 0;
+      out_rev = [];
+      prof_on =
+        (config.E.collect_edges || config.E.trace_paths
+        || Option.is_some config.E.instrumentation);
+      trace_on = config.E.trace_paths;
+      obs_on = E.Obs.enabled ();
+      obs_calls = 0;
+      obs_actions = Array.make Instr_rt.num_action_kinds 0;
+      ret_value = None;
+    }
+  in
+  let main_frame = enter st main_plan ~nargs:0 (-1) in
+  let termination =
+    try
+      run_frames st main_frame 0;
+      E.Finished
+    with E.Exhausted -> E.Out_of_fuel { stack_depth = st.depth }
+  in
+  let edge_profile =
+    if config.E.collect_edges then begin
+      let ep = Edge_profile.create_program p in
+      Hashtbl.iter
+        (fun name idx ->
+          let plan = prog.L.plans.(idx) in
+          match plan.L.edge_counts with
+          | Some c ->
+              Graph.iter_edges (Cfg_view.graph plan.L.view) (fun e ->
+                  Edge_profile.add (Edge_profile.routine ep name) e
+                    (Edge_profile.freq c e))
+          | None -> ())
+        prog.L.index;
+      Some ep
+    end
+    else None
+  in
+  let path_profile =
+    if config.E.trace_paths then begin
+      let pp = Path_profile.create_program p in
+      Hashtbl.iter
+        (fun name idx ->
+          let plan = prog.L.plans.(idx) in
+          match plan.L.intern with
+          | Some t ->
+              let dst = Path_profile.routine pp name in
+              Path_profile.Intern.iter t (fun edges n ->
+                  Path_profile.add dst (Array.to_list edges) n)
+          | None -> ())
+        prog.L.index;
+      Some pp
+    end
+    else None
+  in
+  (* Fuel and dynamic instructions move in lockstep (every charge takes
+     one of each), so the count is derived instead of updated per
+     segment in the hot loop. *)
+  let dyn_instrs = config.E.fuel - st.fuel in
+  if st.obs_on then
+    E.flush_metrics ~fuel:config.E.fuel ~termination ~fuel_left:st.fuel
+      ~base_cost:st.base_cost ~instr_cost:st.instr_cost ~dyn_instrs
+      ~dyn_paths:st.dyn_paths ~calls:st.obs_calls ~actions:st.obs_actions;
+  {
+    E.return_value = st.ret_value;
+    output = List.rev st.out_rev;
+    base_cost = st.base_cost;
+    instr_cost = st.instr_cost;
+    dyn_instrs;
+    dyn_paths = st.dyn_paths;
+    termination;
+    edge_profile;
+    path_profile;
+    instr_state =
+      (if Option.is_some config.E.instrumentation then Some instr_tables
+       else None);
+  }

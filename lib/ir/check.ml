@@ -61,7 +61,14 @@ let check_routine (p : Ir.program) (r : Ir.routine) errors =
                 | Some c ->
                     if List.length args <> c.nparams then
                       err "routine %s, %s: %s expects %d args, got %d" r.name
-                        where callee c.nparams (List.length args))
+                        where callee c.nparams (List.length args);
+                    (* Args land in the callee's registers; more args than
+                       registers would fault mid-copy at run time. *)
+                    if List.length args > c.nregs then
+                      err
+                        "routine %s, %s: call passes %d arguments but %s has \
+                         only %d registers"
+                        r.name where (List.length args) callee c.nregs)
             | Ir.Out v -> check_operand v where)
           b.instrs;
         match b.term with

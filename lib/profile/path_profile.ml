@@ -38,16 +38,122 @@ let program_flow prog ~views metric =
 let program_distinct prog = Hashtbl.fold (fun _ t acc -> acc + num_distinct t) prog 0
 
 let hot_paths prog ~views ~metric ~threshold =
-  let total = program_flow prog ~views metric in
-  let cutoff = threshold *. float_of_int total in
+  (* One flow computation per path: [Path.branches] walks the whole edge
+     list, so compute it once and reuse the result for both the total
+     (the denominator of the cutoff) and the per-path cutoff test. *)
   let all = ref [] in
+  let total = ref 0 in
   iter_routines prog (fun name t ->
       let view = views name in
       iter t (fun p n ->
           let flow = Metric.flow metric ~freq:n ~branches:(Path.branches view p) in
-          if float_of_int flow >= cutoff && flow > 0 then
-            all := (name, p, flow) :: !all));
-  List.sort (fun (_, _, a) (_, _, b) -> compare b a) !all
+          total := !total + flow;
+          if flow > 0 then all := (name, p, flow) :: !all));
+  let cutoff = threshold *. float_of_int !total in
+  List.filter (fun (_, _, flow) -> float_of_int flow >= cutoff) !all
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+(* An interning frequency table for hot tracing loops: paths arrive as a
+   reusable [int array] prefix (no list allocation per execution), are
+   hashed in place, and only a path's *first* execution copies its edges
+   out. Open addressing with linear probing, load factor <= 1/2. *)
+module Intern = struct
+  let new_profile = create
+  let profile_add = add
+
+  type table = {
+    mutable keys : int array array; (* id -> edge list of the path *)
+    mutable counts : int array; (* id -> executions *)
+    mutable n : int; (* number of distinct paths *)
+    mutable buckets : int array; (* slot -> id, or -1 *)
+    mutable mask : int; (* Array.length buckets - 1 *)
+  }
+
+  let create () =
+    {
+      keys = Array.make 16 [||];
+      counts = Array.make 16 0;
+      n = 0;
+      buckets = Array.make 32 (-1);
+      mask = 31;
+    }
+
+  (* FNV-1a over the edge ids, truncated to a nonnegative int. *)
+  let hash buf len =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to len - 1 do
+      h := (!h lxor Array.unsafe_get buf i) * 0x01000193
+    done;
+    !h land max_int
+
+  let matches key buf len =
+    Array.length key = len
+    &&
+    let i = ref 0 in
+    while !i < len && Array.unsafe_get key !i = Array.unsafe_get buf !i do
+      incr i
+    done;
+    !i = len
+
+  let insert_id t h id =
+    let s = ref (h land t.mask) in
+    while t.buckets.(!s) >= 0 do
+      s := (!s + 1) land t.mask
+    done;
+    t.buckets.(!s) <- id
+
+  (* Make room for one more id, keeping the bucket load under 1/2. *)
+  let reserve t =
+    let cap = Array.length t.keys in
+    if t.n = cap then begin
+      let keys = Array.make (2 * cap) [||] in
+      Array.blit t.keys 0 keys 0 cap;
+      t.keys <- keys;
+      let counts = Array.make (2 * cap) 0 in
+      Array.blit t.counts 0 counts 0 cap;
+      t.counts <- counts
+    end;
+    if 2 * (t.n + 1) >= Array.length t.buckets then begin
+      let nb = 2 * Array.length t.buckets in
+      t.buckets <- Array.make nb (-1);
+      t.mask <- nb - 1;
+      for id = 0 to t.n - 1 do
+        let k = t.keys.(id) in
+        insert_id t (hash k (Array.length k)) id
+      done
+    end
+
+  let record t buf ~len =
+    let h = hash buf len in
+    let rec find s =
+      let id = t.buckets.(s) in
+      if id < 0 then -1
+      else if matches t.keys.(id) buf len then id
+      else find ((s + 1) land t.mask)
+    in
+    let id = find (h land t.mask) in
+    if id >= 0 then t.counts.(id) <- t.counts.(id) + 1
+    else begin
+      reserve t;
+      let id = t.n in
+      t.n <- id + 1;
+      t.keys.(id) <- Array.sub buf 0 len;
+      t.counts.(id) <- 1;
+      insert_id t h id
+    end
+
+  let num_distinct t = t.n
+
+  let iter t f =
+    for id = 0 to t.n - 1 do
+      f t.keys.(id) t.counts.(id)
+    done
+
+  let to_profile t =
+    let p = new_profile () in
+    iter t (fun edges n -> profile_add p (Array.to_list edges) n);
+    p
+end
 
 let flow_of_set prog ~views ~metric paths =
   List.fold_left

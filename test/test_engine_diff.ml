@@ -1,0 +1,242 @@
+(* Differential testing of the two execution engines: the flat VM must be
+   byte-identical to the reference tree-walker on every observable — return
+   value, output, base/instrumentation cost, termination, edge profiles,
+   path profiles, frequency-table state, and the interp.*/rt.* metrics —
+   across all 18 workloads x {none, PP, TPP, PPP} x {full, starved fuel},
+   plus QCheck-generated random programs and a fine-grained fuel sweep
+   that walks the exhaustion point through batched segments. *)
+
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Spec = Ppp_workloads.Spec
+module Gen = Ppp_workloads.Gen
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+module Obs = Ppp_obs.Metrics
+
+(* Render everything observable about an outcome into one canonical
+   string; two engines agree iff their digests are equal, and Alcotest
+   shows both sides on a mismatch. *)
+let digest (p : Ir.program) (o : Interp.outcome) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "ret=%s\n"
+    (match o.Interp.return_value with
+    | None -> "-"
+    | Some v -> string_of_int v);
+  pf "out=%s\n" (String.concat "," (List.map string_of_int o.Interp.output));
+  pf "base=%d instr=%d dyn_instrs=%d dyn_paths=%d\n" o.Interp.base_cost
+    o.Interp.instr_cost o.Interp.dyn_instrs o.Interp.dyn_paths;
+  (pf "term=%s\n"
+     (match o.Interp.termination with
+     | Interp.Finished -> "finished"
+     | Interp.Out_of_fuel { stack_depth } ->
+         Printf.sprintf "out_of_fuel(depth=%d)" stack_depth));
+  let routines =
+    List.sort compare (List.map (fun (r : Ir.routine) -> r.Ir.name) p.Ir.routines)
+  in
+  (match o.Interp.edge_profile with
+  | None -> pf "edges=none\n"
+  | Some ep ->
+      List.iter
+        (fun name ->
+          let view = Cfg_view.of_routine (Ir.routine p name) in
+          let n = Graph.num_edges (Cfg_view.graph view) in
+          pf "edges %s:" name;
+          for e = 0 to n - 1 do
+            pf " %d" (Edge_profile.routine_freq ep name e)
+          done;
+          pf "\n")
+        routines);
+  (match o.Interp.path_profile with
+  | None -> pf "paths=none\n"
+  | Some pp ->
+      List.iter
+        (fun name ->
+          let t = Path_profile.routine pp name in
+          let entries =
+            Path_profile.fold t ~init:[] ~f:(fun acc path n -> (path, n) :: acc)
+            |> List.sort compare
+          in
+          pf "paths %s:" name;
+          List.iter
+            (fun (path, n) ->
+              pf " [%s]=%d"
+                (String.concat "-" (List.map string_of_int path))
+                n)
+            entries;
+          pf "\n")
+        routines);
+  (match o.Interp.instr_state with
+  | None -> pf "tables=none\n"
+  | Some state ->
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) state [] in
+      List.iter
+        (fun name ->
+          let t = Hashtbl.find state name in
+          let entries = ref [] in
+          Instr_rt.Table.iter_nonzero t (fun k n -> entries := (k, n) :: !entries);
+          pf "table %s:" name;
+          List.iter (fun (k, n) -> pf " %d=%d" k n) (List.sort compare !entries);
+          pf " cold=%d lost=%d overflow=%d saturated=%b total=%d\n"
+            (Instr_rt.Table.cold t) (Instr_rt.Table.lost t)
+            (Instr_rt.Table.overflow t)
+            (Instr_rt.Table.saturated t)
+            (Instr_rt.Table.dynamic_total t))
+        (List.sort compare names));
+  Buffer.contents b
+
+let check_diff label config p =
+  let r = Interp.run ~engine:Interp.Reference ~config p in
+  let v = Interp.run ~engine:Interp.Vm ~config p in
+  Alcotest.(check string) label (digest p r) (digest p v)
+
+let prior_edges p =
+  match
+    (Interp.run ~engine:Interp.Reference ~config:Interp.default_config p)
+      .Interp.edge_profile
+  with
+  | Some ep -> ep
+  | None -> Alcotest.fail "no edge profile from the prior run"
+
+let methods p =
+  let ep = prior_edges p in
+  [
+    ("none", None);
+    ("pp", Some (Instrument.instrument p ep Config.pp).Instrument.rt);
+    ("tpp", Some (Instrument.instrument p ep Config.tpp).Instrument.rt);
+    ("ppp", Some (Instrument.instrument p ep Config.ppp).Instrument.rt);
+  ]
+
+let check_program name p =
+  List.iter
+    (fun (mname, instrumentation) ->
+      List.iter
+        (fun (fname, fuel) ->
+          let config =
+            { Interp.default_config with Interp.instrumentation; fuel }
+          in
+          check_diff (Printf.sprintf "%s/%s/%s" name mname fname) config p)
+        [ ("full", Interp.default_config.Interp.fuel); ("starved", 5_000) ])
+    (methods p)
+
+let workload_case (bench : Spec.bench) =
+  Alcotest.test_case bench.Spec.bench_name `Quick (fun () ->
+      check_program bench.Spec.bench_name (bench.Spec.build ~scale:1))
+
+(* Walk the exhaustion point instruction by instruction through the
+   first few thousand charges: every off-by-one in segment batching or
+   the remainder bill shows up here. *)
+let fuel_sweep () =
+  let p = (Spec.find "bzip2").Spec.build ~scale:1 in
+  let instrumentation =
+    Some (Instrument.instrument p (prior_edges p) Config.ppp).Instrument.rt
+  in
+  for fuel = 1 to 120 do
+    let config = { Interp.default_config with Interp.instrumentation; fuel } in
+    check_diff (Printf.sprintf "fuel=%d" fuel) config p
+  done;
+  List.iter
+    (fun fuel ->
+      let config = { Interp.default_config with Interp.instrumentation; fuel } in
+      check_diff (Printf.sprintf "fuel=%d" fuel) config p)
+    [ 503; 2_000; 10_007; 60_013 ]
+
+(* The overflow-bin policy mutates tables on unattributable paths; make
+   sure that state machine agrees across engines too. *)
+let overflow_policy () =
+  let p = (Spec.find "perlbmk").Spec.build ~scale:1 in
+  let instrumentation =
+    Some (Instrument.instrument p (prior_edges p) Config.pp).Instrument.rt
+  in
+  List.iter
+    (fun cap ->
+      let config =
+        {
+          Interp.default_config with
+          Interp.instrumentation;
+          overflow_policy = Instr_rt.Table.Overflow_bin { cap };
+        }
+      in
+      check_diff (Printf.sprintf "overflow cap=%d" cap) config p)
+    [ 1; 16; Instr_rt.Table.default_overflow_cap ]
+
+(* With edge collection and tracing off (the benchmark configuration)
+   the engines must still agree on costs and termination. *)
+let bare_config () =
+  List.iter
+    (fun (bench : Spec.bench) ->
+      let p = bench.Spec.build ~scale:1 in
+      let config =
+        {
+          Interp.default_config with
+          Interp.collect_edges = false;
+          trace_paths = false;
+        }
+      in
+      check_diff (bench.Spec.bench_name ^ "/bare") config p)
+    Spec.all
+
+(* The interp.* and rt.* metrics streams must be engine-invariant. *)
+let metrics_diff () =
+  let p = (Spec.find "vpr").Spec.build ~scale:1 in
+  let instrumentation =
+    Some (Instrument.instrument p (prior_edges p) Config.ppp).Instrument.rt
+  in
+  let config = { Interp.default_config with Interp.instrumentation } in
+  let snapshot engine =
+    Obs.set_enabled true;
+    Obs.reset ();
+    ignore (Interp.run ~engine ~config p);
+    let s = Obs.snapshot () in
+    Obs.set_enabled false;
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Obs.Counter n
+          when n > 0
+               && (String.length name >= 7 && String.sub name 0 7 = "interp."
+                  || (String.length name >= 3 && String.sub name 0 3 = "rt.")) ->
+            Some (Printf.sprintf "%s=%d" name n)
+        | _ -> None)
+      s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let r = snapshot Interp.Reference in
+      let v = snapshot Interp.Vm in
+      Alcotest.(check (list string)) "interp.*/rt.* counters" r v)
+
+let qcheck_diff =
+  QCheck.Test.make ~count:40 ~name:"random programs: Vm = Reference"
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Gen.program ~seed in
+      check_program (Printf.sprintf "gen(seed=%d)" seed) p;
+      (* Also starve the generated program near its actual cost, where
+         exhaustion lands mid-program rather than never. *)
+      let full = Interp.run ~engine:Interp.Reference p in
+      let fuel = max 1 (full.Interp.dyn_instrs / 2) in
+      check_diff
+        (Printf.sprintf "gen(seed=%d)/half-fuel" seed)
+        { Interp.default_config with Interp.fuel }
+        p;
+      true)
+
+let suite =
+  List.map workload_case Spec.all
+  @ [
+      Alcotest.test_case "fuel sweep" `Quick fuel_sweep;
+      Alcotest.test_case "overflow policy" `Quick overflow_policy;
+      Alcotest.test_case "bare config" `Quick bare_config;
+      Alcotest.test_case "metrics" `Quick metrics_diff;
+      QCheck_alcotest.to_alcotest qcheck_diff;
+    ]

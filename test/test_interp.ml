@@ -195,6 +195,116 @@ let test_hash_collisions_lost () =
     (!recorded + Instr_rt.Table.lost t);
   Alcotest.(check bool) "some lost" true (Instr_rt.Table.lost t > 0)
 
+let engines = [ ("vm", Interp.Vm); ("reference", Interp.Reference) ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Pin the documented shift saturation semantics — counts are masked to
+   [0, 63] and clamped at 62, so a shift never wraps into undefined
+   territory — in both engines. *)
+let test_shift_edge_cases () =
+  let src =
+    {|routine main(0) regs 3 {
+entry:
+  r0 = 1
+  r1 = r0 << 62
+  out r1
+  r1 = r0 << 63
+  out r1
+  r1 = r0 << 64
+  out r1
+  r2 = 3
+  r1 = r2 << 100
+  out r1
+  r2 = 0 - 1
+  r1 = 5 << r2
+  out r1
+  r2 = 0 - 7
+  r1 = r2 << 2
+  out r1
+  r2 = 0 - 1
+  r1 = r2 >> 63
+  out r1
+  r1 = r0 >> 63
+  out r1
+  r2 = 0 - 9
+  r1 = r2 >> 64
+  out r1
+  r1 = 12345 >> 70
+  out r1
+  r2 = r0 << 62
+  r1 = r2 >> 62
+  out r1
+  ret
+}|}
+  in
+  let p = Ppp_ir.Parse.program_of_string src in
+  let expected =
+    [ -4611686018427387904; 0; 1; 206158430208; 0; -28; -1; 0; -9; 192; -1 ]
+  in
+  List.iter
+    (fun (name, engine) ->
+      let o = Interp.run ~engine p in
+      Alcotest.(check (list int)) ("shifts/" ^ name) expected o.Interp.output)
+    engines;
+  (* The same table, via the shared primitive both engines dispatch to. *)
+  Alcotest.(check int) "exec_binop shl 63" 0 (Interp.exec_binop Ir.Shl 1 63);
+  Alcotest.(check int) "exec_binop shl -1" 0 (Interp.exec_binop Ir.Shl 5 (-1));
+  Alcotest.(check int) "exec_binop shr -1" (-1) (Interp.exec_binop Ir.Shr (-9) (-1));
+  Alcotest.(check int) "exec_binop shr 64" (-9) (Interp.exec_binop Ir.Shr (-9) 64)
+
+(* A call passing more arguments than the callee has registers used to
+   escape as a raw Invalid_argument from the frame copy; both engines now
+   reject it up front with a located Runtime_error — even when the bad
+   call sits on an unexecuted branch arm. *)
+let test_call_arity () =
+  let open Ir in
+  let callee =
+    {
+      name = "f";
+      nparams = 1;
+      nregs = 1;
+      blocks = [| { label = "entry"; instrs = [||]; term = Return (Some (Reg 0)) } |];
+    }
+  in
+  let main_blocks executed =
+    let call = { label = "call"; instrs = [| Call (Some 0, "f", [ Imm 1; Imm 2 ]) |]; term = Return (Some (Reg 0)) } in
+    let skip = { label = "skip"; instrs = [||]; term = Return None } in
+    if executed then
+      [| { label = "entry"; instrs = [| Mov (0, Imm 1) |]; term = Branch (Reg 0, 1, 2) }; call; skip |]
+    else
+      [| { label = "entry"; instrs = [| Mov (0, Imm 0) |]; term = Branch (Reg 0, 1, 2) }; call; skip |]
+  in
+  let program executed =
+    {
+      arrays = [];
+      routines = [ callee; { name = "main"; nparams = 0; nregs = 1; blocks = main_blocks executed } ];
+      main = "main";
+    }
+  in
+  List.iter
+    (fun (ename, engine) ->
+      List.iter
+        (fun executed ->
+          let label = Printf.sprintf "arity/%s/executed=%b" ename executed in
+          match Interp.run ~engine (program executed) with
+          | exception Interp.Runtime_error msg ->
+              (* The message names the caller, the callee and the sizes. *)
+              let located = contains ~sub:"only 1 registers" msg in
+              Alcotest.(check bool) (label ^ " located message") true located
+          | _ -> Alcotest.fail (label ^ ": expected Runtime_error"))
+        [ true; false ])
+    engines;
+  (* The static checker flags it too. *)
+  match Ppp_ir.Check.program (program true) with
+  | Ok () -> Alcotest.fail "Check accepted args > nregs"
+  | Error msgs ->
+      Alcotest.(check bool) "Check reports the register deficit" true
+        (List.exists (contains ~sub:"only 1 registers") msgs)
+
 let prop_deterministic =
   QCheck.Test.make ~name:"interpreter is deterministic" ~count:30
     QCheck.(small_int)
@@ -245,6 +355,8 @@ let suite =
     Alcotest.test_case "instrumentation runtime" `Quick test_instrumentation_actions_cost;
     Alcotest.test_case "hash table" `Quick test_hash_table;
     Alcotest.test_case "hash collisions" `Quick test_hash_collisions_lost;
+    Alcotest.test_case "shift edge cases" `Quick test_shift_edge_cases;
+    Alcotest.test_case "call arity" `Quick test_call_arity;
     QCheck_alcotest.to_alcotest prop_deterministic;
     QCheck_alcotest.to_alcotest prop_flow_conservation;
   ]

@@ -21,4 +21,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("merge_props", Test_merge_props.suite);
       ("shard", Test_shard.suite);
+      ("engine-diff", Test_engine_diff.suite);
     ]
