@@ -29,7 +29,15 @@
                                    (or wall-clock ratio, when both sides
                                    have timing; or throughput ratio floor,
                                    when both sides have throughput)
-                                   regressed by more than P% *)
+                                   regressed by more than P%
+     main.exe --no-cache           disable the per-benchmark analysis
+                                   session (every analysis recomputed);
+                                   results are byte-identical, only the
+                                   preparation work and wall time differ
+     main.exe --prepare-ms         print preparation wall-time per
+                                   benchmark and record it per phase in
+                                   the JSON (nondeterministic, so never
+                                   recorded under -j) *)
 
 module H = Ppp_harness.Pipeline
 module R = Ppp_harness.Report
@@ -286,6 +294,21 @@ let run_gate ~baseline_path ~pct current =
       Format.eprintf "%a" Gate.pp_failures fails;
       exit 1
 
+(* The session's warm-vs-cold work saving shows up here as wall time:
+   compare a run with and without --no-cache. *)
+let print_prepare_ms benches =
+  Format.eprintf "prepare wall-time per benchmark:@.";
+  let total =
+    List.fold_left
+      (fun acc (pb : R.prepared_bench) ->
+        let ms = H.prepare_ms pb.R.prep in
+        Format.eprintf "  %-9s | %8.1f ms@."
+          pb.R.spec.Ppp_workloads.Spec.bench_name ms;
+        acc +. ms)
+      0.0 benches
+  in
+  Format.eprintf "  %-9s | %8.1f ms@." "total" total
+
 (* {2 Argument handling} *)
 
 let () =
@@ -301,6 +324,8 @@ let () =
   let gate_pct = ref 10.0 in
   let throughput_mode = ref false in
   let min_vm_ratio = ref None in
+  let no_cache = ref false in
+  let prepare_ms = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -336,6 +361,12 @@ let () =
     | "--min-vm-ratio" :: r :: rest ->
         min_vm_ratio := Some (float_of_string r);
         parse rest
+    | "--no-cache" :: rest ->
+        no_cache := true;
+        parse rest
+    | "--prepare-ms" :: rest ->
+        prepare_ms := true;
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
@@ -360,9 +391,18 @@ let () =
          concurrent workers would be noise)@.";
     let tp_results = ref [] in
     let rows, lost =
-      if !jobs > 1 then sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale selected
+      if !jobs > 1 then begin
+        if !prepare_ms then
+          Format.eprintf
+            "note: --prepare-ms is ignored under -j (wall-clock would break \
+             the byte-identity of the sharded document)@.";
+        sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale selected
+      end
       else begin
-        let benches = R.prepare_all ~scale:!scale ~names:selected () in
+        let benches =
+          R.prepare_all ~scale:!scale ~names:selected ~cache:(not !no_cache) ()
+        in
+        if !prepare_ms then print_prepare_ms benches;
         let throughput =
           if !throughput_mode then begin
             tp_results := throughput ~min_time:0.08 benches;
@@ -370,7 +410,10 @@ let () =
           end
           else fun _ -> None
         in
-        (List.map (fun pb -> R.bench_json_one ~throughput pb) benches, [])
+        ( List.map
+            (fun pb -> R.bench_json_one ~throughput ~prepare:!prepare_ms pb)
+            benches,
+          [] )
       end
     in
     List.iter
@@ -390,7 +433,10 @@ let () =
     if lost <> [] then exit 2
   end
   else begin
-    let benches = R.prepare_all ~scale:!scale ?names:!names () in
+    let benches =
+      R.prepare_all ~scale:!scale ?names:!names ~cache:(not !no_cache) ()
+    in
+    if !prepare_ms then print_prepare_ms benches;
     let timing_get = ref None in
     let run_timing () = timing_get := Some (timing benches) in
     let all_reports () =
@@ -432,7 +478,9 @@ let () =
     let doc =
       J.canonical
         (R.bench_json_wrap ~scale:!scale ~seed:!seed
-           (List.map (R.bench_json_one ~timing ~throughput) benches))
+           (List.map
+              (R.bench_json_one ~timing ~throughput ~prepare:!prepare_ms)
+              benches))
     in
     (match !json_path with
     | None -> ()

@@ -16,6 +16,7 @@ module Shard = Ppp_harness.Shard
 module Jsonx = Ppp_obs.Jsonx
 module Trace = Ppp_obs.Trace
 module Sink = Ppp_obs.Sink
+module Session = Ppp_session.Session
 
 open Cmdliner
 
@@ -47,6 +48,18 @@ let program_arg =
 let scale_arg =
   let doc = "Iteration scale for built-in workloads." in
   Arg.(value & opt int 1 & info [ "scale" ] ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the analysis session: every CFG view, dominator tree, loop \
+     nest, flow context and placement decision is recomputed from \
+     scratch instead of being served from the content-addressed store. \
+     Results are byte-identical with and without the cache; only the \
+     amount of work differs."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let session_of ~no_cache name = Session.create ~enabled:(not no_cache) ~name ()
 
 let engine_arg =
   let doc =
@@ -165,11 +178,12 @@ let top_arg =
   Arg.(value & opt int 10 & info [ "top" ] ~doc)
 
 let profile_cmd =
-  let action spec scale config top obs =
+  let action spec scale config top no_cache obs =
     handle_errors (fun () ->
         with_obs obs @@ fun () ->
         let p = load_program spec ~scale in
-        let prep = H.prepare_unoptimized ~name:spec p in
+        let session = session_of ~no_cache spec in
+        let prep = H.prepare_unoptimized ~session ~name:spec p in
         let ev = H.evaluate prep config in
         Format.printf "method: %s@." ev.H.config_name;
         Format.printf "overhead: %.1f%%  accuracy: %.1f%%  coverage: %.1f%%@."
@@ -200,7 +214,8 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const action $ program_arg $ scale_arg $ method_arg $ top_arg $ obs_args)
+      const action $ program_arg $ scale_arg $ method_arg $ top_arg
+      $ no_cache_arg $ obs_args)
 
 (* {2 stats} *)
 
@@ -212,16 +227,18 @@ let stats_cmd =
       & opt (enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]) `Table
       & info [ "format"; "f" ] ~doc)
   in
-  let action spec scale config fmt obs =
+  let action spec scale config fmt no_cache obs =
     handle_errors (fun () ->
         with_obs ~force_metrics:true obs @@ fun () ->
         let p = load_program spec ~scale in
-        let prep = H.prepare_unoptimized ~name:spec p in
+        let session = session_of ~no_cache spec in
+        let prep = H.prepare_unoptimized ~session ~name:spec p in
         let ev = H.evaluate prep config in
         Format.eprintf
           "%s: method %s  overhead %.1f%%  accuracy %.1f%%  coverage %.1f%%@."
           spec ev.H.config_name (100. *. ev.H.overhead) (100. *. ev.H.accuracy)
           (100. *. ev.H.coverage);
+        Format.eprintf "%a@." Session.pp_stats prep.H.session;
         let snap = Metrics.snapshot () in
         match fmt with
         | `Table -> Format.printf "%a@." Metrics.pp_snapshot snap
@@ -242,7 +259,7 @@ let stats_cmd =
     (Cmd.info "stats" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ method_arg $ format_arg
-      $ obs_args)
+      $ no_cache_arg $ obs_args)
 
 (* {2 instrument} *)
 
@@ -286,10 +303,10 @@ let mkdir_p dir =
 
 (* Collect every built-in workload under the worker pool and merge the
    shards; [pppc collect bench:all]. *)
-let collect_all ~scale ~jobs ~output ~shard_dir ~metrics_wanted =
+let collect_all ~scale ~jobs ~warm ~output ~shard_dir ~metrics_wanted =
   let metrics = metrics_wanted || Option.is_some shard_dir in
   let c =
-    Shard.collect_workloads ~jobs ~scale ~metrics Ppp_workloads.Spec.all
+    Shard.collect_workloads ~jobs ~scale ~metrics ~warm Ppp_workloads.Spec.all
   in
   (match shard_dir with
   | None -> ()
@@ -339,13 +356,22 @@ let collect_cmd =
     in
     Arg.(value & opt (some string) None & info [ "shard-dir" ] ~docv:"DIR" ~doc)
   in
-  let action spec scale engine output v1 jobs shard_dir obs =
+  let warm_arg =
+    let doc =
+      "With $(b,bench:all): warm an analysis session (CFG views, loop \
+       nests, structural lowerings) per workload in the parent before \
+       forking, so workers inherit the artifacts copy-on-write. The \
+       merged dump is byte-identical either way."
+    in
+    Arg.(value & flag & info [ "warm" ] ~doc)
+  in
+  let action spec scale engine output v1 jobs warm shard_dir obs =
     handle_errors (fun () ->
         if spec = "bench:all" then begin
           if v1 then
             cli_error "--v1 is not supported with bench:all (shards merge in v2)";
           with_obs obs (fun () ->
-              collect_all ~scale ~jobs ~output ~shard_dir
+              collect_all ~scale ~jobs ~warm ~output ~shard_dir
                 ~metrics_wanted:(Option.is_some (fst obs)))
         end
         else
@@ -382,7 +408,7 @@ let collect_cmd =
   Cmd.v (Cmd.info "collect" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ engine_arg $ output_arg $ v1_arg
-      $ jobs_arg $ shard_dir_arg $ obs_args)
+      $ jobs_arg $ warm_arg $ shard_dir_arg $ obs_args)
 
 (* {2 merge} *)
 
@@ -444,12 +470,46 @@ let opt_cmd =
     Arg.(
       value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
   in
-  let action spec scale output profile =
+  let iterate_arg =
+    let doc =
+      "Run $(docv) optimize-profile-re-instrument generations against \
+       one shared analysis session: each generation re-optimizes from \
+       the previous generation's saved profile (reloaded through the \
+       stale matcher) and re-instruments only the routines the \
+       optimizers dirtied, every untouched routine keeping its placement."
+    in
+    Arg.(value & opt int 1 & info [ "iterate" ] ~docv:"N" ~doc)
+  in
+  let action spec scale output profile iterate no_cache =
     handle_errors (fun () ->
         let p = load_program spec ~scale in
+        if iterate > 1 then begin
+          if profile <> None then
+            cli_error "--profile cannot be combined with --iterate";
+          let session = session_of ~no_cache spec in
+          let gens = H.reoptimize ~session ~iterations:iterate ~name:spec p in
+          List.iter
+            (fun (g : H.generation) ->
+              Format.eprintf
+                "gen %d: dirty %d, re-instrumented %d, reused %d plans, \
+                 profile matched %.1f%%, instrumented overhead %.1f%%@."
+                g.H.gen (List.length g.H.dirty) g.H.reinstrumented
+                g.H.reused_plans
+                (100. *. g.H.matched_fraction)
+                (100. *. g.H.instr_overhead))
+            gens;
+          Format.eprintf "%a@." Session.pp_stats session;
+          let last = List.nth gens (List.length gens - 1) in
+          let text = Ppp_ir.Pp_ir.to_string last.H.prep.H.optimized in
+          match output with
+          | Some path -> write_file path text
+          | None -> print_string text
+        end
+        else begin
+        let session = session_of ~no_cache spec in
         let prep =
           match profile with
-          | None -> H.prepare ~name:spec p
+          | None -> H.prepare ~session ~name:spec p
           | Some path -> (
               let text =
                 let ic = open_in_bin path in
@@ -471,7 +531,7 @@ let opt_cmd =
                     (100. *. loaded.Profile_io.matched_fraction)
                     loaded.Profile_io.stale_routines
                     loaded.Profile_io.dropped_counts;
-                  H.prepare_with_profile ~name:spec ~loaded p)
+                  H.prepare_with_profile ~session ~name:spec ~loaded p)
         in
         let text = Ppp_ir.Pp_ir.to_string prep.H.optimized in
         (match output with
@@ -488,11 +548,18 @@ let opt_cmd =
           prep.H.unroll_stats.Ppp_opt.Unroll.loops_unrolled
           prep.H.unroll_stats.Ppp_opt.Unroll.avg_dynamic_factor
           (float_of_int prep.H.orig_outcome.Interp.base_cost
-          /. float_of_int prep.H.base_outcome.Interp.base_cost))
+          /. float_of_int prep.H.base_outcome.Interp.base_cost)
+        end)
   in
-  let doc = "Apply profile-guided inlining and unrolling; print the result." in
+  let doc =
+    "Apply profile-guided inlining and unrolling; print the result. With \
+     $(b,--iterate N), repeat the optimize-profile-re-instrument loop \
+     incrementally against one analysis session."
+  in
   Cmd.v (Cmd.info "opt" ~doc)
-    Term.(const action $ program_arg $ scale_arg $ output_arg $ profile_arg)
+    Term.(
+      const action $ program_arg $ scale_arg $ output_arg $ profile_arg
+      $ iterate_arg $ no_cache_arg)
 
 (* {2 dot} *)
 

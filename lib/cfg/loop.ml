@@ -31,9 +31,9 @@ let natural_loop_body g header tails =
   done;
   !body
 
-let compute g ~root =
+let compute ?dom g ~root =
   let n = Graph.num_nodes g in
-  let dom = Dom.compute g ~root in
+  let dom = match dom with Some d -> d | None -> Dom.compute g ~root in
   let retreating = Order.retreating_edges g root in
   let back, irreducible =
     List.partition

@@ -15,7 +15,10 @@ type loop = {
 
 type t
 
-val compute : Graph.t -> root:Graph.node -> t
+val compute : ?dom:Dom.t -> Graph.t -> root:Graph.node -> t
+(** [dom], when given, must be the dominator tree of [g] rooted at
+    [root]; passing it avoids recomputing it (analysis caches hold both
+    artifacts separately). *)
 
 val loops : t -> loop list
 (** All natural loops, one per header (back edges sharing a header are

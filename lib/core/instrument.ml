@@ -62,8 +62,9 @@ let static_dag_weights ctx =
         List.fold_left (fun acc b -> acc +. st.(b)) 0.0 (Dag.backs_of_header dag h)
 
 (* Edge-profile coverage of a routine, computable from the edge profile
-   alone: definite flow over total branch flow (Sections 4.1, 6.2). *)
-let edge_coverage ctx =
+   alone: definite flow over total branch flow (Sections 4.1, 6.2).
+   [definite] supplies the definite-flow DP (memoizable by a session). *)
+let edge_coverage ~definite ctx =
   let g = Routine_ctx.graph ctx in
   let actual =
     Graph.fold_edges g ~init:0 ~f:(fun acc e ->
@@ -71,7 +72,7 @@ let edge_coverage ctx =
   in
   if actual = 0 then 1.0
   else begin
-    let df = Flow_dp.compute ctx Flow_dp.Definite in
+    let df = definite ctx in
     float_of_int (Flow_dp.total df ~metric:Metric.Branch_flow) /. float_of_int actual
   end
 
@@ -83,17 +84,27 @@ let number ctx (config : Config.t) hot =
   in
   Numbering.compute ctx ~hot ~order
 
-let plan_routine (config : Config.t) total_unit_flow profile_prog (r : Ir.routine) =
-  let view = Cfg_view.of_routine r in
-  let eprof = Edge_profile.routine profile_prog r.name in
-  let ctx = Routine_ctx.make view eprof in
+let plan_routine ?plan_ctx ?definite (config : Config.t) total_unit_flow
+    profile_prog (r : Ir.routine) =
+  let ctx =
+    match plan_ctx with
+    | Some f -> f r
+    | None ->
+        Routine_ctx.make (Cfg_view.of_routine r)
+          (Edge_profile.routine profile_prog r.name)
+  in
+  let definite =
+    match definite with
+    | Some f -> f
+    | None -> fun ctx -> Flow_dp.compute ctx Flow_dp.Definite
+  in
   let decide () =
     if Routine_ctx.total_freq ctx = 0 then Uninstrumented Never_executed
     else begin
       let skip_coverage =
         match config.low_coverage_skip with
         | Some threshold ->
-            let cov = edge_coverage ctx in
+            let cov = edge_coverage ~definite ctx in
             if cov >= threshold then Some cov else None
         | None -> None
       in
@@ -181,26 +192,41 @@ let plan_routine (config : Config.t) total_unit_flow profile_prog (r : Ir.routin
   in
   { routine_name = r.name; ctx; decision = decide () }
 
-let instrument (p : Ir.program) profile_prog config =
+let instrument ?plan_ctx ?definite ?reuse ?store (p : Ir.program) profile_prog
+    config =
   let total_unit_flow = Edge_profile.program_unit_flow profile_prog p in
   let plans = Hashtbl.create 17 in
   let rt = Instr_rt.no_instrumentation () in
   List.iter
     (fun (r : Ir.routine) ->
-      let plan = plan_routine config total_unit_flow profile_prog r in
+      let reused, plan =
+        match Option.bind reuse (fun f -> f r) with
+        | Some plan -> (true, plan)
+        | None ->
+            let plan =
+              plan_routine ?plan_ctx ?definite config total_unit_flow
+                profile_prog r
+            in
+            (match store with Some f -> f r plan | None -> ());
+            (false, plan)
+      in
       Hashtbl.replace plans r.name plan;
       match plan.decision with
       | Instrumented { numbering; place; sa_iters; uses_hash; _ } ->
           Hashtbl.replace rt r.name place.Place.rt;
-          Obs.incr m_routines_instrumented;
-          Obs.add m_static_actions place.Place.num_actions;
-          Obs.add m_paths_elided (List.length place.Place.elided);
-          let n = Numbering.num_paths numbering in
-          Obs.add (if uses_hash then m_paths_hashed else m_paths_numbered) n;
-          if uses_hash then Obs.incr m_hash_tables;
-          Obs.add m_self_adjust_iters sa_iters;
-          Obs.observe h_paths_per_routine (float_of_int n)
-      | Uninstrumented _ -> Obs.incr m_routines_skipped)
+          (* The place.* metrics count placement work performed; a plan
+             pulled back out of a session cost none. *)
+          if not reused then begin
+            Obs.incr m_routines_instrumented;
+            Obs.add m_static_actions place.Place.num_actions;
+            Obs.add m_paths_elided (List.length place.Place.elided);
+            let n = Numbering.num_paths numbering in
+            Obs.add (if uses_hash then m_paths_hashed else m_paths_numbered) n;
+            if uses_hash then Obs.incr m_hash_tables;
+            Obs.add m_self_adjust_iters sa_iters;
+            Obs.observe h_paths_per_routine (float_of_int n)
+          end
+      | Uninstrumented _ -> if not reused then Obs.incr m_routines_skipped)
     p.routines;
   { config; plans; rt }
 

@@ -13,11 +13,13 @@ type t = {
   node_flow : int array;
 }
 
-let make view profile =
+let make ?loops view profile =
   let g = Cfg_view.graph view in
   let entry = Cfg_view.entry view in
   let exit = Cfg_view.exit view in
-  let loops = Loop.compute g ~root:entry in
+  let loops =
+    match loops with Some l -> l | None -> Loop.compute g ~root:entry
+  in
   let dag = Dag.convert g ~entry ~exit ~break:(Loop.breakable_edges loops) in
   let dg = Dag.dag dag in
   let freqs =

@@ -10,7 +10,14 @@
 
 type t
 
-val make : Ppp_ir.Cfg_view.t -> Ppp_profile.Edge_profile.t -> t
+val make :
+  ?loops:Ppp_cfg.Loop.t ->
+  Ppp_ir.Cfg_view.t ->
+  Ppp_profile.Edge_profile.t ->
+  t
+(** [loops], when given, must be the loop nest of the view's graph
+    rooted at its entry; passing it lets an analysis cache share the
+    loop-nest artifact instead of recomputing it per context. *)
 
 val view : t -> Ppp_ir.Cfg_view.t
 val loops : t -> Ppp_cfg.Loop.t

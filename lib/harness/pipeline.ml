@@ -16,6 +16,7 @@ module Numbering = Ppp_core.Numbering
 module Trace = Ppp_obs.Trace
 module Diagnostic = Ppp_resilience.Diagnostic
 module Profile_io = Ppp_profile.Profile_io
+module Session = Ppp_session.Session
 
 let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
 let metric = Metric.Branch_flow
@@ -31,6 +32,9 @@ type prepared = {
   unroll_stats : Ppp_opt.Unroll.stats;
   confidence : float;
   diagnostics : Diagnostic.t list;
+  session : Session.t;
+  view_memo : (string, Cfg_view.t) Hashtbl.t;
+  phase_ms : (string * float) list;
 }
 
 (* A run that exhausts its fuel is not fatal: the profile gathered so far
@@ -47,19 +51,32 @@ let fuel_diags phase (o : Interp.outcome) =
              phase stack_depth);
       ]
 
-let view_cache : (Ir.routine, Cfg_view.t) Hashtbl.t = Hashtbl.create 64
+(* Wall-clock per phase, kept out of every deterministic artifact: it is
+   only surfaced behind explicit opt-in flags. *)
+let timed phases label f =
+  let t0 = Unix.gettimeofday () in
+  let r = Trace.with_span label f in
+  phases := (label, 1000.0 *. (Unix.gettimeofday () -. t0)) :: !phases;
+  r
 
-let view_of r =
-  match Hashtbl.find_opt view_cache r with
+let prepare_ms prepared =
+  List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 prepared.phase_ms
+
+(* The session memoizes views once per fingerprint; the extra
+   name-indexed memo keeps the frequent [views prep name] lookups (and
+   disabled-session runs, which memoize nothing) away from repeated
+   fingerprint hashing in scoring loops. *)
+let views prepared name =
+  match Hashtbl.find_opt prepared.view_memo name with
   | Some v -> v
   | None ->
-      let v = Cfg_view.of_routine r in
-      Hashtbl.replace view_cache r v;
+      let v =
+        Session.view prepared.session (Ir.routine prepared.optimized name)
+      in
+      Hashtbl.replace prepared.view_memo name v;
       v
 
-let views prepared name = view_of (Ir.routine prepared.optimized name)
-
-let block_freq_fn p ep =
+let block_freq_fn session p ep =
   let cache = Hashtbl.create 17 in
   fun ~routine ~block ->
     let freqs =
@@ -67,7 +84,7 @@ let block_freq_fn p ep =
       | Some f -> f
       | None ->
           let r = Ir.routine p routine in
-          let view = view_of r in
+          let view = Session.view session r in
           let g = Cfg_view.graph view in
           let prof = Edge_profile.routine ep routine in
           let f =
@@ -85,21 +102,34 @@ let block_freq_fn p ep =
     in
     freqs.(block)
 
-let prepare ~name p =
+let make_session ?session ~name () =
+  match session with Some s -> s | None -> Session.create ~name ()
+
+let prepare ?session ~name p =
+  let session = make_session ?session ~name () in
+  let cache = Session.lower_cache session in
+  let phases = ref [] in
   Trace.with_span ~args:[ ("bench", name) ] "prepare" @@ fun () ->
-  let orig_outcome = Trace.with_span "edge-profile" (fun () -> Interp.run p) in
+  ignore (Session.sync session p);
+  let orig_outcome =
+    timed phases "edge-profile" (fun () -> Interp.run ?cache p)
+  in
   let ep0 = Option.get orig_outcome.Interp.edge_profile in
   let inlined, inline_stats =
-    Trace.with_span "inline" (fun () ->
-        Ppp_opt.Inline.run p ~block_freq:(block_freq_fn p ep0))
+    timed phases "inline" (fun () ->
+        Ppp_opt.Inline.run p ~block_freq:(block_freq_fn session p ep0))
   in
-  let o1 = Trace.with_span "re-profile" (fun () -> Interp.run inlined) in
+  ignore (Session.sync session inlined);
+  let o1 = timed phases "re-profile" (fun () -> Interp.run ?cache inlined) in
   let ep1 = Option.get o1.Interp.edge_profile in
   let optimized, unroll_stats =
-    Trace.with_span "unroll" (fun () ->
+    timed phases "unroll" (fun () ->
         Ppp_opt.Unroll.run inlined ~edge_profile:ep1)
   in
-  let base_outcome = Trace.with_span "base-run" (fun () -> Interp.run optimized) in
+  ignore (Session.sync session optimized);
+  let base_outcome =
+    timed phases "base-run" (fun () -> Interp.run ?cache optimized)
+  in
   {
     bench_name = name;
     original = p;
@@ -113,10 +143,17 @@ let prepare ~name p =
       fuel_diags "edge-profile" orig_outcome
       @ fuel_diags "re-profile" o1
       @ fuel_diags "base" base_outcome;
+    session;
+    view_memo = Hashtbl.create 17;
+    phase_ms = List.rev !phases;
   }
 
-let prepare_with_profile ~name ~(loaded : Profile_io.loaded) p =
+let prepare_with_profile ?session ~name ~(loaded : Profile_io.loaded) p =
+  let session = make_session ?session ~name () in
+  let cache = Session.lower_cache session in
+  let phases = ref [] in
   Trace.with_span ~args:[ ("bench", name) ] "prepare-with-profile" @@ fun () ->
+  ignore (Session.sync session p);
   let confidence = loaded.Profile_io.matched_fraction in
   let ep0 = loaded.Profile_io.edges in
   (* Confidence-weighted hotness: salvaged counts must clear a higher bar
@@ -125,16 +162,21 @@ let prepare_with_profile ~name ~(loaded : Profile_io.loaded) p =
     int_of_float (Float.ceil (16.0 /. Float.max 0.05 confidence))
   in
   let inlined, inline_stats =
-    Trace.with_span "inline" (fun () ->
-        Ppp_opt.Inline.run ~min_site_freq p ~block_freq:(block_freq_fn p ep0))
+    timed phases "inline" (fun () ->
+        Ppp_opt.Inline.run ~min_site_freq p
+          ~block_freq:(block_freq_fn session p ep0))
   in
-  let o1 = Trace.with_span "re-profile" (fun () -> Interp.run inlined) in
+  ignore (Session.sync session inlined);
+  let o1 = timed phases "re-profile" (fun () -> Interp.run ?cache inlined) in
   let ep1 = Option.get o1.Interp.edge_profile in
   let optimized, unroll_stats =
-    Trace.with_span "unroll" (fun () ->
+    timed phases "unroll" (fun () ->
         Ppp_opt.Unroll.run inlined ~edge_profile:ep1)
   in
-  let base_outcome = Trace.with_span "base-run" (fun () -> Interp.run optimized) in
+  ignore (Session.sync session optimized);
+  let base_outcome =
+    timed phases "base-run" (fun () -> Interp.run ?cache optimized)
+  in
   {
     bench_name = name;
     original = p;
@@ -148,11 +190,20 @@ let prepare_with_profile ~name ~(loaded : Profile_io.loaded) p =
       loaded.Profile_io.diagnostics
       @ fuel_diags "re-profile" o1
       @ fuel_diags "base" base_outcome;
+    session;
+    view_memo = Hashtbl.create 17;
+    phase_ms = List.rev !phases;
   }
 
-let prepare_unoptimized ~name p =
+let prepare_unoptimized ?session ~name p =
+  let session = make_session ?session ~name () in
+  let cache = Session.lower_cache session in
+  let phases = ref [] in
   Trace.with_span ~args:[ ("bench", name) ] "prepare" @@ fun () ->
-  let orig_outcome = Trace.with_span "edge-profile" (fun () -> Interp.run p) in
+  ignore (Session.sync session p);
+  let orig_outcome =
+    timed phases "edge-profile" (fun () -> Interp.run ?cache p)
+  in
   {
     bench_name = name;
     original = p;
@@ -166,11 +217,20 @@ let prepare_unoptimized ~name p =
         dynamic_calls_total = 0;
         size_before = Ir.program_size p;
         size_after = Ir.program_size p;
+        touched = [];
       };
     unroll_stats =
-      { Ppp_opt.Unroll.loops_unrolled = 0; loops_seen = 0; avg_dynamic_factor = 1.0 };
+      {
+        Ppp_opt.Unroll.loops_unrolled = 0;
+        loops_seen = 0;
+        avg_dynamic_factor = 1.0;
+        touched = [];
+      };
     confidence = 1.0;
     diagnostics = fuel_diags "edge-profile" orig_outcome;
+    session;
+    view_memo = Hashtbl.create 17;
+    phase_ms = List.rev !phases;
   }
 
 let actual_profile prepared = Option.get prepared.base_outcome.Interp.path_profile
@@ -181,9 +241,22 @@ let total_flow prepared m =
 
 type path_stats = { dyn_paths : int; avg_branches : float; avg_instrs : float }
 
-let path_stats_of_outcome p (o : Interp.outcome) =
+let path_stats_of_outcome ?session p (o : Interp.outcome) =
   let profile = Option.get o.Interp.path_profile in
-  let views name = view_of (Ir.routine p name) in
+  let memo = Hashtbl.create 17 in
+  let views name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+        let r = Ir.routine p name in
+        let v =
+          match session with
+          | Some s -> Session.view s r
+          | None -> Cfg_view.of_routine r
+        in
+        Hashtbl.replace memo name v;
+        v
+  in
   let unit_total = Path_profile.program_flow profile ~views Metric.Unit_flow in
   let branch_total = Path_profile.program_flow profile ~views Metric.Branch_flow in
   {
@@ -224,13 +297,19 @@ type evaluation = {
   routines_total : int;
 }
 
+(* The flow context of a routine of [prepared.optimized] under the base
+   edge profile, shared through the session across every method's
+   evaluation (and with the instrumenter's planning). *)
+let ctx_of_routine prepared name =
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  Session.ctx prepared.session ~ep (Ir.routine prepared.optimized name)
+
 (* Potential-flow estimated profile for a set of routines (used for edge
    profiling, and for TPP/PPP when they instrument nothing at all). *)
 let potential_estimates prepared routine_names =
-  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
   List.concat_map
     (fun name ->
-      let ctx = Routine_ctx.make (views prepared name) (Edge_profile.routine ep name) in
+      let ctx = ctx_of_routine prepared name in
       Flow_dp.potential_hot_paths ctx ~max_paths:reconstruct_cap
       |> List.map (fun (dag_path, f, b) ->
              {
@@ -243,9 +322,8 @@ let potential_estimates prepared routine_names =
 let routine_names p = List.map (fun (r : Ir.routine) -> r.Ir.name) p.Ir.routines
 
 let definite_total prepared name =
-  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
-  let ctx = Routine_ctx.make (views prepared name) (Edge_profile.routine ep name) in
-  let dp = Flow_dp.compute ctx Flow_dp.Definite in
+  let ctx = ctx_of_routine prepared name in
+  let dp = Session.definite prepared.session ctx in
   Flow_dp.total dp ~metric
 
 let evaluate_edge_profile prepared =
@@ -281,6 +359,31 @@ let evaluate_edge_profile prepared =
     routines_total = List.length prepared.optimized.Ir.routines;
   }
 
+(* Instrument [prepared.optimized] through the session: flow contexts and
+   definite-flow DPs are memoized artifacts, and whole placement
+   decisions are reused when the session has already planned this
+   routine. [mode] selects the reuse rule (see {!Session.placement_mode});
+   [on_reuse]/[on_plan] let callers count what happened. *)
+let instrument_via_session ?(mode = Session.Exact) ?(on_reuse = fun _ -> ())
+    ?(on_plan = fun _ -> ()) prepared (config : Config.t) =
+  let p = prepared.optimized in
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  let session = prepared.session in
+  let config_name = config.Config.name in
+  Instrument.instrument
+    ~plan_ctx:(fun (r : Ir.routine) -> Session.ctx session ~ep r)
+    ~definite:(Session.definite session)
+    ~reuse:(fun r ->
+      match Session.placement_find session ~mode ~config_name ~ep r with
+      | Some plan ->
+          on_reuse r.Ir.name;
+          Some plan
+      | None -> None)
+    ~store:(fun r plan ->
+      on_plan r.Ir.name;
+      Session.placement_store session ~config_name ~ep r plan)
+    p ep config
+
 let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
     (config : Config.t) =
   (* A partially-trusted profile (stale salvage) degrades the placement
@@ -288,13 +391,14 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
   let config = Config.degrade ~confidence:prepared.confidence config in
   Trace.with_span ~args:[ ("config", config.Config.name) ] "evaluate" @@ fun () ->
   let p = prepared.optimized in
-  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
   let inst =
-    Trace.with_span "instrument" (fun () -> Instrument.instrument p ep config)
+    Trace.with_span "instrument" (fun () ->
+        instrument_via_session prepared config)
   in
   let instr_outcome =
     Trace.with_span "overhead-run" (fun () ->
         Interp.run
+          ?cache:(Session.lower_cache prepared.session)
           ~config:
             {
               Interp.default_config with
@@ -342,7 +446,7 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
           in
           let uninstrumented =
             let ctx = ctx_of name in
-            let dp = Flow_dp.compute ctx Flow_dp.Definite in
+            let dp = Session.definite prepared.session ctx in
             Flow_dp.reconstruct dp ~cutoff:(-1) ~max_paths:reconstruct_cap
             |> List.filter_map (fun (dag_path, f, b) ->
                    let path = Routine_ctx.cfg_path_of_dag_path ctx dag_path in
@@ -433,3 +537,88 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
     routines_instrumented;
     routines_total = List.length p.Ir.routines;
   }
+
+(* {2 Iterative re-optimization} *)
+
+type generation = {
+  gen : int;
+  prep : prepared;
+  dirty : string list;
+  reinstrumented : int;
+  reused_plans : int;
+  matched_fraction : float;
+  instr_overhead : float;
+}
+
+(* The union of the optimizers' touched sets, in program order of the
+   generation's optimized program. *)
+let dirty_of prepared =
+  let touched =
+    prepared.inline_stats.Ppp_opt.Inline.touched
+    @ prepared.unroll_stats.Ppp_opt.Unroll.touched
+  in
+  List.filter_map
+    (fun (r : Ir.routine) ->
+      if List.mem r.Ir.name touched then Some r.Ir.name else None)
+    prepared.optimized.Ir.routines
+
+let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
+  let session = make_session ?session ~name () in
+  let gens = ref [] in
+  let cur = ref p0 in
+  let prev = ref None in
+  for gen = 1 to iterations do
+    let prep, matched_fraction =
+      match !prev with
+      | None -> (prepare ~session ~name !cur, 1.0)
+      | Some (p : prepared) -> (
+          (* Hand the previous generation's profile through the wire
+             format and the stale matcher, as a staged optimizer with an
+             offline profile store would; on an unchanged program it
+             matches exactly (fraction 1.0). *)
+          let buf = Buffer.create 65536 in
+          let ppf = Format.formatter_of_buffer buf in
+          Profile_io.save ?edges:p.base_outcome.Interp.edge_profile
+            ?paths:p.base_outcome.Interp.path_profile ppf p.optimized;
+          Format.pp_print_flush ppf ();
+          match Profile_io.load !cur (Buffer.contents buf) with
+          | Ok loaded ->
+              ( prepare_with_profile ~session ~name ~loaded !cur,
+                loaded.Profile_io.matched_fraction )
+          | Error _ -> (prepare ~session ~name !cur, 0.0))
+    in
+    (* Re-instrument: sticky reuse keeps every untouched routine's plan,
+       so only routines the optimizers dirtied are re-planned. *)
+    let reused = ref 0 and planned = ref 0 in
+    let inst =
+      instrument_via_session ~mode:Session.Sticky
+        ~on_reuse:(fun _ -> incr reused)
+        ~on_plan:(fun _ -> incr planned)
+        prep
+        (Config.degrade ~confidence:prep.confidence config)
+    in
+    let instr_outcome =
+      Interp.run
+        ?cache:(Session.lower_cache session)
+        ~config:
+          {
+            Interp.default_config with
+            instrumentation = Some inst.Instrument.rt;
+          }
+        prep.optimized
+    in
+    gens :=
+      {
+        gen;
+        prep;
+        dirty = dirty_of prep;
+        reinstrumented = !planned;
+        reused_plans = !reused;
+        matched_fraction;
+        instr_overhead = Interp.overhead instr_outcome;
+      }
+      :: !gens;
+    prev := Some prep;
+    cur := prep.optimized
+  done;
+  List.rev !gens

@@ -4,7 +4,17 @@
     optimized program with PP / TPP / PPP, run it, and score the result.
 
     All profiles use "self" advice (Section 7.2): the edge profile given
-    to the instrumenter comes from the same input the overhead run uses. *)
+    to the instrumenter comes from the same input the overhead run uses.
+
+    Every pipeline run works against a {!Ppp_session.Session}: a
+    content-addressed store of per-routine analyses (CFG views,
+    dominators, loop nests, flow contexts, definite-flow DPs, structural
+    lowerings, placement decisions) shared by all phases and all four
+    profiling methods, and carried across re-optimization generations.
+    Callers may pass their own session (e.g. one warmed on a previous
+    generation, or a disabled one to measure the uncached cost); by
+    default each [prepare] creates a fresh enabled session, so results
+    are identical with and without an explicit session. *)
 
 type prepared = {
   bench_name : string;
@@ -20,17 +30,28 @@ type prepared = {
   diagnostics : Ppp_resilience.Diagnostic.t list;
       (** problems absorbed while preparing (fuel exhaustion, profile
           salvage); the pipeline degrades gracefully rather than raising *)
+  session : Ppp_session.Session.t;
+      (** the analysis store every later evaluation draws from *)
+  view_memo : (string, Ppp_ir.Cfg_view.t) Hashtbl.t;
+      (** name-indexed front of the session's views (internal memo) *)
+  phase_ms : (string * float) list;
+      (** wall-clock milliseconds per preparation phase, in order —
+          nondeterministic, so never included in machine-readable
+          artifacts unless explicitly requested *)
 }
 
-val prepare : name:string -> Ppp_ir.Ir.program -> prepared
+val prepare :
+  ?session:Ppp_session.Session.t -> name:string -> Ppp_ir.Ir.program -> prepared
 (** @raise Ppp_interp.Interp.Runtime_error if the program faults.
     Fuel exhaustion does not raise: the phase keeps its partial profile
     and records an [Exhausted] diagnostic. *)
 
-val prepare_unoptimized : name:string -> Ppp_ir.Ir.program -> prepared
+val prepare_unoptimized :
+  ?session:Ppp_session.Session.t -> name:string -> Ppp_ir.Ir.program -> prepared
 (** Skip inlining and unrolling (for comparisons on original code). *)
 
 val prepare_with_profile :
+  ?session:Ppp_session.Session.t ->
   name:string ->
   loaded:Ppp_profile.Profile_io.loaded ->
   Ppp_ir.Ir.program ->
@@ -43,8 +64,12 @@ val prepare_with_profile :
     [prepared.diagnostics], and [prepared.confidence] is set to the
     matched fraction so {!evaluate} degrades its placement thresholds. *)
 
+val prepare_ms : prepared -> float
+(** Total wall-clock milliseconds of the preparation phases. *)
+
 val views : prepared -> string -> Ppp_ir.Cfg_view.t
-(** Cached CFG views of the optimized program's routines. *)
+(** CFG views of the optimized program's routines, memoized through the
+    session. *)
 
 val actual_profile : prepared -> Ppp_profile.Path_profile.program
 val total_flow : prepared -> Ppp_profile.Metric.t -> int
@@ -58,7 +83,10 @@ type path_stats = {
 }
 
 val path_stats_of_outcome :
-  Ppp_ir.Ir.program -> Ppp_interp.Interp.outcome -> path_stats
+  ?session:Ppp_session.Session.t ->
+  Ppp_ir.Ir.program ->
+  Ppp_interp.Interp.outcome ->
+  path_stats
 
 type hot_stats = {
   distinct_paths : int;
@@ -88,6 +116,9 @@ val evaluate :
   Ppp_core.Config.t ->
   evaluation
 (** Instrument with the given configuration, rerun, decode, and score.
+    Analyses and placement decisions flow through [prepared.session], so
+    evaluating several methods (or re-evaluating one) shares every
+    memoizable artifact; results are identical to a cold evaluation.
     When [prepared.confidence < 1] the configuration is first passed
     through {!Ppp_core.Config.degrade}, weakening profile-driven
     placement decisions in proportion to distrust. [overflow_policy]
@@ -97,3 +128,39 @@ val evaluate :
 val evaluate_edge_profile : prepared -> evaluation
 (** Edge profiling as the estimator: potential-flow hot paths
     (Section 6.1), definite-flow coverage, zero overhead (Section 2). *)
+
+(** {2 Iterative re-optimization} *)
+
+type generation = {
+  gen : int;  (** 1-based *)
+  prep : prepared;
+  dirty : string list;
+      (** routines the optimizers touched this generation, in program
+          order — exactly the set whose artifacts the session invalidated *)
+  reinstrumented : int;  (** routines re-planned by the instrumenter *)
+  reused_plans : int;
+      (** routines whose placement was carried over unchanged from an
+          earlier generation (sticky reuse) *)
+  matched_fraction : float;
+      (** how much of the previous generation's saved profile survived
+          the {!Ppp_profile.Profile_io} round-trip (1.0 for the first
+          generation, which profiles fresh) *)
+  instr_overhead : float;  (** overhead of this generation's instrumented run *)
+}
+
+val reoptimize :
+  ?session:Ppp_session.Session.t ->
+  ?config:Ppp_core.Config.t ->
+  ?iterations:int ->
+  name:string ->
+  Ppp_ir.Ir.program ->
+  generation list
+(** Run [iterations] (default 1) optimize–profile–re-instrument
+    generations against one shared session. Generation 1 profiles fresh;
+    each later generation saves the previous generation's profile,
+    reloads it against the previous optimized program through the
+    stale-matching loader, re-optimizes, and re-instruments under
+    [config] (default PPP) with {e sticky} placement reuse — only
+    routines dirtied by inlining or unrolling are re-planned, every
+    untouched routine keeps its instrumentation. The generation's
+    instrumented run is executed end-to-end ([instr_overhead]). *)

@@ -4,7 +4,7 @@ module Config = Ppp_core.Config
 
 type prepared_bench = { spec : Spec.bench; prep : Pipeline.prepared }
 
-let prepare_all ?(scale = 1) ?names () =
+let prepare_all ?(scale = 1) ?names ?(cache = true) () =
   let selected =
     match names with
     | None -> Spec.all
@@ -12,7 +12,11 @@ let prepare_all ?(scale = 1) ?names () =
   in
   List.map
     (fun (spec : Spec.bench) ->
-      { spec; prep = Pipeline.prepare ~name:spec.Spec.bench_name (spec.Spec.build ~scale) })
+      let name = spec.Spec.bench_name in
+      (* One session per benchmark: all four methods' evaluations share
+         its artifacts. [cache:false] measures the uncached pipeline. *)
+      let session = Ppp_session.Session.create ~enabled:cache ~name () in
+      { spec; prep = Pipeline.prepare ~session ~name (spec.Spec.build ~scale) })
     selected
 
 let is_int b = b.spec.Spec.kind = Spec.Int
@@ -42,12 +46,13 @@ let table1 ppf benches =
     /. float_of_int pb.prep.Pipeline.base_outcome.Interp.base_cost
   in
   let row pb =
+    let session = pb.prep.Pipeline.session in
     let o =
-      Pipeline.path_stats_of_outcome pb.prep.Pipeline.original
+      Pipeline.path_stats_of_outcome ~session pb.prep.Pipeline.original
         pb.prep.Pipeline.orig_outcome
     in
     let n =
-      Pipeline.path_stats_of_outcome pb.prep.Pipeline.optimized
+      Pipeline.path_stats_of_outcome ~session pb.prep.Pipeline.optimized
         pb.prep.Pipeline.base_outcome
     in
     Format.fprintf ppf
@@ -238,7 +243,8 @@ let eval_json (ev : Pipeline.evaluation) =
       ("routines_total", J.Int ev.Pipeline.routines_total);
     ]
 
-let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None) pb =
+let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
+    ?(prepare = false) pb =
   let e = evals_of pb in
   let prep = pb.prep in
   let timing_fields =
@@ -250,6 +256,24 @@ let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None) pb =
     match throughput pb.spec.Spec.bench_name with
     | None -> []
     | Some t -> [ ("throughput", t) ]
+  in
+  (* Wall-clock, so opt-in only: a sharded run must stay byte-identical
+     at every -j and never includes it. *)
+  let prepare_fields =
+    if not prepare then []
+    else
+      [
+        ( "prepare",
+          J.Obj
+            [
+              ("total_ms", J.Float (Pipeline.prepare_ms prep));
+              ( "phases",
+                J.Obj
+                  (List.map
+                     (fun (phase, ms) -> (phase, J.Float ms))
+                     prep.Pipeline.phase_ms) );
+            ] );
+      ]
   in
   J.Obj
     ([
@@ -268,7 +292,7 @@ let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None) pb =
              ("ppp", eval_json e.ppp);
            ] );
      ]
-    @ timing_fields @ throughput_fields)
+    @ timing_fields @ throughput_fields @ prepare_fields)
 
 let bench_json_wrap ?(scale = 1) ?seed rows =
   let seed_field = match seed with None -> [] | Some s -> [ ("seed", J.Int s) ] in

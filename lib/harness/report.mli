@@ -10,9 +10,13 @@ type prepared_bench = {
   prep : Pipeline.prepared;
 }
 
-val prepare_all : ?scale:int -> ?names:string list -> unit -> prepared_bench list
+val prepare_all :
+  ?scale:int -> ?names:string list -> ?cache:bool -> unit -> prepared_bench list
 (** Build and prepare the (selected) benchmarks; default scale 1 and all
-    benchmarks. *)
+    benchmarks. Each benchmark gets its own {!Ppp_session.Session}
+    (reachable as [prep.session]) shared by every later evaluation;
+    [cache:false] runs with disabled sessions — same results, no
+    memoization. *)
 
 type evals = {
   edge : Pipeline.evaluation;
@@ -43,10 +47,15 @@ val bench_json :
 val bench_json_one :
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
   ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
+  ?prepare:bool ->
   prepared_bench ->
   Ppp_obs.Jsonx.t
 (** One benchmark's row of {!bench_json} — what a shard worker computes
-    and sends back when the harness runs under [-j]. *)
+    and sends back when the harness runs under [-j]. [prepare] (default
+    [false]) additionally records the preparation wall-clock per phase
+    ({!Pipeline.prepared.phase_ms}); it is opt-in because wall-clock is
+    nondeterministic, and sharded runs never include it so their
+    document stays byte-identical at every [-j]. *)
 
 val bench_json_wrap : ?scale:int -> ?seed:int -> Ppp_obs.Jsonx.t list -> Ppp_obs.Jsonx.t
 (** Assemble {!bench_json_one} rows (in benchmark order) into the full

@@ -125,13 +125,17 @@ type collected = {
   lost : Diagnostic.t list;
 }
 
-let collect_one ~scale ~metrics (b : Spec.bench) =
+let collect_one ?prebuilt ~scale ~metrics (b : Spec.bench) =
   if metrics then begin
     Metrics.set_enabled true;
     Metrics.reset ()
   end;
-  let p = b.Spec.build ~scale in
-  let o = Interp.run p in
+  let p, cache =
+    match prebuilt with
+    | Some (p, session) -> (p, Ppp_session.Session.lower_cache session)
+    | None -> (b.Spec.build ~scale, None)
+  in
+  let o = Interp.run ?cache p in
   let raw =
     Profile_io.Raw.of_program ?edges:o.Interp.edge_profile
       ?paths:o.Interp.path_profile p
@@ -139,9 +143,31 @@ let collect_one ~scale ~metrics (b : Spec.bench) =
   let snap = if metrics then Metrics.snapshot () else [] in
   (b.Spec.bench_name, Profile_io.Raw.to_string raw, snap)
 
-let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) benches =
+let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) ?(warm = false)
+    benches =
+  (* With [warm], the parent builds every workload and fills a session
+     (analyses + structural lowering) before the pool forks, so workers
+     inherit the warm artifacts copy-on-write and only execute. Workers
+     never write back, so sharing is safe; collection output is
+     byte-identical either way. *)
+  let items =
+    List.map
+      (fun (b : Spec.bench) ->
+        if warm then begin
+          let p = b.Spec.build ~scale in
+          let session =
+            Ppp_session.Session.create ~name:b.Spec.bench_name ()
+          in
+          Ppp_session.Session.warm session p;
+          (b, Some (p, session))
+        end
+        else (b, None))
+      benches
+  in
   let results =
-    map ~jobs ~f:(fun ~seed:_ b -> collect_one ~scale ~metrics b) benches
+    map ~jobs
+      ~f:(fun ~seed:_ (b, prebuilt) -> collect_one ?prebuilt ~scale ~metrics b)
+      items
   in
   let shards = ref [] and shard_metrics = ref [] and lost = ref [] in
   let inputs = ref [] in

@@ -61,9 +61,14 @@ val collect_workloads :
   jobs:int ->
   ?scale:int ->
   ?metrics:bool ->
+  ?warm:bool ->
   Ppp_workloads.Spec.bench list ->
   collected
 (** Run every workload under the pool ([metrics] defaults to [false];
     when on, each worker enables and resets {!Ppp_obs.Metrics} before
     its run, so shard snapshots are disjoint and their merge is
-    [-j]-invariant). *)
+    [-j]-invariant). With [warm] (default [false]) the parent builds
+    each workload and fills a {!Ppp_session.Session} — analyses plus
+    structural lowering — before forking, so workers inherit the warm
+    artifacts copy-on-write and skip re-lowering; the collected output
+    is byte-identical either way. *)

@@ -348,7 +348,7 @@ let run_reference ~(config : config) (p : Ir.program) =
 
 type engine = Vm | Reference
 
-let run ?(config = default_config) ?(engine = Vm) (p : Ir.program) =
+let run ?(config = default_config) ?(engine = Vm) ?cache (p : Ir.program) =
   match engine with
-  | Vm -> Vm.run ~config p
+  | Vm -> Vm.run ?cache ~config p
   | Reference -> run_reference ~config p

@@ -63,12 +63,20 @@ type engine =
   | Vm  (** pre-lowered flat VM: the fast default *)
   | Reference  (** the tree-walking executable specification *)
 
-val run : ?config:config -> ?engine:engine -> Ppp_ir.Ir.program -> outcome
+val run :
+  ?config:config ->
+  ?engine:engine ->
+  ?cache:Lower.cache ->
+  Ppp_ir.Ir.program ->
+  outcome
 (** Runs to completion or fuel exhaustion — check [outcome.termination].
     When fuel runs out the profiles collected so far are still returned
     (a truncated but usable sample). [engine] defaults to {!Vm}; both
     engines produce identical outcomes on well-formed programs (programs
     that fail [Ppp_ir.Check] may fault with different error messages).
+    [cache], used only by the {!Vm} engine, memoizes structural lowering
+    across runs (see {!Lower.cache}); outcomes are byte-identical with
+    and without it.
     @raise Runtime_error on a genuine dynamic fault, including — in
     either engine, up front — a call whose argument count exceeds the
     callee's register file. *)

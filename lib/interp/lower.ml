@@ -20,7 +20,17 @@
    Calls and unknown names stay lazy: a [Call] charges for itself (it can
    push a frame, so it cannot sit inside a batched segment), and unknown
    arrays/routines lower to raising opcodes with the reference engine's
-   exact messages. *)
+   exact messages.
+
+   Lowering is split in two so its expensive half can be memoized across
+   runs: the *structural* plan (everything above, with empty
+   instrumentation actions) depends only on the routine body, its
+   register file, and the program environment (routine order, arrays);
+   *specialization* rebuilds just the terminator opcodes to attach the
+   run's instrumentation pre-actions. A {!cache} keyed by routine
+   fingerprint keeps structural plans warm between runs; mutable run
+   state (edge counters, path intern tables, array contents) is always
+   fresh, so a cached run is byte-identical to a cold one. *)
 
 module Graph = Ppp_cfg.Graph
 module Loop = Ppp_cfg.Loop
@@ -28,6 +38,13 @@ module Ir = Ppp_ir.Ir
 module Cfg_view = Ppp_ir.Cfg_view
 module Edge_profile = Ppp_profile.Edge_profile
 module Path_profile = Ppp_profile.Path_profile
+module Fingerprint = Ppp_resilience.Fingerprint
+module Obs = Ppp_obs.Metrics
+
+let m_lower_hit = Obs.counter "session.lower.hit"
+let m_lower_miss = Obs.counter "session.lower.miss"
+let m_lower_specialize = Obs.counter "session.lower.specialize"
+let m_lower_env_flush = Obs.counter "session.lower.env_flush"
 
 type arr = { arr_name : string; data : int array }
 
@@ -129,44 +146,25 @@ let compile_action table act =
       None ) ->
       Bump_none
 
-let lower_routine ~collect_edges ~trace_paths ~instr ~instr_tables ~arrays
-    ~routine_index (r : Ir.routine) =
-  let view = Cfg_view.of_routine r in
+(* Lower one routine structurally: full opcode array, costs and edge
+   bookkeeping, but every edge's action list empty. Instrumentation is
+   attached later by [specialize_plan], so this half is pure in the
+   routine body and can be cached across runs. *)
+let lower_structural ?analysis ~arrays ~routine_index (r : Ir.routine) =
+  let view, loops =
+    match analysis with
+    | Some f -> f r
+    | None ->
+        let view = Cfg_view.of_routine r in
+        let g = Cfg_view.graph view in
+        (view, Loop.compute g ~root:(Cfg_view.entry view))
+  in
   let g = Cfg_view.graph view in
   let nedges = Graph.num_edges g in
-  let loops = Loop.compute g ~root:(Cfg_view.entry view) in
   let is_back = Array.make (max 1 nedges) false in
   List.iter (fun e -> is_back.(e) <- true) (Loop.breakable_edges loops);
-  let edge_counts =
-    if collect_edges then Some (Edge_profile.create ~nedges) else None
-  in
-  let intern =
-    if trace_paths then Some (Path_profile.Intern.create ()) else None
-  in
-  let ri, table =
-    match instr with
-    | None -> (None, None)
-    | Some instr -> (
-        match Hashtbl.find_opt instr r.Ir.name with
-        | None -> (None, None)
-        | Some ri -> (Some ri, Hashtbl.find_opt instr_tables r.Ir.name))
-  in
   let edge_ops ~ends_path e =
-    let src_acts =
-      match ri with None -> [] | Some ri -> ri.Instr_rt.edge_actions.(e)
-    in
-    let acts_cost =
-      match ri with
-      | None -> 0
-      | Some ri -> Cost.actions ~table:ri.Instr_rt.table src_acts
-    in
-    {
-      edge = e;
-      ends_path;
-      acts = Array.of_list (List.map (compile_action table) src_acts);
-      acts_cost;
-      act_kinds = Array.of_list (List.map Instr_rt.action_index src_acts);
-    }
+    { edge = e; ends_path; acts = [||]; acts_cost = 0; act_kinds = [||] }
   in
   (* Emission: [pending] accumulates the current straight-line run of
      pure ops (with their individual charges); [flush] prefixes it with
@@ -374,25 +372,160 @@ let lower_routine ~collect_edges ~trace_paths ~instr ~instr_tables ~arrays
     costs;
     block_offset;
     nregs = r.Ir.nregs;
-    edge_counts;
-    intern;
+    edge_counts = None;
+    intern = None;
   }
 
-let program ~(config : Engine.config) ~instr_tables (p : Ir.program) =
-  let arrays = Hashtbl.create 7 in
+(* Rebuild only the terminator opcodes of a structural plan, attaching
+   the run's instrumentation actions. Everything else — including the
+   Fuel segmentation and the per-op cost table — is instrumentation-
+   independent (action costs are charged by [Vm.traverse] from
+   [acts_cost]), so the arrays are shared. *)
+let specialize_code ~ri ~table (splan : plan) =
+  Obs.incr m_lower_specialize;
+  let spec (eo : edge_ops) =
+    match ri.Instr_rt.edge_actions.(eo.edge) with
+    | [] -> eo
+    | src_acts ->
+        {
+          eo with
+          acts = Array.of_list (List.map (compile_action table) src_acts);
+          acts_cost = Cost.actions ~table:ri.Instr_rt.table src_acts;
+          act_kinds = Array.of_list (List.map Instr_rt.action_index src_acts);
+        }
+  in
+  Array.map
+    (function
+      | Jump { target; edge } -> Jump { target; edge = spec edge }
+      | Branch_r { cond; then_; then_edge; else_; else_edge } ->
+          Branch_r
+            {
+              cond;
+              then_;
+              then_edge = spec then_edge;
+              else_;
+              else_edge = spec else_edge;
+            }
+      | Branch_const { target; edge } -> Branch_const { target; edge = spec edge }
+      | Return_r { src; edge } -> Return_r { src; edge = spec edge }
+      | Return_i { imm; edge } -> Return_i { imm; edge = spec edge }
+      | Return_none { edge } -> Return_none { edge = spec edge }
+      | op -> op)
+    splan.code
+
+(* ------------------------------------------------------------------ *)
+(* Structural-plan cache.
+
+   Validity of a cached plan is (fingerprint, nregs, environment
+   signature): the fingerprint covers the blocks and CFG edges but not
+   the register file, and Call opcodes embed callee *plan indices* and
+   Load/Store opcodes embed backing-array refs, so any change to the
+   routine name order or the array set flushes the whole cache. *)
+
+type centry = { fp : int; c_nregs : int; splan : plan }
+
+type cache = {
+  structs : (string, centry) Hashtbl.t;
+  cached_arrays : (string, arr) Hashtbl.t;
+  mutable env_sig : int;
+  mutable analysis : (Ir.routine -> Ppp_ir.Cfg_view.t * Loop.t) option;
+}
+
+let create_cache () =
+  {
+    structs = Hashtbl.create 17;
+    cached_arrays = Hashtbl.create 7;
+    env_sig = min_int;
+    analysis = None;
+  }
+
+let set_analysis c f = c.analysis <- Some f
+
+let env_signature (p : Ir.program) =
+  let h = ref 17 in
+  let mix x = h := (!h * 1000003) lxor Hashtbl.hash x in
+  mix p.Ir.main;
+  List.iter (fun (r : Ir.routine) -> mix r.Ir.name) p.Ir.routines;
   List.iter
     (fun (name, size) ->
-      Hashtbl.replace arrays name { arr_name = name; data = Array.make size 0 })
+      mix name;
+      mix size)
+    p.Ir.arrays;
+  !h
+
+let program ?cache ~(config : Engine.config) ~instr_tables (p : Ir.program) =
+  let analysis, arrays, structs =
+    match cache with
+    | None -> (None, Hashtbl.create 7, None)
+    | Some c ->
+        let s = env_signature p in
+        if c.env_sig <> s then begin
+          if Hashtbl.length c.structs > 0 then Obs.incr m_lower_env_flush;
+          Hashtbl.reset c.structs;
+          Hashtbl.reset c.cached_arrays;
+          c.env_sig <- s
+        end;
+        (c.analysis, c.cached_arrays, Some c.structs)
+  in
+  (* Cached structural plans embed these exact array refs, so the slots
+     are kept and their contents wiped at the start of every run. *)
+  List.iter
+    (fun (name, size) ->
+      match Hashtbl.find_opt arrays name with
+      | Some a when Array.length a.data = size -> Array.fill a.data 0 size 0
+      | _ ->
+          Hashtbl.replace arrays name
+            { arr_name = name; data = Array.make size 0 })
     p.Ir.arrays;
   let index = Hashtbl.create 17 in
   List.iteri (fun i (r : Ir.routine) -> Hashtbl.replace index r.Ir.name i) p.Ir.routines;
+  let structural (r : Ir.routine) =
+    match structs with
+    | None ->
+        Obs.incr m_lower_miss;
+        lower_structural ?analysis ~arrays ~routine_index:index r
+    | Some tbl -> (
+        let fp = Fingerprint.routine r in
+        match Hashtbl.find_opt tbl r.Ir.name with
+        | Some e when e.fp = fp && e.c_nregs = r.Ir.nregs ->
+            Obs.incr m_lower_hit;
+            e.splan
+        | _ ->
+            Obs.incr m_lower_miss;
+            let splan =
+              lower_structural ?analysis ~arrays ~routine_index:index r
+            in
+            Hashtbl.replace tbl r.Ir.name { fp; c_nregs = r.Ir.nregs; splan };
+            splan)
+  in
   let plans =
     Array.of_list
       (List.map
-         (lower_routine ~collect_edges:config.Engine.collect_edges
-            ~trace_paths:config.Engine.trace_paths
-            ~instr:config.Engine.instrumentation ~instr_tables ~arrays
-            ~routine_index:index)
+         (fun (r : Ir.routine) ->
+           let splan = structural r in
+           let code =
+             match config.Engine.instrumentation with
+             | None -> splan.code
+             | Some instr -> (
+                 match Hashtbl.find_opt instr r.Ir.name with
+                 | None -> splan.code
+                 | Some ri ->
+                     let table = Hashtbl.find_opt instr_tables r.Ir.name in
+                     specialize_code ~ri ~table splan)
+           in
+           let nedges = Graph.num_edges (Cfg_view.graph splan.view) in
+           {
+             splan with
+             code;
+             edge_counts =
+               (if config.Engine.collect_edges then
+                  Some (Edge_profile.create ~nedges)
+                else None);
+             intern =
+               (if config.Engine.trace_paths then
+                  Some (Path_profile.Intern.create ())
+                else None);
+           })
          p.Ir.routines)
   in
   let main =

@@ -94,10 +94,40 @@ type program = {
   arrays : (string, arr) Hashtbl.t;
 }
 
+(** {2 Structural-plan cache}
+
+    Lowering is split into a {e structural} half (the full opcode array
+    with empty instrumentation actions — pure in the routine body) and a
+    {e specialization} step that rebuilds only the terminator opcodes to
+    attach a run's instrumentation pre-actions. A cache memoizes
+    structural plans across runs, keyed by routine name and validated by
+    ([Ppp_resilience.Fingerprint.routine], [nregs], environment
+    signature); the environment signature covers the routine name order
+    and the array set, because Call opcodes embed callee plan indices
+    and Load/Store opcodes embed backing-array refs. Mutable run state
+    (array contents, edge counters, intern tables) is recreated or wiped
+    per run, so cached runs are byte-identical to cold ones.
+
+    Cache traffic is observable through the [session.lower.*] metrics:
+    [hit], [miss] (also counted for uncached runs — a cold run is all
+    misses), [specialize], and [env_flush]. *)
+
+type cache
+
+val create_cache : unit -> cache
+
+val set_analysis : cache -> (Ppp_ir.Ir.routine -> Ppp_ir.Cfg_view.t * Ppp_cfg.Loop.t) -> unit
+(** Provide the CFG view and loop nest for routines being lowered, so a
+    session's memoized analyses are reused instead of recomputed on a
+    structural miss. The callback must return artifacts for exactly the
+    routine given. *)
+
 val program :
+  ?cache:cache ->
   config:Engine.config ->
   instr_tables:Instr_rt.state ->
   Ppp_ir.Ir.program ->
   program
-(** Lower every routine. Raises {!Engine.Runtime_error} if [main] is
-    unknown (matching the reference engine). *)
+(** Lower every routine, reusing structural plans from [cache] when
+    their fingerprints still match. Raises {!Engine.Runtime_error} if
+    [main] is unknown (matching the reference engine). *)

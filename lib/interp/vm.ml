@@ -386,14 +386,14 @@ let rec run_frames st (frame : frame) start_pc =
   in
   go start_pc
 
-let run ~(config : E.config) (p : Ir.program) =
+let run ?cache ~(config : E.config) (p : Ir.program) =
   E.validate_call_arities p;
   let instr_tables =
     match config.E.instrumentation with
     | Some instr -> Instr_rt.init_state ~policy:config.E.overflow_policy instr
     | None -> Hashtbl.create 1
   in
-  let prog = L.program ~config ~instr_tables p in
+  let prog = L.program ?cache ~config ~instr_tables p in
   let main_plan = prog.L.plans.(prog.L.main) in
   let st =
     {

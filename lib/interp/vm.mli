@@ -8,5 +8,7 @@
     the differential suite in [test/test_engine_diff.ml] holds it to
     that. Use {!Interp.run}, which dispatches here by default. *)
 
-val run : config:Engine.config -> Ppp_ir.Ir.program -> Engine.outcome
-(** @raise Engine.Runtime_error on a genuine dynamic fault. *)
+val run :
+  ?cache:Lower.cache -> config:Engine.config -> Ppp_ir.Ir.program -> Engine.outcome
+(** [cache] memoizes structural lowering across runs (see {!Lower.cache}).
+    @raise Engine.Runtime_error on a genuine dynamic fault. *)

@@ -6,6 +6,7 @@ type stats = {
   dynamic_calls_total : int;
   size_before : int;
   size_after : int;
+  touched : string list;
 }
 
 let pct_dynamic_inlined s =
@@ -190,7 +191,29 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
   in
   let sites_inlined = ref 0 in
   let dynamic_inlined = ref 0 in
-  let uid = ref 0 in
+  let touched = Hashtbl.create 7 in
+  (* Spliced blocks are labelled "inl<uid>_...". Starting past any uid
+     already present keeps labels fresh when an already-inlined program
+     comes back through the inliner (iterative re-optimization). *)
+  let label_uid label =
+    if String.length label > 4 && String.sub label 0 3 = "inl" then
+      match String.index_opt label '_' with
+      | Some j when j > 3 -> (
+          match int_of_string_opt (String.sub label 3 (j - 3)) with
+          | Some k -> k
+          | None -> 0)
+      | _ -> 0
+    else 0
+  in
+  let uid =
+    ref
+      (List.fold_left
+         (fun acc (r : Ir.routine) ->
+           Array.fold_left
+             (fun acc (b : Ir.block) -> max acc (label_uid b.Ir.label))
+             acc r.Ir.blocks)
+         0 p.routines)
+  in
   let current_size () =
     Hashtbl.fold (fun _ w acc -> acc + Ir.num_instrs w.routine) works 0
   in
@@ -225,6 +248,7 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
         let cw = Hashtbl.find works best.callee in
         incr uid;
         splice w cw.routine cw.freqs ~block:best.block ~instr:best.instr ~uid:!uid;
+        Hashtbl.replace touched best.caller ();
         incr sites_inlined;
         dynamic_inlined := !dynamic_inlined + best.freq
   done;
@@ -240,4 +264,9 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
       dynamic_calls_total;
       size_before;
       size_after = Ir.program_size p';
+      touched =
+        List.filter_map
+          (fun (r : Ir.routine) ->
+            if Hashtbl.mem touched r.Ir.name then Some r.Ir.name else None)
+          p.routines;
     } )

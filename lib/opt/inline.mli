@@ -14,6 +14,10 @@ type stats = {
   dynamic_calls_total : int;
   size_before : int;
   size_after : int;
+  touched : string list;
+      (** routines whose body changed (call sites were inlined into
+          them), in program order — the dirty set an incremental
+          re-optimizer must invalidate *)
 }
 
 val pct_dynamic_inlined : stats -> float

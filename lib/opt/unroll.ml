@@ -8,6 +8,7 @@ type stats = {
   loops_unrolled : int;
   loops_seen : int;
   avg_dynamic_factor : float;
+  touched : string list;
 }
 
 (* Unroll one loop of [r] by [factor]: append factor-1 copies of the body;
@@ -59,6 +60,34 @@ let unroll_loop (r : Ir.routine) (l : Loop.loop) ~factor ~uid =
   done;
   { r with Ir.blocks }
 
+(* Copies are labelled "<label>_u<uid>_<copy>". The uid counter of a run
+   starts past any uid already present in the program, so an
+   already-unrolled program coming back through the unroller (iterative
+   re-optimization) gets fresh labels instead of duplicates. *)
+let label_uid label =
+  match String.rindex_opt label '_' with
+  | None | Some 0 -> 0
+  | Some j -> (
+      match String.rindex_from_opt label (j - 1) '_' with
+      | Some i
+        when i + 2 < j
+             && label.[i + 1] = 'u'
+             && int_of_string_opt
+                  (String.sub label (j + 1) (String.length label - j - 1))
+                <> None -> (
+          match int_of_string_opt (String.sub label (i + 2) (j - i - 2)) with
+          | Some k -> k
+          | None -> 0)
+      | _ -> 0)
+
+let max_uid (p : Ir.program) =
+  List.fold_left
+    (fun acc (r : Ir.routine) ->
+      Array.fold_left
+        (fun acc (b : Ir.block) -> max acc (label_uid b.Ir.label))
+        acc r.Ir.blocks)
+    0 p.Ir.routines
+
 (* Innermost loops only: no other loop's header lies strictly inside. *)
 let is_innermost loops (l : Loop.loop) =
   List.for_all
@@ -72,7 +101,8 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
   let loops_seen = ref 0 in
   let weighted_factor = ref 0.0 in
   let weight_total = ref 0.0 in
-  let uid = ref 0 in
+  let touched = ref [] in
+  let uid = ref (max_uid p) in
   let routines =
     List.map
       (fun (r : Ir.routine) ->
@@ -117,6 +147,7 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
               end)
             (Loop.loops loops)
         in
+        if candidates <> [] then touched := r.Ir.name :: !touched;
         (* Unroll candidates one at a time; after each unrolling the block
            indices of later candidates are still valid because copies are
            appended and original indices are preserved. *)
@@ -139,4 +170,5 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
       loops_seen = !loops_seen;
       avg_dynamic_factor =
         (if !weight_total = 0.0 then 1.0 else !weighted_factor /. !weight_total);
+      touched = List.rev !touched;
     } )

@@ -15,6 +15,10 @@ type stats = {
   avg_dynamic_factor : float;
       (** unroll factor averaged over dynamic loop iterations (the
           "Avg unroll factor" column of Table 1) *)
+  touched : string list;
+      (** routines that had at least one loop unrolled, in program
+          order — the dirty set an incremental re-optimizer must
+          invalidate *)
 }
 
 val run :

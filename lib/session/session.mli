@@ -1,0 +1,142 @@
+(** A content-addressed store of per-routine analysis artifacts, shared
+    by every phase of a pipeline run and across re-optimization
+    generations.
+
+    Artifacts are keyed by the routine's structural fingerprint
+    ({!Ppp_resilience.Fingerprint.routine}), so the store is
+    content-addressed rather than name-addressed: an edited routine
+    misses naturally (its fingerprint changed), an untouched routine hits
+    even across program generations, and a generation that undoes an edit
+    finds the artifacts of the earlier generation still in its slot (each
+    routine retains a small ring of recent fingerprints).
+
+    The dependency graph between artifact kinds is explicit in the
+    accessors — each one pulls its inputs through the store, so a miss on
+    a derived artifact still reuses memoized prerequisites:
+
+    {v
+      view     <- routine body
+      dom      <- view
+      loops    <- dom
+      lower    <- view + loops          (structural plans, see Ppp_interp.Lower)
+      ctx      <- loops + edge profile  (profile identity, not content)
+      definite <- ctx                   (definite-flow DP)
+      placement<- ctx + config          (instrumentation decisions)
+    v}
+
+    Profile-dependent artifacts ([ctx], [definite], [placement]) are
+    additionally keyed by the {e physical identity} of the profile (or
+    context) they were derived from: profiles are mutable accumulators
+    with no cheap content hash, and every phase of one pipeline run holds
+    the same profile object, so identity is exactly the sharing that is
+    safe to exploit.
+
+    Invalidation is dirty-tracking by fingerprint diff: {!sync} compares
+    the program's fingerprint table against the previous generation's and
+    names the routines whose artifacts are out of date. Nothing is
+    recomputed eagerly — a dirty routine simply opens a fresh slot entry
+    on its next access.
+
+    Every lookup feeds the [session.*] metrics of {!Ppp_obs.Metrics}
+    ([session.KIND.hit] / [session.KIND.miss], [session.invalidate],
+    [session.evict], and [session.lower.*] from {!Ppp_interp.Lower}), and
+    mirrors them into per-session {!stats} that work even with metrics
+    disabled. A {e disabled} session ([enabled:false]) memoizes nothing
+    but still counts every lookup as a miss, so the work ratio of a warm
+    session over a cold one can be read directly off the counters.
+
+    Sessions are single-process and not thread-safe; forked shard workers
+    inherit a warm parent session by copy-on-write, which is safe because
+    workers never write back. *)
+
+type t
+
+val create : ?enabled:bool -> name:string -> unit -> t
+(** [enabled] defaults to [true]; [name] labels {!pp_stats} output. *)
+
+val name : t -> string
+val enabled : t -> bool
+
+(** {2 Generations} *)
+
+val sync : t -> Ppp_ir.Ir.program -> string list
+(** Fingerprint every routine of the program, diff against the table of
+    the previous [sync], and return the dirty routine names (changed or
+    new), in program order. Slots of routines that no longer exist are
+    dropped. Call it whenever the pipeline moves to a new program
+    generation (original, inlined, unrolled, re-optimized); syncing an
+    unchanged program returns [[]] and invalidates nothing. *)
+
+(** {2 Analysis artifacts} *)
+
+val view : t -> Ppp_ir.Ir.routine -> Ppp_ir.Cfg_view.t
+val dom : t -> Ppp_ir.Ir.routine -> Ppp_cfg.Dom.t
+val loops : t -> Ppp_ir.Ir.routine -> Ppp_cfg.Loop.t
+
+val ctx :
+  t ->
+  ep:Ppp_profile.Edge_profile.program ->
+  Ppp_ir.Ir.routine ->
+  Ppp_flow.Routine_ctx.t
+(** The flow-analysis context of [r] under edge profile [ep], memoized
+    per ([ep] identity, routine fingerprint). *)
+
+val definite : t -> Ppp_flow.Routine_ctx.t -> Ppp_flow.Flow_dp.t
+(** The definite-flow DP of a context, memoized per context identity
+    (contexts should come from {!ctx} for sharing to happen). *)
+
+(** {2 Placement decisions} *)
+
+type placement_mode =
+  | Exact
+      (** reuse only a plan made for this very profile object — sound for
+          re-evaluating the same prepared pipeline state *)
+  | Sticky
+      (** reuse the routine's latest plan for this configuration whatever
+          profile it was planned under — the incremental re-optimization
+          rule: an untouched routine (same fingerprint) keeps its
+          instrumentation, only dirtied routines are re-planned *)
+
+val placement_find :
+  t ->
+  mode:placement_mode ->
+  config_name:string ->
+  ep:Ppp_profile.Edge_profile.program ->
+  Ppp_ir.Ir.routine ->
+  Ppp_core.Instrument.routine_plan option
+
+val placement_store :
+  t ->
+  config_name:string ->
+  ep:Ppp_profile.Edge_profile.program ->
+  Ppp_ir.Ir.routine ->
+  Ppp_core.Instrument.routine_plan ->
+  unit
+
+(** {2 Lowering} *)
+
+val lower_cache : t -> Ppp_interp.Lower.cache option
+(** The session's structural-plan cache for {!Ppp_interp.Lower.program},
+    wired to pull CFG views and loop nests from this store; [None] for a
+    disabled session. Pass it to every [Interp.run] of the pipeline. *)
+
+(** {2 Warming and reporting} *)
+
+val warm : t -> Ppp_ir.Ir.program -> unit
+(** {!sync} then force view, dominators, loops and the structural
+    lowering of every routine — e.g. in a shard parent before forking, so
+    workers inherit the analyses copy-on-write. A no-op beyond the sync
+    for a disabled session. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+}
+(** Per-session mirror of the [session.*] counters (excluding
+    [session.lower.*], which are global to the process); maintained even
+    while {!Ppp_obs.Metrics} is disabled. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> t -> unit

@@ -21,5 +21,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("merge_props", Test_merge_props.suite);
       ("shard", Test_shard.suite);
+      ("session", Test_session.suite);
       ("engine-diff", Test_engine_diff.suite);
     ]
