@@ -281,10 +281,16 @@ let read_json path =
   in
   J.of_string text
 
-(* Exit 1 on regression, so CI can gate on it. *)
-let run_gate ~baseline_path ~pct current =
+(* Exit 1 on regression, so CI can gate on it. A metric the baseline has
+   but the current run lacks is reported as a warning — or, under
+   --strict, counted as a failure like any regression. *)
+let run_gate ~baseline_path ~strict ~pct current =
   let baseline = read_json baseline_path in
-  match Gate.check ~baseline ~current ~pct with
+  let r = Gate.run ~strict ~baseline ~current ~pct () in
+  List.iter
+    (fun w -> Format.eprintf "gate: warning: %a@." Gate.pp_warning w)
+    r.Gate.warnings;
+  match r.Gate.failures with
   | [] ->
       Format.eprintf "gate: no regressions beyond %g%% against %s@." pct
         baseline_path
@@ -322,6 +328,7 @@ let () =
   let smoke = ref false in
   let baseline = ref None in
   let gate_pct = ref 10.0 in
+  let strict = ref false in
   let throughput_mode = ref false in
   let min_vm_ratio = ref None in
   let no_cache = ref false in
@@ -354,6 +361,9 @@ let () =
         parse rest
     | "--gate" :: p :: rest ->
         gate_pct := float_of_string p;
+        parse rest
+    | "--strict" :: rest ->
+        strict := true;
         parse rest
     | "--throughput" :: rest ->
         throughput_mode := true;
@@ -425,7 +435,7 @@ let () =
     | Some path -> write_doc ~path doc);
     (match !baseline with
     | None -> ()
-    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc);
+    | Some b -> run_gate ~baseline_path:b ~strict:!strict ~pct:!gate_pct doc);
     (match !min_vm_ratio with
     | Some floor when !tp_results <> [] ->
         check_min_ratio ~floor !tp_results
@@ -487,7 +497,7 @@ let () =
     | Some path -> write_doc ~path doc);
     (match !baseline with
     | None -> ()
-    | Some b -> run_gate ~baseline_path:b ~pct:!gate_pct doc);
+    | Some b -> run_gate ~baseline_path:b ~strict:!strict ~pct:!gate_pct doc);
     match !min_vm_ratio with
     | Some floor when tp_results <> [] -> check_min_ratio ~floor tp_results
     | _ -> ()

@@ -17,6 +17,12 @@ module Jsonx = Ppp_obs.Jsonx
 module Trace = Ppp_obs.Trace
 module Sink = Ppp_obs.Sink
 module Session = Ppp_session.Session
+module Telemetry = Ppp_interp.Telemetry
+module Quality = Ppp_quality.Quality
+module Quality_report = Ppp_harness.Quality_report
+module Gate = Ppp_harness.Gate
+module Report = Ppp_harness.Report
+module Stale_match = Ppp_resilience.Stale_match
 
 open Cmdliner
 
@@ -61,6 +67,17 @@ let no_cache_arg =
 
 let session_of ~no_cache name = Session.create ~enabled:(not no_cache) ~name ()
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let engine_arg =
   let doc =
     "Execution engine: $(b,vm) (the pre-lowered flat VM, default) or \
@@ -89,6 +106,9 @@ let handle_errors f =
           Diagnostic.Corrupt e.Ppp_ir.Parse.message
       in
       Format.eprintf "%a@." Diagnostic.pp d;
+      exit 1
+  | Jsonx.Parse_error msg ->
+      Format.eprintf "error: malformed JSON: %s@." msg;
       exit 1
   | Cli_error msg
   | Sys_error msg
@@ -125,7 +145,12 @@ let obs_args =
 (* Run [f] under the requested observability, writing the sinks even if
    [f] fails partway (a truncated run is exactly when a trace helps). *)
 let with_obs ?(force_metrics = false) (metrics_out, trace_out) f =
-  if Option.is_some trace_out then Trace.start ();
+  if Option.is_some trace_out then begin
+    Trace.start ();
+    (* Name the process and thread rows so several pppc traces stay
+       tellable apart when loaded into one viewer. *)
+    Trace.label_process ~thread:"main" "pppc"
+  end;
   if force_metrics || Option.is_some metrics_out then begin
     Metrics.set_enabled true;
     Metrics.reset ()
@@ -145,23 +170,66 @@ let with_obs ?(force_metrics = false) (metrics_out, trace_out) f =
 
 (* {2 run} *)
 
+let telemetry_arg =
+  let doc =
+    "Attach a live-telemetry snapshot ring to the VM, sampled every \
+     $(docv) dynamic instructions. Outcomes are byte-identical with and \
+     without the ring; a one-line summary goes to stderr, the series to \
+     $(b,--telemetry-out) and (as counter events) to $(b,--trace-out)."
+  in
+  Arg.(value & opt (some int) None & info [ "telemetry" ] ~docv:"N" ~doc)
+
+let telemetry_out_arg =
+  let doc =
+    "Write the telemetry sample series to $(docv) as JSON (implies \
+     $(b,--telemetry) at a default interval of 1000)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let action spec scale engine obs =
+  let action spec scale engine telemetry telemetry_out obs =
     handle_errors (fun () ->
         with_obs obs (fun () ->
             let p = load_program spec ~scale in
-            let o = Trace.with_span "run" (fun () -> Interp.run ~engine p) in
+            let ring =
+              match (telemetry, telemetry_out) with
+              | Some n, _ -> Some (Telemetry.create ~interval:n ())
+              | None, Some _ -> Some (Telemetry.create ~interval:1000 ())
+              | None, None -> None
+            in
+            let config = { Interp.default_config with telemetry = ring } in
+            let o =
+              Trace.with_span "run" (fun () -> Interp.run ~config ~engine p)
+            in
             List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
             Format.printf "return: %s@."
               (match o.Interp.return_value with
               | Some v -> string_of_int v
               | None -> "(none)");
             Format.printf "instructions: %d  cost: %d  paths: %d@."
-              o.Interp.dyn_instrs o.Interp.base_cost o.Interp.dyn_paths))
+              o.Interp.dyn_instrs o.Interp.base_cost o.Interp.dyn_paths;
+            match ring with
+            | None -> ()
+            | Some t ->
+                Telemetry.emit_trace_counters t;
+                Format.eprintf
+                  "telemetry: %d samples taken (%d dropped by the ring), \
+                   interval %d@."
+                  (Telemetry.taken t) (Telemetry.dropped t)
+                  (Telemetry.interval t);
+                (match telemetry_out with
+                | Some path ->
+                    write_file path (Jsonx.to_string (Telemetry.to_json t) ^ "\n")
+                | None -> ())))
   in
   let doc = "Execute a program and print its output and statistics." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ program_arg $ scale_arg $ engine_arg $ obs_args)
+    Term.(
+      const action $ program_arg $ scale_arg $ engine_arg $ telemetry_arg
+      $ telemetry_out_arg $ obs_args)
 
 (* {2 profile} *)
 
@@ -293,11 +361,6 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc
-
 let mkdir_p dir =
   try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
@@ -423,15 +486,9 @@ let merge_cmd =
   in
   let action files output =
     handle_errors @@ fun () ->
-    let read path =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
     let merged =
       Profile_io.Raw.merge
-        (List.map (fun path -> Profile_io.Raw.parse (read path)) files)
+        (List.map (fun path -> Profile_io.Raw.parse (read_file path)) files)
     in
     (match Profile_io.Raw.diagnostics merged with
     | [] -> ()
@@ -511,13 +568,7 @@ let opt_cmd =
           match profile with
           | None -> H.prepare ~session ~name:spec p
           | Some path -> (
-              let text =
-                let ic = open_in_bin path in
-                Fun.protect
-                  ~finally:(fun () -> close_in_noerr ic)
-                  (fun () -> really_input_string ic (in_channel_length ic))
-              in
-              match Profile_io.load p text with
+              match Profile_io.load p (read_file path) with
               | Error ds ->
                   Format.eprintf "%a@." Diagnostic.pp_list ds;
                   cli_error "profile %S could not be salvaged" path
@@ -780,6 +831,311 @@ let fuzz_profile_cmd =
     (Cmd.info "fuzz-profile" ~doc)
     Term.(const action $ seed_arg $ out_arg $ jobs_arg)
 
+(* {2 report} *)
+
+(* Tiny JSON accessors for rendering: the report document is the source
+   of truth, the HTML is a projection of it. *)
+let jget j path =
+  List.fold_left
+    (fun acc k -> Option.bind acc (fun j -> Jsonx.member j k))
+    (Some j) path
+
+let jfloat j path =
+  match jget j path with
+  | Some (Jsonx.Float f) -> Some f
+  | Some (Jsonx.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let jint j path = match jget j path with Some (Jsonx.Int i) -> Some i | _ -> None
+let jstr j path = match jget j path with Some (Jsonx.Str s) -> Some s | _ -> None
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One self-contained page: the floor summary, then a per-workload table
+   of every method's quality scores, with decision and telemetry counts
+   where the report carries them. *)
+let html_report doc =
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let num = function Some f -> Printf.sprintf "%.3f" f | None -> "-" in
+  let pct = function Some f -> Printf.sprintf "%.1f" f | None -> "-" in
+  out "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  out "<title>ppp profile quality</title>\n";
+  out
+    "<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse;margin:1em \
+     0}td,th{border:1px solid #999;padding:4px \
+     8px;text-align:right}th{background:#eee}td:first-child,th:first-child{text-align:left}caption{font-weight:bold;text-align:left;padding:4px \
+     0}</style></head><body>\n";
+  out "<h1>Profile quality report</h1>\n";
+  out "<p>scale %s, hot threshold %s</p>\n"
+    (match jint doc [ "scale" ] with Some i -> string_of_int i | None -> "-")
+    (num (jfloat doc [ "hot_threshold" ]));
+  out
+    "<table><caption>Summary: weighted overlap vs measured truth, per \
+     method over all workloads</caption>\n";
+  out
+    "<tr><th>method</th><th>mean overlap %%</th><th>min overlap \
+     %%</th><th>workloads</th></tr>\n";
+  List.iter
+    (fun m ->
+      out "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n" m
+        (pct (jfloat doc [ "summary"; "methods"; m; "mean_overlap" ]))
+        (pct (jfloat doc [ "summary"; "methods"; m; "min_overlap" ]))
+        (match jint doc [ "summary"; "methods"; m; "workloads" ] with
+        | Some i -> string_of_int i
+        | None -> "-"))
+    Quality_report.method_names;
+  out "</table>\n";
+  let benches =
+    match Jsonx.member doc "benchmarks" with
+    | Some (Jsonx.Arr bs) -> bs
+    | _ -> []
+  in
+  List.iter
+    (fun bj ->
+      let name = Option.value ~default:"?" (jstr bj [ "name" ]) in
+      let extra =
+        List.filter_map
+          (fun (label, path) ->
+            Option.map
+              (fun i -> Printf.sprintf "%s %d" label i)
+              (jint bj path))
+          [
+            ("decisions", [ "decisions"; "count" ]);
+            ("telemetry samples", [ "telemetry"; "taken" ]);
+          ]
+      in
+      out "<table><caption>%s%s</caption>\n" (html_escape name)
+        (match extra with
+        | [] -> ""
+        | es -> " (" ^ String.concat ", " es ^ ")");
+      out
+        "<tr><th>method</th><th>overlap %%</th><th>hot precision</th><th>hot \
+         recall</th><th>hot flow cov</th><th>total \
+         divergence</th><th>composite</th><th>overhead</th><th>accuracy</th><th>coverage</th></tr>\n";
+      List.iter
+        (fun m ->
+          let f path = jfloat bj ([ "methods"; m ] @ path) in
+          out
+            "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+            m
+            (pct (f [ "overlap_pct" ]))
+            (num (f [ "hot"; "precision" ]))
+            (num (f [ "hot"; "recall" ]))
+            (num (f [ "hot"; "flow_coverage" ]))
+            (num (f [ "total_divergence" ]))
+            (num (f [ "composite" ]))
+            (num (f [ "overhead" ]))
+            (num (f [ "accuracy" ]))
+            (num (f [ "coverage" ])))
+        Quality_report.method_names;
+      out "</table>\n")
+    benches;
+  out "</body></html>\n";
+  Buffer.contents b
+
+let report_cmd =
+  let bench_arg =
+    let doc =
+      "Restrict the report to these workloads (comma-separated names; \
+       default: every built-in workload)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAMES" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the JSON report here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let html_arg =
+    let doc = "Also render the report as one self-contained HTML page." in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let iterate_arg =
+    let doc =
+      "Also run $(docv) optimize-profile-re-instrument generations per \
+       workload and attach each generation's decision log diffed against \
+       the previous one (placement stability)."
+    in
+    Arg.(value & opt int 1 & info [ "iterate" ] ~docv:"N" ~doc)
+  in
+  let telemetry_arg =
+    let doc =
+      "Attach a live VM telemetry series per workload, sampled every \
+       $(docv) dynamic instructions of the optimized program."
+    in
+    Arg.(value & opt (some int) None & info [ "telemetry" ] ~docv:"N" ~doc)
+  in
+  let floors_arg =
+    let doc =
+      "Gate the report's summary against this committed floors document \
+       (schema ppp-quality-floors/1): any method whose worst-workload \
+       overlap drops below its floor fails the command (exit 1)."
+    in
+    Arg.(value & opt (some string) None & info [ "floors" ] ~docv:"FILE" ~doc)
+  in
+  let action scale bench output html iterate telemetry floors no_cache obs =
+    handle_errors (fun () ->
+        with_obs obs @@ fun () ->
+        let names = Option.map (String.split_on_char ',') bench in
+        Option.iter
+          (List.iter (fun n ->
+               if Ppp_workloads.Spec.find_opt n = None then
+                 cli_error
+                   "unknown benchmark %S (run `pppc benches` to list them)" n))
+          names;
+        let benches =
+          Trace.with_span "prepare" @@ fun () ->
+          Report.prepare_all ~scale ?names ~cache:(not no_cache) ()
+        in
+        let rows =
+          List.map
+            (fun pb ->
+              Trace.with_span
+                ~args:[ ("bench", pb.Report.spec.Ppp_workloads.Spec.bench_name) ]
+                "quality-row"
+              @@ fun () ->
+              Quality_report.bench_row ~iterations:iterate
+                ?telemetry_interval:telemetry pb)
+            benches
+        in
+        let doc = Jsonx.canonical (Quality_report.wrap ~scale rows) in
+        let text = Jsonx.to_string doc in
+        (match output with
+        | Some path ->
+            write_file path (text ^ "\n");
+            Format.eprintf "wrote %s@." path
+        | None -> print_endline text);
+        (match html with
+        | Some path ->
+            write_file path (html_report doc);
+            Format.eprintf "wrote %s@." path
+        | None -> ());
+        match floors with
+        | None -> ()
+        | Some path -> (
+            let floors_doc = Jsonx.of_string (read_file path) in
+            match Gate.check_floors ~floors:floors_doc ~report:doc with
+            | [] ->
+                Format.eprintf "quality floors: every method clears %s@." path
+            | fails ->
+                Format.eprintf "quality floors: %d method(s) below %s@."
+                  (List.length fails) path;
+                Format.eprintf "%a" Gate.pp_failures fails;
+                exit 1))
+  in
+  let doc =
+    "Build the profile-quality report (schema ppp-quality/1): per \
+     workload, every method's estimated profile scored against the \
+     measured truth (weighted overlap, hot precision/recall/coverage, \
+     per-routine divergence, composite), the optimizer decision log \
+     (with per-generation diffs under $(b,--iterate)), and optionally a \
+     live VM telemetry series. $(b,--floors) gates the summary against \
+     committed per-method overlap floors."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const action $ scale_arg $ bench_arg $ output_arg $ html_arg
+      $ iterate_arg $ telemetry_arg $ floors_arg $ no_cache_arg $ obs_args)
+
+(* {2 compare} *)
+
+let compare_cmd =
+  let a_arg =
+    let doc = "Reference profile dump (v1 or v2)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.ppp" ~doc)
+  in
+  let b_arg =
+    let doc = "Candidate profile dump to compare against the reference." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.ppp" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the comparison JSON here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let action a_path b_path output =
+    handle_errors @@ fun () ->
+    let parse path =
+      let raw = Profile_io.Raw.parse (read_file path) in
+      (match Profile_io.Raw.diagnostics raw with
+      | [] -> ()
+      | ds -> Format.eprintf "%s: %a@." path Diagnostic.pp_list ds);
+      raw
+    in
+    let raw_a = parse a_path in
+    let raw_b = parse b_path in
+    let metric = Ppp_profile.Metric.Branch_flow in
+    let reference = Quality.of_dump ~metric raw_a in
+    let qb = Quality.of_dump ~metric raw_b in
+    let descs_a = Quality.descs_of_dump raw_a in
+    let descs_b = Quality.descs_of_dump raw_b in
+    (* Dumps of the same program version compare directly; when any
+       routine's CFG fingerprint disagrees, the candidate is routed into
+       the reference's edge space through the stale matcher and the
+       unmappable mass is accounted in the output. *)
+    let needs_remap =
+      List.exists
+        (fun r ->
+          match (descs_a r, descs_b r) with
+          | Some da, Some db ->
+              da.Stale_match.fingerprint <> db.Stale_match.fingerprint
+          | _ -> false)
+        (Profile_io.Raw.routines raw_b)
+    in
+    let candidate, remap_fields =
+      if needs_remap then begin
+        let q, stats = Quality.remap ~descs:descs_b ~target:descs_a qb in
+        Format.eprintf
+          "candidate remapped through stale matching: %d routines matched, \
+           %d dropped; %d counts kept, %d dropped@."
+          stats.Quality.routines_matched stats.Quality.routines_dropped
+          stats.Quality.mass_kept stats.Quality.mass_dropped;
+        (q, [ ("remap", Quality.remap_stats_json stats) ])
+      end
+      else (qb, [])
+    in
+    let json =
+      match Quality.comparison_json ~reference ~candidate () with
+      | Jsonx.Obj fields ->
+          Jsonx.Obj
+            ([
+               ("schema", Jsonx.Str "ppp-compare/1");
+               ("reference", Jsonx.Str a_path);
+               ("candidate", Jsonx.Str b_path);
+               ("remapped", Jsonx.Bool needs_remap);
+             ]
+            @ fields @ remap_fields)
+      | other -> other
+    in
+    let text = Jsonx.to_string (Jsonx.canonical json) in
+    (match output with
+    | Some path -> write_file path (text ^ "\n")
+    | None -> print_endline text);
+    Format.eprintf "overlap %.1f%%, total divergence %.3f, composite %.3f@."
+      (Quality.overlap reference candidate)
+      (Quality.total_divergence reference candidate)
+      (Quality.composite ~reference ~candidate ())
+  in
+  let doc =
+    "Compare two saved profile dumps program-free (schema ppp-compare/1): \
+     weighted overlap, hot-set precision/recall/flow-coverage, \
+     per-routine divergence and the composite score, weighting paths by \
+     branch flow from the dumps' own CFG descriptions. Dumps of \
+     different program versions are made comparable by routing the \
+     candidate through the stale matcher."
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const action $ a_arg $ b_arg $ output_arg)
+
 (* {2 benches} *)
 
 let benches_cmd =
@@ -812,6 +1168,8 @@ let () =
             opt_cmd;
             dot_cmd;
             emit_cmd;
+            report_cmd;
+            compare_cmd;
             benches_cmd;
             fuzz_profile_cmd;
           ]))

@@ -7,6 +7,9 @@ type failure = {
   current : float;
 }
 
+type warning = { bench : string; metric : string }
+type result = { failures : failure list; warnings : warning list }
+
 let fnum = function
   | Some (J.Float x) -> Some x
   | Some (J.Int i) -> Some (float_of_int i)
@@ -22,10 +25,18 @@ let benches_of json =
 let exceeds ~pct ~baseline ~current =
   current > baseline +. Float.max 1e-9 (pct /. 100. *. Float.abs baseline)
 
-let check ~baseline ~current ~pct =
+let run ?(strict = false) ~baseline ~current ~pct () =
   let fails = ref [] in
+  let warns = ref [] in
   let fail bench metric b c =
     fails := { bench; metric; baseline = b; current = c } :: !fails
+  in
+  (* A metric the baseline has but the current run lacks compares
+     nothing; that silence used to pass the gate. Report it — as a
+     warning by default, as a failure under [strict]. *)
+  let missing bench metric b =
+    if strict then fail bench metric b Float.nan
+    else warns := { bench; metric } :: !warns
   in
   (match (J.member baseline "schema", J.member current "schema") with
   | Some (J.Str a), Some (J.Str b) when a = b -> ()
@@ -48,7 +59,8 @@ let check ~baseline ~current ~pct =
               | Some b, Some c ->
                   if exceeds ~pct ~baseline:b ~current:c then
                     fail name (m ^ ".overhead") b c
-              | _ -> ())
+              | Some b, None -> missing name (m ^ ".overhead") b
+              | None, _ -> ())
             [ "pp"; "tpp"; "ppp" ];
           (* Wall-clock ratios, only when both sides measured them. *)
           (match (J.member bj "timing", J.member cj "timing") with
@@ -64,9 +76,11 @@ let check ~baseline ~current ~pct =
                   | Some b, Some c ->
                       if exceeds ~pct ~baseline:b ~current:c then
                         fail name ("timing." ^ k) b c
-                  | _ -> ())
+                  | Some b, None -> missing name ("timing." ^ k) b
+                  | None, _ -> ())
                 [ "pp_ns"; "tpp_ns"; "ppp_ns" ]
-          | _ -> ());
+          | Some _, None -> missing name "timing" Float.nan
+          | None, _ -> ());
           (* VM-vs-reference throughput is gated the other way round: the
              ratio is a floor, and dropping below it is the regression. *)
           (match (J.member bj "throughput", J.member cj "throughput") with
@@ -75,21 +89,66 @@ let check ~baseline ~current ~pct =
               | Some b, Some c ->
                   if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b) then
                     fail name "throughput.ratio" b c
-              | _ -> ())
-          | _ -> ()))
+              | Some b, None -> missing name "throughput.ratio" b
+              | None, _ -> ())
+          | Some _, None -> missing name "throughput" Float.nan
+          | None, _ -> ()))
     base_benches;
+  { failures = List.rev !fails; warnings = List.rev !warns }
+
+let check ~baseline ~current ~pct =
+  (run ~strict:false ~baseline ~current ~pct ()).failures
+
+(* Quality floors: absolute minimums a method's overlap must clear, read
+   from a committed floors document against a [pppc report] summary. *)
+let check_floors ~floors ~report =
+  let fails = ref [] in
+  let fail metric b c =
+    fails := { bench = "(summary)"; metric; baseline = b; current = c } :: !fails
+  in
+  (match (J.member floors "schema", J.member report "schema") with
+  | Some (J.Str "ppp-quality-floors/1"), Some (J.Str "ppp-quality/1") -> ()
+  | _ -> fail "schema" Float.nan Float.nan);
+  let floor_methods =
+    match J.member floors "methods" with Some (J.Obj kvs) -> kvs | _ -> []
+  in
+  let summary_overlap m =
+    Option.bind (J.member report "summary") (fun s ->
+        Option.bind (J.member s "methods") (fun ms ->
+            Option.bind (J.member ms m) (fun e ->
+                fnum (J.member e "min_overlap"))))
+  in
+  List.iter
+    (fun (m, fj) ->
+      match fnum (J.member fj "min_overlap") with
+      | None -> ()
+      | Some floor -> (
+          match summary_overlap m with
+          | None -> fail (m ^ ".min_overlap") floor Float.nan
+          | Some v -> if v < floor then fail (m ^ ".min_overlap") floor v))
+    floor_methods;
   List.rev !fails
 
-let pp_failure ppf f =
+let pp_failure ppf (f : failure) =
   if f.metric = "schema" then
     Format.fprintf ppf "%s: schema mismatch between baseline and current"
       f.bench
   else if f.metric = "missing" then
     Format.fprintf ppf "%s: present in baseline but missing from current run"
       f.bench
+  else if Float.is_nan f.current then
+    Format.fprintf ppf
+      "%s: %s present in baseline (%g) but missing from current run" f.bench
+      f.metric f.baseline
   else
     Format.fprintf ppf "%s: %s regressed %g -> %g" f.bench f.metric f.baseline
       f.current
+
+let pp_warning ppf (w : warning) =
+  Format.fprintf ppf
+    "%s: %s present in baseline but missing from current run (not gated; \
+     --strict makes this a failure)"
+    w.bench w.metric
 
 let pp_failures ppf = function
   | [] -> ()

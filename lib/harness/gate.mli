@@ -25,8 +25,25 @@ type failure = {
   bench : string;
   metric : string;  (** e.g. ["ppp.overhead"], ["timing.tpp_ns"] *)
   baseline : float;
-  current : float;
+  current : float;  (** NaN when the metric is missing under strict *)
 }
+
+type warning = { bench : string; metric : string }
+(** A metric the baseline carries but the current document lacks: the
+    gate compared nothing for it. Reported, never silently skipped. *)
+
+type result = { failures : failure list; warnings : warning list }
+
+val run :
+  ?strict:bool ->
+  baseline:Ppp_obs.Jsonx.t ->
+  current:Ppp_obs.Jsonx.t ->
+  pct:float ->
+  unit ->
+  result
+(** Full gate result. Metrics present in the baseline but absent from
+    the current document become {!warning}s; with [strict] (default
+    false) they become failures (with [current = nan]) instead. *)
 
 val check :
   baseline:Ppp_obs.Jsonx.t ->
@@ -35,7 +52,20 @@ val check :
   failure list
 (** All regressions beyond [pct] percent (relative to the baseline
     value, with a 1e-9 absolute floor so zero baselines don't trip on
-    rounding); [[]] means the gate passes. *)
+    rounding); [[]] means the gate passes. Equivalent to
+    [(run ~strict:false ...).failures] — missing-metric warnings are
+    dropped; use {!run} to see them. *)
+
+val check_floors :
+  floors:Ppp_obs.Jsonx.t -> report:Ppp_obs.Jsonx.t -> failure list
+(** Gate a [pppc report] document (schema ["ppp-quality/1"]) against a
+    committed floors document (schema ["ppp-quality-floors/1"],
+    [{"methods":{"ppp":{"min_overlap":97.0},...}}]): each listed
+    method's worst-workload overlap percentage must be at least its
+    floor. A method or summary entry missing from the report fails
+    (current [nan]) — a floor that gates nothing is a failure, not a
+    pass. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_failures : Format.formatter -> failure list -> unit
+val pp_warning : Format.formatter -> warning -> unit

@@ -37,6 +37,12 @@ type prepared = {
   phase_ms : (string * float) list;
 }
 
+(* The full decision log of a preparation, in pass order: what the
+   optimizers actually did, as typed records rather than scalar stats. *)
+let decisions prepared =
+  prepared.inline_stats.Ppp_opt.Inline.decisions
+  @ prepared.unroll_stats.Ppp_opt.Unroll.decisions
+
 (* A run that exhausts its fuel is not fatal: the profile gathered so far
    is still a (truncated) sample. Record the fact and carry on. *)
 let fuel_diags phase (o : Interp.outcome) =
@@ -218,6 +224,7 @@ let prepare_unoptimized ?session ~name p =
         size_before = Ir.program_size p;
         size_after = Ir.program_size p;
         touched = [];
+        decisions = [];
       };
     unroll_stats =
       {
@@ -225,6 +232,7 @@ let prepare_unoptimized ?session ~name p =
         loops_seen = 0;
         avg_dynamic_factor = 1.0;
         touched = [];
+        decisions = [];
       };
     confidence = 1.0;
     diagnostics = fuel_diags "edge-profile" orig_outcome;
@@ -295,6 +303,9 @@ type evaluation = {
   static_actions : int;
   routines_instrumented : int;
   routines_total : int;
+  estimated : Score.est list;
+      (* the method's estimated profile, kept so quality analysis can
+         compare it path-by-path against the measured truth *)
 }
 
 (* The flow context of a routine of [prepared.optimized] under the base
@@ -357,6 +368,7 @@ let evaluate_edge_profile prepared =
     static_actions = 0;
     routines_instrumented = 0;
     routines_total = List.length prepared.optimized.Ir.routines;
+    estimated;
   }
 
 (* Instrument [prepared.optimized] through the session: flow contexts and
@@ -536,6 +548,7 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
     static_actions = Instrument.static_instr_count inst;
     routines_instrumented;
     routines_total = List.length p.Ir.routines;
+    estimated;
   }
 
 (* {2 Iterative re-optimization} *)
@@ -548,6 +561,10 @@ type generation = {
   reused_plans : int;
   matched_fraction : float;
   instr_overhead : float;
+  decisions : Ppp_opt.Decision.t list;
+  decision_diff : Ppp_opt.Decision.diff;
+      (* vs the previous generation's log; generation 1 diffs against the
+         empty log (everything "added", stability vacuously 1.0) *)
 }
 
 (* The union of the optimizers' touched sets, in program order of the
@@ -607,6 +624,10 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
           }
         prep.optimized
     in
+    let gen_decisions = decisions prep in
+    let prev_decisions =
+      match !prev with None -> [] | Some p -> decisions p
+    in
     gens :=
       {
         gen;
@@ -616,6 +637,10 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
         reused_plans = !reused;
         matched_fraction;
         instr_overhead = Interp.overhead instr_outcome;
+        decisions = gen_decisions;
+        decision_diff =
+          Ppp_opt.Decision.diff ~previous:prev_decisions
+            ~current:gen_decisions;
       }
       :: !gens;
     prev := Some prep;

@@ -16,6 +16,12 @@
     default each [prepare] creates a fresh enabled session, so results
     are identical with and without an explicit session. *)
 
+val hot_threshold : float
+(** Section 8.1's hotness bar: 0.00125 of total program flow. *)
+
+val metric : Ppp_profile.Metric.t
+(** The paper's flow accounting ([Branch_flow]). *)
+
 type prepared = {
   bench_name : string;
   original : Ppp_ir.Ir.program;
@@ -39,6 +45,11 @@ type prepared = {
           nondeterministic, so never included in machine-readable
           artifacts unless explicitly requested *)
 }
+
+val decisions : prepared -> Ppp_opt.Decision.t list
+(** The typed decision log of the preparation: every call site the
+    inliner spliced and every loop the unroller replicated, in pass
+    order. *)
 
 val prepare :
   ?session:Ppp_session.Session.t -> name:string -> Ppp_ir.Ir.program -> prepared
@@ -108,6 +119,10 @@ type evaluation = {
   static_actions : int;
   routines_instrumented : int;
   routines_total : int;
+  estimated : Ppp_flow.Score.est list;
+      (** the estimated profile the scores were computed from, exposed so
+          {!Ppp_quality} can compare it path-by-path against the measured
+          truth *)
 }
 
 val evaluate :
@@ -146,6 +161,12 @@ type generation = {
           the {!Ppp_profile.Profile_io} round-trip (1.0 for the first
           generation, which profiles fresh) *)
   instr_overhead : float;  (** overhead of this generation's instrumented run *)
+  decisions : Ppp_opt.Decision.t list;
+      (** this generation's full optimizer decision log *)
+  decision_diff : Ppp_opt.Decision.diff;
+      (** placements gained/lost/kept vs the previous generation;
+          generation 1 diffs against the empty log, so everything is
+          "added" and stability is vacuously 1.0 *)
 }
 
 val reoptimize :

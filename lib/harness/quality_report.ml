@@ -1,0 +1,157 @@
+(* Assembly of the profile-quality report behind [pppc report]: for each
+   workload, compare every method's estimated profile against the
+   measured truth with Ppp_quality, optionally attach the optimizer
+   decision log (and its generation-over-generation diffs) and a live VM
+   telemetry series, and wrap the rows with a per-method summary that
+   the quality gate ([Gate.check_floors]) consumes. *)
+
+module J = Ppp_obs.Jsonx
+module Interp = Ppp_interp.Interp
+module Telemetry = Ppp_interp.Telemetry
+module Quality = Ppp_quality.Quality
+module Spec = Ppp_workloads.Spec
+module Decision = Ppp_opt.Decision
+
+let method_names = [ "edge"; "pp"; "tpp"; "ppp" ]
+
+let measured_quality prep =
+  Quality.of_path_profile ~views:(Pipeline.views prep) ~metric:Pipeline.metric
+    (Pipeline.actual_profile prep)
+
+(* One method's entry: the scalar scores the bench report already
+   carries, plus the full quality comparison of its estimated profile
+   against the measured truth. *)
+let method_json ~reference (ev : Pipeline.evaluation) =
+  let candidate = Quality.of_estimates ev.Pipeline.estimated in
+  match Quality.comparison_json ~reference ~candidate () with
+  | J.Obj fields ->
+      J.Obj
+        (fields
+        @ [
+            ("overhead", J.Float ev.Pipeline.overhead);
+            ("accuracy", J.Float ev.Pipeline.accuracy);
+            ("coverage", J.Float ev.Pipeline.coverage);
+          ])
+  | other -> other
+
+let decisions_json ds =
+  J.Obj
+    [
+      ("count", J.Int (List.length ds));
+      ("log", J.Arr (List.map Decision.to_json ds));
+    ]
+
+let generation_json (g : Pipeline.generation) =
+  J.Obj
+    [
+      ("gen", J.Int g.Pipeline.gen);
+      ("dirty", J.Arr (List.map (fun r -> J.Str r) g.Pipeline.dirty));
+      ("reinstrumented", J.Int g.Pipeline.reinstrumented);
+      ("reused_plans", J.Int g.Pipeline.reused_plans);
+      ("matched_fraction", J.Float g.Pipeline.matched_fraction);
+      ("instr_overhead", J.Float g.Pipeline.instr_overhead);
+      ("decisions", J.Int (List.length g.Pipeline.decisions));
+      ("diff", Decision.diff_json g.Pipeline.decision_diff);
+    ]
+
+let generations_json gens = J.Arr (List.map generation_json gens)
+
+(* Run the optimized program once more with a snapshot ring attached and
+   export the series. The run is thrown away apart from its telemetry —
+   outcomes are byte-identical with the ring, which the test suite
+   asserts differentially. *)
+let telemetry_json ?(capacity = 256) ~interval prep =
+  let ring = Telemetry.create ~capacity ~interval () in
+  let (_ : Interp.outcome) =
+    Interp.run
+      ?cache:(Ppp_session.Session.lower_cache prep.Pipeline.session)
+      ~config:{ Interp.default_config with telemetry = Some ring }
+      prep.Pipeline.optimized
+  in
+  Telemetry.to_json ring
+
+type row = { name : string; json : J.t; overlaps : (string * float) list }
+
+let bench_row ?(iterations = 1) ?telemetry_interval (pb : Report.prepared_bench)
+    =
+  let prep = pb.Report.prep in
+  let name = pb.Report.spec.Spec.bench_name in
+  let e = Report.evals_of pb in
+  let reference = measured_quality prep in
+  let evs =
+    [
+      ("edge", e.Report.edge);
+      ("pp", e.Report.pp);
+      ("tpp", e.Report.tpp);
+      ("ppp", e.Report.ppp);
+    ]
+  in
+  let overlaps =
+    List.map
+      (fun (m, ev) ->
+        (m, Quality.overlap reference (Quality.of_estimates ev.Pipeline.estimated)))
+      evs
+  in
+  let generations =
+    if iterations <= 1 then []
+    else
+      [
+        ( "generations",
+          generations_json
+            (Pipeline.reoptimize ~iterations ~name prep.Pipeline.original) );
+      ]
+  in
+  let telemetry =
+    match telemetry_interval with
+    | None -> []
+    | Some interval -> [ ("telemetry", telemetry_json ~interval prep) ]
+  in
+  let json =
+    J.Obj
+      ([
+         ("name", J.Str name);
+         ( "kind",
+           J.Str
+             (match pb.Report.spec.Spec.kind with
+             | Spec.Int -> "int"
+             | Spec.Fp -> "fp") );
+         ("measured_total", J.Int (Quality.total reference));
+         ("measured_distinct", J.Int (Quality.distinct reference));
+         ( "methods",
+           J.Obj (List.map (fun (m, ev) -> (m, method_json ~reference ev)) evs)
+         );
+         ("decisions", decisions_json (Pipeline.decisions prep));
+       ]
+      @ generations @ telemetry)
+  in
+  { name; json; overlaps }
+
+(* Per-method floor statistics over all rows: what Gate.check_floors
+   gates on. *)
+let summary_json rows =
+  let per_method m =
+    let vs = List.filter_map (fun r -> List.assoc_opt m r.overlaps) rows in
+    match vs with
+    | [] -> (m, J.Obj [])
+    | _ ->
+        let mn = List.fold_left Float.min (List.hd vs) vs in
+        let mean = List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs) in
+        ( m,
+          J.Obj
+            [
+              ("mean_overlap", J.Float mean);
+              ("min_overlap", J.Float mn);
+              ("workloads", J.Int (List.length vs));
+            ] )
+  in
+  J.Obj [ ("methods", J.Obj (List.map per_method method_names)) ]
+
+let wrap ?(scale = 1) ?(hot_threshold = Pipeline.hot_threshold) rows =
+  J.Obj
+    [
+      ("schema", J.Str "ppp-quality/1");
+      ("scale", J.Int scale);
+      ("hot_threshold", J.Float hot_threshold);
+      ("benchmarks", J.Arr (List.map (fun r -> r.json) rows));
+      ("summary", summary_json rows);
+    ]

@@ -1,0 +1,54 @@
+(** The profile-quality report behind [pppc report] (schema
+    ["ppp-quality/1"]).
+
+    For each workload: every method's estimated profile is compared
+    against the measured truth with {!Ppp_quality.Quality} (weighted
+    overlap, hot precision/recall/coverage, per-routine divergence,
+    composite), the optimizer decision log is attached (with
+    generation-over-generation diffs when [iterations > 1]), and a live
+    VM telemetry series can be included. The wrapper's per-method
+    summary (mean and worst-workload overlap) is what
+    {!Gate.check_floors} gates against committed floors. *)
+
+val method_names : string list
+(** The four profiling methods every report covers, in presentation
+    order: edge, pp, tpp, ppp. *)
+
+type row = {
+  name : string;
+  json : Ppp_obs.Jsonx.t;
+  overlaps : (string * float) list;
+      (** per-method overlap percentage, feeding the summary *)
+}
+
+val measured_quality : Pipeline.prepared -> Ppp_quality.Quality.t
+(** The measured (ground-truth) profile of the prepared benchmark as a
+    quality profile, branch-flow weighted. *)
+
+val method_json :
+  reference:Ppp_quality.Quality.t -> Pipeline.evaluation -> Ppp_obs.Jsonx.t
+(** One method's comparison against [reference], plus its scalar
+    overhead/accuracy/coverage. *)
+
+val decisions_json : Ppp_opt.Decision.t list -> Ppp_obs.Jsonx.t
+val generation_json : Pipeline.generation -> Ppp_obs.Jsonx.t
+val generations_json : Pipeline.generation list -> Ppp_obs.Jsonx.t
+
+val telemetry_json :
+  ?capacity:int -> interval:int -> Pipeline.prepared -> Ppp_obs.Jsonx.t
+(** Re-run the optimized program with a snapshot ring of the given
+    sampling [interval] attached and export the series
+    ({!Ppp_interp.Telemetry.to_json}). *)
+
+val bench_row :
+  ?iterations:int -> ?telemetry_interval:int -> Report.prepared_bench -> row
+(** One workload's full report row. [iterations > 1] (default 1) runs
+    {!Pipeline.reoptimize} on the original program and attaches
+    per-generation decision diffs; [telemetry_interval] attaches a
+    telemetry series sampled every that many dynamic instructions. *)
+
+val summary_json : row list -> Ppp_obs.Jsonx.t
+
+val wrap :
+  ?scale:int -> ?hot_threshold:float -> row list -> Ppp_obs.Jsonx.t
+(** The full document: schema, parameters, rows, summary. *)

@@ -34,6 +34,7 @@ type config = {
   trace_paths : bool;
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
+  telemetry : Telemetry.t option;
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     trace_paths = true;
     instrumentation = None;
     overflow_policy = Instr_rt.Table.Drop;
+    telemetry = None;
   }
 
 type termination = Finished | Out_of_fuel of { stack_depth : int }

@@ -21,6 +21,9 @@ type config = {
   trace_paths : bool;
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
+  telemetry : Telemetry.t option;
+      (** when set, the {!Vm} engine records periodic counter snapshots
+          into the ring; never affects outcomes *)
 }
 
 val default_config : config

@@ -15,6 +15,7 @@ type config = Engine.config = {
   trace_paths : bool;
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
+  telemetry : Telemetry.t option;
 }
 
 let default_config = Engine.default_config

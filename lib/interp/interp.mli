@@ -27,11 +27,16 @@ type config = Engine.config = {
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
       (** how frequency tables handle unattributable path executions *)
+  telemetry : Telemetry.t option;
+      (** attach a live-telemetry snapshot ring (see {!Telemetry}); the
+          {!Vm} engine samples its counters into it periodically, the
+          reference engine ignores it. Outcomes are byte-identical with
+          and without a ring. *)
 }
 
 val default_config : config
 (** [fuel = 2_000_000_000], edge collection and path tracing on, no
-    instrumentation, [Drop] overflow policy. *)
+    instrumentation, [Drop] overflow policy, no telemetry. *)
 
 type termination = Engine.termination =
   | Finished  (** [main] returned normally *)

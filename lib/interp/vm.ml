@@ -42,6 +42,7 @@ type state = {
   mutable frames : frame array; (* recycled; [0, depth) are live *)
   mutable depth : int;
   mutable fuel : int;
+  fuel0 : int; (* the budget, so consumed = fuel0 - fuel *)
   mutable base_cost : int;
   mutable instr_cost : int;
   mutable dyn_paths : int;
@@ -49,10 +50,23 @@ type state = {
   prof_on : bool; (* any edge counting, path tracing or instrumentation *)
   trace_on : bool;
   obs_on : bool; (* metrics flag, latched at run start *)
+  count_calls : bool; (* metrics or telemetry want the call total *)
+  tele : Telemetry.t option; (* latched snapshot ring, None = off *)
+  mutable tele_left : int; (* instructions until the next sample *)
   mutable obs_calls : int;
   obs_actions : int array;
   mutable ret_value : int option;
 }
+
+(* One periodic snapshot: copy the live counters into the ring. Runs at
+   fuel-segment granularity, only when a ring is attached, and reads
+   state without writing any of it — execution is byte-identical with
+   telemetry on and off. *)
+let tele_sample st t =
+  st.tele_left <- Telemetry.interval t;
+  Telemetry.record t ~dyn_instrs:(st.fuel0 - st.fuel) ~base_cost:st.base_cost
+    ~instr_cost:st.instr_cost ~dyn_paths:st.dyn_paths ~calls:st.obs_calls
+    ~depth:st.depth
 
 let fresh_frame plan =
   {
@@ -223,6 +237,13 @@ let rec run_frames st (frame : frame) start_pc =
         if st.fuel > count then begin
           st.fuel <- st.fuel - count;
           st.base_cost <- st.base_cost + cost;
+          (* One load and one branch per segment when telemetry is off,
+             matching the gated-metrics cost discipline. *)
+          (match st.tele with
+          | None -> ()
+          | Some t ->
+              st.tele_left <- st.tele_left - count;
+              if st.tele_left <= 0 then tele_sample st t);
           go (pc + 1)
         end
         else exhaust st plan regs pc
@@ -332,7 +353,7 @@ let rec run_frames st (frame : frame) start_pc =
         st.fuel <- st.fuel - 1;
         if st.fuel <= 0 then raise E.Exhausted;
         st.base_cost <- st.base_cost + Cost.call_overhead;
-        if st.obs_on then st.obs_calls <- st.obs_calls + 1;
+        if st.count_calls then st.obs_calls <- st.obs_calls + 1;
         frame.pc <- pc + 1;
         let nargs = Array.length arg_regs in
         let cf = enter st (Array.unsafe_get st.plans callee) ~nargs dst in
@@ -349,7 +370,7 @@ let rec run_frames st (frame : frame) start_pc =
         st.fuel <- st.fuel - 1;
         if st.fuel <= 0 then raise E.Exhausted;
         st.base_cost <- st.base_cost + Cost.call_overhead;
-        if st.obs_on then st.obs_calls <- st.obs_calls + 1;
+        if st.count_calls then st.obs_calls <- st.obs_calls + 1;
         E.error "unknown routine %s" name
     | L.Unknown_array { name } -> E.error "unknown array %s" name
     | L.Trap { msg } -> raise (E.Runtime_error msg)
@@ -401,6 +422,7 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
       frames = Array.init 16 (fun _ -> fresh_frame main_plan);
       depth = 0;
       fuel = config.E.fuel;
+      fuel0 = config.E.fuel;
       base_cost = 0;
       instr_cost = 0;
       dyn_paths = 0;
@@ -410,6 +432,12 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
         || Option.is_some config.E.instrumentation);
       trace_on = config.E.trace_paths;
       obs_on = E.Obs.enabled ();
+      count_calls = E.Obs.enabled () || Option.is_some config.E.telemetry;
+      tele = config.E.telemetry;
+      tele_left =
+        (match config.E.telemetry with
+        | Some t -> Telemetry.interval t
+        | None -> max_int);
       obs_calls = 0;
       obs_actions = Array.make Instr_rt.num_action_kinds 0;
       ret_value = None;

@@ -1,10 +1,11 @@
 type event = {
   name : string;
   cat : string;
-  ph : [ `Complete | `Instant ];
+  ph : [ `Complete | `Instant | `Counter | `Metadata ];
   ts_us : float;
   dur_us : float;
   args : (string * string) list;
+  nargs : (string * float) list;
 }
 
 let on = ref false
@@ -28,7 +29,16 @@ let with_span ?(cat = "pipeline") ?(args = []) name f =
   else begin
     let t0 = now_us () in
     let record () =
-      push { name; cat; ph = `Complete; ts_us = t0; dur_us = now_us () -. t0; args }
+      push
+        {
+          name;
+          cat;
+          ph = `Complete;
+          ts_us = t0;
+          dur_us = now_us () -. t0;
+          args;
+          nargs = [];
+        }
     in
     match f () with
     | v ->
@@ -41,16 +51,65 @@ let with_span ?(cat = "pipeline") ?(args = []) name f =
 
 let instant ?(cat = "mark") ?(args = []) name =
   if !on then
-    push { name; cat; ph = `Instant; ts_us = now_us (); dur_us = 0.0; args }
+    push
+      {
+        name;
+        cat;
+        ph = `Instant;
+        ts_us = now_us ();
+        dur_us = 0.0;
+        args;
+        nargs = [];
+      }
+
+let counter ?(cat = "telemetry") ?ts_us name series =
+  if !on then
+    push
+      {
+        name;
+        cat;
+        ph = `Counter;
+        ts_us = (match ts_us with Some t -> t | None -> now_us ());
+        dur_us = 0.0;
+        args = [];
+        nargs = series;
+      }
+
+let metadata ~name value =
+  if !on then
+    push
+      {
+        name;
+        cat = "__metadata";
+        ph = `Metadata;
+        ts_us = 0.0;
+        dur_us = 0.0;
+        args = [ ("name", value) ];
+        nargs = [];
+      }
+
+let label_process ?(thread = "main") process =
+  metadata ~name:"process_name" process;
+  metadata ~name:"thread_name" thread
 
 let events () = List.rev !events_rev
 
+(* Every string — names, categories and argument values alike — renders
+   through Jsonx so arbitrary bytes (quotes, newlines, binary garbage in
+   a workload name) always produce standard JSON, same as the metrics
+   sinks. *)
 let event_json ev =
   let base =
     [
       ("name", Jsonx.Str ev.name);
       ("cat", Jsonx.Str ev.cat);
-      ("ph", Jsonx.Str (match ev.ph with `Complete -> "X" | `Instant -> "i"));
+      ( "ph",
+        Jsonx.Str
+          (match ev.ph with
+          | `Complete -> "X"
+          | `Instant -> "i"
+          | `Counter -> "C"
+          | `Metadata -> "M") );
       ("ts", Jsonx.Float ev.ts_us);
       ("pid", Jsonx.Int 1);
       ("tid", Jsonx.Int 1);
@@ -60,11 +119,15 @@ let event_json ev =
     match ev.ph with
     | `Complete -> [ ("dur", Jsonx.Float ev.dur_us) ]
     | `Instant -> [ ("s", Jsonx.Str "t") ]
+    | `Counter | `Metadata -> []
   in
   let args =
-    match ev.args with
+    match
+      List.map (fun (k, v) -> (k, Jsonx.Str v)) ev.args
+      @ List.map (fun (k, v) -> (k, Jsonx.Float v)) ev.nargs
+    with
     | [] -> []
-    | l -> [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) l)) ]
+    | fields -> [ ("args", Jsonx.Obj fields) ]
   in
   Jsonx.Obj (base @ dur @ args)
 

@@ -7,16 +7,25 @@
     timestamps relative to {!start}, so nesting falls out of duration
     containment and no begin/end pairing is needed.
 
+    Besides spans and instants, the recorder supports counter events
+    ("ph":"C") — numeric time series the viewers plot as stacked area
+    charts, used for VM telemetry — and metadata events ("ph":"M") that
+    label the process and thread rows. Every string escapes through
+    {!Jsonx}, so arbitrary bytes in names or argument values always
+    yield standard JSON.
+
     Tracing is off by default; {!with_span} then costs one load and one
     branch around the wrapped function. *)
 
 type event = {
   name : string;
   cat : string;
-  ph : [ `Complete | `Instant ];
+  ph : [ `Complete | `Instant | `Counter | `Metadata ];
   ts_us : float;  (** start, microseconds since {!start} *)
-  dur_us : float;  (** 0 for instants *)
-  args : (string * string) list;
+  dur_us : float;  (** 0 except for [`Complete] *)
+  args : (string * string) list;  (** string-valued arguments *)
+  nargs : (string * float) list;
+      (** numeric arguments; the series of a [`Counter] event *)
 }
 
 val start : unit -> unit
@@ -35,6 +44,23 @@ val with_span :
 
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** Record a zero-duration marker. *)
+
+val counter :
+  ?cat:string -> ?ts_us:float -> string -> (string * float) list -> unit
+(** [counter name series] records a Chrome counter event ("ph":"C"):
+    each [(key, value)] pair becomes one plotted series under the
+    counter's track. [ts_us] overrides the timestamp (microseconds
+    since {!start}) — the VM telemetry exporter uses it to place
+    samples at their recorded positions instead of export time. *)
+
+val metadata : name:string -> string -> unit
+(** [metadata ~name v] records a "ph":"M" metadata event, e.g.
+    [metadata ~name:"process_name" "pppc"]; trace viewers use these to
+    label the process and thread rows. *)
+
+val label_process : ?thread:string -> string -> unit
+(** Convenience: emit [process_name] (and [thread_name], default
+    ["main"]) metadata so spans show up under a named row. *)
 
 val events : unit -> event list
 (** Recorded events in completion order. *)

@@ -1,0 +1,125 @@
+(* The optimizer decision log: every transformation the three
+   profile-guided passes apply is recorded as one typed record, so a
+   generation of the re-optimization loop can be diffed against the
+   previous one — which placements survived, which flipped — instead of
+   comparing only scalar stats. *)
+
+module Jsonx = Ppp_obs.Jsonx
+
+type t =
+  | Inline of {
+      caller : string;
+      callee : string;
+      block : int;
+      freq : int;
+      priority : float;
+    }
+  | Unroll of {
+      routine : string;
+      header : int;
+      factor : int;
+      trips : float;
+      back_freq : int;
+    }
+  | Superblock of {
+      routine : string;
+      trace : int list;
+      weight : int;
+      duplicated : int;
+      merged : int;
+    }
+
+(* The identity of a decision, ignoring profile-derived magnitudes: two
+   generations made "the same" placement when the pass, the location and
+   the shape parameter agree, even if the triggering frequencies moved.
+   This is what placement stability is measured over. *)
+let key = function
+  | Inline { caller; callee; block; _ } ->
+      Printf.sprintf "inline:%s:%d:%s" caller block callee
+  | Unroll { routine; header; factor; _ } ->
+      Printf.sprintf "unroll:%s:%d:x%d" routine header factor
+  | Superblock { routine; trace; _ } ->
+      Printf.sprintf "superblock:%s:%s" routine
+        (String.concat "-" (List.map string_of_int trace))
+
+let routine = function
+  | Inline { caller; _ } -> caller
+  | Unroll { routine; _ } -> routine
+  | Superblock { routine; _ } -> routine
+
+let pp ppf d =
+  match d with
+  | Inline { caller; callee; block; freq; priority } ->
+      Format.fprintf ppf "inline %s into %s.b%d (freq %d, priority %.2f)"
+        callee caller block freq priority
+  | Unroll { routine; header; factor; trips; back_freq } ->
+      Format.fprintf ppf "unroll %s.b%d x%d (%.1f trips, back freq %d)"
+        routine header factor trips back_freq
+  | Superblock { routine; trace; weight; duplicated; merged } ->
+      Format.fprintf ppf
+        "superblock %s trace [%s] (weight %d, %d duplicated, %d merged)"
+        routine
+        (String.concat " " (List.map string_of_int trace))
+        weight duplicated merged
+
+let to_json d =
+  match d with
+  | Inline { caller; callee; block; freq; priority } ->
+      Jsonx.Obj
+        [
+          ("pass", Jsonx.Str "inline");
+          ("caller", Jsonx.Str caller);
+          ("callee", Jsonx.Str callee);
+          ("block", Jsonx.Int block);
+          ("freq", Jsonx.Int freq);
+          ("priority", Jsonx.Float priority);
+        ]
+  | Unroll { routine; header; factor; trips; back_freq } ->
+      Jsonx.Obj
+        [
+          ("pass", Jsonx.Str "unroll");
+          ("routine", Jsonx.Str routine);
+          ("header", Jsonx.Int header);
+          ("factor", Jsonx.Int factor);
+          ("trips", Jsonx.Float trips);
+          ("back_freq", Jsonx.Int back_freq);
+        ]
+  | Superblock { routine; trace; weight; duplicated; merged } ->
+      Jsonx.Obj
+        [
+          ("pass", Jsonx.Str "superblock");
+          ("routine", Jsonx.Str routine);
+          ("trace", Jsonx.Arr (List.map (fun b -> Jsonx.Int b) trace));
+          ("weight", Jsonx.Int weight);
+          ("duplicated", Jsonx.Int duplicated);
+          ("merged", Jsonx.Int merged);
+        ]
+
+type diff = { added : t list; removed : t list; kept : t list }
+
+let diff ~previous ~current =
+  let prev_keys = Hashtbl.create 17 in
+  List.iter (fun d -> Hashtbl.replace prev_keys (key d) ()) previous;
+  let cur_keys = Hashtbl.create 17 in
+  List.iter (fun d -> Hashtbl.replace cur_keys (key d) ()) current;
+  {
+    added = List.filter (fun d -> not (Hashtbl.mem prev_keys (key d))) current;
+    removed =
+      List.filter (fun d -> not (Hashtbl.mem cur_keys (key d))) previous;
+    kept = List.filter (fun d -> Hashtbl.mem prev_keys (key d)) current;
+  }
+
+(* Fraction of the previous generation's placements that survived into
+   this one; 1.0 when there was nothing before (vacuously stable). *)
+let stability { removed; kept; _ } =
+  let prev = List.length removed + List.length kept in
+  if prev = 0 then 1.0 else float_of_int (List.length kept) /. float_of_int prev
+
+let diff_json d =
+  Jsonx.Obj
+    [
+      ("added", Jsonx.Arr (List.map to_json d.added));
+      ("removed", Jsonx.Arr (List.map to_json d.removed));
+      ("kept", Jsonx.Int (List.length d.kept));
+      ("stability", Jsonx.Float (stability d));
+    ]

@@ -1,0 +1,59 @@
+(** The optimizer decision log.
+
+    Each profile-guided transformation — a call site inlined, a loop
+    unrolled, a superblock formed — is recorded as one typed record
+    carrying the location, the triggering profile weights, and the
+    parameters chosen. {!Ppp_harness.Pipeline} aggregates the log per
+    generation of the re-optimization loop and diffs consecutive
+    generations, turning "the optimizer did something different" into a
+    concrete list of placements gained, lost and kept. *)
+
+type t =
+  | Inline of {
+      caller : string;
+      callee : string;
+      block : int;  (** caller block index holding the call site *)
+      freq : int;  (** call-site execution count that triggered it *)
+      priority : float;  (** hotness / callee size, the ranking key *)
+    }
+  | Unroll of {
+      routine : string;
+      header : int;  (** loop header block index *)
+      factor : int;  (** actual factor applied (after size halving) *)
+      trips : float;  (** average trip count from the profile *)
+      back_freq : int;  (** total back-edge frequency *)
+    }
+  | Superblock of {
+      routine : string;
+      trace : int list;  (** block indices of the straightened trace *)
+      weight : int;  (** flow of the hot path that selected the trace *)
+      duplicated : int;  (** side-entrance blocks tail-duplicated *)
+      merged : int;  (** jump-linked block pairs merged *)
+    }
+
+val key : t -> string
+(** Stable identity of the {e placement}, ignoring profile-derived
+    magnitudes (frequencies, weights, trip counts): two generations made
+    the same decision iff their keys are equal. *)
+
+val routine : t -> string
+(** The routine whose body the decision rewrote. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Ppp_obs.Jsonx.t
+
+type diff = {
+  added : t list;  (** in current, not previous (by {!key}) *)
+  removed : t list;  (** in previous, not current *)
+  kept : t list;  (** current decisions whose key already existed *)
+}
+
+val diff : previous:t list -> current:t list -> diff
+
+val stability : diff -> float
+(** Fraction of the previous generation's placements that survived:
+    [kept / (kept + removed)], or 1.0 when the previous log was empty. *)
+
+val diff_json : diff -> Ppp_obs.Jsonx.t
+(** [{"added":[..],"removed":[..],"kept":N,"stability":F}]. *)

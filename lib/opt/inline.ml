@@ -7,6 +7,7 @@ type stats = {
   size_before : int;
   size_after : int;
   touched : string list;
+  decisions : Decision.t list;
 }
 
 let pct_dynamic_inlined s =
@@ -191,6 +192,7 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
   in
   let sites_inlined = ref 0 in
   let dynamic_inlined = ref 0 in
+  let decisions = ref [] in
   let touched = Hashtbl.create 7 in
   (* Spliced blocks are labelled "inl<uid>_...". Starting past any uid
      already present keeps labels fresh when an already-inlined program
@@ -250,7 +252,17 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
         splice w cw.routine cw.freqs ~block:best.block ~instr:best.instr ~uid:!uid;
         Hashtbl.replace touched best.caller ();
         incr sites_inlined;
-        dynamic_inlined := !dynamic_inlined + best.freq
+        dynamic_inlined := !dynamic_inlined + best.freq;
+        decisions :=
+          Decision.Inline
+            {
+              caller = best.caller;
+              callee = best.callee;
+              block = best.block;
+              freq = best.freq;
+              priority = best.priority;
+            }
+          :: !decisions
   done;
   let routines =
     List.map (fun (r : Ir.routine) -> (Hashtbl.find works r.Ir.name).routine) p.routines
@@ -269,4 +281,5 @@ let run ?(code_bloat = 0.05) ?(max_callee_size = 200) ?(min_site_freq = 16)
           (fun (r : Ir.routine) ->
             if Hashtbl.mem touched r.Ir.name then Some r.Ir.name else None)
           p.routines;
+      decisions = List.rev !decisions;
     } )

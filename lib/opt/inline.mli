@@ -18,6 +18,8 @@ type stats = {
       (** routines whose body changed (call sites were inlined into
           them), in program order — the dirty set an incremental
           re-optimizer must invalidate *)
+  decisions : Decision.t list;
+      (** one {!Decision.Inline} per site spliced, in splice order *)
 }
 
 val pct_dynamic_inlined : stats -> float

@@ -6,6 +6,7 @@ type stats = {
   routines_optimized : int;
   blocks_duplicated : int;
   jumps_merged : int;
+  decisions : Decision.t list;
 }
 
 let targets (term : Ir.terminator) =
@@ -131,10 +132,11 @@ let optimize_routine (r : Ir.routine) trace ~max_trace ~dup_count ~merge_count =
 
 
 
-let form ?(max_trace = 32) (p : Ir.program) ~hot_paths =
+let form ?(max_trace = 32) ?(path_weights = []) (p : Ir.program) ~hot_paths =
   let dup_count = ref 0 in
   let merge_count = ref 0 in
   let optimized = ref 0 in
+  let decisions = ref [] in
   let routines =
     List.map
       (fun (r : Ir.routine) ->
@@ -146,7 +148,28 @@ let form ?(max_trace = 32) (p : Ir.program) ~hot_paths =
             if List.length trace < 2 then r
             else begin
               incr optimized;
-              optimize_routine r trace ~max_trace ~dup_count ~merge_count
+              (* Per-routine counters so the decision record carries this
+                 trace's own duplication/merge work, not the running total. *)
+              let dup = ref 0 and merge = ref 0 in
+              let r' =
+                optimize_routine r trace ~max_trace ~dup_count:dup
+                  ~merge_count:merge
+              in
+              dup_count := !dup_count + !dup;
+              merge_count := !merge_count + !merge;
+              decisions :=
+                Decision.Superblock
+                  {
+                    routine = r.Ir.name;
+                    trace;
+                    weight =
+                      Option.value ~default:0
+                        (List.assoc_opt r.Ir.name path_weights);
+                    duplicated = !dup;
+                    merged = !merge;
+                  }
+                :: !decisions;
+              r'
             end)
       p.Ir.routines
   in
@@ -157,4 +180,5 @@ let form ?(max_trace = 32) (p : Ir.program) ~hot_paths =
       routines_optimized = !optimized;
       blocks_duplicated = !dup_count;
       jumps_merged = !merge_count;
+      decisions = List.rev !decisions;
     } )

@@ -12,13 +12,19 @@ type stats = {
   routines_optimized : int;
   blocks_duplicated : int;
   jumps_merged : int;
+  decisions : Decision.t list;
+      (** one {!Decision.Superblock} per routine straightened, in
+          program order *)
 }
 
 val form :
   ?max_trace:int ->
+  ?path_weights:(string * int) list ->
   Ppp_ir.Ir.program ->
   hot_paths:(string * Ppp_profile.Path.t) list ->
   Ppp_ir.Ir.program * stats
 (** [form p ~hot_paths] straightens the first (hottest) listed path of
     each routine. [max_trace] bounds the blocks considered per trace
-    (default 32). *)
+    (default 32). [path_weights] optionally supplies each routine's
+    selected-path flow so the decision log records what triggered the
+    trace; it never affects the transformation. *)

@@ -9,6 +9,7 @@ type stats = {
   loops_seen : int;
   avg_dynamic_factor : float;
   touched : string list;
+  decisions : Decision.t list;
 }
 
 (* Unroll one loop of [r] by [factor]: append factor-1 copies of the body;
@@ -102,6 +103,7 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
   let weighted_factor = ref 0.0 in
   let weight_total = ref 0.0 in
   let touched = ref [] in
+  let decisions = ref [] in
   let uid = ref (max_uid p) in
   let routines =
     List.map
@@ -139,7 +141,7 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
                 in
                 match fit factor with
                 | Some f when trips >= min_trip && is_innermost loops l ->
-                    Some (l, f, back_freq)
+                    Some (l, f, back_freq, trips)
                 | _ ->
                     weighted_factor := !weighted_factor +. float_of_int back_freq;
                     weight_total := !weight_total +. float_of_int back_freq;
@@ -152,12 +154,22 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
            indices of later candidates are still valid because copies are
            appended and original indices are preserved. *)
         List.fold_left
-          (fun r (l, f, back_freq) ->
+          (fun r (l, f, back_freq, trips) ->
             incr uid;
             incr loops_unrolled;
             weighted_factor :=
               !weighted_factor +. (float_of_int f *. float_of_int back_freq);
             weight_total := !weight_total +. float_of_int back_freq;
+            decisions :=
+              Decision.Unroll
+                {
+                  routine = r.Ir.name;
+                  header = l.Loop.header;
+                  factor = f;
+                  trips;
+                  back_freq;
+                }
+              :: !decisions;
             unroll_loop r l ~factor:f ~uid:!uid)
           r candidates)
       p.Ir.routines
@@ -171,4 +183,5 @@ let run ?(factor = 4) ?(min_trip = 8.0) ?(max_size = 256) (p : Ir.program)
       avg_dynamic_factor =
         (if !weight_total = 0.0 then 1.0 else !weighted_factor /. !weight_total);
       touched = List.rev !touched;
+      decisions = List.rev !decisions;
     } )

@@ -19,6 +19,9 @@ type stats = {
       (** routines that had at least one loop unrolled, in program
           order — the dirty set an incremental re-optimizer must
           invalidate *)
+  decisions : Decision.t list;
+      (** one {!Decision.Unroll} per loop unrolled, in application
+          order *)
 }
 
 val run :

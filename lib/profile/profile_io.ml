@@ -342,6 +342,28 @@ module Raw = struct
   let diagnostics t = List.rev t.diags_rev
   let lost t = t.lost
 
+  (* Program-free read access: everything a profile-to-profile comparison
+     needs without reconstructing either program. *)
+  let routines t =
+    let names = Hashtbl.create 17 in
+    let note n _ = Hashtbl.replace names n () in
+    Hashtbl.iter note t.descs;
+    Hashtbl.iter note t.edges;
+    Hashtbl.iter note t.paths;
+    List.sort String.compare (Hashtbl.fold (fun n () acc -> n :: acc) names [])
+
+  let desc t name = Hashtbl.find_opt t.descs name
+
+  let iter_paths t name f =
+    match Hashtbl.find_opt t.paths name with
+    | None -> ()
+    | Some per -> Hashtbl.iter f per
+
+  let iter_edges t name f =
+    match Hashtbl.find_opt t.edges name with
+    | None -> ()
+    | Some per -> Hashtbl.iter f per
+
   let table tbl name =
     match Hashtbl.find_opt tbl name with
     | Some t -> t

@@ -136,6 +136,25 @@ module Raw : sig
   (** Count mass dropped by parsing, clipping, or failed salvage. *)
 
   val diagnostics : t -> Ppp_resilience.Diagnostic.t list
+
+  (** {3 Program-free read access}
+
+      Enough to compare two dumps path-by-path (see {!Ppp_quality})
+      without either program: routine names, the stored CFG
+      descriptions, and the per-routine count tables. *)
+
+  val routines : t -> string list
+  (** Every routine mentioned by any section, sorted. *)
+
+  val desc : t -> string -> Ppp_resilience.Stale_match.cfg_desc option
+  (** The stored CFG description, when the dump carried one. *)
+
+  val iter_paths : t -> string -> (int list -> int -> unit) -> unit
+  (** Iterate the routine's path counts (edge-index lists); no-op for an
+      absent routine. *)
+
+  val iter_edges : t -> string -> (int -> int -> unit) -> unit
+  (** Iterate the routine's edge counts; no-op for an absent routine. *)
 end
 
 val save_edges :

@@ -1,0 +1,302 @@
+(* Profile-quality analytics: given two decoded path profiles — measured
+   vs measured, estimated vs measured, this version vs last version —
+   quantify how much they agree.
+
+   A profile is held normalized: a table from (routine, edge list) to
+   weight plus the total, so every score is a pure function of relative
+   flow and two profiles of very different absolute scales (a short
+   training run vs a long production run) compare on shape alone. *)
+
+module Cfg_view = Ppp_ir.Cfg_view
+module Path = Ppp_profile.Path
+module Path_profile = Ppp_profile.Path_profile
+module Metric = Ppp_profile.Metric
+module Profile_io = Ppp_profile.Profile_io
+module Score = Ppp_flow.Score
+module Stale_match = Ppp_resilience.Stale_match
+module Jsonx = Ppp_obs.Jsonx
+
+type key = string * int list
+
+type t = { weights : (key, int) Hashtbl.t; mutable total : int }
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let create () = { weights = Hashtbl.create 64; total = 0 }
+
+let add t ~routine ~path w =
+  if w > 0 then begin
+    let k = (routine, path) in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.weights k) in
+    Hashtbl.replace t.weights k (sat_add prev w);
+    t.total <- sat_add t.total w
+  end
+
+let of_weighted entries =
+  let t = create () in
+  List.iter (fun ((routine, path), w) -> add t ~routine ~path w) entries;
+  t
+
+let of_path_profile ~views ~metric prof =
+  let t = create () in
+  Path_profile.iter_routines prof (fun name per ->
+      let view = views name in
+      Path_profile.iter per (fun path n ->
+          let b = Path.branches view path in
+          add t ~routine:name ~path (Metric.flow metric ~freq:n ~branches:b)));
+  t
+
+let of_estimates ests =
+  let t = create () in
+  List.iter
+    (fun (e : Score.est) -> add t ~routine:e.Score.routine ~path:e.Score.path e.Score.flow)
+    ests;
+  t
+
+(* Branch counts out of a stored CFG description: an edge contributes to
+   the branch count iff its source block has out-degree >= 2, exactly
+   [Cfg_view.num_branch_edges_on] computed from the dump instead of the
+   program. *)
+let branch_edges_of_desc (d : Stale_match.cfg_desc) =
+  let n = Array.length d.Stale_match.edges in
+  let out = Hashtbl.create 17 in
+  Array.iter
+    (fun (src, _) ->
+      Hashtbl.replace out src (1 + Option.value ~default:0 (Hashtbl.find_opt out src)))
+    d.Stale_match.edges;
+  Array.init n (fun e ->
+      let src, _ = d.Stale_match.edges.(e) in
+      Option.value ~default:0 (Hashtbl.find_opt out src) >= 2)
+
+let of_dump ~metric raw =
+  let t = create () in
+  List.iter
+    (fun name ->
+      let branches =
+        match Profile_io.Raw.desc raw name with
+        | Some d ->
+            let is_branch = branch_edges_of_desc d in
+            fun path ->
+              List.fold_left
+                (fun acc e ->
+                  if e >= 0 && e < Array.length is_branch && is_branch.(e) then
+                    acc + 1
+                  else acc)
+                0 path
+        | None -> fun _ -> 0 (* no CFG description: unit flow only *)
+      in
+      Profile_io.Raw.iter_paths raw name (fun path n ->
+          add t ~routine:name ~path
+            (Metric.flow metric ~freq:n ~branches:(branches path))))
+    (Profile_io.Raw.routines raw);
+  t
+
+let total t = t.total
+let distinct t = Hashtbl.length t.weights
+
+let iter t f = Hashtbl.iter (fun (routine, path) w -> f ~routine ~path w) t.weights
+
+(* {2 Cross-version remapping} *)
+
+type remap_stats = {
+  routines_matched : int;
+  routines_dropped : int;
+  mass_kept : int;
+  mass_dropped : int;
+}
+
+let remap ~descs ~target t =
+  let out = create () in
+  let routines = Hashtbl.create 17 in
+  Hashtbl.iter (fun (r, _) _ -> Hashtbl.replace routines r ()) t.weights;
+  let matched = ref 0 and dropped_routines = ref 0 in
+  let kept = ref 0 and dropped = ref 0 in
+  Hashtbl.iter
+    (fun routine () ->
+      match (descs routine, target routine) with
+      | Some old_desc, Some new_desc ->
+          incr matched;
+          let m = Stale_match.match_cfgs ~old_desc ~new_desc in
+          Hashtbl.iter
+            (fun (r, path) w ->
+              if r = routine then
+                let mapped =
+                  List.fold_left
+                    (fun acc e ->
+                      match (acc, Stale_match.map_edge m e) with
+                      | Some es, Some e' -> Some (e' :: es)
+                      | _ -> None)
+                    (Some []) path
+                in
+                match mapped with
+                | Some rev ->
+                    kept := sat_add !kept w;
+                    add out ~routine ~path:(List.rev rev) w
+                | None -> dropped := sat_add !dropped w)
+            t.weights
+      | _ ->
+          incr dropped_routines;
+          Hashtbl.iter
+            (fun (r, _) w -> if r = routine then dropped := sat_add !dropped w)
+            t.weights)
+    routines;
+  ( out,
+    {
+      routines_matched = !matched;
+      routines_dropped = !dropped_routines;
+      mass_kept = !kept;
+      mass_dropped = !dropped;
+    } )
+
+let descs_of_dump raw name = Profile_io.Raw.desc raw name
+
+let descs_of_program (p : Ppp_ir.Ir.program) =
+  let tbl = Hashtbl.create 17 in
+  List.iter
+    (fun (r : Ppp_ir.Ir.routine) ->
+      Hashtbl.replace tbl r.Ppp_ir.Ir.name (Stale_match.describe r))
+    p.Ppp_ir.Ir.routines;
+  fun name -> Hashtbl.find_opt tbl name
+
+(* {2 Scores} *)
+
+let norm t k =
+  if t.total = 0 then 0.0
+  else
+    float_of_int (Option.value ~default:0 (Hashtbl.find_opt t.weights k))
+    /. float_of_int t.total
+
+let union_keys a b =
+  let keys = Hashtbl.create (Hashtbl.length a.weights + Hashtbl.length b.weights) in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) a.weights;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) b.weights;
+  keys
+
+let overlap a b =
+  if a.total = 0 && b.total = 0 then 100.0
+  else if a.total = 0 || b.total = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Hashtbl.iter
+      (fun k _ -> acc := !acc +. Float.min (norm a k) (norm b k))
+      (union_keys a b);
+    100.0 *. !acc
+  end
+
+type hot_report = {
+  threshold : float;
+  hot_ref : int;
+  hot_cand : int;
+  matched : int;
+  precision : float;
+  recall : float;
+  flow_coverage : float;
+}
+
+let hot_keys t ~threshold =
+  let cut = threshold *. float_of_int t.total in
+  Hashtbl.fold
+    (fun k w acc -> if float_of_int w >= cut && w > 0 then k :: acc else acc)
+    t.weights []
+
+let hot_report ?(threshold = 0.00125) ~reference ~candidate () =
+  let hot_r = hot_keys reference ~threshold in
+  let hot_c = hot_keys candidate ~threshold in
+  let cset = Hashtbl.create 17 in
+  List.iter (fun k -> Hashtbl.replace cset k ()) hot_c;
+  let matched = List.length (List.filter (Hashtbl.mem cset) hot_r) in
+  let hot_flow, seen_flow =
+    List.fold_left
+      (fun (tot, seen) k ->
+        let w = Option.value ~default:0 (Hashtbl.find_opt reference.weights k) in
+        ( sat_add tot w,
+          if Hashtbl.mem candidate.weights k then sat_add seen w else seen ))
+      (0, 0) hot_r
+  in
+  {
+    threshold;
+    hot_ref = List.length hot_r;
+    hot_cand = List.length hot_c;
+    matched;
+    precision =
+      (if hot_c = [] then 1.0
+       else float_of_int matched /. float_of_int (List.length hot_c));
+    recall =
+      (if hot_r = [] then 1.0
+       else float_of_int matched /. float_of_int (List.length hot_r));
+    flow_coverage =
+      (if hot_flow = 0 then 1.0
+       else float_of_int seen_flow /. float_of_int hot_flow);
+  }
+
+(* Per-routine total-variation distance between the two profiles'
+   whole-profile-normalized flows, scaled so a routine whose paths agree
+   perfectly scores 0.0 and one with no common mass scores its share of
+   total disagreement. Summed over routines the figure is the global TV
+   distance in [0, 1]. *)
+let divergence a b =
+  let per = Hashtbl.create 17 in
+  Hashtbl.iter
+    (fun ((r, _) as k) _ ->
+      let d = Float.abs (norm a k -. norm b k) /. 2.0 in
+      Hashtbl.replace per r (d +. Option.value ~default:0.0 (Hashtbl.find_opt per r)))
+    (union_keys a b);
+  List.sort
+    (fun (r1, d1) (r2, d2) ->
+      match compare d2 d1 with 0 -> String.compare r1 r2 | c -> c)
+    (Hashtbl.fold (fun r d acc -> (r, d) :: acc) per [])
+
+let total_divergence a b =
+  List.fold_left (fun acc (_, d) -> acc +. d) 0.0 (divergence a b)
+
+(* One number for dashboards: how much of the reference's behaviour the
+   candidate reproduces, discounted by how much the candidate is trusted
+   in the first place (e.g. a stale-salvage matched fraction). *)
+let composite ?(confidence = 1.0) ~reference ~candidate () =
+  let ov = overlap reference candidate /. 100.0 in
+  let hot = hot_report ~reference ~candidate () in
+  let dv = total_divergence reference candidate in
+  confidence
+  *. ((0.5 *. ov) +. (0.3 *. hot.flow_coverage) +. (0.2 *. (1.0 -. dv)))
+
+(* {2 JSON} *)
+
+let hot_report_json h =
+  Jsonx.Obj
+    [
+      ("threshold", Jsonx.Float h.threshold);
+      ("hot_ref", Jsonx.Int h.hot_ref);
+      ("hot_cand", Jsonx.Int h.hot_cand);
+      ("matched", Jsonx.Int h.matched);
+      ("precision", Jsonx.Float h.precision);
+      ("recall", Jsonx.Float h.recall);
+      ("flow_coverage", Jsonx.Float h.flow_coverage);
+    ]
+
+let remap_stats_json s =
+  Jsonx.Obj
+    [
+      ("routines_matched", Jsonx.Int s.routines_matched);
+      ("routines_dropped", Jsonx.Int s.routines_dropped);
+      ("mass_kept", Jsonx.Int s.mass_kept);
+      ("mass_dropped", Jsonx.Int s.mass_dropped);
+    ]
+
+let comparison_json ?confidence ~reference ~candidate () =
+  let hot = hot_report ~reference ~candidate () in
+  Jsonx.Obj
+    [
+      ("overlap_pct", Jsonx.Float (overlap reference candidate));
+      ("hot", hot_report_json hot);
+      ( "divergence",
+        Jsonx.Obj
+          (List.map
+             (fun (r, d) -> (r, Jsonx.Float d))
+             (divergence reference candidate)) );
+      ("total_divergence", Jsonx.Float (total_divergence reference candidate));
+      ("composite", Jsonx.Float (composite ?confidence ~reference ~candidate ()));
+      ("ref_total", Jsonx.Int reference.total);
+      ("cand_total", Jsonx.Int candidate.total);
+      ("ref_distinct", Jsonx.Int (distinct reference));
+      ("cand_distinct", Jsonx.Int (distinct candidate));
+    ]

@@ -23,4 +23,5 @@ let () =
       ("shard", Test_shard.suite);
       ("session", Test_session.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("quality", Test_quality.suite);
     ]
