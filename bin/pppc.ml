@@ -23,6 +23,9 @@ module Quality_report = Ppp_harness.Quality_report
 module Gate = Ppp_harness.Gate
 module Report = Ppp_harness.Report
 module Stale_match = Ppp_resilience.Stale_match
+module Daemon_client = Ppp_daemon.Client
+module Daemon_ops = Ppp_daemon.Ops
+module Daemon_chaos = Ppp_daemon.Chaos
 
 open Cmdliner
 
@@ -67,10 +70,10 @@ let no_cache_arg =
 
 let session_of ~no_cache name = Session.create ~enabled:(not no_cache) ~name ()
 
-let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc
+(* Every file this driver writes goes through the atomic temp + fsync +
+   rename path: a crash mid-write must never leave a torn dump or report
+   that a later run has to salvage. *)
+let write_file path text = Sink.write_atomic ~path text
 
 let read_file path =
   let ic = open_in_bin path in
@@ -110,6 +113,16 @@ let handle_errors f =
   | Jsonx.Parse_error msg ->
       Format.eprintf "error: malformed JSON: %s@." msg;
       exit 1
+  | Unix.Unix_error (e, fn, arg) ->
+      (* Surface OS failures as classified diagnostics, not raw
+         exception text. *)
+      let d =
+        Diagnostic.errorf Diagnostic.Io "%s%s: %s" fn
+          (if arg = "" then "" else Printf.sprintf " %S" arg)
+          (Unix.error_message e)
+      in
+      Format.eprintf "%a@." Diagnostic.pp d;
+      exit 2
   | Cli_error msg
   | Sys_error msg
   (* an unwritable --metrics-out/--trace-out surfaces from with_obs's
@@ -364,6 +377,66 @@ let jobs_arg =
 let mkdir_p dir =
   try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+(* {2 Talking to the resident daemon}
+
+   Exit codes are part of the contract: 10 daemon unreachable (with
+   --daemon-required), 11 request deadline exceeded, 12 work done but on
+   the degraded in-process fallback path. *)
+
+let daemon_args =
+  let socket =
+    let doc =
+      "Send the request to the resident $(b,pppd) daemon listening on \
+       $(docv) instead of computing in-process. A warm daemon serves \
+       repeated requests from its persistent store and resumes \
+       incremental optimization from persisted placement plans. If the \
+       daemon is unreachable or sheds the request under load, the work \
+       falls back to the in-process path and pppc exits with code 12."
+    in
+    Arg.(value & opt (some string) None & info [ "daemon" ] ~docv:"SOCKET" ~doc)
+  in
+  let deadline =
+    let doc =
+      "Wall-clock budget for the daemon request, in milliseconds; on \
+       expiry pppc exits with code 11. The budget is enforced on both \
+       sides of the socket."
+    in
+    Arg.(value & opt int 30_000 & info [ "daemon-deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let required =
+    let doc =
+      "Fail with exit code 10 instead of falling back to the in-process \
+       path when the daemon is unreachable."
+    in
+    Arg.(value & flag & info [ "daemon-required" ] ~doc)
+  in
+  Term.(const (fun s d r -> (s, d, r)) $ socket $ deadline $ required)
+
+(* Run [req] against the daemon and hand a successful reply to [accept].
+   Unreachable/shed degrades to [fallback] (exit 12) unless [required]
+   (exit 10); a timeout is terminal (exit 11): the budget is spent, so
+   silently redoing the work in-process would break the bound. *)
+let via_daemon ~socket ~deadline_ms ~required ~req ~accept ~fallback =
+  match Daemon_client.call ~socket ~deadline_ms req with
+  | Ok (body, meta) -> accept body meta
+  | Error Daemon_client.Timeout ->
+      Format.eprintf "%a@." Diagnostic.pp
+        (Daemon_client.failure_diagnostic Daemon_client.Timeout);
+      exit Daemon_client.Exit.request_timeout
+  | Error (Daemon_client.Remote (_, ds)) ->
+      Format.eprintf "%a@." Diagnostic.pp_list ds;
+      exit 2
+  | Error ((Daemon_client.Unreachable _ | Daemon_client.Shed) as f) ->
+      Format.eprintf "%a@." Diagnostic.pp (Daemon_client.failure_diagnostic f);
+      if required then exit Daemon_client.Exit.daemon_unreachable
+      else begin
+        Format.eprintf "%a@." Diagnostic.pp
+          (Diagnostic.make ~severity:Diagnostic.Warning Diagnostic.Degraded
+             "falling back to the in-process path");
+        fallback ();
+        exit Daemon_client.Exit.degraded
+      end
+
 (* Collect every built-in workload under the worker pool and merge the
    shards; [pppc collect bench:all]. *)
 let collect_all ~scale ~jobs ~warm ~output ~shard_dir ~metrics_wanted =
@@ -428,16 +501,10 @@ let collect_cmd =
     in
     Arg.(value & flag & info [ "warm" ] ~doc)
   in
-  let action spec scale engine output v1 jobs warm shard_dir obs =
+  let action spec scale engine output v1 jobs warm shard_dir obs
+      (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors (fun () ->
-        if spec = "bench:all" then begin
-          if v1 then
-            cli_error "--v1 is not supported with bench:all (shards merge in v2)";
-          with_obs obs (fun () ->
-              collect_all ~scale ~jobs ~warm ~output ~shard_dir
-                ~metrics_wanted:(Option.is_some (fst obs)))
-        end
-        else
+        let local_single () =
           with_obs obs (fun () ->
               let p = load_program spec ~scale in
               let o = Interp.run ~engine p in
@@ -454,12 +521,39 @@ let collect_cmd =
               in
               match output with
               | None -> write Format.std_formatter
-              | Some path ->
-                  let oc = open_out path in
-                  let ppf = Format.formatter_of_out_channel oc in
-                  write ppf;
-                  Format.pp_print_flush ppf ();
-                  close_out oc))
+              | Some path -> write_file path (Format.asprintf "%t" write))
+        in
+        if spec = "bench:all" then begin
+          if v1 then
+            cli_error "--v1 is not supported with bench:all (shards merge in v2)";
+          if daemon <> None then
+            cli_error "--daemon serves one workload per request, not bench:all";
+          with_obs obs (fun () ->
+              collect_all ~scale ~jobs ~warm ~output ~shard_dir
+                ~metrics_wanted:(Option.is_some (fst obs)))
+        end
+        else
+          match daemon with
+          | None -> local_single ()
+          | Some socket -> (
+              if v1 then cli_error "--v1 cannot be combined with --daemon";
+              match String.index_opt spec ':' with
+              | Some i when String.sub spec 0 i = "bench" ->
+                  let bench =
+                    String.sub spec (i + 1) (String.length spec - i - 1)
+                  in
+                  via_daemon ~socket ~deadline_ms:daemon_deadline_ms
+                    ~required:daemon_required
+                    ~req:(Daemon_ops.Collect { bench; scale })
+                    ~accept:(fun body _meta ->
+                      match output with
+                      | None -> print_string body
+                      | Some path -> write_file path body)
+                    ~fallback:local_single
+              | _ ->
+                  cli_error
+                    "--daemon needs a bench:NAME program (got %S): the daemon \
+                     does not read local files" spec))
   in
   let doc =
     "Run a program and dump its edge and path profiles as text (validated \
@@ -471,7 +565,7 @@ let collect_cmd =
   Cmd.v (Cmd.info "collect" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ engine_arg $ output_arg $ v1_arg
-      $ jobs_arg $ warm_arg $ shard_dir_arg $ obs_args)
+      $ jobs_arg $ warm_arg $ shard_dir_arg $ obs_args $ daemon_args)
 
 (* {2 merge} *)
 
@@ -484,21 +578,41 @@ let merge_cmd =
     let doc = "Write the merged profile here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
-  let action files output =
+  let action files output (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors @@ fun () ->
-    let merged =
-      Profile_io.Raw.merge
-        (List.map (fun path -> Profile_io.Raw.parse (read_file path)) files)
+    let emit text = match output with
+      | None -> print_string text
+      | Some path -> write_file path text
     in
-    (match Profile_io.Raw.diagnostics merged with
-    | [] -> ()
-    | ds -> Format.eprintf "%a@." Diagnostic.pp_list ds);
-    Format.eprintf "merged %d dumps: count mass %d, lost %d@."
-      (List.length files)
-      (Profile_io.Raw.mass merged)
-      (Profile_io.Raw.lost merged);
-    let text = Profile_io.Raw.to_string merged in
-    match output with None -> print_string text | Some path -> write_file path text
+    let local () =
+      let merged =
+        Profile_io.Raw.merge
+          (List.map (fun path -> Profile_io.Raw.parse (read_file path)) files)
+      in
+      (match Profile_io.Raw.diagnostics merged with
+      | [] -> ()
+      | ds -> Format.eprintf "%a@." Diagnostic.pp_list ds);
+      Format.eprintf "merged %d dumps: count mass %d, lost %d@."
+        (List.length files)
+        (Profile_io.Raw.mass merged)
+        (Profile_io.Raw.lost merged);
+      emit (Profile_io.Raw.to_string merged)
+    in
+    match daemon with
+    | None -> local ()
+    | Some socket ->
+        let dumps = List.map read_file files in
+        via_daemon ~socket ~deadline_ms:daemon_deadline_ms
+          ~required:daemon_required
+          ~req:(Daemon_ops.Merge { dumps })
+          ~accept:(fun body meta ->
+            (match (List.assoc_opt "mass" meta, List.assoc_opt "lost" meta) with
+            | Some (Jsonx.Int mass), Some (Jsonx.Int lost) ->
+                Format.eprintf "merged %d dumps: count mass %d, lost %d@."
+                  (List.length files) mass lost
+            | _ -> ());
+            emit body)
+          ~fallback:local
   in
   let doc =
     "Merge profile dumps (e.g. per-shard dumps from $(b,collect \
@@ -508,7 +622,8 @@ let merge_cmd =
      every problem is reported as a diagnostic on stderr. The merge is \
      order-independent."
   in
-  Cmd.v (Cmd.info "merge" ~doc) Term.(const action $ files_arg $ output_arg)
+  Cmd.v (Cmd.info "merge" ~doc)
+    Term.(const action $ files_arg $ output_arg $ daemon_args)
 
 (* {2 opt} *)
 
@@ -537,8 +652,10 @@ let opt_cmd =
     in
     Arg.(value & opt int 1 & info [ "iterate" ] ~docv:"N" ~doc)
   in
-  let action spec scale output profile iterate no_cache =
+  let action spec scale output profile iterate no_cache
+      (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors (fun () ->
+        let local () =
         let p = load_program spec ~scale in
         if iterate > 1 then begin
           if profile <> None then
@@ -586,10 +703,7 @@ let opt_cmd =
         in
         let text = Ppp_ir.Pp_ir.to_string prep.H.optimized in
         (match output with
-        | Some path ->
-            let oc = open_out path in
-            output_string oc text;
-            close_out oc
+        | Some path -> write_file path text
         | None -> print_string text);
         Format.eprintf
           "inlined %d sites (%.0f%% of dynamic calls); unrolled %d loops (avg \
@@ -600,7 +714,43 @@ let opt_cmd =
           prep.H.unroll_stats.Ppp_opt.Unroll.avg_dynamic_factor
           (float_of_int prep.H.orig_outcome.Interp.base_cost
           /. float_of_int prep.H.base_outcome.Interp.base_cost)
-        end)
+        end
+        in
+        match daemon with
+        | None -> local ()
+        | Some socket ->
+            let program =
+              match String.index_opt spec ':' with
+              | Some i when String.sub spec 0 i = "bench" ->
+                  Ppp_ir.Pp_ir.to_string (load_program spec ~scale)
+              | _ -> read_file spec
+            in
+            via_daemon ~socket ~deadline_ms:daemon_deadline_ms
+              ~required:daemon_required
+              ~req:
+                (Daemon_ops.Opt
+                   {
+                     name = spec;
+                     program;
+                     profile = Option.map read_file profile;
+                     iterate;
+                     plans = None;
+                   })
+              ~accept:(fun body meta ->
+                (match List.assoc_opt "plans_imported" meta with
+                | Some (Jsonx.Int n) when n > 0 ->
+                    Format.eprintf
+                      "resumed from %d persisted placement plan%s@." n
+                      (if n = 1 then "" else "s")
+                | _ -> ());
+                (match List.assoc_opt "served_from_store" meta with
+                | Some (Jsonx.Bool true) ->
+                    Format.eprintf "served from the daemon store@."
+                | _ -> ());
+                match output with
+                | None -> print_string body
+                | Some path -> write_file path body)
+              ~fallback:local)
   in
   let doc =
     "Apply profile-guided inlining and unrolling; print the result. With \
@@ -610,7 +760,7 @@ let opt_cmd =
   Cmd.v (Cmd.info "opt" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ output_arg $ profile_arg
-      $ iterate_arg $ no_cache_arg)
+      $ iterate_arg $ no_cache_arg $ daemon_args)
 
 (* {2 dot} *)
 
@@ -808,11 +958,7 @@ let fuzz_profile_cmd =
         ]
     in
     (match out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Jsonx.to_string report);
-        output_string oc "\n";
-        close_out oc
+    | Some path -> write_file path (Jsonx.to_string report ^ "\n")
     | None -> ());
     Format.printf "fuzz-profile: seed %d, %d cases, %d failures@." seed
       (List.length !cases) !failures;
@@ -1136,6 +1282,108 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ a_arg $ b_arg $ output_arg)
 
+(* {2 daemon control} *)
+
+let socket_arg =
+  let doc = "Path of the daemon's Unix-domain socket." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"SOCKET" ~doc)
+
+let daemon_cmd =
+  let op_arg =
+    let doc = "One of $(b,ping), $(b,status) or $(b,shutdown)." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("ping", `Ping); ("status", `Status);
+                            ("shutdown", `Shutdown) ])) None
+      & info [] ~docv:"OP" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Deadline for the control request, in milliseconds." in
+    Arg.(value & opt int 5_000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let action op socket deadline_ms =
+    handle_errors (fun () ->
+        let req =
+          match op with
+          | `Ping -> Daemon_ops.Ping
+          | `Status -> Daemon_ops.Status
+          | `Shutdown -> Daemon_ops.Shutdown
+        in
+        match Daemon_client.call ~socket ~deadline_ms req with
+        | Ok (body, meta) ->
+            if meta = [] then Format.printf "%s@." body
+            else Format.printf "%a@." Jsonx.pp (Jsonx.Obj meta)
+        | Error Daemon_client.Timeout ->
+            Format.eprintf "%a@." Diagnostic.pp
+              (Daemon_client.failure_diagnostic Daemon_client.Timeout);
+            exit Daemon_client.Exit.request_timeout
+        | Error f ->
+            Format.eprintf "%a@." Diagnostic.pp
+              (Daemon_client.failure_diagnostic f);
+            exit Daemon_client.Exit.daemon_unreachable)
+  in
+  let doc =
+    "Control a resident $(b,pppd) daemon: $(b,ping) checks liveness, \
+     $(b,status) prints the daemon's JSON status (workers, restarts, \
+     queue depth, store entries, quarantined entries), $(b,shutdown) \
+     asks it to stop. Exits 10 when the daemon is unreachable and 11 on \
+     a deadline."
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(const action $ op_arg $ socket_arg $ deadline_arg)
+
+(* {2 chaos} *)
+
+let chaos_cmd =
+  let dir_arg =
+    let doc =
+      "Scratch directory for the daemon under test (socket, store, log); \
+       created if missing, inspectable afterwards."
+    in
+    Arg.(value & opt string "_chaos" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for every random choice the harness makes." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let chaos_scale_arg =
+    let doc = "Workload scale used by the harness's collect requests." in
+    Arg.(value & opt int 2 & info [ "scale" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Write the JSON report here (stdout otherwise)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let action dir seed scale output =
+    handle_errors (fun () ->
+        let report = Daemon_chaos.run ~seed ~scale ~dir () in
+        List.iter
+          (fun (p : Daemon_chaos.phase) ->
+            Format.eprintf "%-16s %s  %s@." p.Daemon_chaos.name
+              (if p.Daemon_chaos.ok then "ok" else "FAIL")
+              p.Daemon_chaos.detail)
+          report.Daemon_chaos.phases;
+        let json =
+          Jsonx.to_string (Daemon_chaos.report_json report) ^ "\n"
+        in
+        (match output with
+        | None -> print_string json
+        | Some path -> write_file path json);
+        if not report.Daemon_chaos.passed then exit 2)
+  in
+  let doc =
+    "Boot a real $(b,pppd) in a scratch directory and attack it: crash \
+     workers mid-request, stall them past their deadlines, abuse the \
+     socket with garbage and dribbled frames, SIGKILL the daemon and \
+     corrupt its store on disk. Asserts the daemon never corrupts the \
+     store, never hangs a client, and serves byte-identical canonical \
+     profiles after every restart. Prints a JSON report; exits non-zero \
+     if any phase fails."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const action $ dir_arg $ seed_arg $ chaos_scale_arg $ output_arg)
+
 (* {2 benches} *)
 
 let benches_cmd =
@@ -1172,4 +1420,6 @@ let () =
             compare_cmd;
             benches_cmd;
             fuzz_profile_cmd;
+            daemon_cmd;
+            chaos_cmd;
           ]))

@@ -1,0 +1,387 @@
+module Robust_io = Ppp_resilience.Robust_io
+module Faults = Ppp_resilience.Faults
+module Crc = Ppp_resilience.Crc
+module Jsonx = Ppp_obs.Jsonx
+
+type phase = { name : string; ok : bool; detail : string }
+type report = { seed : int; phases : phase list; passed : bool }
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- daemon lifecycle -------------------------------------------------- *)
+
+let daemon_config ~dir ~seed =
+  {
+    (Server.default_config
+       ~socket_path:(Filename.concat dir "pppd.sock")
+       ~store_dir:(Filename.concat dir "store"))
+    with
+    Server.chaos_ops = true;
+    workers = 2;
+    seed;
+    quiet = false;
+  }
+
+(* Fork a real daemon, stderr to [dir/pppd.log] (appended across the
+   restarts the harness performs, so the log tells the whole story). *)
+let start_daemon ~dir cfg =
+  let log_fd =
+    Unix.openfile (Filename.concat dir "pppd.log")
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  match Unix.fork () with
+  | 0 ->
+      Unix.dup2 log_fd Unix.stderr;
+      close_quiet log_fd;
+      (try Server.run cfg with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      close_quiet log_fd;
+      pid
+
+let wait_ready ~socket =
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec poll () =
+    match Client.call ~socket ~deadline_ms:500 Ops.Ping with
+    | Ok _ -> true
+    | Error _ ->
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          Robust_io.sleep_until (Unix.gettimeofday () +. 0.05);
+          poll ()
+        end
+  in
+  poll ()
+
+let wait_exit pid =
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec poll () =
+    match Robust_io.waitpid_nohang pid with
+    | Some _ -> ()
+    | None ->
+        if Unix.gettimeofday () > deadline then begin
+          Robust_io.kill_quiet pid Sys.sigkill;
+          ignore
+            (try Unix.waitpid [] pid
+             with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+        end
+        else begin
+          Robust_io.sleep_until (Unix.gettimeofday () +. 0.05);
+          poll ()
+        end
+  in
+  poll ()
+
+let stop_daemon ~socket pid =
+  ignore (Client.call ~socket ~deadline_ms:3000 Ops.Shutdown);
+  wait_exit pid
+
+(* ---- raw-socket abuse helpers ------------------------------------------ *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      close_quiet fd;
+      None
+
+let frame_bytes payload =
+  let len = String.length payload in
+  let buf = Bytes.create (13 + len) in
+  Bytes.blit_string "PPPD" 0 buf 0 4;
+  Bytes.set buf 4 (Char.chr Wire.version);
+  let put_u32 pos v =
+    Bytes.set buf pos (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set buf (pos + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set buf (pos + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set buf (pos + 3) (Char.chr (v land 0xff))
+  in
+  put_u32 5 len;
+  put_u32 9 (Int32.to_int (Crc.string payload) land 0xffffffff);
+  Bytes.blit_string payload 0 buf 13 len;
+  Bytes.to_string buf
+
+let send_raw fd s =
+  ignore (Robust_io.write_string ~deadline:(Unix.gettimeofday () +. 2.) fd s)
+
+(* ---- the phases -------------------------------------------------------- *)
+
+let run ?(seed = 1) ?(scale = 2) ~dir () =
+  mkdir_p dir;
+  let rng = Faults.rng ~seed in
+  let cfg = daemon_config ~dir ~seed in
+  let socket = cfg.Server.socket_path in
+  let objects_dir = Filename.concat cfg.Server.store_dir "objects" in
+  let bench =
+    (List.hd Ppp_workloads.Spec.all).Ppp_workloads.Spec.bench_name
+  in
+  let phases = ref [] in
+  let record name ok detail = phases := { name; ok; detail } :: !phases in
+  let call ?deadline_ms req = Client.call ~socket ?deadline_ms req in
+  let collect () = call (Ops.Collect { bench; scale }) in
+
+  let pid = ref (start_daemon ~dir cfg) in
+  if not (wait_ready ~socket) then begin
+    record "boot" false "daemon did not become ready within 15s";
+    { seed; phases = List.rev !phases; passed = false }
+  end
+  else begin
+    (* A: daemon result == in-process result, then store-served and
+       still byte-identical. *)
+    let baseline = ref "" in
+    (match Ops.handle ~chaos:false (Ops.Collect { bench; scale }) with
+    | Ops.Okay { body = expected; _ } -> (
+        match (collect (), collect ()) with
+        | Ok (first, _), Ok (second, meta2) ->
+            baseline := first;
+            let from_store =
+              List.assoc_opt "served_from_store" meta2 = Some (Jsonx.Bool true)
+            in
+            if first <> expected then
+              record "baseline" false "daemon dump differs from in-process dump"
+            else if second <> first then
+              record "baseline" false "store-served dump differs from computed"
+            else if not from_store then
+              record "baseline" false "second collect was not store-served"
+            else
+              record "baseline" true
+                (Printf.sprintf "collect %s x2 byte-identical (%d bytes), \
+                                 second from store" bench (String.length first))
+        | r1, r2 ->
+            let say = function
+              | Ok _ -> "ok"
+              | Error f -> Ppp_resilience.Diagnostic.(
+                  (Client.failure_diagnostic f).message)
+            in
+            record "baseline" false
+              (Printf.sprintf "collect failed: %s / %s" (say r1) (say r2)))
+    | Ops.Failed _ -> record "baseline" false "in-process collect failed");
+
+    (* B: a worker crash costs one classified failure, then the
+       supervisor restores service. *)
+    (match call Ops.Crash with
+    | Error (Client.Remote ("worker-lost", _)) | Error Client.Unreachable _ -> (
+        match call ~deadline_ms:2000 Ops.Ping with
+        | Ok _ -> record "worker-crash" true "crash classified, daemon survives"
+        | Error _ -> record "worker-crash" false "daemon unresponsive after crash")
+    | Ok _ -> record "worker-crash" false "crash request unexpectedly succeeded"
+    | Error f ->
+        record "worker-crash" false
+          ("unexpected failure class: "
+          ^ (Client.failure_diagnostic f).Ppp_resilience.Diagnostic.message));
+
+    (* C: a stalled worker becomes a bounded timeout, never a hang. *)
+    let t0 = Unix.gettimeofday () in
+    (match call ~deadline_ms:300 (Ops.Stall 3.0) with
+    | Error Client.Timeout ->
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < 2.5 then
+          record "deadline" true
+            (Printf.sprintf "300ms deadline enforced in %.0fms" (1000. *. dt))
+        else
+          record "deadline" false
+            (Printf.sprintf "timeout took %.1fs (budget was 300ms)" dt)
+    | Ok _ -> record "deadline" false "stalled request unexpectedly succeeded"
+    | Error f ->
+        record "deadline" false
+          ("expected timeout, got "
+          ^ (Client.failure_diagnostic f).Ppp_resilience.Diagnostic.message));
+
+    (* D: garbage, truncated and dribbled frames on the socket. *)
+    (let garbage_ok =
+       match raw_connect socket with
+       | None -> false
+       | Some fd ->
+           send_raw fd "this is not a PPPD frame at all................";
+           close_quiet fd;
+           true
+     in
+     let truncated_ok =
+       match raw_connect socket with
+       | None -> false
+       | Some fd ->
+           let whole = frame_bytes (String.make 1000 'x') in
+           send_raw fd (String.sub whole 0 20);
+           close_quiet fd;
+           true
+     in
+     let dribble_ok =
+       match raw_connect socket with
+       | None -> false
+       | Some fd ->
+           let frame =
+             frame_bytes
+               (Ops.encode_request
+                  { Ops.id = 999; deadline_ms = 2000; req = Ops.Ping })
+           in
+           let n = String.length frame in
+           let chunk = max 1 (n / 7) in
+           let pos = ref 0 in
+           while !pos < n do
+             send_raw fd (String.sub frame !pos (min chunk (n - !pos)));
+             pos := !pos + chunk;
+             Robust_io.sleep_until (Unix.gettimeofday () +. 0.02)
+           done;
+           let got =
+             match
+               Wire.read_frame ~deadline:(Unix.gettimeofday () +. 3.) fd
+             with
+             | Ok payload -> (
+                 match Ops.decode_reply payload with
+                 | Ok (Ops.Okay { body = "pong"; _ }) -> true
+                 | _ -> false)
+             | Error _ -> false
+           in
+           close_quiet fd;
+           got
+     in
+     let alive = match call ~deadline_ms:2000 Ops.Ping with Ok _ -> true | Error _ -> false in
+     if garbage_ok && truncated_ok && dribble_ok && alive then
+       record "socket-abuse" true
+         "garbage and truncated frames dropped, dribbled frame served"
+     else
+       record "socket-abuse" false
+         (Printf.sprintf "garbage=%b truncated=%b dribble=%b alive=%b"
+            garbage_ok truncated_ok dribble_ok alive));
+
+    (* E: SIGKILL the daemon, corrupt the store on disk (seeded), and
+       prove the reopened daemon quarantines the damage and serves
+       byte-identical profiles. *)
+    Robust_io.kill_quiet !pid Sys.sigkill;
+    wait_exit !pid;
+    let corrupted =
+      match Sys.readdir objects_dir with
+      | exception Sys_error _ -> 0
+      | names ->
+          let objs =
+            Array.to_list names
+            |> List.filter (fun n -> Filename.check_suffix n ".obj")
+            |> List.sort compare
+          in
+          List.filteri (fun i _ -> i < 2) objs
+          |> List.mapi (fun i name ->
+                 let path = Filename.concat objects_dir name in
+                 let ic = open_in_bin path in
+                 let contents =
+                   Fun.protect
+                     ~finally:(fun () -> close_in_noerr ic)
+                     (fun () -> really_input_string ic (in_channel_length ic))
+                 in
+                 let damaged =
+                   if i = 0 then
+                     (* torn write: keep a seeded prefix *)
+                     String.sub contents 0
+                       (Faults.int rng (max 1 (String.length contents - 1)))
+                   else begin
+                     (* bit flip at a seeded offset *)
+                     let b = Bytes.of_string contents in
+                     let at = Faults.int rng (Bytes.length b) in
+                     Bytes.set b at
+                       (Char.chr (Char.code (Bytes.get b at) lxor 0x40));
+                     Bytes.to_string b
+                   end
+                 in
+                 let oc = open_out_bin path in
+                 output_string oc damaged;
+                 close_out oc;
+                 1)
+          |> List.fold_left ( + ) 0
+    in
+    pid := start_daemon ~dir cfg;
+    if not (wait_ready ~socket) then
+      record "store-corruption" false "daemon did not restart after corruption"
+    else begin
+      let quarantined =
+        match call Ops.Status with
+        | Ok (_, meta) -> (
+            match List.assoc_opt "store_quarantined" meta with
+            | Some (Jsonx.Int n) -> n
+            | _ -> -1)
+        | Error _ -> -1
+      in
+      match collect () with
+      | Ok (body, _) when body = !baseline && quarantined >= corrupted ->
+          record "store-corruption" true
+            (Printf.sprintf
+               "%d entries corrupted, %d quarantined, dump byte-identical"
+               corrupted quarantined)
+      | Ok (body, _) ->
+          record "store-corruption" false
+            (Printf.sprintf
+               "identical=%b quarantined=%d (corrupted %d)"
+               (body = !baseline) quarantined corrupted)
+      | Error f ->
+          record "store-corruption" false
+            ("collect after corruption failed: "
+            ^ (Client.failure_diagnostic f).Ppp_resilience.Diagnostic.message)
+    end;
+
+    (* F: SIGKILL with a request in flight: the client unblocks with a
+       classified failure; a fresh daemon on the same store (plus a
+       planted stale temp file) proves integrity again. *)
+    (match Unix.fork () with
+    | 0 -> (
+        match call ~deadline_ms:5000 (Ops.Stall 3.0) with
+        | Error (Client.Unreachable _ | Client.Timeout) -> Unix._exit 0
+        | Ok _ -> Unix._exit 1
+        | Error _ -> Unix._exit 2)
+    | child ->
+        Robust_io.sleep_until (Unix.gettimeofday () +. 0.3);
+        Robust_io.kill_quiet !pid Sys.sigkill;
+        wait_exit !pid;
+        let rec reap () =
+          match try Some (Unix.waitpid [] child) with
+            | Unix.Unix_error (Unix.EINTR, _, _) -> None
+            | Unix.Unix_error _ -> Some (child, Unix.WEXITED 3)
+          with
+          | Some (_, st) -> st
+          | None -> reap ()
+        in
+        let client_status = reap () in
+        let tmp = Filename.concat objects_dir ".chaos-leftover.tmp.1" in
+        (try
+           let oc = open_out_bin tmp in
+           output_string oc "half a write";
+           close_out oc
+         with Sys_error _ -> ());
+        pid := start_daemon ~dir cfg;
+        let ready = wait_ready ~socket in
+        let swept = not (Sys.file_exists tmp) in
+        let identical =
+          match collect () with Ok (b, _) -> b = !baseline | Error _ -> false
+        in
+        if client_status = Unix.WEXITED 0 && ready && swept && identical then
+          record "kill-mid-request" true
+            "client unblocked, temp swept, dump byte-identical after restart"
+        else
+          record "kill-mid-request" false
+            (Printf.sprintf "client=%s ready=%b swept=%b identical=%b"
+               (match client_status with
+               | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+               | _ -> "signalled")
+               ready swept identical));
+
+    stop_daemon ~socket !pid;
+    let phases = List.rev !phases in
+    { seed; phases; passed = List.for_all (fun p -> p.ok) phases }
+  end
+
+let report_json r =
+  Jsonx.Obj
+    [
+      ("seed", Jsonx.Int r.seed);
+      ("passed", Jsonx.Bool r.passed);
+      ( "phases",
+        Jsonx.Arr
+          (List.map
+             (fun p ->
+               Jsonx.Obj
+                 [ ("name", Jsonx.Str p.name); ("ok", Jsonx.Bool p.ok);
+                   ("detail", Jsonx.Str p.detail) ])
+             r.phases) );
+    ]

@@ -1,0 +1,40 @@
+(** The chaos harness: boots a real daemon in a scratch directory and
+    drives it through every failure the robustness contract promises to
+    absorb, asserting after each that the daemon {e never corrupts the
+    store, never hangs a client, and serves byte-identical canonical
+    profiles after a restart}.
+
+    Phases (all seeded via {!Ppp_resilience.Faults}' SplitMix64, so a
+    failing seed reproduces exactly):
+
+    + {b baseline} — a [Collect] equals the in-process result
+      byte-for-byte and is then served from the store, still identical;
+    + {b worker-crash} — a worker killed mid-request costs one
+      classified failure, after which the supervisor has restarted the
+      slot and the daemon serves again;
+    + {b deadline} — a stalled worker turns into a [timeout] reply
+      within a small multiple of the requested deadline, never a hang;
+    + {b socket-abuse} — garbage bytes, truncated frames and dribbled
+      frames on the socket are dropped (or, when well-formed but slow,
+      still served) without taking the daemon down;
+    + {b store-corruption} — with the daemon SIGKILLed, on-disk entries
+      are truncated and bit-flipped; the reopened daemon quarantines the
+      damage, keeps serving intact entries byte-identically, and
+      recomputes the rest;
+    + {b kill-mid-request} — SIGKILL with a request in flight unblocks
+      the client with a classified failure, and the next daemon on the
+      same store still proves integrity.
+
+    The harness runs real processes and sleeps through real backoff, so
+    it lives behind [pppc chaos] and a dedicated CI job, not in the unit
+    suite. *)
+
+type phase = { name : string; ok : bool; detail : string }
+type report = { seed : int; phases : phase list; passed : bool }
+
+val run : ?seed:int -> ?scale:int -> dir:string -> unit -> report
+(** [dir] is created if needed and used for the socket, the store and
+    the daemon log; [seed] (default 1) drives every random choice;
+    [scale] (default 2) sizes the collected workload. *)
+
+val report_json : report -> Ppp_obs.Jsonx.t

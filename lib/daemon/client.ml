@@ -1,0 +1,65 @@
+module Diagnostic = Ppp_resilience.Diagnostic
+
+type failure =
+  | Unreachable of string
+  | Timeout
+  | Shed
+  | Remote of string * Diagnostic.t list
+
+let next_id = ref 0
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Unreachable
+           (Printf.sprintf "cannot connect to %s: %s" socket
+              (Unix.error_message e)))
+
+let call ~socket ?(deadline_ms = 30_000) req =
+  incr next_id;
+  let env = { Ops.id = !next_id; deadline_ms; req } in
+  let deadline = Unix.gettimeofday () +. (Float.of_int deadline_ms /. 1000.) in
+  match connect ~socket with
+  | Error f -> Error f
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Wire.write_frame ~deadline fd (Ops.encode_request env) with
+          | Error Wire.Timeout -> Error Timeout
+          | Error e -> Error (Unreachable (Wire.error_message e))
+          | Ok () -> (
+              match Wire.read_frame ~deadline fd with
+              | Error Wire.Timeout -> Error Timeout
+              | Error e -> Error (Unreachable (Wire.error_message e))
+              | Ok payload -> (
+                  match Ops.decode_reply payload with
+                  | Error msg -> Error (Unreachable ("bad reply: " ^ msg))
+                  | Ok (Ops.Okay { body; meta }) -> Ok (body, meta)
+                  | Ok (Ops.Failed { code = "timeout"; _ }) -> Error Timeout
+                  | Ok (Ops.Failed { code = "shed"; _ }) -> Error Shed
+                  | Ok (Ops.Failed { code; diagnostics }) ->
+                      Error (Remote (code, diagnostics)))))
+
+let failure_diagnostic = function
+  | Unreachable msg ->
+      Diagnostic.errorf Diagnostic.Unreachable "daemon unreachable: %s" msg
+  | Timeout ->
+      Diagnostic.make Diagnostic.Deadline_exceeded
+        "daemon request exceeded its deadline"
+  | Shed ->
+      Diagnostic.make ~severity:Diagnostic.Warning Diagnostic.Degraded
+        "daemon shed the request under load"
+  | Remote (code, _) ->
+      Diagnostic.errorf Diagnostic.Io "daemon replied with failure code %S" code
+
+module Exit = struct
+  let ok = 0
+  let daemon_unreachable = 10
+  let request_timeout = 11
+  let degraded = 12
+end

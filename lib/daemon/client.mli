@@ -1,0 +1,42 @@
+(** The client side of the daemon protocol: connect, send one framed
+    request, read one framed reply, classify every way that can fail.
+
+    Failures are values, not exceptions, because each maps to a distinct
+    documented [pppc] exit code (see {!Exit}) and to a distinct recovery:
+    [Unreachable] and [Shed] mean "fall back to the in-process path",
+    [Timeout] means the budget is spent, [Remote] carries the daemon's
+    own classified diagnostics. *)
+
+type failure =
+  | Unreachable of string
+      (** no socket, connection refused, handshake/framing failure *)
+  | Timeout  (** the reply did not arrive within the deadline *)
+  | Shed  (** the daemon refused the request under load *)
+  | Remote of string * Ppp_resilience.Diagnostic.t list
+      (** the daemon replied [Failed]; the string is its failure code *)
+
+val call :
+  socket:string ->
+  ?deadline_ms:int ->
+  Ops.request ->
+  (string * (string * Ppp_obs.Jsonx.t) list, failure) result
+(** One request/reply exchange; [Ok (body, meta)] on success. The
+    deadline (default 30s) bounds the whole exchange — connect, send,
+    await — as one absolute budget, and is also shipped in the envelope
+    so the server enforces the same number. Never raises, never hangs. *)
+
+val failure_diagnostic : failure -> Ppp_resilience.Diagnostic.t
+
+module Exit : sig
+  val ok : int  (** 0 *)
+
+  val daemon_unreachable : int
+  (** 10: [--daemon] was required but the daemon could not be reached *)
+
+  val request_timeout : int
+  (** 11: the daemon accepted the request but the deadline expired *)
+
+  val degraded : int
+  (** 12: the work succeeded, but on the in-process fallback path after
+      the daemon was unreachable or shed the request *)
+end

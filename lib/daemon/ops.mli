@@ -1,0 +1,60 @@
+(** The daemon's request/reply vocabulary and its JSON wire codecs.
+
+    A request travels as one {!Wire} frame holding the JSON of an
+    {!envelope}; the reply comes back as one frame holding the JSON of a
+    {!reply}. Envelopes carry a client-chosen id (echoed back, so a retry
+    after a worker death can be correlated) and the request's deadline
+    budget in milliseconds. All payloads are strings of the repo's
+    existing textual formats — v2 profile dumps, [.pir] program text,
+    session plan exports — so the daemon never invents a second
+    serialization for domain data; binary-unsafe fields (marshaled plans)
+    travel hex-encoded.
+
+    {!handle} is the worker-side interpreter: it holds a resident
+    {!Ppp_session.Session} per program name, so repeated [Opt] requests
+    for the same program reuse memoized analyses and [--iterate]
+    resumes across client invocations. It never raises — failures come
+    back as [Failed] replies with classified diagnostics. *)
+
+type request =
+  | Ping
+  | Collect of { bench : string; scale : int }
+  | Merge of { dumps : string list }
+  | Opt of {
+      name : string;  (** session key; programs with equal names share analyses *)
+      program : string;  (** [.pir] source text *)
+      profile : string option;  (** optional profile dump to apply *)
+      iterate : int;  (** >1 runs the incremental re-optimization loop *)
+      plans : string option;  (** hex of a session plan export to resume from *)
+    }
+  | Status
+  | Shutdown
+  | Stall of float  (** chaos: sleep this many seconds, then reply to Ping *)
+  | Crash  (** chaos: exit abruptly without replying *)
+
+type envelope = { id : int; deadline_ms : int; req : request }
+
+type reply =
+  | Okay of { body : string; meta : (string * Ppp_obs.Jsonx.t) list }
+  | Failed of { code : string; diagnostics : Ppp_resilience.Diagnostic.t list }
+      (** [code] is one of ["bad-request"], ["timeout"], ["shed"],
+          ["worker-lost"], ["unsupported"], ["error"]. *)
+
+val is_idempotent : request -> bool
+(** Safe to retry on a fresh worker after the serving worker died
+    mid-request. Everything here is a pure function of its payload
+    (sessions are caches, not state the client observes), so all real
+    requests are idempotent; only chaos ops are not retried. *)
+
+val encode_request : envelope -> string
+val decode_request : string -> (envelope, string) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result
+
+val hex_of_string : string -> string
+val string_of_hex : string -> string option
+
+val handle : chaos:bool -> request -> reply
+(** Execute a request in this process (the supervised worker's main
+    loop, and the client's in-process degradation path). [chaos:false]
+    rejects [Stall]/[Crash] with code ["unsupported"]. Never raises. *)

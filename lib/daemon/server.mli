@@ -1,0 +1,51 @@
+(** The resident profile service: a single-threaded [select] event loop
+    owning the persistent {!Store} and a pool of supervised worker
+    subprocesses that execute {!Ops} requests.
+
+    The division of labor is single-writer by construction: {e only the
+    parent} touches the store (so no mutation can race), and {e only
+    workers} run domain code (so a crash, stall or runaway request never
+    takes the store owner down). Each worker speaks {!Wire} frames over
+    its socketpair; clients connect to a Unix-domain socket, send one
+    framed request, receive one framed reply, and the connection closes.
+
+    Robustness contract:
+    - {b Deadlines.} Every request carries a millisecond budget (the
+      config default when unset). A worker that overruns is SIGKILLed,
+      the client gets a [Failed "timeout"] reply, and the slot restarts.
+    - {b Bounded queue.} When every worker is busy and the queue is at
+      [queue_limit], new requests are shed immediately with
+      [Failed "shed"] — load makes the daemon slow to accept, never
+      unbounded in memory, and clients degrade to the in-process path.
+    - {b Supervision.} A dead worker restarts after seeded-jitter
+      exponential backoff ({!Ppp_resilience.Faults} RNG, so chaos runs
+      are reproducible). An idempotent request whose worker died
+      mid-flight is retried once on a fresh worker before the client
+      sees [Failed "worker-lost"].
+    - {b Store serving.} [Collect] and [Merge] results and full [Opt]
+      replies are persisted and served from the store on identical
+      re-requests; [Opt] requests that carry no plan bundle resume from
+      the routine plans persisted under the program's name, which is
+      what makes a warm daemon's [--iterate] cheaper than a cold
+      process. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string;
+  workers : int;  (** pool size, clamped to at least 1 *)
+  queue_limit : int;  (** queued (not in-flight) requests before shedding *)
+  default_deadline_ms : int;  (** for envelopes with [deadline_ms <= 0] *)
+  chaos_ops : bool;  (** accept [Stall]/[Crash] requests (tests only) *)
+  seed : int;  (** restart-jitter RNG seed *)
+  quiet : bool;
+}
+
+val default_config : socket_path:string -> store_dir:string -> config
+(** 2 workers, queue limit 16, 30s default deadline, chaos off, seed 1. *)
+
+val run : config -> unit
+(** Serve until a [Shutdown] request (or SIGTERM/SIGINT). Replays the
+    store's reopen diagnostics to stderr (unless [quiet]), then accepts.
+    On exit: workers are terminated, the socket unlinked, the store
+    closed. Raises [Unix.Unix_error] only for startup failures (socket
+    already bound, unwritable store dir) — never once serving. *)

@@ -1,4 +1,5 @@
 module Diagnostic = Ppp_resilience.Diagnostic
+module Robust_io = Ppp_resilience.Robust_io
 module Profile_io = Ppp_profile.Profile_io
 module Metrics = Ppp_obs.Metrics
 module Spec = Ppp_workloads.Spec
@@ -34,8 +35,41 @@ let lost_diag ~worker ~index ~total why =
   Diagnostic.errorf ~line:index Diagnostic.Shard_lost
     "worker %d %s before delivering item %d of %d" worker why index total
 
-let map (type b) ~jobs ?(seed = 0) ~(f : seed:int -> 'a -> b) items :
-    (b, Diagnostic.t) result list =
+(* One marshaled record from a worker pipe, assembled from raw reads so
+   the parent survives EINTR and short reads and can put a wall-clock
+   deadline on a stalled worker (a buffered [Marshal.from_channel] can
+   do neither). [`Eof] covers both a cleanly closed pipe and a record
+   torn by a mid-write crash — either way the stream is over and the
+   per-item sweep accounts for what never arrived. *)
+let read_record (type b) ?deadline fd :
+    [ `Record of int * (b, string) result | `Eof | `Timeout ] =
+  let hdr = Bytes.create Marshal.header_size in
+  match Robust_io.really_read ?deadline fd hdr 0 Marshal.header_size with
+  | `Eof -> `Eof
+  | `Timeout -> `Timeout
+  | `Ok () -> (
+      match Marshal.data_size hdr 0 with
+      | exception Failure _ -> `Eof (* corrupt header: torn stream *)
+      | data_len -> (
+          let buf = Bytes.create (Marshal.header_size + data_len) in
+          Bytes.blit hdr 0 buf 0 Marshal.header_size;
+          match
+            Robust_io.really_read ?deadline fd buf Marshal.header_size data_len
+          with
+          | `Eof -> `Eof
+          | `Timeout -> `Timeout
+          | `Ok () -> (
+              match (Marshal.from_bytes buf 0 : int * (b, string) result) with
+              | r -> `Record r
+              | exception Failure _ -> `Eof)))
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let map (type b) ~jobs ?(seed = 0) ?timeout_s ~(f : seed:int -> 'a -> b) items
+    : (b, Diagnostic.t) result list =
   let items = Array.of_list items in
   let n = Array.length items in
   if n = 0 then []
@@ -49,20 +83,26 @@ let map (type b) ~jobs ?(seed = 0) ~(f : seed:int -> 'a -> b) items :
           | 0 ->
               Unix.close rd;
               silence_stdout ();
-              let oc = Unix.out_channel_of_descr wr in
               let i = ref w in
-              while !i < n do
-                let idx = !i in
-                let r : (b, string) result =
-                  try Ok (f ~seed:(derive_seed seed idx) items.(idx))
-                  with e -> Error (Printexc.to_string e)
-                in
-                Marshal.to_channel oc (idx, r) [];
-                (* Flush per item, not per worker: results already
-                   computed must survive a crash on a later item. *)
-                flush oc;
-                i := !i + jobs
-              done;
+              (try
+                 while !i < n do
+                   let idx = !i in
+                   let r : (b, string) result =
+                     try Ok (f ~seed:(derive_seed seed idx) items.(idx))
+                     with e -> Error (Printexc.to_string e)
+                   in
+                   (* One EINTR-safe write per item: results already
+                      computed must survive a crash on a later item, and
+                      a signal landing mid-write must not tear the
+                      stream. *)
+                   (match
+                      Robust_io.write_string wr (Marshal.to_string (idx, r) [])
+                    with
+                   | `Ok -> ()
+                   | `Closed | `Timeout -> raise Exit);
+                   i := !i + jobs
+                 done
+               with Exit -> ());
               Unix._exit 0
           | pid ->
               Unix.close wr;
@@ -71,36 +111,46 @@ let map (type b) ~jobs ?(seed = 0) ~(f : seed:int -> 'a -> b) items :
     let results : (b, Diagnostic.t) result option array = Array.make n None in
     Array.iteri
       (fun w (pid, rd) ->
-        let ic = Unix.in_channel_of_descr rd in
-        (* Drain this worker's stream; a truncated record means the
-           worker died mid-item, which the per-item sweep below turns
-           into diagnostics. Reading each pipe to EOF before waiting
-           cannot deadlock: the parent is the only reader and always
-           consumes. *)
-        (try
-           let streaming = ref true in
-           while !streaming do
-             match (Marshal.from_channel ic : int * (b, string) result) with
-             | idx, Ok v -> results.(idx) <- Some (Ok v)
-             | idx, Error msg ->
-                 results.(idx) <-
-                   Some
-                     (Error
-                        (Diagnostic.errorf ~line:idx Diagnostic.Shard_lost
-                           "shard job %d raised: %s" idx msg))
-             | exception End_of_file -> streaming := false
-             | exception Failure _ -> streaming := false
-           done
-         with Sys_error _ -> ());
-        close_in_noerr ic;
-        let why =
-          match Unix.waitpid [] pid with
-          | _, Unix.WEXITED 0 -> "died mid-stream"
-          | _, Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
-          | _, Unix.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
-          | _, Unix.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
-          | exception Unix.Unix_error _ -> "could not be reaped"
+        (* Drain this worker's stream to EOF before waiting (the parent
+           is the only reader and always consumes, so no deadlock). The
+           optional wall-clock budget is per worker, measured from the
+           moment its drain starts; a worker that blows it is killed and
+           its undelivered items become located diagnostics instead of
+           blocking the merge forever. *)
+        let deadline =
+          Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
         in
+        let timed_out = ref false in
+        let streaming = ref true in
+        while !streaming do
+          match read_record ?deadline rd with
+          | `Record (idx, Ok v) -> results.(idx) <- Some (Ok v)
+          | `Record (idx, Error msg) ->
+              results.(idx) <-
+                Some
+                  (Error
+                     (Diagnostic.errorf ~line:idx Diagnostic.Shard_lost
+                        "shard job %d raised: %s" idx msg))
+          | `Eof -> streaming := false
+          | `Timeout ->
+              timed_out := true;
+              Robust_io.kill_quiet pid Sys.sigkill;
+              streaming := false
+        done;
+        (try Unix.close rd with Unix.Unix_error _ -> ());
+        let why =
+          if !timed_out then
+            Printf.sprintf "exceeded its %gs wall-clock budget"
+              (Option.get timeout_s)
+          else
+            match waitpid_retry pid with
+            | _, Unix.WEXITED 0 -> "died mid-stream"
+            | _, Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+            | _, Unix.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
+            | _, Unix.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
+            | exception Unix.Unix_error _ -> "could not be reaped"
+        in
+        if !timed_out then ignore (waitpid_retry pid);
         let i = ref w in
         while !i < n do
           (match results.(!i) with
@@ -144,7 +194,7 @@ let collect_one ?prebuilt ~scale ~metrics (b : Spec.bench) =
   (b.Spec.bench_name, Profile_io.Raw.to_string raw, snap)
 
 let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) ?(warm = false)
-    benches =
+    ?timeout_s benches =
   (* With [warm], the parent builds every workload and fills a session
      (analyses + structural lowering) before the pool forks, so workers
      inherit the warm artifacts copy-on-write and only execute. Workers
@@ -165,7 +215,7 @@ let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) ?(warm = false)
       benches
   in
   let results =
-    map ~jobs
+    map ~jobs ?timeout_s
       ~f:(fun ~seed:_ (b, prebuilt) -> collect_one ?prebuilt ~scale ~metrics b)
       items
   in

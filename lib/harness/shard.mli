@@ -20,6 +20,7 @@ val derive_seed : int -> int -> int
 val map :
   jobs:int ->
   ?seed:int ->
+  ?timeout_s:float ->
   f:(seed:int -> 'a -> 'b) ->
   'a list ->
   ('b, Ppp_resilience.Diagnostic.t) result list
@@ -31,7 +32,15 @@ val map :
     diagnostic's [line] field). Worker stdout is routed to [/dev/null]
     so shard chatter cannot interleave with the parent's output; [f]
     must not rely on mutating parent state (it runs in a child
-    process). *)
+    process).
+
+    All pipe I/O is EINTR-safe and short-read/short-write tolerant on
+    both sides ({!Ppp_resilience.Robust_io}). [timeout_s], when given,
+    is a per-worker wall-clock budget measured while the parent drains
+    that worker's stream: a worker that stalls past it is killed
+    ([SIGKILL]) and each of its undelivered items becomes a located
+    [Shard_lost] diagnostic instead of blocking the merge forever;
+    items it already delivered are kept. *)
 
 (** {2 Sharded workload collection}
 
@@ -62,6 +71,7 @@ val collect_workloads :
   ?scale:int ->
   ?metrics:bool ->
   ?warm:bool ->
+  ?timeout_s:float ->
   Ppp_workloads.Spec.bench list ->
   collected
 (** Run every workload under the pool ([metrics] defaults to [false];

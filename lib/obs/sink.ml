@@ -19,13 +19,44 @@ let metrics_json snap =
       ("metrics", Jsonx.Obj (List.map (fun (name, v) -> (name, value_json v)) snap));
     ]
 
-let write_json ~path json =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Jsonx.to_string json);
-      output_char oc '\n')
+(* Crash-safe file replacement: the contents go to a temporary file in
+   the same directory (so the rename cannot cross filesystems), are
+   fsync'd to stable storage, and only then renamed over the target.
+   A crash at any point leaves either the old file or the new one —
+   never a half-written dump that a loader has to salvage. *)
+let write_atomic ~path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let fd =
+    try Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" tmp (Unix.error_message e)))
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (try
+     let buf = Bytes.unsafe_of_string contents in
+     let pos = ref 0 in
+     let len = String.length contents in
+     while !pos < len do
+       match Unix.write fd buf !pos (len - !pos) with
+       | n -> pos := !pos + n
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done;
+     Unix.fsync fd;
+     Unix.close fd
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     cleanup ();
+     raise (Sys_error (Printf.sprintf "%s: %s" tmp (Unix.error_message e))));
+  try Unix.rename tmp path
+  with Unix.Unix_error (e, _, _) ->
+    cleanup ();
+    raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let write_json ~path json = write_atomic ~path (Jsonx.to_string json ^ "\n")
 
 let write_metrics_json ~path snap = write_json ~path (metrics_json snap)
 
@@ -59,10 +90,4 @@ let pp_metrics_csv ppf snap =
     snap
 
 let write_metrics_csv ~path snap =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let ppf = Format.formatter_of_out_channel oc in
-      pp_metrics_csv ppf snap;
-      Format.pp_print_flush ppf ())
+  write_atomic ~path (Format.asprintf "%a" pp_metrics_csv snap)

@@ -14,3 +14,11 @@ val write_metrics_csv : path:string -> Metrics.snapshot -> unit
 
 val write_json : path:string -> Jsonx.t -> unit
 (** Generic helper: write any JSON document (used for [BENCH_*.json]). *)
+
+val write_atomic : path:string -> string -> unit
+(** Crash-safe whole-file replacement: write to a temporary file in the
+    target's directory, [fsync], then [rename] over [path]. A crash at
+    any point leaves either the previous contents or the new ones, never
+    a torn file. Every file sink in this module (and the profile and
+    report writers across the repo) goes through this.
+    @raise Sys_error on I/O failure, like the plain writers. *)

@@ -687,10 +687,15 @@ module Raw = struct
     save ppf t;
     Format.pp_print_flush ppf ();
     Buffer.contents buf
+
+  let save_file ~path t = Ppp_obs.Sink.write_atomic ~path (to_string t)
 end
 
 let save ?edges ?paths ppf (p : Ir.program) =
   Raw.save ppf (Raw.of_program ?edges ?paths p)
+
+let save_file ?edges ?paths ~path (p : Ir.program) =
+  Raw.save_file ~path (Raw.of_program ?edges ?paths p)
 
 (* {2 The program-based loader} *)
 

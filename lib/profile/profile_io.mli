@@ -76,6 +76,17 @@ val save :
     equal profiles are byte-identical. Sections for omitted profiles are
     written empty. *)
 
+val save_file :
+  ?edges:Edge_profile.program ->
+  ?paths:Path_profile.program ->
+  path:string ->
+  Ppp_ir.Ir.program ->
+  unit
+(** {!save} to a file, atomically: the dump is staged in a temporary
+    file, [fsync]'d and renamed over [path]
+    ({!Ppp_obs.Sink.write_atomic}), so a crash mid-save never leaves a
+    half-written dump for the loader to salvage. *)
+
 (** {2 Raw dumps and merging}
 
     A {!Raw.t} is a dump held program-free: the CFG descriptions the
@@ -128,6 +139,9 @@ module Raw : sig
   (** Canonical v2 text, CRCs recomputed. *)
 
   val to_string : t -> string
+
+  val save_file : path:string -> t -> unit
+  (** Atomic whole-file write of {!to_string} (temp + fsync + rename). *)
 
   val mass : t -> int
   (** Total count mass currently held (saturating sum). *)

@@ -9,6 +9,11 @@ type kind =
   | Exhausted
   | Saturated
   | Shard_lost
+  | Io
+  | Unreachable
+  | Deadline_exceeded
+  | Degraded
+  | Quarantined
 type severity = Warning | Error
 
 type t = {
@@ -28,11 +33,29 @@ let kind_name = function
   | Exhausted -> "exhausted"
   | Saturated -> "saturated"
   | Shard_lost -> "shard-lost"
+  | Io -> "io"
+  | Unreachable -> "unreachable"
+  | Deadline_exceeded -> "deadline"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
 
 let severity_name = function Warning -> "warning" | Error -> "error"
 
 let all_kinds =
-  [ Corrupt; Stale; Unknown_routine; Truncated; Exhausted; Saturated; Shard_lost ]
+  [
+    Corrupt;
+    Stale;
+    Unknown_routine;
+    Truncated;
+    Exhausted;
+    Saturated;
+    Shard_lost;
+    Io;
+    Unreachable;
+    Deadline_exceeded;
+    Degraded;
+    Quarantined;
+  ]
 
 (* Registered at module init so every snapshot lists them, zeroed or not
    (the convention Ppp_obs establishes). *)

@@ -18,6 +18,19 @@ type kind =
   | Shard_lost
       (** a parallel collection worker died before delivering its shard;
           the merge proceeds without it *)
+  | Io  (** an operating-system I/O failure, reported instead of raised *)
+  | Unreachable
+      (** the resident daemon could not be reached (socket missing,
+          connection refused, handshake failed) *)
+  | Deadline_exceeded
+      (** a request (or a supervised worker serving it) overran its
+          wall-clock deadline and was abandoned *)
+  | Degraded
+      (** the daemon path failed and the client fell back to the
+          in-process path; the result is still correct, only slower *)
+  | Quarantined
+      (** a persistent-store entry failed validation on reopen and was
+          moved aside rather than served *)
 
 type severity =
   | Warning  (** data was salvaged or degraded, the phase continued *)

@@ -1,0 +1,480 @@
+(* The daemon's crash-safety guarantees, tested without sleeping through
+   real supervision: the wire framing rejects every corruption, the
+   store salvages or quarantines any on-disk damage (never raises, never
+   serves wrong bytes), a kill-9 mid-write leaves committed entries
+   byte-identical on reopen, and session placement plans survive the
+   export/import round-trip that daemon persistence is built on. A tiny
+   end-to-end check boots a real server process; the heavyweight
+   adversarial scenarios live in [pppc chaos]. *)
+
+module Wire = Ppp_daemon.Wire
+module Store = Ppp_daemon.Store
+module Ops = Ppp_daemon.Ops
+module Server = Ppp_daemon.Server
+module Client = Ppp_daemon.Client
+module Diagnostic = Ppp_resilience.Diagnostic
+module Faults = Ppp_resilience.Faults
+module Session = Ppp_session.Session
+module H = Ppp_harness.Pipeline
+module Jsonx = Ppp_obs.Jsonx
+
+let tmpdir =
+  let count = ref 0 in
+  fun () ->
+    incr count;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ppp-daemon-test-%d-%d" (Unix.getpid ()) !count)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* {2 Wire framing} *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_wire_roundtrip () =
+  with_socketpair (fun a b ->
+      List.iter
+        (fun payload ->
+          (match Wire.write_frame a payload with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "write_frame failed");
+          match Wire.read_frame b with
+          | Ok got -> Alcotest.(check string) "payload round-trips" payload got
+          | Error _ -> Alcotest.fail "read_frame failed")
+        [ ""; "x"; "hello world"; String.make 100_000 '\xab';
+          "binary\x00\x01\xff\ndata" ])
+
+let test_wire_rejects_corruption () =
+  (* Flipping any byte of a frame must yield Corrupt or Closed, never a
+     wrong payload and never an exception. *)
+  let payload = "the payload under test" in
+  for flip = 0 to 12 + String.length payload do
+    with_socketpair (fun a b ->
+        (match Wire.write_frame a payload with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "write failed");
+        (* Rebuild the frame bytes by reading them raw, flip one, resend. *)
+        let buf = Bytes.create (13 + String.length payload) in
+        let rec fill pos =
+          if pos < Bytes.length buf then
+            let n = Unix.read b buf pos (Bytes.length buf - pos) in
+            fill (pos + n)
+        in
+        fill 0;
+        Bytes.set buf flip
+          (Char.chr (Char.code (Bytes.get buf flip) lxor 0x20));
+        with_socketpair (fun c d ->
+            ignore
+              (Ppp_resilience.Robust_io.write_all c buf 0 (Bytes.length buf));
+            Unix.close c;
+            match Wire.read_frame d with
+            | Ok got ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "flip at %d must not alter the payload" flip)
+                  true (got = payload)
+            | Error (Wire.Corrupt _) | Error Wire.Closed -> ()
+            | Error Wire.Timeout -> Alcotest.fail "unexpected timeout"))
+  done
+
+let test_wire_timeout () =
+  with_socketpair (fun _a b ->
+      let t0 = Unix.gettimeofday () in
+      match Wire.read_frame ~deadline:(t0 +. 0.1) b with
+      | Error Wire.Timeout ->
+          Alcotest.(check bool)
+            "timeout is prompt" true
+            (Unix.gettimeofday () -. t0 < 1.0)
+      | _ -> Alcotest.fail "expected a timeout")
+
+let test_wire_truncated () =
+  with_socketpair (fun a b ->
+      (* A header that promises more payload than ever arrives. *)
+      (match Wire.write_frame a (String.make 500 'q') with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write failed");
+      let buf = Bytes.create 100 in
+      let rec fill pos =
+        if pos < 100 then fill (pos + Unix.read b buf pos (100 - pos))
+      in
+      fill 0;
+      with_socketpair (fun c d ->
+          ignore (Ppp_resilience.Robust_io.write_all c buf 0 100);
+          Unix.close c;
+          match Wire.read_frame d with
+          | Error (Wire.Corrupt _) -> ()
+          | Error e -> Alcotest.failf "expected Corrupt, got %s" (Wire.error_message e)
+          | Ok _ -> Alcotest.fail "truncated frame must not parse"))
+
+(* {2 Ops codecs} *)
+
+let test_ops_roundtrip () =
+  let reqs =
+    [ Ops.Ping; Ops.Collect { bench = "bzip2"; scale = 3 };
+      Ops.Merge { dumps = [ "a b c"; ""; "\x00bin" ] };
+      Ops.Opt
+        { name = "bench:gcc"; program = "routine f {}"; profile = Some "p";
+          iterate = 4; plans = Some "deadbeef" };
+      Ops.Status; Ops.Shutdown; Ops.Stall 1.5; Ops.Crash ]
+  in
+  List.iteri
+    (fun i req ->
+      let env = { Ops.id = i; deadline_ms = 100 * i; req } in
+      match Ops.decode_request (Ops.encode_request env) with
+      | Ok got -> Alcotest.(check bool) "request round-trips" true (got = env)
+      | Error e -> Alcotest.failf "decode_request failed: %s" e)
+    reqs;
+  let replies =
+    [ Ops.Okay { body = "result\nbytes\x00"; meta = [ ("k", Jsonx.Int 7) ] };
+      Ops.Failed
+        {
+          code = "timeout";
+          diagnostics =
+            [ Diagnostic.make ~severity:Diagnostic.Warning ~line:3
+                ~routine:"f" Diagnostic.Deadline_exceeded "too slow" ];
+        } ]
+  in
+  List.iter
+    (fun r ->
+      match Ops.decode_reply (Ops.encode_reply r) with
+      | Ok got -> Alcotest.(check bool) "reply round-trips" true (got = r)
+      | Error e -> Alcotest.failf "decode_reply failed: %s" e)
+    replies
+
+let test_ops_hex () =
+  let s = String.init 256 Char.chr in
+  match Ops.string_of_hex (Ops.hex_of_string s) with
+  | Some got -> Alcotest.(check string) "hex round-trips all bytes" s got
+  | None -> Alcotest.fail "hex decode failed"
+
+(* {2 Store} *)
+
+let test_store_roundtrip () =
+  let dir = tmpdir () in
+  let t, diags = Store.open_store ~dir in
+  Alcotest.(check int) "fresh store has no diagnostics" 0 (List.length diags);
+  let payload = "profile dump\nwith lines\nand \x00 bytes" in
+  (match Store.put t ~kind:"profile" ~key:"bzip2/scale=2" payload with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "put failed: %s" d.Diagnostic.message);
+  (match Store.get t ~kind:"profile" ~key:"bzip2/scale=2" with
+  | Some got -> Alcotest.(check string) "get returns put bytes" payload got
+  | None -> Alcotest.fail "get missed a committed entry");
+  Store.close t;
+  (* Reopen: the entry survives, byte-identical. *)
+  let t2, diags2 = Store.open_store ~dir in
+  Alcotest.(check int) "clean reopen has no diagnostics" 0 (List.length diags2);
+  (match Store.get t2 ~kind:"profile" ~key:"bzip2/scale=2" with
+  | Some got -> Alcotest.(check string) "entry survives reopen" payload got
+  | None -> Alcotest.fail "entry lost across reopen");
+  Store.close t2
+
+let obj_files dir =
+  let objects = Filename.concat dir "objects" in
+  Sys.readdir objects |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".obj")
+  |> List.map (Filename.concat objects)
+  |> List.sort compare
+
+(* The central salvage property: whatever prefix-truncation or byte-flip
+   hits an object file, reopening never raises and get never serves
+   wrong bytes — each entry comes back either byte-identical or
+   quarantined with a diagnostic. *)
+let prop_store_salvage =
+  QCheck.Test.make ~name:"corrupted store entries are salvaged or quarantined"
+    ~count:60
+    QCheck.(triple small_int small_int bool)
+    (fun (seed, pos, truncate) ->
+      let dir = tmpdir () in
+      let t, _ = Store.open_store ~dir in
+      let payload_a = Printf.sprintf "payload A seed=%d\n%s" seed (String.make 200 'a') in
+      let payload_b = Printf.sprintf "payload B seed=%d\n%s" seed (String.make 100 'b') in
+      (match
+         ( Store.put t ~kind:"profile" ~key:"a" payload_a,
+           Store.put t ~kind:"plans" ~key:"b" payload_b )
+       with
+      | Ok (), Ok () -> ()
+      | _ -> QCheck.Test.fail_report "put failed");
+      Store.close t;
+      (* Corrupt the first object file at a position derived from the
+         generated input. *)
+      (match obj_files dir with
+      | [] -> QCheck.Test.fail_report "no object files on disk"
+      | file :: _ ->
+          let contents = read_file file in
+          let n = String.length contents in
+          let at = pos mod n in
+          let damaged =
+            if truncate then String.sub contents 0 at
+            else begin
+              let b = Bytes.of_string contents in
+              Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0x01));
+              Bytes.to_string b
+            end
+          in
+          if damaged <> contents then write_raw file damaged);
+      let t2, _diags = Store.open_store ~dir in
+      let ok_entry key payload =
+        match Store.get t2 ~kind:(if key = "a" then "profile" else "plans") ~key with
+        | Some got -> got = payload (* never wrong bytes *)
+        | None -> true (* quarantined is acceptable *)
+      in
+      let a_ok = ok_entry "a" payload_a in
+      let b_ok = ok_entry "b" payload_b in
+      (* At least one of the two entries was untouched and must survive. *)
+      let untouched_served =
+        Store.get t2 ~kind:"plans" ~key:"b" = Some payload_b
+        || Store.get t2 ~kind:"profile" ~key:"a" = Some payload_a
+      in
+      Store.close t2;
+      a_ok && b_ok && untouched_served)
+
+let test_store_kill9_mid_write () =
+  (* A writer killed with SIGKILL mid-put must leave committed entries
+     byte-identical and at worst a swept temp file for the in-flight
+     one. Fork a child that commits entry A, then loops puts of entry B
+     forever; kill it at a random point. *)
+  let dir = tmpdir () in
+  let payload_a = String.concat "\n" (List.init 64 (fun i -> Printf.sprintf "line %d" i)) in
+  let rd, wr = Unix.pipe () in
+  (match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let t, _ = Store.open_store ~dir in
+      (match Store.put t ~kind:"profile" ~key:"committed" payload_a with
+      | Ok () -> ignore (Unix.write wr (Bytes.of_string "!") 0 1)
+      | Error _ -> Unix._exit 1);
+      let i = ref 0 in
+      while true do
+        incr i;
+        ignore
+          (Store.put t ~kind:"profile" ~key:"inflight"
+             (String.make (1 + (!i mod 5000)) (Char.chr (65 + (!i mod 26)))))
+      done;
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      (* Wait for the committed entry, let the put loop churn, then
+         SIGKILL. *)
+      let one = Bytes.create 1 in
+      let rec await () =
+        match Unix.read rd one 0 1 with
+        | 1 -> ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      in
+      await ();
+      Unix.close rd;
+      Unix.sleepf 0.05;
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      let t, _diags = Store.open_store ~dir in
+      (match Store.get t ~kind:"profile" ~key:"committed" with
+      | Some got ->
+          Alcotest.(check string) "committed entry byte-identical after kill -9"
+            payload_a got
+      | None -> Alcotest.fail "committed entry lost after kill -9");
+      (* Whatever the in-flight entry's fate, a served value must be one
+         the child actually wrote (all its puts are single-char runs). *)
+      (match Store.get t ~kind:"profile" ~key:"inflight" with
+      | None -> ()
+      | Some v ->
+          Alcotest.(check bool) "in-flight entry is a value actually written"
+            true
+            (String.length v > 0
+            && String.for_all (fun c -> c = v.[0]) v));
+      (* No temp droppings survive reopen. *)
+      let leftovers =
+        Sys.readdir (Filename.concat dir "objects")
+        |> Array.to_list
+        |> List.filter (fun n -> String.length n > 0 && n.[0] = '.')
+      in
+      Alcotest.(check (list string)) "temp files swept" [] leftovers;
+      Store.close t)
+
+let test_store_journal_salvage () =
+  let dir = tmpdir () in
+  let t, _ = Store.open_store ~dir in
+  (match Store.put t ~kind:"profile" ~key:"k" "vvv" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "put failed");
+  Store.close t;
+  (* Tear the journal: append half a line with no newline. *)
+  let journal = Filename.concat dir "journal.log" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 journal in
+  output_string oc "put kind=profile key=6b len=3";
+  close_out oc;
+  let t2, diags = Store.open_store ~dir in
+  Alcotest.(check bool) "torn journal reported" true
+    (List.exists (fun d -> d.Diagnostic.kind = Diagnostic.Truncated) diags);
+  (match Store.get t2 ~kind:"profile" ~key:"k" with
+  | Some "vvv" -> ()
+  | _ -> Alcotest.fail "entry must survive journal salvage");
+  Store.close t2;
+  (* And the journal is clean again: a third open reports nothing. *)
+  let t3, diags3 = Store.open_store ~dir in
+  Alcotest.(check int) "journal repaired in place" 0 (List.length diags3);
+  Store.close t3
+
+(* {2 Session plan persistence} *)
+
+let bench_program name = (Ppp_workloads.Spec.find name).Ppp_workloads.Spec.build ~scale:1
+
+let test_session_plans_roundtrip () =
+  let p = bench_program "bzip2" in
+  let s = Session.create ~name:"export" () in
+  let prep = H.prepare ~session:s ~name:"export" p in
+  (* Placement plans are made while instrumenting, i.e. during
+     evaluation — prepare alone only optimizes. *)
+  ignore (H.evaluate prep Ppp_core.Config.ppp);
+  let text = Session.export_plans s in
+  Alcotest.(check bool) "export has plan records" true
+    (String.length text > String.length "ppp-session-plans v1\nend\n");
+  (* Import into a fresh session synced to the same optimized program
+     the plans were made for. *)
+  let s2 = Session.create ~name:"import" () in
+  ignore (Session.sync s2 prep.H.optimized);
+  let imported, diags = Session.import_plans s2 prep.H.optimized text in
+  Alcotest.(check int) "no diagnostics on a clean import" 0 (List.length diags);
+  Alcotest.(check bool) "plans imported" true (imported > 0);
+  (* Re-export from the importing session: every imported plan is
+     retrievable again. *)
+  let text2 = Session.export_plans s2 in
+  Alcotest.(check bool) "imported plans re-export" true
+    (String.length text2 > String.length "ppp-session-plans v1\nend\n");
+  (* Importing against a different program generation never raises and
+     classifies the mismatch instead of applying a stale plan. *)
+  let s3 = Session.create ~name:"stale" () in
+  ignore (Session.sync s3 p);
+  let imported3, diags3 = Session.import_plans s3 p text in
+  Alcotest.(check bool) "stale import classified, not applied blindly" true
+    (imported3 + List.length diags3 > 0)
+
+let prop_session_plans_never_raise =
+  QCheck.Test.make ~name:"corrupted plan exports never raise, are classified"
+    ~count:40
+    QCheck.(pair small_int small_int)
+    (fun (seed, pos) ->
+      let p = bench_program "vpr" in
+      let s = Session.create ~name:"fuzz-export" () in
+      let prep = H.prepare ~session:s ~name:"fuzz-export" p in
+      ignore (H.evaluate prep Ppp_core.Config.ppp);
+      let p = prep.H.optimized in
+      let text = Session.export_plans s in
+      let n = String.length text in
+      if n = 0 then true
+      else begin
+        let rng = Faults.rng ~seed in
+        let damaged =
+          match seed mod 3 with
+          | 0 -> String.sub text 0 (pos mod n) (* truncation *)
+          | 1 ->
+              let b = Bytes.of_string text in
+              let at = pos mod n in
+              Bytes.set b at (Char.chr (Faults.int rng 256));
+              Bytes.to_string b (* byte flip *)
+          | _ -> Faults.apply rng Faults.Garbage_line text
+        in
+        let s2 = Session.create ~name:"fuzz-import" () in
+        ignore (Session.sync s2 p);
+        match Session.import_plans s2 p damaged with
+        | _imported, _diags -> true (* must simply not raise *)
+        | exception _ -> false
+      end)
+
+(* {2 End-to-end: a real server process} *)
+
+let test_server_e2e () =
+  let dir = tmpdir () in
+  let socket = Filename.concat dir "pppd.sock" in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket
+         ~store_dir:(Filename.concat dir "store"))
+      with
+      Server.quiet = true;
+      workers = 1;
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+      (try Server.run cfg with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec await_ready () =
+        match Client.call ~socket ~deadline_ms:500 Ops.Ping with
+        | Ok ("pong", _) -> true
+        | _ ->
+            if Unix.gettimeofday () > deadline then false
+            else begin
+              Unix.sleepf 0.05;
+              await_ready ()
+            end
+      in
+      let ready = await_ready () in
+      let merged =
+        if not ready then None
+        else
+          match
+            Client.call ~socket ~deadline_ms:10_000
+              (Ops.Merge { dumps = [ "ppp 1\n"; "ppp 1\n" ] })
+          with
+          | Ok (body, _) -> Some body
+          | Error _ -> None
+      in
+      ignore (Client.call ~socket ~deadline_ms:3_000 Ops.Shutdown);
+      let rec reap () =
+        match Unix.waitpid [] pid with
+        | _, st -> st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+      in
+      let st = reap () in
+      Alcotest.(check bool) "daemon became ready" true ready;
+      Alcotest.(check bool) "merge over the socket succeeded" true
+        (merged <> None);
+      Alcotest.(check bool) "daemon exited cleanly" true (st = Unix.WEXITED 0)
+
+let suite =
+  [
+    Alcotest.test_case "wire: frames round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire: corruption rejected" `Quick
+      test_wire_rejects_corruption;
+    Alcotest.test_case "wire: deadline becomes Timeout" `Quick
+      test_wire_timeout;
+    Alcotest.test_case "wire: truncated frame is Corrupt" `Quick
+      test_wire_truncated;
+    Alcotest.test_case "ops: codecs round-trip" `Quick test_ops_roundtrip;
+    Alcotest.test_case "ops: hex round-trips all bytes" `Quick test_ops_hex;
+    Alcotest.test_case "store: put/get/reopen byte-identical" `Quick
+      test_store_roundtrip;
+    Alcotest.test_case "store: kill -9 mid-write keeps committed entries"
+      `Quick test_store_kill9_mid_write;
+    Alcotest.test_case "store: torn journal salvaged in place" `Quick
+      test_store_journal_salvage;
+    Alcotest.test_case "session: plans export/import round-trip" `Quick
+      test_session_plans_roundtrip;
+    Alcotest.test_case "server: end-to-end over the socket" `Quick
+      test_server_e2e;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_store_salvage; prop_session_plans_never_raise ]

@@ -24,4 +24,5 @@ let () =
       ("session", Test_session.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("quality", Test_quality.suite);
+      ("daemon", Test_daemon.suite);
     ]
