@@ -23,6 +23,12 @@
      main.exe --min-vm-ratio R     exit 1 if any benchmark's VM/reference
                                    throughput ratio is below R (requires
                                    --throughput)
+     main.exe --min-layout-wins N  exit 1 unless at least N benchmarks'
+                                   closed superblock+layout loop strictly
+                                   drops taken transfers, and PPP's
+                                   aggregate layout improvement is at
+                                   least edge profiling's (reads the
+                                   assembled JSON, so it works under -j)
      main.exe --baseline F --gate P
                                    compare against a previous BENCH_*.json
                                    and exit 1 if any cost-model overhead
@@ -214,6 +220,76 @@ let check_min_ratio ~floor results =
     exit 1
   end
 
+(* Exit 1 unless path-guided layout pays off broadly enough: the layout
+   PPP's estimated profile dictates must strictly drop taken transfers
+   on at least [min_wins] benchmarks, and PPP's aggregate layout
+   improvement must be at least edge profiling's. Reads the assembled
+   document, so the check is byte-identical under -j. *)
+let check_layout_wins ~min_wins doc =
+  let member_path j path =
+    List.fold_left (fun j k -> Option.bind j (fun j -> J.member j k)) (Some j)
+      path
+  in
+  let num j path =
+    match member_path j path with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let benches =
+    J.to_list (Option.value ~default:(J.Arr []) (J.member doc "benchmarks"))
+  in
+  let wins =
+    List.length
+      (List.filter
+         (fun b ->
+           match
+             (num b [ "layout"; "methods"; "ppp"; "taken" ],
+              num b [ "layout"; "base"; "taken" ])
+           with
+           | Some ppp, Some base -> ppp < base
+           | _ -> false)
+         benches)
+  in
+  let loop_wins =
+    List.length
+      (List.filter
+         (fun b ->
+           member_path b [ "layout"; "closed_loop"; "taken_drop" ]
+           = Some (J.Bool true))
+         benches)
+  in
+  let agg m =
+    List.fold_left
+      (fun acc b ->
+        match num b [ "layout"; "methods"; m; "improvement" ] with
+        | Some f -> acc +. f
+        | None -> acc)
+      0.0 benches
+  in
+  let ppp = agg "ppp" in
+  let edge = agg "edge" in
+  Format.eprintf
+    "layout: PPP's layout drops taken transfers on %d/%d benchmarks (closed \
+     loop: %d); aggregate improvement edge %.3f ppp %.3f@."
+    wins (List.length benches) loop_wins edge ppp;
+  let failed = ref false in
+  if wins < min_wins then begin
+    Format.eprintf
+      "layout: only %d benchmark(s) drop taken transfers under PPP's layout, \
+       below the floor %d@."
+      wins min_wins;
+    failed := true
+  end;
+  if ppp < edge then begin
+    Format.eprintf
+      "layout: PPP's aggregate improvement %.3f is below edge profiling's \
+       %.3f@."
+      ppp edge;
+    failed := true
+  end;
+  if !failed then exit 1
+
 let timing_json get name =
   match
     ( get (name ^ "/base"),
@@ -331,6 +407,7 @@ let () =
   let strict = ref false in
   let throughput_mode = ref false in
   let min_vm_ratio = ref None in
+  let min_layout_wins = ref None in
   let no_cache = ref false in
   let prepare_ms = ref false in
   let rec parse = function
@@ -370,6 +447,9 @@ let () =
         parse rest
     | "--min-vm-ratio" :: r :: rest ->
         min_vm_ratio := Some (float_of_string r);
+        parse rest
+    | "--min-layout-wins" :: n :: rest ->
+        min_layout_wins := Some (int_of_string n);
         parse rest
     | "--no-cache" :: rest ->
         no_cache := true;
@@ -440,6 +520,9 @@ let () =
     | Some floor when !tp_results <> [] ->
         check_min_ratio ~floor !tp_results
     | _ -> ());
+    (match !min_layout_wins with
+    | Some n -> check_layout_wins ~min_wins:n doc
+    | None -> ());
     if lost <> [] then exit 2
   end
   else begin
@@ -498,7 +581,10 @@ let () =
     (match !baseline with
     | None -> ()
     | Some b -> run_gate ~baseline_path:b ~strict:!strict ~pct:!gate_pct doc);
-    match !min_vm_ratio with
+    (match !min_vm_ratio with
     | Some floor when tp_results <> [] -> check_min_ratio ~floor tp_results
-    | _ -> ()
+    | _ -> ());
+    match !min_layout_wins with
+    | Some n -> check_layout_wins ~min_wins:n doc
+    | None -> ()
   end

@@ -632,6 +632,26 @@ let opt_cmd =
     let doc = "Write the optimized program here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
+  let superblocks_arg =
+    let doc =
+      "Also straighten each routine's hottest decoded path into a \
+       superblock (tail duplication) before inlining, driven by the path \
+       profile. Hot paths that no longer match the CFG are reported as \
+       stale-path diagnostics and skipped, never fatal. Computed \
+       in-process (the daemon protocol does not carry optimizer flags)."
+    in
+    Arg.(value & flag & info [ "superblocks" ] ~doc)
+  in
+  let layout_arg =
+    let doc =
+      "Also lay out each routine's VM code so its hottest decoded path \
+       falls through, exiling cold blocks to the tail. Outcomes are \
+       byte-identical with and without the layout; only the emission \
+       order (and the taken-transfer / locality proxy) changes. Computed \
+       in-process (the daemon protocol does not carry optimizer flags)."
+    in
+    Arg.(value & flag & info [ "layout" ] ~doc)
+  in
   let profile_arg =
     let doc =
       "Drive inlining from this saved profile (v1 or v2, possibly stale) \
@@ -652,16 +672,36 @@ let opt_cmd =
     in
     Arg.(value & opt int 1 & info [ "iterate" ] ~docv:"N" ~doc)
   in
-  let action spec scale output profile iterate no_cache
+  let action spec scale output profile iterate superblocks layout no_cache
       (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors (fun () ->
+        let flags = { H.default_flags with H.superblocks; H.layout } in
+        let pp_sb_stats (s : Ppp_opt.Superblock.stats) =
+          if superblocks then
+            Format.eprintf
+              "superblocks: straightened %d routines (%d blocks duplicated, \
+               %d jumps merged, %d hot paths no longer matched)@."
+              s.Ppp_opt.Superblock.routines_optimized
+              s.Ppp_opt.Superblock.blocks_duplicated
+              s.Ppp_opt.Superblock.jumps_merged
+              (List.length s.Ppp_opt.Superblock.mismatches)
+        in
+        let pp_layout (prep : H.prepared) =
+          if layout then
+            Format.eprintf "layout: %d routines laid out for fall-through@."
+              (match prep.H.layout with
+              | Some t -> Hashtbl.length t
+              | None -> 0)
+        in
         let local () =
         let p = load_program spec ~scale in
         if iterate > 1 then begin
           if profile <> None then
             cli_error "--profile cannot be combined with --iterate";
           let session = session_of ~no_cache spec in
-          let gens = H.reoptimize ~session ~iterations:iterate ~name:spec p in
+          let gens =
+            H.reoptimize ~session ~flags ~iterations:iterate ~name:spec p
+          in
           List.iter
             (fun (g : H.generation) ->
               Format.eprintf
@@ -670,7 +710,9 @@ let opt_cmd =
                 g.H.gen (List.length g.H.dirty) g.H.reinstrumented
                 g.H.reused_plans
                 (100. *. g.H.matched_fraction)
-                (100. *. g.H.instr_overhead))
+                (100. *. g.H.instr_overhead);
+              pp_sb_stats g.H.prep.H.superblock_stats;
+              pp_layout g.H.prep)
             gens;
           Format.eprintf "%a@." Session.pp_stats session;
           let last = List.nth gens (List.length gens - 1) in
@@ -683,7 +725,7 @@ let opt_cmd =
         let session = session_of ~no_cache spec in
         let prep =
           match profile with
-          | None -> H.prepare ~session ~name:spec p
+          | None -> H.prepare ~session ~flags ~name:spec p
           | Some path -> (
               match Profile_io.load p (read_file path) with
               | Error ds ->
@@ -699,7 +741,7 @@ let opt_cmd =
                     (100. *. loaded.Profile_io.matched_fraction)
                     loaded.Profile_io.stale_routines
                     loaded.Profile_io.dropped_counts;
-                  H.prepare_with_profile ~session ~name:spec ~loaded p)
+                  H.prepare_with_profile ~session ~flags ~name:spec ~loaded p)
         in
         let text = Ppp_ir.Pp_ir.to_string prep.H.optimized in
         (match output with
@@ -713,10 +755,21 @@ let opt_cmd =
           prep.H.unroll_stats.Ppp_opt.Unroll.loops_unrolled
           prep.H.unroll_stats.Ppp_opt.Unroll.avg_dynamic_factor
           (float_of_int prep.H.orig_outcome.Interp.base_cost
-          /. float_of_int prep.H.base_outcome.Interp.base_cost)
+          /. float_of_int prep.H.base_outcome.Interp.base_cost);
+        pp_sb_stats prep.H.superblock_stats;
+        pp_layout prep
         end
         in
         match daemon with
+        | Some _ when superblocks || layout ->
+            (* The daemon request/reply protocol does not carry optimizer
+               flags; rather than silently optimize without them, do the
+               flagged work in-process. *)
+            Format.eprintf "%a@." Diagnostic.pp
+              (Diagnostic.make ~severity:Diagnostic.Warning Diagnostic.Degraded
+                 "--superblocks/--layout are computed in-process; ignoring \
+                  --daemon for this request");
+            local ()
         | None -> local ()
         | Some socket ->
             let program =
@@ -760,7 +813,8 @@ let opt_cmd =
   Cmd.v (Cmd.info "opt" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ output_arg $ profile_arg
-      $ iterate_arg $ no_cache_arg $ daemon_args)
+      $ iterate_arg $ superblocks_arg $ layout_arg $ no_cache_arg
+      $ daemon_args)
 
 (* {2 dot} *)
 
@@ -1154,6 +1208,9 @@ let report_cmd =
                 ?telemetry_interval:telemetry pb)
             benches
         in
+        (* The layout evaluations were computed (and memoized) by the
+           rows above; the table is a free summary on stderr. *)
+        Report.layout_report Format.err_formatter benches;
         let doc = Jsonx.canonical (Quality_report.wrap ~scale rows) in
         let text = Jsonx.to_string doc in
         (match output with

@@ -41,3 +41,24 @@ let coverage ~total_actual_flow ~measured_actual_flow ~definite_uninstr ~overcou
   else
     let n = measured_actual_flow + definite_uninstr - overcount in
     float_of_int (max 0 n) /. float_of_int total_actual_flow
+
+(* The front-end penalty a block layout is estimated to pay, from the
+   taken-transfer / locality proxy (see [Ppp_interp.Layout]): the
+   taken fraction of dynamic intra-routine transfers, weighted double
+   because a taken transfer both redirects fetch and risks a new cache
+   line, plus the nonlocal fraction. Lower is better; 0 is the
+   unreachable ideal (every transfer falls through to a neighbor). *)
+let taken_weight = 2.0
+
+let layout_score ~transfers ~taken ~local =
+  if transfers <= 0 then 0.0
+  else
+    let t = float_of_int transfers in
+    (taken_weight *. (float_of_int taken /. t))
+    +. (float_of_int (transfers - local) /. t)
+
+(* How much better [candidate] is than [base], in score points:
+   positive means the candidate layout reduces the estimated front-end
+   penalty. Both scores must come from the same program and frequency
+   source for the difference to mean anything. *)
+let layout_improvement ~base ~candidate = base -. candidate

@@ -37,3 +37,20 @@ val coverage :
     [(F(P_instr) + DF(P_uninstr) - F_overcount) / F(P)]. With no
     instrumented paths and no overcount this reduces to edge-profile
     coverage [DF(P) / F(P)]. 1.0 when total flow is zero. *)
+
+val taken_weight : float
+(** How much heavier a taken transfer weighs than a nonlocal one in
+    {!layout_score} (a taken transfer both redirects fetch and risks a
+    fresh cache line). *)
+
+val layout_score : transfers:int -> taken:int -> local:int -> float
+(** The estimated front-end penalty of a block layout, from the
+    taken-transfer / locality proxy ([Ppp_interp.Layout]):
+    [taken_weight * taken/transfers + (transfers - local)/transfers].
+    Lower is better; 0.0 when there are no transfers (nothing for
+    layout to improve). *)
+
+val layout_improvement : base:float -> candidate:float -> float
+(** [base - candidate], in {!layout_score} points: positive means the
+    candidate layout reduces the estimated penalty. Only meaningful
+    when both scores come from the same program and frequencies. *)

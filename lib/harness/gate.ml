@@ -92,6 +92,32 @@ let run ?(strict = false) ~baseline ~current ~pct () =
               | Some b, None -> missing name "throughput.ratio" b
               | None, _ -> ())
           | Some _, None -> missing name "throughput" Float.nan
+          | None, _ -> ());
+          (* Layout improvements are floors too: the estimated benefit of
+             PPP-guided layout, and the closed superblock+layout loop's,
+             must not sink below baseline. *)
+          (match (J.member bj "layout", J.member cj "layout") with
+          | Some bl, Some cl ->
+              List.iter
+                (fun (metric, get) ->
+                  match (get bl, get cl) with
+                  | Some b, Some c ->
+                      if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b)
+                      then fail name metric b c
+                  | Some b, None -> missing name metric b
+                  | None, _ -> ())
+                [
+                  ( "layout.methods.ppp.improvement",
+                    fun j ->
+                      Option.bind (J.member j "methods") (fun ms ->
+                          Option.bind (J.member ms "ppp") (fun e ->
+                              fnum (J.member e "improvement"))) );
+                  ( "layout.closed_loop.improvement",
+                    fun j ->
+                      Option.bind (J.member j "closed_loop") (fun c ->
+                          fnum (J.member c "improvement")) );
+                ]
+          | Some _, None -> missing name "layout" Float.nan
           | None, _ -> ()))
     base_benches;
   { failures = List.rev !fails; warnings = List.rev !warns }

@@ -13,7 +13,11 @@
     - the VM-vs-reference throughput [ratio], only when both documents
       carry a [throughput] object for the benchmark. This one is a
       floor, not a ceiling: the failure is the current ratio dropping
-      more than the tolerance {e below} the baseline's.
+      more than the tolerance {e below} the baseline's;
+    - the layout improvements ([layout.methods.ppp.improvement] and
+      [layout.closed_loop.improvement]) — floors like the throughput
+      ratio: the estimated benefit of PPP-guided layout, and of the
+      closed superblock+layout loop, must not sink below baseline.
 
     Benchmarks present in the baseline but missing from the current
     document, and schema mismatches, are failures too — a gate that

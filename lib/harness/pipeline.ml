@@ -17,10 +17,21 @@ module Trace = Ppp_obs.Trace
 module Diagnostic = Ppp_resilience.Diagnostic
 module Profile_io = Ppp_profile.Profile_io
 module Session = Ppp_session.Session
+module Superblock = Ppp_opt.Superblock
+module Layout = Ppp_interp.Layout
 
 let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
 let metric = Metric.Branch_flow
 let reconstruct_cap = 20_000 (* per routine, for estimated-profile paths *)
+
+(* Which profile-guided transformations the preparation applies on top
+   of inline + unroll. Off by default: superblock formation needs a
+   decoded path profile to drive it, and layout changes what the bench
+   harness measures, so both are explicit opt-ins (pppc --superblocks /
+   --layout, Config gating in the driver). *)
+type opt_flags = { superblocks : bool; layout : bool; max_trace : int }
+
+let default_flags = { superblocks = false; layout = false; max_trace = 32 }
 
 type prepared = {
   bench_name : string;
@@ -30,6 +41,11 @@ type prepared = {
   base_outcome : Interp.outcome;
   inline_stats : Ppp_opt.Inline.stats;
   unroll_stats : Ppp_opt.Unroll.stats;
+  superblock_stats : Superblock.stats;
+  layout : (string, int array) Hashtbl.t option;
+      (* block emission orders derived from the base run's path profile
+         (when the [layout] flag was on and any routine deviates from
+         source order); a hint for [Interp.config], never semantics *)
   confidence : float;
   diagnostics : Diagnostic.t list;
   session : Session.t;
@@ -38,9 +54,12 @@ type prepared = {
 }
 
 (* The full decision log of a preparation, in pass order: what the
-   optimizers actually did, as typed records rather than scalar stats. *)
+   optimizers actually did, as typed records rather than scalar stats.
+   Superblock formation runs first (it consumes the decoded profile
+   before inlining changes the CFGs the paths refer to). *)
 let decisions prepared =
-  prepared.inline_stats.Ppp_opt.Inline.decisions
+  prepared.superblock_stats.Superblock.decisions
+  @ prepared.inline_stats.Ppp_opt.Inline.decisions
   @ prepared.unroll_stats.Ppp_opt.Unroll.decisions
 
 (* A run that exhausts its fuel is not fatal: the profile gathered so far
@@ -111,7 +130,98 @@ let block_freq_fn session p ep =
 let make_session ?session ~name () =
   match session with Some s -> s | None -> Session.create ~name ()
 
-let prepare ?session ~name p =
+(* One (hottest) trace per routine from hot-path triples, with a total
+   tie-break (flow desc, then the path itself) so formation never
+   depends on hash-iteration order. Sorted by routine name on the way
+   out for the same reason. *)
+let hottest_per_routine entries =
+  let best = Hashtbl.create 17 in
+  List.iter
+    (fun (name, path, flow) ->
+      match Hashtbl.find_opt best name with
+      | Some (p', f') when f' > flow || (f' = flow && compare p' path <= 0) ->
+          ()
+      | _ -> Hashtbl.replace best name (path, flow))
+    entries;
+  Hashtbl.fold (fun name (path, flow) acc -> (name, path, flow) :: acc) best []
+  |> List.sort compare
+
+(* The path-guided block layout of [p] under recorded [profile]: one
+   emission order per routine whose hottest trace deviates from source
+   order (see [Ppp_interp.Layout]), memoized in the session per
+   (routine fingerprint, profile identity). [None] when every routine is
+   already laid out hot-path-first — the common case for straight-line
+   benches — so the lowering cache is shared with layout-free runs. *)
+let layout_table session (p : Ir.program) (profile : Path_profile.program) =
+  let tbl = Hashtbl.create 17 in
+  List.iter
+    (fun (r : Ir.routine) ->
+      match Path_profile.routine profile r.Ir.name with
+      | exception Not_found -> ()
+      | t ->
+          if Path_profile.num_distinct t > 0 then (
+            let order =
+              Session.layout session ~paths:profile r ~compute:(fun () ->
+                  let view = Session.view session r in
+                  let entries =
+                    Path_profile.fold t ~init:[] ~f:(fun acc path n ->
+                        let b = Path.branches view path in
+                        (path, Metric.flow metric ~freq:n ~branches:b) :: acc)
+                  in
+                  Layout.order_for ~view entries)
+            in
+            match order with
+            | Some o -> Hashtbl.replace tbl r.Ir.name o
+            | None -> ()))
+    p.Ir.routines;
+  if Hashtbl.length tbl = 0 then None else Some tbl
+
+let layout_of_flags ~(flags : opt_flags) session p (o : Interp.outcome) =
+  if not flags.layout then None
+  else
+    match o.Interp.path_profile with
+    | None -> None
+    | Some profile -> layout_table session p profile
+
+(* Straighten the hottest decoded trace of each routine (Superblock) and
+   re-profile the transformed program: the loaded edge counts describe
+   bodies that no longer exist once a trace is duplicated, so a changed
+   program gets a fresh edge profile before inlining consumes it.
+   Mismatched or stale traces degrade to diagnostics, never errors. *)
+let superblock_phase ~(flags : opt_flags) ~session ~cache ~phases
+    ~(loaded : Profile_io.loaded) p =
+  if not flags.superblocks then (p, Superblock.empty_stats, loaded.Profile_io.edges, [])
+  else begin
+    let views name = Session.view session (Ir.routine p name) in
+    let hot =
+      Path_profile.hot_paths loaded.Profile_io.paths ~views ~metric
+        ~threshold:hot_threshold
+    in
+    let picked = hottest_per_routine hot in
+    let hot_paths = List.map (fun (n, path, _) -> (n, path)) picked in
+    let path_weights = List.map (fun (n, _, f) -> (n, f)) picked in
+    let p', stats =
+      timed phases "superblock" (fun () ->
+          Superblock.form ~max_trace:flags.max_trace ~path_weights p ~hot_paths)
+    in
+    let diags =
+      List.map
+        (fun m ->
+          Diagnostic.errorf ~severity:Diagnostic.Warning
+            ~routine:m.Superblock.mm_routine Diagnostic.Stale "%s"
+            (Format.asprintf "%a" Superblock.pp_mismatch m))
+        stats.Superblock.mismatches
+    in
+    if stats.Superblock.touched = [] then
+      (p, stats, loaded.Profile_io.edges, diags)
+    else begin
+      ignore (Session.sync session p');
+      let o = timed phases "sb-profile" (fun () -> Interp.run ?cache p') in
+      (p', stats, Option.get o.Interp.edge_profile, diags @ fuel_diags "sb-profile" o)
+    end
+  end
+
+let prepare ?session ?(flags = default_flags) ~name p =
   let session = make_session ?session ~name () in
   let cache = Session.lower_cache session in
   let phases = ref [] in
@@ -144,6 +254,8 @@ let prepare ?session ~name p =
     base_outcome;
     inline_stats;
     unroll_stats;
+    superblock_stats = Superblock.empty_stats;
+    layout = layout_of_flags ~flags session optimized base_outcome;
     confidence = 1.0;
     diagnostics =
       fuel_diags "edge-profile" orig_outcome
@@ -154,14 +266,17 @@ let prepare ?session ~name p =
     phase_ms = List.rev !phases;
   }
 
-let prepare_with_profile ?session ~name ~(loaded : Profile_io.loaded) p =
+let prepare_with_profile ?session ?(flags = default_flags) ~name
+    ~(loaded : Profile_io.loaded) p =
   let session = make_session ?session ~name () in
   let cache = Session.lower_cache session in
   let phases = ref [] in
   Trace.with_span ~args:[ ("bench", name) ] "prepare-with-profile" @@ fun () ->
   ignore (Session.sync session p);
   let confidence = loaded.Profile_io.matched_fraction in
-  let ep0 = loaded.Profile_io.edges in
+  let sb_p, superblock_stats, ep0, sb_diags =
+    superblock_phase ~flags ~session ~cache ~phases ~loaded p
+  in
   (* Confidence-weighted hotness: salvaged counts must clear a higher bar
      before they justify inlining a call site. *)
   let min_site_freq =
@@ -169,8 +284,8 @@ let prepare_with_profile ?session ~name ~(loaded : Profile_io.loaded) p =
   in
   let inlined, inline_stats =
     timed phases "inline" (fun () ->
-        Ppp_opt.Inline.run ~min_site_freq p
-          ~block_freq:(block_freq_fn session p ep0))
+        Ppp_opt.Inline.run ~min_site_freq sb_p
+          ~block_freq:(block_freq_fn session sb_p ep0))
   in
   ignore (Session.sync session inlined);
   let o1 = timed phases "re-profile" (fun () -> Interp.run ?cache inlined) in
@@ -191,9 +306,11 @@ let prepare_with_profile ?session ~name ~(loaded : Profile_io.loaded) p =
     base_outcome;
     inline_stats;
     unroll_stats;
+    superblock_stats;
+    layout = layout_of_flags ~flags session optimized base_outcome;
     confidence;
     diagnostics =
-      loaded.Profile_io.diagnostics
+      loaded.Profile_io.diagnostics @ sb_diags
       @ fuel_diags "re-profile" o1
       @ fuel_diags "base" base_outcome;
     session;
@@ -234,6 +351,8 @@ let prepare_unoptimized ?session ~name p =
         touched = [];
         decisions = [];
       };
+    superblock_stats = Superblock.empty_stats;
+    layout = None;
     confidence = 1.0;
     diagnostics = fuel_diags "edge-profile" orig_outcome;
     session;
@@ -571,7 +690,8 @@ type generation = {
    generation's optimized program. *)
 let dirty_of prepared =
   let touched =
-    prepared.inline_stats.Ppp_opt.Inline.touched
+    prepared.superblock_stats.Superblock.touched
+    @ prepared.inline_stats.Ppp_opt.Inline.touched
     @ prepared.unroll_stats.Ppp_opt.Unroll.touched
   in
   List.filter_map
@@ -579,7 +699,8 @@ let dirty_of prepared =
       if List.mem r.Ir.name touched then Some r.Ir.name else None)
     prepared.optimized.Ir.routines
 
-let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
+let reoptimize ?session ?(config = Config.ppp) ?(flags = default_flags)
+    ?(iterations = 1) ~name p0 =
   let session = make_session ?session ~name () in
   let gens = ref [] in
   let cur = ref p0 in
@@ -587,7 +708,7 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
   for gen = 1 to iterations do
     let prep, matched_fraction =
       match !prev with
-      | None -> (prepare ~session ~name !cur, 1.0)
+      | None -> (prepare ~session ~flags ~name !cur, 1.0)
       | Some (p : prepared) -> (
           (* Hand the previous generation's profile through the wire
              format and the stale matcher, as a staged optimizer with an
@@ -600,9 +721,9 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
           Format.pp_print_flush ppf ();
           match Profile_io.load !cur (Buffer.contents buf) with
           | Ok loaded ->
-              ( prepare_with_profile ~session ~name ~loaded !cur,
+              ( prepare_with_profile ~session ~flags ~name ~loaded !cur,
                 loaded.Profile_io.matched_fraction )
-          | Error _ -> (prepare ~session ~name !cur, 0.0))
+          | Error _ -> (prepare ~session ~flags ~name !cur, 0.0))
     in
     (* Re-instrument: sticky reuse keeps every untouched routine's plan,
        so only routines the optimizers dirtied are re-planned. *)
@@ -615,12 +736,16 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
         (Config.degrade ~confidence:prep.confidence config)
     in
     let instr_outcome =
+      (* The instrumented run executes under the generation's layout (if
+         any): the loop exercises the VM exactly as a deployed optimizer
+         would, and the differential suite keeps layout honest. *)
       Interp.run
         ?cache:(Session.lower_cache session)
         ~config:
           {
             Interp.default_config with
             instrumentation = Some inst.Instrument.rt;
+            layout = prep.layout;
           }
         prep.optimized
     in
@@ -647,3 +772,122 @@ let reoptimize ?session ?(config = Config.ppp) ?(iterations = 1) ~name p0 =
     cur := prep.optimized
   done;
   List.rev !gens
+
+(* {2 Layout evaluation}
+
+   The report-facing answer to "what would path-guided layout buy here,
+   and does the paper's loop actually close?" — pure cost-model
+   arithmetic plus one deterministic VM run, so it is safe inside the
+   byte-identical bench document. *)
+
+type layout_proxy = {
+  lp_transfers : int;
+  lp_taken : int;
+  lp_local : int;
+  lp_score : float;
+}
+
+let layout_proxy_of (pr : Layout.proxy) =
+  {
+    lp_transfers = pr.Layout.transfers;
+    lp_taken = pr.Layout.taken;
+    lp_local = pr.Layout.local;
+    lp_score =
+      Score.layout_score ~transfers:pr.Layout.transfers ~taken:pr.Layout.taken
+        ~local:pr.Layout.local;
+  }
+
+type closed_loop = {
+  cl_routines_straightened : int;
+  cl_duplicated : int;
+  cl_merged : int;
+  cl_mismatches : int;
+  cl_base : layout_proxy;
+  cl_laid : layout_proxy;
+  cl_taken_drop : bool;
+  cl_improvement : float;
+}
+
+type layout_eval = {
+  le_base : layout_proxy;
+  le_oracle : layout_proxy;
+  le_oracle_improvement : float;
+  le_methods : (string * layout_proxy * float) list;
+  le_closed_loop : closed_loop;
+}
+
+(* Lay out from an estimated profile: the triples a method's [estimated]
+   list yields, hottest trace per routine (see [Layout.of_hot_paths]). *)
+let layout_from_estimates prepared ests =
+  let entries =
+    List.map (fun e -> (e.Score.routine, e.Score.path, e.Score.flow)) ests
+  in
+  let tbl = Layout.of_hot_paths ~views:(views prepared) entries in
+  if Hashtbl.length tbl = 0 then None else Some tbl
+
+let layout_eval prepared ~estimates =
+  let p = prepared.optimized in
+  let ep = Option.get prepared.base_outcome.Interp.edge_profile in
+  let base = layout_proxy_of (Layout.program_proxy p ~ep) in
+  let improvement candidate =
+    Score.layout_improvement ~base:base.lp_score ~candidate:candidate.lp_score
+  in
+  (* Oracle: the layout the measured truth dictates — the ceiling any
+     estimated profile can reach on this program. *)
+  let oracle_layout = layout_table prepared.session p (actual_profile prepared) in
+  let oracle = layout_proxy_of (Layout.program_proxy ?layout:oracle_layout p ~ep) in
+  let methods =
+    List.map
+      (fun (name, ests) ->
+        let layout = layout_from_estimates prepared ests in
+        let proxy = layout_proxy_of (Layout.program_proxy ?layout p ~ep) in
+        (name, proxy, improvement proxy))
+      estimates
+  in
+  (* Close the loop end to end: straighten the hottest estimated trace
+     per routine (PPP's estimates when given, else the measured truth),
+     run the transformed program fresh, lay it out from that run's own
+     path profile, and compare proxies on its own edge frequencies. *)
+  let driver =
+    match List.assoc_opt "ppp" estimates with
+    | Some ests when ests <> [] ->
+        List.map (fun e -> (e.Score.routine, e.Score.path, e.Score.flow)) ests
+    | _ ->
+        Score.hot_actual ~actual:(actual_profile prepared)
+          ~views:(views prepared) ~metric ~threshold:hot_threshold
+  in
+  let picked = hottest_per_routine driver in
+  let hot_paths = List.map (fun (n, path, _) -> (n, path)) picked in
+  let path_weights = List.map (fun (n, _, f) -> (n, f)) picked in
+  let p', stats = Superblock.form ~path_weights p ~hot_paths in
+  let o = Interp.run p' in
+  let ep' = Option.get o.Interp.edge_profile in
+  (* A throwaway disabled session: the closed-loop program must not
+     disturb the prepared session's slot table. *)
+  let scratch = Session.create ~enabled:false ~name:"layout-eval" () in
+  let cl_layout =
+    match o.Interp.path_profile with
+    | None -> None
+    | Some paths -> layout_table scratch p' paths
+  in
+  let cl_base = layout_proxy_of (Layout.program_proxy p' ~ep:ep') in
+  let cl_laid = layout_proxy_of (Layout.program_proxy ?layout:cl_layout p' ~ep:ep') in
+  {
+    le_base = base;
+    le_oracle = oracle;
+    le_oracle_improvement = improvement oracle;
+    le_methods = methods;
+    le_closed_loop =
+      {
+        cl_routines_straightened = stats.Superblock.routines_optimized;
+        cl_duplicated = stats.Superblock.blocks_duplicated;
+        cl_merged = stats.Superblock.jumps_merged;
+        cl_mismatches = List.length stats.Superblock.mismatches;
+        cl_base;
+        cl_laid;
+        cl_taken_drop = cl_laid.lp_taken < cl_base.lp_taken;
+        cl_improvement =
+          Score.layout_improvement ~base:cl_base.lp_score
+            ~candidate:cl_laid.lp_score;
+      };
+  }

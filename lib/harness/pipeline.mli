@@ -22,6 +22,21 @@ val hot_threshold : float
 val metric : Ppp_profile.Metric.t
 (** The paper's flow accounting ([Branch_flow]). *)
 
+type opt_flags = {
+  superblocks : bool;
+      (** straighten each routine's hottest decoded trace
+          ({!Ppp_opt.Superblock}) before inlining — only meaningful for
+          {!prepare_with_profile}/{!reoptimize}, which have a decoded
+          path profile to drive it *)
+  layout : bool;
+      (** derive a hot-path-first block emission order from the base
+          run's path profile and carry it in [prepared.layout] *)
+  max_trace : int;  (** trace-length bound passed to {!Ppp_opt.Superblock.form} *)
+}
+
+val default_flags : opt_flags
+(** Everything off, [max_trace = 32] — the seed pipeline, byte-for-byte. *)
+
 type prepared = {
   bench_name : string;
   original : Ppp_ir.Ir.program;
@@ -30,6 +45,14 @@ type prepared = {
   base_outcome : Ppp_interp.Interp.outcome;  (** run of [optimized] *)
   inline_stats : Ppp_opt.Inline.stats;
   unroll_stats : Ppp_opt.Unroll.stats;
+  superblock_stats : Ppp_opt.Superblock.stats;
+      (** what superblock formation did (empty unless the [superblocks]
+          flag was on and a decoded profile drove the preparation) *)
+  layout : (string, int array) Hashtbl.t option;
+      (** hot-path-first block emission orders from the base run's path
+          profile, when the [layout] flag was on and any routine deviates
+          from source order; feed to [Interp.config.layout]. A pure
+          placement hint — outcomes are byte-identical either way. *)
   confidence : float;
       (** trust in the guiding profile: 1.0 for freshly collected, the
           matched fraction for one salvaged from a stale dump *)
@@ -47,15 +70,22 @@ type prepared = {
 }
 
 val decisions : prepared -> Ppp_opt.Decision.t list
-(** The typed decision log of the preparation: every call site the
-    inliner spliced and every loop the unroller replicated, in pass
-    order. *)
+(** The typed decision log of the preparation: every trace superblock
+    formation straightened, every call site the inliner spliced and
+    every loop the unroller replicated, in pass order. *)
 
 val prepare :
-  ?session:Ppp_session.Session.t -> name:string -> Ppp_ir.Ir.program -> prepared
+  ?session:Ppp_session.Session.t ->
+  ?flags:opt_flags ->
+  name:string ->
+  Ppp_ir.Ir.program ->
+  prepared
 (** @raise Ppp_interp.Interp.Runtime_error if the program faults.
     Fuel exhaustion does not raise: the phase keeps its partial profile
-    and records an [Exhausted] diagnostic. *)
+    and records an [Exhausted] diagnostic. [flags] (default
+    {!default_flags}) can only enable [layout] here — superblock
+    formation needs a decoded profile, which a fresh preparation does
+    not have. *)
 
 val prepare_unoptimized :
   ?session:Ppp_session.Session.t -> name:string -> Ppp_ir.Ir.program -> prepared
@@ -63,6 +93,7 @@ val prepare_unoptimized :
 
 val prepare_with_profile :
   ?session:Ppp_session.Session.t ->
+  ?flags:opt_flags ->
   name:string ->
   loaded:Ppp_profile.Profile_io.loaded ->
   Ppp_ir.Ir.program ->
@@ -73,7 +104,14 @@ val prepare_with_profile :
     is raised in proportion to distrust ([1 / matched_fraction]), the
     loaded profile's diagnostics are carried into
     [prepared.diagnostics], and [prepared.confidence] is set to the
-    matched fraction so {!evaluate} degrades its placement thresholds. *)
+    matched fraction so {!evaluate} degrades its placement thresholds.
+
+    With [flags.superblocks], the loaded profile's hot paths first
+    straighten each routine's hottest trace ({!Ppp_opt.Superblock.form});
+    a program that actually changed is re-profiled (phase ["sb-profile"])
+    so inlining consumes edge counts for the bodies it sees, and traces
+    the current CFG can no longer follow become [Stale] warning
+    diagnostics rather than silent skips. *)
 
 val prepare_ms : prepared -> float
 (** Total wall-clock milliseconds of the preparation phases. *)
@@ -172,6 +210,7 @@ type generation = {
 val reoptimize :
   ?session:Ppp_session.Session.t ->
   ?config:Ppp_core.Config.t ->
+  ?flags:opt_flags ->
   ?iterations:int ->
   name:string ->
   Ppp_ir.Ir.program ->
@@ -182,6 +221,60 @@ val reoptimize :
     reloads it against the previous optimized program through the
     stale-matching loader, re-optimizes, and re-instruments under
     [config] (default PPP) with {e sticky} placement reuse — only
-    routines dirtied by inlining or unrolling are re-planned, every
-    untouched routine keeps its instrumentation. The generation's
-    instrumented run is executed end-to-end ([instr_overhead]). *)
+    routines dirtied by superblock formation, inlining or unrolling are
+    re-planned, every untouched routine keeps its instrumentation. The
+    generation's instrumented run is executed end-to-end
+    ([instr_overhead]), under the generation's block layout when
+    [flags.layout] is on. [flags.superblocks] feeds each generation's
+    decoded hot paths into {!Ppp_opt.Superblock.form} from generation 2
+    onward — the paper's loop, closed. *)
+
+(** {2 Layout evaluation (the i-cache / taken-branch proxy)} *)
+
+type layout_proxy = {
+  lp_transfers : int;
+      (** dynamic intra-routine control transfers, weighted by true edge
+          frequency (returns and calls excluded — layout cannot move
+          them) *)
+  lp_taken : int;  (** ... whose target is not the next opcode *)
+  lp_local : int;
+      (** ... whose displacement stays within
+          [Ppp_interp.Cost.locality_window] *)
+  lp_score : float;  (** {!Ppp_flow.Score.layout_score} of the above *)
+}
+
+type closed_loop = {
+  cl_routines_straightened : int;
+  cl_duplicated : int;
+  cl_merged : int;
+  cl_mismatches : int;
+  cl_base : layout_proxy;  (** transformed program, source order *)
+  cl_laid : layout_proxy;  (** transformed program, path-guided order *)
+  cl_taken_drop : bool;
+      (** taken-transfer mass strictly dropped — the acceptance signal
+          the bench gate floors *)
+  cl_improvement : float;
+}
+
+type layout_eval = {
+  le_base : layout_proxy;  (** [prepared.optimized] in source order *)
+  le_oracle : layout_proxy;
+      (** laid out from the measured path profile — the ceiling *)
+  le_oracle_improvement : float;
+  le_methods : (string * layout_proxy * float) list;
+      (** per profiling method: proxy under the layout its {e estimated}
+          profile dictates, and its improvement over [le_base] *)
+  le_closed_loop : closed_loop;
+}
+
+val layout_eval :
+  prepared -> estimates:(string * Ppp_flow.Score.est list) list -> layout_eval
+(** Score block layouts on [prepared.optimized] with the base run's true
+    edge frequencies: source order, the oracle order (from the measured
+    path profile), and the order each method's estimated profile implies.
+    Then close the loop: straighten the hottest estimated trace per
+    routine (the ["ppp"] entry of [estimates] when present, else the
+    measured truth), run the transformed program fresh, lay it out from
+    that run's own profile, and compare proxies. One deterministic VM
+    run plus cost-model arithmetic — safe inside byte-identical bench
+    documents. *)

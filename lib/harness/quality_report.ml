@@ -21,8 +21,13 @@ let measured_quality prep =
 (* One method's entry: the scalar scores the bench report already
    carries, plus the full quality comparison of its estimated profile
    against the measured truth. *)
-let method_json ~reference (ev : Pipeline.evaluation) =
+let method_json ~reference ?layout_improvement (ev : Pipeline.evaluation) =
   let candidate = Quality.of_estimates ev.Pipeline.estimated in
+  let layout_fields =
+    match layout_improvement with
+    | None -> []
+    | Some f -> [ ("layout_improvement", J.Float f) ]
+  in
   match Quality.comparison_json ~reference ~candidate () with
   | J.Obj fields ->
       J.Obj
@@ -31,7 +36,8 @@ let method_json ~reference (ev : Pipeline.evaluation) =
             ("overhead", J.Float ev.Pipeline.overhead);
             ("accuracy", J.Float ev.Pipeline.accuracy);
             ("coverage", J.Float ev.Pipeline.coverage);
-          ])
+          ]
+        @ layout_fields)
   | other -> other
 
 let decisions_json ds =
@@ -118,8 +124,18 @@ let bench_row ?(iterations = 1) ?telemetry_interval (pb : Report.prepared_bench)
          ("measured_total", J.Int (Quality.total reference));
          ("measured_distinct", J.Int (Quality.distinct reference));
          ( "methods",
-           J.Obj (List.map (fun (m, ev) -> (m, method_json ~reference ev)) evs)
-         );
+           J.Obj
+             (let le = Report.layout_of pb in
+              List.map
+                (fun (m, ev) ->
+                  let layout_improvement =
+                    List.find_map
+                      (fun (n, _, imp) ->
+                        if String.equal n m then Some imp else None)
+                      le.Pipeline.le_methods
+                  in
+                  (m, method_json ~reference ?layout_improvement ev))
+                evs) );
          ("decisions", decisions_json (Pipeline.decisions prep));
        ]
       @ generations @ telemetry)

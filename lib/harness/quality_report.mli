@@ -26,9 +26,14 @@ val measured_quality : Pipeline.prepared -> Ppp_quality.Quality.t
     quality profile, branch-flow weighted. *)
 
 val method_json :
-  reference:Ppp_quality.Quality.t -> Pipeline.evaluation -> Ppp_obs.Jsonx.t
+  reference:Ppp_quality.Quality.t ->
+  ?layout_improvement:float ->
+  Pipeline.evaluation ->
+  Ppp_obs.Jsonx.t
 (** One method's comparison against [reference], plus its scalar
-    overhead/accuracy/coverage. *)
+    overhead/accuracy/coverage — and, when given, the layout-score
+    improvement its estimated profile's block layout would buy
+    ({!Pipeline.layout_eval}). *)
 
 val decisions_json : Ppp_opt.Decision.t list -> Ppp_obs.Jsonx.t
 val generation_json : Pipeline.generation -> Ppp_obs.Jsonx.t

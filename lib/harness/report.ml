@@ -154,6 +154,86 @@ let fig9_10_11 ppf benches =
     "average accuracy: edge %.0f%%  TPP %.0f%%  PPP %.0f%%   coverage: edge %.0f%%  TPP %.0f%%  PPP %.0f%%@,@]@."
     (100. *. ae) (100. *. at) (100. *. ap) (100. *. ce) (100. *. ct) (100. *. cp)
 
+(* Layout evaluations are cached alongside [evals_of]: one per bench,
+   derived from the same estimated profiles, reused by the text report
+   and the JSON document. *)
+let layout_cache : (string, Pipeline.layout_eval) Hashtbl.t = Hashtbl.create 17
+
+let layout_of pb =
+  let key = pb.spec.Spec.bench_name in
+  match Hashtbl.find_opt layout_cache key with
+  | Some le -> le
+  | None ->
+      let e = evals_of pb in
+      let est ev = ev.Pipeline.estimated in
+      let le =
+        Pipeline.layout_eval pb.prep
+          ~estimates:
+            [
+              ("edge", est e.edge);
+              ("pp", est e.pp);
+              ("tpp", est e.tpp);
+              ("ppp", est e.ppp);
+            ]
+      in
+      Hashtbl.replace layout_cache key le;
+      le
+
+let layout_report ppf benches =
+  Format.fprintf ppf
+    "@[<v>Layout: taken-transfer / locality proxy (lower score is better)@,";
+  hr ppf 110;
+  Format.fprintf ppf "%-9s | %9s %7s | %7s %7s %7s %7s %7s | %9s %5s@," "bench"
+    "transfers" "taken%" "base" "oracle" "edge" "PPP" "loop" "sblocks" "drop";
+  hr ppf 110;
+  let imp_of name le =
+    match
+      List.find_opt (fun (n, _, _) -> String.equal n name) le.Pipeline.le_methods
+    with
+    | Some (_, px, _) -> px.Pipeline.lp_score
+    | None -> le.Pipeline.le_base.Pipeline.lp_score
+  in
+  List.iter
+    (fun pb ->
+      let le = layout_of pb in
+      let base = le.Pipeline.le_base in
+      let cl = le.Pipeline.le_closed_loop in
+      let taken_pct =
+        if base.Pipeline.lp_transfers = 0 then 0.0
+        else
+          100.
+          *. float_of_int base.Pipeline.lp_taken
+          /. float_of_int base.Pipeline.lp_transfers
+      in
+      Format.fprintf ppf
+        "%-9s | %9d %6.1f%% | %7.3f %7.3f %7.3f %7.3f %7.3f | %9d %5s@,"
+        pb.spec.Spec.bench_name base.Pipeline.lp_transfers taken_pct
+        base.Pipeline.lp_score le.Pipeline.le_oracle.Pipeline.lp_score
+        (imp_of "edge" le) (imp_of "ppp" le) cl.Pipeline.cl_laid.Pipeline.lp_score
+        cl.Pipeline.cl_routines_straightened
+        (if cl.Pipeline.cl_taken_drop then "yes" else "no"))
+    benches;
+  hr ppf 110;
+  let drops =
+    List.length
+      (List.filter
+         (fun pb -> (layout_of pb).Pipeline.le_closed_loop.Pipeline.cl_taken_drop)
+         benches)
+  in
+  let agg name =
+    List.fold_left
+      (fun acc pb ->
+        let le = layout_of pb in
+        acc
+        +. Ppp_flow.Score.layout_improvement
+             ~base:le.Pipeline.le_base.Pipeline.lp_score ~candidate:(imp_of name le))
+      0.0 benches
+  in
+  Format.fprintf ppf
+    "closed loop drops taken transfers on %d/%d benches; aggregate improvement \
+     edge %.3f  PPP %.3f@,@]@."
+    drops (List.length benches) (agg "edge") (agg "ppp")
+
 let fig12 ppf benches =
   Format.fprintf ppf "@[<v>Figure 12: runtime overhead of path profiling@,";
   hr ppf 50;
@@ -243,6 +323,50 @@ let eval_json (ev : Pipeline.evaluation) =
       ("routines_total", J.Int ev.Pipeline.routines_total);
     ]
 
+let layout_proxy_json ?improvement (px : Pipeline.layout_proxy) =
+  J.Obj
+    ([
+       ("transfers", J.Int px.Pipeline.lp_transfers);
+       ("taken", J.Int px.Pipeline.lp_taken);
+       ("local", J.Int px.Pipeline.lp_local);
+       ("score", J.Float px.Pipeline.lp_score);
+     ]
+    @
+    match improvement with
+    | None -> []
+    | Some f -> [ ("improvement", J.Float f) ])
+
+(* Deterministic (cost model + one fixed-config VM run), so it lives
+   unconditionally in the bench document: sharded runs stay byte-identical
+   at every -j. *)
+let layout_json pb =
+  let le = layout_of pb in
+  let cl = le.Pipeline.le_closed_loop in
+  J.Obj
+    [
+      ("base", layout_proxy_json le.Pipeline.le_base);
+      ( "oracle",
+        layout_proxy_json ~improvement:le.Pipeline.le_oracle_improvement
+          le.Pipeline.le_oracle );
+      ( "methods",
+        J.Obj
+          (List.map
+             (fun (n, px, imp) -> (n, layout_proxy_json ~improvement:imp px))
+             le.Pipeline.le_methods) );
+      ( "closed_loop",
+        J.Obj
+          [
+            ("straightened", J.Int cl.Pipeline.cl_routines_straightened);
+            ("duplicated", J.Int cl.Pipeline.cl_duplicated);
+            ("merged", J.Int cl.Pipeline.cl_merged);
+            ("mismatches", J.Int cl.Pipeline.cl_mismatches);
+            ("base", layout_proxy_json cl.Pipeline.cl_base);
+            ("laid", layout_proxy_json cl.Pipeline.cl_laid);
+            ("taken_drop", J.Bool cl.Pipeline.cl_taken_drop);
+            ("improvement", J.Float cl.Pipeline.cl_improvement);
+          ] );
+    ]
+
 let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
     ?(prepare = false) pb =
   let e = evals_of pb in
@@ -291,6 +415,7 @@ let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
              ("tpp", eval_json e.tpp);
              ("ppp", eval_json e.ppp);
            ] );
+       ("layout", layout_json pb);
      ]
     @ timing_fields @ throughput_fields @ prepare_fields)
 

@@ -31,6 +31,12 @@ val evals_of : prepared_bench -> evals
 (** Evaluate a benchmark under every method, memoized per benchmark
     name; Figures 9–13 and the JSON output all share this pass. *)
 
+val layout_of : prepared_bench -> Pipeline.layout_eval
+(** The benchmark's {!Pipeline.layout_eval} — source order vs the oracle
+    layout vs each method's estimated layout, plus the closed
+    superblock+layout loop — derived from the {!evals_of} estimates and
+    memoized per benchmark name. *)
+
 val bench_json :
   ?scale:int ->
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
@@ -78,6 +84,12 @@ val fig9_10_11 : Format.formatter -> prepared_bench list -> unit
 
 val fig12 : Format.formatter -> prepared_bench list -> unit
 (** Runtime overheads of PP, TPP and PPP. *)
+
+val layout_report : Format.formatter -> prepared_bench list -> unit
+(** Per-benchmark taken-transfer / locality proxy scores: source order,
+    the oracle layout, the layouts edge profiling and PPP estimate, and
+    the closed superblock+layout loop, with the drop count and aggregate
+    improvements the bench gate floors. *)
 
 val fig13 : Format.formatter -> prepared_bench list -> unit
 (** Leave-one-out ablation of PPP's techniques, normalized to TPP, on

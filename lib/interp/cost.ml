@@ -33,3 +33,10 @@ let action ~table = function
 
 let actions ~table acts =
   List.fold_left (fun acc a -> acc + action ~table a) 0 acts
+
+(* The i-cache proxy's locality horizon, in lowered opcodes: a control
+   transfer whose displacement from fall-through stays within the window
+   is assumed to hit the same cache neighborhood (BOLT's intuition that
+   distance, not direction, is what costs). 64 ops ~ a few cache lines
+   at this IR's density. *)
+let locality_window = 64

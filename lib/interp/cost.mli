@@ -20,3 +20,9 @@ val action : table:Instr_rt.table_kind -> Instr_rt.action -> int
 val actions : table:Instr_rt.table_kind -> Instr_rt.action list -> int
 (** Total cost of an edge's action list; what the lowering pass
     precomputes so the VM charges one number per traversal. *)
+
+val locality_window : int
+(** The i-cache proxy's locality horizon, in lowered opcodes: a control
+    transfer whose displacement from fall-through stays within the
+    window is assumed to hit the same cache neighborhood (distance, not
+    direction, is what costs). See [Layout]. *)

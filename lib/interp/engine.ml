@@ -35,6 +35,12 @@ type config = {
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
   telemetry : Telemetry.t option;
+  layout : (string, int array) Hashtbl.t option;
+      (* Per-routine block emission order for the pre-lowered VM (see
+         [Layout]): order.(i) is the block placed i-th in the code array.
+         Purely a placement hint — outcomes are byte-identical with any
+         (or no) layout, which the differential suite asserts. The
+         reference engine walks the AST and ignores it entirely. *)
 }
 
 let default_config =
@@ -45,6 +51,7 @@ let default_config =
     instrumentation = None;
     overflow_policy = Instr_rt.Table.Drop;
     telemetry = None;
+    layout = None;
   }
 
 type termination = Finished | Out_of_fuel of { stack_depth : int }

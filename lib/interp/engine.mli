@@ -24,6 +24,10 @@ type config = {
   telemetry : Telemetry.t option;
       (** when set, the {!Vm} engine records periodic counter snapshots
           into the ring; never affects outcomes *)
+  layout : (string, int array) Hashtbl.t option;
+      (** per-routine block emission order for the pre-lowered VM (see
+          [Layout]): a pure placement hint — outcomes are byte-identical
+          under any (or no) layout. The reference engine ignores it. *)
 }
 
 val default_config : config

@@ -16,6 +16,7 @@ type config = Engine.config = {
   instrumentation : Instr_rt.t option;
   overflow_policy : Instr_rt.Table.overflow_policy;
   telemetry : Telemetry.t option;
+  layout : (string, int array) Hashtbl.t option;
 }
 
 let default_config = Engine.default_config

@@ -32,6 +32,14 @@ type config = Engine.config = {
           {!Vm} engine samples its counters into it periodically, the
           reference engine ignores it. Outcomes are byte-identical with
           and without a ring. *)
+  layout : (string, int array) Hashtbl.t option;
+      (** per-routine block emission order for the pre-lowered {!Vm}
+          (see [Layout]): the named routine's blocks are emitted in the
+          given permutation (entry first) so the hot path runs
+          fall-through. A pure placement hint — outcomes are
+          byte-identical under any (or no) layout, which the layout
+          differential suite asserts. The reference engine walks the AST
+          and ignores it entirely. *)
 }
 
 val default_config : config

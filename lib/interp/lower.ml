@@ -146,11 +146,46 @@ let compile_action table act =
       None ) ->
       Bump_none
 
+(* A block emission order is usable only if it is a genuine permutation
+   of the routine's blocks that keeps the entry block at opcode offset 0
+   (both engines start every frame at pc 0). Anything else — stale
+   table from an older program, wrong length, duplicate entries — is
+   silently ignored rather than trusted: layout is an optimization hint,
+   never a correctness input. *)
+let valid_order ~nblocks order =
+  Array.length order = nblocks
+  && nblocks > 0
+  && order.(0) = 0
+  &&
+  let seen = Array.make nblocks false in
+  Array.for_all
+    (fun b ->
+      b >= 0 && b < nblocks
+      &&
+      if seen.(b) then false
+      else begin
+        seen.(b) <- true;
+        true
+      end)
+    order
+
+let is_identity_order order =
+  let n = Array.length order in
+  let rec go i = i >= n || (order.(i) = i && go (i + 1)) in
+  go 0
+
 (* Lower one routine structurally: full opcode array, costs and edge
    bookkeeping, but every edge's action list empty. Instrumentation is
    attached later by [specialize_plan], so this half is pure in the
-   routine body and can be cached across runs. *)
-let lower_structural ?analysis ~arrays ~routine_index (r : Ir.routine) =
+   routine body and can be cached across runs.
+
+   [order], when given, is the block emission order (a validated
+   permutation with the entry first): the hot path's blocks land
+   contiguously and cold blocks sink to the array tail. Only opcode
+   *placement* changes — [block_offset] is recorded per block and the
+   target-patching pass below resolves branch targets through it, so
+   the executed instruction stream is identical for every order. *)
+let lower_structural ?analysis ?order ~arrays ~routine_index (r : Ir.routine) =
   let view, loops =
     match analysis with
     | Some f -> f r
@@ -337,13 +372,20 @@ let lower_structural ?analysis ~arrays ~routine_index (r : Ir.routine) =
         | Some (Ir.Imm i) -> flush ~term:(Some (Return_i { imm = i; edge }, c))
         | None -> flush ~term:(Some (Return_none { edge }, c)))
   in
-  let block_offset = Array.make (Array.length r.Ir.blocks) 0 in
-  Array.iteri
-    (fun bi (b : Ir.block) ->
+  let nblocks = Array.length r.Ir.blocks in
+  let block_offset = Array.make nblocks 0 in
+  let emission =
+    match order with
+    | Some o when valid_order ~nblocks o -> o
+    | _ -> Array.init nblocks (fun i -> i)
+  in
+  Array.iter
+    (fun bi ->
+      let b = r.Ir.blocks.(bi) in
       block_offset.(bi) <- !n_ops;
       Array.iter lower_instr b.Ir.instrs;
       lower_term bi b)
-    r.Ir.blocks;
+    emission;
   let code = Array.of_list (List.rev !ops_rev) in
   let costs = Array.of_list (List.rev !costs_rev) in
   (* Second pass: patch block-index targets to opcode offsets. *)
@@ -422,7 +464,15 @@ let specialize_code ~ri ~table (splan : plan) =
    Load/Store opcodes embed backing-array refs, so any change to the
    routine name order or the array set flushes the whole cache. *)
 
-type centry = { fp : int; c_nregs : int; splan : plan }
+type centry = {
+  fp : int;
+  c_nregs : int;
+  c_order : int array option;
+      (* block emission order the plan was lowered under; [None] for the
+         source order. Offsets are baked into the opcodes, so a plan is
+         only reusable under the exact same order. *)
+  splan : plan;
+}
 
 type cache = {
   structs : (string, centry) Hashtbl.t;
@@ -479,23 +529,40 @@ let program ?cache ~(config : Engine.config) ~instr_tables (p : Ir.program) =
     p.Ir.arrays;
   let index = Hashtbl.create 17 in
   List.iteri (fun i (r : Ir.routine) -> Hashtbl.replace index r.Ir.name i) p.Ir.routines;
+  (* The requested emission order, validated and with the identity
+     normalized away: a layout that changes nothing shares the plain
+     plan (and its cache entry) instead of forking it. *)
+  let order_of (r : Ir.routine) =
+    match config.Engine.layout with
+    | None -> None
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl r.Ir.name with
+        | Some o
+          when valid_order ~nblocks:(Array.length r.Ir.blocks) o
+               && not (is_identity_order o) ->
+            Some o
+        | _ -> None)
+  in
   let structural (r : Ir.routine) =
+    let order = order_of r in
     match structs with
     | None ->
         Obs.incr m_lower_miss;
-        lower_structural ?analysis ~arrays ~routine_index:index r
+        lower_structural ?analysis ?order ~arrays ~routine_index:index r
     | Some tbl -> (
         let fp = Fingerprint.routine r in
         match Hashtbl.find_opt tbl r.Ir.name with
-        | Some e when e.fp = fp && e.c_nregs = r.Ir.nregs ->
+        | Some e when e.fp = fp && e.c_nregs = r.Ir.nregs && e.c_order = order
+          ->
             Obs.incr m_lower_hit;
             e.splan
         | _ ->
             Obs.incr m_lower_miss;
             let splan =
-              lower_structural ?analysis ~arrays ~routine_index:index r
+              lower_structural ?analysis ?order ~arrays ~routine_index:index r
             in
-            Hashtbl.replace tbl r.Ir.name { fp; c_nregs = r.Ir.nregs; splan };
+            Hashtbl.replace tbl r.Ir.name
+              { fp; c_nregs = r.Ir.nregs; c_order = order; splan };
             splan)
   in
   let plans =

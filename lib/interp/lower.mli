@@ -94,6 +94,20 @@ type program = {
   arrays : (string, arr) Hashtbl.t;
 }
 
+(** {2 Block layout} *)
+
+val valid_order : nblocks:int -> int array -> bool
+(** [valid_order ~nblocks order] holds when [order] is a permutation of
+    [0 .. nblocks-1] with the entry block first — the only orders the
+    lowering will honor ([order.(0) = 0] keeps every frame's first opcode
+    at offset 0, the invariant {!Vm} starts frames on). Invalid orders
+    are ignored defensively, never an error: layout is a hint. *)
+
+val is_identity_order : int array -> bool
+(** Whether [order] is [0; 1; ...; n-1] — i.e. source order, the layout
+    every routine gets without a hint. Identity orders are normalized to
+    "no layout" so structurally cached plans are shared. *)
+
 (** {2 Structural-plan cache}
 
     Lowering is split into a {e structural} half (the full opcode array

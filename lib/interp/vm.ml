@@ -72,6 +72,8 @@ let fresh_frame plan =
   {
     plan;
     regs = Array.make (max 1 plan.L.nregs) 0;
+    (* Every frame begins at opcode offset 0: the lowering keeps the
+       entry block there under every block layout (Lower.valid_order). *)
     pc = 0;
     path_reg = 0;
     pbuf = Array.make 64 0;

@@ -1,13 +1,49 @@
 module Ir = Ppp_ir.Ir
 module Path = Ppp_profile.Path
 module Cfg_view = Ppp_ir.Cfg_view
+module Graph = Ppp_cfg.Graph
+
+type mismatch_reason =
+  | Edge_gone of { from_block : int; to_block : int }
+  | Stale_path
+
+type mismatch = {
+  mm_routine : string;
+  mm_position : int;
+  mm_reason : mismatch_reason;
+}
+
+let pp_mismatch ppf m =
+  match m.mm_reason with
+  | Edge_gone { from_block; to_block } ->
+      Format.fprintf ppf
+        "superblock trace for %s stops at step %d: edge %d->%d no longer in \
+         the CFG"
+        m.mm_routine m.mm_position from_block to_block
+  | Stale_path ->
+      Format.fprintf ppf
+        "superblock path for %s is stale at step %d: edge id outside the \
+         routine's CFG"
+        m.mm_routine m.mm_position
 
 type stats = {
   routines_optimized : int;
   blocks_duplicated : int;
   jumps_merged : int;
+  touched : string list;
+  mismatches : mismatch list;
   decisions : Decision.t list;
 }
+
+let empty_stats =
+  {
+    routines_optimized = 0;
+    blocks_duplicated = 0;
+    jumps_merged = 0;
+    touched = [];
+    mismatches = [];
+    decisions = [];
+  }
 
 let targets (term : Ir.terminator) =
   match term with
@@ -62,6 +98,22 @@ let prune blocks =
   Array.of_list (List.rev !kept)
   |> Array.map (fun (b : Ir.block) -> { b with Ir.term = remap_term b.Ir.term })
 
+(* Duplicated blocks are labelled "<label>_sb<uid>". Starting past any
+   uid already present keeps labels fresh when an already-straightened
+   routine comes back through formation (iterative re-optimization);
+   [Check.program_exn] rejects duplicate labels. *)
+let label_uid label =
+  match String.rindex_opt label '_' with
+  | Some i
+    when i + 3 <= String.length label
+         && String.sub label (i + 1) 2 = "sb" -> (
+      match
+        int_of_string_opt (String.sub label (i + 3) (String.length label - i - 3))
+      with
+      | Some k when k > 0 -> k
+      | _ -> 0)
+  | _ -> 0
+
 let optimize_routine (r : Ir.routine) trace ~max_trace ~dup_count ~merge_count =
   let blocks = ref (Array.to_list r.Ir.blocks |> Array.of_list) in
   let append b =
@@ -71,37 +123,61 @@ let optimize_routine (r : Ir.routine) trace ~max_trace ~dup_count ~merge_count =
     Array.length !blocks - 1
   in
   (* Phase 1: tail-duplicate side entrances along the trace. *)
-  let uid = ref 0 in
+  let uid =
+    ref
+      (Array.fold_left
+         (fun acc (b : Ir.block) -> max acc (label_uid b.Ir.label))
+         0 r.Ir.blocks)
+  in
+  let mismatch = ref None in
   let cur = ref (List.hd trace) in
+  let prev_orig = ref (List.hd trace) in
   let visited = ref [ List.hd trace ] in
+  let stopped = ref false in
   List.iteri
     (fun i v ->
-      if i > 0 && i < max_trace then begin
+      if i > 0 && i < max_trace && not !stopped then begin
         let u = !cur in
         let bu = !blocks.(u) in
-        (* Only continue if the trace edge still exists from the current
-           (possibly duplicated) block. *)
-        if List.mem v (targets bu.Ir.term) then
-          let preds = pred_counts !blocks in
-          if v <> 0 && preds.(v) > 1 && not (List.mem v !visited) then begin
-            incr uid;
-            incr dup_count;
-            let copy =
+        (* Follow the trace only while each edge still exists from the
+           current (possibly duplicated) block. A profile decoded against
+           an older CFG — e.g. salvaged through [Stale_match] after the
+           routine already changed — can name an edge this body no longer
+           has; stop there and report it, rather than straightening
+           blocks the recorded executions never connected. *)
+        if not (List.mem v (targets bu.Ir.term)) then begin
+          stopped := true;
+          mismatch :=
+            Some
               {
-                !blocks.(v) with
-                Ir.label = Printf.sprintf "%s_sb%d" !blocks.(v).Ir.label !uid;
+                mm_routine = r.Ir.name;
+                mm_position = i;
+                mm_reason = Edge_gone { from_block = !prev_orig; to_block = v };
               }
-            in
-            let v' = append copy in
-            !blocks.(u) <-
-              { bu with Ir.term = retarget bu.Ir.term ~from:v ~to_:v' };
-            cur := v';
-            visited := v' :: !visited
-          end
-          else begin
-            cur := v;
-            visited := v :: !visited
-          end
+        end
+        else begin
+          (let preds = pred_counts !blocks in
+           if v <> 0 && preds.(v) > 1 && not (List.mem v !visited) then begin
+             incr uid;
+             incr dup_count;
+             let copy =
+               {
+                 !blocks.(v) with
+                 Ir.label = Printf.sprintf "%s_sb%d" !blocks.(v).Ir.label !uid;
+               }
+             in
+             let v' = append copy in
+             !blocks.(u) <-
+               { bu with Ir.term = retarget bu.Ir.term ~from:v ~to_:v' };
+             cur := v';
+             visited := v' :: !visited
+           end
+           else begin
+             cur := v;
+             visited := v :: !visited
+           end);
+          prev_orig := v
+        end
       end)
     trace;
   (* Phase 2: merge jump-linked single-predecessor chains. *)
@@ -128,49 +204,86 @@ let optimize_routine (r : Ir.routine) trace ~max_trace ~dup_count ~merge_count =
         | _ -> ())
       !blocks
   done;
-  { r with Ir.blocks = prune !blocks }
+  ({ r with Ir.blocks = prune !blocks }, !mismatch)
 
 
 
+(* The first position in [path] holding an edge id outside the view's
+   CFG, if any — the signature of a profile decoded against a different
+   (older) body than the one being straightened. *)
+let first_stale_position view path =
+  let nedges = Graph.num_edges (Cfg_view.graph view) in
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if e < 0 || e >= nedges then Some i else go (i + 1) rest
+  in
+  go 0 path
+
+(* [path_weights] feeds ONLY the decision log's [weight] field: the
+   transformation is a pure function of the program and [hot_paths],
+   byte-for-byte identical under any weights (a property test pins
+   this). Keeping flow out of the transform is what makes the decision
+   diff stable across generations whose profiles differ only in
+   magnitude. *)
 let form ?(max_trace = 32) ?(path_weights = []) (p : Ir.program) ~hot_paths =
   let dup_count = ref 0 in
   let merge_count = ref 0 in
   let optimized = ref 0 in
+  let touched = ref [] in
+  let mismatches = ref [] in
   let decisions = ref [] in
   let routines =
     List.map
       (fun (r : Ir.routine) ->
         match List.assoc_opt r.Ir.name hot_paths with
         | None -> r
-        | Some path ->
+        | Some path -> (
             let view = Cfg_view.of_routine r in
-            let trace = Path.blocks view path in
-            if List.length trace < 2 then r
-            else begin
-              incr optimized;
-              (* Per-routine counters so the decision record carries this
-                 trace's own duplication/merge work, not the running total. *)
-              let dup = ref 0 and merge = ref 0 in
-              let r' =
-                optimize_routine r trace ~max_trace ~dup_count:dup
-                  ~merge_count:merge
-              in
-              dup_count := !dup_count + !dup;
-              merge_count := !merge_count + !merge;
-              decisions :=
-                Decision.Superblock
+            match first_stale_position view path with
+            | Some pos ->
+                mismatches :=
                   {
-                    routine = r.Ir.name;
-                    trace;
-                    weight =
-                      Option.value ~default:0
-                        (List.assoc_opt r.Ir.name path_weights);
-                    duplicated = !dup;
-                    merged = !merge;
+                    mm_routine = r.Ir.name;
+                    mm_position = pos;
+                    mm_reason = Stale_path;
                   }
-                :: !decisions;
-              r'
-            end)
+                  :: !mismatches;
+                r
+            | None ->
+                let trace = Path.blocks view path in
+                if List.length trace < 2 then r
+                else begin
+                  (* Per-routine counters so the decision record carries
+                     this trace's own duplication/merge work, not the
+                     running total. *)
+                  let dup = ref 0 and merge = ref 0 in
+                  let r', mm =
+                    optimize_routine r trace ~max_trace ~dup_count:dup
+                      ~merge_count:merge
+                  in
+                  (match mm with
+                  | Some m -> mismatches := m :: !mismatches
+                  | None -> ());
+                  dup_count := !dup_count + !dup;
+                  merge_count := !merge_count + !merge;
+                  if !dup + !merge > 0 then begin
+                    incr optimized;
+                    decisions :=
+                      Decision.Superblock
+                        {
+                          routine = r.Ir.name;
+                          trace;
+                          weight =
+                            Option.value ~default:0
+                              (List.assoc_opt r.Ir.name path_weights);
+                          duplicated = !dup;
+                          merged = !merge;
+                        }
+                      :: !decisions
+                  end;
+                  if r' <> r then touched := r.Ir.name :: !touched;
+                  r'
+                end))
       p.Ir.routines
   in
   let p' = { p with Ir.routines } in
@@ -180,5 +293,7 @@ let form ?(max_trace = 32) ?(path_weights = []) (p : Ir.program) ~hot_paths =
       routines_optimized = !optimized;
       blocks_duplicated = !dup_count;
       jumps_merged = !merge_count;
+      touched = List.rev !touched;
+      mismatches = List.rev !mismatches;
       decisions = List.rev !decisions;
     } )

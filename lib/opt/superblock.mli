@@ -8,14 +8,42 @@
     transformation is semantics-preserving for any input; the hot path
     simply executes fewer control transfers. *)
 
+type mismatch_reason =
+  | Edge_gone of { from_block : int; to_block : int }
+      (** the trace needed CFG edge [from_block -> to_block] and the
+          current body no longer has it; straightening stopped there *)
+  | Stale_path
+      (** the recorded path names edge ids outside the routine's CFG —
+          a profile decoded against an older body (e.g. salvaged through
+          [Stale_match]); the routine was left untouched *)
+
+type mismatch = {
+  mm_routine : string;
+  mm_position : int;  (** 0-based step in the trace/path where following stopped *)
+  mm_reason : mismatch_reason;
+}
+(** A hot path that no longer matches the CFG it is being applied to.
+    Never an error: formation degrades to the longest matching prefix
+    (or a no-op) and reports what it skipped, so the caller can surface
+    a diagnostic instead of silence. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
 type stats = {
   routines_optimized : int;
   blocks_duplicated : int;
   jumps_merged : int;
+  touched : string list;
+      (** routines whose body actually changed, in program order — the
+          dirty set an incremental re-optimizer must invalidate *)
+  mismatches : mismatch list;
+      (** hot paths that no longer matched their CFG, in program order *)
   decisions : Decision.t list;
-      (** one {!Decision.Superblock} per routine straightened, in
-          program order *)
+      (** one {!Decision.Superblock} per routine straightened (i.e. with
+          at least one duplication or merge), in program order *)
 }
+
+val empty_stats : stats
 
 val form :
   ?max_trace:int ->
@@ -25,6 +53,16 @@ val form :
   Ppp_ir.Ir.program * stats
 (** [form p ~hot_paths] straightens the first (hottest) listed path of
     each routine. [max_trace] bounds the blocks considered per trace
-    (default 32). [path_weights] optionally supplies each routine's
-    selected-path flow so the decision log records what triggered the
-    trace; it never affects the transformation. *)
+    (default 32).
+
+    [path_weights] optionally supplies each routine's selected-path flow
+    so the decision log records what triggered the trace; it feeds
+    {e only} the log's [weight] field and never affects the transformed
+    program — [form] is a pure function of [p] and [hot_paths], which a
+    property test pins.
+
+    Never raises on stale or mismatched paths: edge ids outside a
+    routine's CFG, or trace edges the body no longer has, become
+    {!mismatch} records and the routine keeps (a prefix of) its
+    straightening. [Ppp_ir.Check.program_exn] still validates the result,
+    so a malformed {e program} (rather than profile) is loud. *)

@@ -22,6 +22,8 @@ let m_flow_hit = Obs.counter "session.flow.hit"
 let m_flow_miss = Obs.counter "session.flow.miss"
 let m_place_hit = Obs.counter "session.place.hit"
 let m_place_miss = Obs.counter "session.place.miss"
+let m_layout_hit = Obs.counter "session.layout.hit"
+let m_layout_miss = Obs.counter "session.layout.miss"
 let m_invalidate = Obs.counter "session.invalidate"
 let m_evict = Obs.counter "session.evict"
 
@@ -43,6 +45,12 @@ type entry = {
       (* The profile the plan was made under, by physical identity;
          [None] for plans imported from a persisted session, which can
          only ever satisfy [Sticky] lookups. *)
+  mutable e_layouts :
+    (Ppp_profile.Path_profile.program * int array option) list;
+      (* Block emission orders keyed by the path profile they were
+         derived from, by physical identity; [None] caches "this profile
+         yields the identity order", which is just as expensive to
+         rediscover. *)
 }
 
 type counts = {
@@ -123,6 +131,7 @@ let entry t (r : Ir.routine) =
           e_ctxs = [];
           e_defs = [];
           e_places = [];
+          e_layouts = [];
         }
       in
       Hashtbl.replace t.slots r.Ir.name (cap t (e :: es));
@@ -267,6 +276,23 @@ let placement_store t ~config_name ~ep r plan =
     in
     e.e_places <- cap t ((config_name, Some ep, plan) :: rest)
   end
+
+let layout t ~paths r ~compute =
+  if not t.s_enabled then begin
+    miss t m_layout_miss;
+    compute ()
+  end
+  else
+    let e = entry t r in
+    match List.assq_opt paths e.e_layouts with
+    | Some order ->
+        hit t m_layout_hit;
+        order
+    | None ->
+        miss t m_layout_miss;
+        let order = compute () in
+        e.e_layouts <- cap t ((paths, order) :: e.e_layouts);
+        order
 
 let sync t (p : Ir.program) =
   let table =

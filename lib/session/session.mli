@@ -113,6 +113,19 @@ val placement_store :
   Ppp_core.Instrument.routine_plan ->
   unit
 
+val layout :
+  t ->
+  paths:Ppp_profile.Path_profile.program ->
+  Ppp_ir.Ir.routine ->
+  compute:(unit -> int array option) ->
+  int array option
+(** Memoized block emission order for [r] derived from path profile
+    [paths] (keyed by the profile's physical identity, like {!ctx}):
+    runs [compute] on a miss and caches its result — including [None],
+    "this profile orders the routine identically to source", which is
+    just as expensive to rediscover. Invalidated with the entry when the
+    routine's fingerprint changes. Counted under [session.layout.*]. *)
+
 (** {2 Lowering} *)
 
 val lower_cache : t -> Ppp_interp.Lower.cache option

@@ -1,0 +1,239 @@
+(* Differential testing of path-guided block layout: the VM must produce
+   byte-identical outcomes — return value, output, costs, termination,
+   edge/path profiles, table state — with and without a layout, across
+   all 18 workloads x {none, PP, TPP, PPP} x {full, starved fuel}, for
+   the path-guided order, for arbitrary valid permutations, and for
+   invalid orders (which Lower must ignore defensively). Plus QCheck
+   properties of the order itself: always a valid permutation with the
+   entry first, never the identity, and the hottest path's trace laid
+   out as the fall-through prefix. *)
+
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Interp = Ppp_interp.Interp
+module Layout = Ppp_interp.Layout
+module Lower = Ppp_interp.Lower
+module Score = Ppp_flow.Score
+module Metric = Ppp_profile.Metric
+module Spec = Ppp_workloads.Spec
+module Gen = Ppp_workloads.Gen
+
+let digest = Test_engine_diff.digest
+
+let views p =
+  let tbl = Hashtbl.create 17 in
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+        let v = Cfg_view.of_routine (Ir.routine p name) in
+        Hashtbl.add tbl name v;
+        v
+
+(* The layout the pipeline would compute: hot paths of the program's own
+   recorded path profile, hottest first. *)
+let layout_of p =
+  let o = Interp.run p in
+  let actual = Option.get o.Interp.path_profile in
+  let entries =
+    Score.hot_actual ~actual ~views:(views p) ~metric:Metric.Branch_flow
+      ~threshold:0.0
+  in
+  Layout.of_hot_paths ~views:(views p) entries
+
+let check_layout_invariant label p table =
+  List.iter
+    (fun (mname, instrumentation) ->
+      List.iter
+        (fun (fname, fuel) ->
+          let config base_layout =
+            {
+              Interp.default_config with
+              Interp.instrumentation;
+              fuel;
+              layout = base_layout;
+            }
+          in
+          let off = Interp.run ~config:(config None) p in
+          let on = Interp.run ~config:(config (Some table)) p in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s/%s layout on=off" label mname fname)
+            (digest p off) (digest p on);
+          (* The reference engine ignores the layout entirely; it must
+             agree with the laid-out VM too. *)
+          if mname = "ppp" && fname = "full" then
+            let r =
+              Interp.run ~engine:Interp.Reference ~config:(config (Some table))
+                p
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "%s/%s/%s reference=laid-out vm" label mname
+                 fname)
+              (digest p r) (digest p on))
+        [ ("full", Interp.default_config.Interp.fuel); ("starved", 5_000) ])
+    (Test_engine_diff.methods p)
+
+let workload_case (bench : Spec.bench) =
+  Alcotest.test_case bench.Spec.bench_name `Quick (fun () ->
+      let p = bench.Spec.build ~scale:1 in
+      check_layout_invariant bench.Spec.bench_name p (layout_of p))
+
+(* {2 Properties of the order itself} *)
+
+(* Same total tie-break as [Layout.order_for]: weight descending, then
+   the path; the property below pins the fall-through prefix to it. *)
+let hottest_entry paths =
+  List.fold_left
+    (fun acc (p, w) ->
+      match acc with
+      | None -> Some (p, w)
+      | Some (bp, bw) ->
+          if w > bw || (w = bw && compare p bp < 0) then Some (p, w) else acc)
+    None paths
+
+let dedup blocks =
+  let seen = Hashtbl.create 17 in
+  List.filter
+    (fun b ->
+      if Hashtbl.mem seen b then false
+      else begin
+        Hashtbl.add seen b ();
+        true
+      end)
+    blocks
+
+let routine_paths p name =
+  let o = Interp.run p in
+  match o.Interp.path_profile with
+  | None -> []
+  | Some prof -> (
+      match Ppp_profile.Path_profile.routine prof name with
+      | exception Not_found -> []
+      | t ->
+          Ppp_profile.Path_profile.fold t ~init:[] ~f:(fun acc path n ->
+              (path, n) :: acc))
+
+let prop_valid_permutation =
+  QCheck.Test.make ~count:50
+    ~name:"order_for yields a valid non-identity permutation, entry first"
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Gen.program ~seed in
+      let vs = views p in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let paths = routine_paths p r.Ir.name in
+          match Layout.order_for ~view:(vs r.Ir.name) paths with
+          | None -> true
+          | Some order ->
+              Lower.valid_order ~nblocks:(Array.length r.Ir.blocks) order
+              && order.(0) = 0
+              && not (Lower.is_identity_order order))
+        p.Ir.routines)
+
+let prop_hottest_falls_through =
+  QCheck.Test.make ~count:50
+    ~name:"the hottest path's trace is the fall-through prefix"
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Gen.program ~seed in
+      let vs = views p in
+      List.for_all
+        (fun (r : Ir.routine) ->
+          let paths = routine_paths p r.Ir.name in
+          let view = vs r.Ir.name in
+          match (Layout.order_for ~view paths, hottest_entry paths) with
+          | None, _ | _, None -> true
+          | Some order, Some (path, _) ->
+              let expected = dedup (0 :: Layout.trace_blocks view path) in
+              List.length expected <= Array.length order
+              && List.for_all2
+                   (fun a b -> a = b)
+                   expected
+                   (Array.to_list
+                      (Array.sub order 0 (List.length expected))))
+        p.Ir.routines)
+
+let prop_random_program_semantics =
+  QCheck.Test.make ~count:40
+    ~name:"random programs: layout on = layout off, byte-identical"
+    QCheck.(small_int)
+    (fun seed ->
+      let p = Gen.program ~seed in
+      check_layout_invariant (Printf.sprintf "gen(seed=%d)" seed) p
+        (layout_of p);
+      true)
+
+(* Any valid permutation — not just the path-guided one — must leave
+   outcomes untouched; and invalid orders (entry displaced, out of
+   range, truncated) must be ignored, not crash or corrupt. *)
+let arbitrary_permutation_case () =
+  let p = (Spec.find "crafty").Spec.build ~scale:1 in
+  let rng = Random.State.make [| 7 |] in
+  let shuffled (r : Ir.routine) =
+    let n = Array.length r.Ir.blocks in
+    let order = Array.init n (fun i -> i) in
+    for i = n - 1 downto 2 do
+      let j = 1 + Random.State.int rng i in
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    done;
+    order
+  in
+  let table : Layout.t = Hashtbl.create 17 in
+  List.iter
+    (fun (r : Ir.routine) ->
+      if Array.length r.Ir.blocks > 2 then
+        Hashtbl.replace table r.Ir.name (shuffled r))
+    p.Ir.routines;
+  check_layout_invariant "crafty/shuffled" p table;
+  let bogus : Layout.t = Hashtbl.create 17 in
+  List.iter
+    (fun (r : Ir.routine) ->
+      let n = Array.length r.Ir.blocks in
+      let order =
+        match Hashtbl.hash r.Ir.name mod 3 with
+        | 0 -> Array.init n (fun i -> n - 1 - i) (* entry displaced *)
+        | 1 -> Array.make n 0 (* not a permutation *)
+        | _ -> [| 0; n + 41 |] (* out of range and truncated *)
+      in
+      Hashtbl.replace bogus r.Ir.name order)
+    p.Ir.routines;
+  check_layout_invariant "crafty/bogus" p bogus
+
+(* The proxy is internally consistent on every workload: transfers bound
+   both splits, and the path-guided layout changes only the split, never
+   the total transfer mass (layout cannot create or destroy edges). *)
+let proxy_sanity_case () =
+  List.iter
+    (fun (bench : Spec.bench) ->
+      let p = bench.Spec.build ~scale:1 in
+      let o = Interp.run p in
+      let ep = Option.get o.Interp.edge_profile in
+      let base = Layout.program_proxy p ~ep in
+      let laid = Layout.program_proxy ~layout:(layout_of p) p ~ep in
+      let ok (x : Layout.proxy) =
+        x.Layout.transfers >= 0
+        && x.Layout.taken >= 0
+        && x.Layout.local >= 0
+        && x.Layout.taken <= x.Layout.transfers
+        && x.Layout.local <= x.Layout.transfers
+      in
+      Alcotest.(check bool) (bench.Spec.bench_name ^ " base sane") true (ok base);
+      Alcotest.(check bool) (bench.Spec.bench_name ^ " laid sane") true (ok laid);
+      Alcotest.(check int)
+        (bench.Spec.bench_name ^ " transfer mass preserved")
+        base.Layout.transfers laid.Layout.transfers)
+    Spec.all
+
+let suite =
+  List.map workload_case Spec.all
+  @ [
+      Alcotest.test_case "arbitrary and invalid permutations" `Quick
+        arbitrary_permutation_case;
+      Alcotest.test_case "proxy sanity" `Quick proxy_sanity_case;
+      QCheck_alcotest.to_alcotest prop_valid_permutation;
+      QCheck_alcotest.to_alcotest prop_hottest_falls_through;
+      QCheck_alcotest.to_alcotest prop_random_program_semantics;
+    ]
