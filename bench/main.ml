@@ -29,6 +29,20 @@
                                    aggregate layout improvement is at
                                    least edge profiling's (reads the
                                    assembled JSON, so it works under -j)
+     main.exe --sampling-sweep     evaluate PPP under bursty sampled
+                                   collection at rates 1, 1/4, 1/16,
+                                   1/64, 1/256 and record the
+                                   accuracy-vs-overhead curve per
+                                   benchmark in the JSON (deterministic,
+                                   so it works under -j; the "sampling"
+                                   action prints the table)
+     main.exe --sweep-floor OV,OH  exit 1 unless some sampled rate
+                                   (denom > 1) averages, across the
+                                   swept benchmarks, overlap vs the
+                                   unsampled estimate >= OV%% at
+                                   overhead <= OH%% (reads the assembled
+                                   JSON; fails if --sampling-sweep did
+                                   not run)
      main.exe --baseline F --gate P
                                    compare against a previous BENCH_*.json
                                    and exit 1 if any cost-model overhead
@@ -225,17 +239,17 @@ let check_min_ratio ~floor results =
    on at least [min_wins] benchmarks, and PPP's aggregate layout
    improvement must be at least edge profiling's. Reads the assembled
    document, so the check is byte-identical under -j. *)
+let member_path j path =
+  List.fold_left (fun j k -> Option.bind j (fun j -> J.member j k)) (Some j)
+    path
+
+let num j path =
+  match member_path j path with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
 let check_layout_wins ~min_wins doc =
-  let member_path j path =
-    List.fold_left (fun j k -> Option.bind j (fun j -> J.member j k)) (Some j)
-      path
-  in
-  let num j path =
-    match member_path j path with
-    | Some (J.Float f) -> Some f
-    | Some (J.Int i) -> Some (float_of_int i)
-    | _ -> None
-  in
   let benches =
     J.to_list (Option.value ~default:(J.Arr []) (J.member doc "benchmarks"))
   in
@@ -290,6 +304,80 @@ let check_layout_wins ~min_wins doc =
   end;
   if !failed then exit 1
 
+(* Exit 1 unless the sampled collector's accuracy-vs-overhead curve has a
+   usable operating point: some sampled rate (denom > 1) whose average
+   overlap vs the unsampled estimate — across every benchmark that
+   carries a sweep — clears [min_overlap] percent while its average
+   overhead stays at or below [max_overhead_pct] percent. Reads the
+   assembled document, so the check is byte-identical under -j. *)
+let check_sampling_floor ~min_overlap ~max_overhead_pct doc =
+  let benches =
+    J.to_list (Option.value ~default:(J.Arr []) (J.member doc "benchmarks"))
+  in
+  (* denom -> (sum overlap, sum overhead, count) over swept benchmarks *)
+  let by_denom : (int, float * float * int) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun b ->
+      match member_path b [ "sampling"; "rates" ] with
+      | Some (J.Arr rates) ->
+          List.iter
+            (fun r ->
+              match
+                ( num r [ "denom" ],
+                  num r [ "overlap_vs_full" ],
+                  num r [ "overhead" ] )
+              with
+              | Some d, Some ov, Some oh when d > 1.5 ->
+                  let d = int_of_float d in
+                  let sov, soh, n =
+                    Option.value ~default:(0.0, 0.0, 0)
+                      (Hashtbl.find_opt by_denom d)
+                  in
+                  Hashtbl.replace by_denom d (sov +. ov, soh +. oh, n + 1)
+              | _ -> ())
+            rates
+      | _ -> ())
+    benches;
+  let averages =
+    Hashtbl.fold
+      (fun d (sov, soh, n) acc ->
+        let n' = float_of_int n in
+        (d, sov /. n', 100. *. soh /. n') :: acc)
+      by_denom []
+    |> List.sort compare
+  in
+  if averages = [] then begin
+    Format.eprintf
+      "sampling: --sweep-floor given but no benchmark carries a sampling \
+       sweep (run with --sampling-sweep)@.";
+    exit 1
+  end;
+  let qualifying =
+    List.filter
+      (fun (_, ov, oh) -> ov >= min_overlap && oh <= max_overhead_pct)
+      averages
+  in
+  List.iter
+    (fun (d, ov, oh) ->
+      Format.eprintf
+        "sampling: rate 1/%-3d avg overlap %5.1f%%  avg overhead %5.2f%%%s@." d
+        ov oh
+        (if ov >= min_overlap && oh <= max_overhead_pct then "  (qualifies)"
+         else ""))
+    averages;
+  match qualifying with
+  | (d, ov, oh) :: _ ->
+      Format.eprintf
+        "sampling: floor met at 1/%d (overlap %.1f%% >= %g%%, overhead %.2f%% \
+         <= %g%%)@."
+        d ov min_overlap oh max_overhead_pct
+  | [] ->
+      Format.eprintf
+        "sampling: no sampled rate averages overlap >= %g%% at overhead <= \
+         %g%%@."
+        min_overlap max_overhead_pct;
+      exit 1
+
 let timing_json get name =
   match
     ( get (name ^ "/base"),
@@ -325,15 +413,15 @@ let write_doc ~path doc =
 module Shard = Ppp_harness.Shard
 module Gate = Ppp_harness.Gate
 
-let row_of_name ~scale name =
+let row_of_name ~scale ~sampling name =
   match R.prepare_all ~scale ~names:[ name ] () with
-  | [ pb ] -> J.to_string (R.bench_json_one pb)
+  | [ pb ] -> J.to_string (R.bench_json_one ~sampling pb)
   | _ -> assert false
 
-let sharded_rows ~jobs ~seed ~scale names =
+let sharded_rows ~jobs ~seed ~scale ~sampling names =
   let results =
     Shard.map ~jobs ~seed
-      ~f:(fun ~seed:_ name -> row_of_name ~scale name)
+      ~f:(fun ~seed:_ name -> row_of_name ~scale ~sampling name)
       names
   in
   let lost = ref [] in
@@ -410,6 +498,8 @@ let () =
   let min_layout_wins = ref None in
   let no_cache = ref false in
   let prepare_ms = ref false in
+  let sampling_sweep = ref false in
+  let sweep_floor = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -457,6 +547,18 @@ let () =
     | "--prepare-ms" :: rest ->
         prepare_ms := true;
         parse rest
+    | "--sampling-sweep" :: rest ->
+        sampling_sweep := true;
+        parse rest
+    | "--sweep-floor" :: spec :: rest ->
+        (match String.split_on_char ',' spec with
+        | [ ov; oh ] ->
+            sweep_floor := Some (float_of_string ov, float_of_string oh)
+        | _ ->
+            Format.eprintf
+              "--sweep-floor expects OVERLAP,OVERHEAD (e.g. 90,1.5)@.";
+            exit 2);
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
@@ -486,7 +588,8 @@ let () =
           Format.eprintf
             "note: --prepare-ms is ignored under -j (wall-clock would break \
              the byte-identity of the sharded document)@.";
-        sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale selected
+        sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale
+          ~sampling:!sampling_sweep selected
       end
       else begin
         let benches =
@@ -501,7 +604,9 @@ let () =
           else fun _ -> None
         in
         ( List.map
-            (fun pb -> R.bench_json_one ~throughput ~prepare:!prepare_ms pb)
+            (fun pb ->
+              R.bench_json_one ~throughput ~prepare:!prepare_ms
+                ~sampling:!sampling_sweep pb)
             benches,
           [] )
       end
@@ -522,6 +627,10 @@ let () =
     | _ -> ());
     (match !min_layout_wins with
     | Some n -> check_layout_wins ~min_wins:n doc
+    | None -> ());
+    (match !sweep_floor with
+    | Some (ov, oh) ->
+        check_sampling_floor ~min_overlap:ov ~max_overhead_pct:oh doc
     | None -> ());
     if lost <> [] then exit 2
   end
@@ -553,6 +662,7 @@ let () =
             | "fig12" -> R.fig12 fmt benches
             | "fig13" -> R.fig13 fmt benches
             | "sec8.1" -> R.section8_1 fmt benches
+            | "sampling" -> R.sampling_report fmt benches
             | "tables" -> all_reports ()
             | "timing" -> run_timing ()
             | other -> Format.fprintf fmt "unknown action %s@." other)
@@ -572,7 +682,8 @@ let () =
       J.canonical
         (R.bench_json_wrap ~scale:!scale ~seed:!seed
            (List.map
-              (R.bench_json_one ~timing ~throughput ~prepare:!prepare_ms)
+              (R.bench_json_one ~timing ~throughput ~prepare:!prepare_ms
+                 ~sampling:!sampling_sweep)
               benches))
     in
     (match !json_path with
@@ -584,7 +695,11 @@ let () =
     (match !min_vm_ratio with
     | Some floor when tp_results <> [] -> check_min_ratio ~floor tp_results
     | _ -> ());
-    match !min_layout_wins with
+    (match !min_layout_wins with
     | Some n -> check_layout_wins ~min_wins:n doc
+    | None -> ());
+    match !sweep_floor with
+    | Some (ov, oh) ->
+        check_sampling_floor ~min_overlap:ov ~max_overhead_pct:oh doc
     | None -> ()
   end

@@ -23,6 +23,7 @@ module Quality_report = Ppp_harness.Quality_report
 module Gate = Ppp_harness.Gate
 module Report = Ppp_harness.Report
 module Stale_match = Ppp_resilience.Stale_match
+module Sampling = Ppp_interp.Sampling
 module Daemon_client = Ppp_daemon.Client
 module Daemon_ops = Ppp_daemon.Ops
 module Daemon_chaos = Ppp_daemon.Chaos
@@ -439,10 +440,12 @@ let via_daemon ~socket ~deadline_ms ~required ~req ~accept ~fallback =
 
 (* Collect every built-in workload under the worker pool and merge the
    shards; [pppc collect bench:all]. *)
-let collect_all ~scale ~jobs ~warm ~output ~shard_dir ~metrics_wanted =
+let collect_all ~scale ~jobs ~warm ~output ~shard_dir ~metrics_wanted ~sampling
+    =
   let metrics = metrics_wanted || Option.is_some shard_dir in
   let c =
-    Shard.collect_workloads ~jobs ~scale ~metrics ~warm Ppp_workloads.Spec.all
+    Shard.collect_workloads ~jobs ~scale ~metrics ~warm ?sampling
+      Ppp_workloads.Spec.all
   in
   (match shard_dir with
   | None -> ()
@@ -501,27 +504,77 @@ let collect_cmd =
     in
     Arg.(value & flag & info [ "warm" ] ~doc)
   in
-  let action spec scale engine output v1 jobs warm shard_dir obs
-      (daemon, daemon_deadline_ms, daemon_required) =
+  let sample_rate_arg =
+    let doc =
+      "Collect under bursty sampled PPP instrumentation at this rate \
+       ($(b,1), $(b,1/16), or a bare denominator). $(b,1) (the default) \
+       is exact collection; below 1, path counts in the dump are \
+       inverse-rate estimates recovered from the sampled run, while the \
+       edge profile stays exact. Distinct from the telemetry ring's \
+       snapshot sampling ($(b,run --telemetry))."
+    in
+    Arg.(value & opt string "1" & info [ "sample-rate" ] ~docv:"RATE" ~doc)
+  in
+  let burst_arg =
+    let doc =
+      "Burst length for sampled collection: instrument $(docv) \
+       consecutive frames per sampling period."
+    in
+    Arg.(
+      value
+      & opt int Sampling.default_burst
+      & info [ "burst" ] ~docv:"N" ~doc)
+  in
+  let sample_seed_arg =
+    let doc =
+      "Seed for the sampled-collection phase PRNG (with $(b,bench:all), \
+       the pool seed each workload's own seed derives from)."
+    in
+    Arg.(value & opt int 0 & info [ "sample-seed" ] ~docv:"N" ~doc)
+  in
+  let action spec scale engine output v1 jobs warm shard_dir sample_rate burst
+      sample_seed obs (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors (fun () ->
+        let denom =
+          match Sampling.parse_rate sample_rate with
+          | Ok d -> d
+          | Error msg -> cli_error "--sample-rate %s" msg
+        in
+        if burst < 1 then cli_error "--burst must be at least 1 (got %d)" burst;
+        let sampling =
+          if denom <= 1 then None
+          else Some (Sampling.spec ~denom ~burst ~seed:sample_seed ())
+        in
+        if v1 && sampling <> None then
+          cli_error
+            "--v1 cannot carry sampled estimates (the v2 dump records exact \
+             edges alongside estimated paths)";
         let local_single () =
           with_obs obs (fun () ->
               let p = load_program spec ~scale in
-              let o = Interp.run ~engine p in
-              let write ppf =
-                if v1 then begin
-                  Ppp_profile.Profile_io.save_edges ppf p
-                    (Option.get o.Interp.edge_profile);
-                  Ppp_profile.Profile_io.save_paths ppf p
-                    (Option.get o.Interp.path_profile)
-                end
-                else
-                  Ppp_profile.Profile_io.save ?edges:o.Interp.edge_profile
-                    ?paths:o.Interp.path_profile ppf p
-              in
-              match output with
-              | None -> write Format.std_formatter
-              | Some path -> write_file path (Format.asprintf "%t" write))
+              match sampling with
+              | Some spec ->
+                  let raw = Shard.collect_sampled ~spec p in
+                  let text = Profile_io.Raw.to_string raw in
+                  (match output with
+                  | None -> print_string text
+                  | Some path -> write_file path text)
+              | None ->
+                  let o = Interp.run ~engine p in
+                  let write ppf =
+                    if v1 then begin
+                      Ppp_profile.Profile_io.save_edges ppf p
+                        (Option.get o.Interp.edge_profile);
+                      Ppp_profile.Profile_io.save_paths ppf p
+                        (Option.get o.Interp.path_profile)
+                    end
+                    else
+                      Ppp_profile.Profile_io.save ?edges:o.Interp.edge_profile
+                        ?paths:o.Interp.path_profile ppf p
+                  in
+                  (match output with
+                  | None -> write Format.std_formatter
+                  | Some path -> write_file path (Format.asprintf "%t" write)))
         in
         if spec = "bench:all" then begin
           if v1 then
@@ -530,7 +583,7 @@ let collect_cmd =
             cli_error "--daemon serves one workload per request, not bench:all";
           with_obs obs (fun () ->
               collect_all ~scale ~jobs ~warm ~output ~shard_dir
-                ~metrics_wanted:(Option.is_some (fst obs)))
+                ~metrics_wanted:(Option.is_some (fst obs)) ~sampling)
         end
         else
           match daemon with
@@ -544,7 +597,10 @@ let collect_cmd =
                   in
                   via_daemon ~socket ~deadline_ms:daemon_deadline_ms
                     ~required:daemon_required
-                    ~req:(Daemon_ops.Collect { bench; scale })
+                    ~req:
+                      (Daemon_ops.Collect
+                         { bench; scale; sample_rate = denom; burst;
+                           sample_seed })
                     ~accept:(fun body _meta ->
                       match output with
                       | None -> print_string body
@@ -565,7 +621,8 @@ let collect_cmd =
   Cmd.v (Cmd.info "collect" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ engine_arg $ output_arg $ v1_arg
-      $ jobs_arg $ warm_arg $ shard_dir_arg $ obs_args $ daemon_args)
+      $ jobs_arg $ warm_arg $ shard_dir_arg $ sample_rate_arg $ burst_arg
+      $ sample_seed_arg $ obs_args $ daemon_args)
 
 (* {2 merge} *)
 
@@ -578,16 +635,32 @@ let merge_cmd =
     let doc = "Write the merged profile here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
-  let action files output (daemon, daemon_deadline_ms, daemon_required) =
+  let decay_arg =
+    let doc =
+      "Fleet-style decayed merge: with $(docv) below 1, input $(i,i) of \
+       $(i,n) (oldest first, in argument order) is pre-scaled by \
+       $(docv)^($(i,n)-1-$(i,i)) before the commutative merge, so newer \
+       dumps dominate; the scaled-away mass is accounted in the lost \
+       ledger. $(b,1.0) (the default) is the plain order-independent \
+       merge."
+    in
+    Arg.(value & opt float 1.0 & info [ "decay" ] ~docv:"D" ~doc)
+  in
+  let action files output decay (daemon, daemon_deadline_ms, daemon_required) =
     handle_errors @@ fun () ->
+    if not (decay > 0.0 && decay <= 1.0) then
+      cli_error "--decay must be in (0, 1] (got %g)" decay;
     let emit text = match output with
       | None -> print_string text
       | Some path -> write_file path text
     in
     let local () =
+      let inputs =
+        List.map (fun path -> Profile_io.Raw.parse (read_file path)) files
+      in
       let merged =
-        Profile_io.Raw.merge
-          (List.map (fun path -> Profile_io.Raw.parse (read_file path)) files)
+        if decay < 1.0 then Profile_io.Raw.merge_decayed ~decay inputs
+        else Profile_io.Raw.merge inputs
       in
       (match Profile_io.Raw.diagnostics merged with
       | [] -> ()
@@ -604,7 +677,7 @@ let merge_cmd =
         let dumps = List.map read_file files in
         via_daemon ~socket ~deadline_ms:daemon_deadline_ms
           ~required:daemon_required
-          ~req:(Daemon_ops.Merge { dumps })
+          ~req:(Daemon_ops.Merge { dumps; decay })
           ~accept:(fun body meta ->
             (match (List.assoc_opt "mass" meta, List.assoc_opt "lost" meta) with
             | Some (Jsonx.Int mass), Some (Jsonx.Int lost) ->
@@ -620,10 +693,11 @@ let merge_cmd =
      into one canonical v2 dump: counts add (saturating), shards whose \
      CFG metadata disagrees are salvaged through stale matching, and \
      every problem is reported as a diagnostic on stderr. The merge is \
-     order-independent."
+     order-independent, except under $(b,--decay) where argument order \
+     is the age order (oldest first)."
   in
   Cmd.v (Cmd.info "merge" ~doc)
-    Term.(const action $ files_arg $ output_arg $ daemon_args)
+    Term.(const action $ files_arg $ output_arg $ decay_arg $ daemon_args)
 
 (* {2 opt} *)
 

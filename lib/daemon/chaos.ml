@@ -123,7 +123,12 @@ let run ?(seed = 1) ?(scale = 2) ~dir () =
   let phases = ref [] in
   let record name ok detail = phases := { name; ok; detail } :: !phases in
   let call ?deadline_ms req = Client.call ~socket ?deadline_ms req in
-  let collect () = call (Ops.Collect { bench; scale }) in
+  let collect () =
+    call
+      (Ops.Collect
+         { bench; scale; sample_rate = 1;
+           burst = Ppp_interp.Sampling.default_burst; sample_seed = 0 })
+  in
 
   let pid = ref (start_daemon ~dir cfg) in
   if not (wait_ready ~socket) then begin
@@ -134,7 +139,12 @@ let run ?(seed = 1) ?(scale = 2) ~dir () =
     (* A: daemon result == in-process result, then store-served and
        still byte-identical. *)
     let baseline = ref "" in
-    (match Ops.handle ~chaos:false (Ops.Collect { bench; scale }) with
+    (match
+       Ops.handle ~chaos:false
+         (Ops.Collect
+            { bench; scale; sample_rate = 1;
+              burst = Ppp_interp.Sampling.default_burst; sample_seed = 0 })
+     with
     | Ops.Okay { body = expected; _ } -> (
         match (collect (), collect ()) with
         | Ok (first, _), Ok (second, meta2) ->

@@ -7,8 +7,14 @@ module H = Ppp_harness.Pipeline
 
 type request =
   | Ping
-  | Collect of { bench : string; scale : int }
-  | Merge of { dumps : string list }
+  | Collect of {
+      bench : string;
+      scale : int;
+      sample_rate : int;  (** denominator; <= 1 collects exactly *)
+      burst : int;
+      sample_seed : int;
+    }
+  | Merge of { dumps : string list; decay : float  (** 1.0 = plain merge *) }
   | Opt of {
       name : string;
       program : string;
@@ -56,14 +62,23 @@ let opt_str = function None -> Jsonx.Null | Some s -> Jsonx.Str s
 
 let request_to_json = function
   | Ping -> Jsonx.Obj [ ("op", Jsonx.Str "ping") ]
-  | Collect { bench; scale } ->
+  | Collect { bench; scale; sample_rate; burst; sample_seed } ->
+      (* Sampling fields are omitted at their defaults, so requests from
+         older clients and to older daemons stay wire-compatible. *)
       Jsonx.Obj
-        [ ("op", Jsonx.Str "collect"); ("bench", Jsonx.Str bench);
-          ("scale", Jsonx.Int scale) ]
-  | Merge { dumps } ->
+        ([ ("op", Jsonx.Str "collect"); ("bench", Jsonx.Str bench);
+           ("scale", Jsonx.Int scale) ]
+        @ (if sample_rate <= 1 then []
+           else [ ("sample_rate", Jsonx.Int sample_rate) ])
+        @ (if burst = Ppp_interp.Sampling.default_burst then []
+           else [ ("burst", Jsonx.Int burst) ])
+        @ if sample_seed = 0 then []
+          else [ ("sample_seed", Jsonx.Int sample_seed) ])
+  | Merge { dumps; decay } ->
       Jsonx.Obj
-        [ ("op", Jsonx.Str "merge");
-          ("dumps", Jsonx.Arr (List.map (fun d -> Jsonx.Str d) dumps)) ]
+        ([ ("op", Jsonx.Str "merge");
+           ("dumps", Jsonx.Arr (List.map (fun d -> Jsonx.Str d) dumps)) ]
+        @ if decay >= 1.0 then [] else [ ("decay", Jsonx.Float decay) ])
   | Opt { name; program; profile; iterate; plans } ->
       Jsonx.Obj
         [ ("op", Jsonx.Str "opt"); ("name", Jsonx.Str name);
@@ -96,7 +111,18 @@ let request_of_json j =
   | Some "ping" -> Ok Ping
   | Some "collect" -> (
       match (str_member j "bench", int_member j "scale") with
-      | Some bench, Some scale -> Ok (Collect { bench; scale })
+      | Some bench, Some scale ->
+          let sample_rate =
+            Option.value ~default:1 (int_member j "sample_rate")
+          in
+          let burst =
+            Option.value ~default:Ppp_interp.Sampling.default_burst
+              (int_member j "burst")
+          in
+          let sample_seed = Option.value ~default:0 (int_member j "sample_seed") in
+          if sample_rate < 1 || burst < 1 then
+            Error "collect sample_rate and burst must be >= 1"
+          else Ok (Collect { bench; scale; sample_rate; burst; sample_seed })
       | _ -> Error "collect needs bench and scale")
   | Some "merge" -> (
       match Jsonx.member j "dumps" with
@@ -104,8 +130,17 @@ let request_of_json j =
           let dumps =
             List.filter_map (function Jsonx.Str s -> Some s | _ -> None) items
           in
-          if List.length dumps = List.length items then Ok (Merge { dumps })
-          else Error "merge dumps must be strings"
+          let decay =
+            match Jsonx.member j "decay" with
+            | Some (Jsonx.Float f) -> f
+            | Some (Jsonx.Int i) -> float_of_int i
+            | _ -> 1.0
+          in
+          if List.length dumps <> List.length items then
+            Error "merge dumps must be strings"
+          else if not (decay > 0.0 && decay <= 1.0) then
+            Error "merge decay must be in (0, 1]"
+          else Ok (Merge { dumps; decay })
       | _ -> Error "merge needs a dumps array")
   | Some "opt" -> (
       match (str_member j "name", str_member j "program") with
@@ -225,7 +260,7 @@ let session_for name =
       Hashtbl.add sessions name s;
       s
 
-let handle_collect ~bench ~scale =
+let handle_collect ~bench ~scale ~sample_rate ~burst ~sample_seed =
   match Ppp_workloads.Spec.find_opt bench with
   | None ->
       Failed
@@ -237,17 +272,33 @@ let handle_collect ~bench ~scale =
         }
   | Some b ->
       let p = b.Ppp_workloads.Spec.build ~scale in
-      let o = Interp.run p in
       let body =
-        Format.asprintf "%t" (fun ppf ->
-            Profile_io.save ?edges:o.Interp.edge_profile
-              ?paths:o.Interp.path_profile ppf p)
+        if sample_rate <= 1 then
+          let o = Interp.run p in
+          Format.asprintf "%t" (fun ppf ->
+              Profile_io.save ?edges:o.Interp.edge_profile
+                ?paths:o.Interp.path_profile ppf p)
+        else
+          let spec =
+            Ppp_interp.Sampling.spec ~burst ~seed:sample_seed
+              ~denom:sample_rate ()
+          in
+          Profile_io.Raw.to_string (Ppp_harness.Shard.collect_sampled ~spec p)
       in
-      Okay { body; meta = [ ("bench", Jsonx.Str bench); ("scale", Jsonx.Int scale) ] }
+      let meta =
+        [ ("bench", Jsonx.Str bench); ("scale", Jsonx.Int scale) ]
+        @
+        if sample_rate <= 1 then []
+        else [ ("sample_rate", Jsonx.Int sample_rate); ("burst", Jsonx.Int burst) ]
+      in
+      Okay { body; meta }
 
-let handle_merge ~dumps =
+let handle_merge ~dumps ~decay =
   let raws = List.map Profile_io.Raw.parse dumps in
-  let merged = Profile_io.Raw.merge raws in
+  let merged =
+    if decay >= 1.0 then Profile_io.Raw.merge raws
+    else Profile_io.Raw.merge_decayed ~decay raws
+  in
   let diagnostics =
     List.concat_map Profile_io.Raw.diagnostics raws
     @ Profile_io.Raw.diagnostics merged
@@ -366,8 +417,9 @@ let handle ~chaos req =
   try
     match req with
     | Ping -> Okay { body = "pong"; meta = [] }
-    | Collect { bench; scale } -> handle_collect ~bench ~scale
-    | Merge { dumps } -> handle_merge ~dumps
+    | Collect { bench; scale; sample_rate; burst; sample_seed } ->
+        handle_collect ~bench ~scale ~sample_rate ~burst ~sample_seed
+    | Merge { dumps; decay } -> handle_merge ~dumps ~decay
     | Opt { name; program; profile; iterate; plans } ->
         handle_opt ~name ~program ~profile ~iterate ~plans
     | Status -> handle_status ()

@@ -18,8 +18,26 @@
 
 type request =
   | Ping
-  | Collect of { bench : string; scale : int }
-  | Merge of { dumps : string list }
+  | Collect of {
+      bench : string;
+      scale : int;
+      sample_rate : int;
+          (** sampling-rate denominator ({!Ppp_interp.Sampling}); [<= 1]
+              collects exactly (the engine's path tracer), [> 1] collects
+              under bursty sampled PPP instrumentation and dumps
+              inverse-rate estimates. Omitted from the wire at 1, so
+              older clients and daemons interoperate. *)
+      burst : int;  (** burst length; on the wire only when non-default *)
+      sample_seed : int;  (** phase seed; on the wire only when non-zero *)
+    }
+  | Merge of {
+      dumps : string list;
+      decay : float;
+          (** [1.0] is the plain commutative merge; [< 1.0] weights input
+              [i] of [n] (oldest first) by [decay ^ (n-1-i)]
+              ({!Ppp_profile.Profile_io.Raw.merge_decayed}). Omitted from
+              the wire at 1.0. *)
+    }
   | Opt of {
       name : string;  (** session key; programs with equal names share analyses *)
       program : string;  (** [.pir] source text *)

@@ -179,21 +179,36 @@ let answer_failed t job code msg kind =
    client-specific fields zeroed. *)
 let cache_key env = Ops.encode_request { env with Ops.id = 0; deadline_ms = 0 }
 
-let collect_key ~bench ~scale = Printf.sprintf "%s/scale=%d" bench scale
+(* Sampling parameters are part of a collect's identity: a sampled dump
+   must never be served where an exact one was asked for (or vice
+   versa). The unsampled key keeps its historical shape, so a store
+   written by an older daemon stays valid. *)
+let collect_key ~bench ~scale ~sample_rate ~burst ~sample_seed =
+  if sample_rate <= 1 then Printf.sprintf "%s/scale=%d" bench scale
+  else
+    Printf.sprintf "%s/scale=%d/rate=%d/burst=%d/seed=%d" bench scale
+      sample_rate burst sample_seed
 
-let merge_key dumps =
-  List.map
-    (fun d -> Printf.sprintf "%08lx" (Ppp_resilience.Crc.string d))
-    dumps
-  |> List.sort compare |> String.concat "+"
+(* A plain merge is order-independent, so its key sorts the input CRCs;
+   a decayed merge weights inputs by age, so its key keeps their order
+   and carries the decay. *)
+let merge_key ~decay dumps =
+  let crcs =
+    List.map
+      (fun d -> Printf.sprintf "%08lx" (Ppp_resilience.Crc.string d))
+      dumps
+  in
+  if decay >= 1.0 then List.sort compare crcs |> String.concat "+"
+  else Printf.sprintf "decay=%h+" decay ^ String.concat "+" crcs
 
 let served_meta = ("served_from_store", Jsonx.Bool true)
 
 (* A store hit short-circuits the worker pool entirely. *)
 let serve_from_store t (env : Ops.envelope) =
   match env.Ops.req with
-  | Ops.Collect { bench; scale } ->
-      Store.get t.store ~kind:"profile" ~key:(collect_key ~bench ~scale)
+  | Ops.Collect { bench; scale; sample_rate; burst; sample_seed } ->
+      Store.get t.store ~kind:"profile"
+        ~key:(collect_key ~bench ~scale ~sample_rate ~burst ~sample_seed)
       |> Option.map (fun body ->
              Ops.Okay
                {
@@ -202,8 +217,8 @@ let serve_from_store t (env : Ops.envelope) =
                    [ ("bench", Jsonx.Str bench); ("scale", Jsonx.Int scale);
                      served_meta ];
                })
-  | Ops.Merge { dumps } ->
-      Store.get t.store ~kind:"merge" ~key:(merge_key dumps)
+  | Ops.Merge { dumps; decay } ->
+      Store.get t.store ~kind:"merge" ~key:(merge_key ~decay dumps)
       |> Option.map (fun body -> Ops.Okay { body; meta = [ served_meta ] })
   | Ops.Opt _ -> (
       match Store.get t.store ~kind:"opt" ~key:(cache_key env) with
@@ -225,10 +240,13 @@ let put_logged t ~kind ~key value =
 (* Persist what a successful reply taught us. *)
 let absorb_reply t (env : Ops.envelope) reply =
   match (env.Ops.req, reply) with
-  | Ops.Collect { bench; scale }, Ops.Okay { body; _ } ->
-      put_logged t ~kind:"profile" ~key:(collect_key ~bench ~scale) body
-  | Ops.Merge { dumps }, Ops.Okay { body; _ } ->
-      put_logged t ~kind:"merge" ~key:(merge_key dumps) body
+  | Ops.Collect { bench; scale; sample_rate; burst; sample_seed }, Ops.Okay { body; _ }
+    ->
+      put_logged t ~kind:"profile"
+        ~key:(collect_key ~bench ~scale ~sample_rate ~burst ~sample_seed)
+        body
+  | Ops.Merge { dumps; decay }, Ops.Okay { body; _ } ->
+      put_logged t ~kind:"merge" ~key:(merge_key ~decay dumps) body
   | Ops.Opt { name; _ }, Ops.Okay { meta; _ } ->
       put_logged t ~kind:"opt" ~key:(cache_key env) (Ops.encode_reply reply);
       (match List.assoc_opt "plans" meta with

@@ -118,6 +118,47 @@ let run ?(strict = false) ~baseline ~current ~pct () =
                           fnum (J.member c "improvement")) );
                 ]
           | Some _, None -> missing name "layout" Float.nan
+          | None, _ -> ());
+          (* Sampling-sweep points: overhead at each swept rate is a
+             ceiling, overlap vs the unsampled estimate (and vs truth) a
+             floor. Rates are matched by denominator, so reordering or
+             extending the sweep never mis-pairs points; a rate the
+             baseline has but the current sweep lacks is missing. *)
+          (match (J.member bj "sampling", J.member cj "sampling") with
+          | Some bs, Some cs ->
+              let rates j =
+                J.to_list (Option.value ~default:(J.Arr []) (J.member j "rates"))
+                |> List.filter_map (fun r ->
+                       match J.member r "denom" with
+                       | Some (J.Int d) -> Some (d, r)
+                       | _ -> None)
+              in
+              let cur_rates = rates cs in
+              List.iter
+                (fun (denom, br) ->
+                  let label k = Printf.sprintf "sampling.1/%d.%s" denom k in
+                  match List.assoc_opt denom cur_rates with
+                  | None -> missing name (label "rate") Float.nan
+                  | Some cr ->
+                      (match
+                         (fnum (J.member br "overhead"), fnum (J.member cr "overhead"))
+                       with
+                      | Some b, Some c ->
+                          if exceeds ~pct ~baseline:b ~current:c then
+                            fail name (label "overhead") b c
+                      | Some b, None -> missing name (label "overhead") b
+                      | None, _ -> ());
+                      List.iter
+                        (fun k ->
+                          match (fnum (J.member br k), fnum (J.member cr k)) with
+                          | Some b, Some c ->
+                              if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b)
+                              then fail name (label k) b c
+                          | Some b, None -> missing name (label k) b
+                          | None, _ -> ())
+                        [ "overlap_vs_full"; "overlap_vs_truth" ])
+                (rates bs)
+          | Some _, None -> missing name "sampling" Float.nan
           | None, _ -> ()))
     base_benches;
   { failures = List.rev !fails; warnings = List.rev !warns }

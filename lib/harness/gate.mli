@@ -17,7 +17,12 @@
     - the layout improvements ([layout.methods.ppp.improvement] and
       [layout.closed_loop.improvement]) — floors like the throughput
       ratio: the estimated benefit of PPP-guided layout, and of the
-      closed superblock+layout loop, must not sink below baseline.
+      closed superblock+layout loop, must not sink below baseline;
+    - the sampling-sweep points ([sampling.rates], matched by
+      denominator), only when both documents carry a [sampling] object:
+      each rate's [overhead] is a ceiling and its [overlap_vs_full] /
+      [overlap_vs_truth] are floors, so the sampled collector can
+      neither get slower nor less accurate at any swept rate.
 
     Benchmarks present in the baseline but missing from the current
     document, and schema mismatches, are failures too — a gate that

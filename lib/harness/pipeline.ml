@@ -19,6 +19,7 @@ module Profile_io = Ppp_profile.Profile_io
 module Session = Ppp_session.Session
 module Superblock = Ppp_opt.Superblock
 module Layout = Ppp_interp.Layout
+module Sampling = Ppp_interp.Sampling
 
 let hot_threshold = 0.00125 (* Section 8.1: 0.125% of total program flow *)
 let metric = Metric.Branch_flow
@@ -515,7 +516,7 @@ let instrument_via_session ?(mode = Session.Exact) ?(on_reuse = fun _ -> ())
       Session.placement_store session ~config_name ~ep r plan)
     p ep config
 
-let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
+let evaluate ?(overflow_policy = Instr_rt.Table.Drop) ?sampling prepared
     (config : Config.t) =
   (* A partially-trusted profile (stale salvage) degrades the placement
      thresholds instead of being consumed at face value. *)
@@ -535,10 +536,18 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
               Interp.default_config with
               instrumentation = Some inst.Instrument.rt;
               overflow_policy;
+              sampling;
             }
           p)
   in
   let overhead = Interp.overhead instr_outcome in
+  (* Sampled tables hold only the observed fraction of each count;
+     recover full-run estimates with the inverse-rate estimator before
+     scoring, so accuracy/coverage compare like with like. *)
+  let sample_denom =
+    match sampling with Some s -> s.Sampling.denom | None -> 1
+  in
+  let recovered c = Instr_rt.scaled_count ~denom:sample_denom c in
   let actual = actual_profile prepared in
   let tables = Option.get instr_outcome.Interp.instr_state in
   let ctx_of name =
@@ -569,7 +578,9 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
                           {
                             Score.routine = name;
                             path;
-                            flow = Metric.flow metric ~freq:c ~branches:b;
+                            flow =
+                              Metric.flow metric ~freq:(recovered c)
+                                ~branches:b;
                           }
                           :: !acc
                     | None -> ());
@@ -637,7 +648,7 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) prepared
           match Instrument.decoded_path plan k with
           | Some path ->
               let b = Path.branches (views prepared name) path in
-              mf := !mf + Metric.flow metric ~freq:c ~branches:b
+              mf := !mf + Metric.flow metric ~freq:(recovered c) ~branches:b
           | None -> ()))
     tables;
   let overcount = max 0 (!mf - !f_instr) in

@@ -165,6 +165,7 @@ type evaluation = {
 
 val evaluate :
   ?overflow_policy:Ppp_interp.Instr_rt.Table.overflow_policy ->
+  ?sampling:Ppp_interp.Sampling.spec ->
   prepared ->
   Ppp_core.Config.t ->
   evaluation
@@ -176,7 +177,12 @@ val evaluate :
     through {!Ppp_core.Config.degrade}, weakening profile-driven
     placement decisions in proportion to distrust. [overflow_policy]
     (default [Drop]) selects how frequency tables absorb unattributable
-    path executions during the overhead run. *)
+    path executions during the overhead run. [sampling] runs the
+    overhead run under bursty sampled collection
+    ({!Ppp_interp.Sampling}); recovered counts are scaled back by the
+    inverse rate ({!Ppp_interp.Instr_rt.scaled_count}) before scoring,
+    so [overhead] reflects the sampled cost while [estimated] holds
+    full-run estimates. *)
 
 val evaluate_edge_profile : prepared -> evaluation
 (** Edge profiling as the estimator: potential-flow hot paths

@@ -1,6 +1,8 @@
 module Spec = Ppp_workloads.Spec
 module Interp = Ppp_interp.Interp
 module Config = Ppp_core.Config
+module Sampling = Ppp_interp.Sampling
+module Quality = Ppp_quality.Quality
 
 type prepared_bench = { spec : Spec.bench; prep : Pipeline.prepared }
 
@@ -234,6 +236,100 @@ let layout_report ppf benches =
      edge %.3f  PPP %.3f@,@]@."
     drops (List.length benches) (agg "edge") (agg "ppp")
 
+(* {2 Sampling sweep (bursty sampled collection)}
+
+   Accuracy vs overhead across sampling rates, PPP only: the full run is
+   the reference, the measured truth the ceiling. Deterministic (fixed
+   sweep seed, no wall clock), so the points can live in the sharded
+   bench document and the baseline. *)
+
+let sweep_denoms = [ 1; 4; 16; 64; 256 ]
+let sweep_seed = 0x51ee9
+
+type sample_point = {
+  sp_denom : int;
+  sp_overhead : float;
+  sp_overlap_full : float;  (** weighted overlap vs the unsampled PPP estimate *)
+  sp_overlap_truth : float;  (** weighted overlap vs the measured truth *)
+  sp_tv_full : float;  (** total-variation distance vs the unsampled estimate *)
+}
+
+let sampling_cache : (string, sample_point list) Hashtbl.t = Hashtbl.create 17
+
+let sampling_of pb =
+  let key = pb.spec.Spec.bench_name in
+  match Hashtbl.find_opt sampling_cache key with
+  | Some pts -> pts
+  | None ->
+      let full = (evals_of pb).ppp in
+      let q_full = Quality.of_estimates full.Pipeline.estimated in
+      let q_truth =
+        Quality.of_path_profile
+          ~views:(Pipeline.views pb.prep)
+          ~metric:Pipeline.metric
+          (Pipeline.actual_profile pb.prep)
+      in
+      let pts =
+        List.map
+          (fun denom ->
+            let ev =
+              if denom <= 1 then full
+              else
+                Pipeline.evaluate
+                  ~sampling:(Sampling.spec ~seed:sweep_seed ~denom ())
+                  pb.prep Config.ppp
+            in
+            let q = Quality.of_estimates ev.Pipeline.estimated in
+            {
+              sp_denom = denom;
+              sp_overhead = ev.Pipeline.overhead;
+              sp_overlap_full = Quality.overlap q_full q;
+              sp_overlap_truth = Quality.overlap q_truth q;
+              sp_tv_full = Quality.total_divergence q_full q;
+            })
+          sweep_denoms
+      in
+      Hashtbl.replace sampling_cache key pts;
+      pts
+
+let sampling_report ppf benches =
+  Format.fprintf ppf
+    "@[<v>Sampling sweep: PPP under bursty collection (burst %d, overlap vs \
+     the unsampled estimate)@,"
+    Sampling.default_burst;
+  hr ppf 100;
+  Format.fprintf ppf "%-9s |" "bench";
+  List.iter
+    (fun d -> Format.fprintf ppf " %15s |" (Sampling.rate_to_string d))
+    sweep_denoms;
+  Format.fprintf ppf "@,";
+  hr ppf 100;
+  List.iter
+    (fun pb ->
+      Format.fprintf ppf "%-9s |" pb.spec.Spec.bench_name;
+      List.iter
+        (fun sp ->
+          Format.fprintf ppf " %5.1f%% ov %4.1f%% |" sp.sp_overlap_full
+            (100. *. sp.sp_overhead))
+        (sampling_of pb);
+      Format.fprintf ppf "@,")
+    benches;
+  hr ppf 100;
+  List.iteri
+    (fun i d ->
+      let pts = List.map (fun pb -> List.nth (sampling_of pb) i) benches in
+      let n = float_of_int (max 1 (List.length pts)) in
+      let avg f = List.fold_left (fun a sp -> a +. f sp) 0.0 pts /. n in
+      Format.fprintf ppf
+        "rate %-5s: avg overlap vs full %5.1f%%  vs truth %5.1f%%  avg \
+         overhead %5.2f%%@,"
+        (Sampling.rate_to_string d)
+        (avg (fun sp -> sp.sp_overlap_full))
+        (avg (fun sp -> sp.sp_overlap_truth))
+        (100. *. avg (fun sp -> sp.sp_overhead)))
+    sweep_denoms;
+  Format.fprintf ppf "@]@."
+
 let fig12 ppf benches =
   Format.fprintf ppf "@[<v>Figure 12: runtime overhead of path profiling@,";
   hr ppf 50;
@@ -367,8 +463,33 @@ let layout_json pb =
           ] );
     ]
 
+(* Deterministic (fixed sweep seed), so sampling objects are safe in the
+   sharded document and the baseline, but opt-in: the sweep runs four
+   extra instrumented evaluations per benchmark. *)
+let sampling_json pb =
+  let pts = sampling_of pb in
+  J.Obj
+    [
+      ("burst", J.Int Sampling.default_burst);
+      ("seed", J.Int sweep_seed);
+      ( "rates",
+        J.Arr
+          (List.map
+             (fun sp ->
+               J.Obj
+                 [
+                   ("rate", J.Str (Sampling.rate_to_string sp.sp_denom));
+                   ("denom", J.Int sp.sp_denom);
+                   ("overhead", J.Float sp.sp_overhead);
+                   ("overlap_vs_full", J.Float sp.sp_overlap_full);
+                   ("overlap_vs_truth", J.Float sp.sp_overlap_truth);
+                   ("tv_vs_full", J.Float sp.sp_tv_full);
+                 ])
+             pts) );
+    ]
+
 let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
-    ?(prepare = false) pb =
+    ?(prepare = false) ?(sampling = false) pb =
   let e = evals_of pb in
   let prep = pb.prep in
   let timing_fields =
@@ -417,6 +538,7 @@ let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
            ] );
        ("layout", layout_json pb);
      ]
+    @ (if sampling then [ ("sampling", sampling_json pb) ] else [])
     @ timing_fields @ throughput_fields @ prepare_fields)
 
 let bench_json_wrap ?(scale = 1) ?seed rows =
@@ -426,8 +548,9 @@ let bench_json_wrap ?(scale = 1) ?seed rows =
     @ seed_field
     @ [ ("benchmarks", J.Arr rows) ])
 
-let bench_json ?scale ?timing ?throughput benches =
-  bench_json_wrap ?scale (List.map (bench_json_one ?timing ?throughput) benches)
+let bench_json ?scale ?timing ?throughput ?sampling benches =
+  bench_json_wrap ?scale
+    (List.map (bench_json_one ?timing ?throughput ?sampling) benches)
 
 let section8_1 ppf benches =
   let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in

@@ -37,10 +37,42 @@ val layout_of : prepared_bench -> Pipeline.layout_eval
     superblock+layout loop — derived from the {!evals_of} estimates and
     memoized per benchmark name. *)
 
+(** {2 Sampling sweep}
+
+    Accuracy vs overhead of PPP under bursty sampled collection
+    ({!Ppp_interp.Sampling}), swept over rates 1, 1/4, 1/16, 1/64 and
+    1/256 at the default burst with a fixed seed — fully deterministic,
+    so the points are safe in the sharded bench document and the
+    baseline. *)
+
+val sweep_denoms : int list
+(** The swept rate denominators, ascending: [1; 4; 16; 64; 256]. *)
+
+type sample_point = {
+  sp_denom : int;
+  sp_overhead : float;  (** instrumented overhead at this rate *)
+  sp_overlap_full : float;
+      (** weighted overlap (0–100) vs the unsampled PPP estimate *)
+  sp_overlap_truth : float;
+      (** weighted overlap (0–100) vs the measured truth *)
+  sp_tv_full : float;
+      (** total-variation distance (0–1) vs the unsampled estimate *)
+}
+
+val sampling_of : prepared_bench -> sample_point list
+(** One point per {!sweep_denoms} entry, memoized per benchmark name.
+    The rate-1 point reuses the {!evals_of} PPP evaluation, so its
+    overlaps are exactly 100. *)
+
+val sampling_report : Format.formatter -> prepared_bench list -> unit
+(** Per-benchmark overlap/overhead at every swept rate, with per-rate
+    averages — the accuracy-vs-overhead curve of the sampled collector. *)
+
 val bench_json :
   ?scale:int ->
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
   ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
+  ?sampling:bool ->
   prepared_bench list ->
   Ppp_obs.Jsonx.t
 (** The machine-readable benchmark record written to [BENCH_*.json]:
@@ -50,10 +82,16 @@ val bench_json :
     whatever [throughput] returns (per-engine Minstr/s, when the
     [--throughput] mode ran). *)
 
+val sampling_json : prepared_bench -> Ppp_obs.Jsonx.t
+(** The benchmark's sampling-sweep object: burst, seed, and one record
+    per swept rate (rate, denom, overhead, overlap_vs_full,
+    overlap_vs_truth, tv_vs_full). *)
+
 val bench_json_one :
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
   ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
   ?prepare:bool ->
+  ?sampling:bool ->
   prepared_bench ->
   Ppp_obs.Jsonx.t
 (** One benchmark's row of {!bench_json} — what a shard worker computes
@@ -61,7 +99,10 @@ val bench_json_one :
     [false]) additionally records the preparation wall-clock per phase
     ({!Pipeline.prepared.phase_ms}); it is opt-in because wall-clock is
     nondeterministic, and sharded runs never include it so their
-    document stays byte-identical at every [-j]. *)
+    document stays byte-identical at every [-j]. [sampling] (default
+    [false]) adds the {!sampling_json} sweep — deterministic, so safe
+    under [-j], but opt-in because it costs four extra instrumented
+    evaluations. *)
 
 val bench_json_wrap : ?scale:int -> ?seed:int -> Ppp_obs.Jsonx.t list -> Ppp_obs.Jsonx.t
 (** Assemble {!bench_json_one} rows (in benchmark order) into the full

@@ -1,9 +1,14 @@
 module Diagnostic = Ppp_resilience.Diagnostic
 module Robust_io = Ppp_resilience.Robust_io
 module Profile_io = Ppp_profile.Profile_io
+module Path_profile = Ppp_profile.Path_profile
 module Metrics = Ppp_obs.Metrics
 module Spec = Ppp_workloads.Spec
 module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Sampling = Ppp_interp.Sampling
+module Instrument = Ppp_core.Instrument
+module Config = Ppp_core.Config
 
 (* SplitMix-style finalizer over the pool seed and the item index only:
    the same item gets the same seed at every [-j] level. The constants
@@ -175,7 +180,51 @@ type collected = {
   lost : Diagnostic.t list;
 }
 
-let collect_one ?prebuilt ~scale ~metrics (b : Spec.bench) =
+(* Bursty sampled collection of one program: paths come from PPP
+   instrumentation run under the sampling controller, not from the
+   engine's exact tracer. A cheap edge-only run supplies the
+   instrumenter's self advice; the dump then carries the exact edge
+   profile plus inverse-rate path estimates, so sampled dumps merge
+   uniformly with unsampled ones. *)
+let collect_sampled ?cache ~spec p =
+  let advice =
+    Interp.run ?cache
+      ~config:{ Interp.default_config with trace_paths = false }
+      p
+  in
+  let ep = Option.get advice.Interp.edge_profile in
+  let inst = Instrument.instrument p ep Config.ppp in
+  let o =
+    Interp.run ?cache
+      ~config:
+        {
+          Interp.default_config with
+          trace_paths = false;
+          instrumentation = Some inst.Instrument.rt;
+          sampling = Some spec;
+        }
+      p
+  in
+  let paths = Path_profile.create_program p in
+  (match o.Interp.instr_state with
+  | None -> ()
+  | Some tables ->
+      Hashtbl.iter
+        (fun name table ->
+          match Hashtbl.find_opt inst.Instrument.plans name with
+          | None -> ()
+          | Some plan ->
+              let t = Path_profile.routine paths name in
+              Instr_rt.Table.iter_nonzero table (fun k c ->
+                  match Instrument.decoded_path plan k with
+                  | Some path ->
+                      Path_profile.add t path
+                        (Instr_rt.scaled_count ~denom:spec.Sampling.denom c)
+                  | None -> ()))
+        tables);
+  Profile_io.Raw.of_program ?edges:o.Interp.edge_profile ~paths p
+
+let collect_one ?prebuilt ?sampling ~seed ~scale ~metrics (b : Spec.bench) =
   if metrics then begin
     Metrics.set_enabled true;
     Metrics.reset ()
@@ -185,16 +234,24 @@ let collect_one ?prebuilt ~scale ~metrics (b : Spec.bench) =
     | Some (p, session) -> (p, Ppp_session.Session.lower_cache session)
     | None -> (b.Spec.build ~scale, None)
   in
-  let o = Interp.run ?cache p in
   let raw =
-    Profile_io.Raw.of_program ?edges:o.Interp.edge_profile
-      ?paths:o.Interp.path_profile p
+    match sampling with
+    | None ->
+        let o = Interp.run ?cache p in
+        Profile_io.Raw.of_program ?edges:o.Interp.edge_profile
+          ?paths:o.Interp.path_profile p
+    | Some template ->
+        let spec =
+          Sampling.spec ~burst:template.Sampling.burst ~seed
+            ~denom:template.Sampling.denom ()
+        in
+        collect_sampled ?cache ~spec p
   in
   let snap = if metrics then Metrics.snapshot () else [] in
   (b.Spec.bench_name, Profile_io.Raw.to_string raw, snap)
 
 let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) ?(warm = false)
-    ?timeout_s benches =
+    ?sampling ?timeout_s benches =
   (* With [warm], the parent builds every workload and fills a session
      (analyses + structural lowering) before the pool forks, so workers
      inherit the warm artifacts copy-on-write and only execute. Workers
@@ -214,9 +271,13 @@ let collect_workloads ~jobs ?(scale = 1) ?(metrics = false) ?(warm = false)
         else (b, None))
       benches
   in
+  let base_seed =
+    match sampling with Some s -> s.Sampling.seed | None -> 0
+  in
   let results =
-    map ~jobs ?timeout_s
-      ~f:(fun ~seed:_ (b, prebuilt) -> collect_one ?prebuilt ~scale ~metrics b)
+    map ~jobs ~seed:base_seed ?timeout_s
+      ~f:(fun ~seed (b, prebuilt) ->
+        collect_one ?prebuilt ?sampling ~seed ~scale ~metrics b)
       items
   in
   let shards = ref [] and shard_metrics = ref [] and lost = ref [] in

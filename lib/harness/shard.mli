@@ -52,6 +52,20 @@ val map :
     collection is deterministic and the merge is order-independent, the
     merged dump is byte-identical across [-j] levels. *)
 
+val collect_sampled :
+  ?cache:Ppp_interp.Lower.cache ->
+  spec:Ppp_interp.Sampling.spec ->
+  Ppp_ir.Ir.program ->
+  Ppp_profile.Profile_io.Raw.t
+(** Collect one program's profile under bursty sampled PPP
+    instrumentation: an edge-only run supplies the instrumenter's self
+    advice, the instrumented run alternates bursts per [spec], and the
+    recovered path counts are scaled back by the inverse rate
+    ({!Ppp_interp.Instr_rt.scaled_count}). The resulting dump carries
+    the exact edge profile plus full-run path {e estimates} — it merges
+    uniformly with unsampled dumps. Deterministic for a given
+    [(spec, program)] pair. *)
+
 type collected = {
   raw : Ppp_profile.Profile_io.Raw.t;
       (** the merged profile; its diagnostics cover parse/merge issues *)
@@ -71,6 +85,7 @@ val collect_workloads :
   ?scale:int ->
   ?metrics:bool ->
   ?warm:bool ->
+  ?sampling:Ppp_interp.Sampling.spec ->
   ?timeout_s:float ->
   Ppp_workloads.Spec.bench list ->
   collected
@@ -81,4 +96,15 @@ val collect_workloads :
     each workload and fills a {!Ppp_session.Session} — analyses plus
     structural lowering — before forking, so workers inherit the warm
     artifacts copy-on-write and skip re-lowering; the collected output
-    is byte-identical either way. *)
+    is byte-identical either way.
+
+    With [sampling], each workload is collected under bursty sampled PPP
+    instrumentation ({!Ppp_interp.Sampling}) instead of the engine's
+    exact path tracer: a cheap edge-only run supplies self advice, the
+    instrumented run alternates bursts at a rate of [1/denom], and the
+    dump carries the exact edge profile plus inverse-rate path
+    {e estimates} ({!Ppp_interp.Instr_rt.scaled_count}), so sampled
+    shards merge uniformly with unsampled ones. The spec's [seed] acts
+    as the pool seed: each workload samples under
+    [derive_seed seed index], so the merged dump stays byte-identical
+    across [-j] levels. *)

@@ -41,6 +41,13 @@ type config = {
          Purely a placement hint — outcomes are byte-identical with any
          (or no) layout, which the differential suite asserts. The
          reference engine walks the AST and ignores it entirely. *)
+  sampling : Sampling.spec option;
+      (* Bursty collection sampling (the rt.sample metric family): when
+         set, instrumented
+         routines alternate between their instrumented and plain opcode
+         streams at seeded burst boundaries. Program outcomes are
+         byte-identical with sampling on or off; only the recorded
+         profile (and instr_cost) changes. *)
 }
 
 let default_config =
@@ -52,6 +59,7 @@ let default_config =
     overflow_policy = Instr_rt.Table.Drop;
     telemetry = None;
     layout = None;
+    sampling = None;
   }
 
 type termination = Finished | Out_of_fuel of { stack_depth : int }

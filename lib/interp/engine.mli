@@ -28,6 +28,10 @@ type config = {
       (** per-routine block emission order for the pre-lowered VM (see
           [Layout]): a pure placement hint — outcomes are byte-identical
           under any (or no) layout. The reference engine ignores it. *)
+  sampling : Sampling.spec option;
+      (** bursty collection sampling (see {!Sampling}): when set, an
+          instrumented run records only the sampled fraction of dynamic
+          paths; program outcomes stay byte-identical in both engines *)
 }
 
 val default_config : config

@@ -193,6 +193,38 @@ module Table = struct
     Array.fold_left ( + ) (t.cold + t.lost + t.overflow) t.arr
 end
 
+(* {2 Sampled collection: rt.sample.* and count recovery}
+
+   The bursty sampling mode (see [Sampling]) records only a fraction of
+   dynamic paths; these are its metrics family and its recovery-time
+   estimator. Registered at module init like the rt.table.* family. *)
+
+let m_sample_on = Obs.counter "rt.sample.on_ticks"
+let m_sample_off = Obs.counter "rt.sample.off_ticks"
+let m_sample_bursts = Obs.counter "rt.sample.bursts"
+let m_sample_scaled_mass = Obs.counter "rt.sample.scaled_mass"
+let m_sample_saturations = Obs.counter "rt.sample.saturations"
+
+let flush_sample_metrics ~on_ticks ~off_ticks ~bursts =
+  Obs.add m_sample_on on_ticks;
+  Obs.add m_sample_off off_ticks;
+  Obs.add m_sample_bursts bursts
+
+(* Scale a recovered count by the inverse sampling rate, saturating at
+   max_int rather than wrapping. Metrics record the estimated mass added
+   and any saturation, so silent clamping never hides an overflow. *)
+let scaled_count ~denom c =
+  if denom <= 1 || c <= 0 then c
+  else if c > max_int / denom then begin
+    Obs.incr m_sample_saturations;
+    max_int
+  end
+  else begin
+    let scaled = c * denom in
+    Obs.add m_sample_scaled_mass (scaled - c);
+    scaled
+  end
+
 type state = (string, Table.t) Hashtbl.t
 
 let init_state ?policy (t : t) : state =

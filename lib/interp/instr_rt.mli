@@ -103,6 +103,24 @@ module Table : sig
   (** Sum of all counts including cold, lost and overflow. *)
 end
 
+(** {2 Sampled collection}
+
+    The bursty sampling mode's metric family ([rt.sample.*], distinct
+    from {!Telemetry}'s ring vocabulary): [rt.sample.on_ticks] and
+    [rt.sample.off_ticks] (ticks spent collecting vs. running plain
+    code), [rt.sample.bursts] (bursts entered),
+    [rt.sample.scaled_mass] (estimated mass added by count recovery)
+    and [rt.sample.saturations] (recoveries clamped at [max_int]). *)
+
+val flush_sample_metrics : on_ticks:int -> off_ticks:int -> bursts:int -> unit
+(** Feed one sampled run's controller totals into [rt.sample.*]. *)
+
+val scaled_count : denom:int -> int -> int
+(** [scaled_count ~denom c] estimates the unsampled count behind [c]
+    observations at sampling rate [1/denom]: [c * denom], saturating at
+    [max_int] (counted in [rt.sample.saturations]) instead of wrapping.
+    Identity when [denom <= 1] or [c <= 0]. *)
+
 type state = (string, Table.t) Hashtbl.t
 
 val init_state : ?policy:Table.overflow_policy -> t -> state

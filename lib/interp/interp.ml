@@ -17,6 +17,7 @@ type config = Engine.config = {
   overflow_policy : Instr_rt.Table.overflow_policy;
   telemetry : Telemetry.t option;
   layout : (string, int array) Hashtbl.t option;
+  sampling : Sampling.spec option;
 }
 
 let default_config = Engine.default_config
@@ -64,6 +65,7 @@ type frame = {
   regs : int array;
   mutable block : int;
   mutable ip : int;
+  mutable f_on : bool; (* bursty sampling: instrumentation actions live *)
   mutable path_reg : int;
   mutable path_rev : int list;
   ret_to : Ir.reg option; (* caller register receiving our return value *)
@@ -81,6 +83,7 @@ type state = {
   mutable out_rev : int list;
   trace_on : bool;
   obs_on : bool; (* metrics flag, latched at run start *)
+  sampler : Sampling.t option; (* bursty collection sampling, None = off *)
   mutable obs_calls : int;
   obs_actions : int array; (* executions per Instr_rt.action kind *)
 }
@@ -137,7 +140,10 @@ let traverse st frame e ~ends_path =
       frame.path_rev <- []
     end
   end;
-  let acts = plan.actions.(e) in
+  (* Off-burst, the frame behaves as if uninstrumented: no actions, no
+     instr cost. Mirrors the VM executing the plain opcode stream, whose
+     edge_ops carry empty action lists. *)
+  let acts = if frame.f_on then plan.actions.(e) else [||] in
   if Array.length acts > 0 then begin
     let costs = plan.action_costs.(e) in
     for i = 0 to Array.length acts - 1 do
@@ -181,6 +187,13 @@ let run_reference ~(config : config) (p : Ir.program) =
     p.routines;
   let arrays = Hashtbl.create 7 in
   List.iter (fun (name, size) -> Hashtbl.replace arrays name (Array.make size 0)) p.arrays;
+  (* Same normalization as the VM: sampling only gates instrumentation
+     actions, so it is inert without instrumentation. *)
+  let sampler =
+    match (config.sampling, config.instrumentation) with
+    | Some spec, Some _ -> Some (Sampling.start spec)
+    | _ -> None
+  in
   let st =
     {
       plans;
@@ -194,6 +207,7 @@ let run_reference ~(config : config) (p : Ir.program) =
       out_rev = [];
       trace_on = config.trace_paths;
       obs_on = Engine.Obs.enabled ();
+      sampler;
       obs_calls = 0;
       obs_actions = Array.make Instr_rt.num_action_kinds 0;
     }
@@ -209,10 +223,49 @@ let run_reference ~(config : config) (p : Ir.program) =
       regs = Array.make plan.routine.Ir.nregs 0;
       block = 0;
       ip = 0;
+      (* Sampling tick on the frame fast path, chronologically identical
+         to the VM's tick in [Vm.enter]. *)
+      f_on =
+        (match st.sampler with None -> true | Some s -> Sampling.tick s);
       path_reg = 0;
       path_rev = [];
       ret_to;
     }
+  in
+  (* Back-edge tick: the traversed edge's old path is already recorded,
+     so the new mode applies from the path beginning at the loop header.
+     On off->on, re-arm the path register with the initialization suffix
+     (the actions after the last counting one) of the instrumented edge
+     — the count itself belongs to the off-burst stretch and is not
+     recorded. Mirrors [Vm.resample]/[Vm.path_init]. *)
+  let resample frame e =
+    match st.sampler with
+    | None -> ()
+    | Some s ->
+        let on = Sampling.tick s in
+        if on <> frame.f_on then
+          if not on then frame.f_on <- false
+          else begin
+            frame.f_on <- true;
+            let acts = frame.plan.actions.(e) in
+            let n = Array.length acts in
+            let rec after_last_count i acc =
+              if i >= n then acc
+              else
+                match acts.(i) with
+                | Instr_rt.Set_r _ | Instr_rt.Add_r _ ->
+                    after_last_count (i + 1) acc
+                | _ -> after_last_count (i + 1) (i + 1)
+            in
+            let i0 = after_last_count 0 0 in
+            frame.path_reg <- 0;
+            for i = i0 to n - 1 do
+              match acts.(i) with
+              | Instr_rt.Set_r v -> frame.path_reg <- v
+              | Instr_rt.Add_r v -> frame.path_reg <- frame.path_reg + v
+              | _ -> ()
+            done
+          end
   in
   let return_value = ref None in
   let main_frame = new_frame p.main None in
@@ -265,12 +318,14 @@ let run_reference ~(config : config) (p : Ir.program) =
       | Ir.Jump l ->
           let e = Cfg_view.jump_edge view frame.block in
           traverse st frame e ~ends_path:frame.plan.is_back.(e);
+          if frame.plan.is_back.(e) then resample frame e;
           frame.block <- l;
           frame.ip <- 0
       | Ir.Branch (c, l1, l2) ->
           let taken = eval frame.regs c <> 0 in
           let e = Cfg_view.branch_edge view frame.block ~taken in
           traverse st frame e ~ends_path:frame.plan.is_back.(e);
+          if frame.plan.is_back.(e) then resample frame e;
           frame.block <- (if taken then l1 else l2);
           frame.ip <- 0
       | Ir.Return v ->
@@ -328,11 +383,17 @@ let run_reference ~(config : config) (p : Ir.program) =
     end
     else None
   in
-  if st.obs_on then
+  if st.obs_on then begin
     Engine.flush_metrics ~fuel:config.fuel ~termination ~fuel_left:st.fuel
       ~base_cost:st.base_cost ~instr_cost:st.instr_cost
       ~dyn_instrs:st.dyn_instrs ~dyn_paths:st.dyn_paths ~calls:st.obs_calls
       ~actions:st.obs_actions;
+    match st.sampler with
+    | Some s ->
+        Instr_rt.flush_sample_metrics ~on_ticks:(Sampling.on_ticks s)
+          ~off_ticks:(Sampling.off_ticks s) ~bursts:(Sampling.bursts s)
+    | None -> ()
+  end;
   {
     return_value = !return_value;
     output = List.rev st.out_rev;

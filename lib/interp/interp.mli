@@ -40,6 +40,17 @@ type config = Engine.config = {
           byte-identical under any (or no) layout, which the layout
           differential suite asserts. The reference engine walks the AST
           and ignores it entirely. *)
+  sampling : Sampling.spec option;
+      (** bursty collection sampling (see {!Sampling}): instrumented
+          frames alternate, at seeded burst boundaries on the frame-entry
+          and loop-back-edge fast paths, between their instrumented and
+          uninstrumented streams, so roughly [1/denom] of dynamic paths
+          are recorded. Program outcomes (return value, output,
+          termination, base cost, dyn counts, edge and path profiles)
+          are byte-identical with sampling on or off, in both engines;
+          only [instr_cost] and [instr_state] change. Inert without
+          [instrumentation]. Recover full-profile estimates with
+          {!Instr_rt.scaled_count}. *)
 }
 
 val default_config : config

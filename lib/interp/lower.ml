@@ -116,6 +116,13 @@ type plan = {
   routine : Ir.routine;
   view : Cfg_view.t;
   code : op array;
+  plain : op array;
+      (* the structural (uninstrumented) opcode stream. [specialize_code]
+         rebuilds only terminator opcodes with Array.map, so [plain] and
+         [code] have identical length, offsets and costs: bursty sampling
+         can swap a frame between them mid-run and every pc and branch
+         target stays valid. Physically == [code] when the routine is
+         uninstrumented. *)
   costs : int array;
       (* per-op charge, parallel to [code] (0 for Fuel); the exact
          remainder bill when fuel runs out mid-segment *)
@@ -411,6 +418,7 @@ let lower_structural ?analysis ?order ~arrays ~routine_index (r : Ir.routine) =
     routine = r;
     view;
     code;
+    plain = code;
     costs;
     block_offset;
     nregs = r.Ir.nregs;

@@ -80,6 +80,12 @@ type plan = {
   routine : Ppp_ir.Ir.routine;
   view : Ppp_ir.Cfg_view.t;
   code : op array;
+  plain : op array;
+      (** the structural (uninstrumented) stream: identical length,
+          offsets and costs as [code] (specialization rebuilds only
+          terminators), so bursty sampling can swap a frame between the
+          two mid-run with every pc still valid; [== code] when the
+          routine is uninstrumented *)
   costs : int array;  (** per-op charge, parallel to [code] *)
   block_offset : int array;
   nregs : int;

@@ -1,0 +1,122 @@
+(* Bursty sampling controller: on for [burst] ticks out of every
+   [denom * burst], phase seeded so runs replay byte-identically and
+   fleet shards decorrelate. See sampling.mli for the vocabulary note
+   distinguishing this from Telemetry's ring sampling. *)
+
+type spec = { denom : int; burst : int; seed : int }
+
+let infinite_burst = max_int
+let default_burst = 4
+
+let spec ?(burst = default_burst) ?(seed = 0) ~denom () =
+  if denom < 1 then invalid_arg "Sampling.spec: denom < 1";
+  if burst < 1 then invalid_arg "Sampling.spec: burst < 1";
+  { denom; burst; seed }
+
+type t = {
+  burst : int;
+  gap : int;
+  always_on : bool;
+  mutable on : bool;
+  mutable left : int;  (* ticks remaining in the current phase *)
+  mutable n_on : int;
+  mutable n_off : int;
+  mutable n_bursts : int;
+}
+
+(* SplitMix64: one draw is enough to place the initial phase uniformly
+   within a period. The constants are the reference ones. *)
+let splitmix64 (x : int64) : int64 =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let start (s : spec) =
+  let always_on = s.denom <= 1 in
+  let infinite = s.burst >= infinite_burst - 1 in
+  if always_on || infinite then
+    {
+      burst = s.burst;
+      gap = 0;
+      always_on = true;
+      on = true;
+      left = max_int;
+      n_on = 0;
+      n_off = 0;
+      n_bursts = 1;
+    }
+  else begin
+    let gap = (s.denom - 1) * s.burst in
+    let period = s.burst + gap in
+    let draw = splitmix64 (Int64.of_int s.seed) in
+    let phase =
+      Int64.to_int (Int64.rem (Int64.logand draw Int64.max_int)
+                      (Int64.of_int period))
+    in
+    if phase < s.burst then
+      {
+        burst = s.burst;
+        gap;
+        always_on = false;
+        on = true;
+        left = s.burst - phase;
+        n_on = 0;
+        n_off = 0;
+        n_bursts = 1;
+      }
+    else
+      {
+        burst = s.burst;
+        gap;
+        always_on = false;
+        on = false;
+        left = period - phase;
+        n_on = 0;
+        n_off = 0;
+        n_bursts = 0;
+      }
+  end
+
+let tick t =
+  if t.always_on then begin
+    t.n_on <- t.n_on + 1;
+    true
+  end
+  else begin
+    if t.left <= 0 then
+      if t.on then begin
+        t.on <- false;
+        t.left <- t.gap
+      end
+      else begin
+        t.on <- true;
+        t.left <- t.burst;
+        t.n_bursts <- t.n_bursts + 1
+      end;
+    t.left <- t.left - 1;
+    if t.on then t.n_on <- t.n_on + 1 else t.n_off <- t.n_off + 1;
+    t.on
+  end
+
+let on_ticks t = t.n_on
+let off_ticks t = t.n_off
+let bursts t = t.n_bursts
+
+let parse_rate s =
+  let invalid () = Error (Printf.sprintf "invalid sampling rate %S" s) in
+  match String.index_opt s '/' with
+  | Some i -> (
+      let num = String.sub s 0 i in
+      let den = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt num, int_of_string_opt den) with
+      | Some 1, Some d when d >= 1 -> Ok d
+      | _ -> invalid ())
+  | None -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | _ -> invalid ())
+
+let rate_to_string denom =
+  if denom <= 1 then "1" else Printf.sprintf "1/%d" denom

@@ -29,6 +29,11 @@ module L = Lower
 
 type frame = {
   mutable plan : L.plan;
+  mutable fcode : L.op array;
+      (* the stream this frame is executing: plan.code when collecting,
+         plan.plain off-burst. The two are offset-identical (Lower), so
+         bursty sampling swaps them mid-frame without touching pc. *)
+  mutable f_on : bool; (* fcode == plan.code, i.e. collecting *)
   mutable regs : int array;
   mutable pc : int; (* saved resume point while a callee runs *)
   mutable path_reg : int;
@@ -51,6 +56,8 @@ type state = {
   trace_on : bool;
   obs_on : bool; (* metrics flag, latched at run start *)
   count_calls : bool; (* metrics or telemetry want the call total *)
+  sampler : Sampling.t option; (* bursty collection sampling, None = off *)
+  sample_on : bool; (* sampler is Some: gate the per-back-edge tick *)
   tele : Telemetry.t option; (* latched snapshot ring, None = off *)
   mutable tele_left : int; (* instructions until the next sample *)
   mutable obs_calls : int;
@@ -71,6 +78,8 @@ let tele_sample st t =
 let fresh_frame plan =
   {
     plan;
+    fcode = plan.L.code;
+    f_on = true;
     regs = Array.make (max 1 plan.L.nregs) 0;
     (* Every frame begins at opcode offset 0: the lowering keeps the
        entry block there under every block layout (Lower.valid_order). *)
@@ -96,6 +105,23 @@ let enter st plan ~nargs ret_to =
   let f = st.frames.(st.depth) in
   st.depth <- st.depth + 1;
   f.plan <- plan;
+  (* Sampling tick on the frame fast path: both engines tick here, in
+     chronological execution order, whether or not the routine is
+     instrumented — so which paths a seed samples never depends on the
+     instrumentation method. *)
+  (match st.sampler with
+  | None ->
+      f.fcode <- plan.L.code;
+      f.f_on <- true
+  | Some s ->
+      if Sampling.tick s then begin
+        f.fcode <- plan.L.code;
+        f.f_on <- true
+      end
+      else begin
+        f.fcode <- plan.L.plain;
+        f.f_on <- false
+      end);
   let n = plan.L.nregs in
   if Array.length f.regs < n then f.regs <- Array.make n 0
   else if nargs < n then Array.fill f.regs nargs (n - nargs) 0;
@@ -217,6 +243,65 @@ let exhaust st (plan : L.plan) regs pc =
   done;
   raise E.Exhausted
 
+(* The instrumented stream's edge_ops for the terminator at [pc] — the
+   plain stream carries empty action lists, so an off->on transition
+   reads the path-register initialization from here. *)
+let instrumented_edge (plan : L.plan) pc edge_id =
+  match plan.L.code.(pc) with
+  | L.Jump { edge; _ } | L.Branch_const { edge; _ } -> edge
+  | L.Branch_r { then_edge; else_edge; _ } ->
+      if then_edge.L.edge = edge_id then then_edge else else_edge
+  | _ -> assert false
+
+(* Re-arm the path register as if the instrumented back edge had just
+   initialized a fresh path: execute only the suffix *after* the last
+   counting-class action (the old path's count belongs to an off-burst
+   stretch and must not be recorded). Constant work per burst boundary;
+   charged to neither base nor instr cost. *)
+let path_init (frame : frame) (eo : L.edge_ops) =
+  let acts = eo.L.acts in
+  let n = Array.length acts in
+  let rec after_last_count i acc =
+    if i >= n then acc
+    else
+      match acts.(i) with
+      | L.Bump _ | L.Bump_plus _ | L.Bump_const _ | L.Bump_none ->
+          after_last_count (i + 1) (i + 1)
+      | L.Set_reg _ | L.Add_reg _ -> after_last_count (i + 1) acc
+  in
+  let i0 = after_last_count 0 0 in
+  frame.path_reg <- 0;
+  for i = i0 to n - 1 do
+    match acts.(i) with
+    | L.Set_reg v -> frame.path_reg <- v
+    | L.Add_reg v -> frame.path_reg <- frame.path_reg + v
+    | _ -> ()
+  done
+
+(* Tick the sampler at a loop back edge (the edge's old path is fully
+   recorded by [traverse] already) and swap the frame's stream if the
+   mode flipped. Returns true when the caller must re-enter [run_frames]
+   so the dispatch loop rebinds the code array. *)
+let resample st (frame : frame) (plan : L.plan) pc edge_id =
+  match st.sampler with
+  | None -> false
+  | Some s ->
+      let on = Sampling.tick s in
+      if on = frame.f_on then false
+      else if on then begin
+        frame.f_on <- true;
+        frame.fcode <- plan.L.code;
+        path_init frame (instrumented_edge plan pc edge_id);
+        true
+      end
+      else begin
+        (* Stale path_reg is harmless off-burst: the plain stream never
+           bumps, and the next on-transition re-initializes it. *)
+        frame.f_on <- false;
+        frame.fcode <- plan.L.plain;
+        true
+      end
+
 let do_return st (frame : frame) value =
   st.depth <- st.depth - 1;
   if st.depth = 0 then st.ret_value <- value
@@ -230,7 +315,7 @@ let do_return st (frame : frame) value =
    program runs as one loop with no per-transition driver overhead. *)
 let rec run_frames st (frame : frame) start_pc =
   let plan = frame.plan in
-  let code = plan.L.code in
+  let code = frame.fcode in
   let costs = plan.L.costs in
   let regs = frame.regs in
   let rec go pc =
@@ -378,19 +463,35 @@ let rec run_frames st (frame : frame) start_pc =
     | L.Trap { msg } -> raise (E.Runtime_error msg)
     | L.Jump { target; edge } ->
         if st.prof_on then traverse st frame plan edge;
-        go target
+        if
+          st.sample_on && edge.L.ends_path
+          && resample st frame plan pc edge.L.edge
+        then run_frames st frame target
+        else go target
     | L.Branch_r { cond; then_; then_edge; else_; else_edge } ->
         if Array.unsafe_get regs cond <> 0 then begin
           if st.prof_on then traverse st frame plan then_edge;
-          go then_
+          if
+            st.sample_on && then_edge.L.ends_path
+            && resample st frame plan pc then_edge.L.edge
+          then run_frames st frame then_
+          else go then_
         end
         else begin
           if st.prof_on then traverse st frame plan else_edge;
-          go else_
+          if
+            st.sample_on && else_edge.L.ends_path
+            && resample st frame plan pc else_edge.L.edge
+          then run_frames st frame else_
+          else go else_
         end
     | L.Branch_const { target; edge } ->
         if st.prof_on then traverse st frame plan edge;
-        go target
+        if
+          st.sample_on && edge.L.ends_path
+          && resample st frame plan pc edge.L.edge
+        then run_frames st frame target
+        else go target
     | L.Return_r { src; edge } ->
         if st.prof_on then traverse st frame plan edge;
         ret (Some (Array.unsafe_get regs src))
@@ -418,6 +519,14 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
   in
   let prog = L.program ?cache ~config ~instr_tables p in
   let main_plan = prog.L.plans.(prog.L.main) in
+  (* Sampling only gates instrumentation actions (edge counting and path
+     tracing are never sampled), so without instrumentation the two
+     streams coincide and the controller would only add tick work. *)
+  let sampler =
+    match (config.E.sampling, config.E.instrumentation) with
+    | Some spec, Some _ -> Some (Sampling.start spec)
+    | _ -> None
+  in
   let st =
     {
       plans = prog.L.plans;
@@ -435,6 +544,8 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
       trace_on = config.E.trace_paths;
       obs_on = E.Obs.enabled ();
       count_calls = E.Obs.enabled () || Option.is_some config.E.telemetry;
+      sampler;
+      sample_on = Option.is_some sampler;
       tele = config.E.telemetry;
       tele_left =
         (match config.E.telemetry with
@@ -490,10 +601,16 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
      one of each), so the count is derived instead of updated per
      segment in the hot loop. *)
   let dyn_instrs = config.E.fuel - st.fuel in
-  if st.obs_on then
+  if st.obs_on then begin
     E.flush_metrics ~fuel:config.E.fuel ~termination ~fuel_left:st.fuel
       ~base_cost:st.base_cost ~instr_cost:st.instr_cost ~dyn_instrs
       ~dyn_paths:st.dyn_paths ~calls:st.obs_calls ~actions:st.obs_actions;
+    match st.sampler with
+    | Some s ->
+        Instr_rt.flush_sample_metrics ~on_ticks:(Sampling.on_ticks s)
+          ~off_ticks:(Sampling.off_ticks s) ~bursts:(Sampling.bursts s)
+    | None -> ()
+  end;
   {
     E.return_value = st.ret_value;
     output = List.rev st.out_rev;

@@ -394,7 +394,16 @@ module Raw = struct
     in
     sat_add (sum t.edges) (sum t.paths)
 
-  let of_program ?edges ?paths (p : Ir.program) =
+  let of_program ?(scale = 1) ?edges ?paths (p : Ir.program) =
+    (* [scale] recovers sampled collections: every count is multiplied by
+       the inverse sampling rate (saturating at max_int) so the dump
+       holds full-run estimates and merges uniformly with unsampled
+       dumps. *)
+    let scaled c =
+      if scale <= 1 || c <= 0 then c
+      else if c > max_int / scale then max_int
+      else c * scale
+    in
     let t = create () in
     List.iter
       (fun (r : Ir.routine) ->
@@ -408,7 +417,7 @@ module Raw = struct
               let view = Cfg_view.of_routine r in
               Graph.iter_edges (Cfg_view.graph view) (fun e ->
                   let c = Edge_profile.freq ep e in
-                  if c > 0 then Hashtbl.replace per e c)
+                  if c > 0 then Hashtbl.replace per e (scaled c))
             end);
         match paths with
         | None -> ()
@@ -417,7 +426,7 @@ module Raw = struct
             if Path_profile.num_distinct qp > 0 then begin
               let per = table t.paths r.Ir.name in
               Path_profile.iter qp (fun path n ->
-                  if n > 0 then Hashtbl.replace per path n)
+                  if n > 0 then Hashtbl.replace per path (scaled n))
             end)
       p.routines;
     t
@@ -624,6 +633,49 @@ module Raw = struct
           input.paths)
       inputs;
     out
+
+  (* Exponential age-decayed merge: input i of n (oldest first) is
+     weighted decay^(n-1-i), so generation k-1 blends into k with its
+     influence fading geometrically. Implemented as a pure pre-scale of
+     each input followed by the commutative [merge] above — so stale
+     inputs are still salvaged through Stale_match, and the result is
+     independent of how the (already-ordered) inputs were produced.
+     Each count keeps floor(c * w); the decayed-away remainder goes to
+     the lost-mass ledger, so mass + lost is conserved exactly (up to
+     saturation), and total mass never inflates. *)
+  let scale_weight w t =
+    if w >= 1.0 then t
+    else begin
+      let out = create () in
+      Hashtbl.iter (fun n d -> Hashtbl.replace out.descs n d) t.descs;
+      out.diags_rev <- t.diags_rev;
+      out.lost <- t.lost;
+      let scale_tbl src dst =
+        Hashtbl.iter
+          (fun name per ->
+            let per' = table dst name in
+            Hashtbl.iter
+              (fun k c ->
+                let kept = int_of_float (float_of_int c *. w) in
+                let kept = if kept < 0 then 0 else if kept > c then c else kept in
+                if kept > 0 then add_count out per' k kept;
+                out.lost <- sat_add out.lost (c - kept))
+              per)
+          src
+      in
+      scale_tbl t.edges out.edges;
+      scale_tbl t.paths out.paths;
+      out
+    end
+
+  let merge_decayed ~decay inputs =
+    if not (decay > 0.0 && decay <= 1.0) then
+      invalid_arg "Raw.merge_decayed: decay must be in (0, 1]";
+    let n = List.length inputs in
+    merge
+      (List.mapi
+         (fun i t -> scale_weight (decay ** float_of_int (n - 1 - i)) t)
+         inputs)
 
   (* {3 Canonical writer} *)
 

@@ -120,16 +120,32 @@ module Raw : sig
       affected count mass in {!lost}, exactly like {!load}. *)
 
   val of_program :
+    ?scale:int ->
     ?edges:Edge_profile.program ->
     ?paths:Path_profile.program ->
     Ppp_ir.Ir.program ->
     t
   (** The raw form of a freshly collected profile ([lost = 0], no
       diagnostics); [save] of the program and {!save} of this raw value
-      write identical bytes. *)
+      write identical bytes. [scale] (default 1) multiplies every count
+      by the inverse sampling rate, saturating at [max_int], so a
+      sampled collection dumps full-run {e estimates} and merges
+      uniformly with unsampled dumps. *)
 
   val merge : t list -> t
   (** Inputs are not mutated. [merge [] = empty ()]. *)
+
+  val merge_decayed : decay:float -> t list -> t
+  (** Exponential age-weighted merge for fleets of profile generations:
+      with inputs ordered oldest first, input [i] of [n] contributes its
+      counts scaled by [decay ^ (n-1-i)] (each count keeps
+      [floor(c * w)]; the decayed-away remainder is added to the
+      {!lost} ledger, so mass + lost is conserved and total mass never
+      inflates). The pre-scaled inputs then go through {!merge}
+      unchanged, so cross-version inputs are still salvaged via
+      {!Ppp_resilience.Stale_match}. [merge_decayed ~decay:1.0] equals
+      {!merge} exactly. Inputs are not mutated.
+      @raise Invalid_argument unless [0.0 < decay <= 1.0]. *)
 
   val rename : (string -> string) -> t -> t
   (** Rename routines (e.g. prefix them with a workload name so dumps of

@@ -129,8 +129,15 @@ let test_wire_truncated () =
 
 let test_ops_roundtrip () =
   let reqs =
-    [ Ops.Ping; Ops.Collect { bench = "bzip2"; scale = 3 };
-      Ops.Merge { dumps = [ "a b c"; ""; "\x00bin" ] };
+    [ Ops.Ping;
+      Ops.Collect
+        { bench = "bzip2"; scale = 3; sample_rate = 1;
+          burst = Ppp_interp.Sampling.default_burst; sample_seed = 0 };
+      Ops.Collect
+        { bench = "vpr"; scale = 2; sample_rate = 16; burst = 8;
+          sample_seed = 0x5eed };
+      Ops.Merge { dumps = [ "a b c"; ""; "\x00bin" ]; decay = 1.0 };
+      Ops.Merge { dumps = [ "old"; "new" ]; decay = 0.875 };
       Ops.Opt
         { name = "bench:gcc"; program = "routine f {}"; profile = Some "p";
           iterate = 4; plans = Some "deadbeef" };
@@ -437,7 +444,7 @@ let test_server_e2e () =
         else
           match
             Client.call ~socket ~deadline_ms:10_000
-              (Ops.Merge { dumps = [ "ppp 1\n"; "ppp 1\n" ] })
+              (Ops.Merge { dumps = [ "ppp 1\n"; "ppp 1\n" ]; decay = 1.0 })
           with
           | Ok (body, _) -> Some body
           | Error _ -> None

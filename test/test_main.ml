@@ -23,6 +23,7 @@ let () =
       ("shard", Test_shard.suite);
       ("session", Test_session.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("sampling", Test_sampling.suite);
       ("layout", Test_layout.suite);
       ("quality", Test_quality.suite);
       ("daemon", Test_daemon.suite);

@@ -113,6 +113,66 @@ let prop_faulted_merge_safe =
           && conserved m = conserved a + conserved b)
         Faults.all)
 
+(* {2 Decayed (fleet) merge} *)
+
+(* A decay factor derived from an int generator: spread over (0, 1). *)
+let decay_of k = 0.05 +. (float_of_int (abs k mod 19) /. 20.)
+
+let prop_decay_one_is_merge =
+  QCheck.Test.make ~name:"merge_decayed at decay=1.0 is merge, byte for byte"
+    ~count:25
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a, b, c = same_program_shards s1 in
+      let d = shard (s1 + s2 + 1) in
+      let inputs = [ a; b; c; d ] in
+      canon (Raw.merge_decayed ~decay:1.0 inputs) = canon (Raw.merge inputs))
+
+let prop_decay_never_inflates =
+  QCheck.Test.make
+    ~name:"merge_decayed never holds more live mass than the plain merge"
+    ~count:25
+    QCheck.(pair small_int small_int)
+    (fun (s1, k) ->
+      let a, b, c = same_program_shards s1 in
+      let inputs = [ a; b; c ] in
+      let decay = decay_of k in
+      Raw.mass (Raw.merge_decayed ~decay inputs)
+      <= Raw.mass (Raw.merge inputs))
+
+(* Whatever the decay pre-scaling drops from the tables lands in the
+   lost ledger: mass + lost is conserved exactly, stale salvage and
+   cross-program collisions included. *)
+let prop_decay_conserves =
+  QCheck.Test.make ~name:"merge_decayed conserves mass + lost" ~count:25
+    QCheck.(triple small_int small_int small_int)
+    (fun (s1, s2, k) ->
+      let a, b, c = same_program_shards s1 in
+      let d = shard (s1 + s2 + 1) in
+      let inputs = [ a; b; c; d ] in
+      let m = Raw.merge_decayed ~decay:(decay_of k) inputs in
+      conserved m = List.fold_left (fun acc t -> acc + conserved t) 0 inputs)
+
+let prop_faulted_decay_safe =
+  QCheck.Test.make
+    ~name:"fault-injected decayed merges never raise nor lose the ledger"
+    ~count:30
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, fseed, k) ->
+      let p = Ppp_workloads.Gen.program ~seed in
+      let o = Interp.run p in
+      let pristine = canon (raw_of_outcome p o) in
+      let r = Faults.rng ~seed:fseed in
+      let decay = decay_of k in
+      List.for_all
+        (fun fault ->
+          let a = Raw.parse (Faults.apply r fault pristine) in
+          let b = Raw.parse pristine in
+          let m = Raw.merge_decayed ~decay [ a; b ] in
+          Raw.mass m <= Raw.mass a + Raw.mass b
+          && conserved m = conserved a + conserved b)
+        Faults.all)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -122,4 +182,8 @@ let suite =
       prop_identity;
       prop_mass_conserved;
       prop_faulted_merge_safe;
+      prop_decay_one_is_merge;
+      prop_decay_never_inflates;
+      prop_decay_conserves;
+      prop_faulted_decay_safe;
     ]

@@ -1,0 +1,343 @@
+(* Bursty sampled collection, tested as a transparency contract: sampling
+   gates only the instrumentation actions, so the program outcome — return
+   value, output, base cost, dynamic instruction and path counts,
+   termination, and the engine's exact edge/path profiles — must be
+   byte-identical between a sampled and an unsampled run, on both engines,
+   at every rate and fuel budget. On top of that: rate 1 with an infinite
+   burst reproduces today's instrumented runs exactly (frequency tables
+   included), the two engines stay byte-identical under any sampling spec,
+   and sampled collection plus the decayed fleet merge are deterministic
+   and [-j]-invariant over a large heterogeneous dump population. *)
+
+module Graph = Ppp_cfg.Graph
+module Ir = Ppp_ir.Ir
+module Cfg_view = Ppp_ir.Cfg_view
+module Edge_profile = Ppp_profile.Edge_profile
+module Path_profile = Ppp_profile.Path_profile
+module Raw = Ppp_profile.Profile_io.Raw
+module Interp = Ppp_interp.Interp
+module Instr_rt = Ppp_interp.Instr_rt
+module Sampling = Ppp_interp.Sampling
+module Spec = Ppp_workloads.Spec
+module Gen = Ppp_workloads.Gen
+module Config = Ppp_core.Config
+module Instrument = Ppp_core.Instrument
+module Shard = Ppp_harness.Shard
+
+(* The program-outcome digest: everything the program itself observes or
+   produces. Instrumentation cost and frequency-table state are excluded
+   on purpose — they are the only things sampling is allowed to change. *)
+let outcome_digest (p : Ir.program) (o : Interp.outcome) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "ret=%s\n"
+    (match o.Interp.return_value with
+    | None -> "-"
+    | Some v -> string_of_int v);
+  pf "out=%s\n" (String.concat "," (List.map string_of_int o.Interp.output));
+  pf "base=%d dyn_instrs=%d dyn_paths=%d\n" o.Interp.base_cost
+    o.Interp.dyn_instrs o.Interp.dyn_paths;
+  pf "term=%s\n"
+    (match o.Interp.termination with
+    | Interp.Finished -> "finished"
+    | Interp.Out_of_fuel { stack_depth } ->
+        Printf.sprintf "out_of_fuel(depth=%d)" stack_depth);
+  let routines =
+    List.sort compare
+      (List.map (fun (r : Ir.routine) -> r.Ir.name) p.Ir.routines)
+  in
+  (match o.Interp.edge_profile with
+  | None -> pf "edges=none\n"
+  | Some ep ->
+      List.iter
+        (fun name ->
+          let view = Cfg_view.of_routine (Ir.routine p name) in
+          let n = Graph.num_edges (Cfg_view.graph view) in
+          pf "edges %s:" name;
+          for e = 0 to n - 1 do
+            pf " %d" (Edge_profile.routine_freq ep name e)
+          done;
+          pf "\n")
+        routines);
+  (match o.Interp.path_profile with
+  | None -> pf "paths=none\n"
+  | Some pp ->
+      List.iter
+        (fun name ->
+          let t = Path_profile.routine pp name in
+          let entries =
+            Path_profile.fold t ~init:[] ~f:(fun acc path n ->
+                (path, n) :: acc)
+            |> List.sort compare
+          in
+          pf "paths %s:" name;
+          List.iter
+            (fun (path, n) ->
+              pf " [%s]=%d"
+                (String.concat "-" (List.map string_of_int path))
+                n)
+            entries;
+          pf "\n")
+        routines);
+  Buffer.contents b
+
+(* The full digest adds what sampling IS allowed to change; used where
+   exact reproduction is the contract (rate 1 / infinite burst) and for
+   the cross-engine agreement check. *)
+let full_digest p (o : Interp.outcome) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "%s" (outcome_digest p o);
+  pf "instr=%d\n" o.Interp.instr_cost;
+  (match o.Interp.instr_state with
+  | None -> pf "tables=none\n"
+  | Some state ->
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) state [] in
+      List.iter
+        (fun name ->
+          let t = Hashtbl.find state name in
+          let entries = ref [] in
+          Instr_rt.Table.iter_nonzero t (fun k n ->
+              entries := (k, n) :: !entries);
+          pf "table %s:" name;
+          List.iter
+            (fun (k, n) -> pf " %d=%d" k n)
+            (List.sort compare !entries);
+          pf " cold=%d lost=%d overflow=%d saturated=%b total=%d\n"
+            (Instr_rt.Table.cold t) (Instr_rt.Table.lost t)
+            (Instr_rt.Table.overflow t)
+            (Instr_rt.Table.saturated t)
+            (Instr_rt.Table.dynamic_total t))
+        (List.sort compare names));
+  Buffer.contents b
+
+let prior_edges p =
+  match
+    (Interp.run ~engine:Interp.Reference ~config:Interp.default_config p)
+      .Interp.edge_profile
+  with
+  | Some ep -> ep
+  | None -> Alcotest.fail "no edge profile from the prior run"
+
+let ppp_rt p = (Instrument.instrument p (prior_edges p) Config.ppp).Instrument.rt
+
+let specs =
+  [
+    Sampling.spec ~denom:4 ~burst:2 ~seed:11 ();
+    Sampling.spec ~denom:16 ~seed:7 ();
+    Sampling.spec ~denom:256 ~burst:1 ~seed:3 ();
+  ]
+
+(* Sampling must not perturb the program outcome: for every workload,
+   engine, and fuel budget, a sampled instrumented run's outcome digest
+   equals the unsampled instrumented run's. *)
+let check_transparent name p =
+  let instrumentation = Some (ppp_rt p) in
+  List.iter
+    (fun engine ->
+      let ename =
+        match engine with Interp.Reference -> "ref" | Interp.Vm -> "vm"
+      in
+      List.iter
+        (fun (fname, fuel) ->
+          let base_config =
+            { Interp.default_config with Interp.instrumentation; fuel }
+          in
+          let baseline =
+            outcome_digest p (Interp.run ~engine ~config:base_config p)
+          in
+          List.iter
+            (fun spec ->
+              let o =
+                Interp.run ~engine
+                  ~config:{ base_config with Interp.sampling = Some spec }
+                  p
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s/%s/rate=%s" name ename fname
+                   (Sampling.rate_to_string spec.Sampling.denom))
+                baseline (outcome_digest p o))
+            specs)
+        [ ("full", Interp.default_config.Interp.fuel); ("starved", 5_000) ])
+    [ Interp.Reference; Interp.Vm ]
+
+let workload_case (bench : Spec.bench) =
+  Alcotest.test_case bench.Spec.bench_name `Quick (fun () ->
+      check_transparent bench.Spec.bench_name (bench.Spec.build ~scale:1))
+
+(* Rate 1 with an infinite burst is not "almost" unsampled — it must
+   reproduce today's instrumented runs exactly, frequency tables and
+   instrumentation cost included, on both engines. *)
+let rate_one_exact () =
+  List.iter
+    (fun bench_name ->
+      let p = (Spec.find bench_name).Spec.build ~scale:1 in
+      let instrumentation = Some (ppp_rt p) in
+      let base_config = { Interp.default_config with Interp.instrumentation } in
+      let spec =
+        Sampling.spec ~denom:1 ~burst:Sampling.infinite_burst ~seed:99 ()
+      in
+      List.iter
+        (fun engine ->
+          let plain = full_digest p (Interp.run ~engine ~config:base_config p) in
+          let sampled =
+            full_digest p
+              (Interp.run ~engine
+                 ~config:{ base_config with Interp.sampling = Some spec }
+                 p)
+          in
+          Alcotest.(check string)
+            (bench_name ^ "/rate=1 burst=inf reproduces the unsampled run")
+            plain sampled)
+        [ Interp.Reference; Interp.Vm ])
+    [ "vpr"; "bzip2"; "perlbmk" ]
+
+(* The two engines must stay byte-identical under sampling — same burst
+   phase, same recovered tables, same costs. *)
+let engine_diff_sampled () =
+  List.iter
+    (fun bench_name ->
+      let p = (Spec.find bench_name).Spec.build ~scale:1 in
+      let instrumentation = Some (ppp_rt p) in
+      List.iter
+        (fun spec ->
+          List.iter
+            (fun fuel ->
+              let config =
+                {
+                  Interp.default_config with
+                  Interp.instrumentation;
+                  fuel;
+                  sampling = Some spec;
+                }
+              in
+              let r = Interp.run ~engine:Interp.Reference ~config p in
+              let v = Interp.run ~engine:Interp.Vm ~config p in
+              Alcotest.(check string)
+                (Printf.sprintf "%s/rate=%s/fuel=%d" bench_name
+                   (Sampling.rate_to_string spec.Sampling.denom)
+                   fuel)
+                (full_digest p r) (full_digest p v))
+            [ Interp.default_config.Interp.fuel; 5_000 ])
+        specs)
+    [ "vpr"; "crafty"; "twolf" ]
+
+(* Sampled collection through the shard layer is a pure function of
+   (spec, program): same bytes on every call. *)
+let collect_sampled_deterministic () =
+  let p = (Spec.find "vpr").Spec.build ~scale:1 in
+  let spec = Sampling.spec ~denom:16 ~seed:5 () in
+  let a = Raw.to_string (Shard.collect_sampled ~spec p) in
+  let b = Raw.to_string (Shard.collect_sampled ~spec p) in
+  Alcotest.(check string) "collect_sampled is deterministic" a b;
+  (* and the dump round-trips bytes through parse *)
+  Alcotest.(check string) "dump round-trips"
+    a
+    (Raw.to_string (Raw.parse a))
+
+(* Sampled workload collection under the pool: the merged dump is
+   byte-identical across [-j] levels because each workload's sampling
+   seed derives from the pool seed and the workload's index only. *)
+let collect_workloads_j_invariant () =
+  let benches =
+    List.filter
+      (fun (b : Spec.bench) ->
+        List.mem b.Spec.bench_name
+          [ "vpr"; "mcf"; "crafty"; "bzip2"; "twolf"; "art" ])
+      Spec.all
+  in
+  let sampling = Sampling.spec ~denom:16 ~seed:42 () in
+  let run jobs =
+    Raw.to_string (Shard.collect_workloads ~jobs ~sampling benches).Shard.raw
+  in
+  Alcotest.(check string) "-j1 == -j5" (run 1) (run 5)
+
+(* The fleet merge: >= 100 heterogeneous dumps — partial runs at many
+   fuels, cross-program name collisions (stale-fingerprint salvage), and
+   sampled dumps at several rates — merged with decay. Deterministic,
+   stable under serialization round-trips, and mass-conserving. *)
+let decayed_merge_fleet () =
+  let dumps = ref [] in
+  for seed = 0 to 59 do
+    let p = Gen.program ~seed in
+    let fuel = 60 + (37 * seed mod 1_500) in
+    let o = Interp.run ~config:{ Interp.default_config with fuel } p in
+    dumps :=
+      Raw.of_program ?edges:o.Interp.edge_profile ?paths:o.Interp.path_profile
+        p
+      :: !dumps
+  done;
+  for seed = 0 to 44 do
+    let p = Gen.program ~seed:(seed * 3) in
+    let denom = [| 4; 16; 64 |].(seed mod 3) in
+    let spec = Sampling.spec ~denom ~seed ()
+    in
+    dumps := Shard.collect_sampled ~spec p :: !dumps
+  done;
+  let dumps = List.rev !dumps in
+  Alcotest.(check bool) "population is >= 100" true (List.length dumps >= 100);
+  let merged = Raw.merge_decayed ~decay:0.9 dumps in
+  let once = Raw.to_string merged in
+  let twice = Raw.to_string (Raw.merge_decayed ~decay:0.9 dumps) in
+  Alcotest.(check string) "decayed merge is deterministic" once twice;
+  let reparsed =
+    Raw.merge_decayed ~decay:0.9
+      (List.map (fun t -> Raw.parse (Raw.to_string t)) dumps)
+  in
+  Alcotest.(check string) "stable under serialization round-trip" once
+    (Raw.to_string reparsed);
+  let conserved t = Raw.mass t + Raw.lost t in
+  Alcotest.(check int) "mass + lost ledger balances"
+    (List.fold_left (fun acc t -> acc + conserved t) 0 dumps)
+    (conserved merged);
+  Alcotest.(check string) "decay=1.0 is the plain merge"
+    (Raw.to_string (Raw.merge dumps))
+    (Raw.to_string (Raw.merge_decayed ~decay:1.0 dumps))
+
+(* The controller itself: rate parsing and the burst schedule's exact
+   on/off arithmetic at the state-machine level. *)
+let parse_rate_cases () =
+  let ok s = match Sampling.parse_rate s with Ok d -> d | Error e ->
+    Alcotest.failf "parse_rate %S: %s" s e
+  in
+  Alcotest.(check int) "1" 1 (ok "1");
+  Alcotest.(check int) "1/16" 16 (ok "1/16");
+  Alcotest.(check int) "64" 64 (ok "64");
+  List.iter
+    (fun s ->
+      match Sampling.parse_rate s with
+      | Ok d -> Alcotest.failf "parse_rate %S unexpectedly ok: %d" s d
+      | Error _ -> ())
+    [ ""; "0"; "1/0"; "2/3"; "-4"; "1/-2"; "x" ]
+
+let burst_schedule () =
+  let spec = Sampling.spec ~denom:4 ~burst:2 ~seed:123 () in
+  let st = Sampling.start spec in
+  let on = ref 0 and total = 10_000 in
+  for _ = 1 to total do
+    if Sampling.tick st then incr on
+  done;
+  let rate = float_of_int !on /. float_of_int total in
+  if rate < 0.15 || rate > 0.35 then
+    Alcotest.failf "burst duty cycle %.3f far from 1/4" rate;
+  (* denom=1 is always on, whatever the burst *)
+  let st1 = Sampling.start (Sampling.spec ~denom:1 ~burst:1 ~seed:0 ()) in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "denom=1 always on" true (Sampling.tick st1)
+  done
+
+let suite =
+  List.map workload_case Spec.all
+  @ [
+      Alcotest.test_case "rate=1 exact reproduction" `Quick rate_one_exact;
+      Alcotest.test_case "engine diff under sampling" `Quick
+        engine_diff_sampled;
+      Alcotest.test_case "collect_sampled deterministic" `Quick
+        collect_sampled_deterministic;
+      Alcotest.test_case "collect_workloads -j invariant" `Quick
+        collect_workloads_j_invariant;
+      Alcotest.test_case "decayed fleet merge (100+ dumps)" `Quick
+        decayed_merge_fleet;
+      Alcotest.test_case "parse_rate" `Quick parse_rate_cases;
+      Alcotest.test_case "burst schedule" `Quick burst_schedule;
+    ]
