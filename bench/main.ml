@@ -43,6 +43,36 @@
                                    overhead <= OH%% (reads the assembled
                                    JSON; fails if --sampling-sweep did
                                    not run)
+     main.exe --tiered             run each benchmark once with the tier
+                                   controller armed and record swap
+                                   counts, instrumentation-cost savings
+                                   and layout-proxy scores in the JSON
+                                   (deterministic, so it works under
+                                   -j); outside -j/--smoke it also
+                                   measures the tiered single run vs the
+                                   two-pass flow with the wall clock
+                                   (the "tiered" action prints the
+                                   table)
+     main.exe --min-tiered-wins N  exit 1 unless the tiered run beats
+                                   the two-pass flow on at least N
+                                   benchmarks — by wall clock when the
+                                   document carries tiered timing, by
+                                   retired instrumentation cost
+                                   otherwise (reads the assembled JSON;
+                                   fails if --tiered did not run)
+     main.exe --drift-sweep        run the re-optimization loop twice
+                                   per benchmark — pristine profile
+                                   hand-offs vs a sampled store merged
+                                   with exponential decay — and record
+                                   per-generation decision stability in
+                                   the JSON (deterministic, so it works
+                                   under -j; the "drift" action prints
+                                   the table)
+     main.exe --drift-floor S      exit 1 unless the drift loop's
+                                   minimum decision stability, averaged
+                                   across the swept benchmarks, is at
+                                   least S%% (reads the assembled JSON;
+                                   fails if --drift-sweep did not run)
      main.exe --baseline F --gate P
                                    compare against a previous BENCH_*.json
                                    and exit 1 if any cost-model overhead
@@ -204,9 +234,92 @@ let throughput ~min_time benches =
       (name, (vm, reference, ratio)))
     benches
 
+(* {2 Tiered single run vs the two-pass flow (wall clock)}
+
+   The end-to-end claim of tiered execution: one run that starts
+   instrumented and swaps hot routines mid-run should beat the two-pass
+   flow (a full instrumented run, then a separate optimized run) on the
+   wall clock, because the second pass's work happens inside the first.
+   Best-of repeated runs until [min_time] per side, like [throughput]. *)
+
+let tiered_timing_one ~min_time (pb : R.prepared_bench) =
+  let prep = pb.R.prep in
+  let p = prep.H.optimized in
+  let inst = (R.tiered_of pb).R.tt_instrumented in
+  let quiet cfg =
+    { cfg with Interp.collect_edges = false; trace_paths = false }
+  in
+  let cfg_instr =
+    quiet
+      {
+        Interp.default_config with
+        instrumentation = Some inst.Instrument.rt;
+      }
+  in
+  let cfg_plain = quiet Interp.default_config in
+  let cfg_tiered =
+    quiet
+      {
+        Interp.default_config with
+        instrumentation = Some inst.Instrument.rt;
+        tier =
+          Some
+            (Ppp_interp.Tier.spec ~threshold:R.tier_threshold
+               ~plan:(H.tier_planner prep inst) ());
+      }
+  in
+  let measure f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    let spent = ref 0.0 in
+    while !spent < min_time do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      spent := !spent +. dt;
+      if dt > 0.0 then best := Float.min !best dt
+    done;
+    !best
+  in
+  let tiered = measure (fun () -> Interp.run ~config:cfg_tiered p) in
+  let two_pass =
+    measure (fun () ->
+        ignore (Interp.run ~config:cfg_instr p);
+        Interp.run ~config:cfg_plain p)
+  in
+  (tiered *. 1e9, two_pass *. 1e9,
+   if two_pass > 0.0 then tiered /. two_pass else 0.0)
+
+let tiered_timing ~min_time benches =
+  Format.eprintf
+    "tiered vs two-pass wall clock (best of >= %.2fs per side):@." min_time;
+  List.map
+    (fun (pb : R.prepared_bench) ->
+      let name = pb.R.spec.Ppp_workloads.Spec.bench_name in
+      let tiered, two_pass, ratio = tiered_timing_one ~min_time pb in
+      Format.eprintf
+        "  %-9s | tiered %10.0f ns | two-pass %10.0f ns | x%.2f%s@." name
+        tiered two_pass ratio
+        (if tiered < two_pass then "  (win)" else "");
+      (name, (tiered, two_pass, ratio)))
+    benches
+
 (* {2 Machine-readable results: BENCH_*.json} *)
 
 module J = Ppp_obs.Jsonx
+
+let tiered_timing_json results name =
+  match List.assoc_opt name results with
+  | None -> None
+  | Some (tiered, two_pass, ratio) ->
+      Some
+        (J.Obj
+           [
+             ("tiered_ns", J.Float tiered);
+             ("two_pass_ns", J.Float two_pass);
+             ("ratio", J.Float ratio);
+           ])
 
 let throughput_json results name =
   match List.assoc_opt name results with
@@ -378,6 +491,106 @@ let check_sampling_floor ~min_overlap ~max_overhead_pct doc =
         min_overlap max_overhead_pct;
       exit 1
 
+(* Exit 1 unless tiering actually pays: the tiered single run must beat
+   the two-pass flow on at least [min_wins] benchmarks — by wall clock
+   when the document carries the tiered timing comparison, by retired
+   instrumentation cost otherwise (the deterministic proxy, which is
+   what a sharded run has). Reads the assembled document. *)
+let check_tiered_wins ~min_wins doc =
+  let benches =
+    J.to_list (Option.value ~default:(J.Arr []) (J.member doc "benchmarks"))
+  in
+  let results =
+    List.filter_map
+      (fun b ->
+        match J.member b "tiered" with
+        | None -> None
+        | Some t ->
+            let name =
+              match J.member b "name" with Some (J.Str n) -> n | _ -> "?"
+            in
+            let wall =
+              match
+                ( num t [ "timing"; "tiered_ns" ],
+                  num t [ "timing"; "two_pass_ns" ] )
+              with
+              | Some a, Some b -> Some (a < b)
+              | _ -> None
+            in
+            let cost =
+              match
+                ( num t [ "tiered_instr_cost" ],
+                  num t [ "untiered_instr_cost" ] )
+              with
+              | Some a, Some b -> a < b
+              | _ -> false
+            in
+            Some (name, wall, cost))
+      benches
+  in
+  if results = [] then begin
+    Format.eprintf
+      "tiered: --min-tiered-wins given but no benchmark carries a tiered \
+       object (run with --tiered)@.";
+    exit 1
+  end;
+  let by_wall = List.exists (fun (_, w, _) -> w <> None) results in
+  let won (_, wall, cost) =
+    match wall with Some w -> w | None -> cost
+  in
+  let wins = List.filter won results in
+  Format.eprintf
+    "tiered: single run beats two-pass on %d/%d benchmarks (by %s)@."
+    (List.length wins) (List.length results)
+    (if by_wall then "wall clock" else "retired instrumentation cost");
+  if List.length wins < min_wins then begin
+    List.iter
+      (fun ((name, _, _) as r) ->
+        if not (won r) then Format.eprintf "tiered: %s did not win@." name)
+      results;
+    Format.eprintf "tiered: %d win(s) is below the floor %d@."
+      (List.length wins) min_wins;
+    exit 1
+  end
+
+(* Exit 1 unless the drift loop keeps its placements stable enough: the
+   sampled+decayed loop's generation-2 decision stability, averaged
+   across the swept benchmarks, must be at least [min_stability]
+   percent. Reads the assembled document. *)
+let check_drift_floor ~min_stability doc =
+  let benches =
+    J.to_list (Option.value ~default:(J.Arr []) (J.member doc "benchmarks"))
+  in
+  let pts =
+    List.filter_map
+      (fun b ->
+        match
+          ( num b [ "drift"; "drift_stability" ],
+            num b [ "drift"; "full_stability" ] )
+        with
+        | Some d, Some f -> Some (d, f)
+        | _ -> None)
+      benches
+  in
+  if pts = [] then begin
+    Format.eprintf
+      "drift: --drift-floor given but no benchmark carries a drift object \
+       (run with --drift-sweep)@.";
+    exit 1
+  end;
+  let n = float_of_int (List.length pts) in
+  let avg f = List.fold_left (fun a p -> a +. f p) 0.0 pts /. n in
+  let davg = 100. *. avg fst in
+  let favg = 100. *. avg snd in
+  Format.eprintf
+    "drift: avg gen-2 stability %.1f%% (full-instrumentation loop %.1f%%) \
+     over %d benchmarks@."
+    davg favg (List.length pts);
+  if davg < min_stability then begin
+    Format.eprintf "drift: %.1f%% is below the floor %g%%@." davg min_stability;
+    exit 1
+  end
+
 let timing_json get name =
   match
     ( get (name ^ "/base"),
@@ -413,15 +626,15 @@ let write_doc ~path doc =
 module Shard = Ppp_harness.Shard
 module Gate = Ppp_harness.Gate
 
-let row_of_name ~scale ~sampling name =
+let row_of_name ~scale ~sampling ~tiered ~drift name =
   match R.prepare_all ~scale ~names:[ name ] () with
-  | [ pb ] -> J.to_string (R.bench_json_one ~sampling pb)
+  | [ pb ] -> J.to_string (R.bench_json_one ~sampling ~tiered ~drift pb)
   | _ -> assert false
 
-let sharded_rows ~jobs ~seed ~scale ~sampling names =
+let sharded_rows ~jobs ~seed ~scale ~sampling ~tiered ~drift names =
   let results =
     Shard.map ~jobs ~seed
-      ~f:(fun ~seed:_ name -> row_of_name ~scale ~sampling name)
+      ~f:(fun ~seed:_ name -> row_of_name ~scale ~sampling ~tiered ~drift name)
       names
   in
   let lost = ref [] in
@@ -500,6 +713,10 @@ let () =
   let prepare_ms = ref false in
   let sampling_sweep = ref false in
   let sweep_floor = ref None in
+  let tiered = ref false in
+  let min_tiered_wins = ref None in
+  let drift_sweep = ref false in
+  let drift_floor = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: n :: rest ->
@@ -559,6 +776,18 @@ let () =
               "--sweep-floor expects OVERLAP,OVERHEAD (e.g. 90,1.5)@.";
             exit 2);
         parse rest
+    | "--tiered" :: rest ->
+        tiered := true;
+        parse rest
+    | "--min-tiered-wins" :: n :: rest ->
+        min_tiered_wins := Some (int_of_string n);
+        parse rest
+    | "--drift-sweep" :: rest ->
+        drift_sweep := true;
+        parse rest
+    | "--drift-floor" :: s :: rest ->
+        drift_floor := Some (float_of_string s);
+        parse rest
     | a :: rest ->
         actions := a :: !actions;
         parse rest
@@ -581,6 +810,10 @@ let () =
       Format.eprintf
         "note: --throughput is ignored under -j (wall-clock numbers from \
          concurrent workers would be noise)@.";
+    if !tiered && !jobs > 1 then
+      Format.eprintf
+        "note: --tiered records only deterministic fields under -j (the \
+         wall-clock comparison would be noise from concurrent workers)@.";
     let tp_results = ref [] in
     let rows, lost =
       if !jobs > 1 then begin
@@ -589,7 +822,8 @@ let () =
             "note: --prepare-ms is ignored under -j (wall-clock would break \
              the byte-identity of the sharded document)@.";
         sharded_rows ~jobs:!jobs ~seed:!seed ~scale:!scale
-          ~sampling:!sampling_sweep selected
+          ~sampling:!sampling_sweep ~tiered:!tiered ~drift:!drift_sweep
+          selected
       end
       else begin
         let benches =
@@ -606,7 +840,8 @@ let () =
         ( List.map
             (fun pb ->
               R.bench_json_one ~throughput ~prepare:!prepare_ms
-                ~sampling:!sampling_sweep pb)
+                ~sampling:!sampling_sweep ~tiered:!tiered
+                ~drift:!drift_sweep pb)
             benches,
           [] )
       end
@@ -631,6 +866,12 @@ let () =
     (match !sweep_floor with
     | Some (ov, oh) ->
         check_sampling_floor ~min_overlap:ov ~max_overhead_pct:oh doc
+    | None -> ());
+    (match !min_tiered_wins with
+    | Some n -> check_tiered_wins ~min_wins:n doc
+    | None -> ());
+    (match !drift_floor with
+    | Some s -> check_drift_floor ~min_stability:s doc
     | None -> ());
     if lost <> [] then exit 2
   end
@@ -663,6 +904,8 @@ let () =
             | "fig13" -> R.fig13 fmt benches
             | "sec8.1" -> R.section8_1 fmt benches
             | "sampling" -> R.sampling_report fmt benches
+            | "tiered" -> R.tiered_report fmt benches
+            | "drift" -> R.drift_report fmt benches
             | "tables" -> all_reports ()
             | "timing" -> run_timing ()
             | other -> Format.fprintf fmt "unknown action %s@." other)
@@ -678,12 +921,20 @@ let () =
     let throughput =
       if tp_results = [] then fun _ -> None else throughput_json tp_results
     in
+    let tiered_timing_results =
+      if !tiered then tiered_timing ~min_time:0.25 benches else []
+    in
+    let tiered_timing =
+      if tiered_timing_results = [] then fun _ -> None
+      else tiered_timing_json tiered_timing_results
+    in
     let doc =
       J.canonical
         (R.bench_json_wrap ~scale:!scale ~seed:!seed
            (List.map
               (R.bench_json_one ~timing ~throughput ~prepare:!prepare_ms
-                 ~sampling:!sampling_sweep)
+                 ~sampling:!sampling_sweep ~tiered:!tiered ~tiered_timing
+                 ~drift:!drift_sweep)
               benches))
     in
     (match !json_path with
@@ -698,8 +949,14 @@ let () =
     (match !min_layout_wins with
     | Some n -> check_layout_wins ~min_wins:n doc
     | None -> ());
-    match !sweep_floor with
+    (match !sweep_floor with
     | Some (ov, oh) ->
         check_sampling_floor ~min_overlap:ov ~max_overhead_pct:oh doc
+    | None -> ());
+    (match !min_tiered_wins with
+    | Some n -> check_tiered_wins ~min_wins:n doc
+    | None -> ());
+    match !drift_floor with
+    | Some s -> check_drift_floor ~min_stability:s doc
     | None -> ()
   end

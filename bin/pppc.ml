@@ -203,8 +203,70 @@ let telemetry_out_arg =
     & opt (some string) None
     & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
 
+(* {2 tier flags (run / stats)} *)
+
+let tier_up_arg =
+  let doc =
+    "Tiered in-VM re-optimization: the run starts with every routine in \
+     its PPP-instrumented variant; routines whose frame-entry trip count \
+     crosses the threshold are re-lowered hot-path-first (from their own \
+     live counters) with instrumentation stripped, and swapped in at the \
+     next call boundary or loop back-edge OSR point — one run, no second \
+     pass. The program outcome is byte-identical to an untiered run."
+  in
+  Arg.(value & flag & info [ "tier-up" ] ~doc)
+
+let tier_threshold_arg =
+  let doc = "Frame-entry trip count at which a routine tiers up." in
+  Arg.(
+    value
+    & opt int Ppp_interp.Tier.default_threshold
+    & info [ "tier-threshold" ] ~docv:"N" ~doc)
+
+let tier_budget_arg =
+  let doc = "Maximum number of routines allowed to tier up (default: all)." in
+  Arg.(value & opt (some int) None & info [ "tier-budget" ] ~docv:"N" ~doc)
+
+let pp_tier_decisions ppf (ds : Ppp_interp.Tier.decision list) =
+  List.iter
+    (fun (d : Ppp_interp.Tier.decision) ->
+      Format.fprintf ppf "  gen %d: %s at %d trips%s@." d.Ppp_interp.Tier.d_gen
+        d.Ppp_interp.Tier.d_routine d.Ppp_interp.Tier.d_trips
+        (if d.Ppp_interp.Tier.d_reordered then " (re-laid out)"
+         else " (instrumentation stripped)"))
+    ds
+
 let run_cmd =
-  let action spec scale engine telemetry telemetry_out obs =
+  let action spec scale engine telemetry telemetry_out tier_up tier_threshold
+      tier_budget obs =
+    if tier_up then
+      handle_errors (fun () ->
+          with_obs obs (fun () ->
+              if tier_threshold < 1 then
+                cli_error "--tier-threshold must be >= 1";
+              let p = load_program spec ~scale in
+              let prep = H.prepare_unoptimized ~name:spec p in
+              let t =
+                Trace.with_span "tiered-run" (fun () ->
+                    H.tiered_run ~threshold:tier_threshold ?budget:tier_budget
+                      prep Config.ppp)
+              in
+              let o = t.H.t_outcome in
+              List.iter (fun v -> Format.printf "%d@." v) o.Interp.output;
+              Format.printf "return: %s@."
+                (match o.Interp.return_value with
+                | Some v -> string_of_int v
+                | None -> "(none)");
+              Format.printf "instructions: %d  cost: %d  paths: %d@."
+                o.Interp.dyn_instrs o.Interp.base_cost o.Interp.dyn_paths;
+              Format.printf "tier: %d of %d routines tiered up (threshold %d)@."
+                (List.length t.H.t_decisions)
+                (List.length p.Ir.routines)
+                tier_threshold;
+              pp_tier_decisions Format.std_formatter t.H.t_decisions;
+              Format.printf "instrumentation cost after tiering: %d@."
+                o.Interp.instr_cost))
+    else
     handle_errors (fun () ->
         with_obs obs (fun () ->
             let p = load_program spec ~scale in
@@ -243,7 +305,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ engine_arg $ telemetry_arg
-      $ telemetry_out_arg $ obs_args)
+      $ telemetry_out_arg $ tier_up_arg $ tier_threshold_arg $ tier_budget_arg
+      $ obs_args)
 
 (* {2 profile} *)
 
@@ -309,9 +372,11 @@ let stats_cmd =
       & opt (enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]) `Table
       & info [ "format"; "f" ] ~doc)
   in
-  let action spec scale config fmt no_cache obs =
+  let action spec scale config fmt no_cache tier_up tier_threshold tier_budget
+      obs =
     handle_errors (fun () ->
         with_obs ~force_metrics:true obs @@ fun () ->
+        if tier_threshold < 1 then cli_error "--tier-threshold must be >= 1";
         let p = load_program spec ~scale in
         let session = session_of ~no_cache spec in
         let prep = H.prepare_unoptimized ~session ~name:spec p in
@@ -320,6 +385,21 @@ let stats_cmd =
           "%s: method %s  overhead %.1f%%  accuracy %.1f%%  coverage %.1f%%@."
           spec ev.H.config_name (100. *. ev.H.overhead) (100. *. ev.H.accuracy)
           (100. *. ev.H.coverage);
+        (* With --tier-up, also execute one tiered run so the tier.*
+           metric family below carries this program's swap activity
+           rather than zeros. *)
+        if tier_up then begin
+          let t =
+            H.tiered_run ~threshold:tier_threshold ?budget:tier_budget prep
+              config
+          in
+          Format.eprintf
+            "tiered: %d routines swapped, overhead %.1f%% (untiered %.1f%%)@."
+            (List.length t.H.t_decisions)
+            (100. *. Interp.overhead t.H.t_outcome)
+            (100. *. ev.H.overhead);
+          pp_tier_decisions Format.err_formatter t.H.t_decisions
+        end;
         Format.eprintf "%a@." Session.pp_stats prep.H.session;
         let snap = Metrics.snapshot () in
         match fmt with
@@ -341,7 +421,8 @@ let stats_cmd =
     (Cmd.info "stats" ~doc)
     Term.(
       const action $ program_arg $ scale_arg $ method_arg $ format_arg
-      $ no_cache_arg $ obs_args)
+      $ no_cache_arg $ tier_up_arg $ tier_threshold_arg $ tier_budget_arg
+      $ obs_args)
 
 (* {2 instrument} *)
 

@@ -159,6 +159,46 @@ let run ?(strict = false) ~baseline ~current ~pct () =
                         [ "overlap_vs_full"; "overlap_vs_truth" ])
                 (rates bs)
           | Some _, None -> missing name "sampling" Float.nan
+          | None, _ -> ());
+          (* Tiered execution: the fraction of instrumentation cost the
+             swaps retire, and the layout improvement of the installed
+             orders, are floors — tiering must not start paying less. *)
+          (match (J.member bj "tiered", J.member cj "tiered") with
+          | Some bt, Some ct ->
+              List.iter
+                (fun (metric, get) ->
+                  match (get bt, get ct) with
+                  | Some b, Some c ->
+                      if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b)
+                      then fail name metric b c
+                  | Some b, None -> missing name metric b
+                  | None, _ -> ())
+                [
+                  ( "tiered.instr_saving",
+                    fun j -> fnum (J.member j "instr_saving") );
+                  ( "tiered.layout.improvement",
+                    fun j ->
+                      Option.bind (J.member j "layout") (fun l ->
+                          fnum (J.member l "improvement")) );
+                ]
+          | Some _, None -> missing name "tiered" Float.nan
+          | None, _ -> ());
+          (* Drift sweep: the sampled+decayed loop's generation-2
+             decision stability is a floor — the fleet's profile store
+             must not start churning placements harder than the
+             baseline. *)
+          (match (J.member bj "drift", J.member cj "drift") with
+          | Some bd, Some cd -> (
+              match
+                ( fnum (J.member bd "drift_stability"),
+                  fnum (J.member cd "drift_stability") )
+              with
+              | Some b, Some c ->
+                  if c < b -. Float.max 1e-9 (pct /. 100. *. Float.abs b) then
+                    fail name "drift.drift_stability" b c
+              | Some b, None -> missing name "drift.drift_stability" b
+              | None, _ -> ())
+          | Some _, None -> missing name "drift" Float.nan
           | None, _ -> ()))
     base_benches;
   { failures = List.rev !fails; warnings = List.rev !warns }

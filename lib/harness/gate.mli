@@ -22,7 +22,16 @@
       denominator), only when both documents carry a [sampling] object:
       each rate's [overhead] is a ceiling and its [overlap_vs_full] /
       [overlap_vs_truth] are floors, so the sampled collector can
-      neither get slower nor less accurate at any swept rate.
+      neither get slower nor less accurate at any swept rate;
+    - the tiered-execution numbers ([tiered.instr_saving] and
+      [tiered.layout.improvement]), only when both documents carry a
+      [tiered] object — floors: the fraction of instrumentation cost
+      the mid-run swaps retire, and the layout improvement of the
+      installed block orders, must not sink below baseline;
+    - the drift sweep's [drift.drift_stability], only when both
+      documents carry a [drift] object — a floor: the sampled+decayed
+      re-optimization loop must not churn placements harder than the
+      baseline.
 
     Benchmarks present in the baseline but missing from the current
     document, and schema mismatches, are failures too — a gate that

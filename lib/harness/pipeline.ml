@@ -681,6 +681,81 @@ let evaluate ?(overflow_policy = Instr_rt.Table.Drop) ?sampling prepared
     estimated;
   }
 
+(* {2 Tiered execution}
+
+   The in-VM analogue of the two-pass flow above: instead of an
+   instrumented run followed by a separate optimized run, one run starts
+   instrumented and the tier controller swaps hot routines onto
+   optimized re-lowerings as their counters cross the threshold. The
+   planner below is the incremental slice of the session pipeline that
+   the controller invokes mid-run, on just the firing routine: decode
+   its live path counters, weight them with the paper's flow metric,
+   and derive a hot-path-first block order. *)
+
+let tier_planner prepared (inst : Instrument.t) : Ppp_interp.Tier.planner =
+ fun ~routine ~counters ->
+  match Hashtbl.find_opt inst.Instrument.plans routine with
+  | None -> None
+  | Some plan ->
+      let view = views prepared routine in
+      let entries =
+        List.filter_map
+          (fun (k, c) ->
+            match Instrument.decoded_path plan k with
+            | Some path ->
+                let b = Path.branches view path in
+                Some (path, Metric.flow metric ~freq:c ~branches:b)
+            | None -> None)
+          counters
+      in
+      Layout.order_for ~view entries
+
+type tiered = {
+  t_outcome : Interp.outcome;
+  t_decisions : Ppp_interp.Tier.decision list;
+  t_invalidated : string list;
+  t_instrumented : Ppp_core.Instrument.t;
+}
+
+let tiered_run ?(threshold = Ppp_interp.Tier.default_threshold)
+    ?(budget = Ppp_interp.Tier.default_budget) ?sampling prepared
+    (config : Config.t) =
+  let config = Config.degrade ~confidence:prepared.confidence config in
+  Trace.with_span ~args:[ ("config", config.Config.name) ] "tiered-run"
+  @@ fun () ->
+  let inst = instrument_via_session prepared config in
+  let spec =
+    Ppp_interp.Tier.spec ~threshold ~budget
+      ~plan:(tier_planner prepared inst) ()
+  in
+  let outcome =
+    Interp.run
+      ?cache:(Session.lower_cache prepared.session)
+      ~config:
+        {
+          Interp.default_config with
+          instrumentation = Some inst.Instrument.rt;
+          sampling;
+          tier = Some spec;
+        }
+      prepared.optimized
+  in
+  (* Every swapped routine's profile froze mid-run, so its
+     profile-derived session artifacts are stale: invalidate exactly
+     that set, nothing else. *)
+  let swapped =
+    List.map
+      (fun (d : Ppp_interp.Tier.decision) -> d.Ppp_interp.Tier.d_routine)
+      outcome.Interp.tier_decisions
+  in
+  Session.invalidate prepared.session swapped;
+  {
+    t_outcome = outcome;
+    t_decisions = outcome.Interp.tier_decisions;
+    t_invalidated = swapped;
+    t_instrumented = inst;
+  }
+
 (* {2 Iterative re-optimization} *)
 
 type generation = {
@@ -710,8 +785,42 @@ let dirty_of prepared =
       if List.mem r.Ir.name touched then Some r.Ir.name else None)
     prepared.optimized.Ir.routines
 
+(* The generation's path profile as a sampled collector saw it: decode
+   the instrumented run's live tables through the placement plans and
+   scale each count back by the inverse rate — the dump a fleet member
+   would ship, full-run *estimates* rather than truth. *)
+let sampled_path_profile ~denom (inst : Instrument.t)
+    (outcome : Interp.outcome) p =
+  let prof = Path_profile.create_program p in
+  (match outcome.Interp.instr_state with
+  | None -> ()
+  | Some tables ->
+      Hashtbl.iter
+        (fun name table ->
+          match Hashtbl.find_opt inst.Instrument.plans name with
+          | None -> ()
+          | Some plan ->
+              let t = Path_profile.routine prof name in
+              Instr_rt.Table.iter_nonzero table (fun k c ->
+                  match Instrument.decoded_path plan k with
+                  | Some path ->
+                      Path_profile.add t path (Instr_rt.scaled_count ~denom c)
+                  | None -> ()))
+        tables);
+  prof
+
 let reoptimize ?session ?(config = Config.ppp) ?(flags = default_flags)
-    ?(iterations = 1) ~name p0 =
+    ?(iterations = 1) ?sampling ?decay ~name p0 =
+  (match decay with
+  | Some d when d <= 0.0 || d > 1.0 ->
+      invalid_arg "Pipeline.reoptimize: decay must be in (0, 1]"
+  | _ -> ());
+  (* Drift mode: instead of handing each generation exactly the previous
+     generation's profile, accumulate every generation's dump (possibly
+     collected under sampling) and feed the next generation their
+     age-decayed merge — the fleet's profile store, not the lab's. *)
+  let drift = sampling <> None || decay <> None in
+  let history = ref [] (* Raw dumps, newest first *) in
   let session = make_session ?session ~name () in
   let gens = ref [] in
   let cur = ref p0 in
@@ -725,12 +834,22 @@ let reoptimize ?session ?(config = Config.ppp) ?(flags = default_flags)
              format and the stale matcher, as a staged optimizer with an
              offline profile store would; on an unchanged program it
              matches exactly (fraction 1.0). *)
-          let buf = Buffer.create 65536 in
-          let ppf = Format.formatter_of_buffer buf in
-          Profile_io.save ?edges:p.base_outcome.Interp.edge_profile
-            ?paths:p.base_outcome.Interp.path_profile ppf p.optimized;
-          Format.pp_print_flush ppf ();
-          match Profile_io.load !cur (Buffer.contents buf) with
+          let text =
+            if drift then
+              Profile_io.Raw.to_string
+                (Profile_io.Raw.merge_decayed
+                   ~decay:(Option.value ~default:1.0 decay)
+                   (List.rev !history))
+            else begin
+              let buf = Buffer.create 65536 in
+              let ppf = Format.formatter_of_buffer buf in
+              Profile_io.save ?edges:p.base_outcome.Interp.edge_profile
+                ?paths:p.base_outcome.Interp.path_profile ppf p.optimized;
+              Format.pp_print_flush ppf ();
+              Buffer.contents buf
+            end
+          in
+          match Profile_io.load !cur text with
           | Ok loaded ->
               ( prepare_with_profile ~session ~flags ~name ~loaded !cur,
                 loaded.Profile_io.matched_fraction )
@@ -749,7 +868,9 @@ let reoptimize ?session ?(config = Config.ppp) ?(flags = default_flags)
     let instr_outcome =
       (* The instrumented run executes under the generation's layout (if
          any): the loop exercises the VM exactly as a deployed optimizer
-         would, and the differential suite keeps layout honest. *)
+         would, and the differential suite keeps layout honest. Under
+         [sampling] the collector runs bursty, so [instr_overhead]
+         reflects the sampled cost. *)
       Interp.run
         ?cache:(Session.lower_cache session)
         ~config:
@@ -757,9 +878,29 @@ let reoptimize ?session ?(config = Config.ppp) ?(flags = default_flags)
             Interp.default_config with
             instrumentation = Some inst.Instrument.rt;
             layout = prep.layout;
+            sampling;
           }
         prep.optimized
     in
+    if drift then begin
+      (* What this generation contributes to the profile store: sampled
+         estimates when a sampler ran, the measured truth otherwise.
+         Edge counts ride along at full fidelity either way — the paper
+         takes cheap edge profiling as given; sampling stresses the
+         expensive path tables. *)
+      let paths =
+        match sampling with
+        | None -> prep.base_outcome.Interp.path_profile
+        | Some s ->
+            Some
+              (sampled_path_profile ~denom:s.Sampling.denom inst instr_outcome
+                 prep.optimized)
+      in
+      history :=
+        Profile_io.Raw.of_program ?edges:prep.base_outcome.Interp.edge_profile
+          ?paths prep.optimized
+        :: !history
+    end;
     let gen_decisions = decisions prep in
     let prev_decisions =
       match !prev with None -> [] | Some p -> decisions p

@@ -188,6 +188,53 @@ val evaluate_edge_profile : prepared -> evaluation
 (** Edge profiling as the estimator: potential-flow hot paths
     (Section 6.1), definite-flow coverage, zero overhead (Section 2). *)
 
+(** {2 Tiered execution}
+
+    The in-VM analogue of the two-pass instrument-then-optimize flow:
+    one run starts instrumented, and a {!Ppp_interp.Tier} controller
+    swaps hot routines onto optimized re-lowerings mid-run. *)
+
+val tier_planner :
+  prepared -> Ppp_core.Instrument.t -> Ppp_interp.Tier.planner
+(** The incremental pipeline slice the controller invokes mid-run on
+    just the firing routine: decode its live path counters through
+    [inst]'s placement plans, weight the paths with the paper's flow
+    metric, and derive a hot-path-first block order
+    ({!Ppp_interp.Layout.order_for}); [None] when the counters order the
+    routine identically to source (the swap then just strips
+    instrumentation). Touches no other routine, so the interpreter is
+    never blocked on analysis of untouched code. *)
+
+type tiered = {
+  t_outcome : Ppp_interp.Interp.outcome;
+  t_decisions : Ppp_interp.Tier.decision list;
+      (** = [t_outcome.tier_decisions], the swap log in firing order *)
+  t_invalidated : string list;
+      (** the swapped routines, whose session artifacts were point-
+          invalidated ({!Ppp_session.Session.invalidate}): their profile
+          froze at the swap, so placements/layouts derived from it are
+          stale for the next generation *)
+  t_instrumented : Ppp_core.Instrument.t;
+}
+
+val tiered_run :
+  ?threshold:int ->
+  ?budget:int ->
+  ?sampling:Ppp_interp.Sampling.spec ->
+  prepared ->
+  Ppp_core.Config.t ->
+  tiered
+(** Instrument [prepared.optimized] under [config] (through the session,
+    like {!evaluate}), then execute ONE run with the tier controller
+    armed: routines start instrumented, and those whose frame-entry trip
+    count crosses [threshold] (default
+    {!Ppp_interp.Tier.default_threshold}) re-lower hot-path-first with
+    instrumentation stripped, up to [budget] swaps (default unlimited).
+    Program outcome is byte-identical to the untiered instrumented run;
+    [instr_cost] drops as routines retire their instrumentation.
+    [sampling] composes: burst re-decisions keep their chronology, tier
+    swaps win the variant resolution once fired. *)
+
 (** {2 Iterative re-optimization} *)
 
 type generation = {
@@ -218,6 +265,8 @@ val reoptimize :
   ?config:Ppp_core.Config.t ->
   ?flags:opt_flags ->
   ?iterations:int ->
+  ?sampling:Ppp_interp.Sampling.spec ->
+  ?decay:float ->
   name:string ->
   Ppp_ir.Ir.program ->
   generation list
@@ -233,7 +282,23 @@ val reoptimize :
     ([instr_overhead]), under the generation's block layout when
     [flags.layout] is on. [flags.superblocks] feeds each generation's
     decoded hot paths into {!Ppp_opt.Superblock.form} from generation 2
-    onward — the paper's loop, closed. *)
+    onward — the paper's loop, closed.
+
+    [sampling] and [decay] switch the loop to {e drift} mode, modelling
+    a fleet's profile store instead of the lab's pristine hand-off: every
+    generation's dump is kept, and each later generation reloads the
+    exponentially age-decayed merge of all of them
+    ({!Ppp_profile.Profile_io.Raw.merge_decayed}; [decay] defaults to 1.0
+    — plain accumulation — when only [sampling] is given). With
+    [sampling], the generation's instrumented run is collected bursty
+    and its contribution to the store is the decoded tables scaled back
+    by the inverse rate — full-run {e estimates}, not truth — while edge
+    counts ride along at full fidelity (the paper takes cheap edge
+    profiling as given). Dumps from older generations describe older
+    CFGs, so the merge exercises {!Ppp_resilience.Stale_match} and
+    [matched_fraction] reports what survived. Omitting both keeps the
+    seed loop byte-for-byte.
+    @raise Invalid_argument unless [0.0 < decay <= 1.0]. *)
 
 (** {2 Layout evaluation (the i-cache / taken-branch proxy)} *)
 

@@ -3,6 +3,11 @@ module Interp = Ppp_interp.Interp
 module Config = Ppp_core.Config
 module Sampling = Ppp_interp.Sampling
 module Quality = Ppp_quality.Quality
+module Tier = Ppp_interp.Tier
+module Layout = Ppp_interp.Layout
+module Instrument = Ppp_core.Instrument
+module Score = Ppp_flow.Score
+module Decision = Ppp_opt.Decision
 
 type prepared_bench = { spec : Spec.bench; prep : Pipeline.prepared }
 
@@ -330,6 +335,249 @@ let sampling_report ppf benches =
     sweep_denoms;
   Format.fprintf ppf "@]@."
 
+(* {2 Tiered execution vs the two-pass flow}
+
+   One run with the tier controller armed (routines start instrumented,
+   hot ones swap onto optimized re-lowerings mid-run) against the
+   two-pass instrument-then-optimize flow the rest of the bench
+   measures. Everything here is cost-model arithmetic plus deterministic
+   VM runs, so the numbers are safe in the sharded document; wall-clock
+   comparison lives in the bench driver and is opt-in like [timing]. *)
+
+let tier_threshold = Tier.default_threshold
+
+type tiered_stats = {
+  tt_threshold : int;
+  tt_routines : int;
+  tt_swapped : int;  (** routines that tiered up during the run *)
+  tt_reordered : int;  (** ... onto a non-source block order *)
+  tt_untiered_instr_cost : int;
+  tt_tiered_instr_cost : int;
+  tt_saving : float;  (** fraction of instrumentation cost retired *)
+  tt_base_score : float;  (** layout proxy, source order *)
+  tt_swapped_score : float;  (** layout proxy under the installed orders *)
+  tt_improvement : float;
+  tt_instrumented : Instrument.t;  (** for the driver's wall-clock mode *)
+}
+
+let tiered_cache : (string, tiered_stats) Hashtbl.t = Hashtbl.create 17
+
+let tiered_of pb =
+  let key = pb.spec.Spec.bench_name in
+  match Hashtbl.find_opt tiered_cache key with
+  | Some ts -> ts
+  | None ->
+      let prep = pb.prep in
+      let t = Pipeline.tiered_run ~threshold:tier_threshold prep Config.ppp in
+      let inst = t.Pipeline.t_instrumented in
+      let untiered =
+        Interp.run
+          ~config:
+            {
+              Interp.default_config with
+              instrumentation = Some inst.Instrument.rt;
+            }
+          prep.Pipeline.optimized
+      in
+      let ep = Option.get prep.Pipeline.base_outcome.Interp.edge_profile in
+      let installed : Layout.t = Hashtbl.create 7 in
+      List.iter
+        (fun (d : Tier.decision) ->
+          match d.Tier.d_order with
+          | Some o -> Hashtbl.replace installed d.Tier.d_routine o
+          | None -> ())
+        t.Pipeline.t_decisions;
+      let score (pr : Layout.proxy) =
+        Score.layout_score ~transfers:pr.Layout.transfers ~taken:pr.Layout.taken
+          ~local:pr.Layout.local
+      in
+      let base_score = score (Layout.program_proxy prep.Pipeline.optimized ~ep) in
+      let swapped_score =
+        score (Layout.program_proxy ~layout:installed prep.Pipeline.optimized ~ep)
+      in
+      let untiered_cost = untiered.Interp.instr_cost in
+      let tiered_cost = t.Pipeline.t_outcome.Interp.instr_cost in
+      let ts =
+        {
+          tt_threshold = tier_threshold;
+          tt_routines = List.length prep.Pipeline.optimized.Ppp_ir.Ir.routines;
+          tt_swapped = List.length t.Pipeline.t_decisions;
+          tt_reordered =
+            List.length
+              (List.filter
+                 (fun (d : Tier.decision) -> d.Tier.d_reordered)
+                 t.Pipeline.t_decisions);
+          tt_untiered_instr_cost = untiered_cost;
+          tt_tiered_instr_cost = tiered_cost;
+          tt_saving =
+            (if untiered_cost = 0 then 0.0
+             else
+               1.0
+               -. (float_of_int tiered_cost /. float_of_int untiered_cost));
+          tt_base_score = base_score;
+          tt_swapped_score = swapped_score;
+          tt_improvement =
+            Score.layout_improvement ~base:base_score ~candidate:swapped_score;
+          tt_instrumented = inst;
+        }
+      in
+      Hashtbl.replace tiered_cache key ts;
+      ts
+
+let tiered_report ppf benches =
+  Format.fprintf ppf
+    "@[<v>Tiered execution: one run, hot routines swap mid-run (threshold %d \
+     trips)@,"
+    tier_threshold;
+  hr ppf 96;
+  Format.fprintf ppf "%-9s | %9s %9s | %12s %12s %7s | %7s %7s@," "bench"
+    "swapped" "reorder" "instr cost" "tiered" "saved" "base" "swapped";
+  hr ppf 96;
+  List.iter
+    (fun pb ->
+      let ts = tiered_of pb in
+      Format.fprintf ppf
+        "%-9s | %4d/%-4d %9d | %12d %12d %6.1f%% | %7.3f %7.3f@,"
+        pb.spec.Spec.bench_name ts.tt_swapped ts.tt_routines ts.tt_reordered
+        ts.tt_untiered_instr_cost ts.tt_tiered_instr_cost
+        (100. *. ts.tt_saving) ts.tt_base_score ts.tt_swapped_score)
+    benches;
+  hr ppf 96;
+  let wins =
+    List.length
+      (List.filter
+         (fun pb ->
+           let ts = tiered_of pb in
+           ts.tt_tiered_instr_cost < ts.tt_untiered_instr_cost)
+         benches)
+  in
+  Format.fprintf ppf
+    "tiering retires instrumentation cost on %d/%d benches@,@]@." wins
+    (List.length benches)
+
+(* {2 Drift sweep: the re-optimization loop on a fleet's profile store}
+
+   The full-instrumentation loop hands each generation the previous
+   generation's pristine profile; the drift loop hands it the decayed
+   merge of every generation's *sampled* dump. The number that matters
+   is decision churn: how much placement stability costs when the
+   profile store is what a fleet actually ships. Deterministic (fixed
+   seed, fixed decay), so safe under -j and in the baseline. *)
+
+let drift_iterations = 3
+let drift_decay = 0.5
+let drift_denom = 16
+
+type drift_gen = {
+  dg_gen : int;  (** 2-based: generation 1's diff is vacuous *)
+  dg_full_stability : float;
+  dg_drift_stability : float;
+  dg_full_overhead : float;
+  dg_drift_overhead : float;
+  dg_drift_matched : float;
+      (** count mass surviving the decayed merge + stale matching *)
+}
+
+type drift_stats = {
+  dr_gens : drift_gen list;
+  dr_full_stability : float;
+  dr_drift_stability : float;
+  dr_churn_gap : float;  (** full - drift at generation 2 *)
+}
+
+let drift_cache : (string, drift_stats) Hashtbl.t = Hashtbl.create 17
+
+let drift_flags =
+  { Pipeline.default_flags with Pipeline.superblocks = true; layout = true }
+
+let drift_of pb =
+  let key = pb.spec.Spec.bench_name in
+  match Hashtbl.find_opt drift_cache key with
+  | Some ds -> ds
+  | None ->
+      let name = pb.spec.Spec.bench_name in
+      let p = pb.prep.Pipeline.original in
+      let full =
+        Pipeline.reoptimize ~flags:drift_flags ~iterations:drift_iterations
+          ~name p
+      in
+      let drift =
+        Pipeline.reoptimize ~flags:drift_flags ~iterations:drift_iterations
+          ~sampling:(Sampling.spec ~seed:sweep_seed ~denom:drift_denom ())
+          ~decay:drift_decay ~name p
+      in
+      let gens =
+        List.filter_map
+          (fun (f, d) ->
+            let open Pipeline in
+            if f.gen < 2 then None
+            else
+              Some
+                {
+                  dg_gen = f.gen;
+                  dg_full_stability = Decision.stability f.decision_diff;
+                  dg_drift_stability = Decision.stability d.decision_diff;
+                  dg_full_overhead = f.instr_overhead;
+                  dg_drift_overhead = d.instr_overhead;
+                  dg_drift_matched = d.matched_fraction;
+                })
+          (List.combine full drift)
+      in
+      (* The headline is generation 2: both loops re-optimize the same
+         starting program there, so the stability difference is purely
+         the profile store's doing. Later generations re-optimize
+         already-optimized programs whose decision keys have all moved,
+         which depresses stability structurally in both loops alike —
+         reported in [dr_gens], not summarized. *)
+      let at_gen2 f =
+        match gens with g :: _ -> f g | [] -> 1.0
+      in
+      let full2 = at_gen2 (fun g -> g.dg_full_stability) in
+      let drift2 = at_gen2 (fun g -> g.dg_drift_stability) in
+      let ds =
+        {
+          dr_gens = gens;
+          dr_full_stability = full2;
+          dr_drift_stability = drift2;
+          dr_churn_gap = full2 -. drift2;
+        }
+      in
+      Hashtbl.replace drift_cache key ds;
+      ds
+
+let drift_report ppf benches =
+  Format.fprintf ppf
+    "@[<v>Drift sweep: decision stability, pristine profiles vs a sampled \
+     (1/%d) store decayed at %.2f@,"
+    drift_denom drift_decay;
+  hr ppf 92;
+  Format.fprintf ppf "%-9s |" "bench";
+  List.iter
+    (fun g -> Format.fprintf ppf " gen %d: %9s |" g "full/drift")
+    (List.init (drift_iterations - 1) (fun i -> i + 2));
+  Format.fprintf ppf " %9s@," "gap";
+  hr ppf 92;
+  List.iter
+    (fun pb ->
+      let ds = drift_of pb in
+      Format.fprintf ppf "%-9s |" pb.spec.Spec.bench_name;
+      List.iter
+        (fun g ->
+          Format.fprintf ppf "   %5.1f%%/%5.1f%% |"
+            (100. *. g.dg_full_stability)
+            (100. *. g.dg_drift_stability))
+        ds.dr_gens;
+      Format.fprintf ppf " %8.1f%%@," (100. *. ds.dr_churn_gap))
+    benches;
+  hr ppf 92;
+  let n = float_of_int (max 1 (List.length benches)) in
+  let avg f = List.fold_left (fun a pb -> a +. f (drift_of pb)) 0.0 benches /. n in
+  Format.fprintf ppf
+    "avg gen-2 stability: full %.1f%%  drift %.1f%%  (avg gap %.1f%%)@,@]@."
+    (100. *. avg (fun d -> d.dr_full_stability))
+    (100. *. avg (fun d -> d.dr_drift_stability))
+    (100. *. avg (fun d -> d.dr_churn_gap))
+
 let fig12 ppf benches =
   Format.fprintf ppf "@[<v>Figure 12: runtime overhead of path profiling@,";
   hr ppf 50;
@@ -488,8 +736,70 @@ let sampling_json pb =
              pts) );
     ]
 
+(* Deterministic (cost model + VM runs), so tiered objects are safe in
+   the sharded document; opt-in because the tiered run plus the untiered
+   comparison run cost two extra instrumented executions. [timing] adds
+   the driver's wall-clock single-run-vs-two-pass measurement when it
+   ran (never under -j). *)
+let tiered_json ?(timing = fun _ -> None) pb =
+  let ts = tiered_of pb in
+  let timing_fields =
+    match timing pb.spec.Spec.bench_name with
+    | None -> []
+    | Some t -> [ ("timing", t) ]
+  in
+  J.Obj
+    ([
+       ("threshold", J.Int ts.tt_threshold);
+       ("routines", J.Int ts.tt_routines);
+       ("swapped", J.Int ts.tt_swapped);
+       ("reordered", J.Int ts.tt_reordered);
+       ("untiered_instr_cost", J.Int ts.tt_untiered_instr_cost);
+       ("tiered_instr_cost", J.Int ts.tt_tiered_instr_cost);
+       ("instr_saving", J.Float ts.tt_saving);
+       ( "layout",
+         J.Obj
+           [
+             ("base_score", J.Float ts.tt_base_score);
+             ("swapped_score", J.Float ts.tt_swapped_score);
+             ("improvement", J.Float ts.tt_improvement);
+           ] );
+     ]
+    @ timing_fields)
+
+(* Deterministic (fixed seed and decay), so drift objects are safe in
+   the sharded document and the baseline; opt-in because each one runs
+   two full re-optimization loops. *)
+let drift_json pb =
+  let ds = drift_of pb in
+  J.Obj
+    [
+      ("iterations", J.Int drift_iterations);
+      ("decay", J.Float drift_decay);
+      ("denom", J.Int drift_denom);
+      ("seed", J.Int sweep_seed);
+      ( "generations",
+        J.Arr
+          (List.map
+             (fun g ->
+               J.Obj
+                 [
+                   ("gen", J.Int g.dg_gen);
+                   ("full_stability", J.Float g.dg_full_stability);
+                   ("drift_stability", J.Float g.dg_drift_stability);
+                   ("full_overhead", J.Float g.dg_full_overhead);
+                   ("drift_overhead", J.Float g.dg_drift_overhead);
+                   ("drift_matched", J.Float g.dg_drift_matched);
+                 ])
+             ds.dr_gens) );
+      ("full_stability", J.Float ds.dr_full_stability);
+      ("drift_stability", J.Float ds.dr_drift_stability);
+      ("churn_gap", J.Float ds.dr_churn_gap);
+    ]
+
 let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
-    ?(prepare = false) ?(sampling = false) pb =
+    ?(prepare = false) ?(sampling = false) ?(tiered = false)
+    ?tiered_timing ?(drift = false) pb =
   let e = evals_of pb in
   let prep = pb.prep in
   let timing_fields =
@@ -539,6 +849,9 @@ let bench_json_one ?(timing = fun _ -> None) ?(throughput = fun _ -> None)
        ("layout", layout_json pb);
      ]
     @ (if sampling then [ ("sampling", sampling_json pb) ] else [])
+    @ (if tiered then [ ("tiered", tiered_json ?timing:tiered_timing pb) ]
+       else [])
+    @ (if drift then [ ("drift", drift_json pb) ] else [])
     @ timing_fields @ throughput_fields @ prepare_fields)
 
 let bench_json_wrap ?(scale = 1) ?seed rows =
@@ -548,9 +861,10 @@ let bench_json_wrap ?(scale = 1) ?seed rows =
     @ seed_field
     @ [ ("benchmarks", J.Arr rows) ])
 
-let bench_json ?scale ?timing ?throughput ?sampling benches =
+let bench_json ?scale ?timing ?throughput ?sampling ?tiered ?drift benches =
   bench_json_wrap ?scale
-    (List.map (bench_json_one ?timing ?throughput ?sampling) benches)
+    (List.map (bench_json_one ?timing ?throughput ?sampling ?tiered ?drift)
+       benches)
 
 let section8_1 ppf benches =
   let _, _, acc = averages benches (fun pb -> (evals_of pb).edge.Pipeline.accuracy) in

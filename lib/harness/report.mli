@@ -68,11 +68,116 @@ val sampling_report : Format.formatter -> prepared_bench list -> unit
 (** Per-benchmark overlap/overhead at every swept rate, with per-rate
     averages — the accuracy-vs-overhead curve of the sampled collector. *)
 
+(** {2 Tiered execution vs the two-pass flow}
+
+    One run with the {!Ppp_interp.Tier} controller armed — routines
+    start instrumented, hot ones swap onto optimized re-lowerings
+    mid-run — against the two-pass instrument-then-optimize flow the
+    rest of the bench measures. Deterministic except for the driver's
+    opt-in wall-clock comparison. *)
+
+val tier_threshold : int
+(** Trip threshold the bench arms the controller with
+    ({!Ppp_interp.Tier.default_threshold}). *)
+
+type tiered_stats = {
+  tt_threshold : int;
+  tt_routines : int;
+  tt_swapped : int;  (** routines that tiered up during the run *)
+  tt_reordered : int;  (** ... onto a non-source block order *)
+  tt_untiered_instr_cost : int;
+      (** instrumentation cost of the same run without the controller *)
+  tt_tiered_instr_cost : int;
+  tt_saving : float;  (** fraction of instrumentation cost retired *)
+  tt_base_score : float;
+      (** {!Ppp_interp.Layout.program_proxy} score in source order *)
+  tt_swapped_score : float;  (** ... under the orders the swaps installed *)
+  tt_improvement : float;
+  tt_instrumented : Ppp_core.Instrument.t;
+      (** the shared instrumentation, so the driver's wall-clock mode
+          times exactly the compared runs *)
+}
+
+val tiered_of : prepared_bench -> tiered_stats
+(** Execute the tiered run and the untiered instrumented run (sharing
+    one instrumentation through the session), score the installed block
+    orders with the i-cache proxy, and memoize per benchmark name. *)
+
+val tiered_report : Format.formatter -> prepared_bench list -> unit
+(** Per-benchmark swap counts, instrumentation-cost savings and layout
+    proxy scores of the tiered run. *)
+
+val tiered_json :
+  ?timing:(string -> Ppp_obs.Jsonx.t option) ->
+  prepared_bench ->
+  Ppp_obs.Jsonx.t
+(** The benchmark's tiered object (threshold, swap counts, instr-cost
+    savings, layout scores), plus whatever [timing] returns — the
+    driver's tiered-vs-two-pass wall clock, never present under [-j]. *)
+
+(** {2 Drift sweep}
+
+    The re-optimization loop fed a fleet's profile store — every
+    generation's sampled dump merged with exponential age decay
+    ({!Pipeline.reoptimize}'s drift mode) — against the same loop on
+    pristine full-instrumentation hand-offs. The reported number is
+    {!Ppp_opt.Decision.stability} churn: what placement stability costs
+    when profiles are sampled and stale. Deterministic (fixed seed and
+    decay). *)
+
+val drift_iterations : int
+(** Generations per loop (3). *)
+
+val drift_decay : float
+(** Exponential age weight of the drift store's merge (0.5). *)
+
+val drift_denom : int
+(** Sampling rate denominator of the drift loop's collector (16). *)
+
+type drift_gen = {
+  dg_gen : int;  (** 2-based: generation 1's diff is vacuous *)
+  dg_full_stability : float;
+  dg_drift_stability : float;
+  dg_full_overhead : float;
+  dg_drift_overhead : float;
+  dg_drift_matched : float;
+      (** count mass surviving the decayed merge + stale matching *)
+}
+
+type drift_stats = {
+  dr_gens : drift_gen list;
+  dr_full_stability : float;  (** at generation 2 — see {!drift_of} *)
+  dr_drift_stability : float;
+  dr_churn_gap : float;  (** full - drift at generation 2 *)
+}
+
+val drift_of : prepared_bench -> drift_stats
+(** Run both loops ({!drift_iterations} generations each, superblocks
+    and layout on) from the benchmark's original program and compare
+    per-generation decision stability; memoized per benchmark name.
+    The summary fields read generation 2, where both loops re-optimize
+    the same starting program and the stability difference is purely
+    the profile store's doing; later generations (reported in
+    [dr_gens]) re-optimize already-optimized programs whose decision
+    keys have all moved, depressing stability structurally in both
+    loops alike. *)
+
+val drift_report : Format.formatter -> prepared_bench list -> unit
+(** Per-benchmark stability at every generation of both loops, with the
+    churn gap and fleet averages. *)
+
+val drift_json : prepared_bench -> Ppp_obs.Jsonx.t
+(** The benchmark's drift object: loop parameters, per-generation
+    stability/overhead/matched-fraction pairs, and the generation-2
+    stability summary the bench floor reads. *)
+
 val bench_json :
   ?scale:int ->
   ?timing:(string -> Ppp_obs.Jsonx.t option) ->
   ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
   ?sampling:bool ->
+  ?tiered:bool ->
+  ?drift:bool ->
   prepared_bench list ->
   Ppp_obs.Jsonx.t
 (** The machine-readable benchmark record written to [BENCH_*.json]:
@@ -92,6 +197,9 @@ val bench_json_one :
   ?throughput:(string -> Ppp_obs.Jsonx.t option) ->
   ?prepare:bool ->
   ?sampling:bool ->
+  ?tiered:bool ->
+  ?tiered_timing:(string -> Ppp_obs.Jsonx.t option) ->
+  ?drift:bool ->
   prepared_bench ->
   Ppp_obs.Jsonx.t
 (** One benchmark's row of {!bench_json} — what a shard worker computes
@@ -102,7 +210,10 @@ val bench_json_one :
     document stays byte-identical at every [-j]. [sampling] (default
     [false]) adds the {!sampling_json} sweep — deterministic, so safe
     under [-j], but opt-in because it costs four extra instrumented
-    evaluations. *)
+    evaluations. [tiered] (default [false]) adds the {!tiered_json}
+    object (with [tiered_timing]'s wall clock when the driver measured
+    it — never under [-j]); [drift] (default [false]) adds the
+    {!drift_json} object. Both are deterministic and [-j]-safe. *)
 
 val bench_json_wrap : ?scale:int -> ?seed:int -> Ppp_obs.Jsonx.t list -> Ppp_obs.Jsonx.t
 (** Assemble {!bench_json_one} rows (in benchmark order) into the full

@@ -48,6 +48,14 @@ type config = {
          streams at seeded burst boundaries. Program outcomes are
          byte-identical with sampling on or off; only the recorded
          profile (and instr_cost) changes. *)
+  tier : Tier.spec option;
+      (* Tiered in-VM re-optimization (the tier.* metric family): when
+         set, routines start in their instrumented variant and a hotness
+         controller swaps hot routines to an optimized re-lowering
+         mid-run, at frame entry and loop back-edge OSR points. Program
+         outcomes are byte-identical with tiering on or off; the
+         recorded profile freezes per routine at its swap and instr_cost
+         drops — that is the payoff being measured. *)
 }
 
 let default_config =
@@ -60,6 +68,7 @@ let default_config =
     telemetry = None;
     layout = None;
     sampling = None;
+    tier = None;
   }
 
 type termination = Finished | Out_of_fuel of { stack_depth : int }
@@ -75,6 +84,7 @@ type outcome = {
   edge_profile : Edge_profile.program option;
   path_profile : Path_profile.program option;
   instr_state : Instr_rt.state option;
+  tier_decisions : Tier.decision list;
 }
 
 let overhead o =

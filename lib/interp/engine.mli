@@ -32,6 +32,11 @@ type config = {
       (** bursty collection sampling (see {!Sampling}): when set, an
           instrumented run records only the sampled fraction of dynamic
           paths; program outcomes stay byte-identical in both engines *)
+  tier : Tier.spec option;
+      (** tiered in-VM re-optimization (see {!Tier}): when set, hot
+          routines swap from their instrumented variant to an optimized
+          re-lowering mid-run; program outcomes stay byte-identical in
+          both engines, the profile freezes per routine at its swap *)
 }
 
 val default_config : config
@@ -49,6 +54,9 @@ type outcome = {
   edge_profile : Ppp_profile.Edge_profile.program option;
   path_profile : Ppp_profile.Path_profile.program option;
   instr_state : Instr_rt.state option;
+  tier_decisions : Tier.decision list;
+      (** the tier controller's swap log, in firing order — empty unless
+          [tier] was set; identical across engines for the same run *)
 }
 
 val overhead : outcome -> float

@@ -51,6 +51,19 @@ type config = Engine.config = {
           only [instr_cost] and [instr_state] change. Inert without
           [instrumentation]. Recover full-profile estimates with
           {!Instr_rt.scaled_count}. *)
+  tier : Tier.spec option;
+      (** tiered in-VM re-optimization (see {!Tier}): routines start in
+          their instrumented variant; once a routine's frame-entry trip
+          count crosses the spec's threshold, the controller re-lowers it
+          hot-path-first with instrumentation stripped and installs the
+          new body, which frames pick up at the next call boundary or
+          loop-back-edge OSR point. Program outcomes are byte-identical
+          with tiering on or off, in both engines; the recorded profile
+          freezes per routine at its swap, and [instr_cost] drops. Inert
+          without [instrumentation]. The reference engine mirrors the
+          controller's decisions (same trips, same swap log) without
+          having variants to swap, which is what lets the differential
+          suite compare tiered runs engine-to-engine. *)
 }
 
 val default_config : config
@@ -74,6 +87,10 @@ type outcome = Engine.outcome = {
   edge_profile : Ppp_profile.Edge_profile.program option;
   path_profile : Ppp_profile.Path_profile.program option;
   instr_state : Instr_rt.state option;
+  tier_decisions : Tier.decision list;
+      (** the tier controller's swap log in firing order; empty unless
+          [tier] is set. Engine-invariant: the reference mirror reaches
+          the same decisions at the same trip counts. *)
 }
 
 val overhead : outcome -> float

@@ -112,21 +112,42 @@ type op =
   | Return_i of { imm : int; edge : edge_ops }
   | Return_none of { edge : edge_ops }
 
+(* A routine may carry several lowered bodies at once — the variant
+   table. [Instrumented] and [Plain] are the specialize_code pair:
+   identical length, offsets and costs (only terminator actions differ),
+   so bursty sampling swaps a frame between them mid-run with every pc
+   still valid. [Optimized] generations are full re-lowerings under a
+   hot-path-first block order with instrumentation stripped: same block
+   set, same per-block opcode runs (segments never span blocks), only
+   placement differs, so a frame crosses onto one at any block boundary
+   by mapping its target through the two offset tables. *)
+type variant_kind = Instrumented | Plain | Optimized of int
+
+type variant = {
+  v_kind : variant_kind;
+  v_code : op array;
+  v_costs : int array;
+      (* per-op charge, parallel to [v_code] (0 for Fuel); the exact
+         remainder bill when fuel runs out mid-segment *)
+  v_offsets : int array; (* block index -> offset of its first op *)
+}
+
 type plan = {
   routine : Ir.routine;
   view : Cfg_view.t;
-  code : op array;
-  plain : op array;
-      (* the structural (uninstrumented) opcode stream. [specialize_code]
-         rebuilds only terminator opcodes with Array.map, so [plain] and
-         [code] have identical length, offsets and costs: bursty sampling
-         can swap a frame between them mid-run and every pc and branch
-         target stays valid. Physically == [code] when the routine is
-         uninstrumented. *)
-  costs : int array;
-      (* per-op charge, parallel to [code] (0 for Fuel); the exact
-         remainder bill when fuel runs out mid-segment *)
-  block_offset : int array; (* block index -> offset of its first op *)
+  mutable variants : variant array;
+      (* every lowered body of this routine; grown by [tier_up] *)
+  v_instr : int;
+      (* the variant new frames enter while collecting: the specialized
+         [Instrumented] stream, or [v_plain] when uninstrumented *)
+  v_plain : int; (* the structural (uninstrumented) stream *)
+  mutable cur : int;
+      (* the variant new frames resolve to once tiered: starts at
+         [v_instr]; a tier-up swap retargets it at an [Optimized]
+         generation (or [v_plain] when only stripping instrumentation).
+         [cur <> v_instr] is the "this routine has tiered up" test both
+         the frame-entry and back-edge OSR resolution points use. *)
+  r_id : int; (* this routine's plan index in its program *)
   nregs : int;
   edge_counts : Edge_profile.t option;
   intern : Path_profile.Intern.table option;
@@ -417,14 +438,21 @@ let lower_structural ?analysis ?order ~arrays ~routine_index (r : Ir.routine) =
   {
     routine = r;
     view;
-    code;
-    plain = code;
-    costs;
-    block_offset;
+    variants =
+      [| { v_kind = Plain; v_code = code; v_costs = costs; v_offsets = block_offset } |];
+    v_instr = 0;
+    v_plain = 0;
+    cur = 0;
+    r_id =
+      (match Hashtbl.find_opt routine_index r.Ir.name with
+      | Some i -> i
+      | None -> 0);
     nregs = r.Ir.nregs;
     edge_counts = None;
     intern = None;
   }
+
+let structural_variant (p : plan) = p.variants.(p.v_plain)
 
 (* Rebuild only the terminator opcodes of a structural plan, attaching
    the run's instrumentation actions. Everything else — including the
@@ -461,7 +489,7 @@ let specialize_code ~ri ~table (splan : plan) =
       | Return_i { imm; edge } -> Return_i { imm; edge = spec edge }
       | Return_none { edge } -> Return_none { edge = spec edge }
       | op -> op)
-    splan.code
+    (structural_variant splan).v_code
 
 (* ------------------------------------------------------------------ *)
 (* Structural-plan cache.
@@ -578,20 +606,39 @@ let program ?cache ~(config : Engine.config) ~instr_tables (p : Ir.program) =
       (List.map
          (fun (r : Ir.routine) ->
            let splan = structural r in
-           let code =
+           let sv = structural_variant splan in
+           (* The run's variant table is always a fresh array (and the
+              plan a fresh record): [tier_up] swaps [cur] and appends
+              variants mid-run, and neither may leak into the cached
+              structural plan shared with the next run. *)
+           let variants, v_instr, v_plain =
              match config.Engine.instrumentation with
-             | None -> splan.code
+             | None -> ([| sv |], 0, 0)
              | Some instr -> (
                  match Hashtbl.find_opt instr r.Ir.name with
-                 | None -> splan.code
+                 | None -> ([| sv |], 0, 0)
                  | Some ri ->
                      let table = Hashtbl.find_opt instr_tables r.Ir.name in
-                     specialize_code ~ri ~table splan)
+                     let icode = specialize_code ~ri ~table splan in
+                     ( [|
+                         {
+                           v_kind = Instrumented;
+                           v_code = icode;
+                           v_costs = sv.v_costs;
+                           v_offsets = sv.v_offsets;
+                         };
+                         sv;
+                       |],
+                       0,
+                       1 ))
            in
            let nedges = Graph.num_edges (Cfg_view.graph splan.view) in
            {
              splan with
-             code;
+             variants;
+             v_instr;
+             v_plain;
+             cur = v_instr;
              edge_counts =
                (if config.Engine.collect_edges then
                   Some (Edge_profile.create ~nedges)
@@ -609,3 +656,41 @@ let program ?cache ~(config : Engine.config) ~instr_tables (p : Ir.program) =
     | None -> Engine.error "unknown routine %s" p.Ir.main
   in
   { plans; index; main; arrays }
+
+(* ------------------------------------------------------------------ *)
+(* Mid-run tier-up: retire routine [idx]'s instrumented variant for an
+   optimized generation. With a genuine block order this re-lowers the
+   routine structurally (against the program's live array refs — only
+   opcode placement changes, never contents) and appends the result to
+   the variant table; with no order the plain variant already is the
+   optimized body (instrumentation stripped, current placement kept).
+   Either way only [cur] moves: frames in flight keep their entry-time
+   variant until their next back-edge OSR point, and the swap never
+   touches any other routine's plan. *)
+
+let m_lower_tier = Obs.counter "session.lower.tier_up"
+
+let tier_up ?cache (prog : program) ~idx ~order ~gen =
+  let plan = prog.plans.(idx) in
+  let r = plan.routine in
+  let order =
+    match order with
+    | Some o
+      when valid_order ~nblocks:(Array.length r.Ir.blocks) o
+           && not (is_identity_order o) ->
+        Some o
+    | _ -> None
+  in
+  match order with
+  | None -> plan.cur <- plan.v_plain
+  | Some _ ->
+      Obs.incr m_lower_tier;
+      let analysis = Option.bind cache (fun c -> c.analysis) in
+      let splan =
+        lower_structural ?analysis ?order ~arrays:prog.arrays
+          ~routine_index:prog.index r
+      in
+      let sv = structural_variant splan in
+      plan.variants <-
+        Array.append plan.variants [| { sv with v_kind = Optimized gen } |];
+      plan.cur <- Array.length plan.variants - 1

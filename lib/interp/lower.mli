@@ -76,18 +76,39 @@ type op =
   | Return_i of { imm : int; edge : edge_ops }
   | Return_none of { edge : edge_ops }
 
+(** One lowered body of a routine. A plan carries a whole table of
+    these: the [Instrumented]/[Plain] pair produced by specialization
+    (identical length, offsets and costs — only terminator actions
+    differ, so bursty sampling swaps a frame between them mid-run with
+    every pc still valid), plus any [Optimized] generations minted by
+    {!tier_up} (full re-lowerings under a hot-path-first block order
+    with instrumentation stripped; same block set and per-block opcode
+    runs, so a frame crosses onto one at any block boundary by mapping
+    its position through the two [v_offsets] tables). *)
+type variant_kind = Instrumented | Plain | Optimized of int
+
+type variant = {
+  v_kind : variant_kind;
+  v_code : op array;
+  v_costs : int array;  (** per-op charge, parallel to [v_code] *)
+  v_offsets : int array;  (** block index -> offset of its first op *)
+}
+
 type plan = {
   routine : Ppp_ir.Ir.routine;
   view : Ppp_ir.Cfg_view.t;
-  code : op array;
-  plain : op array;
-      (** the structural (uninstrumented) stream: identical length,
-          offsets and costs as [code] (specialization rebuilds only
-          terminators), so bursty sampling can swap a frame between the
-          two mid-run with every pc still valid; [== code] when the
-          routine is uninstrumented *)
-  costs : int array;  (** per-op charge, parallel to [code] *)
-  block_offset : int array;
+  mutable variants : variant array;
+      (** every lowered body of this routine; grown by {!tier_up} *)
+  v_instr : int;
+      (** the variant new frames enter while collecting; [= v_plain]
+          when the routine is uninstrumented *)
+  v_plain : int;  (** the structural (uninstrumented) stream *)
+  mutable cur : int;
+      (** the variant new frames resolve to once tiered: starts at
+          [v_instr]; a tier-up swap moves it. [cur <> v_instr] is the
+          "routine has tiered up" test at both variant-resolution
+          points ({!Vm} frame entry and back-edge OSR). *)
+  r_id : int;  (** this routine's plan index in its program *)
   nregs : int;
   edge_counts : Ppp_profile.Edge_profile.t option;
   intern : Ppp_profile.Path_profile.Intern.table option;
@@ -151,3 +172,19 @@ val program :
 (** Lower every routine, reusing structural plans from [cache] when
     their fingerprints still match. Raises {!Engine.Runtime_error} if
     [main] is unknown (matching the reference engine). *)
+
+val structural_variant : plan -> variant
+(** The plan's structural (plain) variant. *)
+
+val tier_up : ?cache:cache -> program -> idx:int -> order:int array option -> gen:int -> unit
+(** Mid-run tier-up of routine [idx]: retire its instrumented variant
+    for optimized generation [gen]. With a genuine (valid,
+    non-identity) [order], re-lowers the routine under that block order
+    — against the program's live arrays, so it is safe mid-execution —
+    and appends the result to the variant table; otherwise the plain
+    variant already is the optimized body. Only the plan's [cur] slot
+    moves: frames in flight keep their entry-time variant until their
+    next OSR point, and no other routine is touched. [cache] supplies
+    memoized CFG/loop analyses, never code (the order is baked into
+    opcodes, so tier-up lowerings are not cached). Counts one
+    [session.lower.tier_up] per re-lowering. *)

@@ -117,6 +117,40 @@ let emit_trace_counters ?(name = "vm") t =
         [ ("depth", float_of_int s.depth); ("calls", float_of_int s.calls) ])
     (samples t)
 
+(* {2 Per-routine trip accounting}
+
+   The routine-resolved counters the hot-routine detector runs on: one
+   entry count ("trip") per lowered plan, bumped at every frame entry
+   and loop back edge the tier controller watches. Dense int arrays
+   indexed by the program's routine order, so a bump is one load, one
+   store — cheap enough to leave on for a whole tiered run. *)
+module Trips = struct
+  type nonrec t = { counts : int array; mutable total : int }
+
+  let create ~n =
+    if n < 0 then invalid_arg "Telemetry.Trips.create: n must be >= 0";
+    { counts = Array.make (max 1 n) 0; total = 0 }
+
+  let bump t i =
+    let c = t.counts.(i) + 1 in
+    t.counts.(i) <- c;
+    t.total <- t.total + 1;
+    c
+
+  let count t i = t.counts.(i)
+  let total t = t.total
+
+  let to_json ~names t =
+    let n = min (Array.length names) (Array.length t.counts) in
+    Jsonx.Obj
+      [
+        ("total", Jsonx.Int t.total);
+        ( "routines",
+          Jsonx.Obj
+            (List.init n (fun i -> (names.(i), Jsonx.Int t.counts.(i)))) );
+      ]
+end
+
 (* The hot-routine detector the tiered-execution roadmap item will run
    on: per-sample deltas of instruction throughput. A routine-resolved
    version needs per-plan counters; the windowed global rate is what the

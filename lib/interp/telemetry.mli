@@ -74,3 +74,31 @@ val rates : t -> (int * int * int) list
 (** Per-window deltas [(seq, d_instrs, d_paths)] between consecutive
     retained samples — the windowed throughput signal a hot-routine
     detector polls. *)
+
+(** Per-routine trip accounting: the routine-resolved counters the
+    {!Tier} hotness controller watches. One count per lowered plan,
+    bumped at frame entry and at the loop back edges that end a path —
+    a dense-array bump, cheap enough to stay on for a whole tiered
+    run. Engine-invariant: both the VM and the reference tree-walker
+    bump trips at the same program points, which the differential
+    suite relies on. *)
+module Trips : sig
+  type t
+
+  val create : n:int -> t
+  (** A fresh table for a program with [n] routines (indexed by the
+      program's routine order). *)
+
+  val bump : t -> int -> int
+  (** [bump t i] increments routine [i]'s trip count and returns the
+      new per-routine count. *)
+
+  val count : t -> int -> int
+  (** Trips recorded for routine [i]. *)
+
+  val total : t -> int
+  (** Trips recorded across all routines. *)
+
+  val to_json : names:string array -> t -> Ppp_obs.Jsonx.t
+  (** [{"total":..,"routines":{name:count,..}}] in routine order. *)
+end

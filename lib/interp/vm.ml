@@ -29,11 +29,15 @@ module L = Lower
 
 type frame = {
   mutable plan : L.plan;
-  mutable fcode : L.op array;
-      (* the stream this frame is executing: plan.code when collecting,
-         plan.plain off-burst. The two are offset-identical (Lower), so
-         bursty sampling swaps them mid-frame without touching pc. *)
-  mutable f_on : bool; (* fcode == plan.code, i.e. collecting *)
+  mutable f_var : int; (* index into plan.variants this frame executes *)
+  mutable fcode : L.op array; (* = plan.variants.(f_var).v_code *)
+  mutable fcosts : int array; (* = plan.variants.(f_var).v_costs *)
+      (* The stream this frame is executing — its entry-time variant
+         until a resolution point (frame entry / back-edge OSR) swaps
+         it. Instrumented<->plain swaps are offset-identical; a swap
+         onto an optimized generation retargets the pc through the two
+         offset tables (see [retarget]). *)
+  mutable f_on : bool; (* executing the instrumented variant on-burst *)
   mutable regs : int array;
   mutable pc : int; (* saved resume point while a callee runs *)
   mutable path_reg : int;
@@ -44,6 +48,9 @@ type frame = {
 
 type state = {
   plans : L.plan array;
+  prog : L.program; (* the lowered program, for mid-run tier-up *)
+  lcache : L.cache option; (* memoized analyses for tier-up lowering *)
+  itables : Instr_rt.state; (* live tables: the tier planner's input *)
   mutable frames : frame array; (* recycled; [0, depth) are live *)
   mutable depth : int;
   mutable fuel : int;
@@ -57,7 +64,9 @@ type state = {
   obs_on : bool; (* metrics flag, latched at run start *)
   count_calls : bool; (* metrics or telemetry want the call total *)
   sampler : Sampling.t option; (* bursty collection sampling, None = off *)
-  sample_on : bool; (* sampler is Some: gate the per-back-edge tick *)
+  tier : Tier.t option; (* hotness controller, None = untiered *)
+  redecide_on : bool;
+      (* sampler or tier present: gate the per-back-edge re-decision *)
   tele : Telemetry.t option; (* latched snapshot ring, None = off *)
   mutable tele_left : int; (* instructions until the next sample *)
   mutable obs_calls : int;
@@ -76,13 +85,17 @@ let tele_sample st t =
     ~depth:st.depth
 
 let fresh_frame plan =
+  let v = plan.L.variants.(plan.L.cur) in
   {
     plan;
-    fcode = plan.L.code;
+    f_var = plan.L.cur;
+    fcode = v.L.v_code;
+    fcosts = v.L.v_costs;
     f_on = true;
     regs = Array.make (max 1 plan.L.nregs) 0;
     (* Every frame begins at opcode offset 0: the lowering keeps the
-       entry block there under every block layout (Lower.valid_order). *)
+       entry block there under every block layout (Lower.valid_order),
+       so frame entry needs no pc mapping even across variants. *)
     pc = 0;
     path_reg = 0;
     pbuf = Array.make 64 0;
@@ -90,9 +103,38 @@ let fresh_frame plan =
     ret_to = -1;
   }
 
+(* A routine tripped the tier threshold: gather its live path counters,
+   let the controller (and its planner) decide the optimized block
+   order, and install the new current variant. Only this routine's plan
+   is touched — analysis of untouched routines never blocks the
+   interpreter. *)
+let tier_fire st (plan : L.plan) tc =
+  let counters =
+    match Hashtbl.find_opt st.itables plan.L.routine.Ir.name with
+    | None -> []
+    | Some tbl ->
+        let acc = ref [] in
+        Instr_rt.Table.iter_nonzero tbl (fun k c -> acc := (k, c) :: !acc);
+        List.rev !acc
+  in
+  let order =
+    Tier.fire tc ~idx:plan.L.r_id ~name:plan.L.routine.Ir.name ~counters
+  in
+  L.tier_up ?cache:st.lcache st.prog ~idx:plan.L.r_id ~order
+    ~gen:(Tier.swaps tc)
+
 (* Push a zeroed frame for [plan], recycling the slot's arrays. The
    first [nargs] registers are about to be overwritten by the caller's
-   argument copy, so only the rest needs zeroing. *)
+   argument copy, so only the rest needs zeroing.
+
+   This is one of the two variant-resolution points (the other is
+   [redecide] at loop back edges), and both engines follow the same
+   canonical order: (1) the tier trip — a routine crossing the
+   threshold right here already enters optimized code; (2) the sampling
+   tick, unconditionally when a sampler is attached — its chronology is
+   independent of tier state, so tiering never loses or shifts bursts;
+   (3) the resolution itself — a tiered routine's current variant wins,
+   otherwise the burst decision picks instrumented vs plain. *)
 let enter st plan ~nargs ret_to =
   if st.depth = Array.length st.frames then begin
     let bigger = Array.make (2 * st.depth) st.frames.(0) in
@@ -105,23 +147,25 @@ let enter st plan ~nargs ret_to =
   let f = st.frames.(st.depth) in
   st.depth <- st.depth + 1;
   f.plan <- plan;
-  (* Sampling tick on the frame fast path: both engines tick here, in
-     chronological execution order, whether or not the routine is
-     instrumented — so which paths a seed samples never depends on the
-     instrumentation method. *)
-  (match st.sampler with
-  | None ->
-      f.fcode <- plan.L.code;
-      f.f_on <- true
-  | Some s ->
-      if Sampling.tick s then begin
-        f.fcode <- plan.L.code;
-        f.f_on <- true
-      end
-      else begin
-        f.fcode <- plan.L.plain;
-        f.f_on <- false
-      end);
+  (match st.tier with
+  | Some tc -> if Tier.trip tc plan.L.r_id then tier_fire st plan tc
+  | None -> ());
+  let on =
+    match st.sampler with None -> true | Some s -> Sampling.tick s
+  in
+  let v =
+    if plan.L.cur <> plan.L.v_instr then begin
+      (match st.tier with Some tc -> Tier.note_entry_swap tc | None -> ());
+      plan.L.cur
+    end
+    else if on then plan.L.v_instr
+    else plan.L.v_plain
+  in
+  let var = plan.L.variants.(v) in
+  f.f_var <- v;
+  f.fcode <- var.L.v_code;
+  f.fcosts <- var.L.v_costs;
+  f.f_on <- on && v = plan.L.v_instr;
   let n = plan.L.nregs in
   if Array.length f.regs < n then f.regs <- Array.make n 0
   else if nargs < n then Array.fill f.regs nargs (n - nargs) 0;
@@ -227,17 +271,18 @@ let exec_pure st regs op =
 
 (* Fuel ran out inside this segment: with [f] fuel left, the reference
    charges [max 1 f] more instructions, executes all but the last, and
-   raises. [pc] is the segment's Fuel opcode. *)
-let exhaust st (plan : L.plan) regs pc =
+   raises. [pc] is the segment's Fuel opcode, an offset in the frame's
+   own variant (whose cost table is parallel to its code). *)
+let exhaust st (frame : frame) regs pc =
   let k = if st.fuel < 1 then 1 else st.fuel in
-  let costs = plan.L.costs in
+  let costs = frame.fcosts in
   let cost = ref 0 in
   for i = pc + 1 to pc + k do
     cost := !cost + Array.unsafe_get costs i
   done;
   st.base_cost <- st.base_cost + !cost;
   st.fuel <- st.fuel - k;
-  let code = plan.L.code in
+  let code = frame.fcode in
   for i = pc + 1 to pc + k - 1 do
     exec_pure st regs code.(i)
   done;
@@ -245,9 +290,10 @@ let exhaust st (plan : L.plan) regs pc =
 
 (* The instrumented stream's edge_ops for the terminator at [pc] — the
    plain stream carries empty action lists, so an off->on transition
-   reads the path-register initialization from here. *)
+   reads the path-register initialization from here. Only reached from
+   frames in the instrumented/plain pair, whose offsets coincide. *)
 let instrumented_edge (plan : L.plan) pc edge_id =
-  match plan.L.code.(pc) with
+  match plan.L.variants.(plan.L.v_instr).L.v_code.(pc) with
   | L.Jump { edge; _ } | L.Branch_const { edge; _ } -> edge
   | L.Branch_r { then_edge; else_edge; _ } ->
       if then_edge.L.edge = edge_id then then_edge else else_edge
@@ -278,29 +324,74 @@ let path_init (frame : frame) (eo : L.edge_ops) =
     | _ -> ()
   done
 
-(* Tick the sampler at a loop back edge (the edge's old path is fully
-   recorded by [traverse] already) and swap the frame's stream if the
-   mode flipped. Returns true when the caller must re-enter [run_frames]
-   so the dispatch loop rebinds the code array. *)
-let resample st (frame : frame) (plan : L.plan) pc edge_id =
-  match st.sampler with
-  | None -> false
-  | Some s ->
-      let on = Sampling.tick s in
-      if on = frame.f_on then false
-      else if on then begin
-        frame.f_on <- true;
-        frame.fcode <- plan.L.code;
-        path_init frame (instrumented_edge plan pc edge_id);
-        true
-      end
-      else begin
-        (* Stale path_reg is harmless off-burst: the plain stream never
-           bumps, and the next on-transition re-initializes it. *)
-        frame.f_on <- false;
-        frame.fcode <- plan.L.plain;
-        true
-      end
+(* Map [target] — a block-start offset in [from_]'s code — to the same
+   block's start in [to_]. The instrumented/plain pair shares one
+   offsets table, so the common swap is free; crossing onto an
+   optimized generation does one linear scan over the routine's blocks
+   (block starts are strictly increasing in emission order, hence
+   unique), and only on an actual swap. *)
+let retarget (from_ : L.variant) (to_ : L.variant) target =
+  let offs = from_.L.v_offsets in
+  if offs == to_.L.v_offsets then target
+  else begin
+    let n = Array.length offs in
+    let rec find b =
+      if b >= n then assert false
+      else if offs.(b) = target then b
+      else find (b + 1)
+    in
+    to_.L.v_offsets.(find 0)
+  end
+
+(* The back-edge variant-resolution point, shared by tier-up OSR and
+   bursty sampling (the edge's old path is fully recorded by [traverse]
+   already, so no partial path can be lost). Same canonical order as
+   [enter]: tier trip, then the unconditional sampling tick, then the
+   resolution — tier override first, burst decision otherwise. Returns
+   the pc to re-enter [run_frames] with (so the dispatch loop rebinds
+   the code array), or -1 when the frame's stream is unchanged. *)
+let redecide st (frame : frame) (plan : L.plan) pc edge_id target =
+  (match st.tier with
+  | Some tc -> if Tier.trip tc plan.L.r_id then tier_fire st plan tc
+  | None -> ());
+  let on =
+    match st.sampler with None -> frame.f_on | Some s -> Sampling.tick s
+  in
+  if plan.L.cur <> plan.L.v_instr then
+    if frame.f_var = plan.L.cur then -1
+    else begin
+      (* OSR: this frame entered before the routine tiered up; jump
+         onto the optimized variant at the equivalent block. Stale
+         path_reg is harmless — optimized streams never bump. *)
+      let from_ = plan.L.variants.(frame.f_var) in
+      let to_ = plan.L.variants.(plan.L.cur) in
+      frame.f_var <- plan.L.cur;
+      frame.fcode <- to_.L.v_code;
+      frame.fcosts <- to_.L.v_costs;
+      frame.f_on <- false;
+      (match st.tier with Some tc -> Tier.note_osr_swap tc | None -> ());
+      retarget from_ to_ target
+    end
+  else if on = frame.f_on then -1
+  else if on then begin
+    frame.f_on <- true;
+    frame.f_var <- plan.L.v_instr;
+    let v = plan.L.variants.(plan.L.v_instr) in
+    frame.fcode <- v.L.v_code;
+    frame.fcosts <- v.L.v_costs;
+    path_init frame (instrumented_edge plan pc edge_id);
+    target
+  end
+  else begin
+    (* Stale path_reg is harmless off-burst: the plain stream never
+       bumps, and the next on-transition re-initializes it. *)
+    frame.f_on <- false;
+    frame.f_var <- plan.L.v_plain;
+    let v = plan.L.variants.(plan.L.v_plain) in
+    frame.fcode <- v.L.v_code;
+    frame.fcosts <- v.L.v_costs;
+    target
+  end
 
 let do_return st (frame : frame) value =
   st.depth <- st.depth - 1;
@@ -316,7 +407,7 @@ let do_return st (frame : frame) value =
 let rec run_frames st (frame : frame) start_pc =
   let plan = frame.plan in
   let code = frame.fcode in
-  let costs = plan.L.costs in
+  let costs = frame.fcosts in
   let regs = frame.regs in
   let rec go pc =
     match Array.unsafe_get code pc with
@@ -333,7 +424,7 @@ let rec run_frames st (frame : frame) start_pc =
               if st.tele_left <= 0 then tele_sample st t);
           go (pc + 1)
         end
-        else exhaust st plan regs pc
+        else exhaust st frame regs pc
     | L.Mov_i { dst; imm } ->
         Array.unsafe_set regs dst imm;
         go (pc + 1)
@@ -463,34 +554,34 @@ let rec run_frames st (frame : frame) start_pc =
     | L.Trap { msg } -> raise (E.Runtime_error msg)
     | L.Jump { target; edge } ->
         if st.prof_on then traverse st frame plan edge;
-        if
-          st.sample_on && edge.L.ends_path
-          && resample st frame plan pc edge.L.edge
-        then run_frames st frame target
+        if st.redecide_on && edge.L.ends_path then begin
+          let t = redecide st frame plan pc edge.L.edge target in
+          if t >= 0 then run_frames st frame t else go target
+        end
         else go target
     | L.Branch_r { cond; then_; then_edge; else_; else_edge } ->
         if Array.unsafe_get regs cond <> 0 then begin
           if st.prof_on then traverse st frame plan then_edge;
-          if
-            st.sample_on && then_edge.L.ends_path
-            && resample st frame plan pc then_edge.L.edge
-          then run_frames st frame then_
+          if st.redecide_on && then_edge.L.ends_path then begin
+            let t = redecide st frame plan pc then_edge.L.edge then_ in
+            if t >= 0 then run_frames st frame t else go then_
+          end
           else go then_
         end
         else begin
           if st.prof_on then traverse st frame plan else_edge;
-          if
-            st.sample_on && else_edge.L.ends_path
-            && resample st frame plan pc else_edge.L.edge
-          then run_frames st frame else_
+          if st.redecide_on && else_edge.L.ends_path then begin
+            let t = redecide st frame plan pc else_edge.L.edge else_ in
+            if t >= 0 then run_frames st frame t else go else_
+          end
           else go else_
         end
     | L.Branch_const { target; edge } ->
         if st.prof_on then traverse st frame plan edge;
-        if
-          st.sample_on && edge.L.ends_path
-          && resample st frame plan pc edge.L.edge
-        then run_frames st frame target
+        if st.redecide_on && edge.L.ends_path then begin
+          let t = redecide st frame plan pc edge.L.edge target in
+          if t >= 0 then run_frames st frame t else go target
+        end
         else go target
     | L.Return_r { src; edge } ->
         if st.prof_on then traverse st frame plan edge;
@@ -527,9 +618,22 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
     | Some spec, Some _ -> Some (Sampling.start spec)
     | _ -> None
   in
+  (* Like sampling, tiering is only meaningful against instrumentation:
+     the payoff is retiring instrumented variants, and without them the
+     plain stream already is the "optimized" body up to layout the
+     controller could not have learned anything to guide. *)
+  let tier =
+    match (config.E.tier, config.E.instrumentation) with
+    | Some spec, Some _ ->
+        Some (Tier.start spec ~nroutines:(Array.length prog.L.plans))
+    | _ -> None
+  in
   let st =
     {
       plans = prog.L.plans;
+      prog;
+      lcache = cache;
+      itables = instr_tables;
       frames = Array.init 16 (fun _ -> fresh_frame main_plan);
       depth = 0;
       fuel = config.E.fuel;
@@ -545,7 +649,8 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
       obs_on = E.Obs.enabled ();
       count_calls = E.Obs.enabled () || Option.is_some config.E.telemetry;
       sampler;
-      sample_on = Option.is_some sampler;
+      tier;
+      redecide_on = Option.is_some sampler || Option.is_some tier;
       tele = config.E.telemetry;
       tele_left =
         (match config.E.telemetry with
@@ -605,11 +710,12 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
     E.flush_metrics ~fuel:config.E.fuel ~termination ~fuel_left:st.fuel
       ~base_cost:st.base_cost ~instr_cost:st.instr_cost ~dyn_instrs
       ~dyn_paths:st.dyn_paths ~calls:st.obs_calls ~actions:st.obs_actions;
-    match st.sampler with
+    (match st.sampler with
     | Some s ->
         Instr_rt.flush_sample_metrics ~on_ticks:(Sampling.on_ticks s)
           ~off_ticks:(Sampling.off_ticks s) ~bursts:(Sampling.bursts s)
-    | None -> ()
+    | None -> ());
+    match st.tier with Some tc -> Tier.flush_metrics tc | None -> ()
   end;
   {
     E.return_value = st.ret_value;
@@ -624,4 +730,6 @@ let run ?cache ~(config : E.config) (p : Ir.program) =
     instr_state =
       (if Option.is_some config.E.instrumentation then Some instr_tables
        else None);
+    tier_decisions =
+      (match st.tier with Some tc -> Tier.decisions tc | None -> []);
   }

@@ -327,6 +327,19 @@ let sync t (p : Ir.program) =
     dirty;
   dirty
 
+(* Point invalidation for mid-run tier-up: the named routines' slots are
+   dropped wholesale, so their next access opens a fresh entry. The
+   fingerprint table is left alone — the IR did not change, only the
+   profile-derived artifacts (placements, layouts, contexts) went stale
+   when the VM retired the instrumented variant mid-run. *)
+let invalidate t names =
+  List.iter
+    (fun nm ->
+      Hashtbl.remove t.slots nm;
+      t.counts.c_invalidations <- t.counts.c_invalidations + 1;
+      Obs.incr m_invalidate)
+    names
+
 let warm t (p : Ir.program) =
   ignore (sync t p);
   if t.s_enabled then begin

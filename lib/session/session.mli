@@ -67,6 +67,17 @@ val sync : t -> Ppp_ir.Ir.program -> string list
     generation (original, inlined, unrolled, re-optimized); syncing an
     unchanged program returns [[]] and invalidates nothing. *)
 
+val invalidate : t -> string list -> unit
+(** Point invalidation: drop every artifact slot of the named routines,
+    without touching the fingerprint table. This is the tier-up hook —
+    when a running VM retires a routine's instrumented variant for an
+    optimized re-lowering, the routine's profile-derived artifacts
+    (placements, layouts, flow contexts) were computed for a profile
+    that froze at the swap, so the next pipeline access must recompute
+    them. Counts one [session.invalidate] per name, like {!sync}'s
+    dirty-set accounting; unknown names still count (the caller asserted
+    staleness) but drop nothing. *)
+
 (** {2 Analysis artifacts} *)
 
 val view : t -> Ppp_ir.Ir.routine -> Ppp_ir.Cfg_view.t

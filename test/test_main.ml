@@ -27,4 +27,5 @@ let () =
       ("layout", Test_layout.suite);
       ("quality", Test_quality.suite);
       ("daemon", Test_daemon.suite);
+      ("tier", Test_tier.suite);
     ]

@@ -388,6 +388,91 @@ let test_gate_floors () =
        (Gate.check_floors ~floors:(floors_doc [])
           ~report:(gate_doc [])))
 
+(* {2 Drift-mode reoptimize and the tiered/drift gate floors} *)
+
+let test_reoptimize_drift () =
+  let b = Ppp_workloads.Spec.find "mcf" in
+  let p () = b.Ppp_workloads.Spec.build ~scale:1 in
+  let sampling = Ppp_interp.Sampling.spec ~seed:7 ~denom:4 () in
+  let run () =
+    H.reoptimize ~iterations:2 ~sampling ~decay:0.5 ~name:"mcf" (p ())
+  in
+  let gens = run () in
+  Alcotest.(check int) "two generations" 2 (List.length gens);
+  let g2 = List.nth gens 1 in
+  Alcotest.(check bool) "gen 2 salvaged count mass from the drift store" true
+    (g2.H.matched_fraction > 0.0);
+  (* Fixed seed, fixed decay: the drift loop is as deterministic as the
+     pristine one. *)
+  List.iter2
+    (fun (a : H.generation) (b : H.generation) ->
+      Alcotest.(check bool) "deterministic stability" true
+        (approx
+           (Decision.stability a.H.decision_diff)
+           (Decision.stability b.H.decision_diff));
+      Alcotest.(check bool) "deterministic matched fraction" true
+        (approx a.H.matched_fraction b.H.matched_fraction))
+    gens (run ());
+  Alcotest.check_raises "decay outside (0, 1] is rejected"
+    (Invalid_argument "Pipeline.reoptimize: decay must be in (0, 1]") (fun () ->
+      ignore (H.reoptimize ~decay:0.0 ~name:"mcf" (p ())))
+
+let tiered_doc ~saving ~improvement name =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str name);
+      ( "tiered",
+        Jsonx.Obj
+          [
+            ("instr_saving", Jsonx.Float saving);
+            ("layout", Jsonx.Obj [ ("improvement", Jsonx.Float improvement) ]);
+          ] );
+      ("drift", Jsonx.Obj [ ("drift_stability", Jsonx.Float 0.6) ]);
+    ]
+
+let test_gate_tiered_drift_floors () =
+  let baseline = gate_doc [ tiered_doc ~saving:0.9 ~improvement:2.0 "x" ] in
+  Alcotest.(check int) "identical documents pass" 0
+    (List.length (Gate.check ~baseline ~current:baseline ~pct:5.0));
+  (* These are floors: sinking below baseline is the regression,
+     exceeding it never is. *)
+  let sunk = gate_doc [ tiered_doc ~saving:0.5 ~improvement:(-1.0) "x" ] in
+  let fails = Gate.check ~baseline ~current:sunk ~pct:5.0 in
+  Alcotest.(check int) "retired saving and layout floors both fail" 2
+    (List.length fails);
+  Alcotest.(check bool) "failures name the tiered metrics" true
+    (List.exists (fun (f : Gate.failure) -> f.Gate.metric = "tiered.instr_saving") fails
+    && List.exists
+         (fun (f : Gate.failure) -> f.Gate.metric = "tiered.layout.improvement")
+         fails);
+  let better = gate_doc [ tiered_doc ~saving:0.99 ~improvement:3.0 "x" ] in
+  Alcotest.(check int) "improving on the floor passes" 0
+    (List.length (Gate.check ~baseline ~current:better ~pct:5.0));
+  let churned =
+    gate_doc
+      [
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str "x");
+            ("drift", Jsonx.Obj [ ("drift_stability", Jsonx.Float 0.2) ]);
+          ];
+      ]
+  in
+  let fails = Gate.run ~baseline ~current:churned ~pct:5.0 () in
+  Alcotest.(check bool) "drift stability floor fails on churn" true
+    (List.exists
+       (fun (f : Gate.failure) -> f.Gate.metric = "drift.drift_stability")
+       fails.Gate.failures);
+  Alcotest.(check bool) "dropping the tiered object only warns (lax)" true
+    (List.exists
+       (fun (w : Gate.warning) -> w.Gate.metric = "tiered")
+       fails.Gate.warnings);
+  let strict = Gate.run ~strict:true ~baseline ~current:churned ~pct:5.0 () in
+  Alcotest.(check bool) "strict turns the missing tiered object fatal" true
+    (List.exists
+       (fun (f : Gate.failure) -> f.Gate.metric = "tiered")
+       strict.Gate.failures)
+
 (* {2 VM telemetry} *)
 
 (* Everything observable about an outcome, canonically rendered; the
@@ -697,6 +782,9 @@ let suite =
       Alcotest.test_case "gate reports missing metrics" `Quick
         test_gate_missing_metric;
       Alcotest.test_case "gate enforces quality floors" `Quick test_gate_floors;
+      Alcotest.test_case "reoptimize drift mode" `Quick test_reoptimize_drift;
+      Alcotest.test_case "gate enforces tiered and drift floors" `Quick
+        test_gate_tiered_drift_floors;
       Alcotest.test_case "telemetry ring" `Quick test_telemetry_ring;
       Alcotest.test_case "telemetry metrics counters" `Quick
         test_telemetry_metrics;
